@@ -1,0 +1,495 @@
+// Benchmark harness: one benchmark per table and figure of the WiLocator
+// paper's evaluation (Section V) plus the DESIGN.md ablations, each printing
+// the same rows/series the paper reports, and a set of micro-benchmarks for
+// the hot paths (SVD construction, tile lookup, prediction, ingestion).
+//
+// Regenerate everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Paper-vs-measured numbers are recorded in EXPERIMENTS.md.
+package wilocator_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"wilocator/internal/api"
+	"wilocator/internal/eval"
+	"wilocator/internal/exp"
+	"wilocator/internal/locate"
+	"wilocator/internal/predict"
+	"wilocator/internal/rf"
+	"wilocator/internal/roadnet"
+	"wilocator/internal/server"
+	"wilocator/internal/svd"
+	"wilocator/internal/traveltime"
+	"wilocator/internal/wifi"
+	"wilocator/internal/xrand"
+)
+
+const benchSeed = 42
+
+// printOnce prints an experiment's table exactly once per `go test` process,
+// no matter how many benchmark iterations run.
+var printOnce sync.Map
+
+func report(b *testing.B, key, output string) {
+	b.Helper()
+	if _, done := printOnce.LoadOrStore(key, true); !done {
+		fmt.Printf("\n%s\n", output)
+	}
+}
+
+// BenchmarkTableI_RouteInventory regenerates Table I: the four-route
+// Metro-Vancouver inventory (stop counts, lengths, overlapped lengths).
+func BenchmarkTableI_RouteInventory(b *testing.B) {
+	var rows []roadnet.RouteInfo
+	for i := 0; i < b.N; i++ {
+		net, err := roadnet.BuildVancouver(roadnet.DefaultVancouverSpec())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = net.TableI()
+	}
+	t := eval.NewTable("Table I: information of the four investigated bus routes",
+		"route", "#stops", "length(km)", "overlapped(km)")
+	for _, info := range rows {
+		t.AddRow(info.Name, fmt.Sprintf("%d", info.Stops),
+			fmt.Sprintf("%.1f", info.LengthKm), fmt.Sprintf("%.1f", info.OverlapKm))
+	}
+	report(b, "tableI", t.String())
+}
+
+// BenchmarkTableII_CampusRSS regenerates Table II / Fig. 10: the campus-road
+// experiment with 11 hand-placed APs, probe rank lists and positioning
+// errors (paper: 2 m at A, B and C).
+func BenchmarkTableII_CampusRSS(b *testing.B) {
+	var res exp.TableIIResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = exp.CampusExperiment(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.MeanErr, "mean-err-m")
+	report(b, "tableII", res.String())
+}
+
+// BenchmarkFig8a_PositioningCDF regenerates Fig. 8(a): the CDF of
+// positioning errors per route (paper: median < 3 m).
+func BenchmarkFig8a_PositioningCDF(b *testing.B) {
+	var res exp.Fig8aResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = exp.Fig8aPositioningCDF(exp.ScenarioSpec{Seed: benchSeed}, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(res.Rows) > 0 {
+		b.ReportMetric(res.Rows[0].Summary.Median, "median-err-m")
+	}
+	report(b, "fig8a", res.String())
+}
+
+// arrivalEvents runs the chronological prediction experiment once and caches
+// the events for the Fig. 8(b), Fig. 8(c) and cross-route benchmarks.
+var (
+	arrivalOnce   sync.Once
+	arrivalEvents []exp.PredictionEvent
+	arrivalErr    error
+)
+
+func getArrivalEvents(b *testing.B) []exp.PredictionEvent {
+	b.Helper()
+	arrivalOnce.Do(func() {
+		sc, err := exp.NewVancouver(exp.ScenarioSpec{Seed: benchSeed})
+		if err != nil {
+			arrivalErr = err
+			return
+		}
+		arrivalEvents, arrivalErr = exp.ArrivalExperiment(sc, exp.ArrivalConfig{TrainDays: 8})
+	})
+	if arrivalErr != nil {
+		b.Fatal(arrivalErr)
+	}
+	return arrivalEvents
+}
+
+// BenchmarkFig8b_PredictionCDF regenerates Fig. 8(b): rush-hour arrival-time
+// prediction error CDFs, WiLocator vs the Transit-Agency baseline (paper:
+// comparable medians, agency max ~800 s vs WiLocator ~500 s).
+func BenchmarkFig8b_PredictionCDF(b *testing.B) {
+	events := getArrivalEvents(b)
+	var res exp.Fig8bResult
+	for i := 0; i < b.N; i++ {
+		res = exp.Fig8bFromEvents(events)
+	}
+	b.ReportMetric(res.Summaries["wilocator"].Median, "wil-median-s")
+	b.ReportMetric(res.Summaries["agency"].Median, "agency-median-s")
+	report(b, "fig8b", res.String())
+}
+
+// BenchmarkFig8c_ErrorVsStops regenerates Fig. 8(c): mean prediction error
+// against the number of stops ahead per route (paper: increasing trend, max
+// ~210 s).
+func BenchmarkFig8c_ErrorVsStops(b *testing.B) {
+	events := getArrivalEvents(b)
+	var res exp.Fig8cResult
+	for i := 0; i < b.N; i++ {
+		res = exp.Fig8cFromEvents(events, "wilocator", 19)
+	}
+	report(b, "fig8c", res.String())
+}
+
+// BenchmarkAblation_CrossRoute regenerates ablation A2: the cross-route
+// residual sharing of Eq. 8 against the same-route-only restriction of the
+// paper's Cell-ID comparators.
+func BenchmarkAblation_CrossRoute(b *testing.B) {
+	events := getArrivalEvents(b)
+	var res exp.Fig8bResult
+	for i := 0; i < b.N; i++ {
+		res = exp.Fig8bFromEvents(events)
+	}
+	t := eval.NewTable("Ablation A2: cross-route vs same-route-only recency correction (rush hours, seconds)",
+		"engine", "mean", "p90")
+	for _, name := range []string{"wilocator", "wilocator-sameroute", "agency"} {
+		s := res.Summaries[name]
+		t.AddRow(name, fmt.Sprintf("%.1f", s.Mean), fmt.Sprintf("%.0f", s.P90))
+	}
+	report(b, "crossroute", t.String())
+}
+
+// BenchmarkFig9a_ErrorVsAPs regenerates Fig. 9(a): positioning error against
+// the number of WiFi APs (paper: slow decrease, ~3.15 m to ~2.8 m).
+func BenchmarkFig9a_ErrorVsAPs(b *testing.B) {
+	var res exp.Fig9aResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = exp.Fig9aErrorVsAPs(benchSeed, nil, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	report(b, "fig9a", res.String())
+}
+
+// BenchmarkFig9b_ErrorVsOrder regenerates Fig. 9(b): positioning error
+// against the SVD order (paper: order 2 is enough).
+func BenchmarkFig9b_ErrorVsOrder(b *testing.B) {
+	var res exp.Fig9bResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = exp.Fig9bErrorVsOrder(benchSeed, 4, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	report(b, "fig9b", res.String())
+}
+
+// BenchmarkFig11_TrafficMap regenerates Fig. 11: the rush-hour traffic maps
+// of WiLocator vs the agency (paper: the agency leaves unconfirmed segments,
+// WiLocator marks every segment and detects the anomalies).
+func BenchmarkFig11_TrafficMap(b *testing.B) {
+	var res exp.Fig11Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = exp.Fig11TrafficMap(exp.ScenarioSpec{Seed: benchSeed}, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.AgencyCoverage*100, "agency-coverage-%")
+	report(b, "fig11", res.String())
+}
+
+// BenchmarkSeasonalIndex_Slots regenerates the Section V-B.2 offline
+// training step: the seasonal index discovering the weekday rush hours and
+// the five-slot plan.
+func BenchmarkSeasonalIndex_Slots(b *testing.B) {
+	var res exp.SeasonalResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = exp.SeasonalIndexExperiment(exp.ScenarioSpec{Seed: benchSeed}, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	report(b, "seasonal", res.String())
+}
+
+// BenchmarkAblation_SVDvsVD regenerates ablation A1: rank-based SVD
+// positioning vs the conventional Euclidean Voronoi diagram under
+// heterogeneous AP parameters.
+func BenchmarkAblation_SVDvsVD(b *testing.B) {
+	var res exp.MetricAblationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = exp.AblationSVDvsVD(benchSeed, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.SVD.Mean, "svd-mean-m")
+	b.ReportMetric(res.VD.Mean, "vd-mean-m")
+	report(b, "svdvsvd", res.String())
+}
+
+// BenchmarkAblation_Baselines regenerates ablation A3: WiLocator vs Cell-ID
+// sequence matching and urban-canyon GPS (positioning error and energy).
+func BenchmarkAblation_Baselines(b *testing.B) {
+	var res exp.BaselinesResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = exp.AblationBaselines(benchSeed, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	report(b, "baselines", res.String())
+}
+
+// BenchmarkAblation_APDynamics regenerates ablation A4: positioning under AP
+// failures with diagram rebuild (Section III-B).
+func BenchmarkAblation_APDynamics(b *testing.B) {
+	var res exp.APDynamicsResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = exp.AblationAPDynamics(benchSeed, nil, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	report(b, "apdynamics", res.String())
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks for the hot paths.
+
+func microWorld(b *testing.B) (*roadnet.Network, *wifi.Deployment, *svd.Diagram) {
+	b.Helper()
+	net, err := roadnet.BuildCampus(2000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dep, err := wifi.Deploy(net, wifi.DefaultDeploySpec(), xrand.New(benchSeed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dia, err := svd.Build(net, dep, svd.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return net, dep, dia
+}
+
+// BenchmarkSVDBuild measures Signal Voronoi Diagram construction for a 2 km
+// corridor (~57 APs) including the 2-D band geometry.
+func BenchmarkSVDBuild(b *testing.B) {
+	net, err := roadnet.BuildCampus(2000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dep, err := wifi.Deploy(net, wifi.DefaultDeploySpec(), xrand.New(benchSeed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svd.Build(net, dep, svd.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSVDBuildVancouver measures diagram construction for the full
+// four-route network (~940 APs, runs only).
+func BenchmarkSVDBuildVancouver(b *testing.B) {
+	net, err := roadnet.BuildVancouver(roadnet.DefaultVancouverSpec())
+	if err != nil {
+		b.Fatal(err)
+	}
+	dep, err := wifi.Deploy(net, wifi.DefaultDeploySpec(), xrand.New(benchSeed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svd.Build(net, dep, svd.Config{GridStep: -1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLocate measures one scan-to-position lookup.
+func BenchmarkLocate(b *testing.B) {
+	net, dep, dia := microWorld(b)
+	pos, err := locate.NewPositioner(dia, dia.Order())
+	if err != nil {
+		b.Fatal(err)
+	}
+	route := net.Routes()[0]
+	rx, err := newBenchSensor(dep)
+	if err != nil {
+		b.Fatal(err)
+	}
+	at := time.Date(2016, 3, 7, 13, 0, 0, 0, time.UTC)
+	scans := make([]wifi.Scan, 64)
+	for i := range scans {
+		arc := float64(i) * route.Length() / float64(len(scans))
+		scans[i] = rx.ScanAt(route.PointAt(arc), at)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pos.Locate(route.ID(), scans[i%len(scans)], nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func newBenchSensor(dep *wifi.Deployment) (*wifi.Sensor, error) {
+	rx, err := rf.NewReceiver(rf.LogDistance{}, rf.Noise{}, xrand.New(benchSeed+1))
+	if err != nil {
+		return nil, err
+	}
+	return wifi.NewSensor(dep, rx)
+}
+
+// BenchmarkPredictArrival measures one Eq. 9 arrival prediction across ~40
+// segments with a populated store.
+func BenchmarkPredictArrival(b *testing.B) {
+	net, err := roadnet.BuildVancouver(roadnet.DefaultVancouverSpec())
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := traveltime.NewStore(traveltime.PaperPlan())
+	at := time.Date(2016, 3, 7, 8, 30, 0, 0, time.UTC)
+	route, _ := net.Route(roadnet.Route9)
+	for i, segID := range route.Segments() {
+		enter := at.Add(time.Duration(-60+i) * time.Minute)
+		if err := store.Add(traveltime.Record{
+			Seg: segID, RouteID: roadnet.Route9, Enter: enter, Exit: enter.Add(45 * time.Second),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	eng, err := predict.NewWiLocator(net, store, predict.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.PredictArrival(roadnet.Route9, 1000, at, 40); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServerIngest measures one report ingestion through the service
+// (fusion buffering plus periodic fix computation).
+func BenchmarkServerIngest(b *testing.B) {
+	_, dep, dia := microWorld(b)
+	store := traveltime.NewStore(traveltime.PaperPlan())
+	svc, err := server.NewService(dia, store, server.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	route := dia.Network().Routes()[0]
+	rx, err := newBenchSensor(dep)
+	if err != nil {
+		b.Fatal(err)
+	}
+	t0 := time.Date(2016, 3, 7, 13, 0, 0, 0, time.UTC)
+	reports := make([]api.Report, 256)
+	for i := range reports {
+		at := t0.Add(time.Duration(i/4) * 10 * time.Second)
+		arc := float64(i/4) * 20
+		if arc > route.Length()-1 {
+			arc = route.Length() - 1
+		}
+		reports[i] = api.Report{
+			BusID:   "bench-bus",
+			RouteID: route.ID(),
+			PhoneID: fmt.Sprintf("p%d", i%4),
+			Scan:    rx.ScanAt(route.PointAt(arc), at),
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.Ingest(reports[i%len(reports)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSeasonalIndexQuery measures one SI(i,l) computation over a store
+// with a day of records.
+func BenchmarkSeasonalIndexQuery(b *testing.B) {
+	store := traveltime.NewStore(traveltime.HourlyPlan())
+	base := time.Date(2016, 3, 7, 6, 0, 0, 0, time.UTC)
+	for h := 0; h < 17; h++ {
+		for k := 0; k < 20; k++ {
+			enter := base.Add(time.Duration(h)*time.Hour + time.Duration(k)*time.Minute)
+			if err := store.Add(traveltime.Record{
+				Seg: 1, RouteID: "9", Enter: enter, Exit: enter.Add(40 * time.Second),
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if si := store.SeasonalIndex(1); len(si) != 24 {
+			b.Fatal("bad seasonal index")
+		}
+	}
+}
+
+// BenchmarkExtension_Hybrid regenerates extension X1: the Section VII
+// WiFi/GPS hand-off across a coverage gap.
+func BenchmarkExtension_Hybrid(b *testing.B) {
+	var res exp.HybridResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = exp.ExtensionHybrid(benchSeed, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.HybridCoverage*100, "hybrid-coverage-%")
+	report(b, "hybrid", res.String())
+}
+
+// BenchmarkAblation_RiderFusion regenerates ablation A5: positioning error
+// vs the number of fused rider phones (the crowd-sensing average-rank
+// observation of Section I).
+func BenchmarkAblation_RiderFusion(b *testing.B) {
+	var res exp.RiderSweepResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = exp.AblationRiderFusion(benchSeed, nil, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	report(b, "riders", res.String())
+}
+
+// BenchmarkAblation_TieMargin regenerates ablation A6: the near-tie
+// boundary rule's margin sweep.
+func BenchmarkAblation_TieMargin(b *testing.B) {
+	var res exp.TieMarginResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = exp.AblationTieMargin(benchSeed, nil, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	report(b, "tiemargin", res.String())
+}

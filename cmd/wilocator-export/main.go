@@ -1,0 +1,131 @@
+// Command wilocator-export writes a scenario's world state as GeoJSON for
+// inspection on any web map: the road network with its routes and stops, the
+// AP deployment, and (optionally, after simulating a trained rush hour) the
+// classified traffic map.
+//
+// Usage:
+//
+//	wilocator-export [-network vancouver|campus] [-seed 42] [-out dir]
+//	                 [-traffic] [-origin-lat 49.2634] [-origin-lng -123.1380]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"wilocator/internal/exp"
+	"wilocator/internal/geo"
+	"wilocator/internal/geojson"
+	"wilocator/internal/roadnet"
+	"wilocator/internal/trafficmap"
+	"wilocator/internal/traveltime"
+	"wilocator/internal/wifi"
+	"wilocator/internal/xrand"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "wilocator-export:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		networkKind = flag.String("network", "vancouver", "network to build: vancouver or campus")
+		seed        = flag.Uint64("seed", 42, "deployment seed")
+		outDir      = flag.String("out", ".", "output directory")
+		withTraffic = flag.Bool("traffic", false, "also simulate a trained rush hour and export the traffic map")
+		originLat   = flag.Float64("origin-lat", geojson.DefaultOrigin.Lat, "latitude of the planar origin")
+		originLng   = flag.Float64("origin-lng", geojson.DefaultOrigin.Lng, "longitude of the planar origin")
+	)
+	flag.Parse()
+
+	var (
+		net *roadnet.Network
+		err error
+	)
+	switch *networkKind {
+	case "vancouver":
+		net, err = roadnet.BuildVancouver(roadnet.DefaultVancouverSpec())
+	case "campus":
+		net, err = roadnet.BuildCampus(2500)
+	default:
+		return fmt.Errorf("unknown network %q", *networkKind)
+	}
+	if err != nil {
+		return err
+	}
+	dep, err := wifi.Deploy(net, wifi.DefaultDeploySpec(), xrand.New(*seed))
+	if err != nil {
+		return err
+	}
+
+	ex := geojson.NewExporter(geo.LatLng{Lat: *originLat, Lng: *originLng})
+	if err := writeFC(*outDir, "network.geojson", ex.Network(net)); err != nil {
+		return err
+	}
+	if err := writeFC(*outDir, "aps.geojson", ex.Deployment(dep)); err != nil {
+		return err
+	}
+
+	if *withTraffic {
+		if *networkKind != "vancouver" {
+			return fmt.Errorf("-traffic requires the vancouver network")
+		}
+		sc, err := exp.NewVancouver(exp.ScenarioSpec{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		store, err := exp.TrainStore(sc, 4, traveltime.PaperPlan())
+		if err != nil {
+			return err
+		}
+		evalDay := exp.WeekdayServiceDays(5)[4]
+		_, recs, err := exp.FleetDay(sc, evalDay, nil, 99)
+		if err != nil {
+			return err
+		}
+		now := evalDay.Add(9 * time.Hour)
+		for _, r := range recs {
+			if r.Exit.After(now) {
+				break
+			}
+			if err := store.Add(traveltime.Record{Seg: r.Seg, RouteID: r.RouteID, Enter: r.Enter, Exit: r.Exit}); err != nil {
+				return err
+			}
+		}
+		gen, err := trafficmap.NewGenerator(sc.Net, store, trafficmap.Config{})
+		if err != nil {
+			return err
+		}
+		fc, err := ex.TrafficMap(sc.Net, gen.Map(now))
+		if err != nil {
+			return err
+		}
+		if err := writeFC(*outDir, "trafficmap.geojson", fc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFC(dir, name string, fc geojson.FeatureCollection) error {
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := geojson.Write(f, fc); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d features)\n", path, len(fc.Features))
+	return nil
+}

@@ -1,0 +1,175 @@
+// Command wilocator-server runs the WiLocator back-end over a synthetic
+// city: it builds the road network and AP deployment, constructs the Signal
+// Voronoi Diagram and serves the JSON HTTP API that phones (POST /v1/reports)
+// and rider apps (GET /v1/vehicles, /v1/arrivals, /v1/trafficmap, /v1/routes)
+// talk to.
+//
+// Usage:
+//
+//	wilocator-server [-addr :8421] [-network vancouver|campus] [-seed 42]
+//	                 [-ap-spacing 35] [-campus-length 2500] [-store history.json]
+//
+// With -store, the historical travel-time store is loaded from the file at
+// startup (if it exists) and saved back on SIGINT/SIGTERM, so offline
+// training survives restarts.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wilocator"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "wilocator-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr         = flag.String("addr", ":8421", "listen address")
+		networkKind  = flag.String("network", "vancouver", "network to build: vancouver or campus")
+		seed         = flag.Uint64("seed", 42, "deployment seed")
+		apSpacing    = flag.Float64("ap-spacing", 0, "mean AP spacing in metres (0 = default)")
+		campusLength = flag.Float64("campus-length", 2500, "campus road length in metres")
+		storePath    = flag.String("store", "", "travel-time store snapshot to load at start and save on shutdown")
+		networkFile  = flag.String("network-file", "", "load the road network from a JSON file instead of a generator")
+	)
+	flag.Parse()
+
+	var (
+		net *wilocator.Network
+		err error
+	)
+	switch {
+	case *networkFile != "":
+		f, ferr := os.Open(*networkFile)
+		if ferr != nil {
+			return ferr
+		}
+		net, err = wilocator.ReadNetwork(f)
+		f.Close()
+		*networkKind = *networkFile
+	case *networkKind == "vancouver":
+		net, err = wilocator.BuildVancouverNetwork()
+	case *networkKind == "campus":
+		net, err = wilocator.BuildCampusNetwork(*campusLength)
+	default:
+		return fmt.Errorf("unknown network %q", *networkKind)
+	}
+	if err != nil {
+		return err
+	}
+
+	spec := wilocator.DefaultDeploySpec()
+	if *apSpacing > 0 {
+		spec.Spacing = *apSpacing
+	}
+	dep, err := wilocator.DeployAPs(net, spec, *seed)
+	if err != nil {
+		return err
+	}
+	log.Printf("network %s: %d routes, %d road segments, %d APs",
+		*networkKind, len(net.Routes()), net.Graph.NumSegments(), dep.NumAPs())
+
+	start := time.Now()
+	sys, err := wilocator.New(net, dep, wilocator.Config{})
+	if err != nil {
+		return err
+	}
+	log.Printf("signal Voronoi diagram built in %v (%d tiles, %d cells)",
+		time.Since(start).Round(time.Millisecond), sys.Diagram().NumTiles(), sys.Diagram().NumCells())
+
+	for _, info := range sys.RouteInfos() {
+		log.Printf("route %-12s %3d stops  %5.1f km (%.1f km overlapped)",
+			info.Name, info.Stops, info.LengthKm, info.OverlapKm)
+	}
+
+	if *storePath != "" {
+		if err := loadStore(sys, *storePath); err != nil {
+			return err
+		}
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           sys.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	// Serve until SIGINT/SIGTERM, then snapshot the store and drain.
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("serving WiLocator API on %s", *addr)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-sigCh:
+		log.Printf("received %v, shutting down", sig)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	if *storePath != "" {
+		if err := saveStore(sys, *storePath); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadStore restores a previously saved snapshot; a missing file is fine
+// (first run).
+func loadStore(sys *wilocator.System, path string) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		log.Printf("store %s does not exist yet; starting empty", path)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := sys.LoadTravelTimes(f); err != nil {
+		return fmt.Errorf("load store %s: %w", path, err)
+	}
+	log.Printf("loaded travel-time store from %s", path)
+	return nil
+}
+
+// saveStore snapshots the store atomically (write to a temp file, rename).
+func saveStore(sys *wilocator.System, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := sys.SaveTravelTimes(f); err != nil {
+		f.Close()
+		return fmt.Errorf("save store: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	log.Printf("saved travel-time store to %s", path)
+	return nil
+}

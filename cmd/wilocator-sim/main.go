@@ -1,0 +1,199 @@
+// Command wilocator-sim regenerates the tables and figures of the WiLocator
+// paper's evaluation (Section V) from the synthetic substrate, printing the
+// same rows and series the paper reports. See EXPERIMENTS.md for the
+// experiment index and the paper-vs-measured comparison.
+//
+// Usage:
+//
+//	wilocator-sim [-seed 42] [-quick] <experiment>
+//
+// where <experiment> is one of:
+//
+//	tableI tableII fig8a fig8b fig8c fig9a fig9b fig11 seasonal
+//	svd-vs-vd cross-route baselines ap-dynamics hybrid riders tie-margin all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"wilocator/internal/eval"
+	"wilocator/internal/exp"
+	"wilocator/internal/roadnet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "wilocator-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		seed  = flag.Uint64("seed", 42, "scenario seed")
+		quick = flag.Bool("quick", false, "reduced trip counts and training days")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: wilocator-sim [-seed N] [-quick] <experiment>\nexperiments: tableI tableII fig8a fig8b fig8c fig9a fig9b fig11 seasonal svd-vs-vd cross-route baselines ap-dynamics hybrid riders tie-margin all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		return fmt.Errorf("exactly one experiment required")
+	}
+
+	trips, trainDays := 4, 10
+	if *quick {
+		trips, trainDays = 1, 4
+	}
+	r := runner{seed: *seed, trips: trips, trainDays: trainDays}
+
+	name := flag.Arg(0)
+	if name == "all" {
+		for _, n := range []string{"tableI", "tableII", "fig8a", "fig8b", "fig8c", "fig9a",
+			"fig9b", "fig11", "seasonal", "svd-vs-vd", "cross-route", "baselines", "ap-dynamics",
+			"hybrid", "riders", "tie-margin"} {
+			if err := r.run(n); err != nil {
+				return fmt.Errorf("%s: %w", n, err)
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	return r.run(name)
+}
+
+type runner struct {
+	seed      uint64
+	trips     int
+	trainDays int
+}
+
+func (r runner) run(name string) error {
+	start := time.Now()
+	defer func() {
+		fmt.Printf("[%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}()
+	switch name {
+	case "tableI":
+		net, err := roadnet.BuildVancouver(roadnet.DefaultVancouverSpec())
+		if err != nil {
+			return err
+		}
+		t := eval.NewTable("Table I: information of the four investigated bus routes",
+			"route", "#stops", "length(km)", "overlapped(km)")
+		for _, info := range net.TableI() {
+			t.AddRow(info.Name, fmt.Sprintf("%d", info.Stops),
+				fmt.Sprintf("%.1f", info.LengthKm), fmt.Sprintf("%.1f", info.OverlapKm))
+		}
+		fmt.Print(t)
+		return nil
+	case "tableII":
+		res, err := exp.CampusExperiment(r.seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+		return nil
+	case "fig8a":
+		res, err := exp.Fig8aPositioningCDF(exp.ScenarioSpec{Seed: r.seed}, r.trips)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+		return nil
+	case "fig8b", "fig8c", "cross-route":
+		sc, err := exp.NewVancouver(exp.ScenarioSpec{Seed: r.seed})
+		if err != nil {
+			return err
+		}
+		events, err := exp.ArrivalExperiment(sc, exp.ArrivalConfig{TrainDays: r.trainDays})
+		if err != nil {
+			return err
+		}
+		switch name {
+		case "fig8b", "cross-route":
+			fmt.Print(exp.Fig8bFromEvents(events))
+		case "fig8c":
+			fmt.Print(exp.Fig8cFromEvents(events, "wilocator", 19))
+		}
+		return nil
+	case "fig9a":
+		res, err := exp.Fig9aErrorVsAPs(r.seed, nil, r.trips)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+		return nil
+	case "fig9b":
+		res, err := exp.Fig9bErrorVsOrder(r.seed, 4, r.trips)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+		return nil
+	case "fig11":
+		res, err := exp.Fig11TrafficMap(exp.ScenarioSpec{Seed: r.seed}, r.trainDays)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+		return nil
+	case "seasonal":
+		res, err := exp.SeasonalIndexExperiment(exp.ScenarioSpec{Seed: r.seed}, r.trainDays)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+		return nil
+	case "svd-vs-vd":
+		res, err := exp.AblationSVDvsVD(r.seed, r.trips)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+		return nil
+	case "baselines":
+		res, err := exp.AblationBaselines(r.seed, r.trips)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+		return nil
+	case "ap-dynamics":
+		res, err := exp.AblationAPDynamics(r.seed, nil, r.trips)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+		return nil
+	case "hybrid":
+		res, err := exp.ExtensionHybrid(r.seed, r.trips)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+		return nil
+	case "riders":
+		res, err := exp.AblationRiderFusion(r.seed, nil, r.trips)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+		return nil
+	case "tie-margin":
+		res, err := exp.AblationTieMargin(r.seed, nil, r.trips)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res)
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+}

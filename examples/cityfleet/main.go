@@ -1,0 +1,252 @@
+// Cityfleet: the full distributed loop over real HTTP. A WiLocator server is
+// started on localhost; a fleet of buses on the four Metro-Vancouver routes
+// is simulated, each with its riders' phones POSTing scan reports through
+// the typed client; and a rider app queries live vehicles and arrival
+// predictions — exactly the deployment diagram of the paper's Fig. 4.
+//
+// Run with:
+//
+//	go run ./examples/cityfleet
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sort"
+	"time"
+
+	"wilocator"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	world, err := buildWorld()
+	if err != nil {
+		return err
+	}
+
+	// Serve the WiLocator API on an ephemeral localhost port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: world.sys.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		// The listener is closed by Shutdown below; Serve then returns.
+		_ = srv.Serve(ln)
+	}()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	baseURL := "http://" + ln.Addr().String()
+	fmt.Printf("server: %s (%d APs, %d signal tiles)\n",
+		baseURL, world.dep.NumAPs(), world.sys.Diagram().NumTiles())
+
+	// Offline training (Section V-A.3 of the paper): two weekdays of fleet
+	// history give the predictor its per-slot segment baselines.
+	if err := world.train(2); err != nil {
+		return err
+	}
+
+	c, err := wilocator.NewClient(baseURL)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	routes, err := c.Routes(ctx)
+	if err != nil {
+		return err
+	}
+	for _, r := range routes.Routes {
+		fmt.Printf("route %-12s %3d stops  %5.1f km (%.1f km overlapped)\n",
+			r.Name, r.Stops, r.LengthKm, r.OverlapKm)
+	}
+
+	// Dispatch one bus per route into the morning rush, replay 12 minutes
+	// of the city, and push every phone report over HTTP.
+	if err := world.replayFleet(ctx, c, 12*time.Minute); err != nil {
+		return err
+	}
+
+	// Rider app: who is where, and when does each bus reach stop 10 of its
+	// route?
+	vehicles, err := c.Vehicles(ctx, "")
+	if err != nil {
+		return err
+	}
+	sort.Slice(vehicles, func(i, j int) bool { return vehicles[i].BusID < vehicles[j].BusID })
+	fmt.Println("\nlive vehicles:")
+	for _, v := range vehicles {
+		// The latest fix closes the previous scan cycle, so the fair truth
+		// reference is one period before the last report.
+		truth := world.truthArc(v.BusID, v.Updated.Add(-wilocator.ScanPeriod))
+		fmt.Printf("  %-14s route %-10s %8.1f m  (truth %8.1f m, error %5.1f m)\n",
+			v.BusID, v.RouteID, v.Arc, truth, abs(v.Arc-truth))
+	}
+
+	fmt.Println("\narrival predictions at each route's stop #10:")
+	for _, route := range world.net.Routes() {
+		arr, err := c.Arrivals(ctx, route.ID(), 10)
+		if err != nil {
+			return err
+		}
+		for _, a := range arr {
+			actual := world.truthArrival(a.BusID, 10)
+			fmt.Printf("  %-14s %-10s eta %s  actual %s  error %4.0f s\n",
+				a.BusID, a.RouteID, a.ETA.Format("15:04:05"), actual.Format("15:04:05"),
+				abs(a.ETA.Sub(actual).Seconds()))
+		}
+	}
+
+	tm, err := c.TrafficMap(ctx, "9")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nroute 9 traffic map: %s\n", tm.Strip)
+	return nil
+}
+
+// world holds the simulated city next to the system under test.
+type world struct {
+	net    *wilocator.Network
+	dep    *wilocator.Deployment
+	sys    *wilocator.System
+	clock  time.Time
+	trips  map[string]*wilocator.Trip
+	phones map[string][]*wilocator.Phone
+}
+
+func buildWorld() (*world, error) {
+	net, err := wilocator.BuildVancouverNetwork()
+	if err != nil {
+		return nil, err
+	}
+	dep, err := wilocator.DeployAPs(net, wilocator.DefaultDeploySpec(), 42)
+	if err != nil {
+		return nil, err
+	}
+	w := &world{
+		net:    net,
+		dep:    dep,
+		clock:  time.Date(2016, 3, 7, 8, 30, 0, 0, time.UTC),
+		trips:  make(map[string]*wilocator.Trip),
+		phones: make(map[string][]*wilocator.Phone),
+	}
+	cfg := wilocator.Config{}
+	cfg.Server.Now = func() time.Time { return w.clock }
+	w.sys, err = wilocator.New(net, dep, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	field := wilocator.NewCongestion(7)
+	for i, route := range net.Routes() {
+		busID := fmt.Sprintf("bus-%s", route.ID())
+		trip, err := wilocator.DriveTrip(net, route.ID(), w.clock, wilocator.DriveConfig{},
+			field, nil, uint64(100+i))
+		if err != nil {
+			return nil, err
+		}
+		phones, err := wilocator.NewRiderPhones(busID, 5, dep, wilocator.PhoneConfig{}, uint64(200+i))
+		if err != nil {
+			return nil, err
+		}
+		w.trips[busID] = trip
+		w.phones[busID] = phones
+	}
+	return w, nil
+}
+
+// train simulates full service days before the live window and feeds the
+// ground-truth segment times into the system's historical store.
+func (w *world) train(days int) error {
+	field := wilocator.NewCongestion(7)
+	records := 0
+	for d := 0; d < days; d++ {
+		day := w.clock.AddDate(0, 0, -7+d) // the weekdays one week earlier
+		for _, route := range w.net.Routes() {
+			departures, err := wilocator.Timetable(route, day, wilocator.TimetableSpec{})
+			if err != nil {
+				return err
+			}
+			for i, dep := range departures {
+				trip, err := wilocator.DriveTrip(w.net, route.ID(), dep, wilocator.DriveConfig{},
+					field, nil, uint64(d*100000+i))
+				if err != nil {
+					return err
+				}
+				trs, err := wilocator.TripTraversals(w.net, trip)
+				if err != nil {
+					return err
+				}
+				for _, tr := range trs {
+					if err := w.sys.AddTravelTime(tr.Seg, tr.RouteID, tr.Enter, tr.Exit); err != nil {
+						return err
+					}
+					records++
+				}
+			}
+		}
+	}
+	fmt.Printf("offline training: %d segment travel times from %d weekday(s)\n", records, days)
+	return nil
+}
+
+// replayFleet advances the whole fleet, pushing every report over HTTP.
+func (w *world) replayFleet(ctx context.Context, c *wilocator.Client, horizon time.Duration) error {
+	end := w.clock.Add(horizon)
+	reports := 0
+	for ; w.clock.Before(end); w.clock = w.clock.Add(wilocator.ScanPeriod) {
+		for busID, trip := range w.trips {
+			if trip.Done(w.clock) {
+				continue
+			}
+			route, _ := w.net.Route(trip.RouteID())
+			pos := route.PointAt(trip.ArcAt(w.clock))
+			for _, phone := range w.phones[busID] {
+				scan, ok := phone.ScanAt(pos, w.clock)
+				if !ok {
+					continue
+				}
+				if _, err := c.PostReport(ctx, wilocator.Report{
+					BusID: busID, RouteID: trip.RouteID(), PhoneID: phone.ID(), Scan: scan,
+				}); err != nil {
+					return err
+				}
+				reports++
+			}
+		}
+	}
+	fmt.Printf("\nreplayed %v of city time: %d reports POSTed\n", horizon, reports)
+	return nil
+}
+
+// truthArc returns the ground-truth arc of a bus at time at.
+func (w *world) truthArc(busID string, at time.Time) float64 {
+	return w.trips[busID].ArcAt(at)
+}
+
+// truthArrival returns the ground-truth arrival time of a bus at its route's
+// stop stopIdx.
+func (w *world) truthArrival(busID string, stopIdx int) time.Time {
+	trip := w.trips[busID]
+	route, _ := w.net.Route(trip.RouteID())
+	return trip.TimeAtArc(route.StopArc(stopIdx))
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,113 @@
+// Quickstart: build a small world, ride one bus with a handful of
+// crowd-sensing phones, track it live through the WiLocator system, and
+// predict its arrival at the terminal stop.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"wilocator"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A 2 km campus road with one shuttle route and a dense urban-style
+	// WiFi deployment (geo-tagged hotspots every ~35 m).
+	net, err := wilocator.BuildCampusNetwork(2000)
+	if err != nil {
+		return err
+	}
+	dep, err := wilocator.DeployAPs(net, wilocator.DefaultDeploySpec(), 42)
+	if err != nil {
+		return err
+	}
+	// The whole example runs on simulated 2016 time, so inject the clock
+	// the server uses to judge vehicle staleness.
+	simNow := time.Date(2016, 3, 7, 13, 0, 0, 0, time.UTC)
+	cfg := wilocator.Config{}
+	cfg.Server.Now = func() time.Time { return simNow }
+	sys, err := wilocator.New(net, dep, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("world: %.1f km road, %d geo-tagged APs, %d signal tiles\n",
+		net.Routes()[0].Length()/1000, dep.NumAPs(), sys.Diagram().NumTiles())
+
+	// Ground truth: one bus drives the route through midday traffic.
+	start := simNow
+	trip, err := wilocator.DriveTrip(net, "campus", start, wilocator.DriveConfig{},
+		wilocator.NewCongestion(7), nil, 1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ground truth: trip departs %s, arrives %s (%v)\n",
+		trip.Start().Format("15:04:05"), trip.End().Format("15:04:05"), trip.Duration().Round(time.Second))
+
+	// Crowd sensing: four riders' phones scan WiFi every 10 s and report.
+	phones, err := wilocator.NewRiderPhones("bus-1", 4, dep, wilocator.PhoneConfig{}, 2)
+	if err != nil {
+		return err
+	}
+	route := net.Routes()[0]
+	cycles, located := 0, 0
+	for at := trip.Start(); !trip.Done(at); at = at.Add(wilocator.ScanPeriod) {
+		simNow = at
+		pos := route.PointAt(trip.ArcAt(at))
+		cycles++
+		for _, phone := range phones {
+			scan, ok := phone.ScanAt(pos, at)
+			if !ok {
+				continue // report lost in transit
+			}
+			resp, err := sys.Ingest(wilocator.Report{
+				BusID: "bus-1", RouteID: "campus", PhoneID: phone.ID(), Scan: scan,
+			})
+			if err != nil {
+				return err
+			}
+			if resp.Located {
+				located++
+				// The fix closes the *previous* scan cycle, so compare it
+				// against the ground truth of one period ago.
+				truth := trip.ArcAt(at.Add(-wilocator.ScanPeriod))
+				if located%10 == 1 {
+					fmt.Printf("  %s  bus at %6.1f m (truth %6.1f m, error %4.1f m)\n",
+						at.Format("15:04:05"), resp.Arc, truth, abs(resp.Arc-truth))
+				}
+			}
+		}
+	}
+	fmt.Printf("tracking: %d scan cycles, %d position fixes\n", cycles, located)
+
+	// Live state and arrival prediction at the terminal stop.
+	for _, v := range sys.Vehicles("campus") {
+		fmt.Printf("live: %s on %s at %.1f m, %.1f m/s\n", v.BusID, v.RouteID, v.Arc, v.Speed)
+	}
+	arrivals, err := sys.Arrivals("campus", route.NumStops()-1)
+	if err != nil {
+		return err
+	}
+	for _, a := range arrivals {
+		fmt.Printf("prediction: %s reaches %q at %s (actual arrival %s)\n",
+			a.BusID, a.StopName, a.ETA.Format("15:04:05"), trip.End().Format("15:04:05"))
+	}
+	return nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,3 @@
+module wilocator
+
+go 1.22

@@ -1,0 +1,130 @@
+// Package api defines the JSON wire protocol between WiLocator phones /
+// rider apps and the back-end server (the component diagram of Fig. 4:
+// smartphones report scans up, the user interface queries vehicle positions,
+// arrival predictions and the traffic map).
+package api
+
+import (
+	"time"
+
+	"wilocator/internal/geo"
+	"wilocator/internal/roadnet"
+	"wilocator/internal/trafficmap"
+	"wilocator/internal/wifi"
+)
+
+// Paths of the HTTP API.
+const (
+	PathReports      = "/v1/reports"
+	PathVehicles     = "/v1/vehicles"
+	PathArrivals     = "/v1/arrivals"
+	PathTrafficMap   = "/v1/trafficmap"
+	PathRoutes       = "/v1/routes"
+	PathStops        = "/v1/stops"
+	PathAnomalies    = "/v1/anomalies"
+	PathTrajectories = "/v1/trajectories"
+	PathHealth       = "/v1/healthz"
+)
+
+// Report is one phone's upload: the WiFi information scanned on a bus.
+type Report struct {
+	BusID   string    `json:"busId"`
+	RouteID string    `json:"routeId"`
+	PhoneID string    `json:"phoneId"`
+	Scan    wifi.Scan `json:"scan"`
+}
+
+// IngestResponse acknowledges a report. If the report completed a fusion
+// cycle, the fresh estimate is included.
+type IngestResponse struct {
+	Accepted bool `json:"accepted"`
+	// Located is true when this report triggered a new position fix.
+	Located bool `json:"located"`
+	// Arc is the fused position estimate (metres along the route) when
+	// Located.
+	Arc float64 `json:"arc,omitempty"`
+}
+
+// VehicleStatus is the live state of one tracked bus.
+type VehicleStatus struct {
+	BusID   string    `json:"busId"`
+	RouteID string    `json:"routeId"`
+	Arc     float64   `json:"arc"`
+	Pos     geo.Point `json:"pos"`
+	// Speed is the smoothed ground speed, m/s.
+	Speed float64 `json:"speed"`
+	// Updated is the time of the latest fix.
+	Updated time.Time `json:"updated"`
+}
+
+// ArrivalEstimate is one bus's predicted arrival at a stop.
+type ArrivalEstimate struct {
+	BusID     string    `json:"busId"`
+	RouteID   string    `json:"routeId"`
+	StopIndex int       `json:"stopIndex"`
+	StopName  string    `json:"stopName"`
+	ETA       time.Time `json:"eta"`
+}
+
+// TrafficMapResponse carries the classified segments.
+type TrafficMapResponse struct {
+	GeneratedAt time.Time                  `json:"generatedAt"`
+	Segments    []trafficmap.SegmentStatus `json:"segments"`
+	// Strip is the one-glyph-per-segment rendering.
+	Strip string `json:"strip"`
+}
+
+// RoutesResponse carries the route inventory (the data behind Table I).
+type RoutesResponse struct {
+	Routes []roadnet.RouteInfo `json:"routes"`
+}
+
+// StopInfo describes one bus stop of a route, for trip-planner UIs.
+type StopInfo struct {
+	Index int    `json:"index"`
+	Name  string `json:"name"`
+	// Arc is the stop's position along the route, metres from the start.
+	Arc float64   `json:"arc"`
+	Pos geo.Point `json:"pos"`
+}
+
+// StopsResponse lists one route's stops in travel order.
+type StopsResponse struct {
+	RouteID string     `json:"routeId"`
+	Stops   []StopInfo `json:"stops"`
+}
+
+// TrajectoryFix is one point of a bus trajectory in the paper's Definition 6
+// form: <lat, long, t>, plus the arc length for road-relative consumers.
+type TrajectoryFix struct {
+	Lat  float64   `json:"lat"`
+	Lng  float64   `json:"lng"`
+	Time time.Time `json:"t"`
+	Arc  float64   `json:"arc"`
+}
+
+// TrajectoryResponse carries one tracked bus's trajectory.
+type TrajectoryResponse struct {
+	BusID   string          `json:"busId"`
+	RouteID string          `json:"routeId"`
+	Fixes   []TrajectoryFix `json:"fixes"`
+}
+
+// AnomalyReport is one detected traffic-anomaly site on a live bus's
+// trajectory (road construction, accident — Fig. 6 of the paper).
+type AnomalyReport struct {
+	BusID   string `json:"busId"`
+	RouteID string `json:"routeId"`
+	// StartArc and EndArc delimit the site along the route, metres.
+	StartArc float64   `json:"startArc"`
+	EndArc   float64   `json:"endArc"`
+	Start    time.Time `json:"start"`
+	End      time.Time `json:"end"`
+	// Pos is the site's centre on the road.
+	Pos geo.Point `json:"pos"`
+}
+
+// Error is the JSON error envelope.
+type Error struct {
+	Message string `json:"error"`
+}

@@ -1,0 +1,105 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"wilocator/internal/wifi"
+)
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	in := Report{
+		BusID:   "bus-9",
+		RouteID: "9",
+		PhoneID: "rider-3",
+		Scan: wifi.Scan{
+			Time: time.Date(2016, 3, 7, 8, 0, 10, 0, time.UTC),
+			Readings: []wifi.Reading{
+				{BSSID: "ap-0001", RSSI: -61},
+				{BSSID: "ap-0002", RSSI: -74},
+			},
+		},
+	}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Report
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.BusID != in.BusID || out.RouteID != in.RouteID || out.PhoneID != in.PhoneID {
+		t.Errorf("round trip lost ids: %+v", out)
+	}
+	if len(out.Scan.Readings) != 2 || out.Scan.Readings[0].RSSI != -61 {
+		t.Errorf("round trip lost readings: %+v", out.Scan)
+	}
+	if !out.Scan.Time.Equal(in.Scan.Time) {
+		t.Errorf("round trip lost time: %v", out.Scan.Time)
+	}
+}
+
+// TestWireFieldNames pins the JSON contract: renaming Go fields must not
+// silently change the wire format phones and apps depend on.
+func TestWireFieldNames(t *testing.T) {
+	b, err := json.Marshal(Report{BusID: "b", RouteID: "r", PhoneID: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"busId"`, `"routeId"`, `"phoneId"`, `"scan"`} {
+		if !contains(b, key) {
+			t.Errorf("report JSON missing %s: %s", key, b)
+		}
+	}
+
+	vb, err := json.Marshal(VehicleStatus{BusID: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"busId"`, `"arc"`, `"pos"`, `"speed"`, `"updated"`} {
+		if !contains(vb, key) {
+			t.Errorf("vehicle JSON missing %s: %s", key, vb)
+		}
+	}
+
+	ab, err := json.Marshal(ArrivalEstimate{StopIndex: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"stopIndex"`, `"stopName"`, `"eta"`} {
+		if !contains(ab, key) {
+			t.Errorf("arrival JSON missing %s: %s", key, ab)
+		}
+	}
+
+	eb, err := json.Marshal(Error{Message: "nope"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(eb) != `{"error":"nope"}` {
+		t.Errorf("error envelope = %s", eb)
+	}
+}
+
+func TestIngestResponseOmitsArcWhenAbsent(t *testing.T) {
+	b, err := json.Marshal(IngestResponse{Accepted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contains(b, `"arc"`) {
+		t.Errorf("arc serialised despite omitempty: %s", b)
+	}
+	b, err = json.Marshal(IngestResponse{Accepted: true, Located: true, Arc: 12.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(b, `"arc":12.5`) {
+		t.Errorf("arc missing when located: %s", b)
+	}
+}
+
+func contains(b []byte, sub string) bool {
+	return bytes.Contains(b, []byte(sub))
+}

@@ -1,0 +1,245 @@
+package baseline
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"wilocator/internal/roadnet"
+	"wilocator/internal/xrand"
+)
+
+var t0 = time.Date(2016, 3, 7, 8, 0, 0, 0, time.UTC)
+
+func longRoad(t *testing.T) (*roadnet.Network, *roadnet.Route) {
+	t.Helper()
+	net, err := roadnet.BuildCampus(8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, net.Routes()[0]
+}
+
+func TestDeployTowers(t *testing.T) {
+	net, _ := longRoad(t)
+	towers, err := DeployTowers(net, 0, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 km / 1.6 km = 5 towers.
+	if len(towers) < 3 || len(towers) > 7 {
+		t.Errorf("deployed %d towers on 8 km, want ~5", len(towers))
+	}
+	seen := map[string]bool{}
+	for _, tw := range towers {
+		if seen[tw.ID] {
+			t.Errorf("duplicate tower id %s", tw.ID)
+		}
+		seen[tw.ID] = true
+	}
+	if _, err := DeployTowers(nil, 0, xrand.New(1)); err == nil {
+		t.Error("nil network accepted")
+	}
+	if _, err := DeployTowers(net, 0, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	// A road shorter than the spacing still gets one tower.
+	small, err := roadnet.BuildCampus(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	towers, err = DeployTowers(small, 0, xrand.New(2))
+	if err != nil || len(towers) != 1 {
+		t.Errorf("short road towers = %v, err %v", towers, err)
+	}
+}
+
+func TestCellIDTrackerValidation(t *testing.T) {
+	net, route := longRoad(t)
+	towers, err := DeployTowers(net, 0, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCellIDTracker(nil, towers, 0); err == nil {
+		t.Error("nil route accepted")
+	}
+	if _, err := NewCellIDTracker(route, nil, 0); err == nil {
+		t.Error("no towers accepted")
+	}
+}
+
+func TestCellIDReferenceSequence(t *testing.T) {
+	net, route := longRoad(t)
+	towers, err := DeployTowers(net, 0, xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewCellIDTracker(route, towers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := tr.ReferenceSequence()
+	if len(seq) < 3 {
+		t.Fatalf("reference sequence too short: %v", seq)
+	}
+	for i := 1; i < len(seq); i++ {
+		if seq[i] == seq[i-1] {
+			t.Errorf("adjacent duplicate cell %s in reference", seq[i])
+		}
+	}
+}
+
+// TestCellIDCaptureDelayAndCoarseness demonstrates the two limitations the
+// paper attributes to Cell-ID systems: no fix until several cells are
+// captured, and errors of hundreds of metres afterwards.
+func TestCellIDCaptureDelayAndCoarseness(t *testing.T) {
+	net, route := longRoad(t)
+	towers, err := DeployTowers(net, 0, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewCellIDTracker(route, towers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const speed, period = 10.0, 10.0
+	firstFixArc := -1.0
+	var errs []float64
+	now := t0
+	for s := 0.0; s < route.Length(); s += speed * period {
+		arc, ok := tr.Observe(route.PointAt(s), now)
+		now = now.Add(time.Duration(period) * time.Second)
+		if !ok {
+			continue
+		}
+		if firstFixArc < 0 {
+			firstFixArc = s
+		}
+		errs = append(errs, math.Abs(arc-s))
+	}
+	if firstFixArc < 1000 {
+		t.Errorf("first Cell-ID fix after only %.0f m; expected a long capture phase", firstFixArc)
+	}
+	if len(errs) == 0 {
+		t.Fatal("no fixes at all")
+	}
+	sort.Float64s(errs)
+	med := errs[len(errs)/2]
+	if med < 50 {
+		t.Errorf("cell-ID median error %.0f m implausibly small", med)
+	}
+	if med > 2000 {
+		t.Errorf("cell-ID median error %.0f m implausibly large", med)
+	}
+}
+
+func TestGPSTrackerValidation(t *testing.T) {
+	_, route := longRoad(t)
+	if _, err := NewGPSTracker(nil, GPSConfig{}, xrand.New(1)); err == nil {
+		t.Error("nil route accepted")
+	}
+	if _, err := NewGPSTracker(route, GPSConfig{}, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestGPSCanyonLayoutDeterministic(t *testing.T) {
+	_, route := longRoad(t)
+	a, err := NewGPSTracker(route, GPSConfig{Seed: 9}, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewGPSTracker(route, GPSConfig{Seed: 9}, xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	canyons := 0
+	for arc := 0.0; arc < route.Length(); arc += 100 {
+		if a.InCanyon(arc) != b.InCanyon(arc) {
+			t.Fatal("canyon layout not deterministic")
+		}
+		if a.InCanyon(arc) {
+			canyons++
+		}
+	}
+	frac := float64(canyons) / (route.Length() / 100)
+	if frac < 0.3 || frac > 0.7 {
+		t.Errorf("canyon fraction = %v, want ~0.5", frac)
+	}
+}
+
+func TestGPSErrorsWorseInCanyons(t *testing.T) {
+	_, route := longRoad(t)
+	tr, err := NewGPSTracker(route, GPSConfig{Seed: 11}, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var open, canyon []float64
+	outages := 0
+	for i := 0; i < 4000; i++ {
+		trueArc := float64(i%79) * 100.37
+		if trueArc > route.Length()-1 {
+			trueArc = route.Length() - 1
+		}
+		// Reset forward-progress so fixes stay independent.
+		tr.hasFix = false
+		arc, ok := tr.Observe(trueArc, t0)
+		if !ok {
+			outages++
+			continue
+		}
+		e := math.Abs(arc - trueArc)
+		if tr.InCanyon(trueArc) {
+			canyon = append(canyon, e)
+		} else {
+			open = append(open, e)
+		}
+	}
+	if len(open) == 0 || len(canyon) == 0 {
+		t.Fatal("scenario lacks open or canyon samples")
+	}
+	meanOf := func(v []float64) float64 {
+		s := 0.0
+		for _, x := range v {
+			s += x
+		}
+		return s / float64(len(v))
+	}
+	mo, mc := meanOf(open), meanOf(canyon)
+	if mc < 3*mo {
+		t.Errorf("canyon error %.1f m not clearly worse than open-sky %.1f m", mc, mo)
+	}
+	if outages == 0 {
+		t.Error("no canyon outages observed")
+	}
+	// Energy: every attempt costs a fix.
+	if got := tr.EnergyJ(); math.Abs(got-4000*GPSFixEnergyJ) > 1e-9 {
+		t.Errorf("energy = %v J, want %v J", got, 4000*GPSFixEnergyJ)
+	}
+}
+
+func TestGPSForwardProgress(t *testing.T) {
+	_, route := longRoad(t)
+	tr, err := NewGPSTracker(route, GPSConfig{Seed: 13}, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for s := 0.0; s < 2000; s += 100 {
+		arc, ok := tr.Observe(s, t0)
+		if !ok {
+			continue
+		}
+		if arc < prev {
+			t.Fatalf("GPS estimate regressed %v -> %v", prev, arc)
+		}
+		prev = arc
+	}
+}
+
+func TestEnergyConstantsOrdering(t *testing.T) {
+	if GPSFixEnergyJ <= WiFiScanEnergyJ {
+		t.Error("GPS must cost more than a WiFi scan per the paper's motivation")
+	}
+}

@@ -1,0 +1,213 @@
+// Package baseline implements the positioning systems WiLocator is compared
+// against in the paper's motivation and related work: Cell-ID sequence
+// matching over a sparse cellular deployment ([15], [27]-[29]) and GPS with
+// an urban-canyon error model (EasyTracker [4]). Both expose the same
+// "observe ground-truth position, produce an arc estimate" shape as the
+// WiLocator tracker so the ablation harness can swap them in.
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"wilocator/internal/geo"
+	"wilocator/internal/roadnet"
+	"wilocator/internal/xrand"
+)
+
+// DefaultTowerSpacing reflects the paper's observation that "in cities, the
+// coverage of a cell tower can reach 800 m around" and that tower density is
+// low: one tower per ~1.6 km of road.
+const DefaultTowerSpacing = 1600.0
+
+// Tower is one cell tower.
+type Tower struct {
+	ID  string
+	Pos geo.Point
+}
+
+// DeployTowers places towers along the road network every spacing metres
+// with lateral jitter. spacing <= 0 selects DefaultTowerSpacing.
+func DeployTowers(net *roadnet.Network, spacing float64, rng *xrand.Rand) ([]Tower, error) {
+	if net == nil || rng == nil {
+		return nil, fmt.Errorf("baseline: nil network or rng")
+	}
+	if spacing <= 0 {
+		spacing = DefaultTowerSpacing
+	}
+	var towers []Tower
+	n := 0
+	for _, seg := range net.Graph.Segments() {
+		line := seg.Line
+		for s := spacing / 2; s < line.Length(); s += spacing {
+			center := line.At(s)
+			n++
+			towers = append(towers, Tower{
+				ID:  fmt.Sprintf("cell-%03d", n),
+				Pos: center.Add(geo.Pt(rng.Range(-200, 200), rng.Range(-200, 200))),
+			})
+		}
+	}
+	if len(towers) == 0 {
+		// Short networks still get one tower mid-way along the first
+		// segment so the tracker has something to lock onto.
+		segs := net.Graph.Segments()
+		if len(segs) == 0 {
+			return nil, fmt.Errorf("baseline: network has no segments")
+		}
+		line := segs[0].Line
+		towers = append(towers, Tower{ID: "cell-001", Pos: line.At(line.Length() / 2)})
+	}
+	return towers, nil
+}
+
+// cellRun is a maximal arc range of a route dominated by one tower.
+type cellRun struct {
+	id     string
+	s0, s1 float64
+}
+
+// CellIDTracker tracks a bus by matching the observed Cell-ID sequence
+// against the route's reference sequence, the approach of the paper's
+// cellular-infrastructure comparators. Its two documented weaknesses emerge
+// naturally: a fix requires capturing MinSeq distinct cells first ("it takes
+// several minutes for the bus rider to capture a stable cell-ID sequence"),
+// and the positioning granularity is the dominance region of a tower
+// (hundreds of metres).
+type CellIDTracker struct {
+	route  *roadnet.Route
+	towers []Tower
+	runs   []cellRun
+	minSeq int
+
+	seq     []string
+	lastArc float64
+	hasFix  bool
+}
+
+// DefaultMinSeq is the number of distinct cells required before the first
+// fix.
+const DefaultMinSeq = 3
+
+// NewCellIDTracker builds the reference sequence of route and returns a
+// tracker. minSeq <= 0 selects DefaultMinSeq.
+func NewCellIDTracker(route *roadnet.Route, towers []Tower, minSeq int) (*CellIDTracker, error) {
+	if route == nil {
+		return nil, fmt.Errorf("baseline: nil route")
+	}
+	if len(towers) == 0 {
+		return nil, fmt.Errorf("baseline: no towers")
+	}
+	if minSeq <= 0 {
+		minSeq = DefaultMinSeq
+	}
+	t := &CellIDTracker{route: route, towers: towers, minSeq: minSeq}
+	const step = 10.0
+	cur := ""
+	start := 0.0
+	for s := 0.0; ; s += step {
+		if s > route.Length() {
+			s = route.Length()
+		}
+		id := t.nearestTower(route.PointAt(s))
+		if cur == "" {
+			cur, start = id, 0
+		} else if id != cur {
+			t.runs = append(t.runs, cellRun{id: cur, s0: start, s1: s - step/2})
+			cur, start = id, s-step/2
+		}
+		if s >= route.Length() {
+			break
+		}
+	}
+	t.runs = append(t.runs, cellRun{id: cur, s0: start, s1: route.Length()})
+	return t, nil
+}
+
+// ReferenceSequence returns the route's Cell-ID sequence in travel order.
+func (t *CellIDTracker) ReferenceSequence() []string {
+	out := make([]string, len(t.runs))
+	for i, r := range t.runs {
+		out[i] = r.id
+	}
+	return out
+}
+
+func (t *CellIDTracker) nearestTower(p geo.Point) string {
+	best, bestD := "", math.Inf(1)
+	for _, tw := range t.towers {
+		if d := p.Dist2(tw.Pos); d < bestD {
+			best, bestD = tw.ID, d
+		}
+	}
+	return best
+}
+
+// Observe feeds one ground-truth position (the phone hears the strongest =
+// nearest tower) and returns the arc estimate once a long-enough sequence
+// has been captured and matched.
+func (t *CellIDTracker) Observe(pos geo.Point, at time.Time) (arc float64, ok bool) {
+	_ = at // the Cell-ID matcher is timing-free; parameter kept for interface symmetry
+	id := t.nearestTower(pos)
+	if len(t.seq) == 0 || t.seq[len(t.seq)-1] != id {
+		t.seq = append(t.seq, id)
+	}
+	need := t.minSeq
+	if t.hasFix {
+		// After the first lock a single fresh cell refines the position.
+		need = 1
+	}
+	if len(t.seq) < need {
+		return 0, false
+	}
+	suffix := t.seq
+	if len(suffix) > t.minSeq {
+		suffix = suffix[len(suffix)-t.minSeq:]
+	}
+	idx, found := t.matchSuffix(suffix)
+	if !found {
+		return 0, false
+	}
+	run := t.runs[idx]
+	est := run.s0 + run.Len()/2
+	if t.hasFix && est < t.lastArc {
+		est = t.lastArc
+	}
+	t.lastArc = est
+	t.hasFix = true
+	return est, true
+}
+
+func (r cellRun) Len() float64 { return r.s1 - r.s0 }
+
+// matchSuffix finds the reference position whose trailing runs match the
+// observed suffix, preferring the match nearest the previous fix.
+func (t *CellIDTracker) matchSuffix(suffix []string) (runIdx int, ok bool) {
+	bestIdx, bestDist := -1, math.Inf(1)
+	end := len(suffix) - 1
+	for i := len(t.runs) - 1; i >= end; i-- {
+		matched := true
+		for j := 0; j <= end; j++ {
+			if t.runs[i-j].id != suffix[len(suffix)-1-j] {
+				matched = false
+				break
+			}
+		}
+		if !matched {
+			continue
+		}
+		mid := t.runs[i].s0 + t.runs[i].Len()/2
+		d := math.Abs(mid - t.lastArc)
+		if !t.hasFix {
+			d = mid // prefer the earliest plausible match on a cold start
+		}
+		if d < bestDist {
+			bestIdx, bestDist = i, d
+		}
+	}
+	if bestIdx < 0 {
+		return 0, false
+	}
+	return bestIdx, true
+}

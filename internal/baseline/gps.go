@@ -1,0 +1,109 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"wilocator/internal/geo"
+	"wilocator/internal/roadnet"
+	"wilocator/internal/xrand"
+)
+
+// Energy costs per positioning action, joules. The GPS figure is the
+// well-known reason AVL/EasyTracker-style tracking is "extremely
+// power-hungry" relative to a WiFi scan.
+const (
+	GPSFixEnergyJ   = 0.40
+	WiFiScanEnergyJ = 0.06
+)
+
+// GPSConfig tunes the urban-canyon GPS model. The zero value selects
+// defaults.
+type GPSConfig struct {
+	// OpenSigma is the horizontal error sigma with open sky, metres.
+	// Default 5.
+	OpenSigma float64
+	// CanyonSigma is the error sigma inside urban canyons. Default 45.
+	CanyonSigma float64
+	// CanyonFraction is the fraction of 100 m road cells that are canyons
+	// (tall buildings / tunnels). Default 0.5 for a downtown corridor.
+	CanyonFraction float64
+	// OutageProb is the probability a canyon fix is lost entirely
+	// (blocked line of sight to the satellites). Default 0.25.
+	OutageProb float64
+	// Seed makes the canyon layout deterministic.
+	Seed uint64
+}
+
+func (c GPSConfig) withDefaults() GPSConfig {
+	if c.OpenSigma <= 0 {
+		c.OpenSigma = 5
+	}
+	if c.CanyonSigma <= 0 {
+		c.CanyonSigma = 45
+	}
+	if c.CanyonFraction <= 0 || c.CanyonFraction > 1 {
+		c.CanyonFraction = 0.5
+	}
+	if c.OutageProb <= 0 || c.OutageProb > 1 {
+		c.OutageProb = 0.25
+	}
+	return c
+}
+
+// GPSTracker models a GPS receiver riding a bus through an urban canyon
+// landscape: open-sky stretches give metre-level fixes, canyon cells inflate
+// the error by an order of magnitude or black the receiver out, and every
+// fix costs GPSFixEnergyJ.
+type GPSTracker struct {
+	route   *roadnet.Route
+	cfg     GPSConfig
+	rng     *xrand.Rand
+	energyJ float64
+	lastArc float64
+	hasFix  bool
+}
+
+// NewGPSTracker creates a tracker for route.
+func NewGPSTracker(route *roadnet.Route, cfg GPSConfig, rng *xrand.Rand) (*GPSTracker, error) {
+	if route == nil || rng == nil {
+		return nil, fmt.Errorf("baseline: nil route or rng")
+	}
+	return &GPSTracker{route: route, cfg: cfg.withDefaults(), rng: rng}, nil
+}
+
+// InCanyon reports whether the 100 m road cell containing arc is an urban
+// canyon. The layout is deterministic in the config seed.
+func (g *GPSTracker) InCanyon(arc float64) bool {
+	cell := int64(math.Floor(arc / 100))
+	h := g.cfg.Seed ^ uint64(cell)*0x9E3779B97F4A7C15 ^ 0x5851F42D4C957F2D
+	return xrand.New(h).Float64() < g.cfg.CanyonFraction
+}
+
+// Observe takes one GPS fix at the bus's true arc position. ok is false
+// during canyon outages. Every attempt, successful or not, consumes energy.
+func (g *GPSTracker) Observe(trueArc float64, at time.Time) (arc float64, ok bool) {
+	_ = at // fixes are memoryless; parameter kept for interface symmetry
+	g.energyJ += GPSFixEnergyJ
+	sigma := g.cfg.OpenSigma
+	if g.InCanyon(trueArc) {
+		if g.rng.Bool(g.cfg.OutageProb) {
+			return 0, false
+		}
+		sigma = g.cfg.CanyonSigma
+	}
+	// 2-D error, then map-matched (projected) back onto the route.
+	truePos := g.route.PointAt(trueArc)
+	noisy := truePos.Add(geo.Pt(g.rng.Norm(0, sigma), g.rng.Norm(0, sigma)))
+	est, _ := g.route.Project(noisy)
+	if g.hasFix && est < g.lastArc {
+		est = g.lastArc
+	}
+	g.lastArc = est
+	g.hasFix = true
+	return est, true
+}
+
+// EnergyJ returns the cumulative energy spent on fixes.
+func (g *GPSTracker) EnergyJ() float64 { return g.energyJ }

@@ -1,0 +1,159 @@
+// Package client is the typed HTTP client for the WiLocator server API,
+// used by the simulated phones (report upload) and rider-facing tools
+// (vehicle, arrival and traffic-map queries).
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"wilocator/internal/api"
+)
+
+// Client talks to one WiLocator server.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New creates a client for the server at baseURL (e.g.
+// "http://127.0.0.1:8080"). httpClient may be nil for a default with a 10 s
+// timeout.
+func New(baseURL string, httpClient *http.Client) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("client: invalid base URL %q", baseURL)
+	}
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &Client{base: u.String(), hc: httpClient}, nil
+}
+
+// PostReport uploads one phone scan report.
+func (c *Client) PostReport(ctx context.Context, rep api.Report) (api.IngestResponse, error) {
+	var out api.IngestResponse
+	err := c.do(ctx, http.MethodPost, api.PathReports, nil, rep, &out)
+	return out, err
+}
+
+// Vehicles lists live buses; routeID may be empty for all routes.
+func (c *Client) Vehicles(ctx context.Context, routeID string) ([]api.VehicleStatus, error) {
+	q := url.Values{}
+	if routeID != "" {
+		q.Set("route", routeID)
+	}
+	var out []api.VehicleStatus
+	err := c.do(ctx, http.MethodGet, api.PathVehicles, q, nil, &out)
+	return out, err
+}
+
+// Arrivals predicts arrivals of routeID's live buses at stop stopIdx.
+func (c *Client) Arrivals(ctx context.Context, routeID string, stopIdx int) ([]api.ArrivalEstimate, error) {
+	q := url.Values{}
+	q.Set("route", routeID)
+	q.Set("stop", strconv.Itoa(stopIdx))
+	var out []api.ArrivalEstimate
+	err := c.do(ctx, http.MethodGet, api.PathArrivals, q, nil, &out)
+	return out, err
+}
+
+// TrafficMap fetches the current traffic map; routeID may be empty.
+func (c *Client) TrafficMap(ctx context.Context, routeID string) (api.TrafficMapResponse, error) {
+	q := url.Values{}
+	if routeID != "" {
+		q.Set("route", routeID)
+	}
+	var out api.TrafficMapResponse
+	err := c.do(ctx, http.MethodGet, api.PathTrafficMap, q, nil, &out)
+	return out, err
+}
+
+// Routes fetches the route inventory.
+func (c *Client) Routes(ctx context.Context) (api.RoutesResponse, error) {
+	var out api.RoutesResponse
+	err := c.do(ctx, http.MethodGet, api.PathRoutes, nil, nil, &out)
+	return out, err
+}
+
+// Stops lists one route's stops in travel order.
+func (c *Client) Stops(ctx context.Context, routeID string) (api.StopsResponse, error) {
+	q := url.Values{}
+	q.Set("route", routeID)
+	var out api.StopsResponse
+	err := c.do(ctx, http.MethodGet, api.PathStops, q, nil, &out)
+	return out, err
+}
+
+// Anomalies lists detected traffic-anomaly sites; routeID may be empty.
+func (c *Client) Anomalies(ctx context.Context, routeID string) ([]api.AnomalyReport, error) {
+	q := url.Values{}
+	if routeID != "" {
+		q.Set("route", routeID)
+	}
+	var out []api.AnomalyReport
+	err := c.do(ctx, http.MethodGet, api.PathAnomalies, q, nil, &out)
+	return out, err
+}
+
+// Trajectory fetches one tracked bus's trajectory (<lat, long, t> tuples).
+func (c *Client) Trajectory(ctx context.Context, busID string) (api.TrajectoryResponse, error) {
+	q := url.Values{}
+	q.Set("bus", busID)
+	var out api.TrajectoryResponse
+	err := c.do(ctx, http.MethodGet, api.PathTrajectories, q, nil, &out)
+	return out, err
+}
+
+// Health checks server liveness.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, api.PathHealth, nil, nil, &map[string]any{})
+}
+
+func (c *Client) do(ctx context.Context, method, path string, q url.Values, in, out any) error {
+	u := c.base + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: marshal request: %w", err)
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, body)
+	if err != nil {
+		return fmt.Errorf("client: new request: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var apiErr api.Error
+		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Message != "" {
+			return fmt.Errorf("client: %s %s: %s (status %d)", method, path, apiErr.Message, resp.StatusCode)
+		}
+		return fmt.Errorf("client: %s %s: status %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode response: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"wilocator/internal/api"
+)
+
+// fakeServer returns a test server that answers every path with the given
+// status and body.
+func fakeServer(status int, body string) *httptest.Server {
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		_, _ = w.Write([]byte(body))
+	}))
+}
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		url    string
+		wantOK bool
+	}{
+		{"http://127.0.0.1:8080", true},
+		{"https://wilocator.example.com", true},
+		{"not a url", false},
+		{"", false},
+		{"/relative/only", false},
+	}
+	for _, tt := range tests {
+		_, err := New(tt.url, nil)
+		if (err == nil) != tt.wantOK {
+			t.Errorf("New(%q) err = %v, wantOK %v", tt.url, err, tt.wantOK)
+		}
+	}
+}
+
+func TestErrorEnvelopeSurfaced(t *testing.T) {
+	ts := fakeServer(http.StatusBadRequest, `{"error":"unknown route \"zz\""}`)
+	defer ts.Close()
+	c, err := New(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Vehicles(context.Background(), "zz")
+	if err == nil || !strings.Contains(err.Error(), "unknown route") {
+		t.Errorf("err = %v, want the server's message surfaced", err)
+	}
+	if !strings.Contains(err.Error(), "400") {
+		t.Errorf("err = %v, want the status code included", err)
+	}
+}
+
+func TestNonJSONErrorBody(t *testing.T) {
+	ts := fakeServer(http.StatusInternalServerError, "boom")
+	defer ts.Close()
+	c, err := New(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Health(context.Background()); err == nil || !strings.Contains(err.Error(), "500") {
+		t.Errorf("err = %v, want status-only error", err)
+	}
+}
+
+func TestMalformedSuccessBody(t *testing.T) {
+	ts := fakeServer(http.StatusOK, "{not json")
+	defer ts.Close()
+	c, err := New(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Routes(context.Background()); err == nil || !strings.Contains(err.Error(), "decode") {
+		t.Errorf("err = %v, want decode error", err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ts := fakeServer(http.StatusOK, "{}")
+	defer ts.Close()
+	c, err := New(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.TrafficMap(ctx, ""); err == nil {
+		t.Error("cancelled context did not error")
+	}
+}
+
+func TestQueryParametersEncoded(t *testing.T) {
+	var gotPath string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotPath = r.URL.String()
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte("[]"))
+	}))
+	defer ts.Close()
+	c, err := New(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Arrivals(context.Background(), "Rapid Line", 7); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(gotPath, "route=Rapid+Line") || !strings.Contains(gotPath, "stop=7") {
+		t.Errorf("request path = %q", gotPath)
+	}
+	if !strings.HasPrefix(gotPath, api.PathArrivals) {
+		t.Errorf("path = %q, want prefix %q", gotPath, api.PathArrivals)
+	}
+}
+
+func TestPostReportSendsJSON(t *testing.T) {
+	var gotCT string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotCT = r.Header.Get("Content-Type")
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"accepted":true,"located":false}`))
+	}))
+	defer ts.Close()
+	c, err := New(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.PostReport(context.Background(), api.Report{BusID: "b", RouteID: "r"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Accepted || resp.Located {
+		t.Errorf("resp = %+v", resp)
+	}
+	if gotCT != "application/json" {
+		t.Errorf("content type = %q", gotCT)
+	}
+}

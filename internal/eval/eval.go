@@ -1,0 +1,196 @@
+// Package eval provides the metric machinery shared by the experiment
+// harnesses: empirical CDFs (the paper reports positioning and prediction
+// errors as CDFs in Fig. 8), summary statistics, and error helpers.
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary describes a sample of non-negative errors.
+type Summary struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Median float64 `json:"median"`
+	P90    float64 `json:"p90"`
+	P95    float64 `json:"p95"`
+	Max    float64 `json:"max"`
+	Min    float64 `json:"min"`
+}
+
+// Summarize computes summary statistics. An empty sample yields a zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	c := NewCDF(xs)
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return Summary{
+		N:      len(xs),
+		Mean:   sum / float64(len(xs)),
+		Median: c.Quantile(0.5),
+		P90:    c.Quantile(0.9),
+		P95:    c.Quantile(0.95),
+		Max:    c.sorted[len(c.sorted)-1],
+		Min:    c.sorted[0],
+	}
+}
+
+// String renders the summary as a single table-ready line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f median=%.2f p90=%.2f p95=%.2f max=%.2f",
+		s.N, s.Mean, s.Median, s.P90, s.P95, s.Max)
+}
+
+// CDF is an empirical cumulative distribution function.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF copies and sorts the sample.
+func NewCDF(xs []float64) CDF {
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	return CDF{sorted: cp}
+}
+
+// N returns the sample size.
+func (c CDF) N() int { return len(c.sorted) }
+
+// At returns P(X <= x).
+func (c CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-th quantile, q in [0, 1], by nearest-rank.
+func (c CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	i := int(math.Ceil(q*float64(len(c.sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return c.sorted[i]
+}
+
+// Point is one (x, F(x)) pair of a rendered CDF series.
+type Point struct {
+	X float64 `json:"x"`
+	F float64 `json:"f"`
+}
+
+// Points samples the CDF at n evenly spaced quantiles — the series a plot of
+// Fig. 8 would draw.
+func (c CDF) Points(n int) []Point {
+	if n < 2 || len(c.sorted) == 0 {
+		return nil
+	}
+	out := make([]Point, n)
+	for i := 0; i < n; i++ {
+		q := float64(i+1) / float64(n)
+		out[i] = Point{X: c.Quantile(q), F: q}
+	}
+	return out
+}
+
+// MAE returns the mean absolute error between predictions and truths, which
+// must have equal length.
+func MAE(pred, truth []float64) (float64, error) {
+	if len(pred) != len(truth) {
+		return 0, fmt.Errorf("eval: length mismatch %d vs %d", len(pred), len(truth))
+	}
+	if len(pred) == 0 {
+		return 0, nil
+	}
+	var sum float64
+	for i := range pred {
+		sum += math.Abs(pred[i] - truth[i])
+	}
+	return sum / float64(len(pred)), nil
+}
+
+// AbsErrors returns |pred - truth| elementwise.
+func AbsErrors(pred, truth []float64) ([]float64, error) {
+	if len(pred) != len(truth) {
+		return nil, fmt.Errorf("eval: length mismatch %d vs %d", len(pred), len(truth))
+	}
+	out := make([]float64, len(pred))
+	for i := range pred {
+		out[i] = math.Abs(pred[i] - truth[i])
+	}
+	return out, nil
+}
+
+// Table renders rows of label -> summary as an aligned text table, the form
+// the benchmark harness prints for each figure.
+type Table struct {
+	Title  string
+	Header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given title and column header.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if i < len(widths) {
+				for p := len(c); p < widths[i]; p++ {
+					sb.WriteByte(' ')
+				}
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return sb.String()
+}

@@ -1,0 +1,146 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.N != 5 || s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Errorf("empty summary = %+v", z)
+	}
+	if !strings.Contains(s.String(), "median=3.00") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	tests := []struct {
+		x    float64
+		want float64
+	}{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {99, 1},
+	}
+	for _, tt := range tests {
+		if got := c.At(tt.x); got != tt.want {
+			t.Errorf("At(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+	if got := (CDF{}).At(1); got != 0 {
+		t.Errorf("empty CDF At = %v", got)
+	}
+}
+
+func TestCDFQuantile(t *testing.T) {
+	c := NewCDF([]float64{10, 20, 30, 40, 50})
+	tests := []struct {
+		q, want float64
+	}{
+		{0, 10}, {0.2, 10}, {0.5, 30}, {0.9, 50}, {1, 50}, {-1, 10}, {2, 50},
+	}
+	for _, tt := range tests {
+		if got := c.Quantile(tt.q); got != tt.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if got := (CDF{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v", got)
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		c := NewCDF(xs)
+		prev := -1.0
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := c.Quantile(q)
+			if q > 0 && v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	pts := c.Points(5)
+	if len(pts) != 5 {
+		t.Fatalf("points = %v", pts)
+	}
+	if pts[4].F != 1 || pts[4].X != 10 {
+		t.Errorf("last point = %+v", pts[4])
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X < pts[i-1].X || pts[i].F <= pts[i-1].F {
+			t.Fatal("points not monotone")
+		}
+	}
+	if got := c.Points(1); got != nil {
+		t.Error("n=1 points should be nil")
+	}
+	if got := (CDF{}).Points(5); got != nil {
+		t.Error("empty CDF points should be nil")
+	}
+}
+
+func TestMAEAndAbsErrors(t *testing.T) {
+	mae, err := MAE([]float64{1, 2, 3}, []float64{2, 2, 1})
+	if err != nil || mae != 1 {
+		t.Errorf("MAE = %v, err %v", mae, err)
+	}
+	if _, err := MAE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if mae, err := MAE(nil, nil); err != nil || mae != 0 {
+		t.Errorf("empty MAE = %v, %v", mae, err)
+	}
+	es, err := AbsErrors([]float64{5, 1}, []float64{3, 4})
+	if err != nil || es[0] != 2 || es[1] != 3 {
+		t.Errorf("AbsErrors = %v, %v", es, err)
+	}
+	if _, err := AbsErrors([]float64{1}, nil); err == nil {
+		t.Error("mismatch accepted")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Table I", "route", "stops", "km")
+	tab.AddRow("Rapid Line", "19", "13.7")
+	tab.AddRow("9", "65", "16.3")
+	out := tab.String()
+	if !strings.Contains(out, "Table I") || !strings.Contains(out, "Rapid Line") {
+		t.Errorf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Errorf("table has %d lines", len(lines))
+	}
+	// Columns align: "stops" column starts at the same offset in all rows.
+	idx := strings.Index(lines[1], "stops")
+	for _, ln := range lines[2:] {
+		if len(ln) < idx {
+			t.Errorf("row too short: %q", ln)
+		}
+	}
+}

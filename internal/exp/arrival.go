@@ -1,0 +1,253 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"wilocator/internal/eval"
+	"wilocator/internal/mobility"
+	"wilocator/internal/predict"
+	"wilocator/internal/traveltime"
+)
+
+// PredictionEvent is one arrival prediction compared against ground truth.
+type PredictionEvent struct {
+	RouteID    string
+	At         time.Time
+	StopsAhead int
+	// ErrSec maps engine name to |predicted - actual| in seconds.
+	ErrSec map[string]float64
+}
+
+// ArrivalConfig tunes the arrival-prediction experiment.
+type ArrivalConfig struct {
+	// TrainDays is the number of weekday service days of offline history
+	// (the paper collected 3 weeks ~ 15 weekdays). Default 10.
+	TrainDays int
+	// StopStride evaluates predictions from every k-th stop passing to
+	// bound the event count. Default 3.
+	StopStride int
+	// MaxHorizon caps the look-ahead in stops (the paper's Fig. 8(c) shows
+	// the first 19). Default 19.
+	MaxHorizon int
+	// RushOnly keeps only events fired during weekday rush hours, the
+	// paper's focus ("we are most concerned [with] rush hours"). Default
+	// true; set RushOnlyOff to disable.
+	RushOnlyOff bool
+}
+
+func (c ArrivalConfig) withDefaults() ArrivalConfig {
+	if c.TrainDays <= 0 {
+		c.TrainDays = 10
+	}
+	if c.StopStride <= 0 {
+		c.StopStride = 3
+	}
+	if c.MaxHorizon <= 0 {
+		c.MaxHorizon = 19
+	}
+	return c
+}
+
+func isRush(t time.Time) bool {
+	h := t.Hour()
+	return (h >= mobility.MorningRushStart && h < mobility.MorningRushEnd) ||
+		(h >= mobility.AfternoonRushStart && h < mobility.AfternoonRushEnd)
+}
+
+// ArrivalExperiment trains a store offline, then replays one additional
+// evaluation day *chronologically*: segment traversals stream into the store
+// in completion order, and every time a bus passes a stop the engines
+// predict its arrival at downstream stops using only the data available at
+// that instant. The returned events carry per-engine absolute errors.
+func ArrivalExperiment(sc *Scenario, cfg ArrivalConfig) ([]PredictionEvent, error) {
+	cfg = cfg.withDefaults()
+	store, err := TrainStore(sc, cfg.TrainDays, traveltime.PaperPlan())
+	if err != nil {
+		return nil, err
+	}
+
+	wil, err := predict.NewWiLocator(sc.Net, store, predict.Config{})
+	if err != nil {
+		return nil, err
+	}
+	agency, err := predict.NewAgency(sc.Net, store, predict.Config{})
+	if err != nil {
+		return nil, err
+	}
+	sameRoute, err := predict.NewWiLocator(sc.Net, store, predict.Config{SameRouteOnly: true})
+	if err != nil {
+		return nil, err
+	}
+	engines := []*predict.Engine{wil, agency, sameRoute}
+
+	evalDay := WeekdayServiceDays(cfg.TrainDays + 1)[cfg.TrainDays]
+	trips, recs, err := FleetDay(sc, evalDay, nil, 999)
+	if err != nil {
+		return nil, err
+	}
+
+	// Build the prediction events: bus of trip passes stop k at its true
+	// time; predict arrival at stops k+1 .. k+MaxHorizon.
+	type rawEvent struct {
+		trip *mobility.Trip
+		stop int
+		at   time.Time
+	}
+	var events []rawEvent
+	for _, trip := range trips {
+		route, _ := sc.Net.Route(trip.RouteID())
+		for k := 0; k < route.NumStops()-1; k += cfg.StopStride {
+			at := trip.TimeAtArc(route.StopArc(k))
+			if !cfg.RushOnlyOff && !isRush(at) {
+				continue
+			}
+			events = append(events, rawEvent{trip: trip, stop: k, at: at})
+		}
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].at.Before(events[j].at) })
+
+	var out []PredictionEvent
+	ri := 0
+	for _, ev := range events {
+		// Stream in every traversal the server would have seen by now.
+		for ri < len(recs) && !recs[ri].Exit.After(ev.at) {
+			r := recs[ri]
+			if err := store.Add(traveltime.Record{Seg: r.Seg, RouteID: r.RouteID, Enter: r.Enter, Exit: r.Exit}); err != nil {
+				return nil, err
+			}
+			ri++
+		}
+		route, _ := sc.Net.Route(ev.trip.RouteID())
+		fromArc := route.StopArc(ev.stop)
+		for m := ev.stop + 1; m <= ev.stop+cfg.MaxHorizon && m < route.NumStops(); m++ {
+			truth := ev.trip.TimeAtArc(route.StopArc(m))
+			pe := PredictionEvent{
+				RouteID:    ev.trip.RouteID(),
+				At:         ev.at,
+				StopsAhead: m - ev.stop,
+				ErrSec:     make(map[string]float64, len(engines)),
+			}
+			for _, eng := range engines {
+				eta, err := eng.PredictArrival(ev.trip.RouteID(), fromArc, ev.at, m)
+				if err != nil {
+					return nil, fmt.Errorf("exp: %s predict: %w", eng.Name(), err)
+				}
+				pe.ErrSec[eng.Name()] = eta.Sub(truth).Abs().Seconds()
+			}
+			out = append(out, pe)
+		}
+	}
+	return out, nil
+}
+
+// Fig8bResult reproduces Fig. 8(b): CDFs of arrival-time prediction error
+// for WiLocator vs the Transit Agency baseline, plus the cross-route
+// ablation (A2).
+type Fig8bResult struct {
+	Summaries map[string]eval.Summary
+	CDFs      map[string]eval.CDF
+}
+
+// String renders the comparison.
+func (r Fig8bResult) String() string {
+	t := eval.NewTable("Fig. 8(b): arrival-time prediction error, rush hours (seconds)",
+		"engine", "n", "median", "p90", "max")
+	names := make([]string, 0, len(r.Summaries))
+	for name := range r.Summaries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := r.Summaries[name]
+		t.AddRow(name, fmt.Sprintf("%d", s.N),
+			fmt.Sprintf("%.0f", s.Median), fmt.Sprintf("%.0f", s.P90), fmt.Sprintf("%.0f", s.Max))
+	}
+	return t.String()
+}
+
+// Fig8bFromEvents folds prediction events into the Fig. 8(b) comparison.
+func Fig8bFromEvents(events []PredictionEvent) Fig8bResult {
+	byEngine := make(map[string][]float64)
+	for _, ev := range events {
+		for name, e := range ev.ErrSec {
+			byEngine[name] = append(byEngine[name], e)
+		}
+	}
+	out := Fig8bResult{
+		Summaries: make(map[string]eval.Summary, len(byEngine)),
+		CDFs:      make(map[string]eval.CDF, len(byEngine)),
+	}
+	for name, errs := range byEngine {
+		out.Summaries[name] = eval.Summarize(errs)
+		out.CDFs[name] = eval.NewCDF(errs)
+	}
+	return out
+}
+
+// Fig8cResult reproduces Fig. 8(c): mean WiLocator prediction error against
+// the number of stops ahead, per route.
+type Fig8cResult struct {
+	// MeanErr[routeID][stopsAhead-1] is the mean error in seconds;
+	// NaN-free: horizons with no samples are zero.
+	MeanErr map[string][]float64
+	Horizon int
+}
+
+// String renders the per-route series.
+func (r Fig8cResult) String() string {
+	t := eval.NewTable("Fig. 8(c): mean prediction error vs number of bus stops (seconds, rush hours)",
+		"route", "1 stop", "5 stops", "10 stops", fmt.Sprintf("%d stops", r.Horizon))
+	routes := make([]string, 0, len(r.MeanErr))
+	for id := range r.MeanErr {
+		routes = append(routes, id)
+	}
+	sort.Strings(routes)
+	pick := func(series []float64, k int) string {
+		if k-1 < len(series) && series[k-1] > 0 {
+			return fmt.Sprintf("%.0f", series[k-1])
+		}
+		return "-"
+	}
+	for _, id := range routes {
+		s := r.MeanErr[id]
+		t.AddRow(id, pick(s, 1), pick(s, 5), pick(s, 10), pick(s, r.Horizon))
+	}
+	return t.String()
+}
+
+// Fig8cFromEvents folds WiLocator events into the error-vs-stops series.
+func Fig8cFromEvents(events []PredictionEvent, engine string, horizon int) Fig8cResult {
+	if horizon <= 0 {
+		horizon = 19
+	}
+	sums := make(map[string][]float64)
+	counts := make(map[string][]int)
+	for _, ev := range events {
+		if ev.StopsAhead < 1 || ev.StopsAhead > horizon {
+			continue
+		}
+		e, ok := ev.ErrSec[engine]
+		if !ok {
+			continue
+		}
+		if sums[ev.RouteID] == nil {
+			sums[ev.RouteID] = make([]float64, horizon)
+			counts[ev.RouteID] = make([]int, horizon)
+		}
+		sums[ev.RouteID][ev.StopsAhead-1] += e
+		counts[ev.RouteID][ev.StopsAhead-1]++
+	}
+	out := Fig8cResult{MeanErr: make(map[string][]float64, len(sums)), Horizon: horizon}
+	for id, s := range sums {
+		means := make([]float64, horizon)
+		for i := range s {
+			if counts[id][i] > 0 {
+				means[i] = s[i] / float64(counts[id][i])
+			}
+		}
+		out.MeanErr[id] = means
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"wilocator/internal/eval"
+	"wilocator/internal/geo"
+	"wilocator/internal/locate"
+	"wilocator/internal/rf"
+	"wilocator/internal/roadnet"
+	"wilocator/internal/sensing"
+	"wilocator/internal/svd"
+	"wilocator/internal/wifi"
+	"wilocator/internal/xrand"
+)
+
+// CampusRoadLength is the length of the Fig. 10 one-way road segment.
+const CampusRoadLength = 260.0
+
+// campusAPs places the 11 numbered APs of Fig. 10 along the campus road.
+// AP4/AP5/AP1/AP2 cluster near the west end (location C's neighbourhood),
+// AP9/AP10/AP11 near the east end (A and B), matching the rank lists of
+// Table II.
+func campusAPs() []*wifi.AP {
+	mk := func(n int, x, y, ref, exp float64) *wifi.AP {
+		return &wifi.AP{
+			BSSID: wifi.BSSID(fmt.Sprintf("AP%d", n)), SSID: fmt.Sprintf("campus-%d", n),
+			Pos: geo.Pt(x, y), RefRSS: ref, PathLossExp: exp,
+		}
+	}
+	return []*wifi.AP{
+		mk(1, 18, 22, -30, 2.9),
+		mk(2, 8, -28, -30, 2.9),
+		mk(3, 5, 55, -32, 3.1),
+		mk(4, 45, 8, -28, 2.8),
+		mk(5, 62, -18, -30, 2.8),
+		mk(6, 95, 38, -32, 3.0),
+		mk(7, 115, -42, -32, 3.0),
+		mk(8, 140, 33, -31, 3.0),
+		mk(9, 163, -12, -29, 2.9),
+		mk(10, 196, 11, -29, 2.8),
+		mk(11, 232, -31, -30, 2.9),
+	}
+}
+
+// CampusProbe is one probed location of Fig. 10 / Table II.
+type CampusProbe struct {
+	Name string
+	// TrueArc is the ground-truth position along the road.
+	TrueArc float64
+	// Ranked is the fused scan rendered as the Table II row:
+	// "AP10(-70), AP9(-71), ...".
+	Ranked string
+	// EstArc and ErrMeters are the SVD positioning result.
+	EstArc    float64
+	ErrMeters float64
+}
+
+// TableIIResult reproduces Table II and the Fig. 10 positioning experiment.
+type TableIIResult struct {
+	Probes  []CampusProbe
+	MeanErr float64
+	// NumAPs and NumTiles describe the constructed campus SVD.
+	NumAPs, NumTiles int
+}
+
+// String renders the table.
+func (r TableIIResult) String() string {
+	t := eval.NewTable("Table II / Fig. 10: campus road, measured RSS and positioning error",
+		"loc", "surrounding APs (RSS dBm)", "err(m)")
+	for _, p := range r.Probes {
+		t.AddRow(p.Name, p.Ranked, fmt.Sprintf("%.1f", p.ErrMeters))
+	}
+	return t.String() + fmt.Sprintf("average error: %.1f m (paper: 2 m)\n", r.MeanErr)
+}
+
+// CampusExperiment builds the Fig. 10 campus scenario (a 260 m one-way road
+// with 11 hand-placed APs), probes locations A, B and C with fused noisy
+// scans, and positions them with a second-order SVD. The paper reports a 2 m
+// error at each probe.
+func CampusExperiment(seed uint64) (TableIIResult, error) {
+	net, err := roadnet.BuildCampus(CampusRoadLength)
+	if err != nil {
+		return TableIIResult{}, err
+	}
+	dep, err := wifi.NewDeployment(campusAPs())
+	if err != nil {
+		return TableIIResult{}, err
+	}
+	dia, err := svd.Build(net, dep, svd.Config{Order: 3, GridStep: 2, BandWidth: 30})
+	if err != nil {
+		return TableIIResult{}, err
+	}
+	pos, err := locate.NewPositioner(dia, 3)
+	if err != nil {
+		return TableIIResult{}, err
+	}
+	route := net.Routes()[0]
+	phones, err := sensing.NewRiderPhones("campus-bus", 5, dep,
+		sensing.PhoneConfig{Model: rf.LogDistance{}, ReportLoss: -1},
+		xrand.New(seed^0xCA11AB1E))
+	if err != nil {
+		return TableIIResult{}, err
+	}
+
+	at := Epoch.Add(13 * time.Hour)
+	probes := []struct {
+		name string
+		arc  float64
+	}{{"A", 200}, {"B", 155}, {"C", 50}}
+
+	out := TableIIResult{NumAPs: dep.NumAPs(), NumTiles: dia.NumTiles()}
+	var total float64
+	for _, pr := range probes {
+		p := route.PointAt(pr.arc)
+		var scans []wifi.Scan
+		for _, ph := range phones {
+			if s, ok := ph.ScanAt(p, at); ok {
+				scans = append(scans, s)
+			}
+		}
+		fused := sensing.Fuse(scans)
+		est, err := pos.Locate("campus", fused, nil)
+		if err != nil {
+			return TableIIResult{}, fmt.Errorf("exp: campus probe %s: %w", pr.name, err)
+		}
+		e := math.Abs(est.Arc - pr.arc)
+		total += e
+		out.Probes = append(out.Probes, CampusProbe{
+			Name:      pr.name,
+			TrueArc:   pr.arc,
+			Ranked:    renderRanked(fused),
+			EstArc:    est.Arc,
+			ErrMeters: e,
+		})
+	}
+	out.MeanErr = total / float64(len(probes))
+	return out, nil
+}
+
+// renderRanked formats a scan like Table II: strongest first, RSS in dBm.
+func renderRanked(s wifi.Scan) string {
+	rssOf := make(map[wifi.BSSID]int, len(s.Readings))
+	for _, r := range s.Readings {
+		rssOf[r.BSSID] = r.RSSI
+	}
+	var parts []string
+	for _, b := range s.RankOrder() {
+		parts = append(parts, fmt.Sprintf("%s(%d)", b, rssOf[b]))
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,69 @@
+package exp
+
+import (
+	"testing"
+)
+
+// TestExperimentsDeterministic verifies the repo-wide reproducibility claim:
+// the same seed yields bit-identical experiment results, and different seeds
+// genuinely differ.
+func TestExperimentsDeterministic(t *testing.T) {
+	runCampus := func(seed uint64) TableIIResult {
+		res, err := CampusExperiment(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := runCampus(5), runCampus(5)
+	if a.MeanErr != b.MeanErr {
+		t.Errorf("campus mean differs across runs: %v vs %v", a.MeanErr, b.MeanErr)
+	}
+	for i := range a.Probes {
+		if a.Probes[i] != b.Probes[i] {
+			t.Errorf("probe %d differs: %+v vs %+v", i, a.Probes[i], b.Probes[i])
+		}
+	}
+	if c := runCampus(6); c.MeanErr == a.MeanErr && c.Probes[0].Ranked == a.Probes[0].Ranked {
+		t.Error("different seeds produced identical campus results")
+	}
+
+	runSweep := func(seed uint64) Fig9bResult {
+		res, err := Fig9bErrorVsOrder(seed, 2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	x, y := runSweep(9), runSweep(9)
+	for i := range x.Points {
+		if x.Points[i] != y.Points[i] {
+			t.Errorf("fig9b point %d differs: %+v vs %+v", i, x.Points[i], y.Points[i])
+		}
+	}
+}
+
+// TestTrackTripDeterministic: the full crowd-sensing + tracking pipeline is
+// reproducible fix-for-fix.
+func TestTrackTripDeterministic(t *testing.T) {
+	run := func() []float64 {
+		sc, err := NewCampus(800, ScenarioSpec{Seed: 77})
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs, _, err := TrackTrip(sc, "campus", "bus", 1, WeekdayServiceDays(1)[0].Add(13*3600e9), sc.Dia.Order())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return errs
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("fix counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fix %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

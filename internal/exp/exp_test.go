@@ -1,0 +1,382 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"wilocator/internal/svd"
+	"wilocator/internal/traveltime"
+)
+
+func TestWeekdayServiceDays(t *testing.T) {
+	days := WeekdayServiceDays(10)
+	if len(days) != 10 {
+		t.Fatalf("got %d days", len(days))
+	}
+	for _, d := range days {
+		if wd := d.Weekday(); wd == time.Saturday || wd == time.Sunday {
+			t.Errorf("weekend day %v in service days", d)
+		}
+	}
+	if !days[0].Equal(Epoch) {
+		t.Errorf("first day = %v, want Epoch (a Monday)", days[0])
+	}
+}
+
+func TestScenarioSpecDefaults(t *testing.T) {
+	sc, err := NewCampus(500, ScenarioSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Spec.Seed == 0 || sc.Spec.SVDOrder != 2 || sc.Spec.Riders != 5 {
+		t.Errorf("defaults not applied: %+v", sc.Spec)
+	}
+	if sc.Dia.Metric() != svd.MetricRSS {
+		t.Errorf("metric = %v", sc.Dia.Metric())
+	}
+}
+
+func TestTripTraversalsContiguous(t *testing.T) {
+	sc, err := NewVancouver(ScenarioSpec{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trip, err := sc.DriveTrip("9", Epoch.Add(13*time.Hour), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := TripTraversals(sc.Net, trip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	route, _ := sc.Net.Route("9")
+	if len(recs) != route.NumSegments() {
+		t.Fatalf("got %d traversals, want %d", len(recs), route.NumSegments())
+	}
+	if !recs[0].Enter.Equal(trip.Start()) {
+		t.Error("first traversal does not start with the trip")
+	}
+	for i, r := range recs {
+		if !r.Exit.After(r.Enter) {
+			t.Fatalf("traversal %d has non-positive duration", i)
+		}
+		if i > 0 && !r.Enter.Equal(recs[i-1].Exit) {
+			t.Fatalf("traversal %d not contiguous", i)
+		}
+	}
+	if !recs[len(recs)-1].Exit.Equal(trip.End()) {
+		t.Error("last traversal does not end with the trip")
+	}
+}
+
+func TestTrainStoreAccumulates(t *testing.T) {
+	sc, err := NewVancouver(ScenarioSpec{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := TrainStore(sc, 1, traveltime.PaperPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One weekday of 476 trips over ~80 segments each.
+	if n := store.NumRecords(); n < 10000 {
+		t.Errorf("only %d records after one training day", n)
+	}
+}
+
+// TestCampusTableII asserts the Table II / Fig. 10 reproduction: rank-list
+// leaders match the paper (AP10 at A, AP9 at B, AP4 at C) and the average
+// positioning error is metre-level.
+func TestCampusTableII(t *testing.T) {
+	res, err := CampusExperiment(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Probes) != 3 {
+		t.Fatalf("probes = %+v", res.Probes)
+	}
+	wantLeader := map[string]string{"A": "AP10", "B": "AP9", "C": "AP4"}
+	for _, p := range res.Probes {
+		if leader := strings.SplitN(p.Ranked, "(", 2)[0]; leader != wantLeader[p.Name] {
+			t.Errorf("probe %s leader = %s, want %s", p.Name, leader, wantLeader[p.Name])
+		}
+		if p.ErrMeters > 10 {
+			t.Errorf("probe %s error %.1f m, want metre-level", p.Name, p.ErrMeters)
+		}
+	}
+	if res.MeanErr > 6 {
+		t.Errorf("mean campus error %.1f m, paper reports 2 m", res.MeanErr)
+	}
+	if res.NumAPs != 11 {
+		t.Errorf("campus has %d APs, want 11", res.NumAPs)
+	}
+	if !strings.Contains(res.String(), "average error") {
+		t.Error("String() missing summary line")
+	}
+}
+
+// TestFig8aShape asserts metre-level median positioning error on all four
+// routes (paper: median < 3 m).
+func TestFig8aShape(t *testing.T) {
+	res, err := Fig8aPositioningCDF(ScenarioSpec{Seed: 11}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Summary.N < 100 {
+			t.Errorf("%s: only %d fixes", row.Route, row.Summary.N)
+		}
+		if row.Summary.Median > 10 {
+			t.Errorf("%s: median %.1f m, want metre-level", row.Route, row.Summary.Median)
+		}
+		if row.Summary.P90 > 30 {
+			t.Errorf("%s: p90 %.1f m", row.Route, row.Summary.P90)
+		}
+	}
+	if !strings.Contains(res.String(), "Fig. 8(a)") {
+		t.Error("String() missing title")
+	}
+}
+
+// TestFig9aShape asserts the error decreases as AP density grows.
+func TestFig9aShape(t *testing.T) {
+	res, err := Fig9aErrorVsAPs(13, []float64{80, 35, 20}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %+v", res.Points)
+	}
+	if res.Points[0].NumAPs >= res.Points[2].NumAPs {
+		t.Error("AP count not increasing across sweep")
+	}
+	if res.Points[2].MeanErr >= res.Points[0].MeanErr {
+		t.Errorf("error did not decrease with APs: %.2f -> %.2f",
+			res.Points[0].MeanErr, res.Points[2].MeanErr)
+	}
+}
+
+// TestFig9bShape asserts the order-1 -> order-2 gain dominates and higher
+// orders change little (the paper's footnote: order 2 is enough).
+func TestFig9bShape(t *testing.T) {
+	res, err := Fig9bErrorVsOrder(17, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %+v", res.Points)
+	}
+	e1, e2, e3 := res.Points[0].MeanErr, res.Points[1].MeanErr, res.Points[2].MeanErr
+	if e2 >= e1 {
+		t.Errorf("order 2 (%.2f) not better than order 1 (%.2f)", e2, e1)
+	}
+	if gain12, gain23 := e1-e2, e2-e3; gain23 > gain12 {
+		t.Errorf("order 3 gain (%.2f) exceeds order 2 gain (%.2f)", gain23, gain12)
+	}
+}
+
+// TestAblationSVDvsVD asserts rank-based SVD positioning beats the
+// conventional Euclidean VD when AP parameters are heterogeneous.
+func TestAblationSVDvsVD(t *testing.T) {
+	res, err := AblationSVDvsVD(19, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SVD.Mean >= res.VD.Mean {
+		t.Errorf("SVD mean %.2f not better than VD mean %.2f", res.SVD.Mean, res.VD.Mean)
+	}
+}
+
+// TestAblationBaselines asserts the paper's positioning-system ordering:
+// WiLocator metres, GPS-in-canyons tens of metres, Cell-ID hundreds.
+func TestAblationBaselines(t *testing.T) {
+	res, err := AblationBaselines(23, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]BaselineRow, len(res.Rows))
+	for _, r := range res.Rows {
+		byName[r.System] = r
+	}
+	wifi := byName["WiLocator (SVD)"]
+	gps := byName["GPS (urban canyon)"]
+	cell := byName["Cell-ID matching"]
+	if wifi.Summary.Median >= gps.Summary.Median {
+		t.Errorf("WiLocator median %.1f not better than GPS %.1f", wifi.Summary.Median, gps.Summary.Median)
+	}
+	if gps.Summary.Median >= cell.Summary.Median {
+		t.Errorf("GPS median %.1f not better than Cell-ID %.1f", gps.Summary.Median, cell.Summary.Median)
+	}
+	if gps.EnergyJ <= wifi.EnergyJ {
+		t.Errorf("GPS energy %.1f J not above WiFi %.1f J", gps.EnergyJ, wifi.EnergyJ)
+	}
+}
+
+// TestAblationAPDynamics asserts graceful degradation under AP failures.
+func TestAblationAPDynamics(t *testing.T) {
+	res, err := AblationAPDynamics(29, []float64{0, 0.5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %+v", res.Points)
+	}
+	healthy, degraded := res.Points[0], res.Points[1]
+	if degraded.NumActive >= healthy.NumActive {
+		t.Error("deactivation did not reduce active APs")
+	}
+	if degraded.MeanErr < healthy.MeanErr {
+		t.Errorf("error improved after killing APs: %.2f -> %.2f", healthy.MeanErr, degraded.MeanErr)
+	}
+	// Graceful: even with half the APs gone the error stays road-level.
+	if degraded.MeanErr > 40 {
+		t.Errorf("degraded error %.2f m, want graceful (< 40 m)", degraded.MeanErr)
+	}
+}
+
+// TestArrivalShapes runs the chronological evaluation day and asserts the
+// Fig. 8(b)/(c) shapes and the A2 ablation ordering.
+func TestArrivalShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("arrival experiment takes ~1s of simulation")
+	}
+	sc, err := NewVancouver(ScenarioSpec{Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := ArrivalExperiment(sc, ArrivalConfig{TrainDays: 4, StopStride: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 1000 {
+		t.Fatalf("only %d events", len(events))
+	}
+
+	f8b := Fig8bFromEvents(events)
+	wil := f8b.Summaries["wilocator"]
+	agency := f8b.Summaries["agency"]
+	same := f8b.Summaries["wilocator-sameroute"]
+	if wil.N == 0 || agency.N == 0 || same.N == 0 {
+		t.Fatalf("missing engines: %+v", f8b.Summaries)
+	}
+	// Fig. 8(b): WiLocator comparable to or better than the agency.
+	if wil.Median > agency.Median*1.05 {
+		t.Errorf("wilocator median %.0f s worse than agency %.0f s", wil.Median, agency.Median)
+	}
+	// A2: cross-route sharing helps over same-route-only.
+	if wil.Mean > same.Mean*1.02 {
+		t.Errorf("cross-route mean %.1f s worse than same-route %.1f s", wil.Mean, same.Mean)
+	}
+
+	// Fig. 8(c): error grows with the number of stops ahead.
+	f8c := Fig8cFromEvents(events, "wilocator", 19)
+	for route, series := range f8c.MeanErr {
+		if series[0] <= 0 {
+			continue
+		}
+		if series[9] > 0 && series[9] <= series[0] {
+			t.Errorf("%s: error at 10 stops (%.0f) not above 1 stop (%.0f)", route, series[9], series[0])
+		}
+	}
+	if !strings.Contains(f8b.String(), "wilocator") || !strings.Contains(f8c.String(), "stops") {
+		t.Error("render missing content")
+	}
+}
+
+// TestFig11Shapes asserts the traffic-map comparison: full WiLocator
+// coverage, partial agency coverage, incident flagged, anomaly localised.
+func TestFig11Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("traffic-map experiment takes ~1s of simulation")
+	}
+	res, err := Fig11TrafficMap(ScenarioSpec{Seed: 37}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WiLocatorCoverage != 1 {
+		t.Errorf("WiLocator coverage = %v, want 1", res.WiLocatorCoverage)
+	}
+	if res.AgencyCoverage >= 1 {
+		t.Errorf("agency coverage = %v, want < 1 (unconfirmed segments)", res.AgencyCoverage)
+	}
+	if !res.IncidentFlagged {
+		t.Errorf("incident not flagged (z = %.2f)", res.IncidentZ)
+	}
+	if !res.AnomalyNearIncident {
+		t.Errorf("no trajectory anomaly near the incident: %+v", res.Anomalies)
+	}
+	if !strings.Contains(res.String(), "?") {
+		t.Error("agency strip has no unconfirmed glyphs in render")
+	}
+}
+
+// TestSeasonalShapes asserts the seasonal index discovers the rush hours and
+// groups the day into the paper's slots.
+func TestSeasonalShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seasonal experiment takes ~0.5s of simulation")
+	}
+	res, err := SeasonalIndexExperiment(ScenarioSpec{Seed: 41}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RushHours) == 0 {
+		t.Fatal("no rush hours detected")
+	}
+	for _, h := range res.RushHours {
+		inMorning := h >= 8 && h < 10
+		inEvening := h >= 18 && h < 19
+		if !inMorning && !inEvening {
+			t.Errorf("hour %d flagged as rush", h)
+		}
+	}
+	// The grouped plan recovers the paper's slot boundaries at 10, 18, 19
+	// (8 may merge with the service start depending on the transition).
+	bounds := make(map[int]bool)
+	for _, b := range res.Plan.Bounds() {
+		bounds[b] = true
+	}
+	for _, want := range []int{10, 18, 19} {
+		if !bounds[want] {
+			t.Errorf("slot boundary at hour %d missing from plan %v", want, res.Plan)
+		}
+	}
+	if !strings.Contains(res.String(), "rush hours") {
+		t.Error("render missing summary")
+	}
+}
+
+// TestArrivalAllDayEvents exercises the RushOnlyOff path: all-day evaluation
+// produces strictly more events than the rush-only default.
+func TestArrivalAllDayEvents(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two arrival experiments")
+	}
+	sc, err := NewVancouver(ScenarioSpec{Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rush, err := ArrivalExperiment(sc, ArrivalConfig{TrainDays: 2, StopStride: 12, MaxHorizon: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allDay, err := ArrivalExperiment(sc, ArrivalConfig{TrainDays: 2, StopStride: 12, MaxHorizon: 4, RushOnlyOff: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(allDay) <= len(rush) {
+		t.Errorf("all-day events (%d) not above rush-only (%d)", len(allDay), len(rush))
+	}
+	// Folding helpers tolerate horizons beyond the data and unknown engines.
+	f8c := Fig8cFromEvents(allDay, "no-such-engine", 4)
+	if len(f8c.MeanErr) != 0 {
+		t.Errorf("unknown engine produced series: %+v", f8c.MeanErr)
+	}
+	if got := Fig8bFromEvents(nil); len(got.Summaries) != 0 {
+		t.Errorf("empty events produced summaries: %+v", got.Summaries)
+	}
+}

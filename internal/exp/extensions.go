@@ -1,0 +1,266 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"wilocator/internal/baseline"
+	"wilocator/internal/eval"
+	"wilocator/internal/hybrid"
+	"wilocator/internal/locate"
+	"wilocator/internal/sensing"
+	"wilocator/internal/svd"
+	"wilocator/internal/wifi"
+)
+
+// HybridResult is extension X1: the Section VII WiFi/GPS hand-off, measured
+// on a corridor with a WiFi coverage gap.
+type HybridResult struct {
+	// WiFiOnly, GPSOnly and Hybrid summarise the positioning error of each
+	// policy over the same trips.
+	WiFiOnly, GPSOnly, Hybrid eval.Summary
+	// WiFiOnlyCoverage is the fraction of scan cycles the WiFi-only policy
+	// produced a fix (it goes blind inside the gap).
+	WiFiOnlyCoverage, HybridCoverage float64
+	// GPSOnlyEnergyJ and HybridGPSEnergyJ contrast the GPS power budgets.
+	GPSOnlyEnergyJ, HybridGPSEnergyJ float64
+}
+
+// String renders the comparison.
+func (r HybridResult) String() string {
+	t := eval.NewTable("Extension X1: WiFi/GPS hand-off across a coverage gap (Section VII)",
+		"policy", "fix coverage", "median(m)", "p90(m)", "gps energy(J)")
+	t.AddRow("WiFi only", fmt.Sprintf("%.0f%%", r.WiFiOnlyCoverage*100),
+		fmt.Sprintf("%.1f", r.WiFiOnly.Median), fmt.Sprintf("%.1f", r.WiFiOnly.P90), "0.0")
+	t.AddRow("GPS only", "100%",
+		fmt.Sprintf("%.1f", r.GPSOnly.Median), fmt.Sprintf("%.1f", r.GPSOnly.P90),
+		fmt.Sprintf("%.1f", r.GPSOnlyEnergyJ))
+	t.AddRow("Hybrid", fmt.Sprintf("%.0f%%", r.HybridCoverage*100),
+		fmt.Sprintf("%.1f", r.Hybrid.Median), fmt.Sprintf("%.1f", r.Hybrid.P90),
+		fmt.Sprintf("%.1f", r.HybridGPSEnergyJ))
+	return t.String()
+}
+
+// ExtensionHybrid measures WiFi-only, GPS-only and hybrid tracking on a 3 km
+// corridor whose middle kilometre has no working APs.
+func ExtensionHybrid(seed uint64, trips int) (HybridResult, error) {
+	sc, err := NewCampus(3000, ScenarioSpec{Seed: seed})
+	if err != nil {
+		return HybridResult{}, err
+	}
+	route := sc.Net.Routes()[0]
+	for _, ap := range sc.Dep.APs() {
+		if s, _ := route.Project(ap.Pos); s > 1000 && s < 2000 {
+			if err := sc.Dep.Deactivate(ap.BSSID); err != nil {
+				return HybridResult{}, err
+			}
+		}
+	}
+	dia, err := svd.Build(sc.Net, sc.Dep, svd.Config{Order: sc.Spec.SVDOrder})
+	if err != nil {
+		return HybridResult{}, err
+	}
+	sc.Dia = dia
+
+	var res HybridResult
+	var wifiErrs, gpsErrs, hybridErrs []float64
+	cycles, wifiFixes, hybridFixes := 0, 0, 0
+	day := WeekdayServiceDays(1)[0].Add(13 * time.Hour)
+	for trial := 0; trial < trips; trial++ {
+		trip, err := sc.DriveTrip("campus", day, nil, 3000+trial)
+		if err != nil {
+			return HybridResult{}, err
+		}
+		phones, err := sc.Phones(fmt.Sprintf("hy-%d", trial))
+		if err != nil {
+			return HybridResult{}, err
+		}
+
+		pos, err := locate.NewPositioner(dia, dia.Order())
+		if err != nil {
+			return HybridResult{}, err
+		}
+		wifiTr, err := locate.NewTracker(pos, "campus", locate.TrackerConfig{})
+		if err != nil {
+			return HybridResult{}, err
+		}
+		pos2, err := locate.NewPositioner(dia, dia.Order())
+		if err != nil {
+			return HybridResult{}, err
+		}
+		hyWifi, err := locate.NewTracker(pos2, "campus", locate.TrackerConfig{})
+		if err != nil {
+			return HybridResult{}, err
+		}
+		hyGPS, err := baseline.NewGPSTracker(route, baseline.GPSConfig{Seed: seed}, sc.Rand(fmt.Sprintf("hygps-%d", trial)))
+		if err != nil {
+			return HybridResult{}, err
+		}
+		hy, err := hybrid.New(hyWifi, hyGPS, hybrid.Config{})
+		if err != nil {
+			return HybridResult{}, err
+		}
+		gpsOnly, err := baseline.NewGPSTracker(route, baseline.GPSConfig{Seed: seed}, sc.Rand(fmt.Sprintf("gpsonly-%d", trial)))
+		if err != nil {
+			return HybridResult{}, err
+		}
+
+		for at := trip.Start(); !trip.Done(at); at = at.Add(sensing.DefaultScanPeriod) {
+			trueArc := trip.ArcAt(at)
+			p := route.PointAt(trueArc)
+			var scans []wifi.Scan
+			for _, ph := range phones {
+				if s, ok := ph.ScanAt(p, at); ok {
+					scans = append(scans, s)
+				}
+			}
+			fused := sensing.Fuse(scans)
+			cycles++
+
+			if est, _, err := wifiTr.Observe(fused); err == nil {
+				wifiFixes++
+				wifiErrs = append(wifiErrs, math.Abs(est.Arc-trueArc))
+			}
+			if fix, ok := hy.Observe(fused, trueArc, at); ok {
+				hybridFixes++
+				hybridErrs = append(hybridErrs, math.Abs(fix.Arc-trueArc))
+			}
+			if arc, ok := gpsOnly.Observe(trueArc, at); ok {
+				gpsErrs = append(gpsErrs, math.Abs(arc-trueArc))
+			}
+		}
+		_, hyJ := hy.EnergyJ()
+		res.HybridGPSEnergyJ += hyJ
+		res.GPSOnlyEnergyJ += gpsOnly.EnergyJ()
+	}
+	res.WiFiOnly = eval.Summarize(wifiErrs)
+	res.GPSOnly = eval.Summarize(gpsErrs)
+	res.Hybrid = eval.Summarize(hybridErrs)
+	if cycles > 0 {
+		res.WiFiOnlyCoverage = float64(wifiFixes) / float64(cycles)
+		res.HybridCoverage = float64(hybridFixes) / float64(cycles)
+	}
+	return res, nil
+}
+
+// RiderSweepPoint is one point of ablation A5 (scan fusion).
+type RiderSweepPoint struct {
+	Riders    int
+	MedianErr float64
+}
+
+// RiderSweepResult quantifies the paper's crowd-sensing observation: fusing
+// the scans of more riders stabilises the average RSS rank and improves
+// positioning.
+type RiderSweepResult struct {
+	Points []RiderSweepPoint
+}
+
+// String renders the series.
+func (r RiderSweepResult) String() string {
+	t := eval.NewTable("Ablation A5: positioning error vs number of fused rider phones",
+		"riders", "median error(m)")
+	for _, p := range r.Points {
+		t.AddRow(fmt.Sprintf("%d", p.Riders), fmt.Sprintf("%.2f", p.MedianErr))
+	}
+	return t.String()
+}
+
+// AblationRiderFusion sweeps the number of reporting phones per bus.
+func AblationRiderFusion(seed uint64, riders []int, trips int) (RiderSweepResult, error) {
+	if len(riders) == 0 {
+		riders = []int{1, 2, 5, 9}
+	}
+	day := WeekdayServiceDays(1)[0].Add(13 * time.Hour)
+	var out RiderSweepResult
+	for _, n := range riders {
+		sc, err := NewCampus(2500, ScenarioSpec{Seed: seed, Riders: n})
+		if err != nil {
+			return RiderSweepResult{}, err
+		}
+		var errs []float64
+		for trial := 0; trial < trips; trial++ {
+			es, _, err := TrackTrip(sc, "campus", fmt.Sprintf("r%d-%d", n, trial), trial, day, sc.Dia.Order())
+			if err != nil {
+				return RiderSweepResult{}, err
+			}
+			errs = append(errs, es...)
+		}
+		out.Points = append(out.Points, RiderSweepPoint{
+			Riders:    n,
+			MedianErr: eval.Summarize(errs).Median,
+		})
+	}
+	return out, nil
+}
+
+// TieMarginPoint is one point of ablation A6.
+type TieMarginPoint struct {
+	Margin    int
+	MedianErr float64
+	P90Err    float64
+}
+
+// TieMarginResult quantifies the near-tie boundary rule: treating readings
+// within a small dB margin as rank ties (and snapping to the shared tile
+// boundary, the paper's equal-rank rule) against exact-equality ties only.
+type TieMarginResult struct {
+	Points []TieMarginPoint
+}
+
+// String renders the series.
+func (r TieMarginResult) String() string {
+	t := eval.NewTable("Ablation A6: positioning error vs tie margin (equal-rank boundary rule)",
+		"margin(dB)", "median(m)", "p90(m)")
+	for _, p := range r.Points {
+		t.AddRow(fmt.Sprintf("%d", p.Margin),
+			fmt.Sprintf("%.2f", p.MedianErr), fmt.Sprintf("%.2f", p.P90Err))
+	}
+	return t.String()
+}
+
+// AblationTieMargin sweeps the positioner's tie margin on a fixed scenario.
+func AblationTieMargin(seed uint64, margins []int, trips int) (TieMarginResult, error) {
+	if len(margins) == 0 {
+		margins = []int{0, 1, 2, 4}
+	}
+	sc, err := NewCampus(2500, ScenarioSpec{Seed: seed})
+	if err != nil {
+		return TieMarginResult{}, err
+	}
+	day := WeekdayServiceDays(1)[0].Add(13 * time.Hour)
+	var out TieMarginResult
+	for _, margin := range margins {
+		var errs []float64
+		for trial := 0; trial < trips; trial++ {
+			trip, err := sc.DriveTrip("campus", day, nil, 5000+trial)
+			if err != nil {
+				return TieMarginResult{}, err
+			}
+			samples, err := sc.ScanTrip("campus", fmt.Sprintf("tm%d-%d", margin, trial), trip)
+			if err != nil {
+				return TieMarginResult{}, err
+			}
+			pos, err := locate.NewPositioner(sc.Dia, sc.Dia.Order())
+			if err != nil {
+				return TieMarginResult{}, err
+			}
+			pos.TieMargin = margin
+			tracker, err := locate.NewTracker(pos, "campus", locate.TrackerConfig{})
+			if err != nil {
+				return TieMarginResult{}, err
+			}
+			for _, s := range samples {
+				est, _, err := tracker.Observe(s.Scan)
+				if err != nil {
+					continue
+				}
+				errs = append(errs, math.Abs(est.Arc-s.TrueArc))
+			}
+		}
+		sum := eval.Summarize(errs)
+		out.Points = append(out.Points, TieMarginPoint{Margin: margin, MedianErr: sum.Median, P90Err: sum.P90})
+	}
+	return out, nil
+}

@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExtensionHybrid asserts the Section VII hand-off story: WiFi-only
+// loses coverage in the gap, the hybrid recovers most of it with a fraction
+// of the always-on GPS energy.
+func TestExtensionHybrid(t *testing.T) {
+	res, err := ExtensionHybrid(43, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WiFiOnlyCoverage >= 0.95 {
+		t.Errorf("WiFi-only coverage %.2f — the gap did not bite", res.WiFiOnlyCoverage)
+	}
+	if res.HybridCoverage <= res.WiFiOnlyCoverage {
+		t.Errorf("hybrid coverage %.2f not above WiFi-only %.2f",
+			res.HybridCoverage, res.WiFiOnlyCoverage)
+	}
+	if res.HybridGPSEnergyJ >= res.GPSOnlyEnergyJ/2 {
+		t.Errorf("hybrid GPS energy %.1f J not well below always-on %.1f J",
+			res.HybridGPSEnergyJ, res.GPSOnlyEnergyJ)
+	}
+	if res.Hybrid.Median > res.GPSOnly.Median*3 {
+		t.Errorf("hybrid median %.1f m far above GPS-only %.1f m",
+			res.Hybrid.Median, res.GPSOnly.Median)
+	}
+	if !strings.Contains(res.String(), "Hybrid") {
+		t.Error("render missing rows")
+	}
+}
+
+// TestAblationRiderFusion asserts the paper's crowd-sensing claim: more
+// fused phones, lower positioning error.
+func TestAblationRiderFusion(t *testing.T) {
+	res, err := AblationRiderFusion(47, []int{1, 7}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %+v", res.Points)
+	}
+	single, fused := res.Points[0], res.Points[1]
+	if fused.MedianErr >= single.MedianErr {
+		t.Errorf("7-phone fusion (%.2f m) not better than 1 phone (%.2f m)",
+			fused.MedianErr, single.MedianErr)
+	}
+}
+
+// TestAblationTieMargin asserts the near-tie boundary rule pays off: a small
+// margin beats exact-equality-only ties, and the series renders.
+func TestAblationTieMargin(t *testing.T) {
+	res, err := AblationTieMargin(53, []int{0, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %+v", res.Points)
+	}
+	none, margin2 := res.Points[0], res.Points[1]
+	if margin2.MedianErr > none.MedianErr*1.05 {
+		t.Errorf("margin-2 median %.2f m worse than exact-only %.2f m",
+			margin2.MedianErr, none.MedianErr)
+	}
+	if !strings.Contains(res.String(), "margin") {
+		t.Error("render missing header")
+	}
+}

@@ -1,0 +1,417 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"wilocator/internal/baseline"
+	"wilocator/internal/eval"
+	"wilocator/internal/locate"
+	"wilocator/internal/svd"
+)
+
+// TrackTrip replays one trip through the crowd-sensing and tracking pipeline
+// at the given SVD order and returns the per-fix road-distance errors and
+// the produced trajectory.
+func TrackTrip(sc *Scenario, routeID, busID string, tripSeed int, start time.Time, order int) ([]float64, []locate.TrajectoryPoint, error) {
+	trip, err := sc.DriveTrip(routeID, start, nil, tripSeed)
+	if err != nil {
+		return nil, nil, err
+	}
+	samples, err := sc.ScanTrip(routeID, busID, trip)
+	if err != nil {
+		return nil, nil, err
+	}
+	pos, err := locate.NewPositioner(sc.Dia, order)
+	if err != nil {
+		return nil, nil, err
+	}
+	tracker, err := locate.NewTracker(pos, routeID, locate.TrackerConfig{})
+	if err != nil {
+		return nil, nil, err
+	}
+	var errs []float64
+	for _, s := range samples {
+		est, _, err := tracker.Observe(s.Scan)
+		if err != nil {
+			continue
+		}
+		errs = append(errs, math.Abs(est.Arc-s.TrueArc))
+	}
+	return errs, tracker.Trajectory(), nil
+}
+
+// PositioningResult is one route's row of Fig. 8(a).
+type PositioningResult struct {
+	Route   string
+	Summary eval.Summary
+	CDF     eval.CDF
+}
+
+// Fig8aResult is the Fig. 8(a) reproduction: the CDF of positioning errors
+// per route.
+type Fig8aResult struct {
+	Rows []PositioningResult
+}
+
+// String renders the paper-style table.
+func (r Fig8aResult) String() string {
+	t := eval.NewTable("Fig. 8(a): CDF of positioning errors (road metres)",
+		"route", "n", "median", "p90", "max")
+	for _, row := range r.Rows {
+		t.AddRow(row.Route,
+			fmt.Sprintf("%d", row.Summary.N),
+			fmt.Sprintf("%.1f", row.Summary.Median),
+			fmt.Sprintf("%.1f", row.Summary.P90),
+			fmt.Sprintf("%.1f", row.Summary.Max))
+	}
+	return t.String()
+}
+
+// Fig8aPositioningCDF tracks tripsPerRoute trips on each of the four
+// Vancouver routes and reports the error CDFs (paper: median < 3 m with
+// dense APs; the shape to reproduce is metre-level medians on every route).
+func Fig8aPositioningCDF(spec ScenarioSpec, tripsPerRoute int) (Fig8aResult, error) {
+	sc, err := NewVancouver(spec)
+	if err != nil {
+		return Fig8aResult{}, err
+	}
+	var out Fig8aResult
+	day := WeekdayServiceDays(1)[0]
+	for _, route := range sc.Net.Routes() {
+		var errs []float64
+		for trial := 0; trial < tripsPerRoute; trial++ {
+			start := day.Add(time.Duration(9+trial) * time.Hour)
+			es, _, err := TrackTrip(sc, route.ID(), fmt.Sprintf("%s-%d", route.ID(), trial), trial, start, sc.Dia.Order())
+			if err != nil {
+				return Fig8aResult{}, err
+			}
+			errs = append(errs, es...)
+		}
+		out.Rows = append(out.Rows, PositioningResult{
+			Route:   route.Name(),
+			Summary: eval.Summarize(errs),
+			CDF:     eval.NewCDF(errs),
+		})
+	}
+	return out, nil
+}
+
+// APSweepPoint is one point of Fig. 9(a).
+type APSweepPoint struct {
+	Spacing float64
+	NumAPs  int
+	MeanErr float64
+}
+
+// Fig9aResult is the Fig. 9(a) reproduction: positioning error vs number of
+// APs.
+type Fig9aResult struct {
+	Points []APSweepPoint
+}
+
+// String renders the series.
+func (r Fig9aResult) String() string {
+	t := eval.NewTable("Fig. 9(a): positioning error vs number of WiFi APs",
+		"spacing(m)", "APs", "mean error(m)")
+	for _, p := range r.Points {
+		t.AddRow(fmt.Sprintf("%.0f", p.Spacing), fmt.Sprintf("%d", p.NumAPs), fmt.Sprintf("%.2f", p.MeanErr))
+	}
+	return t.String()
+}
+
+// Fig9aErrorVsAPs sweeps the AP density on a fixed campus corridor (paper:
+// error decreases slowly, ~3.15 m to ~2.8 m, as APs increase).
+func Fig9aErrorVsAPs(seed uint64, spacings []float64, trips int) (Fig9aResult, error) {
+	if len(spacings) == 0 {
+		spacings = []float64{90, 70, 55, 45, 35, 25, 18}
+	}
+	var out Fig9aResult
+	day := WeekdayServiceDays(1)[0].Add(13 * time.Hour)
+	for _, spacing := range spacings {
+		sc, err := NewCampus(2500, ScenarioSpec{Seed: seed, APSpacing: spacing})
+		if err != nil {
+			return Fig9aResult{}, err
+		}
+		var errs []float64
+		for trial := 0; trial < trips; trial++ {
+			es, _, err := TrackTrip(sc, "campus", fmt.Sprintf("c-%d", trial), trial, day, sc.Dia.Order())
+			if err != nil {
+				return Fig9aResult{}, err
+			}
+			errs = append(errs, es...)
+		}
+		out.Points = append(out.Points, APSweepPoint{
+			Spacing: spacing,
+			NumAPs:  sc.Dep.NumAPs(),
+			MeanErr: eval.Summarize(errs).Mean,
+		})
+	}
+	return out, nil
+}
+
+// OrderSweepPoint is one point of Fig. 9(b).
+type OrderSweepPoint struct {
+	Order   int
+	MeanErr float64
+}
+
+// Fig9bResult is the Fig. 9(b) reproduction: positioning error vs SVD order.
+type Fig9bResult struct {
+	Points []OrderSweepPoint
+}
+
+// String renders the series.
+func (r Fig9bResult) String() string {
+	t := eval.NewTable("Fig. 9(b): positioning error vs order of SVD",
+		"order", "mean error(m)")
+	for _, p := range r.Points {
+		t.AddRow(fmt.Sprintf("%d", p.Order), fmt.Sprintf("%.2f", p.MeanErr))
+	}
+	return t.String()
+}
+
+// Fig9bErrorVsOrder sweeps the tile order used for positioning (paper: big
+// gain from order 1 to 2, little change beyond — order 2 suffices).
+func Fig9bErrorVsOrder(seed uint64, maxOrder, trips int) (Fig9bResult, error) {
+	if maxOrder <= 0 {
+		maxOrder = 4
+	}
+	sc, err := NewCampus(2500, ScenarioSpec{Seed: seed, SVDOrder: maxOrder})
+	if err != nil {
+		return Fig9bResult{}, err
+	}
+	day := WeekdayServiceDays(1)[0].Add(13 * time.Hour)
+	var out Fig9bResult
+	for order := 1; order <= maxOrder; order++ {
+		var errs []float64
+		for trial := 0; trial < trips; trial++ {
+			es, _, err := TrackTrip(sc, "campus", fmt.Sprintf("o%d-%d", order, trial), trial, day, order)
+			if err != nil {
+				return Fig9bResult{}, err
+			}
+			errs = append(errs, es...)
+		}
+		out.Points = append(out.Points, OrderSweepPoint{Order: order, MeanErr: eval.Summarize(errs).Mean})
+	}
+	return out, nil
+}
+
+// MetricAblationResult contrasts rank-based SVD positioning with the
+// conventional Euclidean Voronoi diagram on the same heterogeneous world
+// (ablation A1 of DESIGN.md).
+type MetricAblationResult struct {
+	SVD eval.Summary
+	VD  eval.Summary
+}
+
+// String renders the comparison.
+func (r MetricAblationResult) String() string {
+	t := eval.NewTable("Ablation A1: SVD vs conventional Voronoi diagram (heterogeneous APs)",
+		"diagram", "n", "mean(m)", "median(m)", "p90(m)")
+	for _, row := range []struct {
+		name string
+		s    eval.Summary
+	}{{"SVD (rank)", r.SVD}, {"VD (euclidean)", r.VD}} {
+		t.AddRow(row.name, fmt.Sprintf("%d", row.s.N),
+			fmt.Sprintf("%.2f", row.s.Mean), fmt.Sprintf("%.2f", row.s.Median),
+			fmt.Sprintf("%.2f", row.s.P90))
+	}
+	return t.String()
+}
+
+// AblationSVDvsVD runs the metric ablation.
+func AblationSVDvsVD(seed uint64, trips int) (MetricAblationResult, error) {
+	day := WeekdayServiceDays(1)[0].Add(13 * time.Hour)
+	run := func(metric svd.Metric) (eval.Summary, error) {
+		sc, err := NewCampus(2500, ScenarioSpec{Seed: seed, Metric: metric})
+		if err != nil {
+			return eval.Summary{}, err
+		}
+		var errs []float64
+		for trial := 0; trial < trips; trial++ {
+			es, _, err := TrackTrip(sc, "campus", fmt.Sprintf("m-%d", trial), trial, day, sc.Dia.Order())
+			if err != nil {
+				return eval.Summary{}, err
+			}
+			errs = append(errs, es...)
+		}
+		return eval.Summarize(errs), nil
+	}
+	svdSum, err := run(svd.MetricRSS)
+	if err != nil {
+		return MetricAblationResult{}, err
+	}
+	vdSum, err := run(svd.MetricEuclidean)
+	if err != nil {
+		return MetricAblationResult{}, err
+	}
+	return MetricAblationResult{SVD: svdSum, VD: vdSum}, nil
+}
+
+// BaselineRow is one positioning system's result in ablation A3.
+type BaselineRow struct {
+	System  string
+	Summary eval.Summary
+	EnergyJ float64
+}
+
+// BaselinesResult compares WiLocator against the Cell-ID and urban-canyon
+// GPS baselines on identical trips.
+type BaselinesResult struct {
+	Rows []BaselineRow
+}
+
+// String renders the comparison.
+func (r BaselinesResult) String() string {
+	t := eval.NewTable("Ablation A3: WiLocator vs Cell-ID and GPS baselines",
+		"system", "n", "median(m)", "p90(m)", "energy(J)")
+	for _, row := range r.Rows {
+		t.AddRow(row.System, fmt.Sprintf("%d", row.Summary.N),
+			fmt.Sprintf("%.1f", row.Summary.Median), fmt.Sprintf("%.1f", row.Summary.P90),
+			fmt.Sprintf("%.1f", row.EnergyJ))
+	}
+	return t.String()
+}
+
+// AblationBaselines runs WiLocator, Cell-ID matching and canyon GPS over the
+// same ground-truth trips on an 8 km corridor.
+func AblationBaselines(seed uint64, trips int) (BaselinesResult, error) {
+	sc, err := NewCampus(8000, ScenarioSpec{Seed: seed})
+	if err != nil {
+		return BaselinesResult{}, err
+	}
+	route := sc.Net.Routes()[0]
+	day := WeekdayServiceDays(1)[0].Add(13 * time.Hour)
+
+	towers, err := baseline.DeployTowers(sc.Net, 0, sc.Rand("towers"))
+	if err != nil {
+		return BaselinesResult{}, err
+	}
+
+	var wifiErrs, cellErrs, gpsErrs []float64
+	var wifiEnergy, cellEnergy, gpsEnergy float64
+	for trial := 0; trial < trips; trial++ {
+		trip, err := sc.DriveTrip("campus", day, nil, 1000+trial)
+		if err != nil {
+			return BaselinesResult{}, err
+		}
+
+		// WiLocator: crowd-sensed, tracked.
+		samples, err := sc.ScanTrip("campus", fmt.Sprintf("w-%d", trial), trip)
+		if err != nil {
+			return BaselinesResult{}, err
+		}
+		pos, err := locate.NewPositioner(sc.Dia, sc.Dia.Order())
+		if err != nil {
+			return BaselinesResult{}, err
+		}
+		tracker, err := locate.NewTracker(pos, "campus", locate.TrackerConfig{})
+		if err != nil {
+			return BaselinesResult{}, err
+		}
+		for _, s := range samples {
+			wifiEnergy += baseline.WiFiScanEnergyJ // per fused cycle on the probe phone
+			est, _, err := tracker.Observe(s.Scan)
+			if err != nil {
+				continue
+			}
+			wifiErrs = append(wifiErrs, math.Abs(est.Arc-s.TrueArc))
+		}
+
+		// Cell-ID sequence matching.
+		cid, err := baseline.NewCellIDTracker(route, towers, 0)
+		if err != nil {
+			return BaselinesResult{}, err
+		}
+		// GPS with urban canyons.
+		gps, err := baseline.NewGPSTracker(route, baseline.GPSConfig{Seed: seed}, sc.Rand(fmt.Sprintf("gps-%d", trial)))
+		if err != nil {
+			return BaselinesResult{}, err
+		}
+		for at := trip.Start(); !trip.Done(at); at = at.Add(10 * time.Second) {
+			trueArc := trip.ArcAt(at)
+			if arc, ok := cid.Observe(route.PointAt(trueArc), at); ok {
+				cellErrs = append(cellErrs, math.Abs(arc-trueArc))
+			}
+			cellEnergy += baseline.WiFiScanEnergyJ * 0.5 // modem listen, cheaper than WiFi
+			if arc, ok := gps.Observe(trueArc, at); ok {
+				gpsErrs = append(gpsErrs, math.Abs(arc-trueArc))
+			}
+		}
+		gpsEnergy = gps.EnergyJ()
+	}
+	return BaselinesResult{Rows: []BaselineRow{
+		{System: "WiLocator (SVD)", Summary: eval.Summarize(wifiErrs), EnergyJ: wifiEnergy},
+		{System: "Cell-ID matching", Summary: eval.Summarize(cellErrs), EnergyJ: cellEnergy},
+		{System: "GPS (urban canyon)", Summary: eval.Summarize(gpsErrs), EnergyJ: gpsEnergy},
+	}}, nil
+}
+
+// APDynamicsPoint is one point of ablation A4.
+type APDynamicsPoint struct {
+	KilledFrac float64
+	NumActive  int
+	MeanErr    float64
+}
+
+// APDynamicsResult shows positioning degradation as APs die (Section III-B).
+type APDynamicsResult struct {
+	Points []APDynamicsPoint
+}
+
+// String renders the series.
+func (r APDynamicsResult) String() string {
+	t := eval.NewTable("Ablation A4: positioning error under AP dynamics",
+		"killed", "active APs", "mean error(m)")
+	for _, p := range r.Points {
+		t.AddRow(fmt.Sprintf("%.0f%%", p.KilledFrac*100), fmt.Sprintf("%d", p.NumActive),
+			fmt.Sprintf("%.2f", p.MeanErr))
+	}
+	return t.String()
+}
+
+// AblationAPDynamics deactivates growing fractions of the deployment,
+// rebuilds the SVD (the paper's "the SVD changes accordingly"), and measures
+// positioning error (expected: graceful degradation).
+func AblationAPDynamics(seed uint64, fracs []float64, trips int) (APDynamicsResult, error) {
+	if len(fracs) == 0 {
+		fracs = []float64{0, 0.1, 0.25, 0.5}
+	}
+	day := WeekdayServiceDays(1)[0].Add(13 * time.Hour)
+	var out APDynamicsResult
+	for _, frac := range fracs {
+		sc, err := NewCampus(2500, ScenarioSpec{Seed: seed})
+		if err != nil {
+			return APDynamicsResult{}, err
+		}
+		aps := sc.Dep.APs()
+		kill := int(frac * float64(len(aps)))
+		perm := sc.Rand("kill").Perm(len(aps))
+		for _, idx := range perm[:kill] {
+			if err := sc.Dep.Deactivate(aps[idx].BSSID); err != nil {
+				return APDynamicsResult{}, err
+			}
+		}
+		dia, err := svd.Build(sc.Net, sc.Dep, svd.Config{Order: sc.Spec.SVDOrder, GridStep: -1})
+		if err != nil {
+			return APDynamicsResult{}, err
+		}
+		sc.Dia = dia
+		var errs []float64
+		for trial := 0; trial < trips; trial++ {
+			es, _, err := TrackTrip(sc, "campus", fmt.Sprintf("k%.0f-%d", frac*100, trial), trial, day, dia.Order())
+			if err != nil {
+				return APDynamicsResult{}, err
+			}
+			errs = append(errs, es...)
+		}
+		out.Points = append(out.Points, APDynamicsPoint{
+			KilledFrac: frac,
+			NumActive:  len(sc.Dep.ActiveAPs()),
+			MeanErr:    eval.Summarize(errs).Mean,
+		})
+	}
+	return out, nil
+}

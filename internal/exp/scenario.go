@@ -1,0 +1,174 @@
+// Package exp contains one harness per table and figure of the paper's
+// evaluation (Section V), plus the ablations called out in DESIGN.md. Each
+// harness builds on the same Scenario abstraction — a synthetic world with a
+// road network, AP deployment, Signal Voronoi Diagram and congestion field —
+// and returns a result type whose String() prints the same rows or series
+// the paper reports. See EXPERIMENTS.md for the experiment index and
+// paper-vs-measured numbers.
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"wilocator/internal/mobility"
+	"wilocator/internal/rf"
+	"wilocator/internal/roadnet"
+	"wilocator/internal/sensing"
+	"wilocator/internal/svd"
+	"wilocator/internal/wifi"
+	"wilocator/internal/xrand"
+)
+
+// Epoch is the first service day of every scenario: Monday 2016-02-15, three
+// weeks before the paper camera-ready. All simulation time is relative to
+// it.
+var Epoch = time.Date(2016, 2, 15, 0, 0, 0, 0, time.UTC)
+
+// ScenarioSpec parameterises a scenario. Zero fields select defaults.
+type ScenarioSpec struct {
+	// Seed drives all randomness.
+	Seed uint64
+	// APSpacing overrides the deployment's mean AP spacing.
+	APSpacing float64
+	// SVDOrder is the maximum tile order to index. Default 2.
+	SVDOrder int
+	// GridStep is the SVD band resolution; < 0 disables band geometry.
+	// Default: disabled (run-based positioning only), which the
+	// full-pipeline experiments use for speed.
+	GridStep float64
+	// Metric selects the partition metric (SVD vs conventional VD).
+	Metric svd.Metric
+	// Riders is the number of reporting phones per bus. Default 5.
+	Riders int
+	// Homogeneous forces identical RF parameters on all APs.
+	Homogeneous bool
+}
+
+func (s ScenarioSpec) withDefaults() ScenarioSpec {
+	if s.Seed == 0 {
+		s.Seed = 42
+	}
+	if s.SVDOrder <= 0 {
+		s.SVDOrder = 2
+	}
+	if s.GridStep == 0 {
+		s.GridStep = -1
+	}
+	if s.Riders <= 0 {
+		s.Riders = 5
+	}
+	return s
+}
+
+// Scenario is a fully built synthetic world shared by the experiment
+// harnesses.
+type Scenario struct {
+	Spec  ScenarioSpec
+	Net   *roadnet.Network
+	Dep   *wifi.Deployment
+	Dia   *svd.Diagram
+	Field *mobility.CongestionField
+
+	root *xrand.Rand
+}
+
+// NewVancouver builds the Table I network scenario.
+func NewVancouver(spec ScenarioSpec) (*Scenario, error) {
+	net, err := roadnet.BuildVancouver(roadnet.DefaultVancouverSpec())
+	if err != nil {
+		return nil, err
+	}
+	return finishScenario(net, spec)
+}
+
+// NewCampus builds a single-road scenario of the given length.
+func NewCampus(length float64, spec ScenarioSpec) (*Scenario, error) {
+	net, err := roadnet.BuildCampus(length)
+	if err != nil {
+		return nil, err
+	}
+	return finishScenario(net, spec)
+}
+
+func finishScenario(net *roadnet.Network, spec ScenarioSpec) (*Scenario, error) {
+	spec = spec.withDefaults()
+	root := xrand.New(spec.Seed)
+	depSpec := wifi.DefaultDeploySpec()
+	if spec.APSpacing > 0 {
+		depSpec.Spacing = spec.APSpacing
+	}
+	if spec.Homogeneous {
+		depSpec.RefRSSMin, depSpec.RefRSSMax = -30, -30
+		depSpec.PathLossExpMin, depSpec.PathLossExpMax = 3, 3
+	}
+	dep, err := wifi.Deploy(net, depSpec, root.Split("deploy"))
+	if err != nil {
+		return nil, err
+	}
+	dia, err := svd.Build(net, dep, svd.Config{
+		Order:    spec.SVDOrder,
+		GridStep: spec.GridStep,
+		Metric:   spec.Metric,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Scenario{
+		Spec:  spec,
+		Net:   net,
+		Dep:   dep,
+		Dia:   dia,
+		Field: mobility.DefaultCongestion(spec.Seed ^ 0xC0FFEE),
+		root:  root,
+	}, nil
+}
+
+// Rand derives a labelled randomness stream from the scenario seed.
+func (sc *Scenario) Rand(label string) *xrand.Rand { return sc.root.Split(label) }
+
+// DriveTrip simulates one ground-truth trip.
+func (sc *Scenario) DriveTrip(routeID string, start time.Time, incidents []mobility.Incident, tripSeed int) (*mobility.Trip, error) {
+	return mobility.Drive(sc.Net, routeID, start, mobility.DriveConfig{},
+		sc.Field, incidents, sc.root.SplitN("trip-"+routeID, tripSeed))
+}
+
+// Phones creates the rider phone group for one bus.
+func (sc *Scenario) Phones(busID string) ([]*sensing.Phone, error) {
+	return sensing.NewRiderPhones(busID, sc.Spec.Riders, sc.Dep,
+		sensing.PhoneConfig{Model: rf.LogDistance{}}, sc.root.Split("phones-"+busID))
+}
+
+// ScanTrip replays a trip with rider phones and returns the fused samples.
+func (sc *Scenario) ScanTrip(routeID, busID string, trip *mobility.Trip) ([]sensing.Sample, error) {
+	route, ok := sc.Net.Route(routeID)
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown route %q", routeID)
+	}
+	phones, err := sc.Phones(busID)
+	if err != nil {
+		return nil, err
+	}
+	ts, err := sensing.NewTripScanner(route, trip, phones, sensing.DefaultScanPeriod)
+	if err != nil {
+		return nil, err
+	}
+	return ts.Samples(), nil
+}
+
+// ServiceDay returns the start of service day d (0-based) after Epoch.
+func ServiceDay(d int) time.Time { return Epoch.AddDate(0, 0, d) }
+
+// WeekdayServiceDays returns the first n weekdays from Epoch, skipping
+// weekends — the evaluation slices rush hours, which only exist on weekdays.
+func WeekdayServiceDays(n int) []time.Time {
+	var out []time.Time
+	for d := 0; len(out) < n; d++ {
+		day := ServiceDay(d)
+		if wd := day.Weekday(); wd == time.Saturday || wd == time.Sunday {
+			continue
+		}
+		out = append(out, day)
+	}
+	return out
+}

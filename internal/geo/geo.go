@@ -1,0 +1,160 @@
+// Package geo provides planar geometry primitives in a local east-north-up
+// (ENU) frame, plus a projection between geodetic coordinates and that frame.
+//
+// All WiLocator computation happens in metres on a local tangent plane: road
+// networks, AP positions, bus trajectories and the Signal Voronoi Diagram are
+// all planar. LatLng exists only at the system boundary (geo-tagged APs,
+// trajectory reports per Definition 6 of the paper).
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// EarthRadiusMeters is the mean Earth radius used by the equirectangular
+// projection. City-scale (< 50 km) errors of this approximation are well
+// below the RSS-induced positioning error, so a full ellipsoid model is
+// unnecessary.
+const EarthRadiusMeters = 6371008.8
+
+// Point is a position in the local ENU frame, in metres.
+type Point struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// Pt is shorthand for constructing a Point.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Add returns p + q componentwise.
+func (p Point) Add(q Point) Point { return Point{X: p.X + q.X, Y: p.Y + q.Y} }
+
+// Sub returns p - q componentwise.
+func (p Point) Sub(q Point) Point { return Point{X: p.X - q.X, Y: p.Y - q.Y} }
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point { return Point{X: p.X * s, Y: p.Y * s} }
+
+// Dot returns the dot product p · q.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Cross returns the z-component of the cross product p × q.
+func (p Point) Cross(q Point) float64 { return p.X*q.Y - p.Y*q.X }
+
+// Norm returns the Euclidean length of p treated as a vector.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 { return math.Hypot(p.X-q.X, p.Y-q.Y) }
+
+// Dist2 returns the squared Euclidean distance between p and q. It avoids
+// the square root on hot paths such as SVD grid construction.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Lerp linearly interpolates between p and q; t=0 yields p, t=1 yields q.
+func (p Point) Lerp(q Point, t float64) Point {
+	return Point{X: p.X + (q.X-p.X)*t, Y: p.Y + (q.Y-p.Y)*t}
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.2f, %.2f)", p.X, p.Y) }
+
+// LatLng is a geodetic coordinate in degrees.
+type LatLng struct {
+	Lat float64 `json:"lat"`
+	Lng float64 `json:"lng"`
+}
+
+// DefaultOrigin is the georeference the synthetic scenarios anchor their
+// planar frame at: the W Broadway corridor in Vancouver, where the paper's
+// in-situ experiments ran.
+var DefaultOrigin = LatLng{Lat: 49.2634, Lng: -123.1380}
+
+// Projection converts between LatLng and the local ENU frame. It is an
+// equirectangular projection anchored at an origin; the scale factor along
+// longitude is fixed at the origin latitude.
+type Projection struct {
+	origin LatLng
+	cosLat float64
+}
+
+// NewProjection returns a projection anchored at origin.
+func NewProjection(origin LatLng) *Projection {
+	return &Projection{
+		origin: origin,
+		cosLat: math.Cos(origin.Lat * math.Pi / 180),
+	}
+}
+
+// Origin returns the anchor of the projection.
+func (pr *Projection) Origin() LatLng { return pr.origin }
+
+// ToPoint projects a geodetic coordinate onto the local plane.
+func (pr *Projection) ToPoint(ll LatLng) Point {
+	const degToRad = math.Pi / 180
+	return Point{
+		X: (ll.Lng - pr.origin.Lng) * degToRad * EarthRadiusMeters * pr.cosLat,
+		Y: (ll.Lat - pr.origin.Lat) * degToRad * EarthRadiusMeters,
+	}
+}
+
+// ToLatLng unprojects a planar point back to geodetic coordinates.
+func (pr *Projection) ToLatLng(p Point) LatLng {
+	const radToDeg = 180 / math.Pi
+	return LatLng{
+		Lat: pr.origin.Lat + p.Y/EarthRadiusMeters*radToDeg,
+		Lng: pr.origin.Lng + p.X/(EarthRadiusMeters*pr.cosLat)*radToDeg,
+	}
+}
+
+// Segment is a directed straight segment between two planar points.
+type Segment struct {
+	A Point `json:"a"`
+	B Point `json:"b"`
+}
+
+// Length returns the segment length in metres.
+func (s Segment) Length() float64 { return s.A.Dist(s.B) }
+
+// At returns the point at parameter t in [0,1] along the segment.
+func (s Segment) At(t float64) Point { return s.A.Lerp(s.B, t) }
+
+// Project returns the parameter t in [0,1] of the point on the segment
+// closest to p, together with that point and the distance from p to it.
+func (s Segment) Project(p Point) (t float64, closest Point, dist float64) {
+	d := s.B.Sub(s.A)
+	den := d.Dot(d)
+	if den == 0 {
+		return 0, s.A, p.Dist(s.A)
+	}
+	t = p.Sub(s.A).Dot(d) / den
+	t = clamp01(t)
+	closest = s.At(t)
+	return t, closest, p.Dist(closest)
+}
+
+// Direction returns the unit direction vector of the segment. A degenerate
+// segment yields the zero vector.
+func (s Segment) Direction() Point {
+	d := s.B.Sub(s.A)
+	n := d.Norm()
+	if n == 0 {
+		return Point{}
+	}
+	return d.Scale(1 / n)
+}
+
+func clamp01(t float64) float64 {
+	switch {
+	case t < 0:
+		return 0
+	case t > 1:
+		return 1
+	default:
+		return t
+	}
+}

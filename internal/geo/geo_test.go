@@ -1,0 +1,146 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPointArithmetic(t *testing.T) {
+	tests := []struct {
+		name string
+		got  Point
+		want Point
+	}{
+		{"add", Pt(1, 2).Add(Pt(3, 4)), Pt(4, 6)},
+		{"sub", Pt(1, 2).Sub(Pt(3, 4)), Pt(-2, -2)},
+		{"scale", Pt(1, -2).Scale(2.5), Pt(2.5, -5)},
+		{"lerp mid", Pt(0, 0).Lerp(Pt(10, 20), 0.5), Pt(5, 10)},
+		{"lerp zero", Pt(3, 4).Lerp(Pt(10, 20), 0), Pt(3, 4)},
+		{"lerp one", Pt(3, 4).Lerp(Pt(10, 20), 1), Pt(10, 20)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.got != tt.want {
+				t.Errorf("got %v, want %v", tt.got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPointDistAndNorm(t *testing.T) {
+	if d := Pt(0, 0).Dist(Pt(3, 4)); d != 5 {
+		t.Errorf("Dist = %v, want 5", d)
+	}
+	if d := Pt(1, 1).Dist2(Pt(4, 5)); d != 25 {
+		t.Errorf("Dist2 = %v, want 25", d)
+	}
+	if n := Pt(-3, 4).Norm(); n != 5 {
+		t.Errorf("Norm = %v, want 5", n)
+	}
+}
+
+func TestDotCross(t *testing.T) {
+	if d := Pt(1, 2).Dot(Pt(3, 4)); d != 11 {
+		t.Errorf("Dot = %v, want 11", d)
+	}
+	if c := Pt(1, 0).Cross(Pt(0, 1)); c != 1 {
+		t.Errorf("Cross = %v, want 1", c)
+	}
+}
+
+func TestDist2MatchesDistSquared(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		if math.IsNaN(ax) || math.IsNaN(ay) || math.IsNaN(bx) || math.IsNaN(by) {
+			return true
+		}
+		// Keep magnitudes city-scale to avoid overflow artefacts.
+		a := Pt(math.Mod(ax, 1e5), math.Mod(ay, 1e5))
+		b := Pt(math.Mod(bx, 1e5), math.Mod(by, 1e5))
+		d := a.Dist(b)
+		return almostEq(d*d, a.Dist2(b), 1e-4*(1+d*d))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProjectionRoundTrip(t *testing.T) {
+	origin := LatLng{Lat: 49.2634, Lng: -123.1380} // Vancouver, W Broadway
+	pr := NewProjection(origin)
+
+	tests := []LatLng{
+		origin,
+		{Lat: 49.2700, Lng: -123.1000},
+		{Lat: 49.2500, Lng: -123.2000},
+		{Lat: 49.3000, Lng: -123.0500},
+	}
+	for _, ll := range tests {
+		p := pr.ToPoint(ll)
+		back := pr.ToLatLng(p)
+		if !almostEq(back.Lat, ll.Lat, 1e-9) || !almostEq(back.Lng, ll.Lng, 1e-9) {
+			t.Errorf("round trip %v -> %v -> %v", ll, p, back)
+		}
+	}
+}
+
+func TestProjectionScale(t *testing.T) {
+	pr := NewProjection(LatLng{Lat: 49.2634, Lng: -123.1380})
+	// One degree of latitude is ~111.2 km everywhere.
+	p := pr.ToPoint(LatLng{Lat: 50.2634, Lng: -123.1380})
+	if !almostEq(p.Y, 111194.9, 50) {
+		t.Errorf("1 deg lat = %.1f m, want ~111195 m", p.Y)
+	}
+	if !almostEq(p.X, 0, 1e-9) {
+		t.Errorf("X = %v, want 0", p.X)
+	}
+	// One degree of longitude at 49.26N is ~72.6 km.
+	q := pr.ToPoint(LatLng{Lat: 49.2634, Lng: -122.1380})
+	if q.X < 70000 || q.X > 75000 {
+		t.Errorf("1 deg lng = %.1f m, want ~72.6 km", q.X)
+	}
+}
+
+func TestSegmentProject(t *testing.T) {
+	seg := Segment{A: Pt(0, 0), B: Pt(10, 0)}
+	tests := []struct {
+		name  string
+		p     Point
+		wantT float64
+		wantD float64
+	}{
+		{"above middle", Pt(5, 3), 0.5, 3},
+		{"before start", Pt(-4, 3), 0, 5},
+		{"after end", Pt(13, 4), 1, 5},
+		{"on segment", Pt(2, 0), 0.2, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			gotT, _, gotD := seg.Project(tt.p)
+			if !almostEq(gotT, tt.wantT, 1e-12) || !almostEq(gotD, tt.wantD, 1e-12) {
+				t.Errorf("Project(%v) = (%v, %v), want (%v, %v)",
+					tt.p, gotT, gotD, tt.wantT, tt.wantD)
+			}
+		})
+	}
+}
+
+func TestSegmentDegenerate(t *testing.T) {
+	seg := Segment{A: Pt(1, 1), B: Pt(1, 1)}
+	tpar, c, d := seg.Project(Pt(4, 5))
+	if tpar != 0 || c != Pt(1, 1) || d != 5 {
+		t.Errorf("degenerate Project = (%v,%v,%v)", tpar, c, d)
+	}
+	if dir := seg.Direction(); dir != (Point{}) {
+		t.Errorf("degenerate Direction = %v, want zero", dir)
+	}
+}
+
+func TestSegmentDirection(t *testing.T) {
+	seg := Segment{A: Pt(0, 0), B: Pt(0, 7)}
+	if dir := seg.Direction(); !almostEq(dir.X, 0, 1e-12) || !almostEq(dir.Y, 1, 1e-12) {
+		t.Errorf("Direction = %v, want (0,1)", dir)
+	}
+}

@@ -1,0 +1,190 @@
+package geo
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrEmptyPolyline is returned when an operation requires a polyline with at
+// least two vertices.
+var ErrEmptyPolyline = errors.New("geo: polyline needs at least two vertices")
+
+// Polyline is a directed chain of planar points with precomputed cumulative
+// arc lengths, supporting O(log n) interpolation and projection. Polylines
+// model road-segment centerlines (paper Definition 3) and full bus routes
+// (Definition 4).
+type Polyline struct {
+	pts []Point
+	cum []float64 // cum[i] = arc length from pts[0] to pts[i]
+}
+
+// NewPolyline builds a polyline from at least two vertices. The vertex slice
+// is copied; callers may reuse it afterwards.
+func NewPolyline(pts []Point) (*Polyline, error) {
+	if len(pts) < 2 {
+		return nil, ErrEmptyPolyline
+	}
+	cp := make([]Point, len(pts))
+	copy(cp, pts)
+	cum := make([]float64, len(cp))
+	for i := 1; i < len(cp); i++ {
+		cum[i] = cum[i-1] + cp[i-1].Dist(cp[i])
+	}
+	return &Polyline{pts: cp, cum: cum}, nil
+}
+
+// MustPolyline is NewPolyline that panics on error. It is intended for
+// static scenario construction where an invalid polyline is a programming
+// bug.
+func MustPolyline(pts []Point) *Polyline {
+	pl, err := NewPolyline(pts)
+	if err != nil {
+		panic(err)
+	}
+	return pl
+}
+
+// Length returns the total arc length of the polyline in metres.
+func (pl *Polyline) Length() float64 { return pl.cum[len(pl.cum)-1] }
+
+// Points returns a copy of the polyline vertices.
+func (pl *Polyline) Points() []Point {
+	cp := make([]Point, len(pl.pts))
+	copy(cp, pl.pts)
+	return cp
+}
+
+// NumVertices returns the number of vertices.
+func (pl *Polyline) NumVertices() int { return len(pl.pts) }
+
+// Start returns the first vertex.
+func (pl *Polyline) Start() Point { return pl.pts[0] }
+
+// End returns the last vertex.
+func (pl *Polyline) End() Point { return pl.pts[len(pl.pts)-1] }
+
+// At returns the point at arc length s from the start. s is clamped to
+// [0, Length()].
+func (pl *Polyline) At(s float64) Point {
+	if s <= 0 {
+		return pl.pts[0]
+	}
+	if s >= pl.Length() {
+		return pl.pts[len(pl.pts)-1]
+	}
+	i := pl.searchCum(s)
+	segLen := pl.cum[i+1] - pl.cum[i]
+	if segLen == 0 {
+		return pl.pts[i]
+	}
+	t := (s - pl.cum[i]) / segLen
+	return pl.pts[i].Lerp(pl.pts[i+1], t)
+}
+
+// DirectionAt returns the unit tangent of the polyline at arc length s.
+func (pl *Polyline) DirectionAt(s float64) Point {
+	if s < 0 {
+		s = 0
+	}
+	if s >= pl.Length() {
+		s = pl.Length() - 1e-9
+		if s < 0 {
+			s = 0
+		}
+	}
+	i := pl.searchCum(s)
+	return Segment{A: pl.pts[i], B: pl.pts[i+1]}.Direction()
+}
+
+// searchCum returns the index i such that cum[i] <= s < cum[i+1].
+func (pl *Polyline) searchCum(s float64) int {
+	lo, hi := 0, len(pl.cum)-1
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if pl.cum[mid] <= s {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Project returns the arc length along the polyline of the point closest to
+// p, the closest point itself, and the Euclidean distance from p to it.
+func (pl *Polyline) Project(p Point) (s float64, closest Point, dist float64) {
+	best := math.Inf(1)
+	for i := 0; i+1 < len(pl.pts); i++ {
+		seg := Segment{A: pl.pts[i], B: pl.pts[i+1]}
+		t, c, d := seg.Project(p)
+		if d < best {
+			best = d
+			closest = c
+			s = pl.cum[i] + t*seg.Length()
+		}
+	}
+	return s, closest, best
+}
+
+// Slice returns a new polyline covering arc lengths [s0, s1] of pl.
+// The bounds are clamped and must satisfy s0 < s1 after clamping.
+func (pl *Polyline) Slice(s0, s1 float64) (*Polyline, error) {
+	if s0 < 0 {
+		s0 = 0
+	}
+	if s1 > pl.Length() {
+		s1 = pl.Length()
+	}
+	if s1-s0 <= 0 {
+		return nil, errors.New("geo: empty polyline slice")
+	}
+	pts := []Point{pl.At(s0)}
+	for i, c := range pl.cum {
+		if c > s0 && c < s1 {
+			pts = append(pts, pl.pts[i])
+		}
+	}
+	pts = append(pts, pl.At(s1))
+	return NewPolyline(pts)
+}
+
+// Sample returns points every step metres along the polyline, always
+// including the final point. step must be positive.
+func (pl *Polyline) Sample(step float64) []Point {
+	if step <= 0 {
+		return []Point{pl.Start(), pl.End()}
+	}
+	n := int(pl.Length()/step) + 1
+	out := make([]Point, 0, n+1)
+	for s := 0.0; s < pl.Length(); s += step {
+		out = append(out, pl.At(s))
+	}
+	out = append(out, pl.End())
+	return out
+}
+
+// Reverse returns the polyline traversed in the opposite direction.
+func (pl *Polyline) Reverse() *Polyline {
+	rev := make([]Point, len(pl.pts))
+	for i, p := range pl.pts {
+		rev[len(pl.pts)-1-i] = p
+	}
+	out, err := NewPolyline(rev)
+	if err != nil {
+		// Unreachable: pl had >= 2 vertices.
+		panic(err)
+	}
+	return out
+}
+
+// Concat appends other to pl, joining end-to-start. If the join points are
+// further apart than tol metres an error is returned.
+func (pl *Polyline) Concat(other *Polyline, tol float64) (*Polyline, error) {
+	if pl.End().Dist(other.Start()) > tol {
+		return nil, errors.New("geo: polylines do not join")
+	}
+	pts := make([]Point, 0, len(pl.pts)+len(other.pts))
+	pts = append(pts, pl.pts...)
+	pts = append(pts, other.pts[1:]...)
+	return NewPolyline(pts)
+}

@@ -1,0 +1,201 @@
+package geo
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func lShape(t *testing.T) *Polyline {
+	t.Helper()
+	pl, err := NewPolyline([]Point{Pt(0, 0), Pt(100, 0), Pt(100, 50)})
+	if err != nil {
+		t.Fatalf("NewPolyline: %v", err)
+	}
+	return pl
+}
+
+func TestNewPolylineRejectsShort(t *testing.T) {
+	if _, err := NewPolyline(nil); !errors.Is(err, ErrEmptyPolyline) {
+		t.Errorf("nil input: err = %v, want ErrEmptyPolyline", err)
+	}
+	if _, err := NewPolyline([]Point{Pt(1, 1)}); !errors.Is(err, ErrEmptyPolyline) {
+		t.Errorf("1 vertex: err = %v, want ErrEmptyPolyline", err)
+	}
+}
+
+func TestPolylineCopiesInput(t *testing.T) {
+	pts := []Point{Pt(0, 0), Pt(10, 0)}
+	pl, err := NewPolyline(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts[0] = Pt(999, 999)
+	if pl.Start() != Pt(0, 0) {
+		t.Error("polyline aliased caller slice")
+	}
+	got := pl.Points()
+	got[0] = Pt(-1, -1)
+	if pl.Start() != Pt(0, 0) {
+		t.Error("Points() exposed internal slice")
+	}
+}
+
+func TestPolylineLengthAndAt(t *testing.T) {
+	pl := lShape(t)
+	if pl.Length() != 150 {
+		t.Fatalf("Length = %v, want 150", pl.Length())
+	}
+	tests := []struct {
+		s    float64
+		want Point
+	}{
+		{-5, Pt(0, 0)},
+		{0, Pt(0, 0)},
+		{50, Pt(50, 0)},
+		{100, Pt(100, 0)},
+		{125, Pt(100, 25)},
+		{150, Pt(100, 50)},
+		{999, Pt(100, 50)},
+	}
+	for _, tt := range tests {
+		if got := pl.At(tt.s); got.Dist(tt.want) > 1e-9 {
+			t.Errorf("At(%v) = %v, want %v", tt.s, got, tt.want)
+		}
+	}
+}
+
+func TestPolylineDirectionAt(t *testing.T) {
+	pl := lShape(t)
+	if d := pl.DirectionAt(10); d.Dist(Pt(1, 0)) > 1e-12 {
+		t.Errorf("DirectionAt(10) = %v, want (1,0)", d)
+	}
+	if d := pl.DirectionAt(120); d.Dist(Pt(0, 1)) > 1e-12 {
+		t.Errorf("DirectionAt(120) = %v, want (0,1)", d)
+	}
+	if d := pl.DirectionAt(150); d.Dist(Pt(0, 1)) > 1e-12 {
+		t.Errorf("DirectionAt(end) = %v, want (0,1)", d)
+	}
+}
+
+func TestPolylineProject(t *testing.T) {
+	pl := lShape(t)
+	tests := []struct {
+		name  string
+		p     Point
+		wantS float64
+		wantD float64
+	}{
+		{"below first leg", Pt(30, -4), 30, 4},
+		{"beyond corner outside", Pt(104, -3), 100, 5},
+		{"right of second leg", Pt(108, 20), 120, 8},
+		{"past end", Pt(100, 60), 150, 10},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s, _, d := pl.Project(tt.p)
+			if !almostEq(s, tt.wantS, 1e-9) || !almostEq(d, tt.wantD, 1e-9) {
+				t.Errorf("Project(%v) = (s=%v, d=%v), want (s=%v, d=%v)",
+					tt.p, s, d, tt.wantS, tt.wantD)
+			}
+		})
+	}
+}
+
+func TestPolylineProjectAtInverse(t *testing.T) {
+	pl := lShape(t)
+	f := func(raw float64) bool {
+		if math.IsNaN(raw) || math.IsInf(raw, 0) {
+			return true
+		}
+		s := math.Mod(math.Abs(raw), pl.Length())
+		p := pl.At(s)
+		gotS, closest, d := pl.Project(p)
+		// Points exactly on the corner may project to either leg; accept
+		// arc-length equality within tolerance.
+		return d < 1e-9 && almostEq(gotS, s, 1e-6) && closest.Dist(p) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolylineSlice(t *testing.T) {
+	pl := lShape(t)
+	sl, err := pl.Slice(50, 125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(sl.Length(), 75, 1e-9) {
+		t.Errorf("slice length = %v, want 75", sl.Length())
+	}
+	if sl.Start().Dist(Pt(50, 0)) > 1e-9 || sl.End().Dist(Pt(100, 25)) > 1e-9 {
+		t.Errorf("slice endpoints = %v..%v", sl.Start(), sl.End())
+	}
+	if _, err := pl.Slice(100, 100); err == nil {
+		t.Error("empty slice: want error")
+	}
+	// Clamped slice.
+	sl2, err := pl.Slice(-10, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(sl2.Length(), 150, 1e-9) {
+		t.Errorf("clamped slice length = %v, want 150", sl2.Length())
+	}
+}
+
+func TestPolylineSample(t *testing.T) {
+	pl := lShape(t)
+	pts := pl.Sample(10)
+	if len(pts) != 16 {
+		t.Fatalf("Sample(10) returned %d points, want 16", len(pts))
+	}
+	if pts[0] != Pt(0, 0) || pts[len(pts)-1] != Pt(100, 50) {
+		t.Errorf("sample endpoints = %v..%v", pts[0], pts[len(pts)-1])
+	}
+	// Bad step degrades to endpoints.
+	if got := pl.Sample(0); len(got) != 2 {
+		t.Errorf("Sample(0) = %d points, want 2", len(got))
+	}
+}
+
+func TestPolylineReverse(t *testing.T) {
+	pl := lShape(t)
+	rev := pl.Reverse()
+	if rev.Start() != pl.End() || rev.End() != pl.Start() {
+		t.Errorf("reverse endpoints wrong: %v..%v", rev.Start(), rev.End())
+	}
+	if !almostEq(rev.Length(), pl.Length(), 1e-12) {
+		t.Errorf("reverse length = %v", rev.Length())
+	}
+	if p := rev.At(25); p.Dist(Pt(100, 25)) > 1e-9 {
+		t.Errorf("rev.At(25) = %v, want (100,25)", p)
+	}
+}
+
+func TestPolylineConcat(t *testing.T) {
+	a := MustPolyline([]Point{Pt(0, 0), Pt(10, 0)})
+	b := MustPolyline([]Point{Pt(10, 0), Pt(10, 5)})
+	c, err := a.Concat(b, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(c.Length(), 15, 1e-12) {
+		t.Errorf("concat length = %v, want 15", c.Length())
+	}
+	far := MustPolyline([]Point{Pt(99, 0), Pt(99, 5)})
+	if _, err := a.Concat(far, 0.5); err == nil {
+		t.Error("disjoint concat: want error")
+	}
+}
+
+func TestMustPolylinePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustPolyline with one vertex did not panic")
+		}
+	}()
+	MustPolyline([]Point{Pt(0, 0)})
+}

@@ -1,0 +1,175 @@
+// Package geojson exports WiLocator's world state — road networks, bus
+// routes, AP deployments and traffic maps — as GeoJSON FeatureCollections
+// (RFC 7946) so they can be dropped onto any web map for inspection. The
+// planar simulation frame is georeferenced through a geo.Projection anchored
+// at a configurable origin; the default is the W Broadway corridor of the
+// paper's experiments.
+package geojson
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"wilocator/internal/geo"
+	"wilocator/internal/roadnet"
+	"wilocator/internal/trafficmap"
+	"wilocator/internal/wifi"
+)
+
+// DefaultOrigin anchors the planar frame on the paper's corridor
+// (W Broadway, Vancouver).
+var DefaultOrigin = geo.DefaultOrigin
+
+// FeatureCollection is a minimal RFC 7946 feature collection.
+type FeatureCollection struct {
+	Type     string    `json:"type"`
+	Features []Feature `json:"features"`
+}
+
+// Feature is one GeoJSON feature.
+type Feature struct {
+	Type       string         `json:"type"`
+	Geometry   Geometry       `json:"geometry"`
+	Properties map[string]any `json:"properties"`
+}
+
+// Geometry holds a Point ([lng, lat]) or LineString ([][lng, lat]).
+type Geometry struct {
+	Type        string `json:"type"`
+	Coordinates any    `json:"coordinates"`
+}
+
+// Exporter converts planar world state to GeoJSON.
+type Exporter struct {
+	proj *geo.Projection
+}
+
+// NewExporter creates an exporter anchored at origin; a zero origin selects
+// DefaultOrigin.
+func NewExporter(origin geo.LatLng) *Exporter {
+	if origin == (geo.LatLng{}) {
+		origin = DefaultOrigin
+	}
+	return &Exporter{proj: geo.NewProjection(origin)}
+}
+
+func (e *Exporter) coord(p geo.Point) [2]float64 {
+	ll := e.proj.ToLatLng(p)
+	return [2]float64{ll.Lng, ll.Lat}
+}
+
+func (e *Exporter) lineString(pl *geo.Polyline) Geometry {
+	pts := pl.Points()
+	coords := make([][2]float64, len(pts))
+	for i, p := range pts {
+		coords[i] = e.coord(p)
+	}
+	return Geometry{Type: "LineString", Coordinates: coords}
+}
+
+func (e *Exporter) point(p geo.Point) Geometry {
+	return Geometry{Type: "Point", Coordinates: e.coord(p)}
+}
+
+// Network renders every route as a LineString and every stop as a Point.
+func (e *Exporter) Network(net *roadnet.Network) FeatureCollection {
+	fc := FeatureCollection{Type: "FeatureCollection"}
+	for _, route := range net.Routes() {
+		fc.Features = append(fc.Features, Feature{
+			Type:     "Feature",
+			Geometry: e.lineString(route.Line()),
+			Properties: map[string]any{
+				"kind":     "route",
+				"route":    route.ID(),
+				"name":     route.Name(),
+				"class":    route.Class().String(),
+				"lengthKm": route.Length() / 1000,
+				"stops":    route.NumStops(),
+			},
+		})
+		for i, stop := range route.Stops() {
+			fc.Features = append(fc.Features, Feature{
+				Type:     "Feature",
+				Geometry: e.point(route.PointAt(stop.Arc)),
+				Properties: map[string]any{
+					"kind":  "stop",
+					"route": route.ID(),
+					"name":  stop.Name,
+					"index": i,
+				},
+			})
+		}
+	}
+	return fc
+}
+
+// Deployment renders every AP as a Point with its RF parameters.
+func (e *Exporter) Deployment(dep *wifi.Deployment) FeatureCollection {
+	fc := FeatureCollection{Type: "FeatureCollection"}
+	for _, ap := range dep.APs() {
+		fc.Features = append(fc.Features, Feature{
+			Type:     "Feature",
+			Geometry: e.point(ap.Pos),
+			Properties: map[string]any{
+				"kind":        "ap",
+				"bssid":       string(ap.BSSID),
+				"ssid":        ap.SSID,
+				"refRss":      ap.RefRSS,
+				"pathLossExp": ap.PathLossExp,
+				"active":      dep.Active(ap.BSSID),
+			},
+		})
+	}
+	return fc
+}
+
+// TrafficMap renders classified segments as LineStrings coloured by
+// condition (the Fig. 11 visual).
+func (e *Exporter) TrafficMap(net *roadnet.Network, statuses []trafficmap.SegmentStatus) (FeatureCollection, error) {
+	fc := FeatureCollection{Type: "FeatureCollection"}
+	for _, st := range statuses {
+		seg, ok := net.Graph.Segment(st.Seg)
+		if !ok {
+			return FeatureCollection{}, fmt.Errorf("geojson: unknown segment %d", st.Seg)
+		}
+		fc.Features = append(fc.Features, Feature{
+			Type:     "Feature",
+			Geometry: e.lineString(seg.Line),
+			Properties: map[string]any{
+				"kind":      "segment",
+				"segment":   int(st.Seg),
+				"condition": st.Condition.String(),
+				"z":         st.Z,
+				"inferred":  st.Inferred,
+				"routes":    st.Routes,
+				"stroke":    conditionColor(st.Condition),
+			},
+		})
+	}
+	return fc, nil
+}
+
+// conditionColor follows the usual traffic-map palette.
+func conditionColor(c trafficmap.Condition) string {
+	switch c {
+	case trafficmap.Normal:
+		return "#2ecc71"
+	case trafficmap.Slow:
+		return "#f39c12"
+	case trafficmap.VerySlow:
+		return "#e74c3c"
+	default:
+		return "#95a5a6"
+	}
+}
+
+// Write encodes a feature collection as indented JSON.
+func Write(w io.Writer, fc FeatureCollection) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(fc); err != nil {
+		return fmt.Errorf("geojson: encode: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package geojson
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+
+	"wilocator/internal/geo"
+	"wilocator/internal/roadnet"
+	"wilocator/internal/trafficmap"
+	"wilocator/internal/traveltime"
+	"wilocator/internal/wifi"
+	"wilocator/internal/xrand"
+)
+
+func world(t *testing.T) (*roadnet.Network, *wifi.Deployment) {
+	t.Helper()
+	net, err := roadnet.BuildCampus(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := wifi.Deploy(net, wifi.DefaultDeploySpec(), xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, dep
+}
+
+func TestNetworkExport(t *testing.T) {
+	net, _ := world(t)
+	fc := NewExporter(geo.LatLng{}).Network(net)
+	if fc.Type != "FeatureCollection" {
+		t.Errorf("type = %q", fc.Type)
+	}
+	// 1 route LineString + 2 stop Points.
+	if len(fc.Features) != 3 {
+		t.Fatalf("features = %d", len(fc.Features))
+	}
+	route := fc.Features[0]
+	if route.Geometry.Type != "LineString" || route.Properties["kind"] != "route" {
+		t.Errorf("first feature = %+v", route)
+	}
+	coords, ok := route.Geometry.Coordinates.([][2]float64)
+	if !ok || len(coords) < 2 {
+		t.Fatalf("coordinates = %#v", route.Geometry.Coordinates)
+	}
+	// Anchored at the default origin: roughly Vancouver.
+	if math.Abs(coords[0][1]-49.2634) > 0.01 || math.Abs(coords[0][0]+123.1380) > 0.01 {
+		t.Errorf("origin coordinate = %v", coords[0])
+	}
+	for _, f := range fc.Features[1:] {
+		if f.Geometry.Type != "Point" || f.Properties["kind"] != "stop" {
+			t.Errorf("stop feature = %+v", f)
+		}
+	}
+}
+
+func TestDeploymentExport(t *testing.T) {
+	net, dep := world(t)
+	_ = net
+	if err := dep.Deactivate(dep.APs()[0].BSSID); err != nil {
+		t.Fatal(err)
+	}
+	fc := NewExporter(geo.LatLng{}).Deployment(dep)
+	if len(fc.Features) != dep.NumAPs() {
+		t.Fatalf("features = %d, want %d", len(fc.Features), dep.NumAPs())
+	}
+	if active, ok := fc.Features[0].Properties["active"].(bool); !ok || active {
+		t.Errorf("deactivated AP exported as active: %+v", fc.Features[0].Properties)
+	}
+}
+
+func TestTrafficMapExport(t *testing.T) {
+	net, _ := world(t)
+	store := traveltime.NewStore(traveltime.PaperPlan())
+	gen, err := trafficmap.NewGenerator(net, store, trafficmap.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := time.Date(2016, 3, 7, 9, 0, 0, 0, time.UTC)
+	statuses := gen.Map(at)
+	ex := NewExporter(geo.LatLng{})
+	fc, err := ex.TrafficMap(net, statuses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fc.Features) != len(statuses) {
+		t.Fatalf("features = %d, want %d", len(fc.Features), len(statuses))
+	}
+	if stroke := fc.Features[0].Properties["stroke"]; stroke != "#2ecc71" {
+		t.Errorf("normal segment stroke = %v", stroke)
+	}
+	// Unknown segment errors.
+	if _, err := ex.TrafficMap(net, []trafficmap.SegmentStatus{{Seg: 999}}); err == nil {
+		t.Error("unknown segment accepted")
+	}
+}
+
+func TestWriteIsValidGeoJSON(t *testing.T) {
+	net, dep := world(t)
+	ex := NewExporter(geo.LatLng{Lat: 48, Lng: 11})
+	var buf bytes.Buffer
+	if err := Write(&buf, ex.Network(net)); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&buf, ex.Deployment(dep)); err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	for i := 0; i < 2; i++ {
+		var doc struct {
+			Type     string `json:"type"`
+			Features []struct {
+				Type     string `json:"type"`
+				Geometry struct {
+					Type        string          `json:"type"`
+					Coordinates json.RawMessage `json:"coordinates"`
+				} `json:"geometry"`
+				Properties map[string]any `json:"properties"`
+			} `json:"features"`
+		}
+		if err := dec.Decode(&doc); err != nil {
+			t.Fatalf("document %d: %v", i, err)
+		}
+		if doc.Type != "FeatureCollection" || len(doc.Features) == 0 {
+			t.Fatalf("document %d malformed: %+v", i, doc)
+		}
+		for _, f := range doc.Features {
+			if f.Type != "Feature" || f.Geometry.Type == "" || len(f.Geometry.Coordinates) == 0 {
+				t.Fatalf("bad feature: %+v", f)
+			}
+		}
+	}
+}
+
+func TestConditionColors(t *testing.T) {
+	if conditionColor(trafficmap.Slow) == conditionColor(trafficmap.VerySlow) {
+		t.Error("slow and very-slow share a colour")
+	}
+	if conditionColor(trafficmap.Unknown) != "#95a5a6" {
+		t.Error("unknown colour wrong")
+	}
+}

@@ -1,0 +1,180 @@
+// Package hybrid implements the paper's Section VII extension: "WiLocator
+// is by no means exclusive; it can seamlessly integrate with GPS or Cell-ID
+// based location systems. For instance, when a smartphone scans no WiFi
+// information for a while, the GPS module is activated so that the system
+// can adaptively work from WiFi-coverage areas to GPS viable environments."
+//
+// A Tracker wraps the SVD tracker and an (expensive, canyon-afflicted) GPS
+// receiver. While WiFi fixes flow, GPS stays off; after GapCycles
+// consecutive scan cycles without a usable WiFi fix the GPS module is
+// powered up and used until WiFi recovers. Energy is accounted per source
+// so the adaptive policy's cost is measurable.
+package hybrid
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"wilocator/internal/baseline"
+	"wilocator/internal/locate"
+	"wilocator/internal/wifi"
+)
+
+// DefaultGapCycles is how many consecutive fix-less scan cycles switch the
+// GPS module on.
+const DefaultGapCycles = 3
+
+// DefaultWeakRSS is the strongest-reading floor (dBm) below which a scan
+// counts as "no WiFi information": hearing only the distant fringe of an AP
+// hundreds of metres away does not localise a bus, and clinging to such
+// scans is what the paper's hand-off is designed to avoid.
+const DefaultWeakRSS = -78
+
+// Source identifies which subsystem produced a fix.
+type Source int
+
+// Fix sources.
+const (
+	SourceWiFi Source = iota + 1
+	SourceGPS
+)
+
+// String implements fmt.Stringer.
+func (s Source) String() string {
+	switch s {
+	case SourceWiFi:
+		return "wifi"
+	case SourceGPS:
+		return "gps"
+	default:
+		return fmt.Sprintf("Source(%d)", int(s))
+	}
+}
+
+// Fix is one hybrid position estimate.
+type Fix struct {
+	Arc    float64
+	Time   time.Time
+	Source Source
+}
+
+// Config tunes the hybrid tracker. The zero value selects defaults.
+type Config struct {
+	// GapCycles is the number of consecutive WiFi misses before GPS
+	// activates. Default DefaultGapCycles.
+	GapCycles int
+	// WeakRSS is the strongest-reading floor in dBm; scans whose best
+	// reading is weaker count as misses. Zero selects DefaultWeakRSS;
+	// positive values disable the floor.
+	WeakRSS int
+}
+
+func (c Config) withDefaults() Config {
+	if c.GapCycles <= 0 {
+		c.GapCycles = DefaultGapCycles
+	}
+	if c.WeakRSS == 0 {
+		c.WeakRSS = DefaultWeakRSS
+	}
+	return c
+}
+
+// Tracker adaptively combines SVD/WiFi tracking with a GPS receiver.
+type Tracker struct {
+	wifiTracker *locate.Tracker
+	gps         *baseline.GPSTracker
+	cfg         Config
+
+	misses    int
+	gpsActive bool
+	wifiJ     float64
+	lastArc   float64
+	hasFix    bool
+	fixes     []Fix
+}
+
+// New creates a hybrid tracker from an SVD tracker and a GPS model.
+func New(wifiTracker *locate.Tracker, gps *baseline.GPSTracker, cfg Config) (*Tracker, error) {
+	if wifiTracker == nil || gps == nil {
+		return nil, errors.New("hybrid: nil tracker")
+	}
+	return &Tracker{wifiTracker: wifiTracker, gps: gps, cfg: cfg.withDefaults()}, nil
+}
+
+// GPSActive reports whether the GPS module is currently powered.
+func (t *Tracker) GPSActive() bool { return t.gpsActive }
+
+// EnergyJ returns the cumulative (wifi, gps) energy spent.
+func (t *Tracker) EnergyJ() (wifiJ, gpsJ float64) { return t.wifiJ, t.gps.EnergyJ() }
+
+// Fixes returns a copy of every fix produced so far.
+func (t *Tracker) Fixes() []Fix {
+	cp := make([]Fix, len(t.fixes))
+	copy(cp, t.fixes)
+	return cp
+}
+
+// Arc returns the latest hybrid position, if any.
+func (t *Tracker) Arc() (float64, bool) { return t.lastArc, t.hasFix }
+
+// Observe processes one scan cycle. scan is the (fused) WiFi scan of the
+// cycle — possibly empty in a coverage gap. trueArc is the bus's ground
+// truth position, consumed only by the simulated GPS receiver when the GPS
+// module is active (a real deployment would read the hardware instead).
+//
+// ok is false when neither subsystem produced a fix this cycle (WiFi miss
+// while GPS is still off, or a GPS outage).
+func (t *Tracker) Observe(scan wifi.Scan, trueArc float64, at time.Time) (Fix, bool) {
+	t.wifiJ += baseline.WiFiScanEnergyJ
+
+	if t.usable(scan) {
+		est, _, err := t.wifiTracker.Observe(scan)
+		switch {
+		case err == nil:
+			// WiFi recovered: power the GPS back down.
+			t.misses = 0
+			t.gpsActive = false
+			return t.record(Fix{Arc: est.Arc, Time: at, Source: SourceWiFi})
+		case !errors.Is(err, locate.ErrNoFix):
+			// Out-of-order scans and the like: treat as a miss, not a crash.
+			return Fix{}, false
+		}
+	}
+	t.misses++
+	if t.misses >= t.cfg.GapCycles {
+		t.gpsActive = true
+	}
+	if !t.gpsActive {
+		return Fix{}, false
+	}
+	arc, ok := t.gps.Observe(trueArc, at)
+	if !ok {
+		return Fix{}, false
+	}
+	if t.hasFix && arc < t.lastArc {
+		arc = t.lastArc
+	}
+	return t.record(Fix{Arc: arc, Time: at, Source: SourceGPS})
+}
+
+// usable reports whether the scan carries enough signal to localise: at
+// least one reading at or above the weak-RSS floor.
+func (t *Tracker) usable(scan wifi.Scan) bool {
+	if t.cfg.WeakRSS > 0 {
+		return len(scan.Readings) > 0
+	}
+	for _, r := range scan.Readings {
+		if r.RSSI >= t.cfg.WeakRSS {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *Tracker) record(f Fix) (Fix, bool) {
+	t.lastArc = f.Arc
+	t.hasFix = true
+	t.fixes = append(t.fixes, f)
+	return f, true
+}

@@ -1,0 +1,211 @@
+package hybrid
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"wilocator/internal/baseline"
+	"wilocator/internal/locate"
+	"wilocator/internal/mobility"
+	"wilocator/internal/roadnet"
+	"wilocator/internal/sensing"
+	"wilocator/internal/svd"
+	"wilocator/internal/wifi"
+	"wilocator/internal/xrand"
+)
+
+var t0 = time.Date(2016, 3, 7, 13, 0, 0, 0, time.UTC)
+
+// gapWorld builds a 3 km corridor whose middle kilometre has every AP
+// deactivated — the "GPS viable environment" the paper's hand-off targets.
+func gapWorld(t *testing.T, seed uint64) (*roadnet.Network, *wifi.Deployment, *svd.Diagram, *roadnet.Route) {
+	t.Helper()
+	net, err := roadnet.BuildCampus(3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := wifi.Deploy(net, wifi.DefaultDeploySpec(), xrand.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	route := net.Routes()[0]
+	for _, ap := range dep.APs() {
+		if s, _ := route.Project(ap.Pos); s > 1000 && s < 2000 {
+			if err := dep.Deactivate(ap.BSSID); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	dia, err := svd.Build(net, dep, svd.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, dep, dia, route
+}
+
+func newHybrid(t *testing.T, dia *svd.Diagram, route *roadnet.Route, seed uint64, cfg Config) *Tracker {
+	t.Helper()
+	pos, err := locate.NewPositioner(dia, dia.Order())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wt, err := locate.NewTracker(pos, route.ID(), locate.TrackerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gps, err := baseline.NewGPSTracker(route, baseline.GPSConfig{Seed: seed}, xrand.New(seed+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := New(wt, gps, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestNewValidation(t *testing.T) {
+	_, _, dia, route := gapWorld(t, 1)
+	pos, err := locate.NewPositioner(dia, dia.Order())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wt, err := locate.NewTracker(pos, route.ID(), locate.TrackerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(nil, nil, Config{}); err == nil {
+		t.Error("nil trackers accepted")
+	}
+	if _, err := New(wt, nil, Config{}); err == nil {
+		t.Error("nil gps accepted")
+	}
+}
+
+func TestSourceString(t *testing.T) {
+	if SourceWiFi.String() != "wifi" || SourceGPS.String() != "gps" {
+		t.Error("source strings wrong")
+	}
+	if Source(9).String() != "Source(9)" {
+		t.Error("unknown source string wrong")
+	}
+}
+
+// TestHandoffThroughCoverageGap drives a bus through the dead zone: the
+// hybrid tracker must hand off to GPS inside the gap, hand back to WiFi
+// after it, and keep the error bounded throughout.
+func TestHandoffThroughCoverageGap(t *testing.T) {
+	net, dep, dia, route := gapWorld(t, 2)
+	_ = net
+	h := newHybrid(t, dia, route, 3, Config{})
+	phones, err := sensing.NewRiderPhones("bus", 5, dep, sensing.PhoneConfig{ReportLoss: -1}, xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	field := &mobility.CongestionField{Seed: 5, Sigma: -1, DaySigma: -1}
+	trip, err := mobility.Drive(net, route.ID(), t0, mobility.DriveConfig{}, field, nil, xrand.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sawGPSInGap, sawWiFiAfterGap := false, false
+	var worst float64
+	fixes := 0
+	for at := trip.Start(); !trip.Done(at); at = at.Add(sensing.DefaultScanPeriod) {
+		trueArc := trip.ArcAt(at)
+		pos := route.PointAt(trueArc)
+		var scans []wifi.Scan
+		for _, p := range phones {
+			if s, ok := p.ScanAt(pos, at); ok {
+				scans = append(scans, s)
+			}
+		}
+		fix, ok := h.Observe(sensing.Fuse(scans), trueArc, at)
+		if !ok {
+			continue
+		}
+		fixes++
+		if e := math.Abs(fix.Arc - trueArc); e > worst {
+			worst = e
+		}
+		if fix.Source == SourceGPS && trueArc > 1100 && trueArc < 1900 {
+			sawGPSInGap = true
+		}
+		if fix.Source == SourceWiFi && trueArc > 2200 {
+			sawWiFiAfterGap = true
+		}
+	}
+	if fixes < 20 {
+		t.Fatalf("only %d fixes", fixes)
+	}
+	if !sawGPSInGap {
+		t.Error("GPS never took over inside the coverage gap")
+	}
+	if !sawWiFiAfterGap {
+		t.Error("WiFi never resumed after the gap")
+	}
+	if worst > 200 {
+		t.Errorf("worst hybrid error %.0f m", worst)
+	}
+	if _, ok := h.Arc(); !ok {
+		t.Error("no final position")
+	}
+}
+
+// TestAdaptiveEnergy verifies the policy's point: the hybrid spends far less
+// GPS energy than an always-on GPS while still covering the gap.
+func TestAdaptiveEnergy(t *testing.T) {
+	net, dep, dia, route := gapWorld(t, 7)
+	h := newHybrid(t, dia, route, 8, Config{})
+	phones, err := sensing.NewRiderPhones("bus", 5, dep, sensing.PhoneConfig{ReportLoss: -1}, xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	field := &mobility.CongestionField{Seed: 10, Sigma: -1, DaySigma: -1}
+	trip, err := mobility.Drive(net, route.ID(), t0, mobility.DriveConfig{}, field, nil, xrand.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles := 0
+	for at := trip.Start(); !trip.Done(at); at = at.Add(sensing.DefaultScanPeriod) {
+		trueArc := trip.ArcAt(at)
+		pos := route.PointAt(trueArc)
+		var scans []wifi.Scan
+		for _, p := range phones {
+			if s, ok := p.ScanAt(pos, at); ok {
+				scans = append(scans, s)
+			}
+		}
+		h.Observe(sensing.Fuse(scans), trueArc, at)
+		cycles++
+	}
+	_, gpsJ := h.EnergyJ()
+	alwaysOn := float64(cycles) * baseline.GPSFixEnergyJ
+	if gpsJ >= alwaysOn/2 {
+		t.Errorf("hybrid GPS energy %.1f J not well below always-on %.1f J", gpsJ, alwaysOn)
+	}
+	if gpsJ == 0 {
+		t.Error("GPS never activated despite the coverage gap")
+	}
+}
+
+// TestGapCyclesConfig verifies the activation threshold is honoured.
+func TestGapCyclesConfig(t *testing.T) {
+	_, _, dia, route := gapWorld(t, 12)
+	h := newHybrid(t, dia, route, 13, Config{GapCycles: 5})
+	// Feed empty scans: GPS must stay off for 4 cycles and be active at 5.
+	for i := 1; i <= 5; i++ {
+		h.Observe(wifi.Scan{Time: t0.Add(time.Duration(i) * 10 * time.Second)}, 100, t0)
+		if i < 5 && h.GPSActive() {
+			t.Fatalf("GPS active after only %d misses", i)
+		}
+	}
+	if !h.GPSActive() {
+		t.Error("GPS not active after 5 misses")
+	}
+	if got := len(h.Fixes()); got == 0 {
+		t.Error("no GPS fixes recorded after activation")
+	}
+}

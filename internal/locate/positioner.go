@@ -1,0 +1,444 @@
+// Package locate implements SVD-based bus positioning (Section III-B of the
+// WiLocator paper) and per-bus tracking.
+//
+// A Positioner turns one WiFi scan into a position estimate on a known bus
+// route by looking the scan's RSS rank vector up in the Signal Voronoi
+// Diagram and applying the paper's rules: the route mobility constraint,
+// tie handling (equal ranks pin the bus to a tile boundary), order reduction
+// when the full rank vector matches no tile (noise or AP dynamics), and the
+// longest-boundary neighbour fallback for tiles that do not intersect the
+// route. A Tracker strings estimates into a trajectory (Definition 6),
+// enforces forward progress, and interpolates the instants at which the bus
+// crossed road-segment boundaries (Fig. 5) — the raw material of travel-time
+// estimation.
+package locate
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"wilocator/internal/geo"
+	"wilocator/internal/svd"
+	"wilocator/internal/wifi"
+)
+
+// Method records how an estimate was obtained, mirroring the paper's rule
+// cascade.
+type Method int
+
+// Estimation methods, in decreasing order of confidence.
+const (
+	// MethodExact: the full-order rank key matched a tile intersecting the
+	// route.
+	MethodExact Method = iota + 1
+	// MethodTie: equal top ranks placed the bus on a tile boundary.
+	MethodTie
+	// MethodReduced: a lower-order prefix key was used (noisy tail ranks or
+	// AP dynamics).
+	MethodReduced
+	// MethodNeighbor: the scan's tile does not intersect the route; the
+	// neighbouring tile with the longest shared boundary was used.
+	MethodNeighbor
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case MethodExact:
+		return "exact"
+	case MethodTie:
+		return "tie"
+	case MethodReduced:
+		return "reduced"
+	case MethodNeighbor:
+		return "neighbor"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// ErrNoFix is returned when a scan contains no usable readings (no known
+// active AP detected).
+var ErrNoFix = errors.New("locate: no position fix from scan")
+
+// Estimate is one position fix on a route.
+type Estimate struct {
+	RouteID string
+	// Arc is the estimated arc length along the route, metres.
+	Arc float64
+	// Pos is the planar position of Arc on the route.
+	Pos geo.Point
+	// Key is the tile key that produced the fix.
+	Key svd.TileKey
+	// Order is the tile order actually used.
+	Order int
+	// Method records which rule produced the fix.
+	Method Method
+	// Time is the scan timestamp.
+	Time time.Time
+}
+
+// Prior carries the mobility constraint from the previous fix.
+type Prior struct {
+	// Arc is the previous estimated arc length.
+	Arc float64
+	// ExpectedArc is where the tracker expects the bus now (previous arc
+	// advanced by the smoothed speed).
+	ExpectedArc float64
+	// MinArc and MaxArc bound the feasible window.
+	MinArc, MaxArc float64
+}
+
+// DefaultTieMargin is the RSS difference (dB) below which two readings are
+// treated as rank-tied. The paper's tie rule pins equal ranks to the tile
+// boundary; with integer dBm readings and multi-phone fusion, readings
+// within a couple of dB are order-ambiguous and get the same treatment.
+const DefaultTieMargin = 2
+
+// Positioner locates buses on routes using a Signal Voronoi Diagram.
+type Positioner struct {
+	d     *svd.Diagram
+	order int
+
+	// TieMargin is the RSS difference (dB) treated as a rank tie. It may
+	// be adjusted before first use; 0 restricts ties to exact equality.
+	TieMargin int
+}
+
+// NewPositioner creates a positioner querying the diagram at the given tile
+// order (1 <= order <= d.Order()).
+func NewPositioner(d *svd.Diagram, order int) (*Positioner, error) {
+	if d == nil {
+		return nil, errors.New("locate: nil diagram")
+	}
+	if order < 1 || order > d.Order() {
+		return nil, fmt.Errorf("locate: order %d outside [1, %d]", order, d.Order())
+	}
+	return &Positioner{d: d, order: order, TieMargin: DefaultTieMargin}, nil
+}
+
+// Order returns the tile order the positioner queries at.
+func (p *Positioner) Order() int { return p.order }
+
+// Diagram returns the underlying diagram.
+func (p *Positioner) Diagram() *svd.Diagram { return p.d }
+
+// candidate is one possible fix before prior-based selection.
+type candidate struct {
+	run    svd.Run
+	arc    float64
+	key    svd.TileKey
+	order  int
+	method Method
+}
+
+// Locate estimates the bus position on routeID from one scan. prior may be
+// nil for the first fix of a trip.
+func (p *Positioner) Locate(routeID string, scan wifi.Scan, prior *Prior) (Estimate, error) {
+	route, ok := p.d.Network().Route(routeID)
+	if !ok {
+		return Estimate{}, fmt.Errorf("locate: unknown route %q", routeID)
+	}
+	filtered := p.filterScan(scan)
+	if len(filtered.Readings) == 0 {
+		return Estimate{}, fmt.Errorf("%w: no known active APs in scan", ErrNoFix)
+	}
+
+	cands := p.candidates(routeID, filtered)
+	if len(cands) == 0 {
+		return Estimate{}, fmt.Errorf("%w: rank vector matches no tile on route %q", ErrNoFix, routeID)
+	}
+	best := pickCandidate(cands, prior)
+	return Estimate{
+		RouteID: routeID,
+		Arc:     best.arc,
+		Pos:     route.PointAt(best.arc),
+		Key:     best.key,
+		Order:   best.order,
+		Method:  best.method,
+		Time:    scan.Time,
+	}, nil
+}
+
+// filterScan keeps only readings from APs that are geo-tagged and active —
+// the paper ignores readings from unknown APs during SVD positioning.
+func (p *Positioner) filterScan(scan wifi.Scan) wifi.Scan {
+	out := wifi.Scan{Time: scan.Time}
+	dep := p.d.Deployment()
+	for _, r := range scan.Readings {
+		if dep.Active(r.BSSID) {
+			out.Readings = append(out.Readings, r)
+		}
+	}
+	return out
+}
+
+// candidates runs the paper's rule cascade and returns every plausible fix.
+func (p *Positioner) candidates(routeID string, scan wifi.Scan) []candidate {
+	keys := tieKeys(scan, p.order, p.TieMargin)
+	if len(keys) == 0 {
+		return nil
+	}
+	primary := keys[0]
+
+	// Rule 1: exact (and tie-variant) keys at the working order.
+	var cands []candidate
+	for i, key := range keys {
+		for _, run := range p.d.FindRuns(routeID, key) {
+			method := MethodExact
+			if i > 0 {
+				method = MethodTie
+			}
+			cands = append(cands, candidate{
+				run: run, arc: p.arcInRun(key, run, routeID),
+				key: key, order: key.Order(), method: method,
+			})
+		}
+	}
+	if len(cands) > 0 {
+		// Tie refinement: if the deterministic key and a tie variant map to
+		// adjacent runs, the equal ranks place the bus on their shared
+		// boundary (the paper's points o/p in Fig. 2).
+		refineTieBoundaries(cands)
+		return cands
+	}
+
+	// Rule 2: longest-boundary neighbour — the scan's tile exists in the
+	// signal space but does not intersect this route (paper's ST(b,e) case).
+	if tile, ok := p.d.Tile(primary.Prefix(p.d.Order())); ok {
+		for _, nb := range p.d.NeighborsByBoundary(tile.Key) {
+			nbKey := nb.Prefix(p.order)
+			runs := p.d.FindRuns(routeID, nbKey)
+			if len(runs) == 0 {
+				continue
+			}
+			for _, run := range runs {
+				cands = append(cands, candidate{
+					run: run, arc: p.arcInRun(nbKey, run, routeID),
+					key: nbKey, order: nbKey.Order(), method: MethodNeighbor,
+				})
+			}
+			return cands
+		}
+	}
+
+	// Rule 3: order reduction — drop the noisiest (weakest) ranks until the
+	// prefix matches somewhere on the route.
+	for o := p.order - 1; o >= 1; o-- {
+		key := primary.Prefix(o)
+		for _, run := range p.d.FindRuns(routeID, key) {
+			cands = append(cands, candidate{
+				run: run, arc: p.arcInRun(key, run, routeID),
+				key: key, order: o, method: MethodReduced,
+			})
+		}
+		if len(cands) > 0 {
+			return cands
+		}
+	}
+	return nil
+}
+
+// arcInRun maps a run to a point estimate: the projection of the 2-D tile
+// centroid onto the route, clamped into the run (Definition 5's Tile
+// Mapping), or the run midpoint when no band geometry is available.
+func (p *Positioner) arcInRun(key svd.TileKey, run svd.Run, routeID string) float64 {
+	route, ok := p.d.Network().Route(routeID)
+	if !ok {
+		return run.Mid()
+	}
+	tile, ok := p.d.Tile(key)
+	if !ok {
+		return run.Mid()
+	}
+	s, _ := route.Project(tile.Centroid)
+	if s < run.S0 {
+		return run.S0
+	}
+	if s > run.S1 {
+		return run.S1
+	}
+	return s
+}
+
+// tieKeys returns candidate keys of the given order: first the deterministic
+// rank key, then variants obtained by permuting groups of (near-)equal RSS
+// values. The result is capped to avoid combinatorial blow-ups in
+// pathological scans.
+func tieKeys(scan wifi.Scan, order, margin int) []svd.TileKey {
+	groups := tieGroups(scan, margin)
+	if len(groups) == 0 {
+		return nil
+	}
+	const maxKeys = 8
+	// Enumerate orderings of the first `order` slots that respect the tie
+	// groups: within a group any order is allowed; across groups the RSS
+	// order is fixed.
+	orders := [][]wifi.BSSID{{}}
+	for _, g := range groups {
+		if len(orders[0]) >= order {
+			break
+		}
+		var next [][]wifi.BSSID
+		for _, prefix := range orders {
+			for _, perm := range permutations(g, maxKeys) {
+				combined := make([]wifi.BSSID, 0, len(prefix)+len(perm))
+				combined = append(combined, prefix...)
+				combined = append(combined, perm...)
+				next = append(next, combined)
+				if len(next) >= maxKeys {
+					break
+				}
+			}
+			if len(next) >= maxKeys {
+				break
+			}
+		}
+		orders = next
+	}
+	seen := make(map[svd.TileKey]bool, len(orders))
+	out := make([]svd.TileKey, 0, len(orders))
+	for _, o := range orders {
+		key := svd.MakeKey(o, order)
+		if key == "" || seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, key)
+	}
+	return out
+}
+
+// permutations returns up to limit permutations of g, starting with g's own
+// (deterministic) order. Groups are tiny (readings sharing one integer dBm
+// value), so a simple recursive enumeration is fine.
+func permutations(g []wifi.BSSID, limit int) [][]wifi.BSSID {
+	if len(g) == 1 {
+		return [][]wifi.BSSID{g}
+	}
+	var out [][]wifi.BSSID
+	var rec func(prefix, rest []wifi.BSSID)
+	rec = func(prefix, rest []wifi.BSSID) {
+		if len(out) >= limit {
+			return
+		}
+		if len(rest) == 0 {
+			cp := make([]wifi.BSSID, len(prefix))
+			copy(cp, prefix)
+			out = append(out, cp)
+			return
+		}
+		for i := range rest {
+			nextRest := make([]wifi.BSSID, 0, len(rest)-1)
+			nextRest = append(nextRest, rest[:i]...)
+			nextRest = append(nextRest, rest[i+1:]...)
+			rec(append(prefix, rest[i]), nextRest)
+		}
+	}
+	rec(nil, g)
+	return out
+}
+
+// tieGroups partitions the scan's readings into rank groups whose members
+// are pairwise chained within margin dB of each other, strongest group
+// first. With margin 0 this reduces to Scan.Ties().
+func tieGroups(scan wifi.Scan, margin int) [][]wifi.BSSID {
+	rs := make([]wifi.Reading, len(scan.Readings))
+	copy(rs, scan.Readings)
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].RSSI != rs[j].RSSI {
+			return rs[i].RSSI > rs[j].RSSI
+		}
+		return rs[i].BSSID < rs[j].BSSID
+	})
+	var out [][]wifi.BSSID
+	for i := 0; i < len(rs); {
+		j := i
+		group := []wifi.BSSID{rs[i].BSSID}
+		for j+1 < len(rs) && rs[j].RSSI-rs[j+1].RSSI <= margin {
+			j++
+			group = append(group, rs[j].BSSID)
+		}
+		out = append(out, group)
+		i = j + 1
+	}
+	return out
+}
+
+// refineTieBoundaries applies the paper's equal-rank rule: when a
+// tie-variant candidate's run is adjacent to the deterministic candidate's
+// run, the (near-)equal ranks mean the bus is at their common boundary —
+// both candidates are snapped onto it.
+func refineTieBoundaries(cands []candidate) {
+	for i := range cands {
+		if cands[i].method != MethodTie {
+			continue
+		}
+		for j := range cands {
+			if cands[j].method != MethodExact {
+				continue
+			}
+			const eps = 1e-6
+			switch {
+			case abs(cands[i].run.S1-cands[j].run.S0) < eps:
+				cands[i].arc = cands[i].run.S1
+				cands[j].arc = cands[i].run.S1
+			case abs(cands[i].run.S0-cands[j].run.S1) < eps:
+				cands[i].arc = cands[i].run.S0
+				cands[j].arc = cands[i].run.S0
+			}
+		}
+	}
+}
+
+// pickCandidate applies the mobility constraint: prefer candidates inside
+// the feasible window closest to the expected position; without a prior,
+// prefer the longest (a-priori most likely) run at the highest order.
+func pickCandidate(cands []candidate, prior *Prior) candidate {
+	best := cands[0]
+	bestScore := score(cands[0], prior)
+	for _, c := range cands[1:] {
+		if s := score(c, prior); s < bestScore {
+			best, bestScore = c, s
+		}
+	}
+	return best
+}
+
+// score is lower for better candidates.
+func score(c candidate, prior *Prior) float64 {
+	// Confidence ordering between methods: exact < tie < reduced < neighbor.
+	base := float64(c.method-1) * 1e4
+	// Higher order is finer.
+	base -= float64(c.order) * 10
+	if prior == nil {
+		// Longer runs are a-priori more likely to contain the bus.
+		return base - c.run.Len()
+	}
+	d := abs(c.arc - prior.ExpectedArc)
+	if c.arc < prior.MinArc || c.arc > prior.MaxArc {
+		// Outside the feasible window: heavily penalised but not excluded,
+		// so a completely stale prior cannot strand the tracker.
+		d += 1e6 + distToWindow(c.arc, prior)
+	}
+	return base + d
+}
+
+func distToWindow(arc float64, prior *Prior) float64 {
+	if arc < prior.MinArc {
+		return prior.MinArc - arc
+	}
+	if arc > prior.MaxArc {
+		return arc - prior.MaxArc
+	}
+	return 0
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

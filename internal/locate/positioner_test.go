@@ -1,0 +1,313 @@
+package locate
+
+import (
+	"errors"
+	"sort"
+	"testing"
+	"time"
+
+	"wilocator/internal/rf"
+	"wilocator/internal/roadnet"
+	"wilocator/internal/svd"
+	"wilocator/internal/wifi"
+	"wilocator/internal/xrand"
+)
+
+var t0 = time.Date(2016, 3, 1, 8, 0, 0, 0, time.UTC)
+
+// scenario bundles everything a positioning test needs.
+type scenario struct {
+	net    *roadnet.Network
+	dep    *wifi.Deployment
+	dia    *svd.Diagram
+	route  *roadnet.Route
+	sensor *wifi.Sensor
+}
+
+func newScenario(t *testing.T, roadLen float64, seed uint64, cfg svd.Config, noise rf.Noise) *scenario {
+	t.Helper()
+	net, err := roadnet.BuildCampus(roadLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := wifi.Deploy(net, wifi.DefaultDeploySpec(), xrand.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dia, err := svd.Build(net, dep, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := rf.NewReceiver(cfg.Model, noise, xrand.New(seed+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sensor, err := wifi.NewSensor(dep, rx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &scenario{net: net, dep: dep, dia: dia, route: net.Routes()[0], sensor: sensor}
+}
+
+func TestNewPositionerValidation(t *testing.T) {
+	sc := newScenario(t, 200, 1, svd.Config{GridStep: -1}, rf.NoNoise)
+	if _, err := NewPositioner(nil, 1); err == nil {
+		t.Error("nil diagram accepted")
+	}
+	if _, err := NewPositioner(sc.dia, 0); err == nil {
+		t.Error("order 0 accepted")
+	}
+	if _, err := NewPositioner(sc.dia, sc.dia.Order()+1); err == nil {
+		t.Error("excessive order accepted")
+	}
+	p, err := NewPositioner(sc.dia, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Order() != 2 || p.Diagram() != sc.dia {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestLocateNoiseFreeIsTight(t *testing.T) {
+	sc := newScenario(t, 500, 2, svd.Config{}, rf.NoNoise)
+	p, err := NewPositioner(sc.dia, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errs []float64
+	for s := 5.0; s < sc.route.Length(); s += 13 {
+		scan := sc.sensor.ScanAt(sc.route.PointAt(s), t0)
+		est, err := p.Locate(sc.route.ID(), scan, nil)
+		if err != nil {
+			t.Fatalf("Locate at %v: %v", s, err)
+		}
+		if est.RouteID != sc.route.ID() {
+			t.Fatalf("estimate route = %q", est.RouteID)
+		}
+		errs = append(errs, abs(est.Arc-s))
+	}
+	sort.Float64s(errs)
+	if med := errs[len(errs)/2]; med > 10 {
+		t.Errorf("noise-free median positioning error %.1f m, want <= 10 m", med)
+	}
+}
+
+func TestLocateNoisyMedianErrorSmall(t *testing.T) {
+	sc := newScenario(t, 500, 3, svd.Config{}, rf.Noise{})
+	p, err := NewPositioner(sc.dia, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errs []float64
+	for rep := 0; rep < 5; rep++ {
+		for s := 5.0; s < sc.route.Length(); s += 11 {
+			scan := sc.sensor.ScanAt(sc.route.PointAt(s), t0)
+			est, err := p.Locate(sc.route.ID(), scan, nil)
+			if err != nil {
+				continue
+			}
+			errs = append(errs, abs(est.Arc-s))
+		}
+	}
+	if len(errs) < 100 {
+		t.Fatalf("only %d fixes", len(errs))
+	}
+	sort.Float64s(errs)
+	if med := errs[len(errs)/2]; med > 15 {
+		t.Errorf("noisy median positioning error %.1f m, want <= 15 m", med)
+	}
+}
+
+func TestLocateErrors(t *testing.T) {
+	sc := newScenario(t, 200, 4, svd.Config{GridStep: -1}, rf.NoNoise)
+	p, err := NewPositioner(sc.dia, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Locate("nope", wifi.Scan{Time: t0}, nil); err == nil {
+		t.Error("unknown route accepted")
+	}
+	_, err = p.Locate(sc.route.ID(), wifi.Scan{Time: t0}, nil)
+	if !errors.Is(err, ErrNoFix) {
+		t.Errorf("empty scan: err = %v, want ErrNoFix", err)
+	}
+	// A scan containing only unknown APs also yields no fix.
+	scan := wifi.Scan{Time: t0, Readings: []wifi.Reading{{BSSID: "rogue", RSSI: -40}}}
+	if _, err := p.Locate(sc.route.ID(), scan, nil); !errors.Is(err, ErrNoFix) {
+		t.Errorf("unknown-AP scan: err = %v, want ErrNoFix", err)
+	}
+}
+
+func TestLocateOrderReduction(t *testing.T) {
+	sc := newScenario(t, 400, 5, svd.Config{GridStep: -1}, rf.NoNoise)
+	p, err := NewPositioner(sc.dia, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fabricate a scan whose order-2 key cannot exist: strongest AP from
+	// one end of the road, second-strongest from the other end.
+	aps := sc.dep.APs()
+	far := aps[len(aps)-1]
+	s := 30.0
+	scan := sc.sensor.ScanAt(sc.route.PointAt(s), t0)
+	if len(scan.Readings) < 2 {
+		t.Fatal("scan too small")
+	}
+	// Replace the second reading with the far AP just below the top one.
+	top := scan.RankOrder()[0]
+	var topRSSI int
+	for _, r := range scan.Readings {
+		if r.BSSID == top {
+			topRSSI = r.RSSI
+		}
+	}
+	fab := wifi.Scan{Time: t0, Readings: []wifi.Reading{
+		{BSSID: top, RSSI: topRSSI},
+		{BSSID: far.BSSID, RSSI: topRSSI - 5},
+	}}
+	est, err := p.Locate(sc.route.ID(), fab, nil)
+	if err != nil {
+		t.Fatalf("Locate: %v", err)
+	}
+	if est.Method != MethodReduced || est.Order != 1 {
+		t.Errorf("method = %v order %d, want reduced order 1", est.Method, est.Order)
+	}
+	if abs(est.Arc-s) > 60 {
+		t.Errorf("reduced-order error %.1f m, want near cell of strongest AP", abs(est.Arc-s))
+	}
+}
+
+func TestLocateTieHandling(t *testing.T) {
+	sc := newScenario(t, 400, 6, svd.Config{GridStep: -1}, rf.NoNoise)
+	p, err := NewPositioner(sc.dia, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build a scan with the top two APs tied: take a noise-free scan and
+	// force equality.
+	s := 200.0
+	scan := sc.sensor.ScanAt(sc.route.PointAt(s), t0)
+	order := scan.RankOrder()
+	if len(order) < 3 {
+		t.Fatal("scan too small")
+	}
+	var readings []wifi.Reading
+	for _, r := range scan.Readings {
+		if r.BSSID == order[0] || r.BSSID == order[1] {
+			r.RSSI = -55
+		}
+		readings = append(readings, r)
+	}
+	est, err := p.Locate(sc.route.ID(), wifi.Scan{Time: t0, Readings: readings}, nil)
+	if err != nil {
+		t.Fatalf("Locate: %v", err)
+	}
+	if abs(est.Arc-s) > 60 {
+		t.Errorf("tie-case error %.1f m", abs(est.Arc-s))
+	}
+}
+
+func TestLocateMobilityPriorDisambiguates(t *testing.T) {
+	sc := newScenario(t, 600, 7, svd.Config{GridStep: -1}, rf.Noise{})
+	p, err := NewPositioner(sc.dia, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a tight prior around the truth, the estimate must stay within
+	// the window even under noise.
+	s := 300.0
+	prior := &Prior{Arc: s - 15, ExpectedArc: s, MinArc: s - 50, MaxArc: s + 50}
+	for i := 0; i < 20; i++ {
+		scan := sc.sensor.ScanAt(sc.route.PointAt(s), t0)
+		est, err := p.Locate(sc.route.ID(), scan, prior)
+		if err != nil {
+			continue
+		}
+		if est.Arc < prior.MinArc-1 || est.Arc > prior.MaxArc+1 {
+			t.Errorf("estimate %.1f escaped feasible window [%v, %v]", est.Arc, prior.MinArc, prior.MaxArc)
+		}
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	tests := []struct {
+		m    Method
+		want string
+	}{
+		{MethodExact, "exact"},
+		{MethodTie, "tie"},
+		{MethodReduced, "reduced"},
+		{MethodNeighbor, "neighbor"},
+		{Method(42), "Method(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.m.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", int(tt.m), got, tt.want)
+		}
+	}
+}
+
+// TestLocateNeighborFallback reproduces the paper's ST(b,e) case from
+// Fig. 2: the scan's rank vector identifies a tile that exists in the
+// 2-D signal space but does not intersect the bus's route; the positioner
+// must fall back to the adjacent tile with the longest shared boundary.
+func TestLocateNeighborFallback(t *testing.T) {
+	sc := newScenario(t, 400, 8, svd.Config{GridStep: 2, BandWidth: 36}, rf.NoNoise)
+	p, err := NewPositioner(sc.dia, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.TieMargin = 0 // isolate the neighbour rule from tie handling
+
+	// Hunt the band for a full-order tile with no run on the route whose
+	// boundary-ordered neighbours eventually do have one.
+	route := sc.route
+	var offRoadKey svd.TileKey
+	for s := 1.0; s < route.Length(); s += 3 {
+		for _, lateral := range []float64{24, 30, -24, -30} {
+			pt := route.PointAt(s)
+			probe := pt
+			probe.Y += lateral
+			key := sc.dia.KeyAt(probe, 2)
+			if key.Order() != 2 || len(sc.dia.FindRuns(route.ID(), key)) != 0 {
+				continue
+			}
+			if _, ok := sc.dia.Tile(key); !ok {
+				continue
+			}
+			for _, nb := range sc.dia.NeighborsByBoundary(key) {
+				if len(sc.dia.FindRuns(route.ID(), nb.Prefix(2))) > 0 {
+					offRoadKey = key
+					break
+				}
+			}
+			if offRoadKey != "" {
+				break
+			}
+		}
+		if offRoadKey != "" {
+			break
+		}
+	}
+	if offRoadKey == "" {
+		t.Skip("no off-road tile with an on-road neighbour in this scenario")
+	}
+
+	// Fabricate a clean scan whose rank order is exactly the off-road key.
+	bssids := offRoadKey.BSSIDs()
+	scan := wifi.Scan{Time: t0}
+	for i, b := range bssids {
+		scan.Readings = append(scan.Readings, wifi.Reading{BSSID: b, RSSI: -50 - 10*i})
+	}
+	est, err := p.Locate(route.ID(), scan, nil)
+	if err != nil {
+		t.Fatalf("Locate: %v", err)
+	}
+	if est.Method != MethodNeighbor {
+		t.Errorf("method = %v, want neighbor", est.Method)
+	}
+	if est.Arc < 0 || est.Arc > route.Length() {
+		t.Errorf("estimate %v off the route", est.Arc)
+	}
+}

@@ -1,0 +1,155 @@
+package locate
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"wilocator/internal/svd"
+	"wilocator/internal/wifi"
+)
+
+// scanGen generates scans with unique BSSIDs over a small pool so that
+// margin ties occur often.
+type scanGen struct{ Scan wifi.Scan }
+
+// Generate implements quick.Generator.
+func (scanGen) Generate(r *rand.Rand, _ int) reflect.Value {
+	n := r.Intn(10)
+	seen := make(map[wifi.BSSID]bool)
+	s := wifi.Scan{}
+	for i := 0; i < n; i++ {
+		b := wifi.BSSID("ap-" + string(rune('a'+r.Intn(15))))
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		s.Readings = append(s.Readings, wifi.Reading{BSSID: b, RSSI: -40 - r.Intn(40)})
+	}
+	return reflect.ValueOf(scanGen{Scan: s})
+}
+
+// TestTieGroupsFlattenToRankOrder: for any margin, flattening tieGroups
+// yields the scan's deterministic rank order.
+func TestTieGroupsFlattenToRankOrder(t *testing.T) {
+	f := func(g scanGen, rawMargin uint8) bool {
+		margin := int(rawMargin % 6)
+		var flat []wifi.BSSID
+		for _, group := range tieGroups(g.Scan, margin) {
+			flat = append(flat, group...)
+		}
+		order := g.Scan.RankOrder()
+		if len(flat) != len(order) {
+			return false
+		}
+		for i := range flat {
+			if flat[i] != order[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTieGroupsChainWithinMargin: inside a group, consecutive readings
+// differ by at most the margin; across group boundaries they differ by more.
+func TestTieGroupsChainWithinMargin(t *testing.T) {
+	f := func(g scanGen, rawMargin uint8) bool {
+		margin := int(rawMargin % 6)
+		rssOf := make(map[wifi.BSSID]int, len(g.Scan.Readings))
+		for _, r := range g.Scan.Readings {
+			rssOf[r.BSSID] = r.RSSI
+		}
+		groups := tieGroups(g.Scan, margin)
+		for gi, group := range groups {
+			for i := 1; i < len(group); i++ {
+				if rssOf[group[i-1]]-rssOf[group[i]] > margin {
+					return false
+				}
+			}
+			if gi > 0 {
+				prev := groups[gi-1]
+				if rssOf[prev[len(prev)-1]]-rssOf[group[0]] <= margin {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTieKeysFirstIsDeterministic: the first candidate key is always the
+// deterministic rank-order key, variants never duplicate, and the set is
+// capped.
+func TestTieKeysFirstIsDeterministic(t *testing.T) {
+	f := func(g scanGen, rawOrder, rawMargin uint8) bool {
+		order := 1 + int(rawOrder%4)
+		margin := int(rawMargin % 4)
+		keys := tieKeys(g.Scan, order, margin)
+		if len(g.Scan.Readings) == 0 {
+			return len(keys) == 0
+		}
+		if len(keys) == 0 || len(keys) > 8 {
+			return false
+		}
+		if keys[0] != svd.MakeKey(g.Scan.RankOrder(), order) {
+			return false
+		}
+		seen := make(map[svd.TileKey]bool, len(keys))
+		for _, k := range keys {
+			if seen[k] {
+				return false
+			}
+			seen[k] = true
+			if k.Order() > order {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPermutationsCapAndUniqueness exercises the tie-permutation helper
+// directly on growing groups.
+func TestPermutationsCapAndUniqueness(t *testing.T) {
+	group := []wifi.BSSID{"a", "b", "c", "d", "e"}
+	for n := 1; n <= len(group); n++ {
+		perms := permutations(group[:n], 8)
+		want := factorial(n)
+		if want > 8 {
+			want = 8
+		}
+		if len(perms) != want {
+			t.Fatalf("n=%d: %d permutations, want %d", n, len(perms), want)
+		}
+		seen := make(map[string]bool, len(perms))
+		for _, p := range perms {
+			key := ""
+			for _, b := range p {
+				key += string(b) + "|"
+			}
+			if seen[key] {
+				t.Fatalf("n=%d: duplicate permutation %v", n, p)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+func factorial(n int) int {
+	out := 1
+	for i := 2; i <= n; i++ {
+		out *= i
+	}
+	return out
+}

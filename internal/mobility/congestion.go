@@ -1,0 +1,184 @@
+// Package mobility simulates ground-truth bus motion along routes: per-class
+// cruise speeds, stop dwells, traffic-light waits, time-of-day congestion and
+// injected incidents.
+//
+// The congestion model is the load-bearing piece for reproducing the paper's
+// arrival-time results. WiLocator's predictor (Eq. 5/8) assumes the
+// environment-related component of travel time on a road segment is shared
+// by all routes and *temporally correlated*: "if a bus A has just travelled
+// by a road segment at a normal travel pattern, then the travel time of next
+// bus B, despite its route, on this road segment will also be normal with
+// high probability". CongestionField realises exactly that: a deterministic,
+// smoothly varying multiplicative slowdown per (segment, time), shared by
+// every bus, on top of the weekday rush-hour profile the paper's seasonal
+// index discovers (slots <8h, 8-10h, 10-18h, 18-19h, >19h).
+package mobility
+
+import (
+	"math"
+	"time"
+
+	"wilocator/internal/roadnet"
+	"wilocator/internal/xrand"
+)
+
+// Paper time-slot boundaries (hours of day) for weekdays.
+const (
+	MorningRushStart   = 8
+	MorningRushEnd     = 10
+	AfternoonRushStart = 18
+	AfternoonRushEnd   = 19
+)
+
+// CongestionField is a deterministic random field of travel-time
+// multipliers. Factor >= 1; 1 means free flow.
+type CongestionField struct {
+	// Seed makes the field reproducible.
+	Seed uint64
+	// RushFactor multiplies travel time during rush hours. Default 3.0
+	// (a 30 km/h arterial dropping to ~10 km/h, typical of the paper's
+	// W Broadway corridor).
+	RushFactor float64
+	// MiddayFactor applies between the rush hours. Default 1.25.
+	MiddayFactor float64
+	// Sigma is the log-scale standard deviation of the smooth noise
+	// component. Default 0.18.
+	Sigma float64
+	// DaySigma is the log-scale standard deviation of the per-(segment,
+	// day) persistent component — weather, events, demand: the slowly
+	// varying deviation from the seasonal profile that makes "the previous
+	// bus was slow" informative for the next hour, which is what Eq. 8
+	// exploits. Default 0.22.
+	DaySigma float64
+	// KnotInterval is the correlation timescale of the fast noise. Default
+	// 30 min: buses passing within a few minutes of each other see nearly
+	// the same conditions, buses hours apart see independent ones.
+	KnotInterval time.Duration
+}
+
+// DefaultCongestion returns the field used by the evaluation scenarios.
+func DefaultCongestion(seed uint64) *CongestionField {
+	return &CongestionField{Seed: seed}
+}
+
+func (f *CongestionField) rushFactor() float64 {
+	if f.RushFactor <= 0 {
+		return 3.0
+	}
+	return f.RushFactor
+}
+
+func (f *CongestionField) middayFactor() float64 {
+	if f.MiddayFactor <= 0 {
+		return 1.25
+	}
+	return f.MiddayFactor
+}
+
+func (f *CongestionField) sigma() float64 {
+	if f.Sigma < 0 {
+		return 0
+	}
+	if f.Sigma == 0 {
+		return 0.18
+	}
+	return f.Sigma
+}
+
+func (f *CongestionField) daySigma() float64 {
+	if f.DaySigma < 0 {
+		return 0
+	}
+	if f.DaySigma == 0 {
+		return 0.22
+	}
+	return f.DaySigma
+}
+
+func (f *CongestionField) knot() time.Duration {
+	if f.KnotInterval <= 0 {
+		return 30 * time.Minute
+	}
+	return f.KnotInterval
+}
+
+// SlotBase returns the deterministic time-of-day baseline multiplier — the
+// profile whose periodicity the paper's seasonal index detects.
+func (f *CongestionField) SlotBase(at time.Time) float64 {
+	wd := at.Weekday()
+	if wd == time.Saturday || wd == time.Sunday {
+		return 1.05
+	}
+	h := at.Hour()
+	switch {
+	case h >= MorningRushStart && h < MorningRushEnd:
+		return f.rushFactor()
+	case h >= AfternoonRushStart && h < AfternoonRushEnd:
+		return f.rushFactor()
+	case h >= MorningRushEnd && h < AfternoonRushStart:
+		return f.middayFactor()
+	default:
+		return 1.0
+	}
+}
+
+// Factor returns the travel-time multiplier for segment seg at time at. The
+// value is identical for every bus (it is a property of the road, not the
+// vehicle) and varies smoothly in time.
+func (f *CongestionField) Factor(seg roadnet.SegmentID, at time.Time) float64 {
+	base := f.SlotBase(at)
+	v := base
+	if ds := f.daySigma(); ds > 0 {
+		day := at.UnixNano() / int64(24*time.Hour)
+		v *= math.Exp(ds * f.dayNoise(seg, day))
+	}
+	if s := f.sigma(); s > 0 {
+		knot := f.knot()
+		idx := at.UnixNano() / int64(knot)
+		frac := float64(at.UnixNano()-idx*int64(knot)) / float64(knot)
+		g0 := f.knotNoise(seg, idx)
+		g1 := f.knotNoise(seg, idx+1)
+		// Cosine interpolation keeps the field C1-smooth at knots.
+		w := (1 - math.Cos(frac*math.Pi)) / 2
+		v *= math.Exp(s * (g0*(1-w) + g1*w))
+	}
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// dayNoise returns the persistent standard-normal factor for (segment, day).
+func (f *CongestionField) dayNoise(seg roadnet.SegmentID, day int64) float64 {
+	h := f.Seed ^ 0xD1E5EA50
+	h ^= uint64(seg) * 0x9E3779B97F4A7C15
+	h ^= uint64(day) * 0xD6E8FEB86659FD93
+	return xrand.New(h).NormFloat64()
+}
+
+// knotNoise returns the standard-normal knot value for (segment, knot),
+// deterministic in the field seed.
+func (f *CongestionField) knotNoise(seg roadnet.SegmentID, idx int64) float64 {
+	h := f.Seed
+	h ^= uint64(seg) * 0x9E3779B97F4A7C15
+	h ^= uint64(idx) * 0xBF58476D1CE4E5B9
+	return xrand.New(h).NormFloat64()
+}
+
+// Incident is a localised traffic anomaly (road construction, accident — the
+// things Fig. 6 and Fig. 11 detect): buses crawl through [ArcStart, ArcEnd]
+// of the segment while the incident is active.
+type Incident struct {
+	Seg        roadnet.SegmentID
+	Start, End time.Time
+	// SlowFactor divides the bus speed inside the zone. Must be > 1.
+	SlowFactor float64
+	// ArcStart and ArcEnd delimit the affected zone within the segment,
+	// metres from the segment start.
+	ArcStart, ArcEnd float64
+}
+
+// ActiveAt reports whether the incident affects the segment at time at.
+func (in Incident) ActiveAt(at time.Time) bool {
+	return !at.Before(in.Start) && at.Before(in.End)
+}

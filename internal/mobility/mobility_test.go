@@ -1,0 +1,284 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"wilocator/internal/roadnet"
+	"wilocator/internal/xrand"
+)
+
+var (
+	monday  = time.Date(2016, 3, 7, 0, 0, 0, 0, time.UTC) // a Monday
+	rush    = time.Date(2016, 3, 7, 8, 30, 0, 0, time.UTC)
+	midday  = time.Date(2016, 3, 7, 13, 0, 0, 0, time.UTC)
+	night   = time.Date(2016, 3, 7, 22, 0, 0, 0, time.UTC)
+	weekend = time.Date(2016, 3, 5, 8, 30, 0, 0, time.UTC) // Saturday rush hour
+)
+
+func TestSlotBase(t *testing.T) {
+	f := DefaultCongestion(1)
+	if got := f.SlotBase(rush); got != 3.0 {
+		t.Errorf("rush base = %v, want 3.0", got)
+	}
+	if got := f.SlotBase(midday); got != 1.25 {
+		t.Errorf("midday base = %v, want 1.25", got)
+	}
+	if got := f.SlotBase(night); got != 1.0 {
+		t.Errorf("night base = %v, want 1.0", got)
+	}
+	if got := f.SlotBase(weekend); got != 1.05 {
+		t.Errorf("weekend base = %v, want 1.05", got)
+	}
+	pm := time.Date(2016, 3, 7, 18, 30, 0, 0, time.UTC)
+	if got := f.SlotBase(pm); got != 3.0 {
+		t.Errorf("afternoon rush base = %v, want 3.0", got)
+	}
+}
+
+func TestFactorProperties(t *testing.T) {
+	f := DefaultCongestion(7)
+	// Deterministic.
+	if f.Factor(3, rush) != f.Factor(3, rush) {
+		t.Error("Factor not deterministic")
+	}
+	// Never below free flow.
+	for i := 0; i < 200; i++ {
+		at := monday.Add(time.Duration(i) * 7 * time.Minute)
+		if v := f.Factor(roadnet.SegmentID(i%5), at); v < 1 {
+			t.Fatalf("factor %v < 1", v)
+		}
+	}
+	// Different segments decorrelate.
+	same := true
+	for i := 0; i < 10; i++ {
+		at := midday.Add(time.Duration(i) * 33 * time.Minute)
+		if math.Abs(f.Factor(1, at)-f.Factor(2, at)) > 1e-9 {
+			same = false
+		}
+	}
+	if same {
+		t.Error("factors identical across segments")
+	}
+}
+
+// TestFactorTemporalCorrelation is the property the paper's predictor needs:
+// conditions a few minutes apart are far more similar than conditions an
+// hour apart.
+func TestFactorTemporalCorrelation(t *testing.T) {
+	f := DefaultCongestion(11)
+	var nearDiff, farDiff float64
+	n := 0
+	for i := 0; i < 200; i++ {
+		base := midday.Add(time.Duration(i) * 3 * time.Minute)
+		v0 := f.Factor(1, base)
+		nearDiff += math.Abs(f.Factor(1, base.Add(2*time.Minute)) - v0)
+		farDiff += math.Abs(f.Factor(1, base.Add(77*time.Minute)) - v0)
+		n++
+	}
+	if nearDiff/float64(n) >= farDiff/float64(n) {
+		t.Errorf("no temporal correlation: near %.4f, far %.4f", nearDiff/float64(n), farDiff/float64(n))
+	}
+}
+
+func TestFactorSigmaDisabled(t *testing.T) {
+	f := &CongestionField{Seed: 1, Sigma: -1, DaySigma: -1}
+	if got := f.Factor(1, midday); got != 1.25 {
+		t.Errorf("noise-free factor = %v, want slot base 1.25", got)
+	}
+}
+
+func TestIncidentActiveAt(t *testing.T) {
+	in := Incident{Start: rush, End: rush.Add(time.Hour)}
+	if in.ActiveAt(rush.Add(-time.Second)) {
+		t.Error("active before start")
+	}
+	if !in.ActiveAt(rush) || !in.ActiveAt(rush.Add(30*time.Minute)) {
+		t.Error("inactive during window")
+	}
+	if in.ActiveAt(rush.Add(time.Hour)) {
+		t.Error("active at end")
+	}
+}
+
+func vancouverNet(t *testing.T) *roadnet.Network {
+	t.Helper()
+	net, err := roadnet.BuildVancouver(roadnet.DefaultVancouverSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestDriveValidation(t *testing.T) {
+	net := vancouverNet(t)
+	f := DefaultCongestion(1)
+	rng := xrand.New(1)
+	if _, err := Drive(net, "nope", midday, DriveConfig{}, f, nil, rng); err == nil {
+		t.Error("unknown route accepted")
+	}
+	if _, err := Drive(net, roadnet.Route9, midday, DriveConfig{}, nil, nil, rng); err == nil {
+		t.Error("nil field accepted")
+	}
+	if _, err := Drive(net, roadnet.Route9, midday, DriveConfig{}, f, nil, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestDriveBasicKinematics(t *testing.T) {
+	net := vancouverNet(t)
+	f := DefaultCongestion(2)
+	trip, err := Drive(net, roadnet.Route9, midday, DriveConfig{}, f, nil, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	route, _ := net.Route(roadnet.Route9)
+	if trip.RouteID() != roadnet.Route9 || !trip.Start().Equal(midday) {
+		t.Error("trip metadata wrong")
+	}
+	// 16.3 km with 65 stops: plausible duration between 30 and 150 minutes.
+	d := trip.Duration()
+	if d < 30*time.Minute || d > 150*time.Minute {
+		t.Errorf("trip duration = %v", d)
+	}
+	// Arc is monotone non-decreasing and spans the route.
+	prev := -1.0
+	for at := midday; !trip.Done(at); at = at.Add(30 * time.Second) {
+		arc := trip.ArcAt(at)
+		if arc < prev {
+			t.Fatalf("arc regressed: %v -> %v", prev, arc)
+		}
+		prev = arc
+	}
+	if got := trip.ArcAt(trip.End()); math.Abs(got-route.Length()) > 1e-6 {
+		t.Errorf("final arc = %v, want %v", got, route.Length())
+	}
+	if got := trip.ArcAt(midday.Add(-time.Hour)); got != 0 {
+		t.Errorf("pre-start arc = %v", got)
+	}
+}
+
+func TestDriveRushSlower(t *testing.T) {
+	net := vancouverNet(t)
+	f := &CongestionField{Seed: 3, Sigma: -1, DaySigma: -1} // deterministic slot profile only
+	cfg := DriveConfig{LightRedProb: 1e-12, DwellSigma: 1e-9}
+	nightTrip, err := Drive(net, roadnet.Route14, night, cfg, f, nil, xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rushTrip, err := Drive(net, roadnet.Route14, rush, cfg, f, nil, xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rushTrip.Duration() <= nightTrip.Duration() {
+		t.Errorf("rush trip (%v) not slower than night trip (%v)",
+			rushTrip.Duration(), nightTrip.Duration())
+	}
+}
+
+func TestDriveRapidFaster(t *testing.T) {
+	net := vancouverNet(t)
+	f := &CongestionField{Seed: 5, Sigma: -1, DaySigma: -1}
+	cfg := DriveConfig{LightRedProb: 1e-12}
+	rapid, err := Drive(net, roadnet.RouteRapid, night, cfg, f, nil, xrand.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ordinary, err := Drive(net, roadnet.Route9, night, cfg, f, nil, xrand.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Normalise by length: compare mean speeds.
+	rapidRoute, _ := net.Route(roadnet.RouteRapid)
+	ordRoute, _ := net.Route(roadnet.Route9)
+	vRapid := rapidRoute.Length() / rapid.Duration().Seconds()
+	vOrd := ordRoute.Length() / ordinary.Duration().Seconds()
+	if vRapid <= vOrd {
+		t.Errorf("rapid mean speed %.2f <= ordinary %.2f", vRapid, vOrd)
+	}
+}
+
+func TestDriveIncidentSlowsTrip(t *testing.T) {
+	net := vancouverNet(t)
+	route, _ := net.Route(roadnet.Route9)
+	// Pick a mid-route segment.
+	segID := route.Segments()[route.NumSegments()/2]
+	seg, _ := net.Graph.Segment(segID)
+	f := &CongestionField{Seed: 7, Sigma: -1, DaySigma: -1}
+	cfg := DriveConfig{LightRedProb: 1e-12, DwellSigma: 1e-9, DriverSigma: 1e-9}
+	clean, err := Drive(net, roadnet.Route9, night, cfg, f, nil, xrand.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := Incident{
+		Seg:        segID,
+		Start:      night,
+		End:        night.Add(4 * time.Hour),
+		SlowFactor: 6,
+		ArcStart:   0,
+		ArcEnd:     seg.Length(),
+	}
+	blocked, err := Drive(net, roadnet.Route9, night, cfg, f, []Incident{in}, xrand.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := blocked.Duration() - clean.Duration()
+	if extra < 30*time.Second {
+		t.Errorf("incident added only %v to the trip", extra)
+	}
+}
+
+func TestTimeAtArcInvertsArcAt(t *testing.T) {
+	net := vancouverNet(t)
+	f := DefaultCongestion(9)
+	trip, err := Drive(net, roadnet.RouteRapid, midday, DriveConfig{}, f, nil, xrand.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	route, _ := net.Route(roadnet.RouteRapid)
+	for _, frac := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		arc := route.Length() * frac
+		at := trip.TimeAtArc(arc)
+		back := trip.ArcAt(at)
+		if math.Abs(back-arc) > 0.5 {
+			t.Errorf("ArcAt(TimeAtArc(%v)) = %v", arc, back)
+		}
+	}
+	if !trip.TimeAtArc(-5).Equal(trip.Start()) {
+		t.Error("negative arc time wrong")
+	}
+	if !trip.TimeAtArc(1e12).Equal(trip.End()) {
+		t.Error("beyond-end arc time wrong")
+	}
+}
+
+func TestTimetable(t *testing.T) {
+	net := vancouverNet(t)
+	rapid, _ := net.Route(roadnet.RouteRapid)
+	ord, _ := net.Route(roadnet.Route9)
+	tts, err := Timetable(rapid, monday, TimetableSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tto, err := Timetable(ord, monday, TimetableSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 17 h of service: rapid every 6 min = 170, ordinary every 10 min = 102.
+	if len(tts) != 170 {
+		t.Errorf("rapid departures = %d, want 170", len(tts))
+	}
+	if len(tto) != 102 {
+		t.Errorf("ordinary departures = %d, want 102", len(tto))
+	}
+	if h := tts[0].Hour(); h != 6 {
+		t.Errorf("first departure at hour %d", h)
+	}
+	if _, err := Timetable(nil, monday, TimetableSpec{}); err == nil {
+		t.Error("nil route accepted")
+	}
+	if _, err := Timetable(rapid, monday, TimetableSpec{ServiceStartHour: 9, ServiceEndHour: 9}); err == nil {
+		t.Error("empty window accepted")
+	}
+}

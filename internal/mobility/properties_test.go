@@ -1,0 +1,123 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"wilocator/internal/roadnet"
+	"wilocator/internal/xrand"
+)
+
+// TestTripInvariantsAcrossSeeds fuzzes Drive over seeds and checks the
+// kinematic invariants every consumer depends on: monotone arc, bounded
+// speed, exact endpoints and ArcAt/TimeAtArc consistency.
+func TestTripInvariantsAcrossSeeds(t *testing.T) {
+	net := vancouverNet(t)
+	route, _ := net.Route(roadnet.Route14)
+	maxLimit := 0.0
+	for _, sid := range route.Segments() {
+		seg, _ := net.Graph.Segment(sid)
+		if seg.SpeedLimit > maxLimit {
+			maxLimit = seg.SpeedLimit
+		}
+	}
+	for seed := uint64(0); seed < 6; seed++ {
+		field := DefaultCongestion(seed)
+		start := monday.Add(time.Duration(6+seed) * time.Hour)
+		trip, err := Drive(net, roadnet.Route14, start, DriveConfig{}, field, nil, xrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !trip.Start().Equal(start) {
+			t.Fatalf("seed %d: start %v", seed, trip.Start())
+		}
+		prevArc := 0.0
+		prevAt := start
+		for at := start; !trip.Done(at); at = at.Add(5 * time.Second) {
+			arc := trip.ArcAt(at)
+			if arc < prevArc-1e-9 {
+				t.Fatalf("seed %d: arc regressed at %v", seed, at)
+			}
+			dt := at.Sub(prevAt).Seconds()
+			if dt > 0 {
+				v := (arc - prevArc) / dt
+				// The driver factor can nudge the cruise speed a few percent
+				// above the limit; 1.2x is a hard physical sanity bound.
+				if v > maxLimit*1.2 {
+					t.Fatalf("seed %d: speed %v m/s above limit %v", seed, v, maxLimit)
+				}
+			}
+			prevArc, prevAt = arc, at
+			// TimeAtArc must agree with ArcAt up to interpolation noise.
+			if arc > 0 && arc < route.Length() {
+				back := trip.ArcAt(trip.TimeAtArc(arc))
+				if math.Abs(back-arc) > 0.5 {
+					t.Fatalf("seed %d: TimeAtArc inconsistent at %v: %v", seed, arc, back)
+				}
+			}
+		}
+		if got := trip.ArcAt(trip.End()); math.Abs(got-route.Length()) > 1e-6 {
+			t.Fatalf("seed %d: final arc %v", seed, got)
+		}
+	}
+}
+
+// TestTraversalsMatchTripDuration: per-segment traversals are contiguous and
+// sum exactly to the trip duration.
+func TestTraversalsMatchTripDuration(t *testing.T) {
+	net := vancouverNet(t)
+	field := DefaultCongestion(9)
+	trip, err := Drive(net, roadnet.Route16, midday, DriveConfig{}, field, nil, xrand.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trs, err := Traversals(net, trip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	route, _ := net.Route(roadnet.Route16)
+	if len(trs) != route.NumSegments() {
+		t.Fatalf("traversals = %d, want %d", len(trs), route.NumSegments())
+	}
+	var total time.Duration
+	for i, tr := range trs {
+		if tr.RouteID != roadnet.Route16 || tr.Seg != route.Segments()[i] {
+			t.Fatalf("traversal %d metadata wrong: %+v", i, tr)
+		}
+		if !tr.Exit.After(tr.Enter) {
+			t.Fatalf("traversal %d non-positive", i)
+		}
+		if i > 0 && !tr.Enter.Equal(trs[i-1].Exit) {
+			t.Fatalf("traversal %d not contiguous", i)
+		}
+		total += tr.Exit.Sub(tr.Enter)
+	}
+	if d := trip.Duration() - total; d < -time.Millisecond || d > time.Millisecond {
+		t.Errorf("traversal sum differs from trip duration by %v", d)
+	}
+	if _, err := Traversals(net, &Trip{routeID: "nope", bps: trip.bps}); err == nil {
+		t.Error("unknown route accepted")
+	}
+}
+
+// TestCongestedDwellScales: the rush-hour dwell stretch is visible in trip
+// durations even with lights and noise disabled.
+func TestCongestedDwellScales(t *testing.T) {
+	net := vancouverNet(t)
+	f := &CongestionField{Seed: 3, Sigma: -1, DaySigma: -1}
+	cfg := DriveConfig{LightRedProb: 1e-12, DwellSigma: 1e-9, DriverSigma: 1e-9}
+	nightTrip, err := Drive(net, roadnet.Route9, night, cfg, f, nil, xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rushTrip, err := Drive(net, roadnet.Route9, rush, cfg, f, nil, xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rush factor 3 on driving and 2 on dwell: the rush trip must be at
+	// least twice the night trip.
+	if rushTrip.Duration() < nightTrip.Duration()*2 {
+		t.Errorf("rush %v vs night %v: congestion too weak", rushTrip.Duration(), nightTrip.Duration())
+	}
+}

@@ -1,0 +1,60 @@
+package mobility
+
+import (
+	"fmt"
+	"time"
+
+	"wilocator/internal/roadnet"
+)
+
+// TimetableSpec parameterises bus dispatching. The zero value selects
+// defaults.
+type TimetableSpec struct {
+	// ServiceStartHour and ServiceEndHour bound the daily service window.
+	// Defaults 6 and 23.
+	ServiceStartHour, ServiceEndHour int
+	// OrdinaryHeadway and RapidHeadway are the dispatch intervals per route
+	// class. Defaults 10 min and 6 min.
+	OrdinaryHeadway, RapidHeadway time.Duration
+}
+
+func (s TimetableSpec) withDefaults() TimetableSpec {
+	if s.ServiceStartHour <= 0 {
+		s.ServiceStartHour = 6
+	}
+	if s.ServiceEndHour <= 0 {
+		s.ServiceEndHour = 23
+	}
+	if s.OrdinaryHeadway <= 0 {
+		s.OrdinaryHeadway = 10 * time.Minute
+	}
+	if s.RapidHeadway <= 0 {
+		s.RapidHeadway = 6 * time.Minute
+	}
+	return s
+}
+
+// Timetable returns the departure times of route on the service day
+// containing day (whose time-of-day component is ignored).
+func Timetable(route *roadnet.Route, day time.Time, spec TimetableSpec) ([]time.Time, error) {
+	if route == nil {
+		return nil, fmt.Errorf("mobility: nil route")
+	}
+	spec = spec.withDefaults()
+	if spec.ServiceEndHour <= spec.ServiceStartHour {
+		return nil, fmt.Errorf("mobility: service window [%d, %d) empty",
+			spec.ServiceStartHour, spec.ServiceEndHour)
+	}
+	headway := spec.OrdinaryHeadway
+	if route.Class() == roadnet.ClassRapid {
+		headway = spec.RapidHeadway
+	}
+	y, m, d := day.Date()
+	start := time.Date(y, m, d, spec.ServiceStartHour, 0, 0, 0, day.Location())
+	end := time.Date(y, m, d, spec.ServiceEndHour, 0, 0, 0, day.Location())
+	var out []time.Time
+	for at := start; at.Before(end); at = at.Add(headway) {
+		out = append(out, at)
+	}
+	return out, nil
+}

@@ -1,0 +1,229 @@
+// Package predict implements WiLocator's bus arrival-time prediction
+// (Section IV) plus the comparison baselines used in the evaluation.
+//
+// The WiLocator predictor estimates the travel time of the next bus of route
+// j on road segment e_i as (Eq. 5/8):
+//
+//	Tp(i,j,t) = Th(i,j,l) + (1/K) * Σ_k [ Tr(i,k,l) − Th(i,k,l) ]
+//
+// — the route's own historical mean in the current time slot l, corrected by
+// the mean residual of the K buses (of *any* route sharing the segment) that
+// most recently traversed it. Arrival times at downstream stops compose
+// per-segment predictions with fractional first/last segments (Eq. 9),
+// advancing a virtual clock so predictions that span a slot boundary are
+// evaluated slot-by-slot.
+//
+// The Transit-Agency baseline uses the same composition but no recency
+// correction (schedule + historical mean only), and the same-route ablation
+// restricts the correction to buses of the same route (the approach of the
+// paper's references [28,29]).
+package predict
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"wilocator/internal/roadnet"
+	"wilocator/internal/traveltime"
+)
+
+// Default prediction parameters.
+const (
+	// DefaultRecentWindow bounds how old a "lately" traversal may be to
+	// enter the Eq. 8 correction.
+	DefaultRecentWindow = 25 * time.Minute
+	// DefaultMaxRecent is J, the number of recent buses averaged.
+	DefaultMaxRecent = 8
+	// DefaultFallbackSpeedFrac estimates unseen segments at this fraction
+	// of the speed limit.
+	DefaultFallbackSpeedFrac = 0.6
+)
+
+// ErrStopBehind is returned when the requested stop is not ahead of the
+// bus's current position.
+var ErrStopBehind = errors.New("predict: stop is not ahead of the bus")
+
+// Config tunes an Engine. The zero value selects the defaults.
+type Config struct {
+	// RecentWindow is the maximum age of traversals used in the correction.
+	RecentWindow time.Duration
+	// MaxRecent is J, the maximum number of recent traversals averaged.
+	MaxRecent int
+	// SameRouteOnly restricts the correction to the bus's own route — the
+	// ablation contrasting WiLocator with Cell-ID systems that cannot share
+	// across routes.
+	SameRouteOnly bool
+	// FallbackSpeedFrac sets the free-flow fraction for unseen segments.
+	FallbackSpeedFrac float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.RecentWindow <= 0 {
+		c.RecentWindow = DefaultRecentWindow
+	}
+	if c.MaxRecent <= 0 {
+		c.MaxRecent = DefaultMaxRecent
+	}
+	if c.FallbackSpeedFrac <= 0 || c.FallbackSpeedFrac > 1 {
+		c.FallbackSpeedFrac = DefaultFallbackSpeedFrac
+	}
+	return c
+}
+
+// Engine predicts bus arrival times from the travel-time store.
+type Engine struct {
+	net       *roadnet.Network
+	store     *traveltime.Store
+	cfg       Config
+	useRecent bool
+	name      string
+}
+
+// NewWiLocator creates the full WiLocator predictor.
+func NewWiLocator(net *roadnet.Network, store *traveltime.Store, cfg Config) (*Engine, error) {
+	return newEngine(net, store, cfg, true, "wilocator")
+}
+
+// NewAgency creates the Transit-Agency baseline: historical means only, no
+// recency correction.
+func NewAgency(net *roadnet.Network, store *traveltime.Store, cfg Config) (*Engine, error) {
+	return newEngine(net, store, cfg, false, "agency")
+}
+
+func newEngine(net *roadnet.Network, store *traveltime.Store, cfg Config, useRecent bool, name string) (*Engine, error) {
+	if net == nil || store == nil {
+		return nil, errors.New("predict: nil network or store")
+	}
+	return &Engine{net: net, store: store, cfg: cfg.withDefaults(), useRecent: useRecent, name: name}, nil
+}
+
+// Name identifies the engine variant ("wilocator" or "agency").
+func (e *Engine) Name() string {
+	if e.useRecent && e.cfg.SameRouteOnly {
+		return e.name + "-sameroute"
+	}
+	return e.name
+}
+
+// SegmentTime predicts how long a bus of routeID will take to traverse
+// segment segID starting at time at (Eq. 8), in seconds.
+func (e *Engine) SegmentTime(segID roadnet.SegmentID, routeID string, at time.Time) (float64, error) {
+	seg, ok := e.net.Graph.Segment(segID)
+	if !ok {
+		return 0, fmt.Errorf("predict: unknown segment %d", segID)
+	}
+	slot := e.store.Plan().SlotOf(at)
+	th, n := e.store.HistoricalMean(segID, routeID, slot)
+	if n == 0 {
+		// Fall back to the segment's all-route mean, then to free flow.
+		if m, sn := e.store.SegmentMean(segID); sn > 0 {
+			th = m
+		} else {
+			th = seg.Length() / (seg.SpeedLimit * e.cfg.FallbackSpeedFrac)
+		}
+	}
+	if !e.useRecent {
+		return th, nil
+	}
+
+	recent := e.store.Recent(segID, at.Add(-e.cfg.RecentWindow), e.cfg.MaxRecent)
+	var sum float64
+	k := 0
+	for _, tr := range recent {
+		if e.cfg.SameRouteOnly && tr.RouteID != routeID {
+			continue
+		}
+		// Eq. 8 uses Tr(i,k,l): only traversals from the *current* slot l,
+		// so a pre-rush residual never corrupts a rush-hour baseline.
+		if e.store.Plan().SlotOf(tr.Exit) != slot {
+			continue
+		}
+		thk, nk := e.store.HistoricalMean(segID, tr.RouteID, slot)
+		if nk == 0 {
+			continue
+		}
+		sum += tr.Seconds - thk
+		k++
+	}
+	if k > 0 {
+		th += sum / float64(k)
+	}
+	// Never predict faster than free flow at the speed limit.
+	if min := seg.Length() / seg.SpeedLimit; th < min {
+		th = min
+	}
+	return th, nil
+}
+
+// PredictArrival predicts when a bus of routeID currently at arc fromArc (at
+// time at) will reach its stopIdx-th stop, composing per-segment predictions
+// with fractional first and last segments (Eq. 9).
+func (e *Engine) PredictArrival(routeID string, fromArc float64, at time.Time, stopIdx int) (time.Time, error) {
+	route, ok := e.net.Route(routeID)
+	if !ok {
+		return time.Time{}, fmt.Errorf("predict: unknown route %q", routeID)
+	}
+	if stopIdx < 0 || stopIdx >= route.NumStops() {
+		return time.Time{}, fmt.Errorf("predict: stop index %d outside [0, %d)", stopIdx, route.NumStops())
+	}
+	target := route.StopArc(stopIdx)
+	if target <= fromArc {
+		return time.Time{}, fmt.Errorf("%w: stop %d at arc %.1f, bus at %.1f", ErrStopBehind, stopIdx, target, fromArc)
+	}
+
+	clock := at
+	arc := fromArc
+	idx, _, _ := route.SegmentAt(arc)
+	for {
+		segID := route.Segments()[idx]
+		segStart := route.SegmentStartArc(idx)
+		segEnd := route.SegmentEndArc(idx)
+		segLen := segEnd - segStart
+		full, err := e.SegmentTime(segID, routeID, clock)
+		if err != nil {
+			return time.Time{}, err
+		}
+		end := segEnd
+		if target < segEnd {
+			end = target
+		}
+		if segLen > 0 {
+			frac := (end - arc) / segLen
+			clock = clock.Add(time.Duration(frac * full * float64(time.Second)))
+		}
+		if target <= segEnd {
+			return clock, nil
+		}
+		arc = segEnd
+		idx++
+		if idx >= route.NumSegments() {
+			return clock, nil
+		}
+	}
+}
+
+// PredictAllStops predicts arrival times at every stop strictly ahead of
+// fromArc, returned in stop order alongside the stop indices. Used by the
+// error-vs-stops experiment (Fig. 8(c)).
+func (e *Engine) PredictAllStops(routeID string, fromArc float64, at time.Time) ([]StopPrediction, error) {
+	route, ok := e.net.Route(routeID)
+	if !ok {
+		return nil, fmt.Errorf("predict: unknown route %q", routeID)
+	}
+	var out []StopPrediction
+	for i := route.NextStopIndex(fromArc); i < route.NumStops(); i++ {
+		eta, err := e.PredictArrival(routeID, fromArc, at, i)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, StopPrediction{StopIndex: i, ETA: eta})
+	}
+	return out, nil
+}
+
+// StopPrediction is one stop's predicted arrival.
+type StopPrediction struct {
+	StopIndex int       `json:"stopIndex"`
+	ETA       time.Time `json:"eta"`
+}

@@ -1,0 +1,325 @@
+package predict
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"wilocator/internal/geo"
+	"wilocator/internal/roadnet"
+	"wilocator/internal/traveltime"
+)
+
+// lineNet builds a straight route of n segments, each 100 m, limit 10 m/s,
+// with a stop at every node (n+1 stops).
+func lineNet(t *testing.T, n int) (*roadnet.Network, *roadnet.Route) {
+	t.Helper()
+	g := roadnet.NewGraph()
+	nodes := make([]roadnet.NodeID, n+1)
+	for i := range nodes {
+		nodes[i] = g.AddNode(geo.Pt(float64(i)*100, 0), "n")
+	}
+	segs := make([]roadnet.SegmentID, n)
+	for i := 0; i < n; i++ {
+		id, err := g.AddSegment(nodes[i], nodes[i+1], "s", 10, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		segs[i] = id
+	}
+	route, err := roadnet.NewRoute(g, "r", "line", roadnet.ClassOrdinary, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := route.PlaceStopsEvenly(n + 1); err != nil {
+		t.Fatal(err)
+	}
+	net := roadnet.NewNetwork(g)
+	if err := net.AddRoute(route); err != nil {
+		t.Fatal(err)
+	}
+	// A second route over the same segments to exercise cross-route sharing.
+	r2, err := roadnet.NewRoute(g, "x", "other", roadnet.ClassOrdinary, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.PlaceStopsEvenly(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddRoute(r2); err != nil {
+		t.Fatal(err)
+	}
+	return net, route
+}
+
+func midday(min int) time.Time {
+	return time.Date(2016, 3, 7, 13, 0, 0, 0, time.UTC).Add(time.Duration(min) * time.Minute)
+}
+
+func addRec(t *testing.T, s *traveltime.Store, seg roadnet.SegmentID, route string, enter time.Time, secs float64) {
+	t.Helper()
+	err := s.Add(traveltime.Record{
+		Seg: seg, RouteID: route, Enter: enter,
+		Exit: enter.Add(time.Duration(secs * float64(time.Second))),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	net, _ := lineNet(t, 2)
+	store := traveltime.NewStore(traveltime.PaperPlan())
+	if _, err := NewWiLocator(nil, store, Config{}); err == nil {
+		t.Error("nil network accepted")
+	}
+	if _, err := NewAgency(net, nil, Config{}); err == nil {
+		t.Error("nil store accepted")
+	}
+	w, err := NewWiLocator(net, store, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name() != "wilocator" {
+		t.Errorf("Name = %q", w.Name())
+	}
+	a, err := NewAgency(net, store, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != "agency" {
+		t.Errorf("Name = %q", a.Name())
+	}
+	sr, err := NewWiLocator(net, store, Config{SameRouteOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Name() != "wilocator-sameroute" {
+		t.Errorf("Name = %q", sr.Name())
+	}
+}
+
+func TestSegmentTimeFallbacks(t *testing.T) {
+	net, route := lineNet(t, 2)
+	store := traveltime.NewStore(traveltime.PaperPlan())
+	w, err := NewWiLocator(net, store, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := route.Segments()[0]
+	// No data at all: free flow at 60% of the 10 m/s limit over 100 m.
+	got, err := w.SegmentTime(seg, "r", midday(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-100.0/6.0) > 1e-9 {
+		t.Errorf("free-flow fallback = %v, want %v", got, 100.0/6.0)
+	}
+	// Another route's data exists: fall back to the segment mean.
+	addRec(t, store, seg, "x", midday(-60), 44)
+	got, err = w.SegmentTime(seg, "r", midday(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Segment mean 44 plus the recency correction from route x's traversal
+	// is out of window (60 min ago > 25 min), so correction is 0.
+	if math.Abs(got-44) > 1e-9 {
+		t.Errorf("segment-mean fallback = %v, want 44", got)
+	}
+	if _, err := w.SegmentTime(9999, "r", midday(0)); err == nil {
+		t.Error("unknown segment accepted")
+	}
+}
+
+func TestSegmentTimeRecencyCorrection(t *testing.T) {
+	net, route := lineNet(t, 2)
+	store := traveltime.NewStore(traveltime.PaperPlan())
+	seg := route.Segments()[0]
+	// History (out of the recent window but in the same 10-18h slot):
+	// route r takes 60 s, route x 80 s.
+	for i := 0; i < 10; i++ {
+		addRec(t, store, seg, "r", midday(-120+i), 60)
+		addRec(t, store, seg, "x", midday(-120+i), 80)
+	}
+	// Lately: two buses of route x took 20 s longer than their norm.
+	addRec(t, store, seg, "x", midday(-10), 100)
+	addRec(t, store, seg, "x", midday(-5), 100)
+
+	w, err := NewWiLocator(net, store, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := w.SegmentTime(seg, "r", midday(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recent ring also contains the history rows? No: they exited > 25 min
+	// ago. Correction = mean(100-80, 100-80) = +20 on top of Th = 60... but
+	// the two recent records shifted route x's own historical mean to
+	// (80*10+200)/12 = 83.33, so the residual is 16.67.
+	want := 60 + (100 - (80.0*10+200)/12)
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("corrected time = %v, want %v", got, want)
+	}
+
+	// Agency ignores the recent slowdown entirely.
+	a, err := NewAgency(net, store, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ag, err := a.SegmentTime(seg, "r", midday(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ag-60) > 1e-9 {
+		t.Errorf("agency time = %v, want 60", ag)
+	}
+
+	// Same-route-only cannot see route x's residuals either.
+	sr, err := NewWiLocator(net, store, Config{SameRouteOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, err := sr.SegmentTime(seg, "r", midday(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sg-60) > 1e-9 {
+		t.Errorf("same-route time = %v, want 60", sg)
+	}
+}
+
+func TestSegmentTimeClampsAtFreeFlow(t *testing.T) {
+	net, route := lineNet(t, 1)
+	store := traveltime.NewStore(traveltime.PaperPlan())
+	seg := route.Segments()[0]
+	for i := 0; i < 5; i++ {
+		addRec(t, store, seg, "r", midday(-200+i), 12)
+	}
+	// Lately a bus flew through 10 s faster than its 12 s norm; the
+	// correction would predict 2 s < the 10 s free-flow bound.
+	addRec(t, store, seg, "r", midday(-3), 2)
+	w, err := NewWiLocator(net, store, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := w.SegmentTime(seg, "r", midday(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 10 {
+		t.Errorf("prediction %v below free flow 10 s", got)
+	}
+}
+
+func TestPredictArrivalComposition(t *testing.T) {
+	net, route := lineNet(t, 3) // 3 segments, stops at 0/100/200/300
+	store := traveltime.NewStore(traveltime.PaperPlan())
+	// Uniform history: every segment takes 50 s for route r.
+	for i, seg := range route.Segments() {
+		for k := 0; k < 5; k++ {
+			addRec(t, store, seg, "r", midday(-100+k+i), 50)
+		}
+	}
+	a, err := NewAgency(net, store, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bus halfway through segment 0 (arc 50), to the stop at arc 250?
+	// Stops are at 0,100,200,300. Stop 2 is at 200: remaining = half of
+	// seg0 (25 s) + seg1 (50 s) = 75 s.
+	eta, err := a.PredictArrival("r", 50, midday(0), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := midday(0).Add(75 * time.Second)
+	if d := eta.Sub(want); d < -time.Second || d > time.Second {
+		t.Errorf("eta = %v, want %v", eta, want)
+	}
+	// Final stop at arc 300: 25 + 50 + 50 = 125 s.
+	eta, err = a.PredictArrival("r", 50, midday(0), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = midday(0).Add(125 * time.Second)
+	if d := eta.Sub(want); d < -time.Second || d > time.Second {
+		t.Errorf("final eta = %v, want %v", eta, want)
+	}
+}
+
+func TestPredictArrivalErrors(t *testing.T) {
+	net, _ := lineNet(t, 2)
+	store := traveltime.NewStore(traveltime.PaperPlan())
+	w, err := NewWiLocator(net, store, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.PredictArrival("nope", 0, midday(0), 1); err == nil {
+		t.Error("unknown route accepted")
+	}
+	if _, err := w.PredictArrival("r", 0, midday(0), 99); err == nil {
+		t.Error("bad stop index accepted")
+	}
+	if _, err := w.PredictArrival("r", 150, midday(0), 1); !errors.Is(err, ErrStopBehind) {
+		t.Errorf("stop behind: err = %v", err)
+	}
+}
+
+func TestPredictArrivalSlotBySlot(t *testing.T) {
+	net, route := lineNet(t, 2)
+	store := traveltime.NewStore(traveltime.PaperPlan())
+	// Pre-rush (slot 0): 60 s per segment. Rush (slot 1, from 8h): 300 s.
+	pre := time.Date(2016, 3, 7, 7, 0, 0, 0, time.UTC)
+	rush := time.Date(2016, 3, 7, 8, 30, 0, 0, time.UTC)
+	for i, seg := range route.Segments() {
+		for k := 0; k < 5; k++ {
+			addRec(t, store, seg, "r", pre.Add(time.Duration(i*10+k)*time.Minute), 60)
+			addRec(t, store, seg, "r", rush.Add(time.Duration(i*10+k)*time.Minute), 300)
+		}
+	}
+	a, err := NewAgency(net, store, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Depart at 7:59:30 from arc 0. Segment 0 is predicted with the
+	// pre-rush clock (60 s), pushing the virtual clock past 8:00; segment 1
+	// must then use the rush mean (300 s), not 60 s.
+	depart := time.Date(2016, 3, 7, 7, 59, 30, 0, time.UTC)
+	eta, err := a.PredictArrival("r", 0, depart, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := eta.Sub(depart)
+	if total < 350*time.Second {
+		t.Errorf("slot-blind prediction: total %v, want ~360 s (60 + 300)", total)
+	}
+}
+
+func TestPredictAllStops(t *testing.T) {
+	net, route := lineNet(t, 4)
+	store := traveltime.NewStore(traveltime.PaperPlan())
+	for _, seg := range route.Segments() {
+		addRec(t, store, seg, "r", midday(-60), 40)
+	}
+	w, err := NewWiLocator(net, store, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, err := w.PredictAllStops("r", 150, midday(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stops ahead of arc 150: indices 2, 3, 4.
+	if len(preds) != 3 || preds[0].StopIndex != 2 {
+		t.Fatalf("preds = %v", preds)
+	}
+	for i := 1; i < len(preds); i++ {
+		if !preds[i].ETA.After(preds[i-1].ETA) {
+			t.Error("ETAs not increasing with stop index")
+		}
+	}
+	if _, err := w.PredictAllStops("nope", 0, midday(0)); err == nil {
+		t.Error("unknown route accepted")
+	}
+}

@@ -1,0 +1,99 @@
+package predict
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"wilocator/internal/traveltime"
+)
+
+// TestETAMonotoneInStopIndex: from a fixed position and time, predicted
+// arrivals are non-decreasing in stop index — a rider can never "arrive
+// earlier" at a farther stop.
+func TestETAMonotoneInStopIndex(t *testing.T) {
+	net, route := lineNet(t, 8)
+	store := traveltime.NewStore(traveltime.PaperPlan())
+	for i, seg := range route.Segments() {
+		for k := 0; k < 3; k++ {
+			addRec(t, store, seg, "r", midday(-100+k+i), 30+float64(i%4)*10)
+		}
+	}
+	w, err := NewWiLocator(net, store, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(rawArc uint16, rawMin uint8) bool {
+		fromArc := float64(rawArc) / 65535 * route.Length() * 0.9
+		at := midday(int(rawMin % 120))
+		prev := time.Time{}
+		for m := route.NextStopIndex(fromArc); m < route.NumStops(); m++ {
+			eta, err := w.PredictArrival("r", fromArc, at, m)
+			if err != nil {
+				return false
+			}
+			if eta.Before(at) {
+				return false
+			}
+			if !prev.IsZero() && eta.Before(prev) {
+				return false
+			}
+			prev = eta
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestETAMonotoneInPosition: moving the bus forward never pushes the ETA at
+// a fixed stop later under a time-invariant store (closer bus, earlier or
+// equal arrival).
+func TestETAMonotoneInPosition(t *testing.T) {
+	net, route := lineNet(t, 6)
+	store := traveltime.NewStore(traveltime.PaperPlan())
+	for i, seg := range route.Segments() {
+		addRec(t, store, seg, "r", midday(-90+i), 45)
+	}
+	a, err := NewAgency(net, store, Config{}) // recency-free: pure composition
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := route.NumStops() - 1
+	at := midday(0)
+	prevETA := time.Time{}
+	for arc := 0.0; arc < route.StopArc(target); arc += 37 {
+		eta, err := a.PredictArrival("r", arc, at, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !prevETA.IsZero() && eta.After(prevETA.Add(time.Millisecond)) {
+			t.Fatalf("ETA increased as the bus advanced: %v -> %v at arc %v", prevETA, eta, arc)
+		}
+		prevETA = eta
+	}
+}
+
+// TestSegmentTimePositive: predictions are always strictly positive and at
+// least free flow, whatever the store contents.
+func TestSegmentTimePositive(t *testing.T) {
+	net, route := lineNet(t, 3)
+	store := traveltime.NewStore(traveltime.PaperPlan())
+	w, err := NewWiLocator(net, store, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(rawMin uint16, secs uint8) bool {
+		at := midday(int(rawMin % 1440))
+		seg := route.Segments()[int(rawMin)%route.NumSegments()]
+		if secs > 0 {
+			addRec(t, store, seg, "r", at.Add(-30*time.Minute), float64(secs))
+		}
+		got, err := w.SegmentTime(seg, "r", at)
+		return err == nil && got > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

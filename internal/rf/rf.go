@@ -1,0 +1,157 @@
+// Package rf models radio-frequency signal propagation for the WiLocator
+// simulation substrate.
+//
+// The paper's Signal Voronoi Diagram deliberately avoids depending on a
+// calibrated propagation model at *positioning* time — it only consumes RSS
+// rank order. The simulation, however, needs a physical process that
+// generates RSS readings with the statistics the paper reports: raw values
+// that swing by 10 dB or more even at a static point, while the *average
+// rank* across APs stays stable. The standard log-distance path-loss model
+// with per-reading log-normal shadowing provides exactly that.
+package rf
+
+import (
+	"fmt"
+	"math"
+
+	"wilocator/internal/xrand"
+)
+
+// Typical urban parameter defaults.
+const (
+	// DefaultRefDist is the reference distance d0 of the log-distance model.
+	DefaultRefDist = 1.0
+	// DefaultDetectionFloor is the weakest RSS a commodity phone reports.
+	DefaultDetectionFloor = -90.0
+	// DefaultShadowSigma is the per-reading shadowing standard deviation in
+	// dB. With sigma = 4 dB, consecutive readings at a static point span
+	// more than 10 dB about 20% of the time, matching the paper's
+	// observation.
+	DefaultShadowSigma = 4.0
+	// DefaultDropout is the probability that a detectable AP is missed by a
+	// single scan (driver obstruction, channel dwell, etc.).
+	DefaultDropout = 0.05
+)
+
+// LogDistance is the deterministic part of the propagation model:
+//
+//	RSS(d) = refRSS - 10 * n * log10(max(d, d0) / d0)
+//
+// where refRSS is the received power at the reference distance d0 and n is
+// the path-loss exponent of the AP's environment.
+type LogDistance struct {
+	// RefDist is d0 in metres. Zero means DefaultRefDist.
+	RefDist float64
+	// DetectionFloor is the weakest detectable RSS in dBm. Zero means
+	// DefaultDetectionFloor.
+	DetectionFloor float64
+}
+
+// refDist returns the effective reference distance.
+func (m LogDistance) refDist() float64 {
+	if m.RefDist <= 0 {
+		return DefaultRefDist
+	}
+	return m.RefDist
+}
+
+// Floor returns the effective detection floor in dBm.
+func (m LogDistance) Floor() float64 {
+	if m.DetectionFloor == 0 {
+		return DefaultDetectionFloor
+	}
+	return m.DetectionFloor
+}
+
+// ExpectedRSS returns the mean received signal strength in dBm at distance
+// dist metres from a transmitter with the given reference power and
+// path-loss exponent. It does not apply the detection floor; callers that
+// simulate receivers should compare against Floor().
+func (m LogDistance) ExpectedRSS(refRSS, pathLossExp, dist float64) float64 {
+	d0 := m.refDist()
+	if dist < d0 {
+		dist = d0
+	}
+	return refRSS - 10*pathLossExp*math.Log10(dist/d0)
+}
+
+// Range returns the distance at which the expected RSS drops to the
+// detection floor.
+func (m LogDistance) Range(refRSS, pathLossExp float64) float64 {
+	d0 := m.refDist()
+	return d0 * math.Pow(10, (refRSS-m.Floor())/(10*pathLossExp))
+}
+
+// Noise parameterises the stochastic part of a receiver: log-normal
+// shadowing, integer quantisation and scan dropout.
+type Noise struct {
+	// ShadowSigma is the standard deviation of the per-reading Gaussian
+	// shadowing term in dB. Negative disables shadowing; zero means
+	// DefaultShadowSigma.
+	ShadowSigma float64
+	// Dropout is the probability a detectable AP is absent from one scan.
+	// Negative disables dropout; zero means DefaultDropout.
+	Dropout float64
+}
+
+// sigma returns the effective shadowing sigma.
+func (n Noise) sigma() float64 {
+	switch {
+	case n.ShadowSigma < 0:
+		return 0
+	case n.ShadowSigma == 0:
+		return DefaultShadowSigma
+	default:
+		return n.ShadowSigma
+	}
+}
+
+// dropout returns the effective dropout probability.
+func (n Noise) dropout() float64 {
+	switch {
+	case n.Dropout < 0:
+		return 0
+	case n.Dropout == 0:
+		return DefaultDropout
+	default:
+		return n.Dropout
+	}
+}
+
+// NoNoise disables both shadowing and dropout; used to build the expected
+// (average-rank) signal space for SVD construction.
+var NoNoise = Noise{ShadowSigma: -1, Dropout: -1}
+
+// Receiver draws noisy integer RSS readings through a LogDistance model.
+type Receiver struct {
+	Model LogDistance
+	Noise Noise
+	rng   *xrand.Rand
+}
+
+// NewReceiver returns a receiver that consumes randomness from rng.
+func NewReceiver(model LogDistance, noise Noise, rng *xrand.Rand) (*Receiver, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("rf: nil rng")
+	}
+	return &Receiver{Model: model, Noise: noise, rng: rng}, nil
+}
+
+// Sample returns one reading of the transmitter, quantised to integer dBm,
+// and whether the transmitter was detected at all. Detection applies the
+// floor to the *noisy* value, so an AP near the edge of coverage flickers in
+// and out of scans as it does in reality.
+func (r *Receiver) Sample(refRSS, pathLossExp, dist float64) (rssi int, detected bool) {
+	mean := r.Model.ExpectedRSS(refRSS, pathLossExp, dist)
+	v := mean
+	if s := r.Noise.sigma(); s > 0 {
+		v += r.rng.Norm(0, s)
+	}
+	if v < r.Model.Floor() {
+		return 0, false
+	}
+	if p := r.Noise.dropout(); p > 0 && r.rng.Bool(p) {
+		return 0, false
+	}
+	return int(math.Round(v)), true
+}

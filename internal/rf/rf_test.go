@@ -1,0 +1,166 @@
+package rf
+
+import (
+	"math"
+	"testing"
+
+	"wilocator/internal/xrand"
+)
+
+func TestExpectedRSSMonotone(t *testing.T) {
+	m := LogDistance{}
+	prev := math.Inf(1)
+	for _, d := range []float64{1, 2, 5, 10, 20, 50, 100, 200} {
+		v := m.ExpectedRSS(-30, 3, d)
+		if v >= prev {
+			t.Errorf("RSS at %v m = %v, not below %v", d, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestExpectedRSSValues(t *testing.T) {
+	m := LogDistance{}
+	tests := []struct {
+		refRSS, exp, dist, want float64
+	}{
+		{-30, 3, 1, -30},   // at reference distance
+		{-30, 3, 0.1, -30}, // clamped below d0
+		{-30, 3, 10, -60},  // one decade
+		{-30, 3, 100, -90}, // two decades
+		{-30, 2, 100, -70}, // smaller exponent decays slower
+		{-20, 3, 10, -50},  // stronger transmitter
+	}
+	for _, tt := range tests {
+		got := m.ExpectedRSS(tt.refRSS, tt.exp, tt.dist)
+		if math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("ExpectedRSS(%v,%v,%v) = %v, want %v",
+				tt.refRSS, tt.exp, tt.dist, got, tt.want)
+		}
+	}
+}
+
+func TestRangeInvertsExpectedRSS(t *testing.T) {
+	m := LogDistance{}
+	for _, exp := range []float64{2, 2.5, 3, 3.5} {
+		r := m.Range(-30, exp)
+		at := m.ExpectedRSS(-30, exp, r)
+		if math.Abs(at-m.Floor()) > 1e-9 {
+			t.Errorf("exp=%v: RSS at Range() = %v, want floor %v", exp, at, m.Floor())
+		}
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	m := LogDistance{}
+	if m.Floor() != DefaultDetectionFloor {
+		t.Errorf("Floor = %v", m.Floor())
+	}
+	m2 := LogDistance{DetectionFloor: -85}
+	if m2.Floor() != -85 {
+		t.Errorf("custom floor = %v", m2.Floor())
+	}
+	n := Noise{}
+	if n.sigma() != DefaultShadowSigma || n.dropout() != DefaultDropout {
+		t.Errorf("noise defaults = %v, %v", n.sigma(), n.dropout())
+	}
+	if NoNoise.sigma() != 0 || NoNoise.dropout() != 0 {
+		t.Errorf("NoNoise = %v, %v", NoNoise.sigma(), NoNoise.dropout())
+	}
+}
+
+func TestNewReceiverNilRNG(t *testing.T) {
+	if _, err := NewReceiver(LogDistance{}, Noise{}, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestSampleNoNoiseIsDeterministic(t *testing.T) {
+	rx, err := NewReceiver(LogDistance{}, NoNoise, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rssi, ok := rx.Sample(-30, 3, 10)
+	if !ok || rssi != -60 {
+		t.Errorf("Sample = (%v, %v), want (-60, true)", rssi, ok)
+	}
+	// Below the floor: never detected.
+	if _, ok := rx.Sample(-30, 3, 500); ok {
+		t.Error("detected transmitter far below floor")
+	}
+}
+
+func TestSampleShadowingStatistics(t *testing.T) {
+	rx, err := NewReceiver(LogDistance{}, Noise{ShadowSigma: 4, Dropout: -1}, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	var sum, sumSq float64
+	detected := 0
+	for i := 0; i < n; i++ {
+		rssi, ok := rx.Sample(-30, 3, 10) // mean -60, far above floor
+		if !ok {
+			continue
+		}
+		detected++
+		sum += float64(rssi)
+		sumSq += float64(rssi) * float64(rssi)
+	}
+	if detected < n*99/100 {
+		t.Fatalf("only %d/%d detections at strong signal", detected, n)
+	}
+	mean := sum / float64(detected)
+	sd := math.Sqrt(sumSq/float64(detected) - mean*mean)
+	if math.Abs(mean+60) > 0.2 {
+		t.Errorf("sample mean = %v, want ~-60", mean)
+	}
+	if math.Abs(sd-4) > 0.3 {
+		t.Errorf("sample stddev = %v, want ~4 (quantisation adds ~0.08)", sd)
+	}
+}
+
+func TestSampleDropout(t *testing.T) {
+	rx, err := NewReceiver(LogDistance{}, Noise{ShadowSigma: -1, Dropout: 0.3}, xrand.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	miss := 0
+	for i := 0; i < n; i++ {
+		if _, ok := rx.Sample(-30, 3, 10); !ok {
+			miss++
+		}
+	}
+	p := float64(miss) / n
+	if math.Abs(p-0.3) > 0.02 {
+		t.Errorf("dropout rate = %v, want ~0.3", p)
+	}
+}
+
+// TestRankStability verifies the paper's key observation: even when raw RSS
+// readings swing wildly, the *rank* of two APs at clearly different
+// distances is stable across scans.
+func TestRankStability(t *testing.T) {
+	rx, err := NewReceiver(LogDistance{}, Noise{ShadowSigma: 4, Dropout: -1}, xrand.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000
+	inverted := 0
+	for i := 0; i < n; i++ {
+		near, okN := rx.Sample(-30, 3, 15) // mean ~ -65.3
+		far, okF := rx.Sample(-30, 3, 45)  // mean ~ -79.6
+		if !okN || !okF {
+			continue
+		}
+		if far > near {
+			inverted++
+		}
+	}
+	// Means differ by ~14 dB; with sigma 4 per reading the inversion
+	// probability is Phi(-14/(4*sqrt2)) ~ 0.7%.
+	if rate := float64(inverted) / n; rate > 0.03 {
+		t.Errorf("rank inversion rate = %v, want < 3%%", rate)
+	}
+}

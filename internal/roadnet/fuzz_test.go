@@ -1,0 +1,81 @@
+package roadnet
+
+import (
+	"bytes"
+	"testing"
+
+	"wilocator/internal/geo"
+)
+
+// FuzzReadNetwork: arbitrary bytes must never panic the network loader, and
+// any network it accepts must round-trip through WriteNetwork.
+func FuzzReadNetwork(f *testing.F) {
+	f.Add([]byte(`{"version":1,"nodes":[],"segments":[],"routes":[]}`))
+	f.Add([]byte(`{"version":1,"nodes":[{"pos":{"x":0,"y":0}},{"pos":{"x":10,"y":0}}],
+	  "segments":[{"from":0,"to":1,"speedLimit":10}],
+	  "routes":[{"id":"r","name":"r","class":"ordinary","segments":[0],"stops":[{"name":"s","arc":5}]}]}`))
+	f.Add([]byte(`{"version":1,"nodes":[{"pos":{"x":0,"y":0}}],"segments":[{"from":0,"to":0,"speedLimit":-1}]}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"version":1,"segments":[{"from":-1,"to":99}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		net, err := ReadNetwork(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything accepted must serialise and reload identically.
+		var buf bytes.Buffer
+		if err := WriteNetwork(&buf, net); err != nil {
+			t.Fatalf("accepted network fails to serialise: %v", err)
+		}
+		back, err := ReadNetwork(&buf)
+		if err != nil {
+			t.Fatalf("round trip of accepted network fails: %v", err)
+		}
+		if back.Graph.NumNodes() != net.Graph.NumNodes() ||
+			back.Graph.NumSegments() != net.Graph.NumSegments() ||
+			len(back.Routes()) != len(net.Routes()) {
+			t.Fatal("round trip changed the network shape")
+		}
+	})
+}
+
+// FuzzRouteArcQueries: route arc lookups never panic for any float input on
+// a fixed route.
+func FuzzRouteArcQueries(f *testing.F) {
+	g := NewGraph()
+	var prev NodeID
+	for i := 0; i <= 4; i++ {
+		n := g.AddNode(geo.Pt(float64(i)*100, 0), "n")
+		if i > 0 {
+			if _, err := g.AddSegment(prev, n, "s", 10, false); err != nil {
+				f.Fatal(err)
+			}
+		}
+		prev = n
+	}
+	route, err := NewRoute(g, "r", "r", ClassOrdinary, []SegmentID{0, 1, 2, 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := route.PlaceStopsEvenly(5); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(0.0)
+	f.Add(-1.5)
+	f.Add(1e300)
+	f.Add(400.0)
+	f.Fuzz(func(t *testing.T, s float64) {
+		idx, _, off := route.SegmentAt(s)
+		if idx < 0 || idx >= route.NumSegments() {
+			t.Fatalf("SegmentAt(%v) index %d", s, idx)
+		}
+		if off < -1e-9 {
+			t.Fatalf("SegmentAt(%v) offset %v", s, off)
+		}
+		_ = route.PointAt(s)
+		if i := route.NextStopIndex(s); i < 0 || i > route.NumStops() {
+			t.Fatalf("NextStopIndex(%v) = %d", s, i)
+		}
+	})
+}

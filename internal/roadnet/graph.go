@@ -1,0 +1,155 @@
+// Package roadnet models the urban road network and bus routes of the
+// WiLocator paper: a directed graph of road segments between adjacent
+// intersections (Definition 3), bus routes as connected directed segment
+// sequences with stops (Definition 4), overlap analysis between routes, and
+// synthetic network generators that reproduce the paper's evaluation
+// scenarios (Table I's four Metro-Vancouver routes and the campus road of
+// Table II / Fig. 10).
+package roadnet
+
+import (
+	"errors"
+	"fmt"
+
+	"wilocator/internal/geo"
+)
+
+// NodeID identifies an intersection or road terminal in a Graph.
+type NodeID int
+
+// SegmentID identifies a directed road segment in a Graph.
+type SegmentID int
+
+// Node is an intersection or road terminal (a vertex of Definition 3).
+type Node struct {
+	ID   NodeID    `json:"id"`
+	Pos  geo.Point `json:"pos"`
+	Name string    `json:"name"`
+}
+
+// Segment is a directed road segment between two adjacent nodes (an edge of
+// Definition 3). Its geometry is a polyline from the From node to the To
+// node.
+type Segment struct {
+	ID         SegmentID
+	From, To   NodeID
+	Name       string
+	Line       *geo.Polyline
+	SpeedLimit float64 // free-flow speed limit, m/s
+	Signal     bool    // traffic light at the To intersection
+}
+
+// Length returns the segment's arc length in metres.
+func (s *Segment) Length() float64 { return s.Line.Length() }
+
+// Graph is a directed road network. The zero value is not usable; construct
+// with NewGraph.
+type Graph struct {
+	nodes []Node
+	segs  []*Segment
+	out   map[NodeID][]SegmentID
+}
+
+// NewGraph returns an empty road network.
+func NewGraph() *Graph {
+	return &Graph{out: make(map[NodeID][]SegmentID)}
+}
+
+// AddNode adds an intersection/terminal and returns its ID.
+func (g *Graph) AddNode(pos geo.Point, name string) NodeID {
+	id := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, Node{ID: id, Pos: pos, Name: name})
+	return id
+}
+
+// AddSegment adds a straight directed road segment between two existing
+// nodes.
+func (g *Graph) AddSegment(from, to NodeID, name string, speedLimit float64, signal bool) (SegmentID, error) {
+	fn, ok := g.Node(from)
+	if !ok {
+		return 0, fmt.Errorf("roadnet: unknown from node %d", from)
+	}
+	tn, ok := g.Node(to)
+	if !ok {
+		return 0, fmt.Errorf("roadnet: unknown to node %d", to)
+	}
+	line, err := geo.NewPolyline([]geo.Point{fn.Pos, tn.Pos})
+	if err != nil {
+		return 0, fmt.Errorf("roadnet: segment %s: %w", name, err)
+	}
+	return g.addSegment(from, to, name, line, speedLimit, signal)
+}
+
+// AddSegmentLine adds a directed road segment with explicit geometry. The
+// polyline endpoints must coincide with the node positions (within 1 mm).
+func (g *Graph) AddSegmentLine(from, to NodeID, name string, line *geo.Polyline, speedLimit float64, signal bool) (SegmentID, error) {
+	fn, ok := g.Node(from)
+	if !ok {
+		return 0, fmt.Errorf("roadnet: unknown from node %d", from)
+	}
+	tn, ok := g.Node(to)
+	if !ok {
+		return 0, fmt.Errorf("roadnet: unknown to node %d", to)
+	}
+	const tol = 1e-3
+	if line.Start().Dist(fn.Pos) > tol || line.End().Dist(tn.Pos) > tol {
+		return 0, fmt.Errorf("roadnet: segment %s geometry does not join its nodes", name)
+	}
+	return g.addSegment(from, to, name, line, speedLimit, signal)
+}
+
+func (g *Graph) addSegment(from, to NodeID, name string, line *geo.Polyline, speedLimit float64, signal bool) (SegmentID, error) {
+	if speedLimit <= 0 {
+		return 0, fmt.Errorf("roadnet: segment %s: non-positive speed limit", name)
+	}
+	id := SegmentID(len(g.segs))
+	g.segs = append(g.segs, &Segment{
+		ID:         id,
+		From:       from,
+		To:         to,
+		Name:       name,
+		Line:       line,
+		SpeedLimit: speedLimit,
+		Signal:     signal,
+	})
+	g.out[from] = append(g.out[from], id)
+	return id, nil
+}
+
+// Node returns the node with the given ID.
+func (g *Graph) Node(id NodeID) (Node, bool) {
+	if id < 0 || int(id) >= len(g.nodes) {
+		return Node{}, false
+	}
+	return g.nodes[id], true
+}
+
+// Segment returns the segment with the given ID.
+func (g *Graph) Segment(id SegmentID) (*Segment, bool) {
+	if id < 0 || int(id) >= len(g.segs) {
+		return nil, false
+	}
+	return g.segs[id], true
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumSegments returns the number of segments.
+func (g *Graph) NumSegments() int { return len(g.segs) }
+
+// Segments returns all segments in ID order. The returned slice is shared;
+// callers must not modify it.
+func (g *Graph) Segments() []*Segment { return g.segs }
+
+// OutSegments returns the IDs of segments leaving node n.
+func (g *Graph) OutSegments(n NodeID) []SegmentID {
+	ids := g.out[n]
+	cp := make([]SegmentID, len(ids))
+	copy(cp, ids)
+	return cp
+}
+
+// ErrDisconnected is returned when a route's segments do not chain
+// end-to-start.
+var ErrDisconnected = errors.New("roadnet: route segments are not connected")

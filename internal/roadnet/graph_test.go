@@ -1,0 +1,92 @@
+package roadnet
+
+import (
+	"testing"
+
+	"wilocator/internal/geo"
+)
+
+func twoNodeGraph(t *testing.T) (*Graph, NodeID, NodeID) {
+	t.Helper()
+	g := NewGraph()
+	a := g.AddNode(geo.Pt(0, 0), "a")
+	b := g.AddNode(geo.Pt(100, 0), "b")
+	return g, a, b
+}
+
+func TestAddSegment(t *testing.T) {
+	g, a, b := twoNodeGraph(t)
+	id, err := g.AddSegment(a, b, "ab", 10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, ok := g.Segment(id)
+	if !ok {
+		t.Fatal("segment not found")
+	}
+	if seg.Length() != 100 {
+		t.Errorf("Length = %v, want 100", seg.Length())
+	}
+	if seg.From != a || seg.To != b || !seg.Signal {
+		t.Errorf("segment fields wrong: %+v", seg)
+	}
+	if got := g.OutSegments(a); len(got) != 1 || got[0] != id {
+		t.Errorf("OutSegments(a) = %v", got)
+	}
+	if got := g.OutSegments(b); len(got) != 0 {
+		t.Errorf("OutSegments(b) = %v, want empty", got)
+	}
+}
+
+func TestAddSegmentErrors(t *testing.T) {
+	g, a, b := twoNodeGraph(t)
+	if _, err := g.AddSegment(99, b, "bad", 10, false); err == nil {
+		t.Error("unknown from node: want error")
+	}
+	if _, err := g.AddSegment(a, 99, "bad", 10, false); err == nil {
+		t.Error("unknown to node: want error")
+	}
+	if _, err := g.AddSegment(a, b, "bad", 0, false); err == nil {
+		t.Error("zero speed limit: want error")
+	}
+}
+
+func TestAddSegmentLineValidatesJoin(t *testing.T) {
+	g, a, b := twoNodeGraph(t)
+	good := geo.MustPolyline([]geo.Point{geo.Pt(0, 0), geo.Pt(50, 20), geo.Pt(100, 0)})
+	if _, err := g.AddSegmentLine(a, b, "curvy", good, 10, false); err != nil {
+		t.Errorf("valid geometry rejected: %v", err)
+	}
+	bad := geo.MustPolyline([]geo.Point{geo.Pt(5, 5), geo.Pt(100, 0)})
+	if _, err := g.AddSegmentLine(a, b, "offset", bad, 10, false); err == nil {
+		t.Error("disjoint geometry accepted")
+	}
+}
+
+func TestNodeSegmentLookupBounds(t *testing.T) {
+	g, _, _ := twoNodeGraph(t)
+	if _, ok := g.Node(-1); ok {
+		t.Error("Node(-1) should miss")
+	}
+	if _, ok := g.Node(2); ok {
+		t.Error("Node(2) should miss")
+	}
+	if _, ok := g.Segment(0); ok {
+		t.Error("Segment(0) on empty graph should miss")
+	}
+	if g.NumNodes() != 2 || g.NumSegments() != 0 {
+		t.Errorf("counts = %d nodes, %d segments", g.NumNodes(), g.NumSegments())
+	}
+}
+
+func TestOutSegmentsIsCopy(t *testing.T) {
+	g, a, b := twoNodeGraph(t)
+	if _, err := g.AddSegment(a, b, "ab", 10, false); err != nil {
+		t.Fatal(err)
+	}
+	got := g.OutSegments(a)
+	got[0] = 999
+	if g.OutSegments(a)[0] == 999 {
+		t.Error("OutSegments exposed internal slice")
+	}
+}

@@ -1,0 +1,95 @@
+package roadnet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Network bundles a road graph with the bus routes operating on it.
+type Network struct {
+	Graph  *Graph
+	routes []*Route
+	byID   map[string]*Route
+}
+
+// NewNetwork creates a network over the given graph.
+func NewNetwork(g *Graph) *Network {
+	return &Network{Graph: g, byID: make(map[string]*Route)}
+}
+
+// AddRoute registers a route. Route IDs must be unique.
+func (n *Network) AddRoute(r *Route) error {
+	if _, dup := n.byID[r.ID()]; dup {
+		return fmt.Errorf("roadnet: duplicate route id %q", r.ID())
+	}
+	n.routes = append(n.routes, r)
+	n.byID[r.ID()] = r
+	return nil
+}
+
+// Route returns the route with the given ID.
+func (n *Network) Route(id string) (*Route, bool) {
+	r, ok := n.byID[id]
+	return r, ok
+}
+
+// Routes returns all routes in registration order. The slice is a copy.
+func (n *Network) Routes() []*Route {
+	cp := make([]*Route, len(n.routes))
+	copy(cp, n.routes)
+	return cp
+}
+
+// RoutesOnSegment returns the IDs of routes whose path includes segment id,
+// sorted for determinism. This is the overlap relation the predictor
+// exploits: all these routes' travel times on the segment inform each other.
+func (n *Network) RoutesOnSegment(id SegmentID) []string {
+	var out []string
+	for _, r := range n.routes {
+		for _, sid := range r.segIDs {
+			if sid == id {
+				out = append(out, r.ID())
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OverlappedLength returns the total length of route r's segments that are
+// shared with at least one other route in the network (Table I's
+// "Overlapped Length" column).
+func (n *Network) OverlappedLength(r *Route) float64 {
+	total := 0.0
+	for _, sid := range r.segIDs {
+		if len(n.RoutesOnSegment(sid)) >= 2 {
+			seg, _ := n.Graph.Segment(sid)
+			total += seg.Length()
+		}
+	}
+	return total
+}
+
+// RouteInfo is one row of the paper's Table I.
+type RouteInfo struct {
+	Name      string  `json:"name"`
+	Stops     int     `json:"stops"`
+	LengthKm  float64 `json:"lengthKm"`
+	OverlapKm float64 `json:"overlapKm"`
+}
+
+// TableI computes the route-inventory table (paper Table I) for the
+// network's routes, in registration order.
+func (n *Network) TableI() []RouteInfo {
+	out := make([]RouteInfo, 0, len(n.routes))
+	for _, r := range n.routes {
+		out = append(out, RouteInfo{
+			Name:      r.Name(),
+			Stops:     r.NumStops(),
+			LengthKm:  r.Length() / 1000,
+			OverlapKm: n.OverlappedLength(r) / 1000,
+		})
+	}
+	return out
+}

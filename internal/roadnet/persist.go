@@ -1,0 +1,156 @@
+package roadnet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"wilocator/internal/geo"
+)
+
+// networkVersion guards the network file format.
+const networkVersion = 1
+
+// networkFile is the JSON schema for a serialised network: the inputs a
+// transit agency actually has (intersections, road segments, route segment
+// sequences, stop positions), so real city data can replace the synthetic
+// generators.
+type networkFile struct {
+	Version  int           `json:"version"`
+	Nodes    []nodeFile    `json:"nodes"`
+	Segments []segmentFile `json:"segments"`
+	Routes   []routeFile   `json:"routes"`
+}
+
+type nodeFile struct {
+	Pos  geo.Point `json:"pos"`
+	Name string    `json:"name"`
+}
+
+type segmentFile struct {
+	From       NodeID      `json:"from"`
+	To         NodeID      `json:"to"`
+	Name       string      `json:"name"`
+	SpeedLimit float64     `json:"speedLimit"`
+	Signal     bool        `json:"signal"`
+	Points     []geo.Point `json:"points,omitempty"` // omitted = straight line
+}
+
+type routeFile struct {
+	ID       string      `json:"id"`
+	Name     string      `json:"name"`
+	Class    string      `json:"class"`
+	Segments []SegmentID `json:"segments"`
+	Stops    []stopFile  `json:"stops"`
+}
+
+type stopFile struct {
+	Name string  `json:"name"`
+	Arc  float64 `json:"arc"`
+}
+
+// WriteNetwork serialises a network as JSON. Segment and node IDs are their
+// slice positions, so files are stable and human-editable.
+func WriteNetwork(w io.Writer, net *Network) error {
+	nf := networkFile{Version: networkVersion}
+	g := net.Graph
+	for i := 0; i < g.NumNodes(); i++ {
+		n, _ := g.Node(NodeID(i))
+		nf.Nodes = append(nf.Nodes, nodeFile{Pos: n.Pos, Name: n.Name})
+	}
+	for _, seg := range g.Segments() {
+		sf := segmentFile{
+			From:       seg.From,
+			To:         seg.To,
+			Name:       seg.Name,
+			SpeedLimit: seg.SpeedLimit,
+			Signal:     seg.Signal,
+		}
+		// Straight two-vertex lines are reconstructed from the node
+		// positions; anything else carries explicit geometry.
+		if seg.Line.NumVertices() > 2 {
+			sf.Points = seg.Line.Points()
+		}
+		nf.Segments = append(nf.Segments, sf)
+	}
+	for _, route := range net.Routes() {
+		rf := routeFile{
+			ID:       route.ID(),
+			Name:     route.Name(),
+			Class:    route.Class().String(),
+			Segments: route.Segments(),
+		}
+		for _, stop := range route.Stops() {
+			rf.Stops = append(rf.Stops, stopFile{Name: stop.Name, Arc: stop.Arc})
+		}
+		nf.Routes = append(nf.Routes, rf)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(nf); err != nil {
+		return fmt.Errorf("roadnet: encode network: %w", err)
+	}
+	return nil
+}
+
+// ReadNetwork loads a network previously written by WriteNetwork (or
+// hand-authored in the same schema).
+func ReadNetwork(r io.Reader) (*Network, error) {
+	var nf networkFile
+	if err := json.NewDecoder(r).Decode(&nf); err != nil {
+		return nil, fmt.Errorf("roadnet: decode network: %w", err)
+	}
+	if nf.Version != networkVersion {
+		return nil, fmt.Errorf("roadnet: network file version %d, want %d", nf.Version, networkVersion)
+	}
+	g := NewGraph()
+	for _, n := range nf.Nodes {
+		g.AddNode(n.Pos, n.Name)
+	}
+	for i, sf := range nf.Segments {
+		var err error
+		if len(sf.Points) > 0 {
+			line, plErr := geo.NewPolyline(sf.Points)
+			if plErr != nil {
+				return nil, fmt.Errorf("roadnet: segment %d geometry: %w", i, plErr)
+			}
+			_, err = g.AddSegmentLine(sf.From, sf.To, sf.Name, line, sf.SpeedLimit, sf.Signal)
+		} else {
+			_, err = g.AddSegment(sf.From, sf.To, sf.Name, sf.SpeedLimit, sf.Signal)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("roadnet: segment %d: %w", i, err)
+		}
+	}
+	net := NewNetwork(g)
+	for _, rf := range nf.Routes {
+		class, err := parseClass(rf.Class)
+		if err != nil {
+			return nil, fmt.Errorf("roadnet: route %q: %w", rf.ID, err)
+		}
+		route, err := NewRoute(g, rf.ID, rf.Name, class, rf.Segments)
+		if err != nil {
+			return nil, err
+		}
+		for _, st := range rf.Stops {
+			if err := route.AddStop(st.Name, st.Arc); err != nil {
+				return nil, fmt.Errorf("roadnet: route %q: %w", rf.ID, err)
+			}
+		}
+		if err := net.AddRoute(route); err != nil {
+			return nil, err
+		}
+	}
+	return net, nil
+}
+
+func parseClass(s string) (RouteClass, error) {
+	switch s {
+	case "ordinary":
+		return ClassOrdinary, nil
+	case "rapid":
+		return ClassRapid, nil
+	default:
+		return 0, fmt.Errorf("unknown route class %q", s)
+	}
+}

@@ -1,0 +1,125 @@
+package roadnet
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"wilocator/internal/geo"
+)
+
+func TestNetworkRoundTrip(t *testing.T) {
+	src := buildVancouver(t)
+	var buf bytes.Buffer
+	if err := WriteNetwork(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := ReadNetwork(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if dst.Graph.NumNodes() != src.Graph.NumNodes() {
+		t.Errorf("nodes: %d vs %d", dst.Graph.NumNodes(), src.Graph.NumNodes())
+	}
+	if dst.Graph.NumSegments() != src.Graph.NumSegments() {
+		t.Errorf("segments: %d vs %d", dst.Graph.NumSegments(), src.Graph.NumSegments())
+	}
+	srcRows, dstRows := src.TableI(), dst.TableI()
+	if len(srcRows) != len(dstRows) {
+		t.Fatalf("route counts differ")
+	}
+	for i := range srcRows {
+		if srcRows[i] != dstRows[i] {
+			t.Errorf("Table I row %d differs: %+v vs %+v", i, srcRows[i], dstRows[i])
+		}
+	}
+	// Per-route geometry and stops survive exactly.
+	for _, sr := range src.Routes() {
+		dr, ok := dst.Route(sr.ID())
+		if !ok {
+			t.Fatalf("route %q missing after round trip", sr.ID())
+		}
+		if math.Abs(dr.Length()-sr.Length()) > 1e-9 {
+			t.Errorf("route %q length differs", sr.ID())
+		}
+		if dr.Class() != sr.Class() || dr.Name() != sr.Name() {
+			t.Errorf("route %q metadata differs", sr.ID())
+		}
+		ss, ds := sr.Stops(), dr.Stops()
+		for i := range ss {
+			if ss[i] != ds[i] {
+				t.Errorf("route %q stop %d differs", sr.ID(), i)
+			}
+		}
+	}
+}
+
+func TestNetworkRoundTripCurvedSegment(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode(geo.Pt(0, 0), "a")
+	b := g.AddNode(geo.Pt(100, 0), "b")
+	line := geo.MustPolyline([]geo.Point{geo.Pt(0, 0), geo.Pt(50, 30), geo.Pt(100, 0)})
+	sid, err := g.AddSegmentLine(a, b, "curve", line, 10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	route, err := NewRoute(g, "c", "curvy", ClassRapid, []SegmentID{sid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := route.PlaceStopsEvenly(3); err != nil {
+		t.Fatal(err)
+	}
+	net := NewNetwork(g)
+	if err := net.AddRoute(route); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteNetwork(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadNetwork(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := back.Route("c")
+	if math.Abs(r2.Length()-route.Length()) > 1e-9 {
+		t.Errorf("curved length lost: %v vs %v", r2.Length(), route.Length())
+	}
+	if r2.Class() != ClassRapid {
+		t.Errorf("class lost: %v", r2.Class())
+	}
+}
+
+func TestReadNetworkRejectsBadInput(t *testing.T) {
+	if _, err := ReadNetwork(strings.NewReader("{oops")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, err := ReadNetwork(strings.NewReader(`{"version":9}`)); err == nil {
+		t.Error("future version accepted")
+	}
+	// Unknown route class.
+	bad := `{"version":1,"nodes":[{"pos":{"x":0,"y":0}},{"pos":{"x":10,"y":0}}],
+	  "segments":[{"from":0,"to":1,"speedLimit":10}],
+	  "routes":[{"id":"r","name":"r","class":"warp","segments":[0]}]}`
+	if _, err := ReadNetwork(strings.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "class") {
+		t.Errorf("bad class accepted: %v", err)
+	}
+	// Segment referencing a missing node.
+	bad2 := `{"version":1,"nodes":[{"pos":{"x":0,"y":0}}],
+	  "segments":[{"from":0,"to":5,"speedLimit":10}],"routes":[]}`
+	if _, err := ReadNetwork(strings.NewReader(bad2)); err == nil {
+		t.Error("dangling segment accepted")
+	}
+	// Disconnected route.
+	bad3 := `{"version":1,
+	  "nodes":[{"pos":{"x":0,"y":0}},{"pos":{"x":10,"y":0}},{"pos":{"x":30,"y":0}},{"pos":{"x":40,"y":0}}],
+	  "segments":[{"from":0,"to":1,"speedLimit":10},{"from":2,"to":3,"speedLimit":10}],
+	  "routes":[{"id":"r","name":"r","class":"ordinary","segments":[0,1]}]}`
+	if _, err := ReadNetwork(strings.NewReader(bad3)); err == nil {
+		t.Error("disconnected route accepted")
+	}
+}

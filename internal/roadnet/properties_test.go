@@ -1,0 +1,105 @@
+package roadnet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestSegmentAtConsistency: for any arc s on any Vancouver route, SegmentAt
+// returns an index whose [start, end] arc range contains s and an offset
+// that reproduces s.
+func TestSegmentAtConsistency(t *testing.T) {
+	net := buildVancouver(t)
+	for _, route := range net.Routes() {
+		r := route
+		f := func(raw float64) bool {
+			if math.IsNaN(raw) || math.IsInf(raw, 0) {
+				return true
+			}
+			s := math.Mod(math.Abs(raw), r.Length())
+			idx, id, off := r.SegmentAt(s)
+			if idx < 0 || idx >= r.NumSegments() {
+				return false
+			}
+			if id != r.Segments()[idx] {
+				return false
+			}
+			start, end := r.SegmentStartArc(idx), r.SegmentEndArc(idx)
+			if s < start-1e-9 || s > end+1e-9 {
+				return false
+			}
+			return math.Abs(start+off-s) < 1e-6
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("route %s: %v", route.ID(), err)
+		}
+	}
+}
+
+// TestPointAtProjectInverse: projecting a route point back onto the route
+// recovers the arc length (within tolerance at overlapping geometry).
+func TestPointAtProjectInverse(t *testing.T) {
+	net := buildVancouver(t)
+	route, _ := net.Route(RouteRapid)
+	f := func(raw float64) bool {
+		if math.IsNaN(raw) || math.IsInf(raw, 0) {
+			return true
+		}
+		s := math.Mod(math.Abs(raw), route.Length())
+		p := route.PointAt(s)
+		got, dist := route.Project(p)
+		if dist > 1e-6 {
+			return false
+		}
+		// The rapid route's tails touch the corridor at shared vertices;
+		// projection may legitimately land on either. Accept exact-point
+		// matches.
+		return route.PointAt(got).Dist(p) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSegmentEndArcsTile: segment arc ranges tile [0, Length] without gaps.
+func TestSegmentEndArcsTile(t *testing.T) {
+	net := buildVancouver(t)
+	for _, route := range net.Routes() {
+		prev := 0.0
+		for i := 0; i < route.NumSegments(); i++ {
+			if got := route.SegmentStartArc(i); math.Abs(got-prev) > 1e-9 {
+				t.Fatalf("route %s: segment %d starts at %v, want %v", route.ID(), i, got, prev)
+			}
+			end := route.SegmentEndArc(i)
+			if end <= prev {
+				t.Fatalf("route %s: segment %d empty", route.ID(), i)
+			}
+			prev = end
+		}
+		if math.Abs(prev-route.Length()) > 1e-6 {
+			t.Fatalf("route %s: segments end at %v, length %v", route.ID(), prev, route.Length())
+		}
+	}
+}
+
+// TestNextStopIndexMonotone: NextStopIndex is non-decreasing in arc and
+// consistent with StopArc.
+func TestNextStopIndexMonotone(t *testing.T) {
+	net := buildVancouver(t)
+	route, _ := net.Route(Route9)
+	prevIdx := 0
+	for s := 0.0; s <= route.Length(); s += 97 {
+		idx := route.NextStopIndex(s)
+		if idx < prevIdx {
+			t.Fatalf("NextStopIndex regressed at %v", s)
+		}
+		if idx < route.NumStops() && route.StopArc(idx) <= s {
+			t.Fatalf("stop %d at %v not ahead of %v", idx, route.StopArc(idx), s)
+		}
+		if idx > 0 && route.StopArc(idx-1) > s {
+			t.Fatalf("stop %d at %v wrongly skipped at %v", idx-1, route.StopArc(idx-1), s)
+		}
+		prevIdx = idx
+	}
+}

@@ -1,0 +1,180 @@
+package roadnet
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"wilocator/internal/geo"
+)
+
+// chainGraph builds a 3-segment L-shaped route: 100 m + 100 m east, then
+// 50 m north.
+func chainGraph(t *testing.T) (*Graph, []SegmentID) {
+	t.Helper()
+	g := NewGraph()
+	n0 := g.AddNode(geo.Pt(0, 0), "n0")
+	n1 := g.AddNode(geo.Pt(100, 0), "n1")
+	n2 := g.AddNode(geo.Pt(200, 0), "n2")
+	n3 := g.AddNode(geo.Pt(200, 50), "n3")
+	ids := make([]SegmentID, 3)
+	var err error
+	for i, pair := range [][2]NodeID{{n0, n1}, {n1, n2}, {n2, n3}} {
+		ids[i], err = g.AddSegment(pair[0], pair[1], "s", 10, i == 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g, ids
+}
+
+func TestNewRouteValidation(t *testing.T) {
+	g, ids := chainGraph(t)
+	if _, err := NewRoute(g, "r", "r", ClassOrdinary, nil); err == nil {
+		t.Error("empty route accepted")
+	}
+	if _, err := NewRoute(g, "r", "r", RouteClass(0), ids); err == nil {
+		t.Error("invalid class accepted")
+	}
+	if _, err := NewRoute(g, "r", "r", ClassOrdinary, []SegmentID{ids[0], ids[2]}); !errors.Is(err, ErrDisconnected) {
+		t.Errorf("disconnected route: err = %v, want ErrDisconnected", err)
+	}
+	if _, err := NewRoute(g, "r", "r", ClassOrdinary, []SegmentID{99}); err == nil {
+		t.Error("unknown segment accepted")
+	}
+}
+
+func TestRouteGeometry(t *testing.T) {
+	g, ids := chainGraph(t)
+	r, err := NewRoute(g, "r", "Test", ClassRapid, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Length() != 250 {
+		t.Errorf("Length = %v, want 250", r.Length())
+	}
+	if r.Class() != ClassRapid || r.ID() != "r" || r.Name() != "Test" {
+		t.Errorf("metadata wrong: %v %v %v", r.Class(), r.ID(), r.Name())
+	}
+	if got := r.PointAt(225); got.Dist(geo.Pt(200, 25)) > 1e-9 {
+		t.Errorf("PointAt(225) = %v", got)
+	}
+	if s, d := r.Project(geo.Pt(150, -8)); math.Abs(s-150) > 1e-9 || math.Abs(d-8) > 1e-9 {
+		t.Errorf("Project = (%v, %v), want (150, 8)", s, d)
+	}
+}
+
+func TestRouteSegmentAt(t *testing.T) {
+	g, ids := chainGraph(t)
+	r, err := NewRoute(g, "r", "r", ClassOrdinary, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		s          float64
+		wantIdx    int
+		wantOffset float64
+	}{
+		{-5, 0, 0},
+		{0, 0, 0},
+		{50, 0, 50},
+		{100, 1, 0},
+		{199.5, 1, 99.5},
+		{200, 2, 0},
+		{250, 2, 50},
+		{300, 2, 50},
+	}
+	for _, tt := range tests {
+		idx, id, off := r.SegmentAt(tt.s)
+		if idx != tt.wantIdx || math.Abs(off-tt.wantOffset) > 1e-9 {
+			t.Errorf("SegmentAt(%v) = (idx=%d, off=%v), want (%d, %v)",
+				tt.s, idx, off, tt.wantIdx, tt.wantOffset)
+		}
+		if id != ids[tt.wantIdx] {
+			t.Errorf("SegmentAt(%v) id = %d, want %d", tt.s, id, ids[tt.wantIdx])
+		}
+	}
+	if a := r.SegmentStartArc(2); a != 200 {
+		t.Errorf("SegmentStartArc(2) = %v, want 200", a)
+	}
+	if a := r.SegmentEndArc(1); a != 200 {
+		t.Errorf("SegmentEndArc(1) = %v, want 200", a)
+	}
+	if a := r.SegmentEndArc(2); a != 250 {
+		t.Errorf("SegmentEndArc(2) = %v, want 250", a)
+	}
+}
+
+func TestRouteStops(t *testing.T) {
+	g, ids := chainGraph(t)
+	r, err := NewRoute(g, "r", "r", ClassOrdinary, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddStop("a", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddStop("b", 240); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddStop("bad", 100); err == nil {
+		t.Error("out-of-order stop accepted")
+	}
+	if err := r.AddStop("bad", 9999); err == nil {
+		t.Error("stop beyond route accepted")
+	}
+	if r.NumStops() != 2 || r.StopArc(1) != 240 {
+		t.Errorf("stops = %v", r.Stops())
+	}
+	if i := r.NextStopIndex(5); i != 0 {
+		t.Errorf("NextStopIndex(5) = %d, want 0", i)
+	}
+	if i := r.NextStopIndex(10); i != 1 {
+		t.Errorf("NextStopIndex(10) = %d, want 1 (stop at exactly 10 is passed)", i)
+	}
+	if i := r.NextStopIndex(241); i != 2 {
+		t.Errorf("NextStopIndex(241) = %d, want NumStops", i)
+	}
+}
+
+func TestPlaceStopsEvenly(t *testing.T) {
+	g, ids := chainGraph(t)
+	r, err := NewRoute(g, "r", "r", ClassOrdinary, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.PlaceStopsEvenly(1); err == nil {
+		t.Error("1 stop accepted")
+	}
+	if err := r.PlaceStopsEvenly(6); err != nil {
+		t.Fatal(err)
+	}
+	stops := r.Stops()
+	if len(stops) != 6 {
+		t.Fatalf("got %d stops", len(stops))
+	}
+	if stops[0].Arc != 0 || stops[5].Arc != r.Length() {
+		t.Errorf("terminal stops at %v and %v", stops[0].Arc, stops[5].Arc)
+	}
+	for i := 1; i < len(stops); i++ {
+		if d := stops[i].Arc - stops[i-1].Arc; math.Abs(d-50) > 1e-9 {
+			t.Errorf("stop spacing %d = %v, want 50", i, d)
+		}
+	}
+	// Replacing is idempotent.
+	if err := r.PlaceStopsEvenly(3); err != nil {
+		t.Fatal(err)
+	}
+	if r.NumStops() != 3 {
+		t.Errorf("replacement left %d stops", r.NumStops())
+	}
+}
+
+func TestRouteClassString(t *testing.T) {
+	if ClassOrdinary.String() != "ordinary" || ClassRapid.String() != "rapid" {
+		t.Error("RouteClass.String wrong")
+	}
+	if RouteClass(9).String() != "RouteClass(9)" {
+		t.Error("unknown class string wrong")
+	}
+}

@@ -1,0 +1,260 @@
+package roadnet
+
+import (
+	"fmt"
+	"math"
+
+	"wilocator/internal/geo"
+)
+
+// VancouverSpec parameterises the synthetic Metro-Vancouver corridor network
+// that reproduces the paper's Table I. The defaults (see DefaultVancouverSpec)
+// yield the published route inventory: a 13 km main corridor ("W Broadway")
+// shared by the Rapid Line and routes 9 and 14, a 3.2 km branch shared by
+// routes 14 and 16, and per-route unique tails sized so the total lengths
+// match the paper.
+type VancouverSpec struct {
+	// BlockLength is the distance between adjacent intersections on the
+	// corridor, i.e. the road-segment granularity of Definition 3.
+	BlockLength float64
+	// CorridorLength is the length of the main shared corridor.
+	CorridorLength float64
+	// SignalSpacing places a traffic light at corridor intersections whose
+	// position is a multiple of this distance.
+	SignalSpacing float64
+	// CorridorSpeed and SideSpeed are segment speed limits in m/s.
+	CorridorSpeed float64
+	SideSpeed     float64
+}
+
+// DefaultVancouverSpec returns the parameters used throughout the
+// reproduction.
+func DefaultVancouverSpec() VancouverSpec {
+	return VancouverSpec{
+		BlockLength:    250,
+		CorridorLength: 13000,
+		SignalSpacing:  1000,
+		CorridorSpeed:  50 / 3.6,
+		SideSpeed:      40 / 3.6,
+	}
+}
+
+// Route IDs of the Vancouver scenario.
+const (
+	RouteRapid = "RapidLine"
+	Route9     = "9"
+	Route14    = "14"
+	Route16    = "16"
+)
+
+// BuildVancouver constructs the four-route network of Table I. Stop counts
+// are exact (19 / 65 / 74 / 91); route lengths and overlapped lengths match
+// the paper to within a block.
+func BuildVancouver(spec VancouverSpec) (*Network, error) {
+	if spec.BlockLength <= 0 || spec.CorridorLength <= 0 {
+		return nil, fmt.Errorf("roadnet: invalid spec %+v", spec)
+	}
+	g := NewGraph()
+	b := &builder{g: g, spec: spec}
+
+	// Main corridor along y=0 from x=0 to x=CorridorLength.
+	nBlocks := int(math.Round(spec.CorridorLength / spec.BlockLength))
+	corridorNodes := make([]NodeID, nBlocks+1)
+	for i := range corridorNodes {
+		x := float64(i) * spec.BlockLength
+		corridorNodes[i] = g.AddNode(geo.Pt(x, 0), fmt.Sprintf("broadway-%d", i))
+	}
+	corridor := make([]SegmentID, nBlocks)
+	for i := 0; i < nBlocks; i++ {
+		endX := float64(i+1) * spec.BlockLength
+		signal := math.Mod(endX, spec.SignalSpacing) == 0
+		id, err := g.AddSegment(corridorNodes[i], corridorNodes[i+1],
+			fmt.Sprintf("broadway-%d", i), spec.CorridorSpeed, signal)
+		if err != nil {
+			return nil, err
+		}
+		corridor[i] = id
+	}
+	first, last := corridorNodes[0], corridorNodes[nBlocks]
+
+	// Junction index for route 16 joining the corridor at x = 6750 m.
+	joinIdx := int(math.Round(6750 / spec.BlockLength))
+	if joinIdx <= 0 || joinIdx >= nBlocks {
+		return nil, fmt.Errorf("roadnet: route-16 junction index %d out of corridor", joinIdx)
+	}
+	joinNode := corridorNodes[joinIdx]
+
+	// Per-route unique tails. Inbound chains end at a corridor node;
+	// outbound chains start at one. Directions are unit vectors.
+	north, south := geo.Pt(0, 1), geo.Pt(0, -1)
+	east, west := geo.Pt(1, 0), geo.Pt(-1, 0)
+
+	rapidW, err := b.chainIn(first, north, 350, "rapid-w")
+	if err != nil {
+		return nil, err
+	}
+	rapidE, err := b.chainOut(last, south, 350, "rapid-e")
+	if err != nil {
+		return nil, err
+	}
+	r9W, err := b.chainIn(first, west, 1650, "r9-w")
+	if err != nil {
+		return nil, err
+	}
+	r9E, err := b.chainOut(last, east, 1650, "r9-e")
+	if err != nil {
+		return nil, err
+	}
+	r14W, err := b.chainIn(first, south, 1200, "r14-w")
+	if err != nil {
+		return nil, err
+	}
+	// Branch shared by routes 14 and 16: north from the corridor end.
+	branch, branchEnd, err := b.chainOutNodes(last, north, 3200, "branch")
+	if err != nil {
+		return nil, err
+	}
+	r14E, err := b.chainOut(branchEnd, east, 3200, "r14-e")
+	if err != nil {
+		return nil, err
+	}
+	r16S, err := b.chainIn(joinNode, south, 5650, "r16-s")
+	if err != nil {
+		return nil, err
+	}
+	r16N, err := b.chainOut(branchEnd, north, 3200, "r16-n")
+	if err != nil {
+		return nil, err
+	}
+
+	net := NewNetwork(g)
+	add := func(id, name string, class RouteClass, stops int, segs ...[]SegmentID) error {
+		var all []SegmentID
+		for _, s := range segs {
+			all = append(all, s...)
+		}
+		r, err := NewRoute(g, id, name, class, all)
+		if err != nil {
+			return err
+		}
+		if err := r.PlaceStopsEvenly(stops); err != nil {
+			return err
+		}
+		return net.AddRoute(r)
+	}
+
+	if err := add(RouteRapid, "Rapid Line", ClassRapid, 19, rapidW, corridor, rapidE); err != nil {
+		return nil, err
+	}
+	if err := add(Route9, "Route 9", ClassOrdinary, 65, r9W, corridor, r9E); err != nil {
+		return nil, err
+	}
+	if err := add(Route14, "Route 14", ClassOrdinary, 74, r14W, corridor, branch, r14E); err != nil {
+		return nil, err
+	}
+	if err := add(Route16, "Route 16", ClassOrdinary, 91, r16S, corridor[joinIdx:], branch, r16N); err != nil {
+		return nil, err
+	}
+	return net, nil
+}
+
+// builder creates block-granular street chains joined to existing nodes.
+type builder struct {
+	g    *Graph
+	spec VancouverSpec
+}
+
+// chainIn builds a street of the given length approaching node end from
+// direction dir (the street extends from end + dir*length back to end) and
+// returns its segments ordered toward end.
+func (b *builder) chainIn(end NodeID, dir geo.Point, length float64, name string) ([]SegmentID, error) {
+	endNode, ok := b.g.Node(end)
+	if !ok {
+		return nil, fmt.Errorf("roadnet: chainIn %s: unknown node %d", name, end)
+	}
+	offsets := b.blockOffsets(length)
+	prev := b.g.AddNode(endNode.Pos.Add(dir.Scale(length)), name+"-end")
+	var segs []SegmentID
+	for i := len(offsets) - 2; i >= 0; i-- {
+		var node NodeID
+		if offsets[i] == 0 {
+			node = end
+		} else {
+			node = b.g.AddNode(endNode.Pos.Add(dir.Scale(offsets[i])), fmt.Sprintf("%s-%d", name, i))
+		}
+		id, err := b.g.AddSegment(prev, node, fmt.Sprintf("%s-%d", name, i), b.spec.SideSpeed, offsets[i] == 0)
+		if err != nil {
+			return nil, err
+		}
+		segs = append(segs, id)
+		prev = node
+	}
+	return segs, nil
+}
+
+// chainOut builds a street of the given length leaving node start along dir
+// and returns its segments ordered away from start.
+func (b *builder) chainOut(start NodeID, dir geo.Point, length float64, name string) ([]SegmentID, error) {
+	segs, _, err := b.chainOutNodes(start, dir, length, name)
+	return segs, err
+}
+
+// chainOutNodes is chainOut that also returns the terminal node, so further
+// chains can continue from it (used for the shared 14/16 branch).
+func (b *builder) chainOutNodes(start NodeID, dir geo.Point, length float64, name string) ([]SegmentID, NodeID, error) {
+	startNode, ok := b.g.Node(start)
+	if !ok {
+		return nil, 0, fmt.Errorf("roadnet: chainOut %s: unknown node %d", name, start)
+	}
+	offsets := b.blockOffsets(length)
+	prev := start
+	var segs []SegmentID
+	for i := 1; i < len(offsets); i++ {
+		node := b.g.AddNode(startNode.Pos.Add(dir.Scale(offsets[i])), fmt.Sprintf("%s-%d", name, i))
+		id, err := b.g.AddSegment(prev, node, fmt.Sprintf("%s-%d", name, i-1), b.spec.SideSpeed, i < len(offsets)-1)
+		if err != nil {
+			return nil, 0, err
+		}
+		segs = append(segs, id)
+		prev = node
+	}
+	return segs, prev, nil
+}
+
+// blockOffsets returns cumulative offsets 0, B, 2B, ..., length with the
+// final block absorbing any remainder shorter than a block.
+func (b *builder) blockOffsets(length float64) []float64 {
+	var out []float64
+	for off := 0.0; off < length-1e-9; off += b.spec.BlockLength {
+		out = append(out, off)
+	}
+	return append(out, length)
+}
+
+// BuildCampus constructs the campus scenario of Table II / Fig. 10: a single
+// one-way road segment of the given length along the x-axis, carrying one
+// ordinary route with a stop at each end.
+func BuildCampus(length float64) (*Network, error) {
+	if length <= 0 {
+		return nil, fmt.Errorf("roadnet: invalid campus length %v", length)
+	}
+	g := NewGraph()
+	a := g.AddNode(geo.Pt(0, 0), "campus-start")
+	c := g.AddNode(geo.Pt(length, 0), "campus-end")
+	seg, err := g.AddSegment(a, c, "campus-road", 30/3.6, false)
+	if err != nil {
+		return nil, err
+	}
+	r, err := NewRoute(g, "campus", "Campus Shuttle", ClassOrdinary, []SegmentID{seg})
+	if err != nil {
+		return nil, err
+	}
+	if err := r.PlaceStopsEvenly(2); err != nil {
+		return nil, err
+	}
+	net := NewNetwork(g)
+	if err := net.AddRoute(r); err != nil {
+		return nil, err
+	}
+	return net, nil
+}

@@ -1,0 +1,140 @@
+package roadnet
+
+import (
+	"math"
+	"testing"
+)
+
+func buildVancouver(t *testing.T) *Network {
+	t.Helper()
+	net, err := BuildVancouver(DefaultVancouverSpec())
+	if err != nil {
+		t.Fatalf("BuildVancouver: %v", err)
+	}
+	return net
+}
+
+// TestTableI checks the synthetic network reproduces the paper's Table I:
+// stop counts exactly, lengths and overlapped lengths within 100 m.
+func TestTableI(t *testing.T) {
+	net := buildVancouver(t)
+	want := []RouteInfo{
+		{Name: "Rapid Line", Stops: 19, LengthKm: 13.7, OverlapKm: 13.0},
+		{Name: "Route 9", Stops: 65, LengthKm: 16.3, OverlapKm: 13.0},
+		{Name: "Route 14", Stops: 74, LengthKm: 20.6, OverlapKm: 16.2},
+		{Name: "Route 16", Stops: 91, LengthKm: 18.3, OverlapKm: 9.5},
+	}
+	got := net.TableI()
+	if len(got) != len(want) {
+		t.Fatalf("TableI has %d rows, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		g := got[i]
+		if g.Name != w.Name || g.Stops != w.Stops {
+			t.Errorf("row %d: got %q/%d stops, want %q/%d", i, g.Name, g.Stops, w.Name, w.Stops)
+		}
+		if math.Abs(g.LengthKm-w.LengthKm) > 0.1 {
+			t.Errorf("%s: length %.2f km, want %.1f km", w.Name, g.LengthKm, w.LengthKm)
+		}
+		if math.Abs(g.OverlapKm-w.OverlapKm) > 0.1 {
+			t.Errorf("%s: overlap %.2f km, want %.1f km", w.Name, g.OverlapKm, w.OverlapKm)
+		}
+	}
+}
+
+func TestVancouverRouteConnectivity(t *testing.T) {
+	net := buildVancouver(t)
+	for _, r := range net.Routes() {
+		segs := r.Segments()
+		for i := 1; i < len(segs); i++ {
+			prev, _ := net.Graph.Segment(segs[i-1])
+			cur, _ := net.Graph.Segment(segs[i])
+			if prev.To != cur.From {
+				t.Errorf("route %s: segment chain broken at %d", r.ID(), i)
+			}
+		}
+		// Stops must span the full route.
+		if r.StopArc(0) != 0 || math.Abs(r.StopArc(r.NumStops()-1)-r.Length()) > 1e-6 {
+			t.Errorf("route %s: terminal stops misplaced", r.ID())
+		}
+	}
+}
+
+func TestVancouverOverlapRelation(t *testing.T) {
+	net := buildVancouver(t)
+	rapid, _ := net.Route(RouteRapid)
+	r16, _ := net.Route(Route16)
+
+	// Every corridor segment of the Rapid Line (all but its 4 tail blocks)
+	// must be shared with routes 9 and 14 at least.
+	shared := 0
+	for _, sid := range rapid.Segments() {
+		routes := net.RoutesOnSegment(sid)
+		if len(routes) >= 3 {
+			shared++
+		}
+	}
+	if shared < 50 {
+		t.Errorf("only %d rapid segments shared by >=3 routes", shared)
+	}
+
+	// Route 16's branch segments must be shared with exactly route 14.
+	last := r16.Segments()
+	branchSeen := false
+	for _, sid := range last {
+		routes := net.RoutesOnSegment(sid)
+		if len(routes) == 2 && routes[0] == Route14 && routes[1] == Route16 {
+			branchSeen = true
+		}
+	}
+	if !branchSeen {
+		t.Error("no segment shared exclusively by routes 14 and 16")
+	}
+}
+
+func TestVancouverSignals(t *testing.T) {
+	net := buildVancouver(t)
+	signals := 0
+	for _, seg := range net.Graph.Segments() {
+		if seg.Signal {
+			signals++
+		}
+	}
+	if signals == 0 {
+		t.Error("network has no traffic lights")
+	}
+}
+
+func TestBuildVancouverBadSpec(t *testing.T) {
+	if _, err := BuildVancouver(VancouverSpec{}); err == nil {
+		t.Error("zero spec accepted")
+	}
+}
+
+func TestBuildCampus(t *testing.T) {
+	net, err := BuildCampus(260)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := net.Route("campus")
+	if !ok {
+		t.Fatal("campus route missing")
+	}
+	if r.Length() != 260 || r.NumStops() != 2 {
+		t.Errorf("campus route: length %v, stops %d", r.Length(), r.NumStops())
+	}
+	if _, err := BuildCampus(0); err == nil {
+		t.Error("zero-length campus accepted")
+	}
+}
+
+func TestNetworkDuplicateRoute(t *testing.T) {
+	net := buildVancouver(t)
+	r := net.Routes()[0]
+	if err := net.AddRoute(r); err == nil {
+		t.Error("duplicate route id accepted")
+	}
+	if _, ok := net.Route("nope"); ok {
+		t.Error("unknown route id found")
+	}
+}

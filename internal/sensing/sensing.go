@@ -1,0 +1,229 @@
+// Package sensing simulates WiLocator's crowd-sensing front end: the COTS
+// smartphones of the driver and riders that periodically scan surrounding
+// WiFi and report it to the back-end server (Section V-A).
+//
+// Two paper mechanisms live here:
+//
+//   - the 10-second scan period used in the evaluation, and
+//   - multi-device fusion: "the average RSS rank from an AP sensed by
+//     multiple devices remains relatively stable" — averaging the RSS of
+//     each AP across the phones on one bus shrinks the per-reading
+//     shadowing noise by sqrt(#phones) and therefore stabilises the rank
+//     vector the SVD lookup consumes.
+//
+// Route identification (Section V-A.1) is modelled as a labelled report: the
+// driver's phone knows its route, and riders are associated with the bus by
+// proximity, so every report carries the bus and route IDs. (The paper's
+// voice-recognition front end is out of scope; see DESIGN.md.)
+package sensing
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"wilocator/internal/geo"
+	"wilocator/internal/mobility"
+	"wilocator/internal/rf"
+	"wilocator/internal/roadnet"
+	"wilocator/internal/wifi"
+	"wilocator/internal/xrand"
+)
+
+// DefaultScanPeriod is the WiFi scan period used in the paper's experiments.
+const DefaultScanPeriod = 10 * time.Second
+
+// PhoneConfig tunes one phone. The zero value selects defaults.
+type PhoneConfig struct {
+	// ReportLoss is the probability a completed scan never reaches the
+	// server (radio gap, app backgrounded). Default 0.02; negative disables.
+	ReportLoss float64
+	// Noise parameterises the phone's receiver.
+	Noise rf.Noise
+	// Model is the propagation model of the simulated world.
+	Model rf.LogDistance
+}
+
+func (c PhoneConfig) reportLoss() float64 {
+	switch {
+	case c.ReportLoss < 0:
+		return 0
+	case c.ReportLoss == 0:
+		return 0.02
+	default:
+		return c.ReportLoss
+	}
+}
+
+// Phone is one rider's (or the driver's) smartphone.
+type Phone struct {
+	id     string
+	sensor *wifi.Sensor
+	cfg    PhoneConfig
+	rng    *xrand.Rand
+}
+
+// NewPhone creates a phone observing the given deployment.
+func NewPhone(id string, dep *wifi.Deployment, cfg PhoneConfig, rng *xrand.Rand) (*Phone, error) {
+	if id == "" {
+		return nil, fmt.Errorf("sensing: empty phone id")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("sensing: nil rng")
+	}
+	rx, err := rf.NewReceiver(cfg.Model, cfg.Noise, rng.Split("rx"))
+	if err != nil {
+		return nil, err
+	}
+	sensor, err := wifi.NewSensor(dep, rx)
+	if err != nil {
+		return nil, err
+	}
+	return &Phone{id: id, sensor: sensor, cfg: cfg, rng: rng.Split("loss")}, nil
+}
+
+// ID returns the phone identifier.
+func (p *Phone) ID() string { return p.id }
+
+// ScanAt performs one scan at position pos and time at. ok is false when the
+// report is lost before reaching the server.
+func (p *Phone) ScanAt(pos geo.Point, at time.Time) (scan wifi.Scan, ok bool) {
+	s := p.sensor.ScanAt(pos, at)
+	if p.rng.Bool(p.cfg.reportLoss()) {
+		return wifi.Scan{}, false
+	}
+	return s, true
+}
+
+// Report is one phone's upload to the server: the scanned WiFi information
+// plus the bus/route association established at boarding.
+type Report struct {
+	BusID   string    `json:"busId"`
+	RouteID string    `json:"routeId"`
+	PhoneID string    `json:"phoneId"`
+	Scan    wifi.Scan `json:"scan"`
+}
+
+// Fuse merges the scans collected by the phones of one bus during one scan
+// cycle into a single scan whose per-AP RSS is the mean of the observations.
+// APs seen by at least one phone are kept; the fused time is the latest scan
+// time. Fusing n concordant scans reduces the effective shadowing sigma by
+// sqrt(n), which is what stabilises the rank vector.
+func Fuse(scans []wifi.Scan) wifi.Scan {
+	var out wifi.Scan
+	if len(scans) == 0 {
+		return out
+	}
+	type agg struct {
+		sum float64
+		n   int
+	}
+	acc := make(map[wifi.BSSID]*agg)
+	for _, s := range scans {
+		if s.Time.After(out.Time) {
+			out.Time = s.Time
+		}
+		for _, r := range s.Readings {
+			a := acc[r.BSSID]
+			if a == nil {
+				a = &agg{}
+				acc[r.BSSID] = a
+			}
+			a.sum += float64(r.RSSI)
+			a.n++
+		}
+	}
+	out.Readings = make([]wifi.Reading, 0, len(acc))
+	for b, a := range acc {
+		out.Readings = append(out.Readings, wifi.Reading{
+			BSSID: b,
+			RSSI:  int(math.Round(a.sum / float64(a.n))),
+		})
+	}
+	// Deterministic order for reproducibility.
+	sort.Slice(out.Readings, func(i, j int) bool {
+		return out.Readings[i].BSSID < out.Readings[j].BSSID
+	})
+	return out
+}
+
+// Sample is one fused scan cycle of a simulated trip, paired with the
+// ground-truth position for evaluation.
+type Sample struct {
+	Time    time.Time
+	TrueArc float64
+	Scan    wifi.Scan
+	// Phones is the number of reports fused into Scan.
+	Phones int
+}
+
+// TripScanner replays a ground-truth trip with a group of rider phones and
+// produces the fused scan stream the server would see.
+type TripScanner struct {
+	route  *roadnet.Route
+	trip   *mobility.Trip
+	phones []*Phone
+	period time.Duration
+}
+
+// NewTripScanner creates a scanner for trip on route with the given phones.
+// period <= 0 selects DefaultScanPeriod.
+func NewTripScanner(route *roadnet.Route, trip *mobility.Trip, phones []*Phone, period time.Duration) (*TripScanner, error) {
+	if route == nil || trip == nil {
+		return nil, fmt.Errorf("sensing: nil route or trip")
+	}
+	if trip.RouteID() != route.ID() {
+		return nil, fmt.Errorf("sensing: trip route %q != route %q", trip.RouteID(), route.ID())
+	}
+	if len(phones) == 0 {
+		return nil, fmt.Errorf("sensing: no phones")
+	}
+	if period <= 0 {
+		period = DefaultScanPeriod
+	}
+	return &TripScanner{route: route, trip: trip, phones: phones, period: period}, nil
+}
+
+// Samples runs the whole trip and returns one fused sample per scan cycle.
+// Cycles in which every phone lost its report are skipped.
+func (ts *TripScanner) Samples() []Sample {
+	var out []Sample
+	for at := ts.trip.Start(); !ts.trip.Done(at); at = at.Add(ts.period) {
+		arc := ts.trip.ArcAt(at)
+		pos := ts.route.PointAt(arc)
+		var scans []wifi.Scan
+		for _, p := range ts.phones {
+			if s, ok := p.ScanAt(pos, at); ok {
+				scans = append(scans, s)
+			}
+		}
+		if len(scans) == 0 {
+			continue
+		}
+		out = append(out, Sample{
+			Time:    at,
+			TrueArc: arc,
+			Scan:    Fuse(scans),
+			Phones:  len(scans),
+		})
+	}
+	return out
+}
+
+// NewRiderPhones is a convenience constructing n phones for one bus, each
+// with an independent randomness stream split from rng.
+func NewRiderPhones(busID string, n int, dep *wifi.Deployment, cfg PhoneConfig, rng *xrand.Rand) ([]*Phone, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("sensing: need at least one phone, got %d", n)
+	}
+	phones := make([]*Phone, 0, n)
+	for i := 0; i < n; i++ {
+		p, err := NewPhone(fmt.Sprintf("%s-phone-%d", busID, i), dep, cfg, rng.SplitN(busID, i))
+		if err != nil {
+			return nil, err
+		}
+		phones = append(phones, p)
+	}
+	return phones, nil
+}

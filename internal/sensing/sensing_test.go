@@ -1,0 +1,239 @@
+package sensing
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"wilocator/internal/geo"
+	"wilocator/internal/mobility"
+	"wilocator/internal/rf"
+	"wilocator/internal/roadnet"
+	"wilocator/internal/wifi"
+	"wilocator/internal/xrand"
+)
+
+var t0 = time.Date(2016, 3, 7, 13, 0, 0, 0, time.UTC)
+
+func campusWorld(t *testing.T, seed uint64) (*roadnet.Network, *wifi.Deployment) {
+	t.Helper()
+	net, err := roadnet.BuildCampus(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := wifi.Deploy(net, wifi.DefaultDeploySpec(), xrand.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, dep
+}
+
+func TestNewPhoneValidation(t *testing.T) {
+	_, dep := campusWorld(t, 1)
+	if _, err := NewPhone("", dep, PhoneConfig{}, xrand.New(1)); err == nil {
+		t.Error("empty id accepted")
+	}
+	if _, err := NewPhone("p", dep, PhoneConfig{}, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := NewPhone("p", nil, PhoneConfig{}, xrand.New(1)); err == nil {
+		t.Error("nil deployment accepted")
+	}
+}
+
+func TestPhoneScanAndLoss(t *testing.T) {
+	_, dep := campusWorld(t, 2)
+	p, err := NewPhone("p", dep, PhoneConfig{ReportLoss: 0.5}, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost, kept := 0, 0
+	for i := 0; i < 2000; i++ {
+		if _, ok := p.ScanAt(geo.Pt(300, 0), t0); ok {
+			kept++
+		} else {
+			lost++
+		}
+	}
+	rate := float64(lost) / float64(lost+kept)
+	if math.Abs(rate-0.5) > 0.05 {
+		t.Errorf("loss rate = %v, want ~0.5", rate)
+	}
+	if p.ID() != "p" {
+		t.Error("ID wrong")
+	}
+}
+
+func TestFuseEmpty(t *testing.T) {
+	if got := Fuse(nil); len(got.Readings) != 0 {
+		t.Errorf("Fuse(nil) = %v", got)
+	}
+}
+
+func TestFuseAverages(t *testing.T) {
+	s1 := wifi.Scan{Time: t0, Readings: []wifi.Reading{
+		{BSSID: "a", RSSI: -60}, {BSSID: "b", RSSI: -70},
+	}}
+	s2 := wifi.Scan{Time: t0.Add(time.Second), Readings: []wifi.Reading{
+		{BSSID: "a", RSSI: -64}, {BSSID: "c", RSSI: -80},
+	}}
+	f := Fuse([]wifi.Scan{s1, s2})
+	if !f.Time.Equal(t0.Add(time.Second)) {
+		t.Errorf("fused time = %v", f.Time)
+	}
+	got := map[wifi.BSSID]int{}
+	for _, r := range f.Readings {
+		got[r.BSSID] = r.RSSI
+	}
+	if got["a"] != -62 || got["b"] != -70 || got["c"] != -80 {
+		t.Errorf("fused readings = %v", got)
+	}
+	// Deterministic sorted order.
+	for i := 1; i < len(f.Readings); i++ {
+		if f.Readings[i-1].BSSID >= f.Readings[i].BSSID {
+			t.Error("fused readings unsorted")
+		}
+	}
+}
+
+// TestFuseStabilisesRanks is the paper's crowd-sensing claim: the fused rank
+// vector across several phones inverts far less often than a single phone's.
+func TestFuseStabilisesRanks(t *testing.T) {
+	_, dep := campusWorld(t, 4)
+	pos := geo.Pt(300, 0)
+	// True order at pos from expected RSS.
+	model := rf.LogDistance{}
+	type apRSS struct {
+		b   wifi.BSSID
+		rss float64
+	}
+	var expect []apRSS
+	for _, ap := range dep.APs() {
+		if rss, ok := dep.ExpectedRSS(model, ap.BSSID, pos); ok && rss > model.Floor() {
+			expect = append(expect, apRSS{ap.BSSID, rss})
+		}
+	}
+	if len(expect) < 3 {
+		t.Fatal("scenario too sparse")
+	}
+	best, second := "", ""
+	b1, b2 := math.Inf(-1), math.Inf(-1)
+	for _, e := range expect {
+		if e.rss > b1 {
+			b2, second = b1, best
+			b1, best = e.rss, string(e.b)
+		} else if e.rss > b2 {
+			b2, second = e.rss, string(e.b)
+		}
+	}
+
+	invRate := func(nPhones int, seed uint64) float64 {
+		phones, err := NewRiderPhones("bus", nPhones, dep, PhoneConfig{ReportLoss: -1}, xrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inversions, trials := 0, 0
+		for i := 0; i < 400; i++ {
+			var scans []wifi.Scan
+			for _, p := range phones {
+				if s, ok := p.ScanAt(pos, t0); ok {
+					scans = append(scans, s)
+				}
+			}
+			f := Fuse(scans)
+			order := f.RankOrder()
+			if len(order) < 2 {
+				continue
+			}
+			trials++
+			if string(order[0]) != best && string(order[0]) == second {
+				inversions++
+			}
+		}
+		if trials == 0 {
+			t.Fatal("no trials")
+		}
+		return float64(inversions) / float64(trials)
+	}
+
+	single := invRate(1, 5)
+	fused := invRate(7, 5)
+	if fused > single {
+		t.Errorf("fusion did not stabilise ranks: single %v, fused %v", single, fused)
+	}
+}
+
+func TestTripScannerValidation(t *testing.T) {
+	net, dep := campusWorld(t, 6)
+	route := net.Routes()[0]
+	field := mobility.DefaultCongestion(1)
+	trip, err := mobility.Drive(net, route.ID(), t0, mobility.DriveConfig{}, field, nil, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	phones, err := NewRiderPhones("bus", 2, dep, PhoneConfig{}, xrand.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewTripScanner(nil, trip, phones, 0); err == nil {
+		t.Error("nil route accepted")
+	}
+	if _, err := NewTripScanner(route, trip, nil, 0); err == nil {
+		t.Error("no phones accepted")
+	}
+}
+
+func TestTripScannerSamples(t *testing.T) {
+	net, dep := campusWorld(t, 9)
+	route := net.Routes()[0]
+	field := mobility.DefaultCongestion(2)
+	trip, err := mobility.Drive(net, route.ID(), t0, mobility.DriveConfig{}, field, nil, xrand.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	phones, err := NewRiderPhones("bus", 3, dep, PhoneConfig{}, xrand.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := NewTripScanner(route, trip, phones, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := ts.Samples()
+	if len(samples) < 5 {
+		t.Fatalf("only %d samples", len(samples))
+	}
+	for i, s := range samples {
+		if s.TrueArc < 0 || s.TrueArc > route.Length() {
+			t.Fatalf("sample %d arc %v out of route", i, s.TrueArc)
+		}
+		if s.Phones < 1 || s.Phones > 3 {
+			t.Fatalf("sample %d fused %d phones", i, s.Phones)
+		}
+		if i > 0 {
+			if !samples[i-1].Time.Before(s.Time) {
+				t.Fatal("samples out of order")
+			}
+			if s.TrueArc < samples[i-1].TrueArc {
+				t.Fatal("ground truth regressed")
+			}
+		}
+		if len(s.Scan.Readings) == 0 {
+			t.Fatalf("sample %d has empty fused scan", i)
+		}
+	}
+}
+
+func TestNewRiderPhonesValidation(t *testing.T) {
+	_, dep := campusWorld(t, 12)
+	if _, err := NewRiderPhones("b", 0, dep, PhoneConfig{}, xrand.New(1)); err == nil {
+		t.Error("zero phones accepted")
+	}
+	phones, err := NewRiderPhones("b", 3, dep, PhoneConfig{}, xrand.New(1))
+	if err != nil || len(phones) != 3 {
+		t.Fatalf("phones = %v, err = %v", phones, err)
+	}
+	if phones[0].ID() == phones[1].ID() {
+		t.Error("duplicate phone ids")
+	}
+}

@@ -1,0 +1,194 @@
+package server
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"wilocator/internal/api"
+	"wilocator/internal/client"
+	"wilocator/internal/mobility"
+	"wilocator/internal/roadnet"
+	"wilocator/internal/sensing"
+	"wilocator/internal/svd"
+	"wilocator/internal/traveltime"
+	"wilocator/internal/wifi"
+	"wilocator/internal/xrand"
+)
+
+// anomalyWorld builds a 2 km campus with an incident zone mid-road and runs
+// one tracked bus through it.
+func anomalyWorld(t *testing.T) (*Service, roadnet.SegmentID, time.Time) {
+	t.Helper()
+	net, err := roadnet.BuildCampus(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := wifi.Deploy(net, wifi.DefaultDeploySpec(), xrand.New(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dia, err := svd.Build(net, dep, svd.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := traveltime.NewStore(traveltime.PaperPlan())
+	var clock time.Time
+	svc, err := NewService(dia, store, Config{Now: func() time.Time { return clock }})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	route := net.Routes()[0]
+	segID := route.Segments()[0]
+	start := time.Date(2016, 3, 7, 13, 0, 0, 0, time.UTC)
+	incident := mobility.Incident{
+		Seg:        segID,
+		Start:      start,
+		End:        start.Add(2 * time.Hour),
+		SlowFactor: 8,
+		ArcStart:   900,
+		ArcEnd:     1100,
+	}
+	field := &mobility.CongestionField{Seed: 62, Sigma: -1, DaySigma: -1}
+	trip, err := mobility.Drive(net, route.ID(), start, mobility.DriveConfig{}, field,
+		[]mobility.Incident{incident}, xrand.New(63))
+	if err != nil {
+		t.Fatal(err)
+	}
+	phones, err := sensing.NewRiderPhones("anom-bus", 5, dep, sensing.PhoneConfig{ReportLoss: -1}, xrand.New(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for at := trip.Start(); !trip.Done(at); at = at.Add(sensing.DefaultScanPeriod) {
+		clock = at
+		pos := route.PointAt(trip.ArcAt(at))
+		for _, p := range phones {
+			if scan, ok := p.ScanAt(pos, at); ok {
+				if _, err := svc.Ingest(api.Report{BusID: "anom-bus", RouteID: route.ID(), PhoneID: p.ID(), Scan: scan}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return svc, segID, clock
+}
+
+func TestAnomaliesDetectedOnLiveBus(t *testing.T) {
+	svc, _, _ := anomalyWorld(t)
+	anoms, err := svc.Anomalies("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anoms) == 0 {
+		t.Fatal("no anomalies detected despite the injected crawl zone")
+	}
+	found := false
+	for _, a := range anoms {
+		if a.BusID != "anom-bus" || a.RouteID != "campus" {
+			t.Errorf("anomaly attribution wrong: %+v", a)
+		}
+		center := (a.StartArc + a.EndArc) / 2
+		if center > 800 && center < 1200 {
+			found = true
+		}
+		if !a.End.After(a.Start) {
+			t.Errorf("anomaly times wrong: %+v", a)
+		}
+	}
+	if !found {
+		t.Errorf("no anomaly near the 900-1100 m incident zone: %+v", anoms)
+	}
+
+	// Route filter and validation.
+	if _, err := svc.Anomalies("nope"); err == nil {
+		t.Error("unknown route accepted")
+	}
+	filtered, err := svc.Anomalies("campus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(filtered) != len(anoms) {
+		t.Errorf("route filter changed result: %d vs %d", len(filtered), len(anoms))
+	}
+}
+
+func TestAnomaliesOverHTTP(t *testing.T) {
+	svc, _, _ := anomalyWorld(t)
+	ts := httptest.NewServer(Handler(svc))
+	defer ts.Close()
+	c, err := client.New(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	anoms, err := c.Anomalies(context.Background(), "campus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anoms) == 0 {
+		t.Error("no anomalies over HTTP")
+	}
+	if _, err := c.Anomalies(context.Background(), "nope"); err == nil {
+		t.Error("unknown route accepted over HTTP")
+	}
+}
+
+func TestAnomaliesEmptyWhenQuiet(t *testing.T) {
+	w := newWorld(t, 65)
+	anoms, err := w.svc.Anomalies("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anoms) != 0 {
+		t.Errorf("anomalies on an idle server: %+v", anoms)
+	}
+}
+
+func TestTrajectoryEndpoint(t *testing.T) {
+	svc, _, _ := anomalyWorld(t)
+	resp, err := svc.Trajectory("anom-bus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.BusID != "anom-bus" || resp.RouteID != "campus" {
+		t.Errorf("metadata = %+v", resp)
+	}
+	if len(resp.Fixes) < 10 {
+		t.Fatalf("only %d fixes", len(resp.Fixes))
+	}
+	for i, f := range resp.Fixes {
+		// Anchored at the Vancouver default origin.
+		if f.Lat < 49 || f.Lat > 50 || f.Lng > -122 || f.Lng < -124 {
+			t.Fatalf("fix %d off the map: %+v", i, f)
+		}
+		if i > 0 {
+			if f.Time.Before(resp.Fixes[i-1].Time) || f.Arc < resp.Fixes[i-1].Arc {
+				t.Fatalf("fix %d out of order", i)
+			}
+		}
+	}
+	if _, err := svc.Trajectory("ghost"); err == nil {
+		t.Error("unknown bus accepted")
+	}
+}
+
+func TestTrajectoryOverHTTP(t *testing.T) {
+	svc, _, _ := anomalyWorld(t)
+	ts := httptest.NewServer(Handler(svc))
+	defer ts.Close()
+	c, err := client.New(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Trajectory(context.Background(), "anom-bus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Fixes) == 0 {
+		t.Error("empty trajectory over HTTP")
+	}
+	if _, err := c.Trajectory(context.Background(), "ghost"); err == nil {
+		t.Error("unknown bus accepted over HTTP")
+	}
+}

@@ -1,0 +1,119 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"wilocator/internal/api"
+)
+
+// Handler returns the HTTP handler exposing the service as the JSON API of
+// package api.
+func Handler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+api.PathReports, func(w http.ResponseWriter, r *http.Request) {
+		var rep api.Report
+		if err := json.NewDecoder(r.Body).Decode(&rep); err != nil {
+			writeErr(w, http.StatusBadRequest, "invalid report body: "+err.Error())
+			return
+		}
+		resp, err := s.Ingest(rep)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("GET "+api.PathVehicles, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Vehicles(r.URL.Query().Get("route")))
+	})
+
+	mux.HandleFunc("GET "+api.PathArrivals, func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		routeID := q.Get("route")
+		if routeID == "" {
+			writeErr(w, http.StatusBadRequest, "missing route parameter")
+			return
+		}
+		stopIdx, err := strconv.Atoi(q.Get("stop"))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "invalid stop parameter")
+			return
+		}
+		out, err := s.Arrivals(routeID, stopIdx)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("GET "+api.PathTrafficMap, func(w http.ResponseWriter, r *http.Request) {
+		out, err := s.TrafficMap(r.URL.Query().Get("route"))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("GET "+api.PathRoutes, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.RouteInfos())
+	})
+
+	mux.HandleFunc("GET "+api.PathStops, func(w http.ResponseWriter, r *http.Request) {
+		routeID := r.URL.Query().Get("route")
+		if routeID == "" {
+			writeErr(w, http.StatusBadRequest, "missing route parameter")
+			return
+		}
+		out, err := s.Stops(routeID)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("GET "+api.PathAnomalies, func(w http.ResponseWriter, r *http.Request) {
+		out, err := s.Anomalies(r.URL.Query().Get("route"))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("GET "+api.PathTrajectories, func(w http.ResponseWriter, r *http.Request) {
+		busID := r.URL.Query().Get("bus")
+		if busID == "" {
+			writeErr(w, http.StatusBadRequest, "missing bus parameter")
+			return
+		}
+		out, err := s.Trajectory(busID)
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("GET "+api.PathHealth, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "activeBuses": s.ActiveBuses()})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// An encode failure after the header is written can only be logged by
+	// the caller's middleware; the connection is already committed.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, api.Error{Message: msg})
+}

@@ -1,0 +1,224 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"wilocator/internal/api"
+	"wilocator/internal/client"
+	"wilocator/internal/mobility"
+	"wilocator/internal/sensing"
+	"wilocator/internal/xrand"
+)
+
+// TestHTTPRoundTrip drives the full HTTP stack: simulated phones POST
+// reports through the typed client, rider queries read back positions,
+// arrivals and the traffic map.
+func TestHTTPRoundTrip(t *testing.T) {
+	w := newWorld(t, 20)
+	ts := httptest.NewServer(Handler(w.svc))
+	defer ts.Close()
+
+	c, err := client.New(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	routes, err := c.Routes(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes.Routes) != 1 {
+		t.Fatalf("routes = %+v", routes)
+	}
+
+	// Drive half a trip through the HTTP API.
+	field := mobility.DefaultCongestion(21)
+	trip, err := mobility.Drive(w.net, w.route.ID(), t0, mobility.DriveConfig{}, field, nil, xrand.New(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	phones, err := sensing.NewRiderPhones("bus-http", 3, w.dep, sensing.PhoneConfig{ReportLoss: -1}, xrand.New(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := trip.Start().Add(trip.Duration() / 2)
+	located := 0
+	for at := trip.Start(); at.Before(half); at = at.Add(sensing.DefaultScanPeriod) {
+		pos := w.route.PointAt(trip.ArcAt(at))
+		for _, p := range phones {
+			scan, ok := p.ScanAt(pos, at)
+			if !ok {
+				continue
+			}
+			resp, err := c.PostReport(ctx, api.Report{
+				BusID: "bus-http", RouteID: w.route.ID(), PhoneID: p.ID(), Scan: scan,
+			})
+			if err != nil {
+				t.Fatalf("post report: %v", err)
+			}
+			if !resp.Accepted {
+				t.Fatal("report not accepted")
+			}
+			if resp.Located {
+				located++
+			}
+		}
+		w.setClock(at)
+	}
+	if located == 0 {
+		t.Fatal("no located cycles over HTTP")
+	}
+
+	vehicles, err := c.Vehicles(ctx, w.route.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vehicles) != 1 || vehicles[0].BusID != "bus-http" {
+		t.Fatalf("vehicles = %+v", vehicles)
+	}
+
+	arr, err := c.Arrivals(ctx, w.route.ID(), w.route.NumStops()-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arr) != 1 || !arr[0].ETA.After(trip.Start()) {
+		t.Fatalf("arrivals = %+v", arr)
+	}
+
+	tm, err := c.TrafficMap(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tm.Segments) == 0 || tm.Strip == "" {
+		t.Fatalf("traffic map = %+v", tm)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	w := newWorld(t, 24)
+	ts := httptest.NewServer(Handler(w.svc))
+	defer ts.Close()
+
+	post := func(body string) int {
+		t.Helper()
+		resp, err := http.Post(ts.URL+api.PathReports, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post("{not json"); code != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d", code)
+	}
+	if code := post(`{"busId":"","routeId":"campus"}`); code != http.StatusBadRequest {
+		t.Errorf("missing bus: status %d", code)
+	}
+
+	get := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get(api.PathArrivals); code != http.StatusBadRequest {
+		t.Errorf("missing route: status %d", code)
+	}
+	if code := get(api.PathArrivals + "?route=campus&stop=abc"); code != http.StatusBadRequest {
+		t.Errorf("bad stop: status %d", code)
+	}
+	if code := get(api.PathArrivals + "?route=nope&stop=0"); code != http.StatusBadRequest {
+		t.Errorf("unknown route: status %d", code)
+	}
+	if code := get(api.PathTrafficMap + "?route=nope"); code != http.StatusBadRequest {
+		t.Errorf("unknown traffic route: status %d", code)
+	}
+	// Wrong method.
+	resp, err := http.Get(ts.URL + api.PathReports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET reports: status %d", resp.StatusCode)
+	}
+}
+
+func TestClientValidation(t *testing.T) {
+	if _, err := client.New("not-a-url", nil); err == nil {
+		t.Error("invalid URL accepted")
+	}
+	if _, err := client.New("http://localhost:1", nil); err != nil {
+		t.Errorf("valid URL rejected: %v", err)
+	}
+	c, err := client.New("http://127.0.0.1:1", &http.Client{Timeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Health(context.Background()); err == nil {
+		t.Error("unreachable server did not error")
+	}
+}
+
+func TestStopsEndpoint(t *testing.T) {
+	w := newWorld(t, 30)
+	ts := httptest.NewServer(Handler(w.svc))
+	defer ts.Close()
+	c, err := client.New(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stops, err := c.Stops(context.Background(), "campus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stops.RouteID != "campus" || len(stops.Stops) != 2 {
+		t.Fatalf("stops = %+v", stops)
+	}
+	if stops.Stops[0].Index != 0 || stops.Stops[1].Arc != w.route.Length() {
+		t.Errorf("stop fields wrong: %+v", stops.Stops)
+	}
+	if _, err := c.Stops(context.Background(), "nope"); err == nil {
+		t.Error("unknown route accepted")
+	}
+	// Missing parameter.
+	resp, err := http.Get(ts.URL + api.PathStops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing route: status %d", resp.StatusCode)
+	}
+}
+
+func TestStopsService(t *testing.T) {
+	w := newWorld(t, 31)
+	out, err := w.svc.Stops("campus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range out.Stops {
+		if st.Index != i {
+			t.Errorf("stop %d index = %d", i, st.Index)
+		}
+		if got := w.route.PointAt(st.Arc); got != st.Pos {
+			t.Errorf("stop %d position mismatch", i)
+		}
+	}
+	if _, err := w.svc.Stops(""); err == nil {
+		t.Error("empty route accepted")
+	}
+}

@@ -1,0 +1,122 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"wilocator/internal/api"
+	"wilocator/internal/wifi"
+	"wilocator/internal/xrand"
+)
+
+// TestIngestSurvivesGarbage throws adversarial report streams at the
+// service — empty scans, unknown APs, duplicated readings, out-of-order
+// timestamps, absurd RSS values — and requires that it stays consistent and
+// queryable throughout. Individual reports may be rejected; the service must
+// never wedge.
+func TestIngestSurvivesGarbage(t *testing.T) {
+	w := newWorld(t, 70)
+	rng := xrand.New(71)
+	aps := w.dep.APs()
+	at := t0
+
+	for i := 0; i < 2000; i++ {
+		var scan wifi.Scan
+		switch rng.Intn(6) {
+		case 0: // empty scan
+			scan = wifi.Scan{Time: at}
+		case 1: // unknown APs only
+			scan = wifi.Scan{Time: at, Readings: []wifi.Reading{
+				{BSSID: "rogue-1", RSSI: -50}, {BSSID: "rogue-2", RSSI: -60},
+			}}
+		case 2: // duplicated readings of one AP
+			b := aps[rng.Intn(len(aps))].BSSID
+			scan = wifi.Scan{Time: at, Readings: []wifi.Reading{
+				{BSSID: b, RSSI: -50}, {BSSID: b, RSSI: -70},
+			}}
+		case 3: // absurd RSS values
+			scan = wifi.Scan{Time: at, Readings: []wifi.Reading{
+				{BSSID: aps[0].BSSID, RSSI: 999}, {BSSID: aps[1].BSSID, RSSI: -999},
+			}}
+		case 4: // time going backwards
+			scan = wifi.Scan{Time: at.Add(-time.Hour), Readings: []wifi.Reading{
+				{BSSID: aps[rng.Intn(len(aps))].BSSID, RSSI: -55},
+			}}
+		default: // plausible scan
+			scan = wifi.Scan{Time: at, Readings: []wifi.Reading{
+				{BSSID: aps[rng.Intn(len(aps))].BSSID, RSSI: -40 - rng.Intn(45)},
+				{BSSID: aps[rng.Intn(len(aps))].BSSID, RSSI: -40 - rng.Intn(45)},
+			}}
+		}
+		busID := fmt.Sprintf("bus-%d", rng.Intn(5))
+		// Errors are acceptable; panics or corruption are not.
+		_, _ = w.svc.Ingest(api.Report{BusID: busID, RouteID: "campus", PhoneID: "p", Scan: scan})
+		if i%10 == 0 {
+			at = at.Add(time.Second)
+			w.setClock(at)
+		}
+		if i%200 == 0 {
+			w.svc.Vehicles("")
+			if _, err := w.svc.TrafficMap(""); err != nil {
+				t.Fatalf("traffic map broke after garbage: %v", err)
+			}
+			if _, err := w.svc.Anomalies(""); err != nil {
+				t.Fatalf("anomalies broke after garbage: %v", err)
+			}
+		}
+	}
+	// The service still accepts a clean report afterwards.
+	clean := wifi.Scan{Time: at.Add(time.Minute), Readings: []wifi.Reading{
+		{BSSID: aps[0].BSSID, RSSI: -50},
+	}}
+	if _, err := w.svc.Ingest(api.Report{BusID: "fresh", RouteID: "campus", PhoneID: "p", Scan: clean}); err != nil {
+		t.Fatalf("clean report rejected after garbage storm: %v", err)
+	}
+}
+
+// TestManyBusesConcurrently ingests for 16 buses from 16 goroutines while
+// queries run, under the race detector in CI.
+func TestManyBusesConcurrently(t *testing.T) {
+	w := newWorld(t, 72)
+	aps := w.dep.APs()
+	const buses = 16
+	var wg sync.WaitGroup
+	for b := 0; b < buses; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(100 + b))
+			busID := fmt.Sprintf("bus-%02d", b)
+			at := t0
+			for i := 0; i < 150; i++ {
+				scan := wifi.Scan{Time: at, Readings: []wifi.Reading{
+					{BSSID: aps[rng.Intn(len(aps))].BSSID, RSSI: -40 - rng.Intn(45)},
+					{BSSID: aps[rng.Intn(len(aps))].BSSID, RSSI: -40 - rng.Intn(45)},
+					{BSSID: aps[rng.Intn(len(aps))].BSSID, RSSI: -40 - rng.Intn(45)},
+				}}
+				if _, err := w.svc.Ingest(api.Report{BusID: busID, RouteID: "campus", PhoneID: "p", Scan: scan}); err != nil {
+					t.Errorf("bus %s: %v", busID, err)
+					return
+				}
+				at = at.Add(10 * time.Second)
+			}
+		}(b)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 300; i++ {
+			w.svc.Vehicles("")
+			_, _ = w.svc.Arrivals("campus", 1)
+			_, _ = w.svc.TrafficMap("")
+			_, _ = w.svc.Anomalies("")
+		}
+	}()
+	wg.Wait()
+	<-done
+	if n := w.svc.ActiveBuses(); n == 0 {
+		t.Error("no active buses after concurrent ingestion")
+	}
+}

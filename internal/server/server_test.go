@@ -1,0 +1,344 @@
+package server
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wilocator/internal/api"
+	"wilocator/internal/mobility"
+	"wilocator/internal/roadnet"
+	"wilocator/internal/sensing"
+	"wilocator/internal/svd"
+	"wilocator/internal/traveltime"
+	"wilocator/internal/wifi"
+	"wilocator/internal/xrand"
+)
+
+var t0 = time.Date(2016, 3, 7, 13, 0, 0, 0, time.UTC)
+
+// world bundles a small end-to-end scenario.
+type world struct {
+	net   *roadnet.Network
+	dep   *wifi.Deployment
+	dia   *svd.Diagram
+	store *traveltime.Store
+	svc   *Service
+	route *roadnet.Route
+	clock atomic.Int64 // unix nanos; read by the service's Now
+}
+
+func (w *world) now() time.Time        { return time.Unix(0, w.clock.Load()) }
+func (w *world) setClock(at time.Time) { w.clock.Store(at.UnixNano()) }
+
+func newWorld(t *testing.T, seed uint64) *world {
+	t.Helper()
+	net, err := roadnet.BuildCampus(1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := wifi.Deploy(net, wifi.DefaultDeploySpec(), xrand.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dia, err := svd.Build(net, dep, svd.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := traveltime.NewStore(traveltime.PaperPlan())
+	w := &world{net: net, dep: dep, dia: dia, store: store, route: net.Routes()[0]}
+	w.setClock(t0)
+	svc, err := NewService(dia, store, Config{Now: w.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.svc = svc
+	return w
+}
+
+// runBus replays a simulated trip into the service and returns the number
+// of located cycles.
+func (w *world) runBus(t *testing.T, busID string, start time.Time, phones int, seed uint64) int {
+	t.Helper()
+	field := mobility.DefaultCongestion(1)
+	trip, err := mobility.Drive(w.net, w.route.ID(), start, mobility.DriveConfig{}, field, nil, xrand.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	group, err := sensing.NewRiderPhones(busID, phones, w.dep, sensing.PhoneConfig{ReportLoss: -1}, xrand.New(seed+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	located := 0
+	for at := trip.Start(); !trip.Done(at); at = at.Add(sensing.DefaultScanPeriod) {
+		pos := w.route.PointAt(trip.ArcAt(at))
+		for _, p := range group {
+			scan, ok := p.ScanAt(pos, at)
+			if !ok {
+				continue
+			}
+			resp, err := w.svc.Ingest(api.Report{
+				BusID: busID, RouteID: w.route.ID(), PhoneID: p.ID(), Scan: scan,
+			})
+			if err != nil {
+				t.Fatalf("Ingest: %v", err)
+			}
+			if resp.Located {
+				located++
+			}
+		}
+		w.setClock(at)
+	}
+	return located
+}
+
+func TestNewServiceValidation(t *testing.T) {
+	w := newWorld(t, 1)
+	if _, err := NewService(nil, w.store, Config{}); err == nil {
+		t.Error("nil diagram accepted")
+	}
+	if _, err := NewService(w.dia, nil, Config{}); err == nil {
+		t.Error("nil store accepted")
+	}
+}
+
+func TestIngestValidation(t *testing.T) {
+	w := newWorld(t, 2)
+	if _, err := w.svc.Ingest(api.Report{RouteID: "campus"}); err == nil {
+		t.Error("missing bus id accepted")
+	}
+	if _, err := w.svc.Ingest(api.Report{BusID: "b", RouteID: "nope"}); err == nil {
+		t.Error("unknown route accepted")
+	}
+	// Route flip-flop for one bus is rejected.
+	rep := api.Report{BusID: "b1", RouteID: "campus", PhoneID: "p",
+		Scan: wifi.Scan{Time: t0}}
+	if _, err := w.svc.Ingest(rep); err != nil {
+		t.Fatal(err)
+	}
+	// Build a second network route? Campus has only one; simulate by
+	// re-reporting with a bogus route (already covered above). Re-report
+	// same route is fine.
+	if _, err := w.svc.Ingest(rep); err != nil {
+		t.Errorf("re-report rejected: %v", err)
+	}
+}
+
+func TestEndToEndTrackingAndQueries(t *testing.T) {
+	w := newWorld(t, 3)
+	located := w.runBus(t, "bus-1", t0, 4, 100)
+	if located < 5 {
+		t.Fatalf("only %d located cycles", located)
+	}
+
+	vehicles := w.svc.Vehicles("")
+	// The bus finished its trip, so it may be marked done; run another bus
+	// partway to have a live one.
+	_ = vehicles
+
+	// Run a bus and query mid-trip.
+	field := mobility.DefaultCongestion(2)
+	trip, err := mobility.Drive(w.net, w.route.ID(), w.now().Add(time.Minute), mobility.DriveConfig{}, field, nil, xrand.New(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	group, err := sensing.NewRiderPhones("bus-2", 4, w.dep, sensing.PhoneConfig{ReportLoss: -1}, xrand.New(201))
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := trip.Start().Add(trip.Duration() / 2)
+	for at := trip.Start(); at.Before(half); at = at.Add(sensing.DefaultScanPeriod) {
+		pos := w.route.PointAt(trip.ArcAt(at))
+		for _, p := range group {
+			if scan, ok := p.ScanAt(pos, at); ok {
+				if _, err := w.svc.Ingest(api.Report{BusID: "bus-2", RouteID: w.route.ID(), PhoneID: p.ID(), Scan: scan}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		w.setClock(at)
+	}
+
+	vehicles = w.svc.Vehicles(w.route.ID())
+	if len(vehicles) == 0 {
+		t.Fatal("no live vehicles mid-trip")
+	}
+	var v api.VehicleStatus
+	for _, cand := range vehicles {
+		if cand.BusID == "bus-2" {
+			v = cand
+		}
+	}
+	if v.BusID != "bus-2" {
+		t.Fatalf("bus-2 not live: %+v", vehicles)
+	}
+	if v.Arc <= 0 || v.Arc >= w.route.Length() {
+		t.Errorf("vehicle = %+v", v)
+	}
+
+	// Arrival prediction at the final stop.
+	arr, err := w.svc.Arrivals(w.route.ID(), w.route.NumStops()-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arr) == 0 {
+		t.Fatal("no arrival estimates")
+	}
+	found := false
+	for _, a := range arr {
+		if a.BusID == "bus-2" {
+			found = true
+			if !a.ETA.After(v.Updated) {
+				t.Errorf("ETA %v not in the future of %v", a.ETA, v.Updated)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no arrival estimate for bus-2: %+v", arr)
+	}
+	if _, err := w.svc.Arrivals("nope", 0); err == nil {
+		t.Error("unknown route accepted")
+	}
+	if _, err := w.svc.Arrivals(w.route.ID(), 99); err == nil {
+		t.Error("bad stop accepted")
+	}
+
+	// Travel-time records were accumulated from crossings (the campus route
+	// has one segment, so records require multi-segment routes; accept 0
+	// here but the traffic map must still render with full coverage).
+	tm, err := w.svc.TrafficMap("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tm.Segments) == 0 || len(tm.Strip) != len(tm.Segments) {
+		t.Errorf("traffic map = %+v", tm)
+	}
+	if _, err := w.svc.TrafficMap("nope"); err == nil {
+		t.Error("unknown route accepted")
+	}
+
+	routes := w.svc.RouteInfos()
+	if len(routes.Routes) != 1 || routes.Routes[0].Stops != 2 {
+		t.Errorf("routes = %+v", routes)
+	}
+}
+
+func TestStaleEviction(t *testing.T) {
+	w := newWorld(t, 4)
+	w.runBus(t, "bus-1", t0, 2, 300)
+	// Jump the clock far ahead: bus should disappear from queries.
+	w.setClock(w.now().Add(time.Hour))
+	if n := w.svc.ActiveBuses(); n != 0 {
+		t.Errorf("%d active buses after an idle hour", n)
+	}
+}
+
+func TestCrossingsProduceTravelTimes(t *testing.T) {
+	// Multi-segment network so crossings close segment records.
+	net, err := roadnet.BuildVancouver(roadnet.DefaultVancouverSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := wifi.DefaultDeploySpec()
+	spec.Spacing = 60 // keep the diagram build fast
+	dep, err := wifi.Deploy(net, spec, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dia, err := svd.Build(net, dep, svd.Config{GridStep: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := traveltime.NewStore(traveltime.PaperPlan())
+	svc, err := NewService(dia, store, Config{Now: func() time.Time { return t0.Add(24 * time.Hour) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	route, _ := net.Route(roadnet.RouteRapid)
+	field := mobility.DefaultCongestion(6)
+	trip, err := mobility.Drive(net, roadnet.RouteRapid, t0, mobility.DriveConfig{}, field, nil, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	phones, err := sensing.NewRiderPhones("bus", 5, dep, sensing.PhoneConfig{ReportLoss: -1}, xrand.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay the first 20 minutes.
+	end := trip.Start().Add(20 * time.Minute)
+	for at := trip.Start(); at.Before(end) && !trip.Done(at); at = at.Add(sensing.DefaultScanPeriod) {
+		pos := route.PointAt(trip.ArcAt(at))
+		for _, p := range phones {
+			if scan, ok := p.ScanAt(pos, at); ok {
+				if _, err := svc.Ingest(api.Report{BusID: "bus", RouteID: roadnet.RouteRapid, PhoneID: p.ID(), Scan: scan}); err != nil {
+					t.Fatalf("ingest: %v", err)
+				}
+			}
+		}
+	}
+	if n := store.NumRecords(); n < 5 {
+		t.Errorf("only %d travel-time records after 20 min of tracking", n)
+	}
+}
+
+func TestConcurrentIngestAndQuery(t *testing.T) {
+	w := newWorld(t, 9)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w.runBus(t, "bus-c", t0, 2, 400)
+	}()
+	for i := 0; i < 200; i++ {
+		w.svc.Vehicles("")
+		if _, err := w.svc.TrafficMap(""); err != nil {
+			t.Errorf("traffic map: %v", err)
+		}
+		w.svc.RouteInfos()
+	}
+	<-done
+}
+
+func ExampleService_RouteInfos() {
+	net, _ := roadnet.BuildCampus(500)
+	dep, _ := wifi.Deploy(net, wifi.DefaultDeploySpec(), xrand.New(1))
+	dia, _ := svd.Build(net, dep, svd.Config{GridStep: -1})
+	svc, _ := NewService(dia, traveltime.NewStore(traveltime.PaperPlan()), Config{})
+	for _, r := range svc.RouteInfos().Routes {
+		fmt.Printf("%s: %d stops, %.1f km\n", r.Name, r.Stops, r.LengthKm)
+	}
+	// Output:
+	// Campus Shuttle: 2 stops, 0.5 km
+}
+
+// TestIngestRouteConflict: a bus that starts reporting a different route
+// mid-trip is rejected (route identification is sticky per trip).
+func TestIngestRouteConflict(t *testing.T) {
+	net, err := roadnet.BuildVancouver(roadnet.DefaultVancouverSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := wifi.DefaultDeploySpec()
+	spec.Spacing = 120 // coarse deployment keeps the diagram build fast
+	dep, err := wifi.Deploy(net, spec, xrand.New(80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dia, err := svd.Build(net, dep, svd.Config{GridStep: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(dia, traveltime.NewStore(traveltime.PaperPlan()), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := api.Report{BusID: "b", RouteID: roadnet.Route9, PhoneID: "p",
+		Scan: wifi.Scan{Time: t0}}
+	if _, err := svc.Ingest(rep); err != nil {
+		t.Fatal(err)
+	}
+	rep.RouteID = roadnet.Route14
+	if _, err := svc.Ingest(rep); err == nil {
+		t.Error("route flip-flop accepted")
+	}
+}

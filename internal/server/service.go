@@ -1,0 +1,444 @@
+// Package server implements the WiLocator back-end (Section V, Fig. 4). All
+// computation is shifted here: the server fuses the scan reports of the
+// phones riding each bus, positions the bus on the Signal Voronoi Diagram,
+// accumulates per-segment travel times, predicts arrival times and generates
+// the real-time traffic map. Phones and rider apps talk to it over the JSON
+// HTTP API of package api.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"wilocator/internal/geo"
+
+	"wilocator/internal/api"
+	"wilocator/internal/locate"
+	"wilocator/internal/predict"
+	"wilocator/internal/roadnet"
+	"wilocator/internal/sensing"
+	"wilocator/internal/svd"
+	"wilocator/internal/trafficmap"
+	"wilocator/internal/traveltime"
+	"wilocator/internal/wifi"
+)
+
+// Config tunes the service. The zero value selects defaults.
+type Config struct {
+	// FusionWindow groups reports of one bus into scan cycles. Default
+	// 10 s (the paper's scan period).
+	FusionWindow time.Duration
+	// StaleAfter evicts buses that stop reporting. Default 5 min.
+	StaleAfter time.Duration
+	// Tracker configures per-bus trackers.
+	Tracker locate.TrackerConfig
+	// Predict configures the arrival predictor.
+	Predict predict.Config
+	// Traffic configures the traffic-map generator.
+	Traffic trafficmap.Config
+	// Now injects the clock; defaults to time.Now. Queries use it to judge
+	// staleness.
+	Now func() time.Time
+	// Origin georeferences the planar frame for trajectory responses
+	// (Definition 6 stores <lat, long, t>). Zero selects geo.DefaultOrigin.
+	Origin geo.LatLng
+}
+
+func (c Config) withDefaults() Config {
+	if c.FusionWindow <= 0 {
+		c.FusionWindow = sensing.DefaultScanPeriod
+	}
+	if c.StaleAfter <= 0 {
+		c.StaleAfter = 5 * time.Minute
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	if c.Origin == (geo.LatLng{}) {
+		c.Origin = geo.DefaultOrigin
+	}
+	return c
+}
+
+// busState is the per-bus ingestion and tracking state.
+type busState struct {
+	routeID string
+	tracker *locate.Tracker
+
+	bucketTime time.Time
+	bucket     []wifi.Scan
+
+	lastCross  *locate.Crossing
+	lastUpdate time.Time
+	done       bool
+}
+
+// Service is the WiLocator back-end core, independent of the HTTP transport.
+// It is safe for concurrent use.
+type Service struct {
+	cfg   Config
+	net   *roadnet.Network
+	dia   *svd.Diagram
+	pos   *locate.Positioner
+	store *traveltime.Store
+	pred  *predict.Engine
+	tmap  *trafficmap.Generator
+
+	proj *geo.Projection
+
+	mu    sync.Mutex
+	buses map[string]*busState
+}
+
+// NewService wires the back-end together over a prebuilt diagram and
+// travel-time store (the store may carry offline-training history).
+func NewService(dia *svd.Diagram, store *traveltime.Store, cfg Config) (*Service, error) {
+	if dia == nil || store == nil {
+		return nil, errors.New("server: nil diagram or store")
+	}
+	cfg = cfg.withDefaults()
+	net := dia.Network()
+	pos, err := locate.NewPositioner(dia, dia.Order())
+	if err != nil {
+		return nil, fmt.Errorf("server: positioner: %w", err)
+	}
+	pred, err := predict.NewWiLocator(net, store, cfg.Predict)
+	if err != nil {
+		return nil, fmt.Errorf("server: predictor: %w", err)
+	}
+	tmap, err := trafficmap.NewGenerator(net, store, cfg.Traffic)
+	if err != nil {
+		return nil, fmt.Errorf("server: traffic map: %w", err)
+	}
+	return &Service{
+		cfg:   cfg,
+		net:   net,
+		dia:   dia,
+		pos:   pos,
+		store: store,
+		pred:  pred,
+		tmap:  tmap,
+		proj:  geo.NewProjection(cfg.Origin),
+		buses: make(map[string]*busState),
+	}, nil
+}
+
+// Store exposes the travel-time store (e.g. for offline training).
+func (s *Service) Store() *traveltime.Store { return s.store }
+
+// Network returns the road network.
+func (s *Service) Network() *roadnet.Network { return s.net }
+
+// Ingest processes one phone report. Reports of one bus are buffered per
+// fusion window; when a report for a newer window arrives, the previous
+// window's scans are fused and turned into a position fix, segment
+// crossings and travel-time records.
+func (s *Service) Ingest(rep api.Report) (api.IngestResponse, error) {
+	if rep.BusID == "" || rep.RouteID == "" {
+		return api.IngestResponse{}, errors.New("server: report missing bus or route id")
+	}
+	if _, ok := s.net.Route(rep.RouteID); !ok {
+		return api.IngestResponse{}, fmt.Errorf("server: unknown route %q", rep.RouteID)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	bs := s.buses[rep.BusID]
+	if bs == nil || bs.done {
+		tracker, err := locate.NewTracker(s.pos, rep.RouteID, s.cfg.Tracker)
+		if err != nil {
+			return api.IngestResponse{}, err
+		}
+		bs = &busState{routeID: rep.RouteID, tracker: tracker}
+		s.buses[rep.BusID] = bs
+	}
+	if bs.routeID != rep.RouteID {
+		return api.IngestResponse{}, fmt.Errorf("server: bus %q reported route %q but is tracked on %q",
+			rep.BusID, rep.RouteID, bs.routeID)
+	}
+
+	bucket := rep.Scan.Time.Truncate(s.cfg.FusionWindow)
+	resp := api.IngestResponse{Accepted: true}
+	if !bucket.Equal(bs.bucketTime) && len(bs.bucket) > 0 {
+		if est, ok := s.flushLocked(rep.BusID, bs); ok {
+			resp.Located = true
+			resp.Arc = est.Arc
+		}
+		bs.bucket = bs.bucket[:0]
+	}
+	bs.bucketTime = bucket
+	bs.bucket = append(bs.bucket, rep.Scan)
+	bs.lastUpdate = rep.Scan.Time
+	return resp, nil
+}
+
+// flushLocked fuses the pending bucket into a fix. Caller holds s.mu.
+func (s *Service) flushLocked(busID string, bs *busState) (locate.Estimate, bool) {
+	fused := sensing.Fuse(bs.bucket)
+	est, crossings, err := bs.tracker.Observe(fused)
+	if err != nil {
+		return locate.Estimate{}, false
+	}
+	route := bs.tracker.Route()
+	for i := range crossings {
+		c := crossings[i]
+		if bs.lastCross != nil {
+			segIdx := c.SegIndex - 1
+			if segIdx >= 0 && segIdx < route.NumSegments() && bs.lastCross.SegIndex == segIdx {
+				segID := route.Segments()[segIdx]
+				rec := traveltime.Record{
+					Seg:     segID,
+					RouteID: bs.routeID,
+					Enter:   bs.lastCross.At,
+					Exit:    c.At,
+				}
+				// A malformed crossing pair is dropped, not fatal.
+				_ = s.store.Add(rec)
+			}
+		}
+		cc := c
+		bs.lastCross = &cc
+	}
+	if est.Arc >= route.Length()-1 {
+		bs.done = true
+	}
+	return est, true
+}
+
+// Vehicles returns the live buses, optionally filtered to one route.
+func (s *Service) Vehicles(routeID string) []api.VehicleStatus {
+	now := s.cfg.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []api.VehicleStatus
+	for id, bs := range s.buses {
+		if routeID != "" && bs.routeID != routeID {
+			continue
+		}
+		if bs.done || now.Sub(bs.lastUpdate) > s.cfg.StaleAfter {
+			continue
+		}
+		arc, ok := bs.tracker.Arc()
+		if !ok {
+			continue
+		}
+		speed, _ := bs.tracker.Speed()
+		out = append(out, api.VehicleStatus{
+			BusID:   id,
+			RouteID: bs.routeID,
+			Arc:     arc,
+			Pos:     bs.tracker.Route().PointAt(arc),
+			Speed:   speed,
+			Updated: bs.lastUpdate,
+		})
+	}
+	return out
+}
+
+// Arrivals predicts when each live bus of routeID reaches stop stopIdx.
+// Buses already past the stop are omitted.
+func (s *Service) Arrivals(routeID string, stopIdx int) ([]api.ArrivalEstimate, error) {
+	route, ok := s.net.Route(routeID)
+	if !ok {
+		return nil, fmt.Errorf("server: unknown route %q", routeID)
+	}
+	if stopIdx < 0 || stopIdx >= route.NumStops() {
+		return nil, fmt.Errorf("server: stop index %d outside [0, %d)", stopIdx, route.NumStops())
+	}
+	vehicles := s.Vehicles(routeID)
+	var out []api.ArrivalEstimate
+	for _, v := range vehicles {
+		eta, err := s.pred.PredictArrival(routeID, v.Arc, v.Updated, stopIdx)
+		if err != nil {
+			if errors.Is(err, predict.ErrStopBehind) {
+				continue
+			}
+			return nil, err
+		}
+		out = append(out, api.ArrivalEstimate{
+			BusID:     v.BusID,
+			RouteID:   routeID,
+			StopIndex: stopIdx,
+			StopName:  route.Stops()[stopIdx].Name,
+			ETA:       eta,
+		})
+	}
+	return out, nil
+}
+
+// TrafficMap classifies the network (or one route) at the current time.
+func (s *Service) TrafficMap(routeID string) (api.TrafficMapResponse, error) {
+	now := s.cfg.Now()
+	var statuses []trafficmap.SegmentStatus
+	if routeID == "" {
+		statuses = s.tmap.Map(now)
+	} else {
+		var err error
+		statuses, err = s.tmap.MapForRoute(routeID, now)
+		if err != nil {
+			return api.TrafficMapResponse{}, err
+		}
+	}
+	return api.TrafficMapResponse{
+		GeneratedAt: now,
+		Segments:    statuses,
+		Strip:       trafficmap.Render(statuses),
+	}, nil
+}
+
+// RouteInfos returns the route inventory (Table I).
+func (s *Service) RouteInfos() api.RoutesResponse {
+	return api.RoutesResponse{Routes: s.net.TableI()}
+}
+
+// Stops lists the stops of one route for trip-planner front ends.
+func (s *Service) Stops(routeID string) (api.StopsResponse, error) {
+	route, ok := s.net.Route(routeID)
+	if !ok {
+		return api.StopsResponse{}, fmt.Errorf("server: unknown route %q", routeID)
+	}
+	out := api.StopsResponse{RouteID: routeID}
+	for i, stop := range route.Stops() {
+		out.Stops = append(out.Stops, api.StopInfo{
+			Index: i,
+			Name:  stop.Name,
+			Arc:   stop.Arc,
+			Pos:   route.PointAt(stop.Arc),
+		})
+	}
+	return out, nil
+}
+
+// ActiveBuses returns the number of currently tracked (non-stale) buses.
+func (s *Service) ActiveBuses() int {
+	return len(s.Vehicles(""))
+}
+
+// Trajectory returns a tracked bus's trajectory as Definition 6 tuples
+// <lat, long, t>. Finished buses remain queryable until evicted.
+func (s *Service) Trajectory(busID string) (api.TrajectoryResponse, error) {
+	s.mu.Lock()
+	bs := s.buses[busID]
+	var (
+		traj    []locate.TrajectoryPoint
+		routeID string
+	)
+	if bs != nil {
+		traj = bs.tracker.Trajectory()
+		routeID = bs.routeID
+	}
+	s.mu.Unlock()
+	if bs == nil {
+		return api.TrajectoryResponse{}, fmt.Errorf("server: unknown bus %q", busID)
+	}
+	out := api.TrajectoryResponse{BusID: busID, RouteID: routeID}
+	for _, p := range traj {
+		ll := s.proj.ToLatLng(p.Pos)
+		out.Fixes = append(out.Fixes, api.TrajectoryFix{Lat: ll.Lat, Lng: ll.Lng, Time: p.Time, Arc: p.Arc})
+	}
+	return out, nil
+}
+
+// anomalyMinPoints is the minimum run length (in scan cycles) for a
+// trajectory crawl to count as an anomaly site.
+const anomalyMinPoints = 4
+
+// Anomalies scans the trajectories of the live buses (optionally of one
+// route) for crawl sites that stops and signalled intersections cannot
+// explain — the server-side anomaly detection block of Fig. 4. The δ
+// threshold is derived per route from the historical mean speed, as
+// Section V-A.4 prescribes.
+func (s *Service) Anomalies(routeID string) ([]api.AnomalyReport, error) {
+	if routeID != "" {
+		if _, ok := s.net.Route(routeID); !ok {
+			return nil, fmt.Errorf("server: unknown route %q", routeID)
+		}
+	}
+	type liveBus struct {
+		id      string
+		routeID string
+		traj    []locate.TrajectoryPoint
+	}
+	now := s.cfg.Now()
+	s.mu.Lock()
+	var buses []liveBus
+	for id, bs := range s.buses {
+		if routeID != "" && bs.routeID != routeID {
+			continue
+		}
+		if now.Sub(bs.lastUpdate) > s.cfg.StaleAfter {
+			continue
+		}
+		buses = append(buses, liveBus{id: id, routeID: bs.routeID, traj: bs.tracker.Trajectory()})
+	}
+	s.mu.Unlock()
+
+	var out []api.AnomalyReport
+	for _, b := range buses {
+		route, ok := s.net.Route(b.routeID)
+		if !ok {
+			continue
+		}
+		delta := trafficmap.DeltaFromHistory(s.routeMeanSpeed(route), s.cfg.FusionWindow, 0)
+		var exclude []float64
+		for _, stop := range route.Stops() {
+			exclude = append(exclude, stop.Arc)
+		}
+		for i := 0; i < route.NumSegments(); i++ {
+			if seg, _ := s.net.Graph.Segment(route.Segments()[i]); seg != nil && seg.Signal {
+				exclude = append(exclude, route.SegmentEndArc(i))
+			}
+		}
+		for _, a := range trafficmap.DetectAnomalies(b.traj, delta, anomalyMinPoints, exclude, 30) {
+			center := (a.StartArc + a.EndArc) / 2
+			out = append(out, api.AnomalyReport{
+				BusID:    b.id,
+				RouteID:  b.routeID,
+				StartArc: a.StartArc,
+				EndArc:   a.EndArc,
+				Start:    a.Start,
+				End:      a.End,
+				Pos:      route.PointAt(center),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].RouteID != out[j].RouteID {
+			return out[i].RouteID < out[j].RouteID
+		}
+		return out[i].StartArc < out[j].StartArc
+	})
+	return out, nil
+}
+
+// routeMeanSpeed estimates the route's historical mean ground speed from the
+// travel-time store, falling back to half the free-flow speed when no
+// history exists yet.
+func (s *Service) routeMeanSpeed(route *roadnet.Route) float64 {
+	var totalTime float64
+	haveAll := true
+	for _, sid := range route.Segments() {
+		m, n := s.store.SegmentMean(sid)
+		if n == 0 {
+			haveAll = false
+			break
+		}
+		totalTime += m
+	}
+	if haveAll && totalTime > 0 {
+		return route.Length() / totalTime
+	}
+	// Free-flow fallback across segments.
+	var ffTime float64
+	for _, sid := range route.Segments() {
+		seg, _ := s.net.Graph.Segment(sid)
+		ffTime += seg.Length() / seg.SpeedLimit
+	}
+	if ffTime == 0 {
+		return 5
+	}
+	return route.Length() / ffTime * 0.5
+}

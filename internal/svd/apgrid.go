@@ -1,0 +1,125 @@
+package svd
+
+import (
+	"math"
+	"sort"
+
+	"wilocator/internal/geo"
+	"wilocator/internal/rf"
+	"wilocator/internal/wifi"
+)
+
+// Metric selects how the diagram ranks APs at a point.
+type Metric int
+
+// Supported metrics.
+const (
+	// MetricRSS ranks by descending expected RSS — the Signal Voronoi
+	// Diagram of the paper.
+	MetricRSS Metric = iota + 1
+	// MetricEuclidean ranks by ascending Euclidean distance to the AP
+	// geo-tag — the conventional Voronoi diagram, which the paper notes is
+	// the special case of the SVD with homogeneous AP parameters. Used for
+	// the ablation.
+	MetricEuclidean
+)
+
+// String implements fmt.Stringer.
+func (m Metric) String() string {
+	switch m {
+	case MetricRSS:
+		return "rss"
+	case MetricEuclidean:
+		return "euclidean"
+	default:
+		return "unknown"
+	}
+}
+
+// ranked is an AP with its metric value at a query point.
+type ranked struct {
+	bssid wifi.BSSID
+	rss   float64 // expected RSS for MetricRSS; -distance for MetricEuclidean
+}
+
+// apGrid is a uniform spatial hash over active APs supporting "all APs
+// within detection range of p" queries in O(1) buckets.
+type apGrid struct {
+	cell    float64
+	model   rf.LogDistance
+	metric  Metric
+	maxRng  float64
+	buckets map[[2]int][]*wifi.AP
+}
+
+func newAPGrid(aps []*wifi.AP, model rf.LogDistance, metric Metric) *apGrid {
+	maxRng := 0.0
+	for _, ap := range aps {
+		if r := model.Range(ap.RefRSS, ap.PathLossExp); r > maxRng {
+			maxRng = r
+		}
+	}
+	if maxRng <= 0 {
+		maxRng = 1
+	}
+	g := &apGrid{
+		cell:    maxRng,
+		model:   model,
+		metric:  metric,
+		maxRng:  maxRng,
+		buckets: make(map[[2]int][]*wifi.AP),
+	}
+	for _, ap := range aps {
+		k := g.bucket(ap.Pos)
+		g.buckets[k] = append(g.buckets[k], ap)
+	}
+	return g
+}
+
+func (g *apGrid) bucket(p geo.Point) [2]int {
+	return [2]int{int(math.Floor(p.X / g.cell)), int(math.Floor(p.Y / g.cell))}
+}
+
+// rankAt returns up to kmax APs detectable at p, ordered by the metric
+// (strongest/nearest first). Ties in expected RSS are broken by BSSID so the
+// order is deterministic.
+func (g *apGrid) rankAt(p geo.Point, kmax int) []ranked {
+	b := g.bucket(p)
+	var cands []ranked
+	for dx := -1; dx <= 1; dx++ {
+		for dy := -1; dy <= 1; dy++ {
+			for _, ap := range g.buckets[[2]int{b[0] + dx, b[1] + dy}] {
+				d := p.Dist(ap.Pos)
+				rss := g.model.ExpectedRSS(ap.RefRSS, ap.PathLossExp, d)
+				if rss < g.model.Floor() {
+					continue
+				}
+				v := rss
+				if g.metric == MetricEuclidean {
+					v = -d
+				}
+				cands = append(cands, ranked{bssid: ap.BSSID, rss: v})
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].rss != cands[j].rss {
+			return cands[i].rss > cands[j].rss
+		}
+		return cands[i].bssid < cands[j].bssid
+	})
+	if kmax > 0 && len(cands) > kmax {
+		cands = cands[:kmax]
+	}
+	return cands
+}
+
+// orderAt returns the BSSIDs of rankAt.
+func (g *apGrid) orderAt(p geo.Point, kmax int) []wifi.BSSID {
+	r := g.rankAt(p, kmax)
+	out := make([]wifi.BSSID, len(r))
+	for i, c := range r {
+		out[i] = c.bssid
+	}
+	return out
+}

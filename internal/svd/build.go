@@ -1,0 +1,221 @@
+package svd
+
+import (
+	"fmt"
+	"math"
+
+	"wilocator/internal/geo"
+	"wilocator/internal/roadnet"
+	"wilocator/internal/wifi"
+)
+
+// Build constructs the Signal Voronoi Diagram of the network's signal space
+// under the given configuration. Only active APs of the deployment
+// participate; after AP dynamics (deactivation/reactivation) call Build
+// again — the paper's Section III-B observes that the partition simply
+// coarsens around a vanished AP.
+func Build(net *roadnet.Network, dep *wifi.Deployment, cfg Config) (*Diagram, error) {
+	if net == nil || dep == nil {
+		return nil, fmt.Errorf("svd: nil network or deployment")
+	}
+	cfg = cfg.withDefaults()
+	active := dep.ActiveAPs()
+	if len(active) == 0 {
+		return nil, fmt.Errorf("svd: deployment has no active APs")
+	}
+
+	d := &Diagram{
+		cfg:   cfg,
+		net:   net,
+		dep:   dep,
+		grid:  newAPGrid(active, cfg.Model, cfg.Metric),
+		runs:  make([]map[string][]Run, cfg.Order),
+		index: make([]map[string]map[TileKey][]int, cfg.Order),
+		tiles: make(map[TileKey]*Tile),
+		cells: make(map[wifi.BSSID]*Cell),
+	}
+	for o := 0; o < cfg.Order; o++ {
+		d.runs[o] = make(map[string][]Run)
+		d.index[o] = make(map[string]map[TileKey][]int)
+	}
+
+	d.buildRuns()
+	if cfg.GridStep > 0 {
+		d.buildBand()
+	}
+	return d, nil
+}
+
+// buildRuns walks every route at SampleStep resolution and records, for each
+// order 1..cfg.Order, the maximal sub-segments with constant tile key.
+func (d *Diagram) buildRuns() {
+	for _, route := range d.net.Routes() {
+		id := route.ID()
+		length := route.Length()
+		cur := make([]TileKey, d.cfg.Order)   // current key per order
+		start := make([]float64, d.cfg.Order) // run start per order
+		first := true
+
+		flush := func(o int, end float64) {
+			run := Run{Key: cur[o], S0: start[o], S1: end}
+			d.runs[o][id] = append(d.runs[o][id], run)
+			if d.index[o][id] == nil {
+				d.index[o][id] = make(map[TileKey][]int)
+			}
+			d.index[o][id][run.Key] = append(d.index[o][id][run.Key], len(d.runs[o][id])-1)
+		}
+
+		step := d.cfg.SampleStep
+		for s := 0.0; ; s += step {
+			if s > length {
+				s = length
+			}
+			order := d.grid.orderAt(route.PointAt(s), d.cfg.Order)
+			for o := 0; o < d.cfg.Order; o++ {
+				key := MakeKey(order, o+1)
+				switch {
+				case first:
+					cur[o], start[o] = key, 0
+				case key != cur[o]:
+					// Close the previous run at the midpoint between the
+					// two samples: the true tile boundary lies in between.
+					mid := s - step/2
+					if mid < start[o] {
+						mid = start[o]
+					}
+					flush(o, mid)
+					cur[o], start[o] = key, mid
+				}
+			}
+			first = false
+			if s >= length {
+				break
+			}
+		}
+		for o := 0; o < d.cfg.Order; o++ {
+			flush(o, length)
+		}
+	}
+}
+
+// buildBand rasterises a band of half-width BandWidth around every road
+// segment at GridStep resolution, assigning each grid point its full-order
+// tile key, and aggregates tile/cell centroids, areas, adjacency boundary
+// lengths and joint points.
+func (d *Diagram) buildBand() {
+	step := d.cfg.GridStep
+	band := math.Round(d.cfg.BandWidth/step) * step
+
+	type acc struct {
+		sumX, sumY float64
+		n          int
+	}
+	keyOf := make(map[[2]int]TileKey)
+	tileAcc := make(map[TileKey]*acc)
+	cellAcc := make(map[wifi.BSSID]*acc)
+
+	quant := func(p geo.Point) [2]int {
+		return [2]int{int(math.Round(p.X / step)), int(math.Round(p.Y / step))}
+	}
+
+	for _, seg := range d.net.Graph.Segments() {
+		line := seg.Line
+		for s := 0.0; ; s += step {
+			if s > line.Length() {
+				s = line.Length()
+			}
+			center := line.At(s)
+			dir := line.DirectionAt(s)
+			normal := geo.Pt(-dir.Y, dir.X)
+			for lat := -band; lat <= band+1e-9; lat += step {
+				p := center.Add(normal.Scale(lat))
+				q := quant(p)
+				if _, seen := keyOf[q]; seen {
+					continue
+				}
+				// Use the quantised point so the key is a pure function of
+				// the grid coordinate.
+				gp := geo.Pt(float64(q[0])*step, float64(q[1])*step)
+				key := MakeKey(d.grid.orderAt(gp, d.cfg.Order), d.cfg.Order)
+				keyOf[q] = key
+				if key == "" {
+					continue
+				}
+				ta := tileAcc[key]
+				if ta == nil {
+					ta = &acc{}
+					tileAcc[key] = ta
+				}
+				ta.sumX += gp.X
+				ta.sumY += gp.Y
+				ta.n++
+				site := key.Site()
+				ca := cellAcc[site]
+				if ca == nil {
+					ca = &acc{}
+					cellAcc[site] = ca
+				}
+				ca.sumX += gp.X
+				ca.sumY += gp.Y
+				ca.n++
+			}
+			if s >= line.Length() {
+				break
+			}
+		}
+	}
+
+	for key, a := range tileAcc {
+		d.tiles[key] = &Tile{
+			Key:      key,
+			Centroid: geo.Pt(a.sumX/float64(a.n), a.sumY/float64(a.n)),
+			Area:     float64(a.n) * step * step,
+			Boundary: make(map[TileKey]float64),
+		}
+	}
+	for site, a := range cellAcc {
+		d.cells[site] = &Cell{
+			Site:      site,
+			Centroid:  geo.Pt(a.sumX/float64(a.n), a.sumY/float64(a.n)),
+			Area:      float64(a.n) * step * step,
+			Neighbors: make(map[wifi.BSSID]float64),
+		}
+	}
+
+	// Adjacency and joints from 4-neighbourhoods.
+	addBoundary := func(a, b TileKey) {
+		if a == "" || b == "" || a == b {
+			return
+		}
+		d.tiles[a].Boundary[b] += step
+		d.tiles[b].Boundary[a] += step
+		sa, sb := a.Site(), b.Site()
+		if sa != sb {
+			d.cells[sa].Neighbors[sb] += step
+			d.cells[sb].Neighbors[sa] += step
+		}
+	}
+	for q, key := range keyOf {
+		right := [2]int{q[0] + 1, q[1]}
+		up := [2]int{q[0], q[1] + 1}
+		if k, ok := keyOf[right]; ok {
+			addBoundary(key, k)
+		}
+		if k, ok := keyOf[up]; ok {
+			addBoundary(key, k)
+		}
+		if key == "" {
+			continue
+		}
+		// Joint point: three or more distinct cells meet around this point.
+		sites := map[wifi.BSSID]bool{key.Site(): true}
+		for _, nb := range [][2]int{right, up, {q[0] - 1, q[1]}, {q[0], q[1] - 1}} {
+			if k, ok := keyOf[nb]; ok && k != "" {
+				sites[k.Site()] = true
+			}
+		}
+		if len(sites) >= 3 {
+			d.joints = append(d.joints, geo.Pt(float64(q[0])*step, float64(q[1])*step))
+		}
+	}
+}

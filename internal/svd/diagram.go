@@ -1,0 +1,245 @@
+package svd
+
+import (
+	"fmt"
+	"sort"
+
+	"wilocator/internal/geo"
+	"wilocator/internal/rf"
+	"wilocator/internal/roadnet"
+	"wilocator/internal/wifi"
+)
+
+// Default construction parameters.
+const (
+	// DefaultOrder is the SVD order; the paper finds order 2 sufficient
+	// (footnote 4 and Fig. 9(b)).
+	DefaultOrder = 2
+	// DefaultSampleStep is the along-road sampling step for tile runs.
+	DefaultSampleStep = 1.0
+	// DefaultGridStep is the 2-D band grid resolution for tile geometry.
+	DefaultGridStep = 3.0
+	// DefaultBandWidth is the half-width of the 2-D band around roads.
+	DefaultBandWidth = 39.0
+)
+
+// Config parameterises diagram construction. The zero value selects the
+// defaults above with MetricRSS.
+type Config struct {
+	// Order is the maximum tile order to index (queries may use any order
+	// up to this).
+	Order int
+	// SampleStep is the along-road sampling step in metres.
+	SampleStep float64
+	// GridStep is the 2-D band grid resolution in metres. Negative disables
+	// the 2-D geometry pass (runs only).
+	GridStep float64
+	// BandWidth is the lateral half-width of the 2-D band in metres.
+	BandWidth float64
+	// Model is the propagation model used for expected RSS.
+	Model rf.LogDistance
+	// Metric selects SVD (rank by expected RSS) or the conventional Voronoi
+	// diagram (rank by Euclidean distance) for the ablation.
+	Metric Metric
+}
+
+func (c Config) withDefaults() Config {
+	if c.Order <= 0 {
+		c.Order = DefaultOrder
+	}
+	if c.SampleStep <= 0 {
+		c.SampleStep = DefaultSampleStep
+	}
+	if c.GridStep == 0 {
+		c.GridStep = DefaultGridStep
+	}
+	if c.BandWidth <= 0 {
+		c.BandWidth = DefaultBandWidth
+	}
+	if c.Metric == 0 {
+		c.Metric = MetricRSS
+	}
+	return c
+}
+
+// Run is a maximal road sub-segment [S0, S1] (arc lengths along one route)
+// over which the order-k tile key is constant. Runs are what Definition 5's
+// Tile Mapping produces: the road sub-segment e_ij inside a Signal Tile.
+type Run struct {
+	Key TileKey `json:"key"`
+	S0  float64 `json:"s0"`
+	S1  float64 `json:"s1"`
+}
+
+// Mid returns the midpoint arc length of the run.
+func (r Run) Mid() float64 { return (r.S0 + r.S1) / 2 }
+
+// Len returns the run length in metres.
+func (r Run) Len() float64 { return r.S1 - r.S0 }
+
+// Contains reports whether arc s lies within the run.
+func (r Run) Contains(s float64) bool { return s >= r.S0 && s <= r.S1 }
+
+// Tile is the 2-D geometry of one Signal Tile at the diagram's full order.
+type Tile struct {
+	Key      TileKey
+	Centroid geo.Point
+	// Area is the tile area in m² estimated from the band grid.
+	Area float64
+	// Boundary maps each adjacent tile to the shared tile-boundary length.
+	Boundary map[TileKey]float64
+}
+
+// Cell is the geometry of one Signal Cell (order-1 dominance region of its
+// site AP).
+type Cell struct {
+	Site     wifi.BSSID
+	Centroid geo.Point
+	Area     float64
+	// Neighbors maps each adjacent cell's site to the shared Signal Voronoi
+	// Edge length.
+	Neighbors map[wifi.BSSID]float64
+}
+
+// Diagram is an immutable Signal Voronoi Diagram over a road network and an
+// AP deployment. Build one with Build; rebuild after AP dynamics.
+type Diagram struct {
+	cfg  Config
+	net  *roadnet.Network
+	dep  *wifi.Deployment
+	grid *apGrid
+
+	// runs[o-1][routeID] lists the order-o runs of each route in arc order.
+	runs []map[string][]Run
+	// index[o-1][routeID][key] holds indices into runs for key lookup.
+	index []map[string]map[TileKey][]int
+
+	tiles  map[TileKey]*Tile
+	cells  map[wifi.BSSID]*Cell
+	joints []geo.Point
+}
+
+// Order returns the maximum indexed tile order.
+func (d *Diagram) Order() int { return d.cfg.Order }
+
+// Metric returns the partition metric.
+func (d *Diagram) Metric() Metric { return d.cfg.Metric }
+
+// Network returns the road network the diagram was built over.
+func (d *Diagram) Network() *roadnet.Network { return d.net }
+
+// Deployment returns the AP deployment the diagram was built over.
+func (d *Diagram) Deployment() *wifi.Deployment { return d.dep }
+
+// RankAt returns the metric rank order of detectable APs at p (up to kmax;
+// kmax <= 0 means all).
+func (d *Diagram) RankAt(p geo.Point, kmax int) []wifi.BSSID {
+	return d.grid.orderAt(p, kmax)
+}
+
+// KeyAt returns the order-k tile key of point p under the expected signal
+// space.
+func (d *Diagram) KeyAt(p geo.Point, k int) TileKey {
+	return MakeKey(d.grid.orderAt(p, k), k)
+}
+
+// Runs returns route routeID's order-k runs in arc order.
+func (d *Diagram) Runs(routeID string, order int) ([]Run, error) {
+	if order < 1 || order > d.cfg.Order {
+		return nil, fmt.Errorf("svd: order %d outside [1, %d]", order, d.cfg.Order)
+	}
+	rs, ok := d.runs[order-1][routeID]
+	if !ok {
+		return nil, fmt.Errorf("svd: unknown route %q", routeID)
+	}
+	return rs, nil
+}
+
+// FindRuns returns the runs of routeID whose key equals key (at key's own
+// order). A key may recur at several places along a route; all occurrences
+// are returned in arc order.
+func (d *Diagram) FindRuns(routeID string, key TileKey) []Run {
+	o := key.Order()
+	if o < 1 || o > d.cfg.Order {
+		return nil
+	}
+	byKey, ok := d.index[o-1][routeID]
+	if !ok {
+		return nil
+	}
+	idxs := byKey[key]
+	out := make([]Run, len(idxs))
+	for i, ix := range idxs {
+		out[i] = d.runs[o-1][routeID][ix]
+	}
+	return out
+}
+
+// RunAt returns the order-k run containing arc s on routeID.
+func (d *Diagram) RunAt(routeID string, order int, s float64) (Run, error) {
+	rs, err := d.Runs(routeID, order)
+	if err != nil {
+		return Run{}, err
+	}
+	i := sort.Search(len(rs), func(i int) bool { return rs[i].S1 >= s })
+	if i == len(rs) {
+		i = len(rs) - 1
+	}
+	return rs[i], nil
+}
+
+// Tile returns the 2-D geometry of the tile with the given full-order key.
+func (d *Diagram) Tile(key TileKey) (*Tile, bool) {
+	t, ok := d.tiles[key]
+	return t, ok
+}
+
+// NumTiles returns the number of distinct full-order tiles in the band.
+func (d *Diagram) NumTiles() int { return len(d.tiles) }
+
+// Cell returns the geometry of the Signal Cell generated by site.
+func (d *Diagram) Cell(site wifi.BSSID) (*Cell, bool) {
+	c, ok := d.cells[site]
+	return c, ok
+}
+
+// NumCells returns the number of non-empty Signal Cells in the band.
+func (d *Diagram) NumCells() int { return len(d.cells) }
+
+// Joints returns the joint points of the diagram: band grid points where
+// three or more Signal Cells meet (Definition 1's junction points, grid
+// approximation).
+func (d *Diagram) Joints() []geo.Point {
+	cp := make([]geo.Point, len(d.joints))
+	copy(cp, d.joints)
+	return cp
+}
+
+// NeighborsByBoundary returns the tiles adjacent to key ordered by
+// decreasing shared-boundary length — the order in which the paper's
+// off-road fallback rule considers them.
+func (d *Diagram) NeighborsByBoundary(key TileKey) []TileKey {
+	t, ok := d.tiles[key]
+	if !ok {
+		return nil
+	}
+	type nb struct {
+		key TileKey
+		len float64
+	}
+	nbs := make([]nb, 0, len(t.Boundary))
+	for k, l := range t.Boundary {
+		nbs = append(nbs, nb{key: k, len: l})
+	}
+	sort.Slice(nbs, func(i, j int) bool {
+		if nbs[i].len != nbs[j].len {
+			return nbs[i].len > nbs[j].len
+		}
+		return nbs[i].key < nbs[j].key
+	})
+	out := make([]TileKey, len(nbs))
+	for i, n := range nbs {
+		out[i] = n.key
+	}
+	return out
+}

@@ -1,0 +1,376 @@
+package svd
+
+import (
+	"math"
+	"testing"
+
+	"wilocator/internal/geo"
+	"wilocator/internal/roadnet"
+	"wilocator/internal/wifi"
+	"wilocator/internal/xrand"
+)
+
+// testScenario builds a small campus road with an AP deployment.
+func testScenario(t *testing.T, roadLen float64, spec wifi.DeploySpec, seed uint64) (*roadnet.Network, *wifi.Deployment) {
+	t.Helper()
+	net, err := roadnet.BuildCampus(roadLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := wifi.Deploy(net, spec, xrand.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, dep
+}
+
+func buildDiagram(t *testing.T, net *roadnet.Network, dep *wifi.Deployment, cfg Config) *Diagram {
+	t.Helper()
+	d, err := Build(net, dep, cfg)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return d
+}
+
+func TestBuildValidation(t *testing.T) {
+	net, dep := testScenario(t, 200, wifi.DefaultDeploySpec(), 1)
+	if _, err := Build(nil, dep, Config{}); err == nil {
+		t.Error("nil network accepted")
+	}
+	if _, err := Build(net, nil, Config{}); err == nil {
+		t.Error("nil deployment accepted")
+	}
+	for _, ap := range dep.APs() {
+		if err := dep.Deactivate(ap.BSSID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Build(net, dep, Config{}); err == nil {
+		t.Error("empty deployment accepted")
+	}
+}
+
+// TestRunsPartitionRoute checks runs at every order tile the route exactly:
+// contiguous, gap-free, covering [0, Length].
+func TestRunsPartitionRoute(t *testing.T) {
+	net, dep := testScenario(t, 400, wifi.DefaultDeploySpec(), 2)
+	d := buildDiagram(t, net, dep, Config{Order: 3, GridStep: -1})
+	route := net.Routes()[0]
+	for order := 1; order <= 3; order++ {
+		runs, err := d.Runs(route.ID(), order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(runs) == 0 {
+			t.Fatalf("order %d: no runs", order)
+		}
+		if runs[0].S0 != 0 {
+			t.Errorf("order %d: first run starts at %v", order, runs[0].S0)
+		}
+		if math.Abs(runs[len(runs)-1].S1-route.Length()) > 1e-9 {
+			t.Errorf("order %d: last run ends at %v, want %v", order, runs[len(runs)-1].S1, route.Length())
+		}
+		for i := 1; i < len(runs); i++ {
+			if math.Abs(runs[i].S0-runs[i-1].S1) > 1e-9 {
+				t.Errorf("order %d: gap between run %d and %d (%v vs %v)",
+					order, i-1, i, runs[i-1].S1, runs[i].S0)
+			}
+			if runs[i].Key == runs[i-1].Key {
+				t.Errorf("order %d: adjacent runs %d,%d share key %q", order, i-1, i, runs[i].Key)
+			}
+		}
+	}
+}
+
+// TestProposition1 verifies that within each run's interior, the expected
+// RSS rank order matches the run key (the defining property of a Signal
+// Tile).
+func TestProposition1(t *testing.T) {
+	net, dep := testScenario(t, 400, wifi.DefaultDeploySpec(), 3)
+	d := buildDiagram(t, net, dep, Config{Order: 2, GridStep: -1})
+	route := net.Routes()[0]
+	runs, err := d.Runs(route.ID(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, run := range runs {
+		if run.Len() < 4 { // skip slivers whose interior is within a sample step of a boundary
+			continue
+		}
+		p := route.PointAt(run.Mid())
+		if got := d.KeyAt(p, 2); got != run.Key {
+			t.Errorf("run [%v,%v]: key at midpoint = %q, want %q", run.S0, run.S1, got, run.Key)
+		}
+		checked++
+	}
+	if checked < 10 {
+		t.Fatalf("only %d runs checked; scenario too small", checked)
+	}
+}
+
+// TestHigherOrderRefines verifies Proposition 2's mechanism: order-k runs
+// refine order-(k-1) runs, so there are at least as many of them and every
+// higher-order run lies inside a lower-order run with the matching prefix.
+func TestHigherOrderRefines(t *testing.T) {
+	net, dep := testScenario(t, 400, wifi.DefaultDeploySpec(), 4)
+	d := buildDiagram(t, net, dep, Config{Order: 3, GridStep: -1})
+	route := net.Routes()[0]
+	var counts [3]int
+	for order := 1; order <= 3; order++ {
+		runs, err := d.Runs(route.ID(), order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[order-1] = len(runs)
+	}
+	if counts[1] < counts[0] || counts[2] < counts[1] {
+		t.Errorf("run counts not monotone in order: %v", counts)
+	}
+	// Every order-2 run's key prefix must match the order-1 run containing
+	// its midpoint.
+	runs2, _ := d.Runs(route.ID(), 2)
+	for _, r2 := range runs2 {
+		r1, err := d.RunAt(route.ID(), 1, r2.Mid())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r2.Key.Prefix(1) != r1.Key {
+			t.Errorf("order-2 run %q at %v not inside order-1 run %q", r2.Key, r2.Mid(), r1.Key)
+		}
+	}
+}
+
+// TestMoreAPsShortenRuns verifies Proposition 3's mechanism: a denser
+// deployment yields shorter (more precise) tiles along the road.
+func TestMoreAPsShortenRuns(t *testing.T) {
+	meanRunLen := func(seed uint64, spacing float64) float64 {
+		spec := wifi.DefaultDeploySpec()
+		spec.Spacing = spacing
+		net, dep := testScenario(t, 1000, spec, seed)
+		d := buildDiagram(t, net, dep, Config{Order: 2, GridStep: -1})
+		runs, err := d.Runs(net.Routes()[0].ID(), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0.0
+		for _, r := range runs {
+			total += r.Len()
+		}
+		return total / float64(len(runs))
+	}
+	sparse := meanRunLen(5, 80)
+	dense := meanRunLen(5, 20)
+	if dense >= sparse {
+		t.Errorf("mean run length: dense %.2f m >= sparse %.2f m", dense, sparse)
+	}
+}
+
+// TestEuclideanSpecialCase verifies the paper's claim that the conventional
+// Voronoi diagram is the special case of the SVD with homogeneous AP
+// parameters: order-1 keys agree between the two metrics everywhere.
+func TestEuclideanSpecialCase(t *testing.T) {
+	spec := wifi.DefaultDeploySpec()
+	spec.RefRSSMin, spec.RefRSSMax = -30, -30
+	spec.PathLossExpMin, spec.PathLossExpMax = 3, 3
+	net, dep := testScenario(t, 500, spec, 6)
+	rssD := buildDiagram(t, net, dep, Config{Order: 2, GridStep: -1})
+	vdD := buildDiagram(t, net, dep, Config{Order: 2, GridStep: -1, Metric: MetricEuclidean})
+	route := net.Routes()[0]
+	for s := 1.0; s < route.Length(); s += 7 {
+		p := route.PointAt(s)
+		if a, b := rssD.KeyAt(p, 1), vdD.KeyAt(p, 1); a != b {
+			t.Fatalf("at arc %v: SVD cell %q != VD cell %q under homogeneous params", s, a, b)
+		}
+	}
+}
+
+// TestHeterogeneousDiffersFromVD verifies the converse: with heterogeneous
+// AP parameters the SVD and the Euclidean VD genuinely disagree somewhere.
+func TestHeterogeneousDiffersFromVD(t *testing.T) {
+	net, dep := testScenario(t, 500, wifi.DefaultDeploySpec(), 7)
+	rssD := buildDiagram(t, net, dep, Config{Order: 1, GridStep: -1})
+	vdD := buildDiagram(t, net, dep, Config{Order: 1, GridStep: -1, Metric: MetricEuclidean})
+	route := net.Routes()[0]
+	differ := 0
+	for s := 1.0; s < route.Length(); s += 3 {
+		p := route.PointAt(s)
+		if rssD.KeyAt(p, 1) != vdD.KeyAt(p, 1) {
+			differ++
+		}
+	}
+	if differ == 0 {
+		t.Error("SVD and VD identical despite heterogeneous AP parameters")
+	}
+}
+
+func TestFindRunsAndRunAt(t *testing.T) {
+	net, dep := testScenario(t, 400, wifi.DefaultDeploySpec(), 8)
+	d := buildDiagram(t, net, dep, Config{Order: 2, GridStep: -1})
+	route := net.Routes()[0]
+	runs, _ := d.Runs(route.ID(), 2)
+	for _, want := range []float64{0, 13.7, 200, route.Length()} {
+		run, err := d.RunAt(route.ID(), 2, want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !run.Contains(want) {
+			t.Errorf("RunAt(%v) = [%v,%v] does not contain it", want, run.S0, run.S1)
+		}
+	}
+	// FindRuns returns every occurrence of a key.
+	seen := make(map[TileKey]int)
+	for _, r := range runs {
+		seen[r.Key]++
+	}
+	for key, n := range seen {
+		found := d.FindRuns(route.ID(), key)
+		if len(found) != n {
+			t.Errorf("FindRuns(%q) = %d runs, want %d", key, len(found), n)
+		}
+		for _, f := range found {
+			if f.Key != key {
+				t.Errorf("FindRuns returned key %q", f.Key)
+			}
+		}
+	}
+	if got := d.FindRuns("no-such-route", "a|b"); got != nil {
+		t.Errorf("unknown route FindRuns = %v", got)
+	}
+	if got := d.FindRuns(route.ID(), TileKey("")); got != nil {
+		t.Errorf("empty key FindRuns = %v", got)
+	}
+	if _, err := d.Runs(route.ID(), 9); err == nil {
+		t.Error("out-of-range order accepted")
+	}
+	if _, err := d.Runs("nope", 1); err == nil {
+		t.Error("unknown route accepted")
+	}
+}
+
+func TestBandGeometry(t *testing.T) {
+	net, dep := testScenario(t, 300, wifi.DefaultDeploySpec(), 9)
+	d := buildDiagram(t, net, dep, Config{Order: 2, GridStep: 3, BandWidth: 30})
+	if d.NumTiles() == 0 || d.NumCells() == 0 {
+		t.Fatalf("no band geometry: %d tiles, %d cells", d.NumTiles(), d.NumCells())
+	}
+	if d.NumTiles() < d.NumCells() {
+		t.Errorf("tiles (%d) < cells (%d): order-2 must refine order-1", d.NumTiles(), d.NumCells())
+	}
+	if len(d.Joints()) == 0 {
+		t.Error("no joint points found")
+	}
+
+	// Boundary symmetry and site consistency.
+	for key := range d.tiles {
+		tile, _ := d.Tile(key)
+		for nb, l := range tile.Boundary {
+			other, ok := d.Tile(nb)
+			if !ok {
+				t.Fatalf("tile %q has unknown neighbour %q", key, nb)
+			}
+			if math.Abs(other.Boundary[key]-l) > 1e-9 {
+				t.Errorf("asymmetric boundary %q<->%q: %v vs %v", key, nb, l, other.Boundary[key])
+			}
+		}
+		if _, ok := d.Cell(key.Site()); !ok {
+			t.Errorf("tile %q has no cell for site %q", key, key.Site())
+		}
+	}
+
+	// NeighborsByBoundary is sorted by decreasing shared length.
+	for key := range d.tiles {
+		nbs := d.NeighborsByBoundary(key)
+		tile, _ := d.Tile(key)
+		for i := 1; i < len(nbs); i++ {
+			if tile.Boundary[nbs[i-1]] < tile.Boundary[nbs[i]] {
+				t.Fatalf("NeighborsByBoundary(%q) unsorted", key)
+			}
+		}
+	}
+	if got := d.NeighborsByBoundary("no|pe"); got != nil {
+		t.Errorf("unknown tile neighbours = %v", got)
+	}
+}
+
+// TestCellCentroidNearSite checks each Signal Cell's centroid is closer to
+// its own site than to almost any other site — a sanity check that the
+// dominance regions are where they should be.
+func TestCellCentroidNearSite(t *testing.T) {
+	spec := wifi.DefaultDeploySpec()
+	spec.RefRSSMin, spec.RefRSSMax = -30, -30
+	spec.PathLossExpMin, spec.PathLossExpMax = 3, 3
+	net, dep := testScenario(t, 300, spec, 10)
+	d := buildDiagram(t, net, dep, Config{Order: 2, GridStep: 3, BandWidth: 30})
+	bad := 0
+	for site, cell := range d.cells {
+		ap, _ := dep.AP(site)
+		own := cell.Centroid.Dist(ap.Pos)
+		for _, other := range dep.APs() {
+			if other.BSSID != site && cell.Centroid.Dist(other.Pos) < own {
+				bad++
+				break
+			}
+		}
+	}
+	// Edge cells clipped by the band may be off; the bulk must hold.
+	if bad > d.NumCells()/4 {
+		t.Errorf("%d/%d cell centroids closer to a foreign site", bad, d.NumCells())
+	}
+}
+
+// TestAPDynamicsRebuild reproduces Section III-B: deactivating an AP and
+// rebuilding yields a coarser diagram whose keys never mention the dead AP.
+func TestAPDynamicsRebuild(t *testing.T) {
+	net, dep := testScenario(t, 300, wifi.DefaultDeploySpec(), 11)
+	route := net.Routes()[0]
+	before := buildDiagram(t, net, dep, Config{Order: 2, GridStep: -1})
+
+	victim := dep.APs()[dep.NumAPs()/2].BSSID
+	if err := dep.Deactivate(victim); err != nil {
+		t.Fatal(err)
+	}
+	after := buildDiagram(t, net, dep, Config{Order: 2, GridStep: -1})
+
+	runsB, _ := before.Runs(route.ID(), 2)
+	runsA, _ := after.Runs(route.ID(), 2)
+	for _, r := range runsA {
+		for _, b := range r.Key.BSSIDs() {
+			if b == victim {
+				t.Fatalf("dead AP %q still present in key %q", victim, r.Key)
+			}
+		}
+	}
+	mentions := 0
+	for _, r := range runsB {
+		for _, b := range r.Key.BSSIDs() {
+			if b == victim {
+				mentions++
+			}
+		}
+	}
+	if mentions == 0 {
+		t.Fatal("victim AP never appeared before deactivation; pick a better victim")
+	}
+}
+
+func TestDiagramAccessors(t *testing.T) {
+	net, dep := testScenario(t, 200, wifi.DefaultDeploySpec(), 12)
+	d := buildDiagram(t, net, dep, Config{})
+	if d.Order() != DefaultOrder {
+		t.Errorf("Order = %d", d.Order())
+	}
+	if d.Metric() != MetricRSS {
+		t.Errorf("Metric = %v", d.Metric())
+	}
+	if d.Network() != net || d.Deployment() != dep {
+		t.Error("accessors wrong")
+	}
+	if got := d.RankAt(geo.Pt(100, 0), 3); len(got) == 0 {
+		t.Error("RankAt found nothing mid-road")
+	}
+	if MetricRSS.String() != "rss" || MetricEuclidean.String() != "euclidean" || Metric(0).String() != "unknown" {
+		t.Error("Metric.String wrong")
+	}
+}

@@ -1,0 +1,107 @@
+// Package svd implements the Signal Voronoi Diagram, the primary
+// contribution of the WiLocator paper (Section III).
+//
+// The signal space around the road network is partitioned into Signal Cells
+// (Definition 1: the dominance region of the strongest AP) and, recursively,
+// into order-k Signal Tiles (Definition 2) within which the rank order of
+// the expected RSS from the k strongest APs is constant (Proposition 1).
+// Because RSS *ranks* are far more stable than raw RSS values, a scanned
+// rank vector identifies the tile a bus is in without any fingerprint
+// calibration or runtime propagation model.
+//
+// A Diagram is built from a road network, an AP deployment and a propagation
+// model. It records, for every order 1..k:
+//
+//   - per-route "runs": maximal road sub-segments over which the tile key is
+//     constant (this is what Definition 5's Tile Mapping consumes), and
+//   - the 2-D tile geometry in a band around the roads: centroids, areas,
+//     tile adjacency with shared-boundary lengths, and joint points — used
+//     for the paper's longest-boundary fallback when a noisy scan lands the
+//     bus in a tile that does not intersect its route.
+package svd
+
+import (
+	"strings"
+
+	"wilocator/internal/wifi"
+)
+
+// KeySep separates BSSIDs inside a TileKey.
+const KeySep = "|"
+
+// TileKey identifies an order-k Signal Tile: the k strongest APs at a point
+// in descending expected-RSS order, joined with KeySep. An order-1 key
+// identifies a Signal Cell.
+type TileKey string
+
+// MakeKey builds the order-k key from a (descending) rank order. If fewer
+// than k APs are available the key uses all of them; an empty order yields
+// the empty key.
+func MakeKey(order []wifi.BSSID, k int) TileKey {
+	if k > len(order) {
+		k = len(order)
+	}
+	if k <= 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for i := 0; i < k; i++ {
+		if i > 0 {
+			sb.WriteString(KeySep)
+		}
+		sb.WriteString(string(order[i]))
+	}
+	return TileKey(sb.String())
+}
+
+// Order returns the number of APs in the key.
+func (k TileKey) Order() int {
+	if k == "" {
+		return 0
+	}
+	return strings.Count(string(k), KeySep) + 1
+}
+
+// Site returns the first (strongest) AP of the key — the generator of the
+// Signal Cell containing the tile.
+func (k TileKey) Site() wifi.BSSID {
+	if k == "" {
+		return ""
+	}
+	s := string(k)
+	if i := strings.Index(s, KeySep); i >= 0 {
+		return wifi.BSSID(s[:i])
+	}
+	return wifi.BSSID(s)
+}
+
+// Prefix returns the order-n prefix of the key. If n >= Order() the key is
+// returned unchanged.
+func (k TileKey) Prefix(n int) TileKey {
+	if n <= 0 {
+		return ""
+	}
+	s := string(k)
+	idx := 0
+	for i := 0; i < n; i++ {
+		next := strings.Index(s[idx:], KeySep)
+		if next < 0 {
+			return k
+		}
+		idx += next + len(KeySep)
+	}
+	return TileKey(s[:idx-len(KeySep)])
+}
+
+// BSSIDs returns the APs of the key in rank order.
+func (k TileKey) BSSIDs() []wifi.BSSID {
+	if k == "" {
+		return nil
+	}
+	parts := strings.Split(string(k), KeySep)
+	out := make([]wifi.BSSID, len(parts))
+	for i, p := range parts {
+		out[i] = wifi.BSSID(p)
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package svd
+
+import (
+	"testing"
+
+	"wilocator/internal/wifi"
+)
+
+func TestMakeKey(t *testing.T) {
+	order := []wifi.BSSID{"b", "a", "d"}
+	tests := []struct {
+		k    int
+		want TileKey
+	}{
+		{0, ""},
+		{-1, ""},
+		{1, "b"},
+		{2, "b|a"},
+		{3, "b|a|d"},
+		{5, "b|a|d"},
+	}
+	for _, tt := range tests {
+		if got := MakeKey(order, tt.k); got != tt.want {
+			t.Errorf("MakeKey(k=%d) = %q, want %q", tt.k, got, tt.want)
+		}
+	}
+	if got := MakeKey(nil, 2); got != "" {
+		t.Errorf("MakeKey(nil) = %q", got)
+	}
+}
+
+func TestTileKeyOrder(t *testing.T) {
+	tests := []struct {
+		key  TileKey
+		want int
+	}{
+		{"", 0},
+		{"a", 1},
+		{"a|b", 2},
+		{"a|b|c|d", 4},
+	}
+	for _, tt := range tests {
+		if got := tt.key.Order(); got != tt.want {
+			t.Errorf("%q.Order() = %d, want %d", tt.key, got, tt.want)
+		}
+	}
+}
+
+func TestTileKeySite(t *testing.T) {
+	if got := TileKey("").Site(); got != "" {
+		t.Errorf("empty key site = %q", got)
+	}
+	if got := TileKey("x").Site(); got != "x" {
+		t.Errorf("site = %q", got)
+	}
+	if got := TileKey("x|y|z").Site(); got != "x" {
+		t.Errorf("site = %q", got)
+	}
+}
+
+func TestTileKeyPrefix(t *testing.T) {
+	k := TileKey("a|b|c")
+	tests := []struct {
+		n    int
+		want TileKey
+	}{
+		{0, ""},
+		{1, "a"},
+		{2, "a|b"},
+		{3, "a|b|c"},
+		{9, "a|b|c"},
+	}
+	for _, tt := range tests {
+		if got := k.Prefix(tt.n); got != tt.want {
+			t.Errorf("Prefix(%d) = %q, want %q", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestTileKeyBSSIDs(t *testing.T) {
+	if got := TileKey("").BSSIDs(); got != nil {
+		t.Errorf("empty key BSSIDs = %v", got)
+	}
+	got := TileKey("a|b").BSSIDs()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("BSSIDs = %v", got)
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	order := []wifi.BSSID{"ap-1", "ap-2", "ap-3", "ap-4"}
+	for k := 1; k <= 4; k++ {
+		key := MakeKey(order, k)
+		if key.Order() != k {
+			t.Errorf("order %d: key order = %d", k, key.Order())
+		}
+		back := key.BSSIDs()
+		for i := 0; i < k; i++ {
+			if back[i] != order[i] {
+				t.Errorf("order %d: BSSIDs[%d] = %v, want %v", k, i, back[i], order[i])
+			}
+		}
+	}
+}

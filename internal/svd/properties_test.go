@@ -1,0 +1,174 @@
+package svd
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"wilocator/internal/wifi"
+)
+
+// bssidList generates rank orders of unique BSSIDs.
+type bssidList struct{ Order []wifi.BSSID }
+
+// Generate implements quick.Generator.
+func (bssidList) Generate(r *rand.Rand, _ int) reflect.Value {
+	n := r.Intn(8)
+	seen := make(map[wifi.BSSID]bool)
+	var out []wifi.BSSID
+	for i := 0; i < n; i++ {
+		b := wifi.BSSID("ap-" + string(rune('a'+r.Intn(26))))
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		out = append(out, b)
+	}
+	return reflect.ValueOf(bssidList{Order: out})
+}
+
+// TestKeyPrefixLaw: MakeKey(order, j) == MakeKey(order, k).Prefix(j) for
+// every j <= k — the identity the order-reduction fallback relies on.
+func TestKeyPrefixLaw(t *testing.T) {
+	f := func(l bssidList) bool {
+		k := len(l.Order)
+		full := MakeKey(l.Order, k)
+		for j := 0; j <= k; j++ {
+			if MakeKey(l.Order, j) != full.Prefix(j) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestKeyOrderAndBSSIDsInverse: Order() counts the components and BSSIDs()
+// round-trips through MakeKey.
+func TestKeyOrderAndBSSIDsInverse(t *testing.T) {
+	f := func(l bssidList) bool {
+		key := MakeKey(l.Order, len(l.Order))
+		if key.Order() != len(l.Order) {
+			return false
+		}
+		back := key.BSSIDs()
+		if len(back) != len(l.Order) {
+			return false
+		}
+		for i := range back {
+			if back[i] != l.Order[i] {
+				return false
+			}
+		}
+		if len(l.Order) > 0 && key.Site() != l.Order[0] {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestKeySeparatorNeverEmptyComponent: keys never contain empty components,
+// whatever the input order length.
+func TestKeySeparatorNeverEmptyComponent(t *testing.T) {
+	f := func(l bssidList) bool {
+		key := MakeKey(l.Order, len(l.Order))
+		if key == "" {
+			return len(l.Order) == 0
+		}
+		for _, part := range strings.Split(string(key), KeySep) {
+			if part == "" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRunsPartitionAcrossSeeds re-checks the partition invariant (gap-free,
+// adjacent-distinct, full coverage) across many random deployments — the
+// deterministic analogue of a fuzz pass over Build.
+func TestRunsPartitionAcrossSeeds(t *testing.T) {
+	for seed := uint64(100); seed < 108; seed++ {
+		net, dep := testScenario(t, 300, depSpecForSeed(seed), seed)
+		d := buildDiagram(t, net, dep, Config{Order: 2, GridStep: -1})
+		route := net.Routes()[0]
+		runs, err := d.Runs(route.ID(), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if runs[0].S0 != 0 {
+			t.Errorf("seed %d: first run starts at %v", seed, runs[0].S0)
+		}
+		for i := 1; i < len(runs); i++ {
+			if runs[i].S0 != runs[i-1].S1 {
+				t.Fatalf("seed %d: gap at run %d", seed, i)
+			}
+			if runs[i].Key == runs[i-1].Key {
+				t.Fatalf("seed %d: adjacent runs share key %q", seed, runs[i].Key)
+			}
+		}
+		if got := runs[len(runs)-1].S1; got != route.Length() {
+			t.Errorf("seed %d: last run ends at %v, want %v", seed, got, route.Length())
+		}
+	}
+}
+
+// depSpecForSeed varies the deployment density per seed so the sweep covers
+// sparse and dense regimes.
+func depSpecForSeed(seed uint64) wifi.DeploySpec {
+	spec := wifi.DefaultDeploySpec()
+	spec.Spacing = 20 + float64(seed%5)*15
+	return spec
+}
+
+// TestTilesPartitionCells: the order-k tiles partition the Signal Cells, so
+// per-site tile areas sum to the cell area and every tile's site has a cell.
+func TestTilesPartitionCells(t *testing.T) {
+	net, dep := testScenario(t, 300, depSpecForSeed(3), 3)
+	d := buildDiagram(t, net, dep, Config{Order: 2, GridStep: 3, BandWidth: 30})
+	areaBySite := make(map[wifi.BSSID]float64)
+	for key := range d.tiles {
+		tile, _ := d.Tile(key)
+		areaBySite[key.Site()] += tile.Area
+	}
+	if len(areaBySite) != d.NumCells() {
+		t.Fatalf("tiles cover %d sites, diagram has %d cells", len(areaBySite), d.NumCells())
+	}
+	for site, got := range areaBySite {
+		cell, ok := d.Cell(site)
+		if !ok {
+			t.Fatalf("no cell for site %q", site)
+		}
+		if diff := got - cell.Area; diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("site %q: tile areas %.1f != cell area %.1f", site, got, cell.Area)
+		}
+	}
+}
+
+// TestCellNeighborsSymmetric: the Signal Voronoi Edge lengths between cells
+// are symmetric.
+func TestCellNeighborsSymmetric(t *testing.T) {
+	net, dep := testScenario(t, 300, depSpecForSeed(4), 4)
+	d := buildDiagram(t, net, dep, Config{Order: 2, GridStep: 3, BandWidth: 30})
+	for site, cell := range d.cells {
+		for nb, l := range cell.Neighbors {
+			other, ok := d.Cell(nb)
+			if !ok {
+				t.Fatalf("cell %q has unknown neighbour %q", site, nb)
+			}
+			if back := other.Neighbors[site]; back != l {
+				t.Errorf("SVE %q<->%q asymmetric: %v vs %v", site, nb, l, back)
+			}
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package traveltime
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+var _ io.WriterTo = (*Store)(nil)
+var _ io.ReaderFrom = (*Store)(nil)
+
+func populatedStore(t *testing.T) *Store {
+	t.Helper()
+	s := NewStore(PaperPlan())
+	base := time.Date(2016, 3, 7, 0, 0, 0, 0, time.UTC)
+	for d := 0; d < 3; d++ {
+		for h := 6; h < 22; h++ {
+			for _, route := range []string{"9", "14"} {
+				enter := base.AddDate(0, 0, d).Add(time.Duration(h) * time.Hour)
+				secs := 40.0 + float64(h%5)*7
+				if err := s.Add(Record{
+					Seg: 3, RouteID: route, Enter: enter,
+					Exit: enter.Add(time.Duration(secs * float64(time.Second))),
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return s
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	src := populatedStore(t)
+	var buf bytes.Buffer
+	n, err := src.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) || n == 0 {
+		t.Fatalf("WriteTo reported %d bytes, buffer has %d", n, buf.Len())
+	}
+
+	dst := NewStore(PaperPlan())
+	if _, err := dst.ReadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every statistic must survive the round trip exactly.
+	if src.NumRecords() != dst.NumRecords() {
+		t.Errorf("records: %d vs %d", src.NumRecords(), dst.NumRecords())
+	}
+	for slot := 0; slot < PaperPlan().NumSlots(); slot++ {
+		for _, route := range []string{"9", "14"} {
+			sm, sn := src.HistoricalMean(3, route, slot)
+			dm, dn := dst.HistoricalMean(3, route, slot)
+			if sn != dn || math.Abs(sm-dm) > 1e-12 {
+				t.Errorf("slot %d route %s: (%v,%d) vs (%v,%d)", slot, route, sm, sn, dm, dn)
+			}
+		}
+		sMean, sStd, sN := src.ResidualStats(3, slot)
+		dMean, dStd, dN := dst.ResidualStats(3, slot)
+		if sN != dN || math.Abs(sMean-dMean) > 1e-12 || math.Abs(sStd-dStd) > 1e-12 {
+			t.Errorf("slot %d residuals differ", slot)
+		}
+	}
+	srcSI, dstSI := src.SeasonalIndex(3), dst.SeasonalIndex(3)
+	for h := range srcSI {
+		if math.Abs(srcSI[h]-dstSI[h]) > 1e-12 {
+			t.Errorf("seasonal index hour %d: %v vs %v", h, srcSI[h], dstSI[h])
+		}
+	}
+	sr := src.Recent(3, time.Time{}, 0)
+	dr := dst.Recent(3, time.Time{}, 0)
+	if len(sr) != len(dr) {
+		t.Fatalf("recent rings differ: %d vs %d", len(sr), len(dr))
+	}
+	for i := range sr {
+		if sr[i] != dr[i] {
+			t.Errorf("recent[%d]: %+v vs %+v", i, sr[i], dr[i])
+		}
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	s := populatedStore(t)
+	var a, b bytes.Buffer
+	if _, err := s.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("snapshots of the same store differ")
+	}
+}
+
+func TestReadFromRejectsBadInput(t *testing.T) {
+	s := NewStore(PaperPlan())
+	if _, err := s.ReadFrom(strings.NewReader("{broken")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, err := s.ReadFrom(strings.NewReader(`{"version":99}`)); err == nil {
+		t.Error("future version accepted")
+	}
+	// Plan mismatch: snapshot from an hourly store into a paper-plan store.
+	hourly := NewStore(HourlyPlan())
+	enter := time.Date(2016, 3, 7, 9, 0, 0, 0, time.UTC)
+	if err := hourly.Add(Record{Seg: 1, RouteID: "9", Enter: enter, Exit: enter.Add(30 * time.Second)}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := hourly.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadFrom(&buf); err == nil || !strings.Contains(err.Error(), "plan") {
+		t.Errorf("plan mismatch accepted: %v", err)
+	}
+}
+
+func TestReadFromReplacesExistingState(t *testing.T) {
+	src := populatedStore(t)
+	var buf bytes.Buffer
+	if _, err := src.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewStore(PaperPlan())
+	// Pre-pollute dst with data on another segment; a load must replace it.
+	enter := time.Date(2016, 3, 7, 9, 0, 0, 0, time.UTC)
+	if err := dst.Add(Record{Seg: 77, RouteID: "x", Enter: enter, Exit: enter.Add(time.Minute)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.ReadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, n := dst.SegmentMean(77); n != 0 {
+		t.Error("pre-load data survived ReadFrom")
+	}
+	if dst.NumRecords() != src.NumRecords() {
+		t.Errorf("records = %d, want %d", dst.NumRecords(), src.NumRecords())
+	}
+}
+
+func TestStoreKeepsWorkingAfterLoad(t *testing.T) {
+	src := populatedStore(t)
+	var buf bytes.Buffer
+	if _, err := src.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewStore(PaperPlan())
+	if _, err := dst.ReadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// New records merge into the restored aggregates.
+	before, _ := dst.HistoricalMean(3, "9", 2)
+	enter := time.Date(2016, 3, 10, 13, 0, 0, 0, time.UTC)
+	if err := dst.Add(Record{Seg: 3, RouteID: "9", Enter: enter, Exit: enter.Add(500 * time.Second)}); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := dst.HistoricalMean(3, "9", 2)
+	if after <= before {
+		t.Errorf("mean did not move after post-load Add: %v -> %v", before, after)
+	}
+}
+
+// FuzzReadFrom: arbitrary snapshot bytes never panic the loader, and any
+// accepted snapshot re-serialises.
+func FuzzReadFrom(f *testing.F) {
+	valid := populatedFuzzStore()
+	var buf bytes.Buffer
+	if _, err := valid.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"version":1,"planBounds":[8,10,18,19]}`))
+	f.Add([]byte(`{"version":2}`))
+	f.Add([]byte(`garbage`))
+	f.Add([]byte(`{"version":1,"planBounds":[8,10,18,19],"hist":[{"seg":-5,"route":"","slot":99,"sum":-1,"n":-3}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := NewStore(PaperPlan())
+		if _, err := s.ReadFrom(bytes.NewReader(data)); err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if _, err := s.WriteTo(&out); err != nil {
+			t.Fatalf("accepted snapshot fails to serialise: %v", err)
+		}
+		// Queries must not panic on whatever state was loaded.
+		s.NumRecords()
+		s.SeasonalIndex(1)
+		s.ResidualStats(1, 0)
+		s.Recent(1, time.Time{}, 4)
+	})
+}
+
+// populatedFuzzStore builds a small store without a *testing.T.
+func populatedFuzzStore() *Store {
+	s := NewStore(PaperPlan())
+	enter := time.Date(2016, 3, 7, 9, 0, 0, 0, time.UTC)
+	for i := 0; i < 10; i++ {
+		_ = s.Add(Record{Seg: 1, RouteID: "9", Enter: enter.Add(time.Duration(i) * time.Minute),
+			Exit: enter.Add(time.Duration(i)*time.Minute + 40*time.Second)})
+	}
+	return s
+}

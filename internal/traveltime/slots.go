@@ -1,0 +1,136 @@
+// Package traveltime stores observed per-segment bus travel times and
+// derives the statistics WiLocator's predictor and traffic map consume:
+// historical means Th(i,j,l) per (segment, route, time-slot), the recent
+// traversals used for the cross-route correction of Eq. 5/8, the seasonal
+// index SI(i,l) of Eq. 6 that discovers rush hours, and the residual
+// statistics behind the traffic map's z-classification.
+package traveltime
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// SlotPlan divides a day into time slots by hour boundaries. The paper's
+// evaluation groups a weekday into 5 slots: <8h, 8-10h (morning rush),
+// 10-18h, 18-19h (afternoon rush), >19h.
+type SlotPlan struct {
+	bounds []int // strictly increasing hour boundaries in (0, 24)
+}
+
+// NewSlotPlan creates a plan with the given hour boundaries. An empty bounds
+// list yields a single all-day slot.
+func NewSlotPlan(bounds []int) (SlotPlan, error) {
+	cp := make([]int, len(bounds))
+	copy(cp, bounds)
+	sort.Ints(cp)
+	for i, b := range cp {
+		if b <= 0 || b >= 24 {
+			return SlotPlan{}, fmt.Errorf("traveltime: boundary hour %d outside (0,24)", b)
+		}
+		if i > 0 && cp[i-1] == b {
+			return SlotPlan{}, fmt.Errorf("traveltime: duplicate boundary hour %d", b)
+		}
+	}
+	return SlotPlan{bounds: cp}, nil
+}
+
+// HourlyPlan returns the 24-slot plan used for seasonal-index analysis.
+func HourlyPlan() SlotPlan {
+	bounds := make([]int, 23)
+	for i := range bounds {
+		bounds[i] = i + 1
+	}
+	return SlotPlan{bounds: bounds}
+}
+
+// PaperPlan returns the paper's 5-slot weekday plan (Section V-B.2).
+func PaperPlan() SlotPlan {
+	return SlotPlan{bounds: []int{8, 10, 18, 19}}
+}
+
+// NumSlots returns the number of slots in the plan.
+func (p SlotPlan) NumSlots() int { return len(p.bounds) + 1 }
+
+// SlotOf returns the slot index containing time t.
+func (p SlotPlan) SlotOf(t time.Time) int {
+	h := t.Hour()
+	return sort.SearchInts(p.bounds, h+1)
+}
+
+// Bounds returns a copy of the boundary hours.
+func (p SlotPlan) Bounds() []int {
+	cp := make([]int, len(p.bounds))
+	copy(cp, p.bounds)
+	return cp
+}
+
+// Label returns a human-readable description of slot i, e.g. "08-10h".
+func (p SlotPlan) Label(i int) string {
+	lo, hi := 0, 24
+	if i > 0 {
+		lo = p.bounds[i-1]
+	}
+	if i < len(p.bounds) {
+		hi = p.bounds[i]
+	}
+	return fmt.Sprintf("%02d-%02dh", lo, hi)
+}
+
+// String implements fmt.Stringer.
+func (p SlotPlan) String() string {
+	labels := make([]string, p.NumSlots())
+	for i := range labels {
+		labels[i] = p.Label(i)
+	}
+	return strings.Join(labels, ",")
+}
+
+// DefaultRushThreshold is the seasonal-index value above which a slot is
+// flagged as a rush hour (the paper uses SI >= 1.6).
+const DefaultRushThreshold = 1.6
+
+// RushHours returns the hours whose seasonal index meets the threshold.
+// si must have one entry per hour (length 24); thresh <= 0 selects the
+// default.
+func RushHours(si []float64, thresh float64) []int {
+	if thresh <= 0 {
+		thresh = DefaultRushThreshold
+	}
+	var out []int
+	for h, v := range si {
+		if v >= thresh {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// GroupSlots builds a slot plan from an hourly seasonal index by placing a
+// boundary wherever the index jumps by more than tol between consecutive
+// hours — the paper's "group consecutive time slots with similar seasonal
+// index into a bigger slot". tol <= 0 defaults to 0.25.
+func GroupSlots(si []float64, tol float64) (SlotPlan, error) {
+	if len(si) != 24 {
+		return SlotPlan{}, fmt.Errorf("traveltime: seasonal index has %d entries, want 24", len(si))
+	}
+	if tol <= 0 {
+		tol = 0.25
+	}
+	var bounds []int
+	for h := 1; h < 24; h++ {
+		if abs(si[h]-si[h-1]) > tol {
+			bounds = append(bounds, h)
+		}
+	}
+	return NewSlotPlan(bounds)
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,103 @@
+package wifi
+
+import (
+	"fmt"
+
+	"wilocator/internal/geo"
+	"wilocator/internal/roadnet"
+	"wilocator/internal/xrand"
+)
+
+// DeploySpec parameterises the synthetic AP deployment along a road network.
+// Defaults (DefaultDeploySpec) model a dense urban corridor: a hotspot every
+// ~35 m of street (shops, cafes, homes), set back from the centreline, with
+// heterogeneous transmit powers and propagation environments.
+type DeploySpec struct {
+	// Spacing is the mean along-road distance between APs in metres.
+	Spacing float64
+	// SpacingJitter is the half-width of the uniform jitter applied to each
+	// AP's along-road position.
+	SpacingJitter float64
+	// MinOffset and MaxOffset bound the perpendicular distance from the
+	// road centreline; the side is chosen at random.
+	MinOffset, MaxOffset float64
+	// RefRSSMin and RefRSSMax bound the per-AP reference received power in
+	// dBm (heterogeneous transmit power).
+	RefRSSMin, RefRSSMax float64
+	// PathLossExpMin and PathLossExpMax bound the per-AP path-loss exponent
+	// (heterogeneous environments).
+	PathLossExpMin, PathLossExpMax float64
+}
+
+// DefaultDeploySpec returns the deployment used by the evaluation scenarios.
+func DefaultDeploySpec() DeploySpec {
+	return DeploySpec{
+		Spacing:        35,
+		SpacingJitter:  10,
+		MinOffset:      5,
+		MaxOffset:      25,
+		RefRSSMin:      -34,
+		RefRSSMax:      -26,
+		PathLossExpMin: 2.6,
+		PathLossExpMax: 3.4,
+	}
+}
+
+// Homogeneous reports whether every AP generated under the spec has
+// identical RF parameters (the special case in which the SVD degenerates to
+// the Euclidean Voronoi diagram).
+func (s DeploySpec) Homogeneous() bool {
+	return s.RefRSSMin == s.RefRSSMax && s.PathLossExpMin == s.PathLossExpMax
+}
+
+// Deploy generates geo-tagged APs along every road segment of the network
+// and returns them as a deployment. The generation is deterministic given
+// rng's state.
+func Deploy(net *roadnet.Network, spec DeploySpec, rng *xrand.Rand) (*Deployment, error) {
+	if spec.Spacing <= 0 {
+		return nil, fmt.Errorf("wifi: non-positive AP spacing %v", spec.Spacing)
+	}
+	if spec.MaxOffset < spec.MinOffset || spec.RefRSSMax < spec.RefRSSMin ||
+		spec.PathLossExpMax < spec.PathLossExpMin {
+		return nil, fmt.Errorf("wifi: inverted range in deploy spec %+v", spec)
+	}
+	var aps []*AP
+	n := 0
+	for _, seg := range net.Graph.Segments() {
+		segRng := rng.SplitN("deploy-seg", int(seg.ID))
+		line := seg.Line
+		for s := spec.Spacing / 2; s < line.Length(); s += spec.Spacing {
+			pos := s
+			if spec.SpacingJitter > 0 {
+				pos += segRng.Range(-spec.SpacingJitter, spec.SpacingJitter)
+			}
+			if pos < 0 || pos > line.Length() {
+				continue
+			}
+			center := line.At(pos)
+			dir := line.DirectionAt(pos)
+			normal := geo.Pt(-dir.Y, dir.X)
+			side := 1.0
+			if segRng.Bool(0.5) {
+				side = -1
+			}
+			offset := segRng.Range(spec.MinOffset, spec.MaxOffset)
+			n++
+			aps = append(aps, &AP{
+				BSSID:       BSSID(fmt.Sprintf("ap-%04d", n)),
+				SSID:        fmt.Sprintf("hotspot-%04d", n),
+				Pos:         center.Add(normal.Scale(side * offset)),
+				RefRSS:      uniformOrFixed(segRng, spec.RefRSSMin, spec.RefRSSMax),
+				PathLossExp: uniformOrFixed(segRng, spec.PathLossExpMin, spec.PathLossExpMax),
+			})
+		}
+	}
+	return NewDeployment(aps)
+}
+
+func uniformOrFixed(rng *xrand.Rand, lo, hi float64) float64 {
+	if lo == hi {
+		return lo
+	}
+	return rng.Range(lo, hi)
+}

@@ -1,0 +1,112 @@
+package wifi
+
+import (
+	"math"
+	"testing"
+
+	"wilocator/internal/roadnet"
+	"wilocator/internal/xrand"
+)
+
+func TestDeployValidation(t *testing.T) {
+	net, err := roadnet.BuildCampus(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Deploy(net, DeploySpec{}, xrand.New(1)); err == nil {
+		t.Error("zero spacing accepted")
+	}
+	bad := DefaultDeploySpec()
+	bad.RefRSSMax = bad.RefRSSMin - 1
+	if _, err := Deploy(net, bad, xrand.New(1)); err == nil {
+		t.Error("inverted RSS range accepted")
+	}
+}
+
+func TestDeployDensityAndGeometry(t *testing.T) {
+	net, err := roadnet.BuildCampus(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := DefaultDeploySpec()
+	dep, err := Deploy(net, spec, xrand.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~1000/35 = 28 APs expected.
+	if n := dep.NumAPs(); n < 20 || n > 35 {
+		t.Errorf("deployed %d APs on 1 km, want ~28", n)
+	}
+	route, _ := net.Route("campus")
+	for _, ap := range dep.APs() {
+		_, d := route.Project(ap.Pos)
+		if d < spec.MinOffset-1e-9 || d > spec.MaxOffset+1e-9 {
+			t.Errorf("AP %s offset %v outside [%v, %v]", ap.BSSID, d, spec.MinOffset, spec.MaxOffset)
+		}
+		if ap.RefRSS < spec.RefRSSMin || ap.RefRSS > spec.RefRSSMax {
+			t.Errorf("AP %s RefRSS %v out of range", ap.BSSID, ap.RefRSS)
+		}
+		if ap.PathLossExp < spec.PathLossExpMin || ap.PathLossExp > spec.PathLossExpMax {
+			t.Errorf("AP %s exponent %v out of range", ap.BSSID, ap.PathLossExp)
+		}
+	}
+}
+
+func TestDeployDeterminism(t *testing.T) {
+	net, err := roadnet.BuildVancouver(roadnet.DefaultVancouverSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := Deploy(net, DefaultDeploySpec(), xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Deploy(net, DefaultDeploySpec(), xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.NumAPs() != d2.NumAPs() {
+		t.Fatalf("AP counts differ: %d vs %d", d1.NumAPs(), d2.NumAPs())
+	}
+	a1, a2 := d1.APs(), d2.APs()
+	for i := range a1 {
+		if *a1[i] != *a2[i] {
+			t.Fatalf("AP %d differs: %+v vs %+v", i, a1[i], a2[i])
+		}
+	}
+}
+
+func TestDeploySpacingControlsDensity(t *testing.T) {
+	net, err := roadnet.BuildCampus(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse := DefaultDeploySpec()
+	sparse.Spacing = 100
+	dense := DefaultDeploySpec()
+	dense.Spacing = 20
+	ds, err := Deploy(net, sparse, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd, err := Deploy(net, dense, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(dd.NumAPs()) / float64(ds.NumAPs())
+	if math.Abs(ratio-5) > 1 {
+		t.Errorf("density ratio = %v, want ~5", ratio)
+	}
+}
+
+func TestHomogeneousSpec(t *testing.T) {
+	s := DefaultDeploySpec()
+	if s.Homogeneous() {
+		t.Error("default spec reported homogeneous")
+	}
+	s.RefRSSMin, s.RefRSSMax = -30, -30
+	s.PathLossExpMin, s.PathLossExpMax = 3, 3
+	if !s.Homogeneous() {
+		t.Error("fixed-parameter spec not reported homogeneous")
+	}
+}

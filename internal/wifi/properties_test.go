@@ -1,0 +1,121 @@
+package wifi
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomScan generates scans with up to 12 readings over a small BSSID pool
+// (so RSS ties occur frequently). BSSIDs are unique within a scan, matching
+// what a real WiFi scan (and any Deployment) guarantees.
+func randomScan(r *rand.Rand) Scan {
+	n := r.Intn(12)
+	s := Scan{}
+	seen := make(map[BSSID]bool)
+	for i := 0; i < n; i++ {
+		b := BSSID(string(rune('a' + r.Intn(20))))
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		s.Readings = append(s.Readings, Reading{
+			BSSID: b,
+			RSSI:  -40 - r.Intn(50),
+		})
+	}
+	return s
+}
+
+// scanGen adapts randomScan to testing/quick.
+type scanGen struct{ Scan Scan }
+
+// Generate implements quick.Generator.
+func (scanGen) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(scanGen{Scan: randomScan(r)})
+}
+
+// TestRankOrderIsSortedPermutation: RankOrder returns exactly the scan's
+// BSSIDs, in non-increasing RSS order.
+func TestRankOrderIsSortedPermutation(t *testing.T) {
+	f := func(g scanGen) bool {
+		s := g.Scan
+		order := s.RankOrder()
+		if len(order) != len(s.Readings) {
+			return false
+		}
+		rssOf := make(map[BSSID]int, len(s.Readings))
+		for _, r := range s.Readings {
+			rssOf[r.BSSID] = r.RSSI
+		}
+		seen := make(map[BSSID]bool, len(order))
+		for i, b := range order {
+			if _, known := rssOf[b]; !known || seen[b] {
+				return false
+			}
+			seen[b] = true
+			if i > 0 && rssOf[b] > rssOf[order[i-1]] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTiesConcatenationEqualsRankOrder: flattening the tie groups reproduces
+// the rank order exactly.
+func TestTiesConcatenationEqualsRankOrder(t *testing.T) {
+	f := func(g scanGen) bool {
+		s := g.Scan
+		var flat []BSSID
+		for _, group := range s.Ties() {
+			flat = append(flat, group...)
+		}
+		order := s.RankOrder()
+		if len(flat) != len(order) {
+			return false
+		}
+		for i := range flat {
+			if flat[i] != order[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTieGroupsShareRSS: within each tie group all readings share one RSS
+// value, and consecutive groups have strictly decreasing RSS.
+func TestTieGroupsShareRSS(t *testing.T) {
+	f := func(g scanGen) bool {
+		s := g.Scan
+		rssOf := make(map[BSSID]int, len(s.Readings))
+		for _, r := range s.Readings {
+			rssOf[r.BSSID] = r.RSSI
+		}
+		prev := 1 << 20
+		for _, group := range s.Ties() {
+			v := rssOf[group[0]]
+			for _, b := range group {
+				if rssOf[b] != v {
+					return false
+				}
+			}
+			if v >= prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,225 @@
+// Package wifi models geo-tagged WiFi access points, AP deployments along a
+// road network, and the scans that phones report to the WiLocator server.
+//
+// An AP corresponds to a "site" / "generator" of the paper's Signal Voronoi
+// Diagram: a geo-tagged hotspot (latitude/longitude known from a hotspot
+// directory) with its own transmit power and propagation environment — the
+// heterogeneity that makes the SVD differ from a plain Euclidean Voronoi
+// diagram.
+package wifi
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"wilocator/internal/geo"
+	"wilocator/internal/rf"
+)
+
+// BSSID identifies an access point (its MAC address in reality).
+type BSSID string
+
+// AP is a geo-tagged WiFi access point.
+type AP struct {
+	BSSID BSSID     `json:"bssid"`
+	SSID  string    `json:"ssid"`
+	Pos   geo.Point `json:"pos"`
+	// RefRSS is the received power at the propagation model's reference
+	// distance, in dBm. It subsumes transmit power and antenna gains.
+	RefRSS float64 `json:"refRss"`
+	// PathLossExp is the path-loss exponent of the AP's local environment.
+	PathLossExp float64 `json:"pathLossExp"`
+}
+
+// Reading is a single (AP, RSS) observation within a scan.
+type Reading struct {
+	BSSID BSSID `json:"bssid"`
+	RSSI  int   `json:"rssi"` // dBm
+}
+
+// Scan is the WiFi information one phone collects in one scan cycle.
+type Scan struct {
+	Time     time.Time `json:"time"`
+	Readings []Reading `json:"readings"`
+}
+
+// RankOrder returns the scan's BSSIDs in descending RSS order. Equal RSS
+// values (ties, which the paper treats specially during positioning) are
+// broken by BSSID so the order is deterministic; Ties reports the groups.
+func (s Scan) RankOrder() []BSSID {
+	rs := make([]Reading, len(s.Readings))
+	copy(rs, s.Readings)
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].RSSI != rs[j].RSSI {
+			return rs[i].RSSI > rs[j].RSSI
+		}
+		return rs[i].BSSID < rs[j].BSSID
+	})
+	out := make([]BSSID, len(rs))
+	for i, r := range rs {
+		out[i] = r.BSSID
+	}
+	return out
+}
+
+// Ties returns groups of BSSIDs sharing an identical RSS value, strongest
+// group first. Singleton groups are included, so the concatenation of the
+// groups equals RankOrder().
+func (s Scan) Ties() [][]BSSID {
+	rs := make([]Reading, len(s.Readings))
+	copy(rs, s.Readings)
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].RSSI != rs[j].RSSI {
+			return rs[i].RSSI > rs[j].RSSI
+		}
+		return rs[i].BSSID < rs[j].BSSID
+	})
+	var out [][]BSSID
+	for i := 0; i < len(rs); {
+		j := i
+		var group []BSSID
+		for j < len(rs) && rs[j].RSSI == rs[i].RSSI {
+			group = append(group, rs[j].BSSID)
+			j++
+		}
+		out = append(out, group)
+		i = j
+	}
+	return out
+}
+
+// Strongest returns the BSSID with the highest RSS, or false for an empty
+// scan.
+func (s Scan) Strongest() (BSSID, bool) {
+	if len(s.Readings) == 0 {
+		return "", false
+	}
+	return s.RankOrder()[0], true
+}
+
+// Deployment is a set of APs with activation state. AP dynamics
+// (reconfiguration, failure, replacement — Section III-B of the paper) are
+// modelled by deactivating and reactivating APs.
+type Deployment struct {
+	aps      []*AP
+	byBSSID  map[BSSID]*AP
+	inactive map[BSSID]bool
+}
+
+// NewDeployment builds a deployment from APs. BSSIDs must be unique.
+func NewDeployment(aps []*AP) (*Deployment, error) {
+	d := &Deployment{
+		byBSSID:  make(map[BSSID]*AP, len(aps)),
+		inactive: make(map[BSSID]bool),
+	}
+	for _, ap := range aps {
+		if ap.BSSID == "" {
+			return nil, fmt.Errorf("wifi: AP with empty BSSID")
+		}
+		if _, dup := d.byBSSID[ap.BSSID]; dup {
+			return nil, fmt.Errorf("wifi: duplicate BSSID %q", ap.BSSID)
+		}
+		cp := *ap
+		d.aps = append(d.aps, &cp)
+		d.byBSSID[ap.BSSID] = &cp
+	}
+	return d, nil
+}
+
+// AP returns the AP with the given BSSID.
+func (d *Deployment) AP(b BSSID) (*AP, bool) {
+	ap, ok := d.byBSSID[b]
+	return ap, ok
+}
+
+// APs returns all APs (active and inactive) in insertion order. The slice is
+// a copy but the pointers are shared; callers must not mutate the APs.
+func (d *Deployment) APs() []*AP {
+	cp := make([]*AP, len(d.aps))
+	copy(cp, d.aps)
+	return cp
+}
+
+// NumAPs returns the total number of APs.
+func (d *Deployment) NumAPs() int { return len(d.aps) }
+
+// Active reports whether the AP is present and active.
+func (d *Deployment) Active(b BSSID) bool {
+	_, ok := d.byBSSID[b]
+	return ok && !d.inactive[b]
+}
+
+// ActiveAPs returns all currently active APs in insertion order.
+func (d *Deployment) ActiveAPs() []*AP {
+	out := make([]*AP, 0, len(d.aps))
+	for _, ap := range d.aps {
+		if !d.inactive[ap.BSSID] {
+			out = append(out, ap)
+		}
+	}
+	return out
+}
+
+// Deactivate marks an AP out of function (paper's AP-dynamics scenario).
+func (d *Deployment) Deactivate(b BSSID) error {
+	if _, ok := d.byBSSID[b]; !ok {
+		return fmt.Errorf("wifi: unknown BSSID %q", b)
+	}
+	d.inactive[b] = true
+	return nil
+}
+
+// Reactivate restores a previously deactivated AP.
+func (d *Deployment) Reactivate(b BSSID) error {
+	if _, ok := d.byBSSID[b]; !ok {
+		return fmt.Errorf("wifi: unknown BSSID %q", b)
+	}
+	delete(d.inactive, b)
+	return nil
+}
+
+// ExpectedRSS returns the mean (noise-free) RSS of AP b at point p under the
+// given propagation model. This is what SVD construction consumes — the
+// stable "average rank" signal space.
+func (d *Deployment) ExpectedRSS(model rf.LogDistance, b BSSID, p geo.Point) (float64, bool) {
+	ap, ok := d.byBSSID[b]
+	if !ok || d.inactive[b] {
+		return 0, false
+	}
+	return model.ExpectedRSS(ap.RefRSS, ap.PathLossExp, p.Dist(ap.Pos)), true
+}
+
+// Sensor couples a deployment with a noisy receiver to generate the scans a
+// phone would observe at a given position.
+type Sensor struct {
+	dep *Deployment
+	rx  *rf.Receiver
+}
+
+// NewSensor builds a sensor over the deployment.
+func NewSensor(dep *Deployment, rx *rf.Receiver) (*Sensor, error) {
+	if dep == nil || rx == nil {
+		return nil, fmt.Errorf("wifi: nil deployment or receiver")
+	}
+	return &Sensor{dep: dep, rx: rx}, nil
+}
+
+// ScanAt simulates one WiFi scan at position p and time t: every active AP
+// whose noisy RSS clears the detection floor (and survives dropout)
+// contributes a reading. Readings are in insertion order of the deployment,
+// as a real scan list is unordered.
+func (s *Sensor) ScanAt(p geo.Point, t time.Time) Scan {
+	scan := Scan{Time: t}
+	for _, ap := range s.dep.aps {
+		if s.dep.inactive[ap.BSSID] {
+			continue
+		}
+		rssi, ok := s.rx.Sample(ap.RefRSS, ap.PathLossExp, p.Dist(ap.Pos))
+		if !ok {
+			continue
+		}
+		scan.Readings = append(scan.Readings, Reading{BSSID: ap.BSSID, RSSI: rssi})
+	}
+	return scan
+}

@@ -1,0 +1,178 @@
+package wifi
+
+import (
+	"testing"
+	"time"
+
+	"wilocator/internal/geo"
+	"wilocator/internal/rf"
+	"wilocator/internal/xrand"
+)
+
+func sampleAPs() []*AP {
+	return []*AP{
+		{BSSID: "a", Pos: geo.Pt(0, 10), RefRSS: -30, PathLossExp: 3},
+		{BSSID: "b", Pos: geo.Pt(50, -10), RefRSS: -30, PathLossExp: 3},
+		{BSSID: "c", Pos: geo.Pt(100, 10), RefRSS: -28, PathLossExp: 2.8},
+	}
+}
+
+func TestNewDeploymentValidation(t *testing.T) {
+	if _, err := NewDeployment([]*AP{{BSSID: ""}}); err == nil {
+		t.Error("empty BSSID accepted")
+	}
+	dup := []*AP{{BSSID: "x"}, {BSSID: "x"}}
+	if _, err := NewDeployment(dup); err == nil {
+		t.Error("duplicate BSSID accepted")
+	}
+}
+
+func TestDeploymentCopiesAPs(t *testing.T) {
+	aps := sampleAPs()
+	d, err := NewDeployment(aps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aps[0].RefRSS = -99
+	got, _ := d.AP("a")
+	if got.RefRSS != -30 {
+		t.Error("deployment aliased caller AP")
+	}
+}
+
+func TestActivateDeactivate(t *testing.T) {
+	d, err := NewDeployment(sampleAPs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Active("a") || d.NumAPs() != 3 {
+		t.Fatal("initial state wrong")
+	}
+	if err := d.Deactivate("b"); err != nil {
+		t.Fatal(err)
+	}
+	if d.Active("b") {
+		t.Error("b still active")
+	}
+	if got := len(d.ActiveAPs()); got != 2 {
+		t.Errorf("ActiveAPs = %d, want 2", got)
+	}
+	if err := d.Reactivate("b"); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Active("b") {
+		t.Error("b not reactivated")
+	}
+	if err := d.Deactivate("zz"); err == nil {
+		t.Error("unknown deactivate accepted")
+	}
+	if err := d.Reactivate("zz"); err == nil {
+		t.Error("unknown reactivate accepted")
+	}
+	if d.Active("zz") {
+		t.Error("unknown BSSID reported active")
+	}
+}
+
+func TestExpectedRSS(t *testing.T) {
+	d, err := NewDeployment(sampleAPs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rf.LogDistance{}
+	v, ok := d.ExpectedRSS(m, "a", geo.Pt(0, 20)) // 10 m away
+	if !ok || v != -60 {
+		t.Errorf("ExpectedRSS = (%v, %v), want (-60, true)", v, ok)
+	}
+	if _, ok := d.ExpectedRSS(m, "zz", geo.Pt(0, 0)); ok {
+		t.Error("unknown AP returned RSS")
+	}
+	if err := d.Deactivate("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.ExpectedRSS(m, "a", geo.Pt(0, 0)); ok {
+		t.Error("inactive AP returned RSS")
+	}
+}
+
+func TestScanRankOrderAndTies(t *testing.T) {
+	s := Scan{Readings: []Reading{
+		{BSSID: "d", RSSI: -70},
+		{BSSID: "a", RSSI: -50},
+		{BSSID: "c", RSSI: -70},
+		{BSSID: "b", RSSI: -60},
+	}}
+	order := s.RankOrder()
+	want := []BSSID{"a", "b", "c", "d"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("RankOrder = %v, want %v", order, want)
+		}
+	}
+	ties := s.Ties()
+	if len(ties) != 3 {
+		t.Fatalf("Ties groups = %d, want 3", len(ties))
+	}
+	if len(ties[2]) != 2 || ties[2][0] != "c" || ties[2][1] != "d" {
+		t.Errorf("tie group = %v, want [c d]", ties[2])
+	}
+	top, ok := s.Strongest()
+	if !ok || top != "a" {
+		t.Errorf("Strongest = %v, %v", top, ok)
+	}
+}
+
+func TestScanEmpty(t *testing.T) {
+	var s Scan
+	if _, ok := s.Strongest(); ok {
+		t.Error("empty scan has strongest AP")
+	}
+	if got := s.RankOrder(); len(got) != 0 {
+		t.Errorf("RankOrder on empty = %v", got)
+	}
+}
+
+func TestSensorScanAt(t *testing.T) {
+	d, err := NewDeployment(sampleAPs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := rf.NewReceiver(rf.LogDistance{}, rf.NoNoise, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sensor, err := NewSensor(d, rx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := time.Date(2016, 3, 1, 8, 0, 0, 0, time.UTC)
+	scan := sensor.ScanAt(geo.Pt(0, 0), at)
+	if !scan.Time.Equal(at) {
+		t.Errorf("scan time = %v", scan.Time)
+	}
+	// AP a is 10 m away (-60), b ~51 m (-81.1), c ~100.5 m (-84) — all
+	// above the -90 floor.
+	if len(scan.Readings) != 3 {
+		t.Fatalf("readings = %v", scan.Readings)
+	}
+	if top, _ := scan.Strongest(); top != "a" {
+		t.Errorf("strongest = %v, want a", top)
+	}
+
+	// Deactivated APs disappear from scans.
+	if err := d.Deactivate("a"); err != nil {
+		t.Fatal(err)
+	}
+	scan2 := sensor.ScanAt(geo.Pt(0, 0), at)
+	for _, r := range scan2.Readings {
+		if r.BSSID == "a" {
+			t.Error("inactive AP present in scan")
+		}
+	}
+}
+
+func TestNewSensorValidation(t *testing.T) {
+	if _, err := NewSensor(nil, nil); err == nil {
+		t.Error("nil args accepted")
+	}
+}

@@ -1,0 +1,144 @@
+// Package xrand provides a deterministic, splittable pseudo-random number
+// generator used by every stochastic component of the WiLocator simulation.
+//
+// Determinism matters here: an experiment harness seeds one root generator,
+// then derives an independent stream per component (each AP's shadowing, each
+// bus's driver behaviour, each phone's scan jitter). Two runs with the same
+// scenario seed produce byte-identical results regardless of the order in
+// which components consume randomness.
+package xrand
+
+import "math"
+
+// Rand is a small, fast PRNG (xoshiro256** seeded via splitmix64). The zero
+// value is not usable; construct with New or Split.
+type Rand struct {
+	s [4]uint64
+	// spare caches the second value of a Box-Muller pair for NormFloat64.
+	spare    float64
+	hasSpare bool
+}
+
+// New returns a generator seeded from seed.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	sm := seed
+	for i := range r.s {
+		sm, r.s[i] = splitmix64(sm)
+	}
+	// xoshiro must not start at the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9E3779B97F4A7C15
+	}
+	return r
+}
+
+// Split derives an independent generator from r using a label, without
+// disturbing r's own stream. Identical (state, label) pairs yield identical
+// children, which is what makes per-component determinism order-independent.
+func (r *Rand) Split(label string) *Rand {
+	h := uint64(14695981039346656037) // FNV-64 offset basis
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	return New(r.s[0] ^ r.s[3] ^ h)
+}
+
+// SplitN derives an independent generator from r using an integer label.
+func (r *Rand) SplitN(label string, n int) *Rand {
+	child := r.Split(label)
+	return New(child.s[1] ^ (uint64(n)+1)*0x9E3779B97F4A7C15)
+}
+
+func splitmix64(state uint64) (next, out uint64) {
+	state += 0x9E3779B97F4A7C15
+	z := state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return state, z ^ (z >> 31)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (r *Rand) Uint64() uint64 {
+	res := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return res
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Range returns a uniform value in [lo, hi).
+func (r *Rand) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool { return r.Float64() < p }
+
+// NormFloat64 returns a standard normal variate via Box-Muller.
+func (r *Rand) NormFloat64() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	m := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * m
+	r.hasSpare = true
+	return u * m
+}
+
+// Norm returns a normal variate with the given mean and standard deviation.
+func (r *Rand) Norm(mean, stddev float64) float64 {
+	return mean + stddev*r.NormFloat64()
+}
+
+// Exp returns an exponentially distributed variate with the given mean.
+func (r *Rand) Exp(mean float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

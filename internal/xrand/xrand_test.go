@@ -1,0 +1,186 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d collisions between different seeds", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	root := New(7)
+	c1 := root.Split("shadowing")
+	c2 := root.Split("dwell")
+	if c1.Uint64() == c2.Uint64() {
+		t.Error("different labels produced identical child streams")
+	}
+
+	// Splitting must not disturb the parent stream.
+	r1 := New(7)
+	r2 := New(7)
+	_ = r1.Split("anything")
+	if r1.Uint64() != r2.Uint64() {
+		t.Error("Split consumed parent state")
+	}
+
+	// Same label, same parent state -> same child.
+	d1 := New(9).Split("x")
+	d2 := New(9).Split("x")
+	if d1.Uint64() != d2.Uint64() {
+		t.Error("identical splits differ")
+	}
+}
+
+func TestSplitN(t *testing.T) {
+	root := New(3)
+	a := root.SplitN("bus", 0)
+	b := root.SplitN("bus", 1)
+	if a.Uint64() == b.Uint64() {
+		t.Error("SplitN children with different indices are identical")
+	}
+	c := New(3).SplitN("bus", 0)
+	d := New(3).SplitN("bus", 0)
+	if c.Uint64() != d.Uint64() {
+		t.Error("SplitN is not deterministic")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(13)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntn(t *testing.T) {
+	r := New(17)
+	counts := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		counts[r.Intn(10)]++
+	}
+	for v, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Errorf("Intn(10) bucket %d count %d, want ~1000", v, c)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestRange(t *testing.T) {
+	r := New(19)
+	for i := 0; i < 1000; i++ {
+		v := r.Range(-5, 5)
+		if v < -5 || v >= 5 {
+			t.Fatalf("Range = %v out of [-5,5)", v)
+		}
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(23)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Norm(10, 3)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Errorf("norm mean = %v, want ~10", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-3) > 0.05 {
+		t.Errorf("norm stddev = %v, want ~3", math.Sqrt(variance))
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(29)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.Exp(4)
+		if v < 0 {
+			t.Fatalf("Exp produced negative value %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-4) > 0.1 {
+		t.Errorf("exp mean = %v, want ~4", mean)
+	}
+}
+
+func TestBool(t *testing.T) {
+	r := New(31)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.25) > 0.01 {
+		t.Errorf("Bool(0.25) frequency = %v", p)
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := New(37)
+	p := r.Perm(50)
+	seen := make(map[int]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 50 {
+		t.Fatalf("permutation missing elements: %v", p)
+	}
+}

@@ -1,0 +1,100 @@
+package wilocator
+
+import (
+	"time"
+
+	"wilocator/internal/locate"
+	"wilocator/internal/mobility"
+	"wilocator/internal/sensing"
+	"wilocator/internal/trafficmap"
+	"wilocator/internal/xrand"
+)
+
+// Simulation and tracking toolkit. Real deployments feed the System from
+// actual phones; everything here exists so that examples, benchmarks and
+// downstream users can generate the same crowd-sensing traffic synthetically
+// and use the positioning pipeline standalone.
+
+type (
+	// CongestionField is the deterministic travel-time multiplier field
+	// (rush-hour profile + persistent and smooth stochastic components).
+	CongestionField = mobility.CongestionField
+	// Trip is the ground-truth motion of one simulated bus run.
+	Trip = mobility.Trip
+	// Incident is an injectable traffic anomaly.
+	Incident = mobility.Incident
+	// DriveConfig tunes simulated driving.
+	DriveConfig = mobility.DriveConfig
+	// TimetableSpec tunes bus dispatching.
+	TimetableSpec = mobility.TimetableSpec
+
+	// Phone simulates one rider's smartphone.
+	Phone = sensing.Phone
+	// PhoneConfig tunes a phone's receiver and report loss.
+	PhoneConfig = sensing.PhoneConfig
+
+	// Positioner turns single scans into route positions via the SVD.
+	Positioner = locate.Positioner
+	// Tracker strings fixes into a forward-progress trajectory.
+	Tracker = locate.Tracker
+	// TrackerConfig tunes a tracker.
+	TrackerConfig = locate.TrackerConfig
+	// Crossing is an interpolated segment-boundary passage.
+	Crossing = locate.Crossing
+	// Prior carries the mobility constraint between fixes.
+	Prior = locate.Prior
+)
+
+// NewCongestion returns the default congestion field for a seed.
+func NewCongestion(seed uint64) *CongestionField { return mobility.DefaultCongestion(seed) }
+
+// DriveTrip simulates one ground-truth bus trip on routeID departing at
+// start, deterministically from seed.
+func DriveTrip(net *Network, routeID string, start time.Time, cfg DriveConfig,
+	field *CongestionField, incidents []Incident, seed uint64) (*Trip, error) {
+	return mobility.Drive(net, routeID, start, cfg, field, incidents, xrand.New(seed))
+}
+
+// Timetable returns the departure times of route on the service day of day.
+func Timetable(route *Route, day time.Time, spec TimetableSpec) ([]time.Time, error) {
+	return mobility.Timetable(route, day, spec)
+}
+
+// NewRiderPhones creates n simulated phones riding bus busID.
+func NewRiderPhones(busID string, n int, dep *Deployment, cfg PhoneConfig, seed uint64) ([]*Phone, error) {
+	return sensing.NewRiderPhones(busID, n, dep, cfg, xrand.New(seed))
+}
+
+// FuseScans merges the scans of one bus's riders for one cycle, averaging
+// per-AP RSS (the paper's stable average-rank observation).
+func FuseScans(scans []Scan) Scan { return sensing.Fuse(scans) }
+
+// ScanPeriod is the paper's WiFi scan period.
+const ScanPeriod = sensing.DefaultScanPeriod
+
+// NewPositioner creates an SVD positioner at the given tile order.
+func NewPositioner(dia *Diagram, order int) (*Positioner, error) {
+	return locate.NewPositioner(dia, order)
+}
+
+// NewTracker creates a per-bus tracker over a positioner.
+func NewTracker(pos *Positioner, routeID string, cfg TrackerConfig) (*Tracker, error) {
+	return locate.NewTracker(pos, routeID, cfg)
+}
+
+// DetectAnomalies finds traffic-anomaly sites in a trajectory: runs of at
+// least minPoints fixes spaced below delta metres, excluding sites within
+// excludeRadius of the excludeArcs (stops, signals).
+func DetectAnomalies(traj []TrajectoryPoint, delta float64, minPoints int,
+	excludeArcs []float64, excludeRadius float64) []Anomaly {
+	return trafficmap.DetectAnomalies(traj, delta, minPoints, excludeArcs, excludeRadius)
+}
+
+// TripTraversal is one ground-truth segment traversal of a simulated trip.
+type TripTraversal = mobility.Traversal
+
+// TripTraversals extracts the per-segment traversals of a simulated trip —
+// the records an offline-training phase feeds into System.AddTravelTime.
+func TripTraversals(net *Network, trip *Trip) ([]TripTraversal, error) {
+	return mobility.Traversals(net, trip)
+}

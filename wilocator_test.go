@@ -1,0 +1,309 @@
+package wilocator_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"wilocator"
+)
+
+var simEpoch = time.Date(2016, 3, 7, 13, 0, 0, 0, time.UTC)
+
+// publicWorld assembles a small scenario purely through the public API.
+type publicWorld struct {
+	net   *wilocator.Network
+	dep   *wilocator.Deployment
+	sys   *wilocator.System
+	clock time.Time
+}
+
+func newPublicWorld(t *testing.T, roadLen float64, seed uint64) *publicWorld {
+	t.Helper()
+	net, err := wilocator.BuildCampusNetwork(roadLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := wilocator.DeployAPs(net, wilocator.DefaultDeploySpec(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &publicWorld{net: net, dep: dep, clock: simEpoch}
+	cfg := wilocator.Config{}
+	cfg.Server.Now = func() time.Time { return w.clock }
+	w.sys, err = wilocator.New(net, dep, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// rideBus replays a simulated trip into the system via Ingest.
+func (w *publicWorld) rideBus(t *testing.T, busID string, seed uint64) *wilocator.Trip {
+	t.Helper()
+	trip, err := wilocator.DriveTrip(w.net, "campus", w.clock, wilocator.DriveConfig{},
+		wilocator.NewCongestion(seed), nil, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phones, err := wilocator.NewRiderPhones(busID, 4, w.dep, wilocator.PhoneConfig{}, seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	route := w.net.Routes()[0]
+	for at := trip.Start(); !trip.Done(at); at = at.Add(wilocator.ScanPeriod) {
+		w.clock = at
+		pos := route.PointAt(trip.ArcAt(at))
+		for _, p := range phones {
+			scan, ok := p.ScanAt(pos, at)
+			if !ok {
+				continue
+			}
+			if _, err := w.sys.Ingest(wilocator.Report{
+				BusID: busID, RouteID: "campus", PhoneID: p.ID(), Scan: scan,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return trip
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	w := newPublicWorld(t, 1500, 7)
+	if got := w.sys.Diagram().NumCells(); got == 0 {
+		t.Fatal("diagram has no cells")
+	}
+	infos := w.sys.RouteInfos()
+	if len(infos) != 1 || infos[0].Stops != 2 {
+		t.Fatalf("route infos = %+v", infos)
+	}
+
+	// Ride the bus halfway and interrogate live state.
+	trip, err := wilocator.DriveTrip(w.net, "campus", w.clock, wilocator.DriveConfig{},
+		wilocator.NewCongestion(1), nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phones, err := wilocator.NewRiderPhones("b", 4, w.dep, wilocator.PhoneConfig{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	route := w.net.Routes()[0]
+	half := trip.Start().Add(trip.Duration() / 2)
+	for at := trip.Start(); at.Before(half); at = at.Add(wilocator.ScanPeriod) {
+		w.clock = at
+		pos := route.PointAt(trip.ArcAt(at))
+		for _, p := range phones {
+			if scan, ok := p.ScanAt(pos, at); ok {
+				if _, err := w.sys.Ingest(wilocator.Report{BusID: "b", RouteID: "campus", PhoneID: p.ID(), Scan: scan}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+
+	vehicles := w.sys.Vehicles("campus")
+	if len(vehicles) != 1 {
+		t.Fatalf("vehicles = %+v", vehicles)
+	}
+	truth := trip.ArcAt(vehicles[0].Updated.Add(-wilocator.ScanPeriod))
+	if e := math.Abs(vehicles[0].Arc - truth); e > 40 {
+		t.Errorf("live position error %.1f m", e)
+	}
+
+	arr, err := w.sys.Arrivals("campus", route.NumStops()-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arr) != 1 {
+		t.Fatalf("arrivals = %+v", arr)
+	}
+	// Cold-start prediction (no history): just require a future, sane ETA.
+	if !arr[0].ETA.After(w.clock) || arr[0].ETA.Sub(w.clock) > 2*time.Hour {
+		t.Errorf("eta = %v", arr[0].ETA)
+	}
+
+	tmap, err := w.sys.TrafficMap("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmap.Segments) == 0 {
+		t.Error("empty traffic map")
+	}
+}
+
+func TestPublicAPITraining(t *testing.T) {
+	w := newPublicWorld(t, 1200, 11)
+	route := w.net.Routes()[0]
+	// Feed historical traversals through the public store entry point.
+	field := wilocator.NewCongestion(5)
+	for i := 0; i < 10; i++ {
+		start := simEpoch.Add(time.Duration(-200+i*10) * time.Minute)
+		trip, err := wilocator.DriveTrip(w.net, "campus", start, wilocator.DriveConfig{}, field, nil, uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		trs, err := wilocator.TripTraversals(w.net, trip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(trs) != route.NumSegments() {
+			t.Fatalf("traversals = %d, want %d", len(trs), route.NumSegments())
+		}
+		for _, tr := range trs {
+			if err := w.sys.AddTravelTime(tr.Seg, tr.RouteID, tr.Enter, tr.Exit); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// A trained system still tracks; once the bus goes quiet past the
+	// staleness window it disappears from the live list.
+	w.rideBus(t, "trained-bus", 21)
+	w.clock = w.clock.Add(10 * time.Minute)
+	if n := len(w.sys.Vehicles("")); n != 0 {
+		t.Errorf("%d vehicles alive 10 min after the last report", n)
+	}
+}
+
+func TestPublicAPIOverHTTP(t *testing.T) {
+	w := newPublicWorld(t, 1000, 13)
+	ts := httptest.NewServer(w.sys.Handler())
+	defer ts.Close()
+	c, err := wilocator.NewClient(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	routes, err := c.Routes(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes.Routes) != 1 {
+		t.Fatalf("routes = %+v", routes)
+	}
+	if err := c.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wilocator.NewClient("::bad::"); err == nil {
+		t.Error("invalid URL accepted")
+	}
+}
+
+func TestPublicGeometryHelpers(t *testing.T) {
+	net, err := wilocator.BuildVancouverNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Routes()) != 4 {
+		t.Fatalf("routes = %d", len(net.Routes()))
+	}
+	dep, err := wilocator.NewDeployment([]*wilocator.AP{
+		{BSSID: "x", Pos: wilocator.Point{X: 1, Y: 2}, RefRSS: -30, PathLossExp: 3},
+	})
+	if err != nil || dep.NumAPs() != 1 {
+		t.Fatalf("deployment: %v, %v", dep, err)
+	}
+	dia, err := wilocator.BuildDiagram(net, dep, wilocator.DiagramConfig{GridStep: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dia.Order() != 2 {
+		t.Errorf("order = %d", dia.Order())
+	}
+}
+
+func TestPublicFuseAndDetect(t *testing.T) {
+	fused := wilocator.FuseScans([]wilocator.Scan{
+		{Readings: []wilocator.Reading{{BSSID: "a", RSSI: -60}}},
+		{Readings: []wilocator.Reading{{BSSID: "a", RSSI: -64}}},
+	})
+	if len(fused.Readings) != 1 || fused.Readings[0].RSSI != -62 {
+		t.Errorf("fused = %+v", fused)
+	}
+
+	traj := []wilocator.TrajectoryPoint{
+		{Arc: 0, Time: simEpoch},
+		{Arc: 80, Time: simEpoch.Add(10 * time.Second)},
+		{Arc: 84, Time: simEpoch.Add(20 * time.Second)},
+		{Arc: 88, Time: simEpoch.Add(30 * time.Second)},
+		{Arc: 92, Time: simEpoch.Add(40 * time.Second)},
+		{Arc: 170, Time: simEpoch.Add(50 * time.Second)},
+	}
+	anoms := wilocator.DetectAnomalies(traj, 20, 3, nil, 0)
+	if len(anoms) != 1 {
+		t.Fatalf("anomalies = %+v", anoms)
+	}
+}
+
+func ExampleNew() {
+	net, _ := wilocator.BuildCampusNetwork(500)
+	dep, _ := wilocator.DeployAPs(net, wilocator.DefaultDeploySpec(), 42)
+	sys, _ := wilocator.New(net, dep, wilocator.Config{})
+	for _, info := range sys.RouteInfos() {
+		fmt.Printf("%s: %d stops over %.1f km\n", info.Name, info.Stops, info.LengthKm)
+	}
+	// Output:
+	// Campus Shuttle: 2 stops over 0.5 km
+}
+
+func ExampleTimetable() {
+	net, _ := wilocator.BuildVancouverNetwork()
+	route, _ := net.Route("RapidLine")
+	day := time.Date(2016, 3, 7, 0, 0, 0, 0, time.UTC)
+	departures, _ := wilocator.Timetable(route, day, wilocator.TimetableSpec{})
+	fmt.Printf("%d departures, first at %s\n", len(departures), departures[0].Format("15:04"))
+	// Output:
+	// 170 departures, first at 06:00
+}
+
+func TestPublicPersistence(t *testing.T) {
+	w := newPublicWorld(t, 800, 17)
+	route := w.net.Routes()[0]
+	seg := route.Segments()[0]
+	base := simEpoch.Add(-2 * time.Hour)
+	for i := 0; i < 5; i++ {
+		enter := base.Add(time.Duration(i) * 10 * time.Minute)
+		if err := w.sys.AddTravelTime(seg, "campus", enter, enter.Add(90*time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := w.sys.SaveTravelTimes(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh system restores the history and predicts from it.
+	w2 := newPublicWorld(t, 800, 17)
+	if err := w2.sys.LoadTravelTimes(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	// Same snapshot comes back out byte-identical (deterministic encode).
+	var buf2 bytes.Buffer
+	if err := w2.sys.SaveTravelTimes(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("snapshot changed across save/load/save")
+	}
+	if err := w2.sys.LoadTravelTimes(bytes.NewReader([]byte("{bad"))); err == nil {
+		t.Error("malformed snapshot accepted")
+	}
+}
+
+func TestPublicStops(t *testing.T) {
+	w := newPublicWorld(t, 600, 19)
+	stops, err := w.sys.Stops("campus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stops) != 2 || stops[1].Arc != 600 {
+		t.Fatalf("stops = %+v", stops)
+	}
+	if _, err := w.sys.Stops("nope"); err == nil {
+		t.Error("unknown route accepted")
+	}
+}
