@@ -1,0 +1,32 @@
+GO ?= go
+FUZZTIME ?= 5s
+
+.PHONY: ci vet build test race fuzz-smoke bench
+
+# ci is the full local gate: static checks, the race-instrumented test
+# suite (including the internal/loadtest fleet replay) and a short fuzz
+# smoke on every fuzz target.
+ci: vet build race fuzz-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Each -fuzz invocation takes one package and one target.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzHandlerReports -fuzztime=$(FUZZTIME) ./internal/server
+	$(GO) test -run='^$$' -fuzz=FuzzHandlerQueries -fuzztime=$(FUZZTIME) ./internal/server
+	$(GO) test -run='^$$' -fuzz=FuzzReadNetwork -fuzztime=$(FUZZTIME) ./internal/roadnet
+	$(GO) test -run='^$$' -fuzz=FuzzRouteArcQueries -fuzztime=$(FUZZTIME) ./internal/roadnet
+	$(GO) test -run='^$$' -fuzz=FuzzReadFrom -fuzztime=$(FUZZTIME) ./internal/traveltime
+
+bench:
+	$(GO) test -bench=. -benchmem

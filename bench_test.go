@@ -13,6 +13,7 @@ package wilocator_test
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -421,9 +422,69 @@ func BenchmarkServerIngest(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := svc.Ingest(reports[i%len(reports)]); err != nil {
+		rep := reports[i%len(reports)]
+		// Keep scan times monotone across the wrap: the service drops scans
+		// that fall in already-fused windows, which would turn long runs into
+		// a benchmark of the drop path.
+		rep.Scan.Time = t0.Add(time.Duration(i) * 2500 * time.Millisecond)
+		if _, err := svc.Ingest(rep); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkIngestParallel measures concurrent report ingestion through the
+// sharded service with b.RunParallel: every worker is a rider phone, the
+// fleet size selects how much lock contention lands on one bus. buses=1 is
+// the worst case (all workers serialise on one busState mutex); buses=64
+// spreads workers across shards and should scale with GOMAXPROCS.
+func BenchmarkIngestParallel(b *testing.B) {
+	for _, buses := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("buses=%d", buses), func(b *testing.B) {
+			_, dep, dia := microWorld(b)
+			store := traveltime.NewStore(traveltime.PaperPlan())
+			svc, err := server.NewService(dia, store, server.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			route := dia.Network().Routes()[0]
+			rx, err := newBenchSensor(dep)
+			if err != nil {
+				b.Fatal(err)
+			}
+			t0 := time.Date(2016, 3, 7, 13, 0, 0, 0, time.UTC)
+			scans := make([]wifi.Scan, 64)
+			for i := range scans {
+				arc := float64(i) * 20
+				if arc > route.Length()-1 {
+					arc = route.Length() - 1
+				}
+				scans[i] = rx.ScanAt(route.PointAt(arc), t0)
+			}
+			// One monotone clock per bus: each Ingest gets a fresh, strictly
+			// later scan time no matter which worker delivers it, so the
+			// steady-state path (buffer, periodically flush) dominates.
+			clocks := make([]atomic.Int64, buses)
+			var workers atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				w := int(workers.Add(1) - 1)
+				bus := w % buses
+				busID := fmt.Sprintf("bus-%03d", bus)
+				phoneID := fmt.Sprintf("p%d", w)
+				for pb.Next() {
+					n := clocks[bus].Add(1)
+					scan := scans[int(n)%len(scans)]
+					scan.Time = t0.Add(time.Duration(n) * 2 * time.Second)
+					if _, err := svc.Ingest(api.Report{
+						BusID: busID, RouteID: route.ID(), PhoneID: phoneID, Scan: scan,
+					}); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
 	}
 }
 

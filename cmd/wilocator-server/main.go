@@ -8,6 +8,7 @@
 //
 //	wilocator-server [-addr :8421] [-network vancouver|campus] [-seed 42]
 //	                 [-ap-spacing 35] [-campus-length 2500] [-store history.json]
+//	                 [-shards 32] [-evict-every 1m]
 //
 // With -store, the historical travel-time store is loaded from the file at
 // startup (if it exists) and saved back on SIGINT/SIGTERM, so offline
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"wilocator"
+	"wilocator/internal/server"
 )
 
 func main() {
@@ -45,6 +47,8 @@ func run() error {
 		campusLength = flag.Float64("campus-length", 2500, "campus road length in metres")
 		storePath    = flag.String("store", "", "travel-time store snapshot to load at start and save on shutdown")
 		networkFile  = flag.String("network-file", "", "load the road network from a JSON file instead of a generator")
+		shards       = flag.Int("shards", 0, "bus-state shards for concurrent ingestion (0 = default, rounded up to a power of two)")
+		evictEvery   = flag.Duration("evict-every", time.Minute, "period of the stale-bus eviction sweep (0 disables)")
 	)
 	flag.Parse()
 
@@ -84,7 +88,7 @@ func run() error {
 		*networkKind, len(net.Routes()), net.Graph.NumSegments(), dep.NumAPs())
 
 	start := time.Now()
-	sys, err := wilocator.New(net, dep, wilocator.Config{})
+	sys, err := wilocator.New(net, dep, wilocator.Config{Server: server.Config{Shards: *shards}})
 	if err != nil {
 		return err
 	}
@@ -106,6 +110,20 @@ func run() error {
 		Addr:              *addr,
 		Handler:           sys.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	// Sweep finished and stale buses periodically so a long-running server's
+	// tracking state stays bounded by the live fleet, not its history.
+	if *evictEvery > 0 {
+		ticker := time.NewTicker(*evictEvery)
+		defer ticker.Stop()
+		go func() {
+			for range ticker.C {
+				if n := sys.EvictStale(); n > 0 {
+					log.Printf("evicted %d stale buses", n)
+				}
+			}
+		}()
 	}
 
 	// Serve until SIGINT/SIGTERM, then snapshot the store and drain.
@@ -131,6 +149,9 @@ func run() error {
 			return err
 		}
 	}
+	st := sys.Stats()
+	log.Printf("ingest stats: accepted=%d rejected=%d late-dropped=%d flushes=%d located=%d registered=%d evicted=%d",
+		st.Accepted, st.Rejected, st.LateDropped, st.Flushes, st.Located, st.Registered, st.Evicted)
 	return nil
 }
 

@@ -38,11 +38,42 @@ type Report struct {
 // cycle, the fresh estimate is included.
 type IngestResponse struct {
 	Accepted bool `json:"accepted"`
+	// Reason explains why a report was not accepted without being an error
+	// (e.g. ReasonLateScan); empty when Accepted.
+	Reason string `json:"reason,omitempty"`
 	// Located is true when this report triggered a new position fix.
 	Located bool `json:"located"`
 	// Arc is the fused position estimate (metres along the route) when
 	// Located.
 	Arc float64 `json:"arc,omitempty"`
+}
+
+// ReasonLateScan marks a report whose scan time falls in an older fusion
+// window than the bus's current bucket. Appending it would corrupt the
+// bucket (the window has already been fused), so the server drops it and
+// counts the drop instead.
+const ReasonLateScan = "late-scan"
+
+// IngestStats counts report-processing outcomes since server start. All
+// counters are cumulative and monotone.
+type IngestStats struct {
+	// Accepted counts reports buffered into a fusion bucket.
+	Accepted uint64 `json:"accepted"`
+	// Rejected counts reports refused with an error (bad IDs, unknown
+	// route, route mismatch).
+	Rejected uint64 `json:"rejected"`
+	// LateDropped counts reports dropped because their scan fell in an
+	// already-fused (older) fusion window.
+	LateDropped uint64 `json:"lateDropped"`
+	// Flushes counts completed fusion windows; Located counts the flushes
+	// that produced a position fix.
+	Flushes uint64 `json:"flushes"`
+	Located uint64 `json:"located"`
+	// Registered counts bus (re-)registrations: first report of a bus, or
+	// a report after the bus finished or went stale.
+	Registered uint64 `json:"registered"`
+	// Evicted counts buses removed from memory by EvictStale.
+	Evicted uint64 `json:"evicted"`
 }
 
 // VehicleStatus is the live state of one tracked bus.

@@ -1,0 +1,176 @@
+// Package loadtest is the fleet-scale stress, race and replay-equivalence
+// harness for the WiLocator back-end.
+//
+// The paper's deployment model is crowd-sensed: many phones on many buses
+// report scans concurrently to one server (Section V, Fig. 4). This package
+// turns "safe for concurrent use" from a doc comment into a tested
+// invariant:
+//
+//  1. GenStreams builds a deterministic simulated fleet — N buses × M rider
+//     phones driving real mobility-model trips — and perturbs each bus's
+//     report stream with duplicated and out-of-order deliveries, seeded by
+//     xrand so two calls with one spec yield byte-identical streams.
+//  2. ReplaySequential and ReplayConcurrent push the same streams through
+//     the full Ingest → position → travel-time → predict pipeline, one
+//     goroutine per bus in the concurrent case, with rider-query workers
+//     hammering the read API throughout.
+//  3. The tests assert the two replays leave *identical* state behind:
+//     per-bus trajectories equal fix-for-fix and the travel-time stores
+//     equivalent under traveltime.Diff — so the sharded service is not just
+//     race-free (go test -race) but semantically order-independent across
+//     buses.
+package loadtest
+
+import (
+	"fmt"
+	"time"
+
+	"wilocator/internal/api"
+	"wilocator/internal/mobility"
+	"wilocator/internal/roadnet"
+	"wilocator/internal/sensing"
+	"wilocator/internal/svd"
+	"wilocator/internal/wifi"
+	"wilocator/internal/xrand"
+)
+
+// T0 is the fleet's epoch: a weekday mid-morning, away from slot-plan
+// boundaries.
+var T0 = time.Date(2016, 3, 7, 9, 0, 0, 0, time.UTC)
+
+// World bundles the immutable scenario every replay shares: the road
+// network, the AP deployment and the built Signal Voronoi Diagram. It is
+// read-only after BuildWorld and safe to share between services.
+type World struct {
+	Net *roadnet.Network
+	Dep *wifi.Deployment
+	Dia *svd.Diagram
+}
+
+// BuildWorld constructs the four-route Vancouver network with a coarse
+// (fast-to-build) AP deployment, deterministically from seed.
+func BuildWorld(seed uint64) (*World, error) {
+	net, err := roadnet.BuildVancouver(roadnet.DefaultVancouverSpec())
+	if err != nil {
+		return nil, err
+	}
+	spec := wifi.DefaultDeploySpec()
+	spec.Spacing = 120 // coarse deployment keeps the diagram build fast
+	dep, err := wifi.Deploy(net, spec, xrand.New(seed))
+	if err != nil {
+		return nil, err
+	}
+	dia, err := svd.Build(net, dep, svd.Config{GridStep: -1})
+	if err != nil {
+		return nil, err
+	}
+	return &World{Net: net, Dep: dep, Dia: dia}, nil
+}
+
+// StreamSpec parameterises a simulated fleet.
+type StreamSpec struct {
+	// Buses is the fleet size; buses round-robin over the world's routes
+	// with a per-route headway between consecutive departures.
+	Buses int
+	// Phones is the number of rider phones reporting on each bus.
+	Phones int
+	// Seed drives every stochastic choice (trips, scans, perturbation).
+	Seed uint64
+	// Horizon caps each bus's replayed trip length. Default 10 min.
+	Horizon time.Duration
+	// Headway separates consecutive departures on one route. Default 90 s.
+	Headway time.Duration
+	// DupProb duplicates a report in the delivery stream (at-least-once
+	// delivery, e.g. an HTTP retry after a lost ACK).
+	DupProb float64
+	// SwapProb swaps adjacent reports in the delivery stream (out-of-order
+	// arrival, e.g. two phones racing over the network).
+	SwapProb float64
+}
+
+func (s StreamSpec) withDefaults() StreamSpec {
+	if s.Horizon <= 0 {
+		s.Horizon = 10 * time.Minute
+	}
+	if s.Headway <= 0 {
+		s.Headway = 90 * time.Second
+	}
+	return s
+}
+
+// BusStream is the delivery-ordered report stream of one bus. Reports must
+// be delivered in slice order (the perturbation is baked in); different
+// buses' streams may interleave arbitrarily.
+type BusStream struct {
+	BusID   string
+	RouteID string
+	Reports []api.Report
+}
+
+// GenStreams simulates the fleet and returns one perturbed report stream
+// per bus. The result is a pure function of (world, spec): replaying the
+// same streams twice — in any cross-bus interleaving — must drive the
+// service to equivalent state.
+func GenStreams(w *World, spec StreamSpec) ([]BusStream, error) {
+	spec = spec.withDefaults()
+	if spec.Buses <= 0 || spec.Phones <= 0 {
+		return nil, fmt.Errorf("loadtest: need positive buses and phones, got %d and %d", spec.Buses, spec.Phones)
+	}
+	routes := w.Net.Routes()
+	root := xrand.New(spec.Seed)
+	streams := make([]BusStream, 0, spec.Buses)
+	for i := 0; i < spec.Buses; i++ {
+		route := routes[i%len(routes)]
+		busID := fmt.Sprintf("bus-%03d", i)
+		start := T0.Add(time.Duration(i/len(routes)) * spec.Headway)
+		field := mobility.DefaultCongestion(spec.Seed + uint64(i))
+		trip, err := mobility.Drive(w.Net, route.ID(), start, mobility.DriveConfig{}, field, nil, root.SplitN("trip", i))
+		if err != nil {
+			return nil, fmt.Errorf("loadtest: bus %s: %w", busID, err)
+		}
+		phones, err := sensing.NewRiderPhones(busID, spec.Phones, w.Dep, sensing.PhoneConfig{ReportLoss: -1}, root.SplitN("phones", i))
+		if err != nil {
+			return nil, fmt.Errorf("loadtest: bus %s: %w", busID, err)
+		}
+		horizon := start.Add(spec.Horizon)
+		var reports []api.Report
+		for at := trip.Start(); !trip.Done(at) && at.Before(horizon); at = at.Add(sensing.DefaultScanPeriod) {
+			pos := route.PointAt(trip.ArcAt(at))
+			for _, p := range phones {
+				scan, ok := p.ScanAt(pos, at)
+				if !ok {
+					continue
+				}
+				reports = append(reports, api.Report{
+					BusID: busID, RouteID: route.ID(), PhoneID: p.ID(), Scan: scan,
+				})
+			}
+		}
+		reports = perturb(reports, root.SplitN("perturb", i), spec)
+		streams = append(streams, BusStream{BusID: busID, RouteID: route.ID(), Reports: reports})
+	}
+	return streams, nil
+}
+
+// perturb injects at-least-once and out-of-order delivery into one bus's
+// stream, deterministically from rng: first each report may be duplicated
+// in place, then adjacent pairs may swap. A swap across a fusion-window
+// boundary yields a genuinely late scan, exercising the server's counted
+// late-drop path.
+func perturb(in []api.Report, rng *xrand.Rand, spec StreamSpec) []api.Report {
+	out := make([]api.Report, 0, len(in)+len(in)/8)
+	for _, rep := range in {
+		out = append(out, rep)
+		if spec.DupProb > 0 && rng.Bool(spec.DupProb) {
+			out = append(out, rep)
+		}
+	}
+	if spec.SwapProb > 0 {
+		for k := 0; k+1 < len(out); k += 2 {
+			if rng.Bool(spec.SwapProb) {
+				out[k], out[k+1] = out[k+1], out[k]
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,210 @@
+package loadtest
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wilocator/internal/server"
+	"wilocator/internal/traveltime"
+)
+
+var (
+	worldOnce sync.Once
+	sharedW   *World
+	worldErr  error
+)
+
+// testWorld builds the Vancouver world once and shares it across tests —
+// the diagram is immutable, so this is itself part of the concurrency
+// contract under test.
+func testWorld(t *testing.T) *World {
+	t.Helper()
+	worldOnce.Do(func() { sharedW, worldErr = BuildWorld(42) })
+	if worldErr != nil {
+		t.Fatal(worldErr)
+	}
+	return sharedW
+}
+
+func testSpec() StreamSpec {
+	spec := StreamSpec{
+		Buses:    12,
+		Phones:   3,
+		Seed:     7,
+		Horizon:  12 * time.Minute,
+		DupProb:  0.03,
+		SwapProb: 0.08,
+	}
+	if testing.Short() {
+		spec.Buses = 6
+		spec.Horizon = 6 * time.Minute
+	}
+	return spec
+}
+
+// TestStreamDeterminism: the fleet generator is a pure function of its
+// spec — the foundation of the replay-equivalence argument.
+func TestStreamDeterminism(t *testing.T) {
+	w := testWorld(t)
+	a, err := GenStreams(w, testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenStreams(w, testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two generations from one spec differ")
+	}
+	spec2 := testSpec()
+	spec2.Seed++
+	c, err := GenStreams(w, spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+// TestConcurrentMatchesSequentialReplay is the tentpole invariant: one
+// goroutine per bus plus query workers must leave the service in exactly
+// the state a sequential replay of the same streams leaves it in — same
+// tally, same per-bus trajectories fix-for-fix, equivalent travel-time
+// store. Run under -race in CI.
+func TestConcurrentMatchesSequentialReplay(t *testing.T) {
+	w := testWorld(t)
+	spec := testSpec()
+	streams, err := GenStreams(w, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, st := range streams {
+		total += len(st.Reports)
+	}
+	if total == 0 {
+		t.Fatal("empty fleet")
+	}
+	now := FixedClock(T0.Add(spec.Horizon))
+
+	seqSvc, seqStore, err := NewService(w, server.Config{Now: now, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqTally := ReplaySequential(seqSvc, streams)
+	t.Logf("sequential: %v", seqTally)
+	if seqTally.Errors != 0 {
+		t.Fatalf("sequential replay errors: %v", seqTally)
+	}
+	if seqTally.Delivered != total {
+		t.Fatalf("delivered %d of %d", seqTally.Delivered, total)
+	}
+	if seqTally.LateDropped == 0 {
+		t.Error("perturbation produced no late scans; the late-drop path went unexercised")
+	}
+	if seqTally.Located == 0 {
+		t.Fatal("no position fixes in sequential replay")
+	}
+	if seqStore.NumRecords() == 0 {
+		t.Fatal("no travel-time records in sequential replay")
+	}
+
+	concSvc, concStore, err := NewService(w, server.Config{Now: now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	concTally, qerr := ReplayConcurrent(concSvc, streams, 4)
+	t.Logf("concurrent: %v", concTally)
+	if qerr != nil {
+		t.Fatalf("query worker error: %v", qerr)
+	}
+	if concTally != seqTally {
+		t.Fatalf("tallies diverge:\n  sequential %v\n  concurrent %v", seqTally, concTally)
+	}
+
+	seqTraj, err := Trajectories(seqSvc, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	concTraj, err := Trajectories(concSvc, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DiffTrajectories(seqTraj, concTraj); err != nil {
+		t.Fatalf("trajectories diverge: %v", err)
+	}
+	if err := traveltime.Diff(seqStore, concStore, 1e-9); err != nil {
+		t.Fatalf("travel-time stores diverge: %v", err)
+	}
+
+	// The service's own accounting agrees with the replay tally.
+	stats := concSvc.Stats()
+	if int(stats.Accepted) != concTally.Accepted || int(stats.LateDropped) != concTally.LateDropped {
+		t.Errorf("stats %+v disagree with tally %v", stats, concTally)
+	}
+	if stats.Rejected != 0 {
+		t.Errorf("%d rejected reports in a well-formed fleet", stats.Rejected)
+	}
+}
+
+// TestSoakQueriesAndEviction is the soak half: a bigger query load over the
+// concurrent replay, then a clock jump and a full eviction sweep. Exercises
+// stats consistency and EvictStale under the race detector.
+func TestSoakQueriesAndEviction(t *testing.T) {
+	w := testWorld(t)
+	spec := testSpec()
+	spec.Seed = 99
+	streams, err := GenStreams(w, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var clock atomic.Int64
+	clock.Store(T0.Add(spec.Horizon).UnixNano())
+	now := func() time.Time { return time.Unix(0, clock.Load()).UTC() }
+
+	svc, _, err := NewService(w, server.Config{Now: now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tally, qerr := ReplayConcurrent(svc, streams, 8)
+	if qerr != nil {
+		t.Fatalf("query worker error: %v", qerr)
+	}
+	if tally.Errors != 0 {
+		t.Fatalf("ingest errors: %v", tally)
+	}
+	stats := svc.Stats()
+	if got := int(stats.Accepted + stats.LateDropped + stats.Rejected); got != tally.Delivered {
+		t.Errorf("stats account for %d of %d delivered reports", got, tally.Delivered)
+	}
+	if int(stats.Registered) < spec.Buses {
+		t.Errorf("only %d registrations for %d buses", stats.Registered, spec.Buses)
+	}
+
+	// Every bus is still queryable (live or finished-but-retained).
+	if _, err := Trajectories(svc, streams); err != nil {
+		t.Fatalf("trajectory lookup after soak: %v", err)
+	}
+
+	// Jump the clock: the whole fleet goes stale and one sweep drops it.
+	clock.Store(T0.Add(spec.Horizon + time.Hour).UnixNano())
+	evicted := svc.EvictStale()
+	if evicted != spec.Buses {
+		t.Errorf("evicted %d of %d buses", evicted, spec.Buses)
+	}
+	if n := svc.ActiveBuses(); n != 0 {
+		t.Errorf("%d active buses after eviction", n)
+	}
+	if _, err := svc.Trajectory(streams[0].BusID); err == nil {
+		t.Error("evicted bus still queryable")
+	}
+	if got := svc.Stats().Evicted; got != uint64(evicted) {
+		t.Errorf("stats.Evicted = %d, want %d", got, evicted)
+	}
+}

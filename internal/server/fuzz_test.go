@@ -1,0 +1,111 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"wilocator/internal/api"
+	"wilocator/internal/roadnet"
+	"wilocator/internal/svd"
+	"wilocator/internal/traveltime"
+	"wilocator/internal/wifi"
+	"wilocator/internal/xrand"
+)
+
+var (
+	fuzzOnce    sync.Once
+	fuzzHandler http.Handler
+	fuzzErr     error
+)
+
+// fuzzTarget builds one small campus service and shares its handler across
+// all fuzz iterations in the process. Sharing is deliberate: the handler
+// must stay well-behaved as fuzz inputs mutate service state (buses
+// registering, buckets flushing), which a per-iteration service would never
+// exercise.
+func fuzzTarget(f *testing.F) http.Handler {
+	f.Helper()
+	fuzzOnce.Do(func() {
+		net, err := roadnet.BuildCampus(600)
+		if err != nil {
+			fuzzErr = err
+			return
+		}
+		dep, err := wifi.Deploy(net, wifi.DefaultDeploySpec(), xrand.New(11))
+		if err != nil {
+			fuzzErr = err
+			return
+		}
+		dia, err := svd.Build(net, dep, svd.Config{GridStep: -1})
+		if err != nil {
+			fuzzErr = err
+			return
+		}
+		svc, err := NewService(dia, traveltime.NewStore(traveltime.PaperPlan()), Config{})
+		if err != nil {
+			fuzzErr = err
+			return
+		}
+		fuzzHandler = Handler(svc)
+	})
+	if fuzzErr != nil {
+		f.Fatal(fuzzErr)
+	}
+	return fuzzHandler
+}
+
+// FuzzHandlerReports throws arbitrary bytes at POST /v1/reports. The
+// contract under test: the handler never panics and always answers 200 or a
+// 4xx — malformed JSON, absurd field values and binary garbage are client
+// errors, not server crashes.
+func FuzzHandlerReports(f *testing.F) {
+	h := fuzzTarget(f)
+	f.Add([]byte(`{"busId":"b","routeId":"campus","phoneId":"p","scan":{"time":"2016-03-07T13:00:00Z","readings":[{"bssid":"ap-0000","rssi":-50}]}}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"busId":"b","routeId":"nope"}`))
+	f.Add([]byte(`{"busId":"b","routeId":"campus","scan":{"time":"0001-01-01T00:00:00Z"}}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte{0xff, 0xfe, 0x00})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest("POST", api.PathReports, bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if c := rec.Code; c != http.StatusOK && (c < 400 || c > 499) {
+			t.Fatalf("POST %s with body %q: status %d, want 200 or 4xx", api.PathReports, body, c)
+		}
+	})
+}
+
+// FuzzHandlerQueries aims malformed query strings at every GET endpoint.
+// pathIdx selects the endpoint (modulo), and rawQuery is installed after
+// httptest.NewRequest so arbitrary bytes cannot panic URL parsing in the
+// test harness itself — the server must cope with whatever a client socket
+// could carry.
+func FuzzHandlerQueries(f *testing.F) {
+	h := fuzzTarget(f)
+	paths := []string{
+		api.PathVehicles, api.PathArrivals, api.PathTrafficMap, api.PathRoutes,
+		api.PathStops, api.PathAnomalies, api.PathTrajectories, api.PathHealth,
+	}
+	f.Add(uint8(1), "route=campus&stop=1")
+	f.Add(uint8(1), "route=campus&stop=999999999999999999999")
+	f.Add(uint8(4), "route=")
+	f.Add(uint8(6), "bus=%zz")
+	f.Add(uint8(255), "a=b&a=c&;;=%%%")
+	f.Add(uint8(0), "route=\x00\x01")
+	f.Fuzz(func(t *testing.T, pathIdx uint8, rawQuery string) {
+		p := paths[int(pathIdx)%len(paths)]
+		req := httptest.NewRequest("GET", p, nil)
+		req.URL.RawQuery = rawQuery
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if c := rec.Code; c != http.StatusOK && (c < 400 || c > 499) {
+			t.Fatalf("GET %s?%s: status %d, want 200 or 4xx", p, rawQuery, c)
+		}
+	})
+}

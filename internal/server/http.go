@@ -101,7 +101,11 @@ func Handler(s *Service) http.Handler {
 	})
 
 	mux.HandleFunc("GET "+api.PathHealth, func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "activeBuses": s.ActiveBuses()})
+		writeJSON(w, http.StatusOK, map[string]any{
+			"ok":          true,
+			"activeBuses": s.ActiveBuses(),
+			"ingest":      s.Stats(),
+		})
 	})
 	return mux
 }

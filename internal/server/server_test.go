@@ -311,6 +311,121 @@ func ExampleService_RouteInfos() {
 	// Campus Shuttle: 2 stops, 0.5 km
 }
 
+// TestLateScanDropped: a report whose scan falls in an older, already-fused
+// fusion window is dropped with a counted reason rather than appended to the
+// wrong bucket (out-of-order delivery over the network).
+func TestLateScanDropped(t *testing.T) {
+	w := newWorld(t, 40)
+	aps := w.dep.APs()
+	mk := func(at time.Time) api.Report {
+		return api.Report{BusID: "late-bus", RouteID: "campus", PhoneID: "p",
+			Scan: wifi.Scan{Time: at, Readings: []wifi.Reading{{BSSID: aps[0].BSSID, RSSI: -50}}}}
+	}
+	if resp, err := w.svc.Ingest(mk(t0)); err != nil || !resp.Accepted {
+		t.Fatalf("first report: resp=%+v err=%v", resp, err)
+	}
+	// A newer window flushes the first bucket.
+	if resp, err := w.svc.Ingest(mk(t0.Add(11 * time.Second))); err != nil || !resp.Accepted {
+		t.Fatalf("second window: resp=%+v err=%v", resp, err)
+	}
+	// A scan from the already-fused first window is dropped, not an error.
+	resp, err := w.svc.Ingest(mk(t0.Add(2 * time.Second)))
+	if err != nil {
+		t.Fatalf("late scan errored: %v", err)
+	}
+	if resp.Accepted || resp.Reason != api.ReasonLateScan {
+		t.Errorf("late scan resp = %+v, want dropped with %q", resp, api.ReasonLateScan)
+	}
+	// An out-of-order scan within the *current* window is still accepted.
+	if resp, err := w.svc.Ingest(mk(t0.Add(10 * time.Second))); err != nil || !resp.Accepted {
+		t.Errorf("same-window out-of-order scan: resp=%+v err=%v", resp, err)
+	}
+	st := w.svc.Stats()
+	if st.LateDropped != 1 || st.Accepted != 3 || st.Flushes != 1 {
+		t.Errorf("stats = %+v, want 1 late drop, 3 accepted, 1 flush", st)
+	}
+}
+
+// TestEvictStale: a stale bus is removed by the sweep, stops being
+// queryable, and can come back as a fresh registration.
+func TestEvictStale(t *testing.T) {
+	w := newWorld(t, 42)
+	w.runBus(t, "bus-e", t0, 2, 500)
+	if _, err := w.svc.Trajectory("bus-e"); err != nil {
+		t.Fatalf("trajectory before eviction: %v", err)
+	}
+	w.setClock(w.now().Add(time.Hour))
+	if n := w.svc.EvictStale(); n != 1 {
+		t.Errorf("evicted %d buses, want 1", n)
+	}
+	if _, err := w.svc.Trajectory("bus-e"); err == nil {
+		t.Error("evicted bus still queryable")
+	}
+	if n := w.svc.EvictStale(); n != 0 {
+		t.Errorf("second sweep evicted %d buses", n)
+	}
+	if got := w.svc.Stats().Evicted; got != 1 {
+		t.Errorf("stats.Evicted = %d, want 1", got)
+	}
+	// The bus returns: a fresh registration on the same route.
+	before := w.svc.Stats().Registered
+	aps := w.dep.APs()
+	rep := api.Report{BusID: "bus-e", RouteID: "campus", PhoneID: "p",
+		Scan: wifi.Scan{Time: w.now(), Readings: []wifi.Reading{{BSSID: aps[0].BSSID, RSSI: -50}}}}
+	if _, err := w.svc.Ingest(rep); err != nil {
+		t.Fatalf("re-report after eviction rejected: %v", err)
+	}
+	if got := w.svc.Stats().Registered; got != before+1 {
+		t.Errorf("registrations %d -> %d, want one new registration", before, got)
+	}
+}
+
+// TestStaleReregistrationSameRoute: a bus that goes quiet longer than
+// StaleAfter and then reports again (without an eviction sweep) starts a
+// fresh trip — new tracker, new trajectory.
+func TestStaleReregistrationSameRoute(t *testing.T) {
+	w := newWorld(t, 43)
+	aps := w.dep.APs()
+	mk := func(at time.Time) api.Report {
+		return api.Report{BusID: "b", RouteID: "campus", PhoneID: "p",
+			Scan: wifi.Scan{Time: at, Readings: []wifi.Reading{{BSSID: aps[0].BSSID, RSSI: -50}}}}
+	}
+	if _, err := w.svc.Ingest(mk(t0)); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.svc.Stats().Registered; got != 1 {
+		t.Fatalf("registrations = %d", got)
+	}
+	// Ten minutes of silence (> default StaleAfter of 5 min), then a report.
+	if _, err := w.svc.Ingest(mk(t0.Add(10 * time.Minute))); err != nil {
+		t.Fatalf("report after staleness rejected: %v", err)
+	}
+	if got := w.svc.Stats().Registered; got != 2 {
+		t.Errorf("registrations = %d, want 2 (stale bus re-registered)", got)
+	}
+}
+
+func TestBusTableSharding(t *testing.T) {
+	tbl := newBusTable(5)
+	if len(tbl.shards) != 8 {
+		t.Errorf("5 requested shards rounded to %d, want 8", len(tbl.shards))
+	}
+	if tbl.get("nope") != nil {
+		t.Error("unknown bus found")
+	}
+	ids := []string{"a", "b", "c", "d", "e"}
+	for _, id := range ids {
+		if bs := tbl.getOrCreate(id); bs == nil || tbl.getOrCreate(id) != bs {
+			t.Fatalf("getOrCreate(%q) not stable", id)
+		}
+	}
+	seen := 0
+	tbl.forEach(func(id string, bs *busState) { seen++ })
+	if seen != len(ids) {
+		t.Errorf("forEach visited %d buses, want %d", seen, len(ids))
+	}
+}
+
 // TestIngestRouteConflict: a bus that starts reporting a different route
 // mid-trip is rejected (route identification is sticky per trip).
 func TestIngestRouteConflict(t *testing.T) {
@@ -340,5 +455,19 @@ func TestIngestRouteConflict(t *testing.T) {
 	rep.RouteID = roadnet.Route14
 	if _, err := svc.Ingest(rep); err == nil {
 		t.Error("route flip-flop accepted")
+	}
+	// Once the bus has been silent past StaleAfter, the same report is a
+	// fresh trip on the new route, not a conflict.
+	rep.Scan.Time = t0.Add(10 * time.Minute)
+	if _, err := svc.Ingest(rep); err != nil {
+		t.Errorf("stale bus re-registering on a new route rejected: %v", err)
+	}
+	// And the new registration is sticky in turn.
+	rep.RouteID = roadnet.Route9
+	if _, err := svc.Ingest(rep); err == nil {
+		t.Error("route flip-flop after re-registration accepted")
+	}
+	if got := svc.Stats().Registered; got != 2 {
+		t.Errorf("registrations = %d, want 2", got)
 	}
 }

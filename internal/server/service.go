@@ -4,6 +4,24 @@
 // accumulates per-segment travel times, predicts arrival times and generates
 // the real-time traffic map. Phones and rider apps talk to it over the JSON
 // HTTP API of package api.
+//
+// # Concurrency model
+//
+// The deployment is crowd-sensed: many phones on many buses report
+// concurrently. The service is built so buses on different shards never
+// contend:
+//
+//   - svd.Diagram, locate.Positioner, roadnet.Network, geo.Projection and
+//     the predict/trafficmap engines are immutable after NewService and are
+//     read lock-free.
+//   - Per-bus state (fusion bucket, tracker, trajectory) lives in a sharded
+//     map (power-of-two shards keyed by hash(busID)); each bus additionally
+//     carries its own mutex, so the shard lock covers only the map lookup.
+//   - The only mutable cross-bus structures are traveltime.Store (its own
+//     sync.RWMutex) and the ingest counters (atomics).
+//
+// Lock ordering: shard.mu → busState.mu → store.mu; no path acquires them
+// in any other order.
 package server
 
 import (
@@ -11,6 +29,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"wilocator/internal/geo"
@@ -26,6 +45,9 @@ import (
 	"wilocator/internal/wifi"
 )
 
+// DefaultShards is the default number of bus-map shards.
+const DefaultShards = 32
+
 // Config tunes the service. The zero value selects defaults.
 type Config struct {
 	// FusionWindow groups reports of one bus into scan cycles. Default
@@ -33,6 +55,9 @@ type Config struct {
 	FusionWindow time.Duration
 	// StaleAfter evicts buses that stop reporting. Default 5 min.
 	StaleAfter time.Duration
+	// Shards is the number of bus-map shards, rounded up to a power of
+	// two. Default DefaultShards.
+	Shards int
 	// Tracker configures per-bus trackers.
 	Tracker locate.TrackerConfig
 	// Predict configures the arrival predictor.
@@ -54,6 +79,9 @@ func (c Config) withDefaults() Config {
 	if c.StaleAfter <= 0 {
 		c.StaleAfter = 5 * time.Minute
 	}
+	if c.Shards <= 0 {
+		c.Shards = DefaultShards
+	}
 	if c.Now == nil {
 		c.Now = time.Now
 	}
@@ -63,10 +91,13 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// busState is the per-bus ingestion and tracking state.
+// busState is the per-bus ingestion and tracking state. mu guards every
+// field; the shard map only hands out the pointer.
 type busState struct {
+	mu sync.Mutex
+
 	routeID string
-	tracker *locate.Tracker
+	tracker *locate.Tracker // nil until the bus is registered
 
 	bucketTime time.Time
 	bucket     []wifi.Scan
@@ -76,8 +107,20 @@ type busState struct {
 	done       bool
 }
 
+// ingestStats holds the cumulative report-outcome counters (atomics — the
+// hot path never takes a lock for accounting).
+type ingestStats struct {
+	accepted    atomic.Uint64
+	rejected    atomic.Uint64
+	lateDropped atomic.Uint64
+	flushes     atomic.Uint64
+	located     atomic.Uint64
+	registered  atomic.Uint64
+	evicted     atomic.Uint64
+}
+
 // Service is the WiLocator back-end core, independent of the HTTP transport.
-// It is safe for concurrent use.
+// It is safe for concurrent use; see the package comment for the model.
 type Service struct {
 	cfg   Config
 	net   *roadnet.Network
@@ -89,8 +132,8 @@ type Service struct {
 
 	proj *geo.Projection
 
-	mu    sync.Mutex
-	buses map[string]*busState
+	buses *busTable
+	stats ingestStats
 }
 
 // NewService wires the back-end together over a prebuilt diagram and
@@ -122,7 +165,7 @@ func NewService(dia *svd.Diagram, store *traveltime.Store, cfg Config) (*Service
 		pred:  pred,
 		tmap:  tmap,
 		proj:  geo.NewProjection(cfg.Origin),
-		buses: make(map[string]*busState),
+		buses: newBusTable(cfg.Shards),
 	}, nil
 }
 
@@ -132,38 +175,82 @@ func (s *Service) Store() *traveltime.Store { return s.store }
 // Network returns the road network.
 func (s *Service) Network() *roadnet.Network { return s.net }
 
+// Stats returns the cumulative ingest counters.
+func (s *Service) Stats() api.IngestStats {
+	return api.IngestStats{
+		Accepted:    s.stats.accepted.Load(),
+		Rejected:    s.stats.rejected.Load(),
+		LateDropped: s.stats.lateDropped.Load(),
+		Flushes:     s.stats.flushes.Load(),
+		Located:     s.stats.located.Load(),
+		Registered:  s.stats.registered.Load(),
+		Evicted:     s.stats.evicted.Load(),
+	}
+}
+
+// staleAt reports whether a bus last heard from at lastUpdate is stale at
+// time at. Staleness in the ingest path is judged by report time, not wall
+// time, so replays are deterministic.
+func (s *Service) staleAt(lastUpdate, at time.Time) bool {
+	return !lastUpdate.IsZero() && at.Sub(lastUpdate) > s.cfg.StaleAfter
+}
+
 // Ingest processes one phone report. Reports of one bus are buffered per
 // fusion window; when a report for a newer window arrives, the previous
 // window's scans are fused and turned into a position fix, segment
-// crossings and travel-time records.
+// crossings and travel-time records. A report whose scan falls in an older,
+// already-fused window is not an error: it is dropped with
+// api.ReasonLateScan and counted in Stats().LateDropped.
+//
+// A bus that finished its trip or went stale (no report for StaleAfter of
+// report time) re-registers on its next report — on the same or a different
+// route — with a fresh tracker. A live bus switching routes is rejected.
 func (s *Service) Ingest(rep api.Report) (api.IngestResponse, error) {
 	if rep.BusID == "" || rep.RouteID == "" {
+		s.stats.rejected.Add(1)
 		return api.IngestResponse{}, errors.New("server: report missing bus or route id")
 	}
 	if _, ok := s.net.Route(rep.RouteID); !ok {
+		s.stats.rejected.Add(1)
 		return api.IngestResponse{}, fmt.Errorf("server: unknown route %q", rep.RouteID)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 
-	bs := s.buses[rep.BusID]
-	if bs == nil || bs.done {
+	bs := s.buses.getOrCreate(rep.BusID)
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+
+	if bs.tracker == nil || bs.done || s.staleAt(bs.lastUpdate, rep.Scan.Time) {
 		tracker, err := locate.NewTracker(s.pos, rep.RouteID, s.cfg.Tracker)
 		if err != nil {
+			s.stats.rejected.Add(1)
 			return api.IngestResponse{}, err
 		}
-		bs = &busState{routeID: rep.RouteID, tracker: tracker}
-		s.buses[rep.BusID] = bs
+		bs.routeID = rep.RouteID
+		bs.tracker = tracker
+		bs.bucketTime = time.Time{}
+		bs.bucket = nil
+		bs.lastCross = nil
+		bs.lastUpdate = time.Time{}
+		bs.done = false
+		s.stats.registered.Add(1)
 	}
 	if bs.routeID != rep.RouteID {
+		s.stats.rejected.Add(1)
 		return api.IngestResponse{}, fmt.Errorf("server: bus %q reported route %q but is tracked on %q",
 			rep.BusID, rep.RouteID, bs.routeID)
 	}
 
 	bucket := rep.Scan.Time.Truncate(s.cfg.FusionWindow)
+	if !bs.bucketTime.IsZero() && bucket.Before(bs.bucketTime) {
+		// The scan belongs to a fusion window that has already been (or is
+		// about to be) fused; appending it to the current bucket would blend
+		// cycles and move the fused time backwards. Drop it, counted.
+		s.stats.lateDropped.Add(1)
+		return api.IngestResponse{Reason: api.ReasonLateScan}, nil
+	}
 	resp := api.IngestResponse{Accepted: true}
-	if !bucket.Equal(bs.bucketTime) && len(bs.bucket) > 0 {
-		if est, ok := s.flushLocked(rep.BusID, bs); ok {
+	if bucket.After(bs.bucketTime) && len(bs.bucket) > 0 {
+		if est, ok := s.flushLocked(bs); ok {
 			resp.Located = true
 			resp.Arc = est.Arc
 		}
@@ -171,12 +258,16 @@ func (s *Service) Ingest(rep api.Report) (api.IngestResponse, error) {
 	}
 	bs.bucketTime = bucket
 	bs.bucket = append(bs.bucket, rep.Scan)
-	bs.lastUpdate = rep.Scan.Time
+	if rep.Scan.Time.After(bs.lastUpdate) {
+		bs.lastUpdate = rep.Scan.Time
+	}
+	s.stats.accepted.Add(1)
 	return resp, nil
 }
 
-// flushLocked fuses the pending bucket into a fix. Caller holds s.mu.
-func (s *Service) flushLocked(busID string, bs *busState) (locate.Estimate, bool) {
+// flushLocked fuses the pending bucket into a fix. Caller holds bs.mu.
+func (s *Service) flushLocked(bs *busState) (locate.Estimate, bool) {
+	s.stats.flushes.Add(1)
 	fused := sensing.Fuse(bs.bucket)
 	est, crossings, err := bs.tracker.Observe(fused)
 	if err != nil {
@@ -205,25 +296,56 @@ func (s *Service) flushLocked(busID string, bs *busState) (locate.Estimate, bool
 	if est.Arc >= route.Length()-1 {
 		bs.done = true
 	}
+	s.stats.located.Add(1)
 	return est, true
 }
 
-// Vehicles returns the live buses, optionally filtered to one route.
+// EvictStale removes finished and stale buses (judged against the injected
+// clock) from memory, returning the number evicted. Their trajectories stop
+// being queryable. The server does not evict on its own; callers (e.g.
+// cmd/wilocator-server) run it on whatever cadence fits their retention
+// needs.
+func (s *Service) EvictStale() int {
+	now := s.cfg.Now()
+	evicted := 0
+	for i := range s.buses.shards {
+		sh := &s.buses.shards[i]
+		sh.mu.Lock()
+		for id, bs := range sh.buses {
+			bs.mu.Lock()
+			gone := bs.tracker == nil || bs.done || s.staleAt(bs.lastUpdate, now)
+			bs.mu.Unlock()
+			if gone {
+				delete(sh.buses, id)
+				evicted++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	s.stats.evicted.Add(uint64(evicted))
+	return evicted
+}
+
+// Vehicles returns the live buses, optionally filtered to one route, in
+// bus-ID order.
 func (s *Service) Vehicles(routeID string) []api.VehicleStatus {
 	now := s.cfg.Now()
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var out []api.VehicleStatus
-	for id, bs := range s.buses {
+	s.buses.forEach(func(id string, bs *busState) {
+		bs.mu.Lock()
+		defer bs.mu.Unlock()
+		if bs.tracker == nil {
+			return
+		}
 		if routeID != "" && bs.routeID != routeID {
-			continue
+			return
 		}
 		if bs.done || now.Sub(bs.lastUpdate) > s.cfg.StaleAfter {
-			continue
+			return
 		}
 		arc, ok := bs.tracker.Arc()
 		if !ok {
-			continue
+			return
 		}
 		speed, _ := bs.tracker.Speed()
 		out = append(out, api.VehicleStatus{
@@ -234,7 +356,8 @@ func (s *Service) Vehicles(routeID string) []api.VehicleStatus {
 			Speed:   speed,
 			Updated: bs.lastUpdate,
 		})
-	}
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].BusID < out[j].BusID })
 	return out
 }
 
@@ -320,18 +443,19 @@ func (s *Service) ActiveBuses() int {
 // Trajectory returns a tracked bus's trajectory as Definition 6 tuples
 // <lat, long, t>. Finished buses remain queryable until evicted.
 func (s *Service) Trajectory(busID string) (api.TrajectoryResponse, error) {
-	s.mu.Lock()
-	bs := s.buses[busID]
-	var (
-		traj    []locate.TrajectoryPoint
-		routeID string
-	)
-	if bs != nil {
-		traj = bs.tracker.Trajectory()
-		routeID = bs.routeID
-	}
-	s.mu.Unlock()
+	bs := s.buses.get(busID)
 	if bs == nil {
+		return api.TrajectoryResponse{}, fmt.Errorf("server: unknown bus %q", busID)
+	}
+	bs.mu.Lock()
+	registered := bs.tracker != nil
+	routeID := bs.routeID
+	var traj []locate.TrajectoryPoint
+	if registered {
+		traj = bs.tracker.Trajectory()
+	}
+	bs.mu.Unlock()
+	if !registered {
 		return api.TrajectoryResponse{}, fmt.Errorf("server: unknown bus %q", busID)
 	}
 	out := api.TrajectoryResponse{BusID: busID, RouteID: routeID}
@@ -363,18 +487,21 @@ func (s *Service) Anomalies(routeID string) ([]api.AnomalyReport, error) {
 		traj    []locate.TrajectoryPoint
 	}
 	now := s.cfg.Now()
-	s.mu.Lock()
 	var buses []liveBus
-	for id, bs := range s.buses {
+	s.buses.forEach(func(id string, bs *busState) {
+		bs.mu.Lock()
+		defer bs.mu.Unlock()
+		if bs.tracker == nil {
+			return
+		}
 		if routeID != "" && bs.routeID != routeID {
-			continue
+			return
 		}
 		if now.Sub(bs.lastUpdate) > s.cfg.StaleAfter {
-			continue
+			return
 		}
 		buses = append(buses, liveBus{id: id, routeID: bs.routeID, traj: bs.tracker.Trajectory()})
-	}
-	s.mu.Unlock()
+	})
 
 	var out []api.AnomalyReport
 	for _, b := range buses {

@@ -1,0 +1,158 @@
+package traveltime
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Diff compares the contents of two stores independent of the order in
+// which their records were ingested, returning a descriptive error for the
+// first mismatch found, or nil when the stores are equivalent.
+//
+// Record ingestion is commutative in everything the store keeps except
+// floating-point summation order (means) and ring/history truncation, so:
+//
+//   - mean accumulators compare by exact sample count and by mean within
+//     tol (absolute), absorbing summation-order rounding;
+//   - duration histories and recent rings compare as sorted multisets.
+//
+// Truncation caveat: once a (segment, route, slot) history exceeds
+// maxDurationsPerKey or a segment's recent ring exceeds maxRecentPerSegment,
+// WHICH entries survive depends on arrival order, and two interleavings of
+// the same records may legitimately diverge. Diff is therefore only a valid
+// equivalence check while every key stays below those caps — which the
+// fleet-scale replay tests arrange by construction.
+func Diff(a, b *Store, tol float64) error {
+	if a == nil || b == nil {
+		return fmt.Errorf("traveltime: Diff on nil store")
+	}
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+
+	if !equalInts(a.plan.Bounds(), b.plan.Bounds()) {
+		return fmt.Errorf("traveltime: slot plans differ: %v vs %v", a.plan.Bounds(), b.plan.Bounds())
+	}
+
+	if err := diffAccs("hist", histKeyString, a.hist, b.hist, tol); err != nil {
+		return err
+	}
+	if err := diffAccs("hourly", hourKeyString, a.hourly, b.hourly, tol); err != nil {
+		return err
+	}
+	if err := diffAccs("allSeg", func(k any) string { return fmt.Sprintf("seg=%v", k) }, a.allSeg, b.allSeg, tol); err != nil {
+		return err
+	}
+
+	if len(a.durs) != len(b.durs) {
+		return fmt.Errorf("traveltime: durs key counts differ: %d vs %d", len(a.durs), len(b.durs))
+	}
+	for k, da := range a.durs {
+		db, ok := b.durs[k]
+		if !ok {
+			return fmt.Errorf("traveltime: durs key %s missing in second store", histKeyString(k))
+		}
+		if len(da) == maxDurationsPerKey || len(db) == maxDurationsPerKey {
+			return fmt.Errorf("traveltime: durs key %s at the %d-entry cap; truncation is order-dependent and Diff cannot compare it",
+				histKeyString(k), maxDurationsPerKey)
+		}
+		if err := diffMultisets(da, db, tol); err != nil {
+			return fmt.Errorf("traveltime: durs key %s: %w", histKeyString(k), err)
+		}
+	}
+
+	if len(a.recent) != len(b.recent) {
+		return fmt.Errorf("traveltime: recent segment counts differ: %d vs %d", len(a.recent), len(b.recent))
+	}
+	for seg, ra := range a.recent {
+		rb, ok := b.recent[seg]
+		if !ok {
+			return fmt.Errorf("traveltime: recent ring for segment %d missing in second store", seg)
+		}
+		if len(ra) == maxRecentPerSegment || len(rb) == maxRecentPerSegment {
+			return fmt.Errorf("traveltime: recent ring for segment %d at the %d-entry cap; truncation is order-dependent and Diff cannot compare it",
+				seg, maxRecentPerSegment)
+		}
+		if err := diffTraversals(ra, rb, tol); err != nil {
+			return fmt.Errorf("traveltime: recent ring for segment %d: %w", seg, err)
+		}
+	}
+	return nil
+}
+
+func histKeyString(k any) string {
+	hk := k.(histKey)
+	return fmt.Sprintf("seg=%d route=%q slot=%d", hk.seg, hk.route, hk.slot)
+}
+
+func hourKeyString(k any) string {
+	hk := k.(hourKey)
+	return fmt.Sprintf("seg=%d hour=%d route=%q", hk.seg, hk.hour, hk.route)
+}
+
+func diffAccs[K comparable](name string, keyStr func(any) string, a, b map[K]*meanAcc, tol float64) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("traveltime: %s key counts differ: %d vs %d", name, len(a), len(b))
+	}
+	for k, aa := range a {
+		bb, ok := b[k]
+		if !ok {
+			return fmt.Errorf("traveltime: %s key %s missing in second store", name, keyStr(k))
+		}
+		if aa.n != bb.n {
+			return fmt.Errorf("traveltime: %s key %s sample counts differ: %d vs %d", name, keyStr(k), aa.n, bb.n)
+		}
+		if math.Abs(aa.mean()-bb.mean()) > tol {
+			return fmt.Errorf("traveltime: %s key %s means differ: %g vs %g (tol %g)", name, keyStr(k), aa.mean(), bb.mean(), tol)
+		}
+	}
+	return nil
+}
+
+func diffMultisets(a, b []float64, tol float64) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	sa := append([]float64(nil), a...)
+	sb := append([]float64(nil), b...)
+	sort.Float64s(sa)
+	sort.Float64s(sb)
+	for i := range sa {
+		if math.Abs(sa[i]-sb[i]) > tol {
+			return fmt.Errorf("sorted entry %d differs: %g vs %g (tol %g)", i, sa[i], sb[i], tol)
+		}
+	}
+	return nil
+}
+
+func diffTraversals(a, b []Traversal, tol float64) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	sa := sortedTraversals(a)
+	sb := sortedTraversals(b)
+	for i := range sa {
+		ta, tb := sa[i], sb[i]
+		if ta.RouteID != tb.RouteID || !ta.Exit.Equal(tb.Exit) || math.Abs(ta.Seconds-tb.Seconds) > tol {
+			return fmt.Errorf("sorted entry %d differs: %+v vs %+v", i, ta, tb)
+		}
+	}
+	return nil
+}
+
+func sortedTraversals(in []Traversal) []Traversal {
+	out := append([]Traversal(nil), in...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if !a.Exit.Equal(b.Exit) {
+			return a.Exit.Before(b.Exit)
+		}
+		if a.RouteID != b.RouteID {
+			return a.RouteID < b.RouteID
+		}
+		return a.Seconds < b.Seconds
+	})
+	return out
+}

@@ -108,6 +108,8 @@ type (
 	AnomalyReport = api.AnomalyReport
 	// TrajectoryResponse carries a tracked bus's <lat, long, t> trajectory.
 	TrajectoryResponse = api.TrajectoryResponse
+	// IngestStats counts report-processing outcomes since startup.
+	IngestStats = api.IngestStats
 
 	// SegmentStatus is one segment's traffic-map entry.
 	SegmentStatus = trafficmap.SegmentStatus
@@ -231,6 +233,15 @@ func (s *System) Stops(routeID string) ([]StopInfo, error) {
 	}
 	return resp.Stops, nil
 }
+
+// Stats returns the cumulative ingestion counters (accepted, rejected,
+// late-dropped, flushes, fixes, registrations, evictions).
+func (s *System) Stats() IngestStats { return s.svc.Stats() }
+
+// EvictStale removes finished and stale buses from the tracking state,
+// returning how many were evicted. Call it periodically on long-running
+// servers to bound memory.
+func (s *System) EvictStale() int { return s.svc.EvictStale() }
 
 // Handler returns the HTTP handler exposing the system's JSON API.
 func (s *System) Handler() http.Handler { return server.Handler(s.svc) }
