@@ -1,12 +1,12 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: ci vet build test race fuzz-smoke bench
+.PHONY: ci vet build test race chaos fuzz-smoke bench
 
 # ci is the full local gate: static checks, the race-instrumented test
-# suite (including the internal/loadtest fleet replay) and a short fuzz
-# smoke on every fuzz target.
-ci: vet build race fuzz-smoke
+# suite (including the internal/loadtest fleet replay), the chaos /
+# crash-recovery harness and a short fuzz smoke on every fuzz target.
+ci: vet build race chaos fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -20,6 +20,12 @@ test:
 race:
 	$(GO) test -race ./...
 
+# chaos runs the fault-injection harness under the race detector:
+# poisoned-report equivalence, AP outages mid-trip, and kill -9
+# crash/recovery diffs against uninterrupted runs.
+chaos:
+	$(GO) test -race -v -run 'TestChaos' ./internal/loadtest
+
 # Each -fuzz invocation takes one package and one target.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzHandlerReports -fuzztime=$(FUZZTIME) ./internal/server
@@ -27,6 +33,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadNetwork -fuzztime=$(FUZZTIME) ./internal/roadnet
 	$(GO) test -run='^$$' -fuzz=FuzzRouteArcQueries -fuzztime=$(FUZZTIME) ./internal/roadnet
 	$(GO) test -run='^$$' -fuzz=FuzzReadFrom -fuzztime=$(FUZZTIME) ./internal/traveltime
+	$(GO) test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=$(FUZZTIME) ./internal/traveltime
 
 bench:
 	$(GO) test -bench=. -benchmem

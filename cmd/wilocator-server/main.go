@@ -8,11 +8,22 @@
 //
 //	wilocator-server [-addr :8421] [-network vancouver|campus] [-seed 42]
 //	                 [-ap-spacing 35] [-campus-length 2500] [-store history.json]
+//	                 [-wal-dir history.wal] [-snapshot-every 5m] [-wal-sync-every 64]
 //	                 [-shards 32] [-evict-every 1m]
+//	                 [-max-body 1048576] [-max-inflight 256]
+//	                 [-read-timeout 10s] [-write-timeout 30s] [-idle-timeout 2m]
 //
-// With -store, the historical travel-time store is loaded from the file at
-// startup (if it exists) and saved back on SIGINT/SIGTERM, so offline
-// training survives restarts.
+// Travel-time durability comes in two grades:
+//
+//   - -wal-dir enables crash-safe persistence: every record is appended to
+//     a length+CRC-framed write-ahead log (fsync-batched every
+//     -wal-sync-every records) and the store is snapshotted atomically
+//     every -snapshot-every. A kill -9 loses at most the last fsync batch;
+//     restart recovers snapshot + WAL automatically, tolerating a torn
+//     tail.
+//   - -store is the lighter legacy mode: the snapshot is loaded at startup
+//     and saved atomically (temp file + rename) on exit — including error
+//     exits — but records between saves are not durable.
 package main
 
 import (
@@ -29,6 +40,7 @@ import (
 
 	"wilocator"
 	"wilocator/internal/server"
+	"wilocator/internal/traveltime"
 )
 
 func main() {
@@ -45,10 +57,18 @@ func run() error {
 		seed         = flag.Uint64("seed", 42, "deployment seed")
 		apSpacing    = flag.Float64("ap-spacing", 0, "mean AP spacing in metres (0 = default)")
 		campusLength = flag.Float64("campus-length", 2500, "campus road length in metres")
-		storePath    = flag.String("store", "", "travel-time store snapshot to load at start and save on shutdown")
+		storePath    = flag.String("store", "", "travel-time store snapshot to load at start and save atomically on exit")
+		walDir       = flag.String("wal-dir", "", "directory for crash-safe travel-time persistence (WAL + snapshots); supersedes -store")
+		snapEvery    = flag.Duration("snapshot-every", 5*time.Minute, "period of automatic store snapshots with -wal-dir (0 disables)")
+		walSyncEvery = flag.Int("wal-sync-every", 64, "records per WAL fsync batch with -wal-dir (1 = fsync every record)")
 		networkFile  = flag.String("network-file", "", "load the road network from a JSON file instead of a generator")
 		shards       = flag.Int("shards", 0, "bus-state shards for concurrent ingestion (0 = default, rounded up to a power of two)")
 		evictEvery   = flag.Duration("evict-every", time.Minute, "period of the stale-bus eviction sweep (0 disables)")
+		maxBody      = flag.Int64("max-body", 1<<20, "maximum POST body size in bytes (over-limit requests get 413)")
+		maxInflight  = flag.Int("max-inflight", 256, "admission bound on concurrent report ingestions (beyond it: 429 + Retry-After)")
+		readTimeout  = flag.Duration("read-timeout", 10*time.Second, "HTTP server read timeout")
+		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "HTTP server write timeout")
+		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "HTTP server idle connection timeout")
 	)
 	flag.Parse()
 
@@ -88,7 +108,11 @@ func run() error {
 		*networkKind, len(net.Routes()), net.Graph.NumSegments(), dep.NumAPs())
 
 	start := time.Now()
-	sys, err := wilocator.New(net, dep, wilocator.Config{Server: server.Config{Shards: *shards}})
+	sys, err := wilocator.New(net, dep, wilocator.Config{
+		Server:     server.Config{Shards: *shards},
+		PersistDir: *walDir,
+		Persist:    traveltime.PersistConfig{SyncEvery: *walSyncEvery},
+	})
 	if err != nil {
 		return err
 	}
@@ -100,16 +124,27 @@ func run() error {
 			info.Name, info.Stops, info.LengthKm, info.OverlapKm)
 	}
 
-	if *storePath != "" {
+	if *walDir != "" {
+		if ps, ok := sys.PersistStats(); ok {
+			log.Printf("recovered travel-time store from %s: snapshot=%v walReplayed=%d walRejected=%d skippedBytes=%d",
+				*walDir, ps.SnapshotLoaded, ps.WALReplayed, ps.WALRejected, ps.WALSkippedBytes)
+		}
+	} else if *storePath != "" {
 		if err := loadStore(sys, *storePath); err != nil {
 			return err
 		}
 	}
 
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           sys.Handler(),
+		Addr: *addr,
+		Handler: sys.HandlerWith(wilocator.HandlerConfig{
+			MaxBodyBytes:       *maxBody,
+			MaxInFlightReports: *maxInflight,
+		}),
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
 
 	// Sweep finished and stale buses periodically so a long-running server's
@@ -126,32 +161,74 @@ func run() error {
 		}()
 	}
 
-	// Serve until SIGINT/SIGTERM, then snapshot the store and drain.
+	// Roll periodic snapshots so WAL replay at the next start stays short.
+	if *walDir != "" && *snapEvery > 0 {
+		snapTicker := time.NewTicker(*snapEvery)
+		defer snapTicker.Stop()
+		go func() {
+			for range snapTicker.C {
+				if err := sys.SnapshotTravelTimes(); err != nil {
+					log.Printf("snapshot: %v", err)
+				}
+			}
+		}()
+	}
+
+	// Serve until SIGINT/SIGTERM or a server error. The store is flushed on
+	// BOTH exit paths — a listener that dies with an error must not take
+	// the travel-time history down with it.
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	log.Printf("serving WiLocator API on %s", *addr)
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	var serveErr error
 	select {
-	case err := <-errCh:
-		return err
+	case serveErr = <-errCh:
+		log.Printf("server stopped: %v", serveErr)
 	case sig := <-sigCh:
 		log.Printf("received %v, shutting down", sig)
-	}
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-	defer cancel()
-	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("shutdown: %v", err)
-	}
-	if *storePath != "" {
-		if err := saveStore(sys, *storePath); err != nil {
-			return err
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
 		}
+		cancel()
 	}
+
+	if err := flushStore(sys, *walDir, *storePath); err != nil {
+		if serveErr != nil {
+			log.Printf("flush store: %v", err)
+			return serveErr
+		}
+		return err
+	}
+
 	st := sys.Stats()
-	log.Printf("ingest stats: accepted=%d rejected=%d late-dropped=%d flushes=%d located=%d registered=%d evicted=%d",
-		st.Accepted, st.Rejected, st.LateDropped, st.Flushes, st.Located, st.Registered, st.Evicted)
+	log.Printf("ingest stats: accepted=%d rejected=%d invalid=%d late-dropped=%d flushes=%d located=%d registered=%d evicted=%d",
+		st.Accepted, st.Rejected, st.Invalid, st.LateDropped, st.Flushes, st.Located, st.Registered, st.Evicted)
+	return serveErr
+}
+
+// flushStore makes the travel-time history durable on exit: a final
+// snapshot + WAL close in -wal-dir mode, an atomic snapshot file in -store
+// mode.
+func flushStore(sys *wilocator.System, walDir, storePath string) error {
+	switch {
+	case walDir != "":
+		if err := sys.SnapshotTravelTimes(); err != nil {
+			return fmt.Errorf("final snapshot: %w", err)
+		}
+		if err := sys.ClosePersistence(); err != nil {
+			return fmt.Errorf("close WAL: %w", err)
+		}
+		log.Printf("travel-time store snapshotted in %s", walDir)
+	case storePath != "":
+		if err := sys.SaveTravelTimesFile(storePath); err != nil {
+			return fmt.Errorf("save store: %w", err)
+		}
+		log.Printf("saved travel-time store to %s", storePath)
+	}
 	return nil
 }
 
@@ -171,26 +248,5 @@ func loadStore(sys *wilocator.System, path string) error {
 		return fmt.Errorf("load store %s: %w", path, err)
 	}
 	log.Printf("loaded travel-time store from %s", path)
-	return nil
-}
-
-// saveStore snapshots the store atomically (write to a temp file, rename).
-func saveStore(sys *wilocator.System, path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := sys.SaveTravelTimes(f); err != nil {
-		f.Close()
-		return fmt.Errorf("save store: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		return err
-	}
-	log.Printf("saved travel-time store to %s", path)
 	return nil
 }

@@ -5,11 +5,13 @@
 package api
 
 import (
+	"fmt"
 	"time"
 
 	"wilocator/internal/geo"
 	"wilocator/internal/roadnet"
 	"wilocator/internal/trafficmap"
+	"wilocator/internal/traveltime"
 	"wilocator/internal/wifi"
 )
 
@@ -32,6 +34,49 @@ type Report struct {
 	RouteID string    `json:"routeId"`
 	PhoneID string    `json:"phoneId"`
 	Scan    wifi.Scan `json:"scan"`
+}
+
+// Payload sanity bounds enforced by Report.Validate. They are deliberately
+// generous — an order of magnitude beyond anything a real phone produces —
+// so they only reject reports that are absurd (malicious, fuzzed, or
+// corrupted in flight), never unusual-but-real ones.
+const (
+	// MaxScanReadings caps the APs one scan may report. Dense urban scans
+	// see tens of APs; hundreds is already implausible.
+	MaxScanReadings = 512
+	// MinValidRSSI / MaxValidRSSI bound a plausible received signal
+	// strength in dBm. Commodity radios bottom out near -100 dBm and
+	// nothing is received above ~0 dBm even against the antenna. RSS is an
+	// integer on the wire, so NaN and ±Inf cannot even be encoded; the
+	// range check catches every remaining absurd value.
+	MinValidRSSI = -120
+	MaxValidRSSI = 30
+	// MaxIDLength caps bus/route/phone/BSSID identifier lengths, so a
+	// hostile client cannot grow server-side maps with megabyte keys.
+	MaxIDLength = 128
+)
+
+// Validate checks a report's payload shape against the bounds above. It
+// deliberately does not check semantic fields the server owns (known
+// routes, fusion-window ordering) — only whether the payload could have
+// come from a sane phone at all. The server counts a failure as a
+// rejected-invalid report and answers 400.
+func (r Report) Validate() error {
+	if len(r.BusID) > MaxIDLength || len(r.RouteID) > MaxIDLength || len(r.PhoneID) > MaxIDLength {
+		return fmt.Errorf("api: identifier longer than %d bytes", MaxIDLength)
+	}
+	if n := len(r.Scan.Readings); n > MaxScanReadings {
+		return fmt.Errorf("api: scan reports %d APs, cap is %d", n, MaxScanReadings)
+	}
+	for _, rd := range r.Scan.Readings {
+		if len(rd.BSSID) > MaxIDLength {
+			return fmt.Errorf("api: BSSID longer than %d bytes", MaxIDLength)
+		}
+		if rd.RSSI < MinValidRSSI || rd.RSSI > MaxValidRSSI {
+			return fmt.Errorf("api: RSS %d dBm outside plausible range [%d, %d]", rd.RSSI, MinValidRSSI, MaxValidRSSI)
+		}
+	}
+	return nil
 }
 
 // IngestResponse acknowledges a report. If the report completed a fusion
@@ -74,6 +119,36 @@ type IngestStats struct {
 	Registered uint64 `json:"registered"`
 	// Evicted counts buses removed from memory by EvictStale.
 	Evicted uint64 `json:"evicted"`
+	// Invalid counts reports refused by payload validation (absurd AP
+	// counts, out-of-range RSS, oversized identifiers). A subset of
+	// Rejected.
+	Invalid uint64 `json:"invalid"`
+}
+
+// HTTPStats counts transport-level protection events since server start:
+// requests the hardened HTTP layer refused or survived rather than letting
+// them reach (or crash) the service.
+type HTTPStats struct {
+	// Shed counts report POSTs refused with 429 + Retry-After because the
+	// ingestion admission bound was saturated.
+	Shed uint64 `json:"shed"`
+	// TooLarge counts request bodies cut off by the size limit (413).
+	TooLarge uint64 `json:"tooLarge"`
+	// Panics counts handler panics recovered into a 500.
+	Panics uint64 `json:"panics"`
+}
+
+// HealthResponse is the /v1/healthz body: liveness plus the degradation
+// counters — load shedding, recovered panics, and (when persistence is
+// enabled) WAL/snapshot recovery state — so "up but degraded" is visible
+// to operators and probes.
+type HealthResponse struct {
+	OK          bool        `json:"ok"`
+	ActiveBuses int         `json:"activeBuses"`
+	Ingest      IngestStats `json:"ingest"`
+	HTTP        HTTPStats   `json:"http"`
+	// Persist is present when the server runs with a write-ahead log.
+	Persist *traveltime.PersistStats `json:"persist,omitempty"`
 }
 
 // VehicleStatus is the live state of one tracked bus.

@@ -114,7 +114,17 @@ func (c *Client) Trajectory(ctx context.Context, busID string) (api.TrajectoryRe
 
 // Health checks server liveness.
 func (c *Client) Health(ctx context.Context) error {
-	return c.do(ctx, http.MethodGet, api.PathHealth, nil, nil, &map[string]any{})
+	_, err := c.Healthz(ctx)
+	return err
+}
+
+// Healthz fetches the full health body: liveness plus the degradation
+// counters (ingest outcomes, load shedding, recovered panics, and — when
+// the server persists travel times — WAL/snapshot recovery state).
+func (c *Client) Healthz(ctx context.Context) (api.HealthResponse, error) {
+	var out api.HealthResponse
+	err := c.do(ctx, http.MethodGet, api.PathHealth, nil, nil, &out)
+	return out, err
 }
 
 func (c *Client) do(ctx context.Context, method, path string, q url.Values, in, out any) error {

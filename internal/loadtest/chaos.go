@@ -1,0 +1,260 @@
+// chaos.go is the fault-injection half of the harness: it perturbs fleet
+// report streams with the failure modes a crowd-sensed deployment actually
+// sees — malformed and oversized phone payloads, APs dying mid-trip (the
+// paper's AP-dynamics scenario, Prop. 1), and server crashes between fsync
+// batches — and provides the machinery to assert the service degrades
+// instead of corrupting: poisoned reports bounce without perturbing healthy
+// buses, positioning keeps emitting (possibly coarser) fixes when APs
+// vanish, and a kill -9 restart recovers the travel-time store from
+// snapshot + WAL to within the last fsync batch.
+package loadtest
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"wilocator/internal/api"
+	"wilocator/internal/server"
+	"wilocator/internal/traveltime"
+	"wilocator/internal/wifi"
+	"wilocator/internal/xrand"
+)
+
+// FaultSpec parameterises fault injection over generated streams.
+type FaultSpec struct {
+	// Seed drives every stochastic fault choice.
+	Seed uint64
+	// CorruptProb inserts, before a report, a malformed sibling (empty bus
+	// ID, unknown route, or absurd RSS) the server must reject with a
+	// counted error.
+	CorruptProb float64
+	// OversizeProb inserts a sibling whose scan reports more APs than
+	// api.MaxScanReadings — the payload-cap rejection path.
+	OversizeProb float64
+	// OutageAt, when positive, kills OutageFrac of the deployment's APs at
+	// T0+OutageAt: their readings vanish from every later scan, exactly as
+	// if the hotspots were switched off mid-trip.
+	OutageAt time.Duration
+	// OutageFrac is the fraction of APs that die at OutageAt.
+	OutageFrac float64
+}
+
+// FaultTally counts what InjectFaults actually injected, so tests can
+// assert the server's rejection counters match exactly.
+type FaultTally struct {
+	// CorruptID / CorruptRoute / CorruptRSS split the injected malformed
+	// reports by rejection path: missing identifiers, unknown route, and
+	// payload validation (absurd RSS).
+	CorruptID    int
+	CorruptRoute int
+	CorruptRSS   int
+	// Oversize counts injected reports beyond the scan reading cap.
+	Oversize int
+	// DeadAPs is the number of APs the outage removed; ScrubbedReadings
+	// counts the readings deleted from post-outage scans.
+	DeadAPs          int
+	ScrubbedReadings int
+}
+
+// Bad returns the number of injected reports the server must reject.
+func (t FaultTally) Bad() int {
+	return t.CorruptID + t.CorruptRoute + t.CorruptRSS + t.Oversize
+}
+
+// InjectFaults returns a deep-copied fleet with faults injected per spec.
+// Malformed and oversized reports are INSERTED next to clean ones (never
+// replacing them), so a correct server must end in exactly the state the
+// unfaulted streams produce: every injected report is rejected before it
+// can touch per-bus state. The AP outage, by contrast, edits clean scans
+// in place — that is a change of physical reality, not of protocol.
+func InjectFaults(w *World, streams []BusStream, spec FaultSpec) ([]BusStream, FaultTally) {
+	var tally FaultTally
+	rng := xrand.New(spec.Seed)
+
+	// Choose the dying APs once, fleet-wide.
+	dead := make(map[wifi.BSSID]bool)
+	var cutoff time.Time
+	if spec.OutageAt > 0 && spec.OutageFrac > 0 {
+		cutoff = T0.Add(spec.OutageAt)
+		for _, ap := range w.Dep.APs() {
+			if rng.Bool(spec.OutageFrac) {
+				dead[ap.BSSID] = true
+			}
+		}
+		tally.DeadAPs = len(dead)
+	}
+
+	out := make([]BusStream, len(streams))
+	corruptKind := 0
+	for i, st := range streams {
+		reports := make([]api.Report, 0, len(st.Reports))
+		for _, rep := range st.Reports {
+			if spec.CorruptProb > 0 && rng.Bool(spec.CorruptProb) {
+				bad := corruptReport(rep, corruptKind, &tally)
+				corruptKind++
+				reports = append(reports, bad)
+			}
+			if spec.OversizeProb > 0 && rng.Bool(spec.OversizeProb) {
+				reports = append(reports, oversizeReport(rep))
+				tally.Oversize++
+			}
+			if len(dead) > 0 && !rep.Scan.Time.Before(cutoff) {
+				rep.Scan = scrubScan(rep.Scan, dead, &tally)
+			}
+			reports = append(reports, rep)
+		}
+		out[i] = BusStream{BusID: st.BusID, RouteID: st.RouteID, Reports: reports}
+	}
+	return out, tally
+}
+
+// corruptReport derives one malformed report from a clean one, cycling
+// through the rejection paths so every path is exercised.
+func corruptReport(rep api.Report, kind int, tally *FaultTally) api.Report {
+	bad := cloneReport(rep)
+	switch kind % 3 {
+	case 0:
+		bad.BusID = ""
+		tally.CorruptID++
+	case 1:
+		bad.RouteID = "no-such-route"
+		tally.CorruptRoute++
+	default:
+		if len(bad.Scan.Readings) == 0 {
+			bad.Scan.Readings = []wifi.Reading{{BSSID: "x", RSSI: 0}}
+		}
+		bad.Scan.Readings[0].RSSI = 9999
+		tally.CorruptRSS++
+	}
+	return bad
+}
+
+// oversizeReport derives a report whose scan exceeds the AP-count cap.
+func oversizeReport(rep api.Report) api.Report {
+	bad := cloneReport(rep)
+	base := bad.Scan.Readings
+	if len(base) == 0 {
+		base = []wifi.Reading{{BSSID: "pad", RSSI: -50}}
+	}
+	readings := make([]wifi.Reading, 0, api.MaxScanReadings+1)
+	for len(readings) <= api.MaxScanReadings {
+		readings = append(readings, base[len(readings)%len(base)])
+	}
+	bad.Scan.Readings = readings
+	return bad
+}
+
+// scrubScan removes the readings of dead APs, as a real scan after the
+// outage would never have seen them.
+func scrubScan(scan wifi.Scan, dead map[wifi.BSSID]bool, tally *FaultTally) wifi.Scan {
+	kept := make([]wifi.Reading, 0, len(scan.Readings))
+	for _, rd := range scan.Readings {
+		if dead[rd.BSSID] {
+			tally.ScrubbedReadings++
+			continue
+		}
+		kept = append(kept, rd)
+	}
+	scan.Readings = kept
+	return scan
+}
+
+func cloneReport(rep api.Report) api.Report {
+	readings := make([]wifi.Reading, len(rep.Scan.Readings))
+	copy(readings, rep.Scan.Readings)
+	rep.Scan.Readings = readings
+	return rep
+}
+
+// PersistentService is a service whose travel-time records are WAL-backed
+// in Dir, ready for crash simulation.
+type PersistentService struct {
+	Svc     *server.Service
+	Store   *traveltime.Store
+	Persist *traveltime.Persister
+	Dir     string
+}
+
+// NewPersistentService assembles a service whose record sink write-ahead
+// logs into dir before applying, mirroring a production -wal-dir server.
+func NewPersistentService(w *World, dir string, cfg server.Config, pcfg traveltime.PersistConfig) (*PersistentService, error) {
+	store := traveltime.NewStore(traveltime.PaperPlan())
+	p, err := traveltime.OpenPersister(dir, store, pcfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Sink = p.Record
+	cfg.PersistStats = p.Stats
+	svc, err := server.NewService(w.Dia, store, cfg)
+	if err != nil {
+		p.Close()
+		return nil, err
+	}
+	return &PersistentService{Svc: svc, Store: store, Persist: p, Dir: dir}, nil
+}
+
+// SimulateCrash models kill -9 against ps: it copies ONLY the durable
+// bytes — the current snapshot (if any) plus the fsynced WAL prefix — into
+// dstDir. Appends still in the page cache (after the last fsync) are lost,
+// exactly as on a real power cut. The live persister is left untouched, so
+// the caller can also compare against "what the dead process had in
+// memory".
+func SimulateCrash(ps *PersistentService, dstDir string) error {
+	if err := os.MkdirAll(dstDir, 0o755); err != nil {
+		return err
+	}
+	snap, wal, synced := ps.Persist.CrashState()
+	if _, err := os.Stat(snap); err == nil {
+		// Snapshots are published by rename, so an existing file is
+		// complete by construction; copy it whole.
+		if err := copyPrefix(snap, filepath.Join(dstDir, filepath.Base(snap)), -1); err != nil {
+			return err
+		}
+	}
+	return copyPrefix(wal, filepath.Join(dstDir, filepath.Base(wal)), synced)
+}
+
+// Recover opens a fresh store over a (possibly crash-truncated) persistence
+// directory, replaying snapshot + WAL.
+func Recover(dir string, pcfg traveltime.PersistConfig) (*traveltime.Store, *traveltime.Persister, error) {
+	store := traveltime.NewStore(traveltime.PaperPlan())
+	p, err := traveltime.OpenPersister(dir, store, pcfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return store, p, nil
+}
+
+// copyPrefix copies the first n bytes of src to dst (n < 0 = all).
+func copyPrefix(src, dst string, n int64) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return fmt.Errorf("loadtest: crash copy: %w", err)
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return fmt.Errorf("loadtest: crash copy: %w", err)
+	}
+	var r io.Reader = in
+	if n >= 0 {
+		r = io.LimitReader(in, n)
+	}
+	if _, err := io.Copy(out, r); err != nil {
+		out.Close()
+		return fmt.Errorf("loadtest: crash copy: %w", err)
+	}
+	return out.Close()
+}
+
+// TotalReports sums the fleet's report count.
+func TotalReports(streams []BusStream) int {
+	n := 0
+	for _, st := range streams {
+		n += len(st.Reports)
+	}
+	return n
+}

@@ -1,0 +1,277 @@
+package loadtest
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"wilocator/internal/server"
+	"wilocator/internal/traveltime"
+)
+
+// chaosSpec is a slightly smaller fleet than testSpec: the chaos tests run
+// several replays each.
+func chaosSpec() StreamSpec {
+	spec := StreamSpec{
+		Buses:    8,
+		Phones:   3,
+		Seed:     7,
+		Horizon:  10 * time.Minute,
+		DupProb:  0.03,
+		SwapProb: 0.05,
+	}
+	if testing.Short() {
+		spec.Buses = 4
+		spec.Horizon = 5 * time.Minute
+	}
+	return spec
+}
+
+// TestChaosPoisonedReportsDoNotPerturbState: a stream salted with
+// malformed and oversized reports must leave the service in EXACTLY the
+// state the clean stream produces — every poisoned report bounces (counted)
+// before touching per-bus state — and the rejection counters must match
+// the injection tally to the report.
+func TestChaosPoisonedReportsDoNotPerturbState(t *testing.T) {
+	w := testWorld(t)
+	spec := chaosSpec()
+	clean, err := GenStreams(w, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, faults := InjectFaults(w, clean, FaultSpec{Seed: 99, CorruptProb: 0.05, OversizeProb: 0.02})
+	if faults.CorruptID == 0 || faults.CorruptRoute == 0 || faults.CorruptRSS == 0 || faults.Oversize == 0 {
+		t.Fatalf("injection did not cover every rejection path: %+v", faults)
+	}
+	now := FixedClock(T0.Add(spec.Horizon))
+
+	refSvc, refStore, err := NewService(w, server.Config{Now: now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refTally := ReplaySequential(refSvc, clean)
+	if refTally.Errors != 0 {
+		t.Fatalf("clean replay errored: %v", refTally)
+	}
+
+	chaosSvc, chaosStore, err := NewService(w, server.Config{Now: now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaosTally := ReplaySequential(chaosSvc, faulty)
+	t.Logf("clean: %v", refTally)
+	t.Logf("chaos: %v (injected %d bad reports)", chaosTally, faults.Bad())
+
+	if chaosTally.Errors != faults.Bad() {
+		t.Errorf("chaos replay errors = %d, want exactly the %d injected bad reports", chaosTally.Errors, faults.Bad())
+	}
+	st := chaosSvc.Stats()
+	if got, want := int(st.Invalid), faults.CorruptRSS+faults.Oversize; got != want {
+		t.Errorf("Stats().Invalid = %d, want %d (absurd-RSS + oversized injections)", got, want)
+	}
+	if int(st.Rejected) != faults.Bad() {
+		t.Errorf("Stats().Rejected = %d, want %d", st.Rejected, faults.Bad())
+	}
+	if err := traveltime.Diff(refStore, chaosStore, 1e-9); err != nil {
+		t.Errorf("poisoned replay perturbed the travel-time store: %v", err)
+	}
+	refTraj, err := Trajectories(refSvc, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaosTraj, err := Trajectories(chaosSvc, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DiffTrajectories(refTraj, chaosTraj); err != nil {
+		t.Errorf("poisoned replay perturbed trajectories: %v", err)
+	}
+}
+
+// TestChaosAPOutageKeepsPositioning: when a large fraction of APs dies
+// mid-fleet, reports stay valid (no errors) and positioning keeps emitting
+// fixes after the outage — the SVD merely coarsens, as Prop. 1 promises.
+func TestChaosAPOutageKeepsPositioning(t *testing.T) {
+	w := testWorld(t)
+	spec := chaosSpec()
+	clean, err := GenStreams(w, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outageAt := spec.Horizon / 2
+	cutoff := T0.Add(outageAt)
+	faulty, faults := InjectFaults(w, clean, FaultSpec{Seed: 5, OutageAt: outageAt, OutageFrac: 0.4})
+	if faults.DeadAPs == 0 || faults.ScrubbedReadings == 0 {
+		t.Fatalf("outage injection was a no-op: %+v", faults)
+	}
+	t.Logf("outage: %d APs dead, %d readings scrubbed", faults.DeadAPs, faults.ScrubbedReadings)
+
+	svc, store, err := NewService(w, server.Config{Now: FixedClock(T0.Add(spec.Horizon))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tally := ReplaySequential(svc, faulty)
+	if tally.Errors != 0 {
+		t.Fatalf("outage-scrubbed reports must stay valid, got %d errors", tally.Errors)
+	}
+	if tally.Located == 0 {
+		t.Fatal("no fixes at all under AP outage")
+	}
+	if store.NumRecords() == 0 {
+		t.Fatal("no travel-time records under AP outage")
+	}
+
+	trajs, err := Trajectories(svc, faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	busesWithPostOutageFix := 0
+	for _, tr := range trajs {
+		for _, fix := range tr.Fixes {
+			if fix.Time.After(cutoff) {
+				busesWithPostOutageFix++
+				break
+			}
+		}
+	}
+	if busesWithPostOutageFix == 0 {
+		t.Error("no bus produced a single fix after the AP outage; positioning collapsed instead of degrading")
+	}
+	t.Logf("%d/%d buses kept producing fixes after losing %d APs", busesWithPostOutageFix, len(trajs), faults.DeadAPs)
+}
+
+// TestChaosCrashRecoveryMatchesUninterrupted is the crash-safety
+// acceptance test: ingest half the fleet through a WAL-backed service
+// (snapshot rolled mid-way), kill it -9 style, recover from the durable
+// bytes only, and require the recovered store to EQUAL the store of an
+// uninterrupted in-memory run over the same reports. Then keep driving the
+// recovered service with the rest of the fleet to prove it resumes
+// ingesting. Runs under -race via `make chaos`.
+func TestChaosCrashRecoveryMatchesUninterrupted(t *testing.T) {
+	w := testWorld(t)
+	spec := chaosSpec()
+	streams, err := GenStreams(w, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := TotalReports(streams)
+	crashAt := total / 2
+	now := FixedClock(T0.Add(spec.Horizon))
+
+	// Uninterrupted reference over the same first-half delivery order.
+	refSvc, refStore, err := NewService(w, server.Config{Now: now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refTally := ReplayRange(refSvc, streams, 0, crashAt)
+	if refTally.Errors != 0 {
+		t.Fatalf("reference replay errored: %v", refTally)
+	}
+	if refStore.NumRecords() == 0 {
+		t.Fatal("reference run produced no records before the crash point; crash test is vacuous")
+	}
+
+	// WAL-backed run: fsync every record, auto-snapshot so recovery
+	// exercises snapshot + WAL combined.
+	base := t.TempDir()
+	ps, err := NewPersistentService(w, filepath.Join(base, "live"), server.Config{Now: now},
+		traveltime.PersistConfig{SyncEvery: 1, SnapshotEvery: refStore.NumRecords() / 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveTally := ReplayRange(ps.Svc, streams, 0, crashAt)
+	if liveTally != refTally {
+		t.Fatalf("persistent run tallies diverged before the crash: %v vs %v", liveTally, refTally)
+	}
+
+	recoveredDir := filepath.Join(base, "recovered")
+	if err := SimulateCrash(ps, recoveredDir); err != nil {
+		t.Fatal(err)
+	}
+	recStore, recPersist, err := Recover(recoveredDir, traveltime.PersistConfig{SyncEvery: 1})
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	rst := recPersist.Stats()
+	t.Logf("recovery: snapshot=%v walReplayed=%d skipped=%dB", rst.SnapshotLoaded, rst.WALReplayed, rst.WALSkippedBytes)
+	if !rst.SnapshotLoaded {
+		t.Error("recovery did not use the mid-fleet snapshot")
+	}
+	if err := traveltime.Diff(refStore, recStore, 1e-9); err != nil {
+		t.Fatalf("recovered store does not match the uninterrupted run: %v", err)
+	}
+
+	// The recovered store must carry a restarted server: deliver the rest
+	// of the fleet into a fresh service over it. Buses whose trackers died
+	// with the old process re-register and keep producing records.
+	recSvc, err := server.NewService(w.Dia, recStore, server.Config{Now: now, Sink: recPersist.Record})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := recStore.NumRecords()
+	resumeTally := ReplayRange(recSvc, streams, crashAt, -1)
+	if resumeTally.Errors != 0 {
+		t.Fatalf("resumed replay errored: %v", resumeTally)
+	}
+	if resumeTally.Located == 0 {
+		t.Error("resumed service produced no fixes")
+	}
+	if recStore.NumRecords() <= before {
+		t.Errorf("resumed service added no travel-time records (%d before, %d after)", before, recStore.NumRecords())
+	}
+	if err := recPersist.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_ = ps.Persist.Close()
+}
+
+// TestChaosCrashLosesAtMostOneFsyncBatch: with batched fsync (SyncEvery=N)
+// a crash may lose records — but never more than the unsynced batch.
+func TestChaosCrashLosesAtMostOneFsyncBatch(t *testing.T) {
+	w := testWorld(t)
+	spec := chaosSpec()
+	streams, err := GenStreams(w, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashAt := TotalReports(streams) / 2
+	now := FixedClock(T0.Add(spec.Horizon))
+	const batch = 16
+
+	refSvc, refStore, err := NewService(w, server.Config{Now: now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ReplayRange(refSvc, streams, 0, crashAt)
+
+	base := t.TempDir()
+	ps, err := NewPersistentService(w, filepath.Join(base, "live"), server.Config{Now: now},
+		traveltime.PersistConfig{SyncEvery: batch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ReplayRange(ps.Svc, streams, 0, crashAt)
+
+	recoveredDir := filepath.Join(base, "recovered")
+	if err := SimulateCrash(ps, recoveredDir); err != nil {
+		t.Fatal(err)
+	}
+	_ = ps.Persist.Close()
+	recStore, recPersist, err := Recover(recoveredDir, traveltime.PersistConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recPersist.Close()
+
+	lost := refStore.NumRecords() - recStore.NumRecords()
+	t.Logf("crash with SyncEvery=%d lost %d of %d records", batch, lost, refStore.NumRecords())
+	if lost < 0 {
+		t.Errorf("recovered store has MORE records (%d) than the reference (%d)", recStore.NumRecords(), refStore.NumRecords())
+	}
+	if lost >= batch {
+		t.Errorf("crash lost %d records, must be < the %d-record fsync batch", lost, batch)
+	}
+	if st := recPersist.Stats(); st.WALSkippedBytes != 0 {
+		t.Errorf("durable prefix should replay cleanly, got %+v", st)
+	}
+}

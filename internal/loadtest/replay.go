@@ -58,7 +58,17 @@ func (t *Tally) add(resp api.IngestResponse, err error) {
 // across buses (in-order within each bus), mimicking a global arrival-time
 // order. This is the reference replay the concurrent one is compared to.
 func ReplaySequential(svc *server.Service, streams []BusStream) Tally {
+	return ReplayRange(svc, streams, 0, -1)
+}
+
+// ReplayRange delivers the round-robin positions [skip, skip+limit) of the
+// global delivery order ReplaySequential uses (limit < 0 = to the end).
+// Splitting one order into consecutive ranges lets the chaos harness stop
+// a replay at an exact report count ("crash here"), recover, and resume
+// where the dead server left off.
+func ReplayRange(svc *server.Service, streams []BusStream, skip, limit int) Tally {
 	var tally Tally
+	pos := 0
 	for k := 0; ; k++ {
 		delivered := false
 		for _, st := range streams {
@@ -66,8 +76,14 @@ func ReplaySequential(svc *server.Service, streams []BusStream) Tally {
 				continue
 			}
 			delivered = true
-			resp, err := svc.Ingest(st.Reports[k])
-			tally.add(resp, err)
+			if pos >= skip && (limit < 0 || pos < skip+limit) {
+				resp, err := svc.Ingest(st.Reports[k])
+				tally.add(resp, err)
+			}
+			pos++
+			if limit >= 0 && pos >= skip+limit {
+				return tally
+			}
 		}
 		if !delivered {
 			return tally

@@ -2,19 +2,81 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 	"strconv"
+	"time"
 
 	"wilocator/internal/api"
 )
 
+// HandlerConfig tunes the transport hardening of the HTTP layer. The zero
+// value selects defaults safe for public exposure.
+type HandlerConfig struct {
+	// MaxBodyBytes caps a POST body. Requests whose body exceeds it are
+	// answered 413 (not a decode 400 — the client must know shrinking the
+	// payload, not fixing its JSON, is the remedy). Default 1 MiB; a real
+	// report is a few hundred bytes.
+	MaxBodyBytes int64
+	// MaxInFlightReports bounds concurrently admitted /v1/reports
+	// requests. Beyond the bound the server sheds load with 429 +
+	// Retry-After instead of queueing unboundedly: under a crowd-sensing
+	// stampede, bounded latency for admitted reports beats unbounded
+	// latency for all. Default 256.
+	MaxInFlightReports int
+	// RetryAfter is the Retry-After hint attached to shed responses,
+	// rounded up to whole seconds. Default 1s.
+	RetryAfter time.Duration
+}
+
+func (c HandlerConfig) withDefaults() HandlerConfig {
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxInFlightReports <= 0 {
+		c.MaxInFlightReports = 256
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
 // Handler returns the HTTP handler exposing the service as the JSON API of
-// package api.
+// package api, hardened with the default HandlerConfig.
 func Handler(s *Service) http.Handler {
+	return NewHandler(s, HandlerConfig{})
+}
+
+// NewHandler is Handler with explicit hardening limits.
+func NewHandler(s *Service, hc HandlerConfig) http.Handler {
+	hc = hc.withDefaults()
+	// Admission semaphore for the ingestion path. Buffered-channel
+	// try-acquire: a full channel means saturation, and the request is
+	// shed immediately rather than queued.
+	sem := make(chan struct{}, hc.MaxInFlightReports)
+	retryAfter := strconv.Itoa(int((hc.RetryAfter + time.Second - 1) / time.Second))
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST "+api.PathReports, func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case sem <- struct{}{}:
+			defer func() { <-sem }()
+		default:
+			s.http.shed.Add(1)
+			w.Header().Set("Retry-After", retryAfter)
+			writeErr(w, http.StatusTooManyRequests, "ingestion saturated; retry later")
+			return
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, hc.MaxBodyBytes)
 		var rep api.Report
 		if err := json.NewDecoder(r.Body).Decode(&rep); err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				s.http.tooLarge.Add(1)
+				writeErr(w, http.StatusRequestEntityTooLarge, "report body exceeds "+strconv.FormatInt(hc.MaxBodyBytes, 10)+" bytes")
+				return
+			}
 			writeErr(w, http.StatusBadRequest, "invalid report body: "+err.Error())
 			return
 		}
@@ -101,13 +163,34 @@ func Handler(s *Service) http.Handler {
 	})
 
 	mux.HandleFunc("GET "+api.PathHealth, func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{
-			"ok":          true,
-			"activeBuses": s.ActiveBuses(),
-			"ingest":      s.Stats(),
-		})
+		writeJSON(w, http.StatusOK, s.Health())
 	})
-	return mux
+	return recoverPanics(s, mux)
+}
+
+// recoverPanics converts a handler panic into a counted 500 so one bad
+// request cannot take the whole server process down with it. The panic
+// counter is exposed through Service.HTTPStats / healthz, turning "it
+// crashed somewhere" into an observable, alertable signal.
+// http.ErrAbortHandler is re-raised: it is net/http's own control flow for
+// deliberately dropping a connection.
+func recoverPanics(s *Service, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if err, ok := v.(error); ok && errors.Is(err, http.ErrAbortHandler) {
+				panic(v)
+			}
+			s.http.panics.Add(1)
+			// Best effort: if the handler already wrote headers the
+			// connection is committed and this write is a no-op.
+			writeErr(w, http.StatusInternalServerError, "internal error")
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -70,6 +70,13 @@ type Config struct {
 	// Origin georeferences the planar frame for trajectory responses
 	// (Definition 6 stores <lat, long, t>). Zero selects geo.DefaultOrigin.
 	Origin geo.LatLng
+	// Sink receives every travel-time record the trackers emit. Default
+	// store.Add. Wire a traveltime.Persister's Record here to write-ahead
+	// log each record before it becomes queryable state.
+	Sink func(traveltime.Record) error
+	// PersistStats, when set, surfaces WAL/snapshot/recovery counters in
+	// /v1/healthz (typically a traveltime.Persister's Stats).
+	PersistStats func() traveltime.PersistStats
 }
 
 func (c Config) withDefaults() Config {
@@ -117,6 +124,16 @@ type ingestStats struct {
 	located     atomic.Uint64
 	registered  atomic.Uint64
 	evicted     atomic.Uint64
+	invalid     atomic.Uint64
+}
+
+// httpStats holds the transport-hardening counters (load shedding, body
+// limits, recovered panics). They live on the Service so Stats-style
+// observability has one home, but only the HTTP handler increments them.
+type httpStats struct {
+	shed     atomic.Uint64
+	tooLarge atomic.Uint64
+	panics   atomic.Uint64
 }
 
 // Service is the WiLocator back-end core, independent of the HTTP transport.
@@ -131,9 +148,11 @@ type Service struct {
 	tmap  *trafficmap.Generator
 
 	proj *geo.Projection
+	sink func(traveltime.Record) error
 
 	buses *busTable
 	stats ingestStats
+	http  httpStats
 }
 
 // NewService wires the back-end together over a prebuilt diagram and
@@ -156,6 +175,10 @@ func NewService(dia *svd.Diagram, store *traveltime.Store, cfg Config) (*Service
 	if err != nil {
 		return nil, fmt.Errorf("server: traffic map: %w", err)
 	}
+	sink := cfg.Sink
+	if sink == nil {
+		sink = store.Add
+	}
 	return &Service{
 		cfg:   cfg,
 		net:   net,
@@ -165,6 +188,7 @@ func NewService(dia *svd.Diagram, store *traveltime.Store, cfg Config) (*Service
 		pred:  pred,
 		tmap:  tmap,
 		proj:  geo.NewProjection(cfg.Origin),
+		sink:  sink,
 		buses: newBusTable(cfg.Shards),
 	}, nil
 }
@@ -185,7 +209,33 @@ func (s *Service) Stats() api.IngestStats {
 		Located:     s.stats.located.Load(),
 		Registered:  s.stats.registered.Load(),
 		Evicted:     s.stats.evicted.Load(),
+		Invalid:     s.stats.invalid.Load(),
 	}
+}
+
+// HTTPStats returns the transport-hardening counters (load shedding, body
+// limits, recovered panics).
+func (s *Service) HTTPStats() api.HTTPStats {
+	return api.HTTPStats{
+		Shed:     s.http.shed.Load(),
+		TooLarge: s.http.tooLarge.Load(),
+		Panics:   s.http.panics.Load(),
+	}
+}
+
+// Health assembles the /v1/healthz body.
+func (s *Service) Health() api.HealthResponse {
+	h := api.HealthResponse{
+		OK:          true,
+		ActiveBuses: s.ActiveBuses(),
+		Ingest:      s.Stats(),
+		HTTP:        s.HTTPStats(),
+	}
+	if s.cfg.PersistStats != nil {
+		ps := s.cfg.PersistStats()
+		h.Persist = &ps
+	}
+	return h
 }
 
 // staleAt reports whether a bus last heard from at lastUpdate is stale at
@@ -209,6 +259,14 @@ func (s *Service) Ingest(rep api.Report) (api.IngestResponse, error) {
 	if rep.BusID == "" || rep.RouteID == "" {
 		s.stats.rejected.Add(1)
 		return api.IngestResponse{}, errors.New("server: report missing bus or route id")
+	}
+	if err := rep.Validate(); err != nil {
+		// Absurd payloads (AP counts, RSS values, identifier lengths) are
+		// refused before touching any per-bus state, so a poisoned report
+		// can never perturb the tracking of an otherwise healthy bus.
+		s.stats.invalid.Add(1)
+		s.stats.rejected.Add(1)
+		return api.IngestResponse{}, err
 	}
 	if _, ok := s.net.Route(rep.RouteID); !ok {
 		s.stats.rejected.Add(1)
@@ -286,8 +344,9 @@ func (s *Service) flushLocked(bs *busState) (locate.Estimate, bool) {
 					Enter:   bs.lastCross.At,
 					Exit:    c.At,
 				}
-				// A malformed crossing pair is dropped, not fatal.
-				_ = s.store.Add(rec)
+				// A malformed crossing pair is dropped, not fatal. The sink
+				// WAL-persists the record when persistence is enabled.
+				_ = s.sink(rec)
 			}
 		}
 		cc := c

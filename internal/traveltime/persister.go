@@ -1,0 +1,432 @@
+package traveltime
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Persister makes a Store crash-safe. It owns a directory holding, per
+// generation g:
+//
+//	snapshot-<g>.json  — an atomic full snapshot of the store (WriteTo)
+//	wal-<g>.log        — the records ingested since that snapshot
+//
+// Every Record call appends a length+CRC frame to the current WAL before
+// returning, fsync-batched every SyncEvery appends, so a crash (power cut,
+// kill -9, OOM) loses at most the records since the last fsync. Snapshot
+// rolls a new generation: the snapshot is written to a temp file in the
+// same directory, fsynced and renamed into place, a fresh WAL is created,
+// and only then are the previous generation's files removed — so at every
+// instant the directory contains at least one complete recovery lineage.
+//
+// OpenPersister recovers: it loads the newest readable snapshot (falling
+// back to older generations if the newest is unreadable), replays the
+// matching WAL on top, and tolerates a truncated or corrupt WAL tail by
+// truncating the log back to the last intact frame, counting what was
+// discarded. Recovery is idempotent — opening the same directory twice in
+// a row yields the same store state.
+//
+// Concurrency: Record may be called from many goroutines (the server's
+// ingestion path); Snapshot, Sync and Stats may race with Record freely.
+// The caller is responsible for not mutating the store behind the
+// persister's back (use Record, not Store.Add, once the persister owns
+// the store).
+type Persister struct {
+	dir   string
+	store *Store
+	cfg   PersistConfig
+
+	mu        sync.Mutex
+	gen       uint64
+	wal       *os.File
+	walSize   int64
+	synced    int64 // WAL bytes known durable (offset at last fsync)
+	pending   int   // appends since last fsync
+	sinceSnap int   // appends since last snapshot
+	closed    bool
+	buf       []byte
+	stats     PersistStats
+}
+
+// PersistConfig tunes the persister. The zero value selects defaults.
+type PersistConfig struct {
+	// SyncEvery batches WAL fsyncs: the log is fsynced after every
+	// SyncEvery appended records (1 = fsync each record). Default 64. A
+	// crash loses at most SyncEvery-1 records beyond the last fsync.
+	SyncEvery int
+	// SnapshotEvery rolls a new snapshot generation automatically after
+	// this many WAL appends. 0 disables auto-snapshots; callers snapshot
+	// explicitly (e.g. on a timer) instead.
+	SnapshotEvery int
+}
+
+func (c PersistConfig) withDefaults() PersistConfig {
+	if c.SyncEvery <= 0 {
+		c.SyncEvery = 64
+	}
+	return c
+}
+
+// PersistStats counts persistence and recovery events. All counters are
+// cumulative since OpenPersister; the recovery fields describe the open
+// itself, so degraded starts (corrupt tails, missing snapshots) are
+// observable through /v1/healthz rather than buried in logs.
+type PersistStats struct {
+	// WALAppends counts records appended to the WAL; WALSyncs counts the
+	// fsyncs that made them durable.
+	WALAppends uint64 `json:"walAppends"`
+	WALSyncs   uint64 `json:"walSyncs"`
+	// Snapshots counts snapshot generations rolled since open.
+	Snapshots uint64 `json:"snapshots"`
+	// SnapshotLoaded reports whether recovery loaded a snapshot;
+	// SnapshotsSkipped counts newer snapshot files that were unreadable
+	// and fell through to an older generation.
+	SnapshotLoaded   bool `json:"snapshotLoaded"`
+	SnapshotsSkipped int  `json:"snapshotsSkipped"`
+	// WALReplayed counts records replayed from the WAL at open;
+	// WALRejected counts replayed frames the store refused (possible only
+	// for logs not written through Record).
+	WALReplayed int `json:"walReplayed"`
+	WALRejected int `json:"walRejected"`
+	// WALSkippedBytes is the length of the truncated/corrupt WAL tail
+	// discarded at open (0 for a clean log); WALTailError describes it.
+	WALSkippedBytes int64  `json:"walSkippedBytes"`
+	WALTailError    string `json:"walTailError,omitempty"`
+}
+
+// OpenPersister opens (creating if needed) a persistence directory,
+// recovers the store from it, and returns a persister appending to it. The
+// store's prior contents are replaced by the recovered state (or left
+// empty when the directory holds no history yet).
+func OpenPersister(dir string, store *Store, cfg PersistConfig) (*Persister, error) {
+	if store == nil {
+		return nil, errors.New("traveltime: OpenPersister on nil store")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("traveltime: persist dir: %w", err)
+	}
+	p := &Persister{dir: dir, store: store, cfg: cfg.withDefaults()}
+	if err := p.recover(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *Persister) snapshotPath(gen uint64) string {
+	return filepath.Join(p.dir, fmt.Sprintf("snapshot-%08d.json", gen))
+}
+
+func (p *Persister) walPath(gen uint64) string {
+	return filepath.Join(p.dir, fmt.Sprintf("wal-%08d.log", gen))
+}
+
+// scanGenerations lists the snapshot and WAL generations present in dir.
+func (p *Persister) scanGenerations() (snaps, wals []uint64, err error) {
+	ents, err := os.ReadDir(p.dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("traveltime: scan persist dir: %w", err)
+	}
+	for _, e := range ents {
+		name := e.Name()
+		var g uint64
+		switch {
+		case strings.HasPrefix(name, "snapshot-") && strings.HasSuffix(name, ".json"):
+			if _, err := fmt.Sscanf(name, "snapshot-%08d.json", &g); err == nil {
+				snaps = append(snaps, g)
+			}
+		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"):
+			if _, err := fmt.Sscanf(name, "wal-%08d.log", &g); err == nil {
+				wals = append(wals, g)
+			}
+		case strings.HasPrefix(name, "tmp-"):
+			// A snapshot write that never reached its rename; harmless.
+			_ = os.Remove(filepath.Join(p.dir, name))
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] > snaps[j] })
+	sort.Slice(wals, func(i, j int) bool { return wals[i] > wals[j] })
+	return snaps, wals, nil
+}
+
+// recover loads the newest readable snapshot, replays its WAL, truncates a
+// bad tail, and leaves the persister appending to that generation's log.
+func (p *Persister) recover() error {
+	snaps, wals, err := p.scanGenerations()
+	if err != nil {
+		return err
+	}
+
+	gen := uint64(0)
+	loaded := false
+	for _, g := range snaps {
+		f, err := os.Open(p.snapshotPath(g))
+		if err != nil {
+			p.stats.SnapshotsSkipped++
+			continue
+		}
+		_, err = p.store.ReadFrom(f)
+		f.Close()
+		if err != nil {
+			// Unreadable snapshot (disk corruption, foreign schema): fall
+			// back to the previous complete generation rather than losing
+			// all history to one bad file.
+			p.stats.SnapshotsSkipped++
+			continue
+		}
+		gen, loaded = g, true
+		break
+	}
+	if !loaded {
+		if len(snaps) > 0 {
+			return fmt.Errorf("traveltime: persist dir %s: none of %d snapshots is readable", p.dir, len(snaps))
+		}
+		// No snapshot ever written: the only possible log is generation 0.
+		if len(wals) > 0 {
+			gen = wals[len(wals)-1] // oldest: pre-first-snapshot log
+		}
+	}
+	p.stats.SnapshotLoaded = loaded
+	p.gen = gen
+
+	wal, err := os.OpenFile(p.walPath(gen), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("traveltime: open WAL: %w", err)
+	}
+	applied, rejected, goodOffset, tailErr := ReplayWAL(wal, p.store.Add)
+	p.stats.WALReplayed = applied
+	p.stats.WALRejected = rejected
+	if tailErr != nil {
+		size, serr := wal.Seek(0, 2)
+		if serr != nil {
+			wal.Close()
+			return fmt.Errorf("traveltime: size WAL: %w", serr)
+		}
+		p.stats.WALSkippedBytes = size - goodOffset
+		p.stats.WALTailError = tailErr.Error()
+		// Discard the torn tail so subsequent appends extend the valid
+		// prefix instead of burying frames behind garbage.
+		if err := wal.Truncate(goodOffset); err != nil {
+			wal.Close()
+			return fmt.Errorf("traveltime: truncate WAL tail: %w", err)
+		}
+		if err := wal.Sync(); err != nil {
+			wal.Close()
+			return fmt.Errorf("traveltime: sync truncated WAL: %w", err)
+		}
+	}
+	if _, err := wal.Seek(goodOffset, 0); err != nil {
+		wal.Close()
+		return fmt.Errorf("traveltime: seek WAL: %w", err)
+	}
+	p.wal = wal
+	p.walSize = goodOffset
+	p.synced = goodOffset
+
+	// Clean up generations superseded by the one we recovered (left behind
+	// by a crash between snapshot rotation and cleanup).
+	for _, g := range snaps {
+		if g < gen {
+			_ = os.Remove(p.snapshotPath(g))
+		}
+	}
+	for _, g := range wals {
+		if g < gen {
+			_ = os.Remove(p.walPath(g))
+		}
+	}
+	return nil
+}
+
+// Record applies rec to the store and appends it to the WAL, fsyncing when
+// the batch is full. The store rejects the record first (non-positive
+// duration, missing route): rejected records are never logged.
+func (p *Persister) Record(rec Record) error {
+	if err := p.store.Add(rec); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return errors.New("traveltime: Record on closed persister")
+	}
+	buf, err := appendWALFrame(p.buf[:0], rec)
+	if err != nil {
+		return err
+	}
+	p.buf = buf
+	n, err := p.wal.Write(buf)
+	p.walSize += int64(n)
+	if err != nil {
+		return fmt.Errorf("traveltime: append WAL: %w", err)
+	}
+	p.stats.WALAppends++
+	p.pending++
+	if p.pending >= p.cfg.SyncEvery {
+		if err := p.syncLocked(); err != nil {
+			return err
+		}
+	}
+	p.sinceSnap++
+	if p.cfg.SnapshotEvery > 0 && p.sinceSnap >= p.cfg.SnapshotEvery {
+		return p.snapshotLocked()
+	}
+	return nil
+}
+
+func (p *Persister) syncLocked() error {
+	if p.pending == 0 && p.synced == p.walSize {
+		return nil
+	}
+	if err := p.wal.Sync(); err != nil {
+		return fmt.Errorf("traveltime: sync WAL: %w", err)
+	}
+	p.synced = p.walSize
+	p.pending = 0
+	p.stats.WALSyncs++
+	return nil
+}
+
+// Sync forces any batched WAL appends to durable storage.
+func (p *Persister) Sync() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	return p.syncLocked()
+}
+
+// Snapshot rolls a new generation: writes an atomic snapshot of the store,
+// switches to a fresh WAL and removes the superseded generation. After a
+// snapshot the WAL is empty, so recovery cost stays proportional to the
+// records since the last snapshot, not since server birth.
+func (p *Persister) Snapshot() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return errors.New("traveltime: Snapshot on closed persister")
+	}
+	return p.snapshotLocked()
+}
+
+func (p *Persister) snapshotLocked() error {
+	next := p.gen + 1
+	if err := writeSnapshotFile(p.store, p.snapshotPath(next)); err != nil {
+		return err
+	}
+	wal, err := os.OpenFile(p.walPath(next), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("traveltime: create WAL: %w", err)
+	}
+	if err := syncDir(p.dir); err != nil {
+		wal.Close()
+		return err
+	}
+	old := p.gen
+	_ = p.wal.Close()
+	p.wal = wal
+	p.walSize, p.synced, p.pending = 0, 0, 0
+	p.gen = next
+	p.sinceSnap = 0
+	p.stats.Snapshots++
+	// Only now is the old lineage redundant. Removal is best-effort; a
+	// crash here leaves extra files that the next open cleans up.
+	_ = os.Remove(p.snapshotPath(old))
+	_ = os.Remove(p.walPath(old))
+	return nil
+}
+
+// Close fsyncs and closes the WAL. It does not snapshot; callers wanting a
+// compact restart call Snapshot first.
+func (p *Persister) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	err := p.syncLocked()
+	if cerr := p.wal.Close(); err == nil {
+		err = cerr
+	}
+	p.closed = true
+	return err
+}
+
+// Stats returns a copy of the cumulative persistence counters.
+func (p *Persister) Stats() PersistStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Dir returns the persistence directory.
+func (p *Persister) Dir() string { return p.dir }
+
+// CrashState reports the durable on-disk state at this instant: the
+// current generation's snapshot and WAL paths (the snapshot may not exist
+// for generation 0) and the fsynced WAL prefix length. Everything beyond
+// syncedWAL may still be in the page cache only — a kill -9 simulator
+// (internal/loadtest) copies exactly snapshot + wal[:syncedWAL] to model
+// the worst surviving state.
+func (p *Persister) CrashState() (snapshot, wal string, syncedWAL int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.snapshotPath(p.gen), p.walPath(p.gen), p.synced
+}
+
+// SaveSnapshotFile writes a snapshot of the store to path atomically: the
+// JSON goes to a temp file in the same directory, is fsynced, and is
+// renamed over path, so readers (and crashes) see either the old complete
+// snapshot or the new complete snapshot, never a torn write.
+func SaveSnapshotFile(store *Store, path string) error {
+	if store == nil {
+		return errors.New("traveltime: SaveSnapshotFile on nil store")
+	}
+	return writeSnapshotFile(store, path)
+}
+
+func writeSnapshotFile(store *Store, path string) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "tmp-snapshot-*")
+	if err != nil {
+		return fmt.Errorf("traveltime: create snapshot temp: %w", err)
+	}
+	tmp := f.Name()
+	cleanup := func() { f.Close(); os.Remove(tmp) }
+	if _, err := store.WriteTo(f); err != nil {
+		cleanup()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("traveltime: sync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("traveltime: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("traveltime: publish snapshot: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry is
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("traveltime: open dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("traveltime: sync dir: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package traveltime
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// The write-ahead log is a flat sequence of frames:
+//
+//	[4-byte little-endian payload length][4-byte CRC32 (IEEE) of payload][payload]
+//
+// where the payload is the JSON encoding of one Record. The framing makes
+// the durable tail self-describing: a crash that tears the final append
+// leaves either a short header, a short payload, or a payload whose CRC no
+// longer matches — all of which recovery detects and discards without
+// touching the valid prefix.
+
+// walHeaderSize is the fixed per-frame header: length + CRC32.
+const walHeaderSize = 8
+
+// MaxWALFrame bounds a single WAL frame payload. A Record encodes to well
+// under 200 bytes; anything larger means the length field itself is
+// corrupt, so replay treats it as a bad frame rather than attempting a
+// gigantic allocation.
+const MaxWALFrame = 1 << 20
+
+// appendWALFrame encodes rec as one frame and appends it to dst.
+func appendWALFrame(dst []byte, rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return dst, fmt.Errorf("traveltime: encode WAL record: %w", err)
+	}
+	if len(payload) > MaxWALFrame {
+		return dst, fmt.Errorf("traveltime: WAL record of %d bytes exceeds frame cap %d", len(payload), MaxWALFrame)
+	}
+	var hdr [walHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...), nil
+}
+
+// ReplayWAL scans a write-ahead log, invoking apply for every intact frame
+// in order. It returns the number of records applied, the number apply
+// rejected (apply errors skip that record but do not stop the scan — the
+// frame was durable and authentic, so the records after it are too), the
+// byte length of the valid frame prefix, and tailErr describing the first
+// bad frame.
+//
+// A nil tailErr means the log ended cleanly on a frame boundary. A non-nil
+// tailErr means the scan stopped early — a truncated final frame after a
+// crash, or a corrupt length/CRC — and everything beyond goodOffset was
+// discarded; callers decide whether that is tolerable (crash recovery: yes,
+// counted) and may truncate the file back to goodOffset before appending.
+func ReplayWAL(r io.Reader, apply func(Record) error) (applied, rejected int, goodOffset int64, tailErr error) {
+	br := bufio.NewReader(r)
+	var hdr [walHeaderSize]byte
+	payload := make([]byte, 0, 256)
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				return applied, rejected, goodOffset, nil
+			}
+			return applied, rejected, goodOffset, fmt.Errorf("traveltime: WAL frame %d: truncated header at offset %d", applied+rejected, goodOffset)
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		if n == 0 || n > MaxWALFrame {
+			return applied, rejected, goodOffset, fmt.Errorf("traveltime: WAL frame %d: implausible length %d at offset %d", applied+rejected, n, goodOffset)
+		}
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return applied, rejected, goodOffset, fmt.Errorf("traveltime: WAL frame %d: truncated payload at offset %d", applied+rejected, goodOffset)
+		}
+		if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(hdr[4:8]); got != want {
+			return applied, rejected, goodOffset, fmt.Errorf("traveltime: WAL frame %d: CRC mismatch at offset %d (got %08x, want %08x)", applied+rejected, goodOffset, got, want)
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			// The CRC matched but the payload is not a record: the frame was
+			// written by something that is not us. Stop, like any bad frame.
+			return applied, rejected, goodOffset, fmt.Errorf("traveltime: WAL frame %d: undecodable payload at offset %d: %v", applied+rejected, goodOffset, err)
+		}
+		goodOffset += int64(walHeaderSize) + int64(n)
+		if err := apply(rec); err != nil {
+			rejected++
+			continue
+		}
+		applied++
+	}
+}

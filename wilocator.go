@@ -31,6 +31,7 @@
 package wilocator
 
 import (
+	"errors"
 	"io"
 	"net/http"
 	"time"
@@ -159,6 +160,17 @@ func BuildDiagram(net *Network, dep *Deployment, cfg DiagramConfig) (*Diagram, e
 	return svd.Build(net, dep, cfg)
 }
 
+// PersistConfig tunes crash-safe travel-time persistence (WAL fsync
+// batching and automatic snapshot cadence).
+type PersistConfig = traveltime.PersistConfig
+
+// PersistStats counts WAL/snapshot/recovery events.
+type PersistStats = traveltime.PersistStats
+
+// HandlerConfig tunes the HTTP transport hardening (body limits, ingestion
+// admission bound, Retry-After hint).
+type HandlerConfig = server.HandlerConfig
+
 // Config tunes a System. The zero value selects the paper's defaults.
 type Config struct {
 	// Diagram parameterises SVD construction.
@@ -166,15 +178,23 @@ type Config struct {
 	// Server parameterises ingestion, tracking, prediction and the traffic
 	// map.
 	Server server.Config
+	// PersistDir, when non-empty, makes the travel-time store crash-safe:
+	// prior state is recovered from the directory's snapshot + write-ahead
+	// log at New, and every record is WAL-appended before it becomes
+	// queryable. See traveltime.Persister.
+	PersistDir string
+	// Persist tunes the persister; ignored without PersistDir.
+	Persist PersistConfig
 }
 
 // System is the assembled WiLocator back-end: SVD positioning, per-bus
 // tracking, travel-time learning, arrival prediction and traffic maps, with
 // an HTTP API for phones and rider apps. It is safe for concurrent use.
 type System struct {
-	dia   *svd.Diagram
-	store *traveltime.Store
-	svc   *server.Service
+	dia     *svd.Diagram
+	store   *traveltime.Store
+	svc     *server.Service
+	persist *traveltime.Persister // nil without Config.PersistDir
 }
 
 // New assembles a system over a road network and AP deployment.
@@ -184,11 +204,20 @@ func New(net *Network, dep *Deployment, cfg Config) (*System, error) {
 		return nil, err
 	}
 	store := traveltime.NewStore(traveltime.PaperPlan())
+	var persist *traveltime.Persister
+	if cfg.PersistDir != "" {
+		persist, err = traveltime.OpenPersister(cfg.PersistDir, store, cfg.Persist)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Server.Sink = persist.Record
+		cfg.Server.PersistStats = persist.Stats
+	}
 	svc, err := server.NewService(dia, store, cfg.Server)
 	if err != nil {
 		return nil, err
 	}
-	return &System{dia: dia, store: store, svc: svc}, nil
+	return &System{dia: dia, store: store, svc: svc, persist: persist}, nil
 }
 
 // Diagram returns the system's Signal Voronoi Diagram.
@@ -243,8 +272,51 @@ func (s *System) Stats() IngestStats { return s.svc.Stats() }
 // servers to bound memory.
 func (s *System) EvictStale() int { return s.svc.EvictStale() }
 
-// Handler returns the HTTP handler exposing the system's JSON API.
+// Handler returns the HTTP handler exposing the system's JSON API,
+// hardened with default limits (panic recovery, 1 MiB bodies, a 256-deep
+// ingestion admission bound shedding with 429 + Retry-After).
 func (s *System) Handler() http.Handler { return server.Handler(s.svc) }
+
+// HandlerWith is Handler with explicit hardening limits.
+func (s *System) HandlerWith(hc HandlerConfig) http.Handler { return server.NewHandler(s.svc, hc) }
+
+// SnapshotTravelTimes rolls a new persistence generation (atomic snapshot
+// + fresh WAL). It errors unless the system was built with
+// Config.PersistDir. Long-running servers call it periodically to keep
+// recovery time proportional to the records since the last snapshot.
+func (s *System) SnapshotTravelTimes() error {
+	if s.persist == nil {
+		return errors.New("wilocator: persistence not enabled (Config.PersistDir)")
+	}
+	return s.persist.Snapshot()
+}
+
+// ClosePersistence fsyncs and closes the write-ahead log. A no-op without
+// Config.PersistDir.
+func (s *System) ClosePersistence() error {
+	if s.persist == nil {
+		return nil
+	}
+	return s.persist.Close()
+}
+
+// PersistStats returns the WAL/snapshot/recovery counters; ok is false
+// without Config.PersistDir.
+func (s *System) PersistStats() (stats PersistStats, ok bool) {
+	if s.persist == nil {
+		return PersistStats{}, false
+	}
+	return s.persist.Stats(), true
+}
+
+// SaveTravelTimesFile snapshots the store to path atomically (temp file in
+// the same directory, fsync, rename), so a crash mid-save can never tear
+// an existing snapshot. This is the -store save path of
+// cmd/wilocator-server; prefer Config.PersistDir for crash-safety between
+// saves too.
+func (s *System) SaveTravelTimesFile(path string) error {
+	return traveltime.SaveSnapshotFile(s.store, path)
+}
 
 // AddTravelTime injects an observed segment traversal into the historical
 // store (offline training / imported AVL history).
