@@ -1,12 +1,14 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: ci vet build test race chaos fuzz-smoke bench
+.PHONY: ci vet build test race chaos fuzz-smoke bench bench-smoke
 
 # ci is the full local gate: static checks, the race-instrumented test
 # suite (including the internal/loadtest fleet replay), the chaos /
-# crash-recovery harness and a short fuzz smoke on every fuzz target.
-ci: vet build race chaos fuzz-smoke
+# crash-recovery harness, a short fuzz smoke on every fuzz target and a
+# one-iteration benchmark smoke (catches benchmarks that stop compiling or
+# crash, without timing anything).
+ci: vet build race chaos fuzz-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -35,5 +37,16 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadFrom -fuzztime=$(FUZZTIME) ./internal/traveltime
 	$(GO) test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=$(FUZZTIME) ./internal/traveltime
 
+# bench times the SVD construction/lookup benchmarks and writes the parsed
+# numbers (ns/op, B/op, allocs/op) to BENCH_svd.json via cmd/benchjson.
 bench:
+	$(GO) test -run='^$$' -bench='SVD' -benchmem -count=1 . | $(GO) run ./cmd/benchjson -out BENCH_svd.json
+	@cat BENCH_svd.json
+
+# bench-smoke runs each SVD build benchmark exactly once — a compile-and-run
+# check for ci, not a measurement.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=SVDBuild -benchtime=1x .
+
+bench-all:
 	$(GO) test -bench=. -benchmem

@@ -327,8 +327,8 @@ func BenchmarkSVDBuildVancouver(b *testing.B) {
 	}
 }
 
-// BenchmarkLocate measures one scan-to-position lookup.
-func BenchmarkLocate(b *testing.B) {
+// BenchmarkSVDLookup measures one scan-to-position lookup.
+func BenchmarkSVDLookup(b *testing.B) {
 	net, dep, dia := microWorld(b)
 	pos, err := locate.NewPositioner(dia, dia.Order())
 	if err != nil {

@@ -9,9 +9,17 @@
 //	wilocator-server [-addr :8421] [-network vancouver|campus] [-seed 42]
 //	                 [-ap-spacing 35] [-campus-length 2500] [-store history.json]
 //	                 [-wal-dir history.wal] [-snapshot-every 5m] [-wal-sync-every 64]
-//	                 [-shards 32] [-evict-every 1m]
+//	                 [-shards 32] [-evict-every 1m] [-build-workers 0]
+//	                 [-rebuild-on-ap-change 30s] [-pprof-addr localhost:6060]
 //	                 [-max-body 1048576] [-max-inflight 256]
 //	                 [-read-timeout 10s] [-write-timeout 30s] [-idle-timeout 2m]
+//
+// The Signal Voronoi Diagram can be rebuilt at runtime without a restart:
+// POST /v1/admin/rebuild swaps in a diagram built from the deployment's
+// current AP activation state, and -rebuild-on-ap-change polls the active-AP
+// set on the given period and rebuilds automatically when it changed.
+// -pprof-addr serves net/http/pprof on its own listener (keep it loopback or
+// firewalled; the public API listener never exposes it).
 //
 // Travel-time durability comes in two grades:
 //
@@ -31,15 +39,19 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sort"
 	"syscall"
 	"time"
 
 	"wilocator"
 	"wilocator/internal/server"
+	"wilocator/internal/svd"
 	"wilocator/internal/traveltime"
 )
 
@@ -64,6 +76,9 @@ func run() error {
 		networkFile  = flag.String("network-file", "", "load the road network from a JSON file instead of a generator")
 		shards       = flag.Int("shards", 0, "bus-state shards for concurrent ingestion (0 = default, rounded up to a power of two)")
 		evictEvery   = flag.Duration("evict-every", time.Minute, "period of the stale-bus eviction sweep (0 disables)")
+		buildWorkers = flag.Int("build-workers", 0, "worker pool size for diagram builds and rebuilds (0 = GOMAXPROCS, 1 = sequential; output is identical either way)")
+		rebuildPoll  = flag.Duration("rebuild-on-ap-change", 0, "poll the active-AP set on this period and rebuild the diagram when it changed (0 disables)")
+		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty disables; keep it loopback or firewalled)")
 		maxBody      = flag.Int64("max-body", 1<<20, "maximum POST body size in bytes (over-limit requests get 413)")
 		maxInflight  = flag.Int("max-inflight", 256, "admission bound on concurrent report ingestions (beyond it: 429 + Retry-After)")
 		readTimeout  = flag.Duration("read-timeout", 10*time.Second, "HTTP server read timeout")
@@ -109,6 +124,7 @@ func run() error {
 
 	start := time.Now()
 	sys, err := wilocator.New(net, dep, wilocator.Config{
+		Diagram:    svd.Config{Workers: *buildWorkers},
 		Server:     server.Config{Shards: *shards},
 		PersistDir: *walDir,
 		Persist:    traveltime.PersistConfig{SyncEvery: *walSyncEvery},
@@ -157,6 +173,50 @@ func run() error {
 				if n := sys.EvictStale(); n > 0 {
 					log.Printf("evicted %d stale buses", n)
 				}
+			}
+		}()
+	}
+
+	// Watch the deployment for AP dynamics: when the active-AP fingerprint
+	// changes (APs deactivated or reactivated through the library), rebuild
+	// the diagram and hot-swap it under the live traffic.
+	if *rebuildPoll > 0 {
+		apTicker := time.NewTicker(*rebuildPoll)
+		defer apTicker.Stop()
+		go func() {
+			last := activeAPFingerprint(dep)
+			for range apTicker.C {
+				fp := activeAPFingerprint(dep)
+				if fp == last {
+					continue
+				}
+				resp, err := sys.Rebuild(context.Background())
+				if err != nil {
+					if !errors.Is(err, server.ErrRebuildInProgress) {
+						log.Printf("rebuild on AP change: %v", err)
+					}
+					continue // fingerprint unchanged: retry next tick
+				}
+				last = fp
+				log.Printf("AP set changed; rebuilt diagram in %.0f ms (generation %d, %d tiles, %d cells)",
+					resp.DurationMS, resp.Generation, resp.Tiles, resp.Cells)
+			}
+		}()
+	}
+
+	// pprof gets its own listener so profiling is never reachable through
+	// the public API address.
+	if *pprofAddr != "" {
+		pprofMux := http.NewServeMux()
+		pprofMux.HandleFunc("/debug/pprof/", pprof.Index)
+		pprofMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pprofMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pprofMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pprofMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("serving pprof on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pprofMux); err != nil {
+				log.Printf("pprof server: %v", err)
 			}
 		}()
 	}
@@ -230,6 +290,24 @@ func flushStore(sys *wilocator.System, walDir, storePath string) error {
 		log.Printf("saved travel-time store to %s", storePath)
 	}
 	return nil
+}
+
+// activeAPFingerprint hashes the sorted active-BSSID set. Two deployments
+// fingerprint equal iff the same APs are active, so the rebuild watcher
+// triggers exactly on AP dynamics (and never on a mere re-poll).
+func activeAPFingerprint(dep *wilocator.Deployment) uint64 {
+	aps := dep.ActiveAPs()
+	ids := make([]string, len(aps))
+	for i, ap := range aps {
+		ids[i] = string(ap.BSSID)
+	}
+	sort.Strings(ids)
+	h := fnv.New64a()
+	for _, id := range ids {
+		h.Write([]byte(id))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
 }
 
 // loadStore restores a previously saved snapshot; a missing file is fine

@@ -26,6 +26,9 @@ const (
 	PathAnomalies    = "/v1/anomalies"
 	PathTrajectories = "/v1/trajectories"
 	PathHealth       = "/v1/healthz"
+	// PathAdminRebuild triggers a Signal Voronoi Diagram rebuild from the
+	// current AP deployment state (operator endpoint, POST).
+	PathAdminRebuild = "/v1/admin/rebuild"
 )
 
 // Report is one phone's upload: the WiFi information scanned on a bus.
@@ -138,15 +141,41 @@ type HTTPStats struct {
 	Panics uint64 `json:"panics"`
 }
 
+// RebuildStats reports diagram-rebuild state: the serving generation and the
+// cumulative rebuild outcomes. Exposed through /v1/healthz so operators can
+// see whether the diagram has caught up with known AP dynamics.
+type RebuildStats struct {
+	// Generation is the serving engine generation (1 = the initial build).
+	Generation uint64 `json:"generation"`
+	// Rebuilds and Failures count completed and failed rebuild attempts.
+	Rebuilds uint64 `json:"rebuilds"`
+	Failures uint64 `json:"failures"`
+	// InProgress reports whether a rebuild is running right now.
+	InProgress bool `json:"inProgress"`
+	// LastDurationMS is the wall-clock duration of the last successful
+	// rebuild, milliseconds (0 until the first one).
+	LastDurationMS float64 `json:"lastDurationMs"`
+}
+
+// RebuildResponse acknowledges a completed /v1/admin/rebuild.
+type RebuildResponse struct {
+	Generation uint64  `json:"generation"`
+	DurationMS float64 `json:"durationMs"`
+	// Tiles and Cells describe the freshly built diagram.
+	Tiles int `json:"tiles"`
+	Cells int `json:"cells"`
+}
+
 // HealthResponse is the /v1/healthz body: liveness plus the degradation
-// counters — load shedding, recovered panics, and (when persistence is
-// enabled) WAL/snapshot recovery state — so "up but degraded" is visible
-// to operators and probes.
+// counters — load shedding, recovered panics, diagram-rebuild state, and
+// (when persistence is enabled) WAL/snapshot recovery state — so "up but
+// degraded" is visible to operators and probes.
 type HealthResponse struct {
-	OK          bool        `json:"ok"`
-	ActiveBuses int         `json:"activeBuses"`
-	Ingest      IngestStats `json:"ingest"`
-	HTTP        HTTPStats   `json:"http"`
+	OK          bool         `json:"ok"`
+	ActiveBuses int          `json:"activeBuses"`
+	Ingest      IngestStats  `json:"ingest"`
+	HTTP        HTTPStats    `json:"http"`
+	Rebuild     RebuildStats `json:"rebuild"`
 	// Persist is present when the server runs with a write-ahead log.
 	Persist *traveltime.PersistStats `json:"persist,omitempty"`
 }

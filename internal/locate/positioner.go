@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"wilocator/internal/geo"
@@ -105,6 +106,38 @@ type Positioner struct {
 	// TieMargin is the RSS difference (dB) treated as a rank tie. It may
 	// be adjusted before first use; 0 restricts ties to exact equality.
 	TieMargin int
+
+	// pool recycles per-scan lookup buffers. One positioner serves every
+	// bus concurrently, so scratch cannot live on the struct itself.
+	pool sync.Pool
+}
+
+// lookupScratch is the buffer set one Locate reuses: the filtered readings,
+// the candidate tile keys and the candidate fixes. Everything Locate returns
+// is copied out before the scratch goes back to the pool.
+type lookupScratch struct {
+	readings []wifi.Reading
+	ids      []wifi.BSSID
+	keys     []svd.TileKey
+	cands    []candidate
+
+	// Tie-enumeration buffers: the two ping-pong prefix arrays of the
+	// breadth-wise expansion, the permutation index vector and the
+	// materialised permutations of the current tie group.
+	ordersA, ordersB []wifi.BSSID
+	permIdx          []int
+	permFlat         []wifi.BSSID
+}
+
+func (p *Positioner) getScratch() *lookupScratch {
+	if sc, ok := p.pool.Get().(*lookupScratch); ok {
+		return sc
+	}
+	return &lookupScratch{}
+}
+
+func (p *Positioner) putScratch(sc *lookupScratch) {
+	p.pool.Put(sc)
 }
 
 // NewPositioner creates a positioner querying the diagram at the given tile
@@ -141,12 +174,14 @@ func (p *Positioner) Locate(routeID string, scan wifi.Scan, prior *Prior) (Estim
 	if !ok {
 		return Estimate{}, fmt.Errorf("locate: unknown route %q", routeID)
 	}
-	filtered := p.filterScan(scan)
+	sc := p.getScratch()
+	defer p.putScratch(sc)
+	filtered := p.filterScanInto(scan, sc)
 	if len(filtered.Readings) == 0 {
 		return Estimate{}, fmt.Errorf("%w: no known active APs in scan", ErrNoFix)
 	}
 
-	cands := p.candidates(routeID, filtered)
+	cands := p.candidates(routeID, filtered, sc)
 	if len(cands) == 0 {
 		return Estimate{}, fmt.Errorf("%w: rank vector matches no tile on route %q", ErrNoFix, routeID)
 	}
@@ -162,29 +197,31 @@ func (p *Positioner) Locate(routeID string, scan wifi.Scan, prior *Prior) (Estim
 	}, nil
 }
 
-// filterScan keeps only readings from APs that are geo-tagged and active —
-// the paper ignores readings from unknown APs during SVD positioning.
-func (p *Positioner) filterScan(scan wifi.Scan) wifi.Scan {
-	out := wifi.Scan{Time: scan.Time}
+// filterScanInto keeps only readings from APs that are geo-tagged and active
+// — the paper ignores readings from unknown APs during SVD positioning. The
+// filtered readings live in sc and are overwritten by the next lookup.
+func (p *Positioner) filterScanInto(scan wifi.Scan, sc *lookupScratch) wifi.Scan {
+	sc.readings = sc.readings[:0]
 	dep := p.d.Deployment()
 	for _, r := range scan.Readings {
 		if dep.Active(r.BSSID) {
-			out.Readings = append(out.Readings, r)
+			sc.readings = append(sc.readings, r)
 		}
 	}
-	return out
+	return wifi.Scan{Time: scan.Time, Readings: sc.readings}
 }
 
 // candidates runs the paper's rule cascade and returns every plausible fix.
-func (p *Positioner) candidates(routeID string, scan wifi.Scan) []candidate {
-	keys := tieKeys(scan, p.order, p.TieMargin)
+// The returned slice aliases sc and is consumed before the scratch recycles.
+func (p *Positioner) candidates(routeID string, scan wifi.Scan, sc *lookupScratch) []candidate {
+	keys := p.scanKeys(scan, sc)
 	if len(keys) == 0 {
 		return nil
 	}
 	primary := keys[0]
 
 	// Rule 1: exact (and tie-variant) keys at the working order.
-	var cands []candidate
+	cands := sc.cands[:0]
 	for i, key := range keys {
 		for _, run := range p.d.FindRuns(routeID, key) {
 			method := MethodExact
@@ -202,6 +239,7 @@ func (p *Positioner) candidates(routeID string, scan wifi.Scan) []candidate {
 		// adjacent runs, the equal ranks place the bus on their shared
 		// boundary (the paper's points o/p in Fig. 2).
 		refineTieBoundaries(cands)
+		sc.cands = cands
 		return cands
 	}
 
@@ -220,6 +258,7 @@ func (p *Positioner) candidates(routeID string, scan wifi.Scan) []candidate {
 					key: nbKey, order: nbKey.Order(), method: MethodNeighbor,
 				})
 			}
+			sc.cands = cands
 			return cands
 		}
 	}
@@ -235,9 +274,11 @@ func (p *Positioner) candidates(routeID string, scan wifi.Scan) []candidate {
 			})
 		}
 		if len(cands) > 0 {
+			sc.cands = cands
 			return cands
 		}
 	}
+	sc.cands = cands
 	return nil
 }
 
@@ -261,6 +302,160 @@ func (p *Positioner) arcInRun(key svd.TileKey, run svd.Run, routeID string) floa
 		return run.S1
 	}
 	return s
+}
+
+// scanKeys returns the candidate tile keys for the scan, deterministic rank
+// key first. The common case — no (near-)ties among the top ranks — takes a
+// fast path that builds exactly one key out of the scratch buffers; scans
+// with tie groups fall back to the full permutation enumeration in tieKeys.
+func (p *Positioner) scanKeys(scan wifi.Scan, sc *lookupScratch) []svd.TileKey {
+	rs := scan.Readings // aliases sc.readings: ours to reorder in place
+	sortReadings(rs)
+	// The key enumeration only branches when a tie group touches one of the
+	// first `order` rank slots, i.e. some gap up to slot order is <= margin.
+	for i := 0; i < p.order && i+1 < len(rs); i++ {
+		if rs[i].RSSI-rs[i+1].RSSI <= p.TieMargin {
+			return p.appendTieKeys(rs, sc)
+		}
+	}
+	n := p.order
+	if n > len(rs) {
+		n = len(rs)
+	}
+	sc.ids = sc.ids[:0]
+	for i := 0; i < n; i++ {
+		sc.ids = append(sc.ids, rs[i].BSSID)
+	}
+	key := svd.MakeKey(sc.ids, p.order)
+	if key == "" {
+		return nil
+	}
+	sc.keys = append(sc.keys[:0], key)
+	return sc.keys
+}
+
+// sortReadings orders readings by descending RSSI, ties by ascending BSSID.
+// Scans are small, so an insertion sort wins — and unlike sort.Slice it costs
+// no per-call closure or reflection swapper.
+func sortReadings(rs []wifi.Reading) {
+	for i := 1; i < len(rs); i++ {
+		r := rs[i]
+		j := i
+		for j > 0 && (r.RSSI > rs[j-1].RSSI || (r.RSSI == rs[j-1].RSSI && r.BSSID < rs[j-1].BSSID)) {
+			rs[j] = rs[j-1]
+			j--
+		}
+		rs[j] = r
+	}
+}
+
+// appendTieKeys enumerates the tie-variant keys of the already-sorted
+// readings into sc.keys. It reproduces tieKeys' output exactly — identity
+// permutation first, then lexicographic, breadth-wise over the tie groups,
+// capped at the same bound — but keeps every intermediate on the scratch.
+func (p *Positioner) appendTieKeys(rs []wifi.Reading, sc *lookupScratch) []svd.TileKey {
+	const maxKeys = 8
+	cur, next := sc.ordersA[:0], sc.ordersB[:0]
+	nCur, stride := 1, 0
+
+	for lo := 0; lo < len(rs) && stride < p.order; {
+		hi := lo
+		for hi+1 < len(rs) && rs[hi].RSSI-rs[hi+1].RSSI <= p.TieMargin {
+			hi++
+		}
+		gn := hi - lo + 1
+
+		// Materialise up to maxKeys permutations of the group, identity
+		// first then lexicographic — the order tieKeys' recursive generator
+		// emits them in.
+		idx := sc.permIdx[:0]
+		for i := 0; i < gn; i++ {
+			idx = append(idx, i)
+		}
+		sc.permIdx = idx
+		pf := sc.permFlat[:0]
+		nPerm := 0
+		for {
+			for _, j := range idx {
+				pf = append(pf, rs[lo+j].BSSID)
+			}
+			nPerm++
+			if nPerm >= maxKeys || !nextPermutation(idx) {
+				break
+			}
+		}
+		sc.permFlat = pf
+
+		next = next[:0]
+		nNext := 0
+	expand:
+		for pi := 0; pi < nCur; pi++ {
+			prefix := cur[pi*stride : (pi+1)*stride]
+			for q := 0; q < nPerm; q++ {
+				next = append(next, prefix...)
+				next = append(next, pf[q*gn:(q+1)*gn]...)
+				nNext++
+				if nNext >= maxKeys {
+					break expand
+				}
+			}
+		}
+		cur, next = next, cur
+		nCur, stride = nNext, stride+gn
+		lo = hi + 1
+	}
+	sc.ordersA, sc.ordersB = cur, next
+
+	k := p.order
+	if k > stride {
+		k = stride
+	}
+	sc.keys = sc.keys[:0]
+	if k <= 0 {
+		return sc.keys
+	}
+	// Orders sharing their first k BSSIDs yield the same key; dedupe on the
+	// prefix so only distinct keys pay the MakeKey allocation.
+outer:
+	for pi := 0; pi < nCur; pi++ {
+		o := cur[pi*stride : pi*stride+k]
+		for qi := 0; qi < pi; qi++ {
+			prev := cur[qi*stride : qi*stride+k]
+			same := true
+			for i := range o {
+				if o[i] != prev[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				continue outer
+			}
+		}
+		sc.keys = append(sc.keys, svd.MakeKey(o, k))
+	}
+	return sc.keys
+}
+
+// nextPermutation advances a to its lexicographic successor, reporting false
+// from the final permutation.
+func nextPermutation(a []int) bool {
+	i := len(a) - 2
+	for i >= 0 && a[i] >= a[i+1] {
+		i--
+	}
+	if i < 0 {
+		return false
+	}
+	j := len(a) - 1
+	for a[j] <= a[i] {
+		j--
+	}
+	a[i], a[j] = a[j], a[i]
+	for l, r := i+1, len(a)-1; l < r; l, r = l+1, r-1 {
+		a[l], a[r] = a[r], a[l]
+	}
+	return true
 }
 
 // tieKeys returns candidate keys of the given order: first the deterministic

@@ -153,3 +153,62 @@ func factorial(n int) int {
 	}
 	return out
 }
+
+// TestScanKeysMatchesTieKeys: the scratch-reusing scanKeys (insertion sort,
+// no-tie fast path, in-place tie enumeration) emits exactly the key list the
+// reference tieKeys implementation produces, for any scan, order and margin.
+func TestScanKeysMatchesTieKeys(t *testing.T) {
+	f := func(g scanGen, order, margin uint8) bool {
+		o := int(order)%3 + 1
+		m := int(margin) % 4
+		p := &Positioner{order: o, TieMargin: m}
+		sc := &lookupScratch{}
+
+		want := tieKeys(g.Scan, o, m)
+
+		sc.readings = append(sc.readings[:0], g.Scan.Readings...)
+		got := p.scanKeys(wifi.Scan{Readings: sc.readings}, sc)
+		if len(got) != len(want) {
+			t.Logf("scan=%v o=%d m=%d: got %v want %v", g.Scan.Readings, o, m, got, want)
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Logf("scan=%v o=%d m=%d: got %v want %v", g.Scan.Readings, o, m, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScanKeysScratchReuse: repeated lookups through one scratch keep
+// producing correct keys (stale state from a previous, larger scan must not
+// leak into the next).
+func TestScanKeysScratchReuse(t *testing.T) {
+	p := &Positioner{order: 2, TieMargin: 2}
+	sc := &lookupScratch{}
+	scans := []wifi.Scan{
+		{Readings: []wifi.Reading{{BSSID: "ap-a", RSSI: -40}, {BSSID: "ap-b", RSSI: -41}, {BSSID: "ap-c", RSSI: -41}, {BSSID: "ap-d", RSSI: -60}}},
+		{Readings: []wifi.Reading{{BSSID: "ap-x", RSSI: -50}}},
+		{Readings: []wifi.Reading{{BSSID: "ap-b", RSSI: -45}, {BSSID: "ap-a", RSSI: -70}}},
+		{},
+	}
+	for round := 0; round < 3; round++ {
+		for _, s := range scans {
+			want := tieKeys(s, 2, 2)
+			got := p.scanKeys(wifi.Scan{Time: s.Time, Readings: append(sc.readings[:0], s.Readings...)}, sc)
+			if len(got) != len(want) {
+				t.Fatalf("round %d scan %v: got %v want %v", round, s.Readings, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("round %d scan %v: got %v want %v", round, s.Readings, got, want)
+				}
+			}
+		}
+	}
+}

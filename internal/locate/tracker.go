@@ -88,6 +88,23 @@ func NewTracker(pos *Positioner, routeID string, cfg TrackerConfig) (*Tracker, e
 // Route returns the tracked route.
 func (t *Tracker) Route() *roadnet.Route { return t.route }
 
+// Retarget re-points the tracker at a positioner over a rebuilt diagram. The
+// trip state — last fix, smoothed speed, trajectory — survives; only the
+// lookup structure changes. The new diagram must cover the tracked route
+// (rebuilds over the same road network always do).
+func (t *Tracker) Retarget(pos *Positioner) error {
+	if pos == nil {
+		return errors.New("locate: nil positioner")
+	}
+	route, ok := pos.Diagram().Network().Route(t.route.ID())
+	if !ok {
+		return fmt.Errorf("locate: rebuilt diagram lacks route %q", t.route.ID())
+	}
+	t.pos = pos
+	t.route = route
+	return nil
+}
+
 // Arc returns the latest estimated arc length, if any fix exists.
 func (t *Tracker) Arc() (float64, bool) {
 	if t.last == nil {

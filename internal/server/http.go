@@ -165,6 +165,19 @@ func NewHandler(s *Service, hc HandlerConfig) http.Handler {
 	mux.HandleFunc("GET "+api.PathHealth, func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Health())
 	})
+
+	mux.HandleFunc("POST "+api.PathAdminRebuild, func(w http.ResponseWriter, r *http.Request) {
+		out, err := s.Rebuild(r.Context())
+		if err != nil {
+			if errors.Is(err, ErrRebuildInProgress) {
+				writeErr(w, http.StatusConflict, err.Error())
+				return
+			}
+			writeErr(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
 	return recoverPanics(s, mux)
 }
 

@@ -1,0 +1,204 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"wilocator/internal/api"
+	"wilocator/internal/mobility"
+	"wilocator/internal/sensing"
+	"wilocator/internal/xrand"
+)
+
+func TestRebuildSwapsGeneration(t *testing.T) {
+	w := newWorld(t, 11)
+	if got := w.svc.Generation(); got != 1 {
+		t.Fatalf("initial generation = %d, want 1", got)
+	}
+	before := w.svc.Diagram()
+
+	resp, err := w.svc.Rebuild(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Generation != 2 {
+		t.Errorf("rebuild response generation = %d, want 2", resp.Generation)
+	}
+	if w.svc.Generation() != 2 {
+		t.Errorf("service generation = %d, want 2", w.svc.Generation())
+	}
+	if w.svc.Diagram() == before {
+		t.Error("rebuild did not swap the diagram pointer")
+	}
+	st := w.svc.RebuildStats()
+	if st.Rebuilds != 1 || st.Failures != 0 {
+		t.Errorf("rebuild stats = %+v, want 1 rebuild, 0 failures", st)
+	}
+	if st.LastDurationMS <= 0 {
+		t.Errorf("last duration = %v ms, want > 0", st.LastDurationMS)
+	}
+	if h := w.svc.Health(); h.Rebuild.Generation != 2 {
+		t.Errorf("healthz rebuild generation = %d, want 2", h.Rebuild.Generation)
+	}
+}
+
+func TestRebuildPicksUpAPDynamics(t *testing.T) {
+	w := newWorld(t, 12)
+	cellsBefore := w.svc.Diagram().NumCells()
+
+	// Knock out a tenth of the deployment, as the paper's AP-dynamics
+	// scenario does, then rebuild.
+	aps := w.dep.APs()
+	for i := 0; i < len(aps); i += 10 {
+		if err := w.dep.Deactivate(aps[i].BSSID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := w.svc.Rebuild(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	cellsAfter := w.svc.Diagram().NumCells()
+	if cellsAfter >= cellsBefore {
+		t.Errorf("cells after deactivating APs = %d, want fewer than %d", cellsAfter, cellsBefore)
+	}
+}
+
+// TestRebuildRetargetsLiveTracker: a bus mid-trip keeps locating across a
+// rebuild — its tracker re-binds to the new generation on the next report
+// and the trajectory stays continuous.
+func TestRebuildRetargetsLiveTracker(t *testing.T) {
+	w := newWorld(t, 13)
+	busID := "bus-rebuild"
+	field := mobility.DefaultCongestion(1)
+	trip, err := mobility.Drive(w.net, w.route.ID(), t0, mobility.DriveConfig{}, field, nil, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	group, err := sensing.NewRiderPhones(busID, 2, w.dep, sensing.PhoneConfig{ReportLoss: -1}, xrand.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	locatedBefore, locatedAfter := 0, 0
+	cycle, rebuildAt := 0, 10
+	for at := trip.Start(); !trip.Done(at); at = at.Add(sensing.DefaultScanPeriod) {
+		if cycle == rebuildAt {
+			if _, err := w.svc.Rebuild(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		pos := w.route.PointAt(trip.ArcAt(at))
+		for _, p := range group {
+			scan, ok := p.ScanAt(pos, at)
+			if !ok {
+				continue
+			}
+			resp, err := w.svc.Ingest(api.Report{BusID: busID, RouteID: w.route.ID(), PhoneID: p.ID(), Scan: scan})
+			if err != nil {
+				t.Fatalf("cycle %d: ingest across rebuild: %v", cycle, err)
+			}
+			if resp.Located {
+				if cycle < rebuildAt {
+					locatedBefore++
+				} else {
+					locatedAfter++
+				}
+			}
+		}
+		w.setClock(at)
+		cycle++
+	}
+	if locatedBefore == 0 || locatedAfter == 0 {
+		t.Fatalf("located %d fixes before and %d after the rebuild, want both > 0", locatedBefore, locatedAfter)
+	}
+	if st := w.svc.Stats(); st.Registered != 1 {
+		t.Errorf("registered = %d, want 1 (the tracker must survive the rebuild, not re-register)", st.Registered)
+	}
+	traj, err := w.svc.Trajectory(busID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(traj.Fixes); i++ {
+		if traj.Fixes[i].Arc < traj.Fixes[i-1].Arc {
+			t.Fatalf("trajectory regressed at fix %d: %.1f -> %.1f", i, traj.Fixes[i-1].Arc, traj.Fixes[i].Arc)
+		}
+	}
+}
+
+func TestRebuildSingleFlight(t *testing.T) {
+	w := newWorld(t, 14)
+	w.svc.rebuild.mu.Lock()
+	_, err := w.svc.Rebuild(context.Background())
+	w.svc.rebuild.mu.Unlock()
+	if !errors.Is(err, ErrRebuildInProgress) {
+		t.Fatalf("concurrent rebuild error = %v, want ErrRebuildInProgress", err)
+	}
+	if st := w.svc.RebuildStats(); st.Rebuilds != 0 || st.Generation != 1 {
+		t.Errorf("stats after refused rebuild = %+v, want untouched", st)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := w.svc.Rebuild(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled rebuild error = %v, want context.Canceled", err)
+	}
+	if w.svc.Generation() != 1 {
+		t.Error("cancelled rebuild must not swap the engine")
+	}
+}
+
+func TestRebuildOverHTTP(t *testing.T) {
+	w := newWorld(t, 15)
+	ts := httptest.NewServer(Handler(w.svc))
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+api.PathAdminRebuild, "application/json", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s = %d, want 200", api.PathAdminRebuild, resp.StatusCode)
+	}
+	if w.svc.Generation() != 2 {
+		t.Errorf("generation after HTTP rebuild = %d, want 2", w.svc.Generation())
+	}
+}
+
+// TestRebuildProducesEquivalentDiagram: with an unchanged deployment, the
+// rebuilt diagram locates exactly like the original — the hot swap is
+// invisible to positioning.
+func TestRebuildProducesEquivalentDiagram(t *testing.T) {
+	w := newWorld(t, 16)
+	a := w.svc.Diagram()
+	if _, err := w.svc.Rebuild(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	b := w.svc.Diagram()
+	if a.NumTiles() != b.NumTiles() || a.NumCells() != b.NumCells() {
+		t.Fatalf("rebuilt diagram shape differs: %d/%d tiles, %d/%d cells",
+			a.NumTiles(), b.NumTiles(), a.NumCells(), b.NumCells())
+	}
+	for _, route := range w.net.Routes() {
+		ra, errA := a.Runs(route.ID(), a.Order())
+		rb, errB := b.Runs(route.ID(), b.Order())
+		if errA != nil || errB != nil {
+			t.Fatal(errA, errB)
+		}
+		if len(ra) != len(rb) {
+			t.Fatalf("route %s: %d runs vs %d after rebuild", route.ID(), len(ra), len(rb))
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("route %s run %d differs: %+v vs %+v", route.ID(), i, ra[i], rb[i])
+			}
+		}
+	}
+	if dur := time.Duration(w.svc.rebuild.lastNano.Load()); dur <= 0 {
+		t.Errorf("recorded rebuild duration = %v, want > 0", dur)
+	}
+}

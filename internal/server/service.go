@@ -11,9 +11,11 @@
 // concurrently. The service is built so buses on different shards never
 // contend:
 //
-//   - svd.Diagram, locate.Positioner, roadnet.Network, geo.Projection and
-//     the predict/trafficmap engines are immutable after NewService and are
-//     read lock-free.
+//   - svd.Diagram and locate.Positioner are immutable once built; the
+//     service holds the current pair behind an atomic pointer (an engine
+//     generation) so reads stay lock-free while Rebuild hot-swaps a fresh
+//     diagram after AP dynamics. roadnet.Network, geo.Projection and the
+//     predict/trafficmap engines are immutable after NewService.
 //   - Per-bus state (fusion bucket, tracker, trajectory) lives in a sharded
 //     map (power-of-two shards keyed by hash(busID)); each bus additionally
 //     carries its own mutex, so the shard lock covers only the map lookup.
@@ -25,6 +27,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -98,6 +101,16 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// engine bundles one generation of the positioning state: a diagram, the
+// positioner over it, and the generation number. The whole bundle swaps
+// atomically on rebuild, so no reader ever pairs an old diagram with a new
+// positioner.
+type engine struct {
+	dia *svd.Diagram
+	pos *locate.Positioner
+	gen uint64
+}
+
 // busState is the per-bus ingestion and tracking state. mu guards every
 // field; the shard map only hands out the pointer.
 type busState struct {
@@ -105,6 +118,7 @@ type busState struct {
 
 	routeID string
 	tracker *locate.Tracker // nil until the bus is registered
+	gen     uint64          // engine generation the tracker is bound to
 
 	bucketTime time.Time
 	bucket     []wifi.Scan
@@ -136,13 +150,22 @@ type httpStats struct {
 	panics   atomic.Uint64
 }
 
+// rebuildState tracks diagram rebuilds: the single-flight lock and the
+// observability counters exported through /v1/healthz.
+type rebuildState struct {
+	mu       sync.Mutex  // held for the duration of one rebuild
+	active   atomic.Bool // mirrors mu for lock-free health reads
+	rebuilds atomic.Uint64
+	failures atomic.Uint64
+	lastNano atomic.Int64 // duration of the last successful rebuild
+}
+
 // Service is the WiLocator back-end core, independent of the HTTP transport.
 // It is safe for concurrent use; see the package comment for the model.
 type Service struct {
 	cfg   Config
 	net   *roadnet.Network
-	dia   *svd.Diagram
-	pos   *locate.Positioner
+	eng   atomic.Pointer[engine]
 	store *traveltime.Store
 	pred  *predict.Engine
 	tmap  *trafficmap.Generator
@@ -150,9 +173,10 @@ type Service struct {
 	proj *geo.Projection
 	sink func(traveltime.Record) error
 
-	buses *busTable
-	stats ingestStats
-	http  httpStats
+	buses   *busTable
+	stats   ingestStats
+	http    httpStats
+	rebuild rebuildState
 }
 
 // NewService wires the back-end together over a prebuilt diagram and
@@ -179,18 +203,18 @@ func NewService(dia *svd.Diagram, store *traveltime.Store, cfg Config) (*Service
 	if sink == nil {
 		sink = store.Add
 	}
-	return &Service{
+	s := &Service{
 		cfg:   cfg,
 		net:   net,
-		dia:   dia,
-		pos:   pos,
 		store: store,
 		pred:  pred,
 		tmap:  tmap,
 		proj:  geo.NewProjection(cfg.Origin),
 		sink:  sink,
 		buses: newBusTable(cfg.Shards),
-	}, nil
+	}
+	s.eng.Store(&engine{dia: dia, pos: pos, gen: 1})
+	return s, nil
 }
 
 // Store exposes the travel-time store (e.g. for offline training).
@@ -198,6 +222,79 @@ func (s *Service) Store() *traveltime.Store { return s.store }
 
 // Network returns the road network.
 func (s *Service) Network() *roadnet.Network { return s.net }
+
+// Diagram returns the current Signal Voronoi Diagram (the latest rebuild
+// generation's).
+func (s *Service) Diagram() *svd.Diagram { return s.eng.Load().dia }
+
+// Generation returns the current engine generation. It starts at 1 and
+// advances by one per successful Rebuild.
+func (s *Service) Generation() uint64 { return s.eng.Load().gen }
+
+// ErrRebuildInProgress is returned when Rebuild is called while another
+// rebuild is still running; rebuilds are single-flight.
+var ErrRebuildInProgress = errors.New("server: diagram rebuild already in progress")
+
+// Rebuild reconstructs the Signal Voronoi Diagram from the deployment's
+// *current* AP state (APs may have been deactivated or reactivated since the
+// last build) with the same configuration, and atomically swaps the new
+// diagram in on success. Ingestion keeps running against the old generation
+// throughout the build; live trackers re-bind to the new generation on their
+// next report, keeping their trip state. A failed build leaves the old
+// generation serving. Rebuilds are single-flight: a concurrent call returns
+// ErrRebuildInProgress instead of queueing.
+func (s *Service) Rebuild(ctx context.Context) (api.RebuildResponse, error) {
+	if !s.rebuild.mu.TryLock() {
+		return api.RebuildResponse{}, ErrRebuildInProgress
+	}
+	defer s.rebuild.mu.Unlock()
+	s.rebuild.active.Store(true)
+	defer s.rebuild.active.Store(false)
+
+	if err := ctx.Err(); err != nil {
+		return api.RebuildResponse{}, err
+	}
+	cur := s.eng.Load()
+	start := time.Now()
+	dia, err := svd.Build(cur.dia.Network(), cur.dia.Deployment(), cur.dia.Config())
+	if err != nil {
+		s.rebuild.failures.Add(1)
+		return api.RebuildResponse{}, fmt.Errorf("server: rebuild: %w", err)
+	}
+	pos, err := locate.NewPositioner(dia, dia.Order())
+	if err != nil {
+		s.rebuild.failures.Add(1)
+		return api.RebuildResponse{}, fmt.Errorf("server: rebuild positioner: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		// Cancelled mid-build: discard the result rather than swapping in a
+		// diagram nobody asked to keep.
+		s.rebuild.failures.Add(1)
+		return api.RebuildResponse{}, err
+	}
+	dur := time.Since(start)
+	next := &engine{dia: dia, pos: pos, gen: cur.gen + 1}
+	s.eng.Store(next)
+	s.rebuild.rebuilds.Add(1)
+	s.rebuild.lastNano.Store(int64(dur))
+	return api.RebuildResponse{
+		Generation: next.gen,
+		DurationMS: float64(dur) / float64(time.Millisecond),
+		Tiles:      dia.NumTiles(),
+		Cells:      dia.NumCells(),
+	}, nil
+}
+
+// RebuildStats returns the rebuild observability counters.
+func (s *Service) RebuildStats() api.RebuildStats {
+	return api.RebuildStats{
+		Generation:     s.Generation(),
+		Rebuilds:       s.rebuild.rebuilds.Load(),
+		Failures:       s.rebuild.failures.Load(),
+		InProgress:     s.rebuild.active.Load(),
+		LastDurationMS: float64(s.rebuild.lastNano.Load()) / float64(time.Millisecond),
+	}
+}
 
 // Stats returns the cumulative ingest counters.
 func (s *Service) Stats() api.IngestStats {
@@ -230,6 +327,7 @@ func (s *Service) Health() api.HealthResponse {
 		ActiveBuses: s.ActiveBuses(),
 		Ingest:      s.Stats(),
 		HTTP:        s.HTTPStats(),
+		Rebuild:     s.RebuildStats(),
 	}
 	if s.cfg.PersistStats != nil {
 		ps := s.cfg.PersistStats()
@@ -277,20 +375,32 @@ func (s *Service) Ingest(rep api.Report) (api.IngestResponse, error) {
 	bs.mu.Lock()
 	defer bs.mu.Unlock()
 
+	eng := s.eng.Load()
 	if bs.tracker == nil || bs.done || s.staleAt(bs.lastUpdate, rep.Scan.Time) {
-		tracker, err := locate.NewTracker(s.pos, rep.RouteID, s.cfg.Tracker)
+		tracker, err := locate.NewTracker(eng.pos, rep.RouteID, s.cfg.Tracker)
 		if err != nil {
 			s.stats.rejected.Add(1)
 			return api.IngestResponse{}, err
 		}
 		bs.routeID = rep.RouteID
 		bs.tracker = tracker
+		bs.gen = eng.gen
 		bs.bucketTime = time.Time{}
 		bs.bucket = nil
 		bs.lastCross = nil
 		bs.lastUpdate = time.Time{}
 		bs.done = false
 		s.stats.registered.Add(1)
+	} else if bs.gen != eng.gen {
+		// The diagram was rebuilt since this tracker's last report. Re-bind
+		// the tracker to the new generation: its trip state (last fix,
+		// smoothed speed, trajectory) survives; only the lookup structure
+		// changes.
+		if err := bs.tracker.Retarget(eng.pos); err != nil {
+			s.stats.rejected.Add(1)
+			return api.IngestResponse{}, err
+		}
+		bs.gen = eng.gen
 	}
 	if bs.routeID != rep.RouteID {
 		s.stats.rejected.Add(1)

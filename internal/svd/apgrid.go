@@ -2,7 +2,6 @@ package svd
 
 import (
 	"math"
-	"sort"
 
 	"wilocator/internal/geo"
 	"wilocator/internal/rf"
@@ -34,12 +33,6 @@ func (m Metric) String() string {
 	default:
 		return "unknown"
 	}
-}
-
-// ranked is an AP with its metric value at a query point.
-type ranked struct {
-	bssid wifi.BSSID
-	rss   float64 // expected RSS for MetricRSS; -distance for MetricEuclidean
 }
 
 // apGrid is a uniform spatial hash over active APs supporting "all APs
@@ -80,12 +73,28 @@ func (g *apGrid) bucket(p geo.Point) [2]int {
 	return [2]int{int(math.Floor(p.X / g.cell)), int(math.Floor(p.Y / g.cell))}
 }
 
-// rankAt returns up to kmax APs detectable at p, ordered by the metric
-// (strongest/nearest first). Ties in expected RSS are broken by BSSID so the
-// order is deterministic.
-func (g *apGrid) rankAt(p geo.Point, kmax int) []ranked {
+// rankScratch is the reusable buffer pair behind orderInto. Build gives each
+// worker its own, so ranking a point allocates nothing once the buffers have
+// grown to the local AP density.
+type rankScratch struct {
+	ids []wifi.BSSID
+	rss []float64
+}
+
+// orderInto returns the BSSIDs of up to kmax APs detectable at p, ordered by
+// the metric (strongest/nearest first, metric ties broken by ascending BSSID
+// — the same total order a full sort produces). kmax <= 0 returns every
+// detectable AP. The result aliases sc.ids and is only valid until the next
+// call with the same scratch. Candidates are insertion-ranked in place into
+// the bounded top-kmax, which beats sorting the whole candidate set for the
+// small k diagram construction needs (k == Config.Order, typically 2).
+func (g *apGrid) orderInto(p geo.Point, kmax int, sc *rankScratch) []wifi.BSSID {
 	b := g.bucket(p)
-	var cands []ranked
+	bound := kmax
+	if bound <= 0 {
+		bound = int(^uint(0) >> 1)
+	}
+	n := 0 // ranked candidates currently held in sc.ids[:n] / sc.rss[:n]
 	for dx := -1; dx <= 1; dx++ {
 		for dy := -1; dy <= 1; dy++ {
 			for _, ap := range g.buckets[[2]int{b[0] + dx, b[1] + dy}] {
@@ -98,28 +107,38 @@ func (g *apGrid) rankAt(p geo.Point, kmax int) []ranked {
 				if g.metric == MetricEuclidean {
 					v = -d
 				}
-				cands = append(cands, ranked{bssid: ap.BSSID, rss: v})
+				// Walk left past every kept candidate this one outranks.
+				i := n
+				for i > 0 && (v > sc.rss[i-1] || (v == sc.rss[i-1] && ap.BSSID < sc.ids[i-1])) {
+					i--
+				}
+				if i >= bound {
+					continue
+				}
+				if n < bound {
+					if n == len(sc.ids) {
+						sc.ids = append(sc.ids, "")
+						sc.rss = append(sc.rss, 0)
+					}
+					copy(sc.ids[i+1:n+1], sc.ids[i:n])
+					copy(sc.rss[i+1:n+1], sc.rss[i:n])
+					n++
+				} else {
+					// Full: the current worst falls off the end.
+					copy(sc.ids[i+1:n], sc.ids[i:n-1])
+					copy(sc.rss[i+1:n], sc.rss[i:n-1])
+				}
+				sc.ids[i] = ap.BSSID
+				sc.rss[i] = v
 			}
 		}
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].rss != cands[j].rss {
-			return cands[i].rss > cands[j].rss
-		}
-		return cands[i].bssid < cands[j].bssid
-	})
-	if kmax > 0 && len(cands) > kmax {
-		cands = cands[:kmax]
-	}
-	return cands
+	return sc.ids[:n]
 }
 
-// orderAt returns the BSSIDs of rankAt.
+// orderAt is orderInto with a one-shot scratch, for query-time callers that
+// keep the result.
 func (g *apGrid) orderAt(p geo.Point, kmax int) []wifi.BSSID {
-	r := g.rankAt(p, kmax)
-	out := make([]wifi.BSSID, len(r))
-	for i, c := range r {
-		out[i] = c.bssid
-	}
-	return out
+	var sc rankScratch
+	return g.orderInto(p, kmax, &sc)
 }

@@ -3,6 +3,9 @@ package svd
 import (
 	"fmt"
 	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"wilocator/internal/geo"
 	"wilocator/internal/roadnet"
@@ -14,6 +17,11 @@ import (
 // participate; after AP dynamics (deactivation/reactivation) call Build
 // again — the paper's Section III-B observes that the partition simply
 // coarsens around a vanished AP.
+//
+// Construction fans out across Config.Workers goroutines, but the result is
+// byte-identical for every worker count: the expensive per-point signal-space
+// queries are pure functions of the diagram inputs and are merged in a fixed
+// order by a single goroutine.
 func Build(net *roadnet.Network, dep *wifi.Deployment, cfg Config) (*Diagram, error) {
 	if net == nil || dep == nil {
 		return nil, fmt.Errorf("svd: nil network or deployment")
@@ -39,130 +47,300 @@ func Build(net *roadnet.Network, dep *wifi.Deployment, cfg Config) (*Diagram, er
 		d.index[o] = make(map[string]map[TileKey][]int)
 	}
 
-	d.buildRuns()
+	b := &builder{d: d, intern: newInterner()}
+	b.buildRuns()
 	if cfg.GridStep > 0 {
-		d.buildBand()
+		b.buildBand()
 	}
 	return d, nil
 }
 
-// buildRuns walks every route at SampleStep resolution and records, for each
-// order 1..cfg.Order, the maximal sub-segments with constant tile key.
-func (d *Diagram) buildRuns() {
-	for _, route := range d.net.Routes() {
-		id := route.ID()
-		length := route.Length()
-		cur := make([]TileKey, d.cfg.Order)   // current key per order
-		start := make([]float64, d.cfg.Order) // run start per order
-		first := true
+// builder carries the transient state of one Build: the bounded worker pool
+// and the merge-side key interner. Workers never touch the Diagram's maps —
+// they fill pre-sized, task-indexed slices — and a single goroutine merges
+// the results in a fixed order, so parallel output is byte-identical to the
+// Workers=1 build.
+type builder struct {
+	d      *Diagram
+	intern *interner // merge-side table; only the merging goroutine touches it
+}
 
-		flush := func(o int, end float64) {
-			run := Run{Key: cur[o], S0: start[o], S1: end}
-			d.runs[o][id] = append(d.runs[o][id], run)
-			if d.index[o][id] == nil {
-				d.index[o][id] = make(map[TileKey][]int)
-			}
-			d.index[o][id][run.Key] = append(d.index[o][id][run.Key], len(d.runs[o][id])-1)
+// parallelDo runs fn(worker, task) for every task in [0, n) on up to
+// Config.Workers goroutines. Tasks are claimed off a shared counter, so
+// scheduling is dynamic; fn must write only to task-indexed slots so the
+// output cannot depend on the schedule. The worker index lets fn reuse
+// per-worker scratch without locking.
+func (b *builder) parallelDo(n int, fn func(worker, task int)) {
+	workers := b.d.cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
 		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
 
-		step := d.cfg.SampleStep
-		for s := 0.0; ; s += step {
+// sampleCount returns how many samples the arcs i*step, i = 0, 1, ... need
+// to cover [0, length] with a final sample clamped to length exactly.
+func sampleCount(length, step float64) int {
+	k := int(math.Ceil(length / step))
+	if float64(k)*step < length { // guard against Ceil landing short on odd floats
+		k++
+	}
+	return k + 1
+}
+
+// runChunkSamples is the number of along-road samples per parallel task:
+// small enough to load-balance a handful of routes across many cores, large
+// enough that task-claim overhead vanishes under ~2k signal-space queries.
+const runChunkSamples = 2048
+
+// buildRuns samples every route at SampleStep resolution and records, for
+// each order 1..cfg.Order, the maximal sub-segments with constant tile key.
+//
+// The worker pool computes the per-sample keys in fixed-size chunks (the key
+// at arc i*step is a pure function of the diagram inputs, so any schedule
+// yields the same rows); a sequential pass then folds each route's key rows
+// into runs and the run index. Sample arcs are derived from the sample index
+// (s = i*step) rather than accumulated, so run boundaries are bit-identical
+// across platforms, step counts and chunkings.
+func (b *builder) buildRuns() {
+	d := b.d
+	routes := d.net.Routes()
+	order := d.cfg.Order
+	step := d.cfg.SampleStep
+
+	type routeSamples struct {
+		route *roadnet.Route
+		keys  [][]TileKey // [order-1][sample index]
+	}
+	type chunk struct {
+		route  int
+		lo, hi int // sample index range [lo, hi)
+	}
+	rs := make([]routeSamples, len(routes))
+	var chunks []chunk
+	for i, route := range routes {
+		n := sampleCount(route.Length(), step)
+		keys := make([][]TileKey, order)
+		for o := range keys {
+			keys[o] = make([]TileKey, n)
+		}
+		rs[i] = routeSamples{route: route, keys: keys}
+		for lo := 0; lo < n; lo += runChunkSamples {
+			hi := lo + runChunkSamples
+			if hi > n {
+				hi = n
+			}
+			chunks = append(chunks, chunk{route: i, lo: lo, hi: hi})
+		}
+	}
+
+	scratch := make([]rankScratch, d.cfg.Workers)
+	interns := make([]*interner, d.cfg.Workers)
+	for w := range interns {
+		interns[w] = newInterner()
+	}
+	b.parallelDo(len(chunks), func(w, t int) {
+		c := chunks[t]
+		r := &rs[c.route]
+		length := r.route.Length()
+		sc, in := &scratch[w], interns[w]
+		for i := c.lo; i < c.hi; i++ {
+			s := float64(i) * step
 			if s > length {
 				s = length
 			}
-			order := d.grid.orderAt(route.PointAt(s), d.cfg.Order)
-			for o := 0; o < d.cfg.Order; o++ {
-				key := MakeKey(order, o+1)
-				switch {
-				case first:
-					cur[o], start[o] = key, 0
-				case key != cur[o]:
-					// Close the previous run at the midpoint between the
-					// two samples: the true tile boundary lies in between.
-					mid := s - step/2
-					if mid < start[o] {
-						mid = start[o]
-					}
-					flush(o, mid)
-					cur[o], start[o] = key, mid
-				}
-			}
-			first = false
-			if s >= length {
-				break
+			ranked := d.grid.orderInto(r.route.PointAt(s), order, sc)
+			for o := 0; o < order; o++ {
+				r.keys[o][i] = in.key(ranked, o+1)
 			}
 		}
-		for o := 0; o < d.cfg.Order; o++ {
-			flush(o, length)
+	})
+
+	// Deterministic merge in route order: fold key rows into runs, interning
+	// every stored key into the build-wide table so identical keys share one
+	// allocation across runs, the index, tiles and boundaries.
+	for i := range rs {
+		r := &rs[i]
+		id := r.route.ID()
+		length := r.route.Length()
+		for o := 0; o < order; o++ {
+			runs := foldRuns(r.keys[o], step, length, b.intern)
+			d.runs[o][id] = runs
+			idx := make(map[TileKey][]int, len(runs))
+			for j := range runs {
+				idx[runs[j].Key] = append(idx[runs[j].Key], j)
+			}
+			d.index[o][id] = idx
 		}
 	}
 }
+
+// foldRuns folds one key-per-sample row into maximal constant-key runs. A
+// run closes at the midpoint between the two samples that disagree (the true
+// tile boundary lies in between), clamped so runs never invert; the final
+// run always closes at the route end.
+func foldRuns(keys []TileKey, step, length float64, in *interner) []Run {
+	runs := make([]Run, 0, 16)
+	cur := in.canon(keys[0])
+	start := 0.0
+	for i := 1; i < len(keys); i++ {
+		key := keys[i]
+		if key == cur {
+			continue
+		}
+		s := float64(i) * step
+		if s > length {
+			s = length
+		}
+		mid := s - step/2
+		if mid < start {
+			mid = start
+		}
+		runs = append(runs, Run{Key: cur, S0: start, S1: mid})
+		cur, start = in.canon(key), mid
+	}
+	return append(runs, Run{Key: cur, S0: start, S1: length})
+}
+
+// bandStripeRows is the number of grid rows per parallel buildBand task.
+const bandStripeRows = 8
 
 // buildBand rasterises a band of half-width BandWidth around every road
 // segment at GridStep resolution, assigning each grid point its full-order
 // tile key, and aggregates tile/cell centroids, areas, adjacency boundary
 // lengths and joint points.
-func (d *Diagram) buildBand() {
+//
+// Three passes: (1) a sequential geometry-only sweep enumerates the band's
+// distinct grid points in scan order; (2) the worker pool computes each
+// point's key across row-stripes of the band grid (a pure function of the
+// quantised coordinate); (3) a sequential merge walks the points in
+// first-seen order to accumulate centroids, adjacency and joints. The old
+// implementation iterated the dedup map in pass 3, which randomised the
+// joint order between runs; the scan-order walk makes every Build — any
+// worker count included — byte-identical.
+func (b *builder) buildBand() {
+	d := b.d
 	step := d.cfg.GridStep
-	band := math.Round(d.cfg.BandWidth/step) * step
+	nb := int(math.Round(d.cfg.BandWidth / step))
+
+	seen := make(map[[2]int]int) // grid coordinate -> index into pts
+	var pts [][2]int
+	for _, seg := range d.net.Graph.Segments() {
+		line := seg.Line
+		length := line.Length()
+		n := sampleCount(length, step)
+		for i := 0; i < n; i++ {
+			s := float64(i) * step
+			if s > length {
+				s = length
+			}
+			center := line.At(s)
+			dir := line.DirectionAt(s)
+			normal := geo.Pt(-dir.Y, dir.X)
+			for j := -nb; j <= nb; j++ {
+				p := center.Add(normal.Scale(float64(j) * step))
+				q := [2]int{int(math.Round(p.X / step)), int(math.Round(p.Y / step))}
+				if _, ok := seen[q]; ok {
+					continue
+				}
+				seen[q] = len(pts)
+				pts = append(pts, q)
+			}
+		}
+	}
+
+	// Row-stripes: group point indices by grid row, then hand each task a
+	// contiguous range of rows so one task's queries share AP-grid locality.
+	rowOf := make(map[int][]int)
+	var rows []int
+	for i, q := range pts {
+		if _, ok := rowOf[q[1]]; !ok {
+			rows = append(rows, q[1])
+		}
+		rowOf[q[1]] = append(rowOf[q[1]], i)
+	}
+	sort.Ints(rows)
+	var stripes [][]int
+	for lo := 0; lo < len(rows); lo += bandStripeRows {
+		hi := lo + bandStripeRows
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		var idxs []int
+		for _, row := range rows[lo:hi] {
+			idxs = append(idxs, rowOf[row]...)
+		}
+		stripes = append(stripes, idxs)
+	}
+
+	keys := make([]TileKey, len(pts))
+	scratch := make([]rankScratch, d.cfg.Workers)
+	interns := make([]*interner, d.cfg.Workers)
+	for w := range interns {
+		interns[w] = newInterner()
+	}
+	b.parallelDo(len(stripes), func(w, t int) {
+		sc, in := &scratch[w], interns[w]
+		for _, i := range stripes[t] {
+			q := pts[i]
+			// Use the quantised point so the key is a pure function of the
+			// grid coordinate.
+			gp := geo.Pt(float64(q[0])*step, float64(q[1])*step)
+			keys[i] = in.key(d.grid.orderInto(gp, d.cfg.Order, sc), d.cfg.Order)
+		}
+	})
 
 	type acc struct {
 		sumX, sumY float64
 		n          int
 	}
-	keyOf := make(map[[2]int]TileKey)
 	tileAcc := make(map[TileKey]*acc)
 	cellAcc := make(map[wifi.BSSID]*acc)
-
-	quant := func(p geo.Point) [2]int {
-		return [2]int{int(math.Round(p.X / step)), int(math.Round(p.Y / step))}
-	}
-
-	for _, seg := range d.net.Graph.Segments() {
-		line := seg.Line
-		for s := 0.0; ; s += step {
-			if s > line.Length() {
-				s = line.Length()
-			}
-			center := line.At(s)
-			dir := line.DirectionAt(s)
-			normal := geo.Pt(-dir.Y, dir.X)
-			for lat := -band; lat <= band+1e-9; lat += step {
-				p := center.Add(normal.Scale(lat))
-				q := quant(p)
-				if _, seen := keyOf[q]; seen {
-					continue
-				}
-				// Use the quantised point so the key is a pure function of
-				// the grid coordinate.
-				gp := geo.Pt(float64(q[0])*step, float64(q[1])*step)
-				key := MakeKey(d.grid.orderAt(gp, d.cfg.Order), d.cfg.Order)
-				keyOf[q] = key
-				if key == "" {
-					continue
-				}
-				ta := tileAcc[key]
-				if ta == nil {
-					ta = &acc{}
-					tileAcc[key] = ta
-				}
-				ta.sumX += gp.X
-				ta.sumY += gp.Y
-				ta.n++
-				site := key.Site()
-				ca := cellAcc[site]
-				if ca == nil {
-					ca = &acc{}
-					cellAcc[site] = ca
-				}
-				ca.sumX += gp.X
-				ca.sumY += gp.Y
-				ca.n++
-			}
-			if s >= line.Length() {
-				break
-			}
+	for i, q := range pts {
+		key := b.intern.canon(keys[i])
+		keys[i] = key
+		if key == "" {
+			continue
 		}
+		gp := geo.Pt(float64(q[0])*step, float64(q[1])*step)
+		ta := tileAcc[key]
+		if ta == nil {
+			ta = &acc{}
+			tileAcc[key] = ta
+		}
+		ta.sumX += gp.X
+		ta.sumY += gp.Y
+		ta.n++
+		site := key.Site()
+		ca := cellAcc[site]
+		if ca == nil {
+			ca = &acc{}
+			cellAcc[site] = ca
+		}
+		ca.sumX += gp.X
+		ca.sumY += gp.Y
+		ca.n++
 	}
 
 	for key, a := range tileAcc {
@@ -182,7 +360,7 @@ func (d *Diagram) buildBand() {
 		}
 	}
 
-	// Adjacency and joints from 4-neighbourhoods.
+	// Adjacency and joints from 4-neighbourhoods, in scan order.
 	addBoundary := func(a, b TileKey) {
 		if a == "" || b == "" || a == b {
 			return
@@ -195,23 +373,24 @@ func (d *Diagram) buildBand() {
 			d.cells[sb].Neighbors[sa] += step
 		}
 	}
-	for q, key := range keyOf {
+	for i, q := range pts {
+		key := keys[i]
 		right := [2]int{q[0] + 1, q[1]}
 		up := [2]int{q[0], q[1] + 1}
-		if k, ok := keyOf[right]; ok {
-			addBoundary(key, k)
+		if j, ok := seen[right]; ok {
+			addBoundary(key, keys[j])
 		}
-		if k, ok := keyOf[up]; ok {
-			addBoundary(key, k)
+		if j, ok := seen[up]; ok {
+			addBoundary(key, keys[j])
 		}
 		if key == "" {
 			continue
 		}
 		// Joint point: three or more distinct cells meet around this point.
 		sites := map[wifi.BSSID]bool{key.Site(): true}
-		for _, nb := range [][2]int{right, up, {q[0] - 1, q[1]}, {q[0], q[1] - 1}} {
-			if k, ok := keyOf[nb]; ok && k != "" {
-				sites[k.Site()] = true
+		for _, nbq := range [][2]int{right, up, {q[0] - 1, q[1]}, {q[0], q[1] - 1}} {
+			if j, ok := seen[nbq]; ok && keys[j] != "" {
+				sites[keys[j].Site()] = true
 			}
 		}
 		if len(sites) >= 3 {

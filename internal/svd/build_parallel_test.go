@@ -1,0 +1,174 @@
+package svd
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"sort"
+	"testing"
+	"unsafe"
+
+	"wilocator/internal/geo"
+	"wilocator/internal/wifi"
+	"wilocator/internal/xrand"
+)
+
+// diagramState extracts everything Build computes, for deep-equality
+// comparison between worker counts.
+func diagramState(d *Diagram) (runs []map[string][]Run, index []map[string]map[TileKey][]int, tiles map[TileKey]*Tile, cells map[wifi.BSSID]*Cell, joints []geo.Point) {
+	return d.runs, d.index, d.tiles, d.cells, d.joints
+}
+
+// TestParallelBuildEquivalence: the diagram built with any worker count is
+// deeply equal — runs, index, tiles, cells and joints, in order — to the
+// fully sequential (Workers=1) build, across seeds, deployment densities and
+// GOMAXPROCS settings. This is the contract that lets the server rebuild
+// diagrams on however many cores are idle without perturbing positioning.
+func TestParallelBuildEquivalence(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	for seed := uint64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			net, dep := testScenario(t, 400, depSpecForSeed(seed), seed)
+			cfg := Config{Order: 2, GridStep: 3, BandWidth: 24}
+
+			seqCfg := cfg
+			seqCfg.Workers = 1
+			seq := buildDiagram(t, net, dep, seqCfg)
+			seqRuns, seqIndex, seqTiles, seqCells, seqJoints := diagramState(seq)
+
+			for _, workers := range []int{2, 3, 8} {
+				for _, procs := range []int{1, 4} {
+					runtime.GOMAXPROCS(procs)
+					parCfg := cfg
+					parCfg.Workers = workers
+					par := buildDiagram(t, net, dep, parCfg)
+					runs, index, tiles, cells, joints := diagramState(par)
+					if !reflect.DeepEqual(runs, seqRuns) {
+						t.Fatalf("workers=%d procs=%d: runs differ from sequential build", workers, procs)
+					}
+					if !reflect.DeepEqual(index, seqIndex) {
+						t.Fatalf("workers=%d procs=%d: run index differs from sequential build", workers, procs)
+					}
+					if !reflect.DeepEqual(tiles, seqTiles) {
+						t.Fatalf("workers=%d procs=%d: tiles differ from sequential build", workers, procs)
+					}
+					if !reflect.DeepEqual(cells, seqCells) {
+						t.Fatalf("workers=%d procs=%d: cells differ from sequential build", workers, procs)
+					}
+					if !reflect.DeepEqual(joints, seqJoints) {
+						t.Fatalf("workers=%d procs=%d: joints differ from sequential build", workers, procs)
+					}
+				}
+			}
+			runtime.GOMAXPROCS(prev)
+		})
+	}
+}
+
+// TestBuildDeterministicAcrossRepeats: two sequential builds of one scenario
+// are deeply equal — in particular the joint-point order, which the old
+// implementation drew from map iteration.
+func TestBuildDeterministicAcrossRepeats(t *testing.T) {
+	net, dep := testScenario(t, 400, depSpecForSeed(2), 2)
+	cfg := Config{Order: 2, GridStep: 3, BandWidth: 24, Workers: 1}
+	a := buildDiagram(t, net, dep, cfg)
+	b := buildDiagram(t, net, dep, cfg)
+	if !reflect.DeepEqual(a.joints, b.joints) {
+		t.Fatal("joint order differs between two identical builds")
+	}
+	if !reflect.DeepEqual(a.runs, b.runs) || !reflect.DeepEqual(a.tiles, b.tiles) {
+		t.Fatal("diagram state differs between two identical builds")
+	}
+}
+
+// TestOrderIntoMatchesSortedRanking: the insertion-ranked, scratch-reusing
+// orderInto agrees with the straightforward sort-everything reference at
+// every kmax, across random query points.
+func TestOrderIntoMatchesSortedRanking(t *testing.T) {
+	net, dep := testScenario(t, 500, depSpecForSeed(1), 7)
+	d := buildDiagram(t, net, dep, Config{Order: 2, GridStep: -1, Workers: 1})
+	g := d.grid
+
+	// Reference: collect every detectable AP, sort by the metric with the
+	// documented tie-break, truncate.
+	reference := func(p geo.Point, kmax int) []wifi.BSSID {
+		type ranked struct {
+			bssid wifi.BSSID
+			v     float64
+		}
+		var cands []ranked
+		b := g.bucket(p)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, ap := range g.buckets[[2]int{b[0] + dx, b[1] + dy}] {
+					dist := p.Dist(ap.Pos)
+					rss := g.model.ExpectedRSS(ap.RefRSS, ap.PathLossExp, dist)
+					if rss < g.model.Floor() {
+						continue
+					}
+					v := rss
+					if g.metric == MetricEuclidean {
+						v = -dist
+					}
+					cands = append(cands, ranked{bssid: ap.BSSID, v: v})
+				}
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].v != cands[j].v {
+				return cands[i].v > cands[j].v
+			}
+			return cands[i].bssid < cands[j].bssid
+		})
+		if kmax > 0 && len(cands) > kmax {
+			cands = cands[:kmax]
+		}
+		out := make([]wifi.BSSID, len(cands))
+		for i, c := range cands {
+			out[i] = c.bssid
+		}
+		return out
+	}
+
+	rng := xrand.New(99)
+	var sc rankScratch
+	for i := 0; i < 500; i++ {
+		p := geo.Pt(rng.Float64()*520-10, rng.Float64()*80-40)
+		for _, kmax := range []int{1, 2, 3, 0} {
+			got := g.orderInto(p, kmax, &sc)
+			want := reference(p, kmax)
+			if len(got) != len(want) {
+				t.Fatalf("p=%v kmax=%d: got %d APs, want %d", p, kmax, len(got), len(want))
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("p=%v kmax=%d: rank %d is %q, want %q", p, kmax, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestInternerSharesAllocations: interned keys are value-equal to MakeKey
+// output and repeated requests return the identical backing string.
+func TestInternerSharesAllocations(t *testing.T) {
+	in := newInterner()
+	order := []wifi.BSSID{"ap-a", "ap-b", "ap-c"}
+	for k := 0; k <= 4; k++ {
+		if got, want := in.key(order, k), MakeKey(order, k); got != want {
+			t.Fatalf("k=%d: interned key %q != MakeKey %q", k, got, want)
+		}
+	}
+	a := in.key(order, 2)
+	b := in.key(order, 2)
+	if unsafe.StringData(string(a)) != unsafe.StringData(string(b)) {
+		t.Fatal("interner returned two allocations for one key")
+	}
+	fresh := MakeKey(order, 2) // independent allocation, equal content
+	if got := in.canon(fresh); unsafe.StringData(string(got)) != unsafe.StringData(string(a)) {
+		t.Fatal("canon does not fold equal content onto the interned allocation")
+	}
+}

@@ -2,6 +2,7 @@ package svd
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 
 	"wilocator/internal/geo"
@@ -41,6 +42,10 @@ type Config struct {
 	// Metric selects SVD (rank by expected RSS) or the conventional Voronoi
 	// diagram (rank by Euclidean distance) for the ablation.
 	Metric Metric
+	// Workers bounds the construction worker pool. 0 selects
+	// runtime.GOMAXPROCS(0); 1 builds fully sequentially. The built diagram
+	// is byte-identical for every worker count.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -58,6 +63,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Metric == 0 {
 		c.Metric = MetricRSS
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	return c
 }
@@ -121,6 +129,10 @@ type Diagram struct {
 
 // Order returns the maximum indexed tile order.
 func (d *Diagram) Order() int { return d.cfg.Order }
+
+// Config returns the (defaulted) configuration the diagram was built with.
+// Rebuilds after AP dynamics pass it back to Build unchanged.
+func (d *Diagram) Config() Config { return d.cfg }
 
 // Metric returns the partition metric.
 func (d *Diagram) Metric() Metric { return d.cfg.Metric }

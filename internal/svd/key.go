@@ -54,6 +54,61 @@ func MakeKey(order []wifi.BSSID, k int) TileKey {
 	return TileKey(sb.String())
 }
 
+// interner deduplicates TileKey allocations within one Build: every
+// structure that stores a key — runs, the run index, tiles, boundaries —
+// shares a single backing string per distinct key. Not safe for concurrent
+// use; Build gives each worker its own table and canonicalises results
+// through the merge goroutine's table afterwards.
+type interner struct {
+	keys map[string]TileKey
+	buf  []byte
+}
+
+func newInterner() *interner {
+	return &interner{keys: make(map[string]TileKey, 128)}
+}
+
+// key builds the order-k TileKey of a (descending) rank order. It is
+// equivalent to MakeKey(order, k) but allocates only the first time a
+// distinct key is seen: the assembly buffer is reused and the lookup
+// converts it to a map key without copying.
+func (in *interner) key(order []wifi.BSSID, k int) TileKey {
+	if k > len(order) {
+		k = len(order)
+	}
+	if k <= 0 {
+		return ""
+	}
+	buf := in.buf[:0]
+	for i := 0; i < k; i++ {
+		if i > 0 {
+			buf = append(buf, KeySep...)
+		}
+		buf = append(buf, order[i]...)
+	}
+	in.buf = buf
+	if c, ok := in.keys[string(buf)]; ok { // no copy: map index by converted bytes
+		return c
+	}
+	c := TileKey(buf) // the one allocation this key will ever cost
+	in.keys[string(c)] = c
+	return c
+}
+
+// canon returns the interned instance of key, registering key itself when
+// the content is new. Used at merge time to fold keys built by different
+// workers onto one allocation.
+func (in *interner) canon(key TileKey) TileKey {
+	if key == "" {
+		return ""
+	}
+	if c, ok := in.keys[string(key)]; ok {
+		return c
+	}
+	in.keys[string(key)] = key
+	return key
+}
+
 // Order returns the number of APs in the key.
 func (k TileKey) Order() int {
 	if k == "" {

@@ -31,6 +31,7 @@
 package wilocator
 
 import (
+	"context"
 	"errors"
 	"io"
 	"net/http"
@@ -111,6 +112,11 @@ type (
 	TrajectoryResponse = api.TrajectoryResponse
 	// IngestStats counts report-processing outcomes since startup.
 	IngestStats = api.IngestStats
+	// RebuildResponse acknowledges a completed diagram rebuild.
+	RebuildResponse = api.RebuildResponse
+	// RebuildStats reports diagram-rebuild state (serving generation,
+	// outcome counters).
+	RebuildStats = api.RebuildStats
 
 	// SegmentStatus is one segment's traffic-map entry.
 	SegmentStatus = trafficmap.SegmentStatus
@@ -191,7 +197,6 @@ type Config struct {
 // tracking, travel-time learning, arrival prediction and traffic maps, with
 // an HTTP API for phones and rider apps. It is safe for concurrent use.
 type System struct {
-	dia     *svd.Diagram
 	store   *traveltime.Store
 	svc     *server.Service
 	persist *traveltime.Persister // nil without Config.PersistDir
@@ -217,11 +222,18 @@ func New(net *Network, dep *Deployment, cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{dia: dia, store: store, svc: svc, persist: persist}, nil
+	return &System{store: store, svc: svc, persist: persist}, nil
 }
 
-// Diagram returns the system's Signal Voronoi Diagram.
-func (s *System) Diagram() *Diagram { return s.dia }
+// Diagram returns the system's current Signal Voronoi Diagram (the latest
+// rebuild generation's).
+func (s *System) Diagram() *Diagram { return s.svc.Diagram() }
+
+// Rebuild reconstructs the Signal Voronoi Diagram from the deployment's
+// current AP state and hot-swaps it in; see server.Service.Rebuild. Call it
+// after deactivating or reactivating APs so positioning catches up with the
+// dynamics.
+func (s *System) Rebuild(ctx context.Context) (RebuildResponse, error) { return s.svc.Rebuild(ctx) }
 
 // Ingest processes one phone report (scan upload).
 func (s *System) Ingest(rep Report) (IngestResponse, error) { return s.svc.Ingest(rep) }
