@@ -1,0 +1,79 @@
+// Command wilint is the project linter: a multichecker enforcing the
+// codebase invariants that `go vet` cannot see.
+//
+// Usage:
+//
+//	go run ./cmd/wilint [-run names] [-list] [packages]
+//
+// Patterns default to ./... . Exit status is 0 when clean, 1 when any
+// diagnostic is reported, 2 on a driver error (load or typecheck failure).
+//
+// Findings are suppressed — one at a time, with a mandatory justification —
+// by a directive on the offending line or the line above:
+//
+//	//wilint:ignore locksafe both stores are lock-private to this test
+//
+// Unused or unjustified directives are themselves reported, so suppressions
+// cannot rot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wilocator/internal/lint"
+	"wilocator/internal/lint/load"
+	"wilocator/internal/lint/rules"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		runList = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+		list    = flag.Bool("list", false, "list registered analyzers and exit")
+		noTests = flag.Bool("notests", false, "analyze only non-test files")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range rules.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers, unknown := rules.ByName(*runList)
+	if unknown != "" {
+		fmt.Fprintf(os.Stderr, "wilint: unknown analyzer %q (try -list)\n", unknown)
+		return 2
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	targets, err := load.Targets(patterns, load.Options{Tests: !*noTests})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wilint: %v\n", err)
+		return 2
+	}
+
+	diags, err := lint.Run(targets, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wilint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "wilint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

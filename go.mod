@@ -1,3 +1,11 @@
 module wilocator
 
 go 1.22
+
+// wilint (cmd/wilint, internal/lint) is written against the standard
+// library only: the build environment has no module proxy, so
+// golang.org/x/tools cannot be pinned here. The toolchain pin below keeps
+// the export-data format the lint loader consumes (go list -export +
+// go/importer) consistent across machines; bump it deliberately, together
+// with a full `make ci` run.
+toolchain go1.24.0

@@ -1,0 +1,242 @@
+// Package atomicguard checks that lock-free state stays lock-free.
+//
+// The server holds its engine generation behind atomic.Pointer[engine] and
+// its ingest counters in sync/atomic types precisely so the hot path never
+// takes a lock. Two mistakes silently destroy those guarantees:
+//
+//   - copying a value that embeds a sync/atomic type (atomic.Pointer,
+//     atomic.Uint64, atomic.Value, ...). The copy carries a snapshot that
+//     no writer updates, and `go vet`'s copylocks does not cover the
+//     numeric atomic types (they have no Lock method);
+//   - mixing atomic and plain access to one field: a field updated via
+//     atomic.AddUint64(&s.n, 1) in one place and read as `s.n` in another
+//     is a data race the happens-before machinery cannot repair.
+//
+// The analyzer flags value copies (assignments, arguments, returns, value
+// receivers, range variables) of atomic-bearing types, and every plain
+// access to a field that is accessed atomically anywhere in the package.
+package atomicguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"wilocator/internal/lint"
+)
+
+// Analyzer is the atomic-state checker.
+var Analyzer = &lint.Analyzer{
+	Name: "atomicguard",
+	Doc:  "flags copies of sync/atomic-bearing values and mixed atomic/plain field access",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	checkCopies(pass)
+	checkMixedAccess(pass)
+	return nil
+}
+
+// atomicTypeNames are the sync/atomic value types that must not be copied.
+var atomicTypeNames = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+	"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+}
+
+// containsAtomic reports whether a value of type t embeds sync/atomic
+// state (directly, in a struct field, or in an array element). Pointers,
+// slices, maps and channels are references — copying them is fine.
+func containsAtomic(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch tt := t.(type) {
+	case *types.Named:
+		obj := tt.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" && atomicTypeNames[obj.Name()] {
+			return true
+		}
+		return containsAtomic(tt.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < tt.NumFields(); i++ {
+			if containsAtomic(tt.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsAtomic(tt.Elem(), seen)
+	case *types.Alias:
+		return containsAtomic(types.Unalias(tt), seen)
+	}
+	return false
+}
+
+func atomicBearing(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return containsAtomic(t, map[types.Type]bool{})
+}
+
+// copyable reports whether the expression denotes existing state whose
+// assignment elsewhere is a copy (a fresh composite literal or conversion
+// is initialisation, not a copy of live state).
+func copyable(e ast.Expr) bool {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	default:
+		return false
+	}
+}
+
+// checkCopies walks every file for by-value movement of atomic-bearing
+// state.
+func checkCopies(pass *lint.Pass) {
+	exprType := func(e ast.Expr) types.Type {
+		if tv, ok := pass.Info.Types[e]; ok {
+			return tv.Type
+		}
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Recv != nil && len(n.Recv.List) == 1 {
+					rt := pass.Info.Types[n.Recv.List[0].Type].Type
+					if rt != nil {
+						if _, isPtr := rt.(*types.Pointer); !isPtr && atomicBearing(rt) {
+							pass.Reportf(n.Recv.List[0].Type.Pos(),
+								"method %s has a value receiver of atomic-bearing type %s; each call operates on a copy — use a pointer receiver",
+								n.Name.Name, rt)
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					if copyable(rhs) && atomicBearing(exprType(rhs)) {
+						pass.Reportf(rhs.Pos(),
+							"assignment copies %s, whose type %s contains sync/atomic state; share it by pointer",
+							lint.ExprString(rhs), exprType(rhs))
+					}
+				}
+			case *ast.CallExpr:
+				if tv, ok := pass.Info.Types[n.Fun]; ok && tv.IsType() {
+					return true // conversion, checked via its operand elsewhere
+				}
+				for _, arg := range n.Args {
+					if copyable(arg) && atomicBearing(exprType(arg)) {
+						pass.Reportf(arg.Pos(),
+							"call passes %s by value, but its type %s contains sync/atomic state; pass a pointer",
+							lint.ExprString(arg), exprType(arg))
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, res := range n.Results {
+					if copyable(res) && atomicBearing(exprType(res)) {
+						pass.Reportf(res.Pos(),
+							"return copies %s, whose type %s contains sync/atomic state; return a pointer",
+							lint.ExprString(res), exprType(res))
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value == nil {
+					return true
+				}
+				vt := exprType(n.Value)
+				if vt == nil {
+					// `for _, s := range ...` defines s; look it up by object.
+					if id, ok := n.Value.(*ast.Ident); ok {
+						if obj := pass.Info.Defs[id]; obj != nil {
+							vt = obj.Type()
+						}
+					}
+				}
+				if atomicBearing(vt) {
+					pass.Reportf(n.Value.Pos(),
+						"range copies elements of atomic-bearing type %s; iterate by index instead", vt)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkMixedAccess flags fields that are accessed both through sync/atomic
+// functions and directly.
+func checkMixedAccess(pass *lint.Pass) {
+	// Pass 1: fields whose address feeds a sync/atomic function, and the
+	// selector nodes already accounted for by those calls.
+	atomicFields := map[types.Object][]ast.Node{} // field -> atomic call sites
+	inAtomicCall := map[ast.Node]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := lint.Callee(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods of the atomic value types are safe by construction
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if obj, ok := pass.Info.Uses[sel.Sel].(*types.Var); ok && obj.IsField() {
+					atomicFields[obj] = append(atomicFields[obj], call)
+					inAtomicCall[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+	// Pass 2: any other touch of those fields is a plain (racy) access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || inAtomicCall[sel] {
+				return true
+			}
+			obj, ok := pass.Info.Uses[sel.Sel].(*types.Var)
+			if !ok || !obj.IsField() {
+				return true
+			}
+			if sites, tracked := atomicFields[obj]; tracked {
+				first := pass.Fset.Position(sites[0].Pos())
+				pass.Reportf(sel.Pos(),
+					"plain access to %s, which is accessed atomically elsewhere (e.g. %s); mixing the two races — use sync/atomic everywhere or migrate the field to an atomic.%s",
+					lint.ExprString(sel), first, suggestType(obj))
+			}
+			return true
+		})
+	}
+}
+
+// suggestType names the atomic.* type matching a field's underlying type.
+func suggestType(obj *types.Var) string {
+	basic, ok := obj.Type().Underlying().(*types.Basic)
+	if !ok {
+		return "Value"
+	}
+	name := basic.Name()
+	if len(name) > 0 {
+		return strings.ToUpper(name[:1]) + name[1:]
+	}
+	return "Value"
+}

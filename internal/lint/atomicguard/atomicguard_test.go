@@ -1,0 +1,12 @@
+package atomicguard_test
+
+import (
+	"testing"
+
+	"wilocator/internal/lint/atomicguard"
+	"wilocator/internal/lint/linttest"
+)
+
+func TestAtomicguard(t *testing.T) {
+	linttest.Run(t, "testdata/src/atomicguard", atomicguard.Analyzer)
+}

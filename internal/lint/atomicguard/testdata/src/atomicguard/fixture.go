@@ -1,0 +1,57 @@
+// Package fixture exercises the atomicguard analyzer.
+package fixture
+
+import "sync/atomic"
+
+type Stats struct {
+	hits atomic.Uint64
+}
+
+type plainMixed struct {
+	n uint64
+}
+
+var global Stats
+
+func use(p *Stats) { _ = p }
+
+func copyAssign() {
+	snapshot := global // want `assignment copies global, whose type .* contains sync/atomic state`
+	use(&snapshot)
+}
+
+func copySuppressed() {
+	//wilint:ignore atomicguard snapshot of a quiescent Stats for offline comparison
+	snapshot := global
+	use(&snapshot)
+}
+
+func (s Stats) valueReceiver() int { return 0 } // want `value receiver of atomic-bearing type`
+
+func take(s Stats) uint64 { return s.hits.Load() }
+
+func passByValue() {
+	take(global) // want `passes global by value`
+}
+
+func returnCopy() Stats {
+	return global // want `return copies global`
+}
+
+func rangeCopy(list []Stats) {
+	for _, s := range list { // want `range copies elements of atomic-bearing type`
+		use(&s)
+	}
+}
+
+func pointerOK() *Stats {
+	return &global
+}
+
+func (m *plainMixed) inc() {
+	atomic.AddUint64(&m.n, 1)
+}
+
+func (m *plainMixed) read() uint64 {
+	return m.n // want `plain access to m.n, which is accessed atomically elsewhere .*; mixing the two races`
+}

@@ -1,0 +1,148 @@
+// Package determinism checks that opted-in build paths are reproducible:
+// no wall clock, no global random source, no map-iteration order.
+//
+// The SVD construction promises byte-identical output for every worker
+// count and GOMAXPROCS (TestParallelBuildEquivalence); a single time.Now()
+// or ranged map in a merge path silently breaks that guarantee long before
+// a test notices. A package opts in with a file-level directive naming the
+// entry points:
+//
+//	//wilint:deterministic Build
+//
+// Every function in the package reachable from an entry point through
+// direct (same-package) calls is then checked for:
+//
+//   - calls to time.Now / time.Since,
+//   - calls to the global math/rand and math/rand/v2 top-level functions
+//     (seeded *rand.Rand instances constructed via New/NewSource are
+//     fine — they are deterministic under the caller's control),
+//   - `range` over a map, whose order differs between runs.
+//
+// Map ranging that genuinely cannot affect output (e.g. filling another
+// map keyed identically) is suppressed with a justified //wilint:ignore.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"wilocator/internal/lint"
+)
+
+// Analyzer is the determinism checker.
+var Analyzer = &lint.Analyzer{
+	Name: "determinism",
+	Doc:  "forbids wall-clock reads, global randomness and map-iteration order in //wilint:deterministic build paths",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	roots := map[string]bool{}
+	for _, args := range lint.Directives(pass.Fset, pass.Files, "deterministic") {
+		for _, name := range strings.Fields(args) {
+			roots[name] = true
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+
+	// Index this package's function declarations by their object.
+	decls := map[types.Object]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if obj := pass.Info.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+
+	// Flood-fill the same-package call graph from the named roots,
+	// remembering which root made each function reachable (for messages).
+	via := map[types.Object]string{}
+	var work []types.Object
+	for obj, fd := range decls {
+		if roots[fd.Name.Name] {
+			via[obj] = fd.Name.Name
+			work = append(work, obj)
+		}
+	}
+	for len(work) > 0 {
+		obj := work[len(work)-1]
+		work = work[:len(work)-1]
+		ast.Inspect(decls[obj], func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := lint.Callee(pass.Info, call)
+			if callee == nil || callee.Pkg() != pass.Pkg {
+				return true
+			}
+			if _, seen := via[callee]; !seen && decls[callee] != nil {
+				via[callee] = via[obj]
+				work = append(work, callee)
+			}
+			return true
+		})
+	}
+
+	// Check every reachable function, in source order for stable output.
+	var reachable []types.Object
+	for obj := range via {
+		reachable = append(reachable, obj)
+	}
+	sort.Slice(reachable, func(i, j int) bool { return decls[reachable[i]].Pos() < decls[reachable[j]].Pos() })
+	for _, obj := range reachable {
+		checkFunc(pass, decls[obj], via[obj])
+	}
+	return nil
+}
+
+// checkFunc reports nondeterminism sources inside one reachable function.
+func checkFunc(pass *lint.Pass, fd *ast.FuncDecl, root string) {
+	name := fd.Name.Name
+	where := "reachable from " + root
+	if name == root {
+		where = "a //wilint:deterministic root"
+	}
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			callee := lint.Callee(pass.Info, n)
+			if callee == nil || callee.Pkg() == nil {
+				return true
+			}
+			path := callee.Pkg().Path()
+			switch {
+			case path == "time" && (callee.Name() == "Now" || callee.Name() == "Since"):
+				pass.Reportf(n.Pos(), "%s is %s but calls time.%s; deterministic builds must not read the wall clock",
+					name, where, callee.Name())
+			case path == "math/rand" || path == "math/rand/v2":
+				sig := callee.Type().(*types.Signature)
+				if sig.Recv() == nil && !strings.HasPrefix(callee.Name(), "New") {
+					pass.Reportf(n.Pos(), "%s is %s but calls %s.%s, the process-global random source; use a seeded source instead",
+						name, where, path, callee.Name())
+				}
+			}
+		case *ast.RangeStmt:
+			tv, ok := pass.Info.Types[n.X]
+			if !ok {
+				return true
+			}
+			t := tv.Type
+			if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				t = ptr.Elem()
+			}
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				pass.Reportf(n.Pos(), "%s is %s but ranges over map %s; map iteration order differs between runs",
+					name, where, lint.ExprString(n.X))
+			}
+		}
+		return true
+	})
+}

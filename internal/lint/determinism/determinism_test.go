@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"wilocator/internal/lint/determinism"
+	"wilocator/internal/lint/linttest"
+)
+
+func TestDeterminism(t *testing.T) {
+	linttest.Run(t, "testdata/src/determinism", determinism.Analyzer)
+}

@@ -1,0 +1,56 @@
+// Package fixture exercises the determinism analyzer: Build and everything
+// it reaches must be reproducible.
+//
+//wilint:deterministic Build
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func seedMap() map[string]int { return map[string]int{"a": 1} }
+
+func Build(in map[string]int) int {
+	total := 0
+	for _, v := range in { // want `ranges over map in; map iteration order differs between runs`
+		total += v
+	}
+	return total + helper() + merged() + seeded()
+}
+
+func helper() int {
+	t := time.Now() // want `calls time.Now; deterministic builds must not read the wall clock`
+	_ = t
+	return rand.Int() // want `math/rand.Int, the process-global random source`
+}
+
+// merged ranges over a map but only fills another map keyed identically,
+// which cannot affect output: the canonical justified suppression.
+func merged() int {
+	out := map[string]bool{}
+	//wilint:ignore determinism fills out keyed identically; per-entry writes are order-insensitive
+	for k := range seedMap() {
+		out[k] = true
+	}
+	return len(out)
+}
+
+// seeded uses a caller-controlled source: deterministic, not reported.
+func seeded() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Int()
+}
+
+// notReachable is never called from Build; the wall clock is fine here.
+func notReachable() time.Time {
+	return time.Now()
+}
+
+// A suppression with nothing beneath it must itself be reported.
+//
+//wilint:ignore determinism stale, suppresses nothing // want `unused wilint:ignore directive for determinism`
+var sentinel = 0
+
+//wilint:ignore determinism // want `wilint:ignore determinism needs a justification`
+var sentinel2 = 0

@@ -1,0 +1,329 @@
+// Package durable checks that the crash-safety write paths never discard a
+// durability error.
+//
+// The WAL/snapshot story of internal/traveltime only holds if every fsync
+// boundary is checked: a dropped (*os.File).Sync error means "durable"
+// records that are not, a dropped Close on a just-written file can swallow
+// the final flush error, and a dropped os.Rename leaves a snapshot
+// unpublished while the code believes otherwise.
+//
+// The analyzer recognises "durable" values — *os.File, and any type whose
+// method set includes both Sync() error and Close() error (e.g.
+// traveltime.Persister) — and reports:
+//
+//   - a Sync() call whose error is discarded (Sync exists only for
+//     durability; ignoring its result is always a bug),
+//   - a Close() call whose error is discarded on a write path — the value
+//     was written to, synced, truncated, or handed to an io.Writer
+//     parameter in the same function (for non-file durable types every
+//     path counts as a write path),
+//   - `defer f.Close()` on a write path with no explicitly checked Close
+//     later in the function (the double-Close idiom — deferred backstop
+//     plus checked close — passes),
+//   - an os.Rename call whose error is discarded.
+//
+// Assigning the error to blank (`_ = f.Close()`) is accepted as a visible,
+// greppable statement of intent on best-effort cleanup paths; the bare
+// call is not.
+package durable
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"wilocator/internal/lint"
+)
+
+// Analyzer is the durability-errcheck checker.
+var Analyzer = &lint.Analyzer{
+	Name: "durable",
+	Doc:  "flags discarded errors from Sync, write-path Close and os.Rename",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// durableKind classifies a receiver type.
+type durableKind int
+
+const (
+	notDurable durableKind = iota
+	durableFile
+	durableOther
+)
+
+// kindOf reports whether t is a durability-bearing type: *os.File, or any
+// type whose method set has both Sync() error and Close() error.
+func kindOf(t types.Type) durableKind {
+	if t == nil {
+		return notDurable
+	}
+	if lint.IsNamed(t, "os", "File") {
+		return durableFile
+	}
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		t = types.NewPointer(t)
+	}
+	ms := types.NewMethodSet(t)
+	hasErrMethod := func(name string) bool {
+		for i := 0; i < ms.Len(); i++ {
+			fn := ms.At(i).Obj()
+			if fn.Name() != name {
+				continue
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+				return false
+			}
+			named, ok := sig.Results().At(0).Type().(*types.Named)
+			return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+		}
+		return false
+	}
+	if hasErrMethod("Sync") && hasErrMethod("Close") {
+		return durableOther
+	}
+	return notDurable
+}
+
+// identityOf resolves the "which value is this" object behind a receiver
+// expression: the variable for an identifier, the field for a selector.
+func identityOf(info *types.Info, x ast.Expr) types.Object {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		return info.Uses[x]
+	case *ast.SelectorExpr:
+		return info.Uses[x.Sel]
+	}
+	return nil
+}
+
+// writeMethods on a file mark it as a write path.
+var writeMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteAt": true,
+	"ReadFrom": true, "Truncate": true, "Sync": true,
+}
+
+// checkFunc analyzes one function declaration (function literals inside it
+// included — a cleanup closure is part of the same write path).
+func checkFunc(pass *lint.Pass, fd *ast.FuncDecl) {
+	info := pass.Info
+
+	// Pass 1 over the whole declaration: which durable identities are on a
+	// write path, and which have an explicitly checked Close.
+	written := map[types.Object]bool{}  // wrote/synced/handed to a writer
+	checked := map[types.Object]bool{}  // has a Close whose error is consumed
+	durables := map[types.Object]durableKind{}
+	note := func(x ast.Expr) (types.Object, durableKind) {
+		obj := identityOf(info, x)
+		if obj == nil {
+			return nil, notDurable
+		}
+		kind, ok := durables[obj]
+		if !ok {
+			kind = kindOf(obj.Type())
+			durables[obj] = kind
+		}
+		return obj, kind
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// Files opened for writing are write paths from birth:
+			// `f, err := os.Create(tmp)` marks f.
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := lint.Callee(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+				return true
+			}
+			creates := fn.Name() == "Create" || fn.Name() == "CreateTemp" ||
+				(fn.Name() == "OpenFile" && len(call.Args) >= 2 && openFlagsWrite(info, call.Args[1]))
+			if !creates || len(n.Lhs) == 0 {
+				return true
+			}
+			if id, ok := n.Lhs[0].(*ast.Ident); ok {
+				if obj := info.Defs[id]; obj != nil {
+					written[obj] = true
+					durables[obj] = durableFile
+				} else if obj := info.Uses[id]; obj != nil {
+					written[obj] = true
+					durables[obj] = durableFile
+				}
+			}
+		case *ast.CallExpr:
+			// Method calls on durable receivers.
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if obj, kind := note(sel.X); kind != notDurable {
+					if writeMethods[sel.Sel.Name] {
+						written[obj] = true
+					}
+				}
+			}
+			// Durable values handed to io.Writer-shaped parameters (io.Copy,
+			// Store.WriteTo targets, encoders...).
+			sig, _ := info.Types[n.Fun].Type.(*types.Signature)
+			if sig != nil {
+				for i, arg := range n.Args {
+					obj, kind := note(arg)
+					if obj == nil || kind == notDurable {
+						continue
+					}
+					if i < sig.Params().Len() && implementsWriter(sig.Params().At(i).Type()) {
+						written[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Checked Closes: Close() calls whose result is consumed. First collect
+	// the call nodes whose result is visibly discarded (statement position,
+	// defer/go, or assigned to blank) — every other Close call feeds an
+	// expression or a real variable and counts as checked.
+	discarded := map[ast.Node]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			discarded[ast.Unparen(n.X)] = true
+		case *ast.DeferStmt:
+			discarded[n.Call] = true
+		case *ast.GoStmt:
+			discarded[n.Call] = true
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, rhs := range n.Rhs {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						discarded[ast.Unparen(rhs)] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || discarded[call] {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" {
+			if obj, kind := note(sel.X); kind != notDurable && obj != nil {
+				checked[obj] = true
+			}
+		}
+		return true
+	})
+
+	writePath := func(obj types.Object, kind durableKind) bool {
+		return kind == durableOther || written[obj]
+	}
+
+	// Pass 2: report discards.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.ExprStmt:
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := lint.Callee(info, call); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "os" && fn.Name() == "Rename" {
+				pass.Reportf(call.Pos(), "os.Rename error discarded; an unpublished rename breaks the atomic-replace contract — check it (or `_ =` it with a wilint:ignore justification)")
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, kind := note(sel.X)
+			if kind == notDurable || obj == nil {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Sync":
+				pass.Reportf(call.Pos(), "%s.Sync() error discarded; Sync exists only for durability — a failed fsync means the data is NOT durable", lint.ExprString(sel.X))
+			case "Close":
+				if writePath(obj, kind) {
+					pass.Reportf(call.Pos(), "%s.Close() error discarded on a write path; Close flushes — an ignored error here can lose acknowledged writes (check it, or `_ =` it on best-effort cleanup)", lint.ExprString(sel.X))
+				}
+			}
+		case *ast.DeferStmt:
+			sel, ok := ast.Unparen(stmt.Call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, kind := note(sel.X)
+			if kind == notDurable || obj == nil {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Sync":
+				pass.Reportf(stmt.Pos(), "deferred %s.Sync() discards its error; sync explicitly and check", lint.ExprString(sel.X))
+			case "Close":
+				if writePath(obj, kind) && !checked[obj] {
+					pass.Reportf(stmt.Pos(), "defer %s.Close() on a write path with no checked Close before return; use the deferred-backstop + explicit checked Close idiom", lint.ExprString(sel.X))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// openFlagsWrite reports whether an os.OpenFile flag expression includes a
+// writing mode. Non-constant flags are conservatively treated as writing.
+func openFlagsWrite(info *types.Info, flagExpr ast.Expr) bool {
+	tv, ok := info.Types[flagExpr]
+	if !ok || tv.Value == nil {
+		return true
+	}
+	v, ok := constant.Int64Val(constant.ToInt(tv.Value))
+	if !ok {
+		return true
+	}
+	// O_WRONLY=1, O_RDWR=2 on every supported platform; O_APPEND/O_CREATE
+	// vary but imply writing intent anyway, so the low bits suffice.
+	return v&3 != 0
+}
+
+// implementsWriter reports whether t (or *t) satisfies io.Writer.
+func implementsWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	iface, _ := t.Underlying().(*types.Interface)
+	if iface == nil {
+		return false
+	}
+	for i := 0; i < iface.NumMethods(); i++ {
+		m := iface.Method(i)
+		if m.Name() != "Write" {
+			continue
+		}
+		sig := m.Type().(*types.Signature)
+		if sig.Params().Len() == 1 && sig.Results().Len() == 2 {
+			if slice, ok := sig.Params().At(0).Type().(*types.Slice); ok {
+				if basic, ok := slice.Elem().(*types.Basic); ok && basic.Kind() == types.Byte {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package durable_test
+
+import (
+	"testing"
+
+	"wilocator/internal/lint/durable"
+	"wilocator/internal/lint/linttest"
+)
+
+func TestDurable(t *testing.T) {
+	linttest.Run(t, "testdata/src/durable", durable.Analyzer)
+}

@@ -1,0 +1,90 @@
+// Package fixture exercises the durable analyzer.
+package fixture
+
+import (
+	"io"
+	"os"
+)
+
+func writeTemp(dir string) error {
+	f, err := os.CreateTemp(dir, "x")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("hi")); err != nil {
+		f.Close() // want `f.Close\(\) error discarded on a write path`
+		return err
+	}
+	f.Sync() // want `f.Sync\(\) error discarded`
+	return f.Close()
+}
+
+func blankCloseOK(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("hi")); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func deferNoCheck(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `defer f.Close\(\) on a write path with no checked Close`
+	_, err = f.Write([]byte("hi"))
+	return err
+}
+
+func deferBackstopOK(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("hi")); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func readPathOK(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+func publish(tmp, dst string) {
+	os.Rename(tmp, dst) // want `os.Rename error discarded`
+}
+
+func publishSuppressed(tmp, dst string) {
+	//wilint:ignore durable best-effort republish of a stale artifact; the caller re-renames on the next tick
+	os.Rename(tmp, dst)
+}
+
+// wal has both Sync() error and Close() error, so every Close is on a
+// write path by definition.
+type wal struct{}
+
+func (w *wal) Sync() error  { return nil }
+func (w *wal) Close() error { return nil }
+
+func walBareClose(w *wal) {
+	w.Close() // want `w.Close\(\) error discarded on a write path`
+}
+
+func walCheckedClose(w *wal) error {
+	return w.Close()
+}

@@ -1,0 +1,307 @@
+// Package lint is the core of wilint, the WiLocator static-analysis suite.
+//
+// It is a deliberately small re-implementation of the golang.org/x/tools
+// go/analysis vocabulary (Analyzer, Pass, Diagnostic) on top of the standard
+// library only: the build environment has no module proxy access, so the
+// suite typechecks packages from source with go/parser + go/types and
+// resolves dependencies through compiler export data produced by
+// `go list -export` (see internal/lint/load). The analyzers themselves are
+// written against this package and would port to x/tools/go/analysis almost
+// mechanically if the dependency ever becomes available.
+//
+// Each analyzer machine-checks one invariant the codebase relies on:
+//
+//   - determinism: no wall clock, global randomness or map-iteration order
+//     in the SVD build paths (TestParallelBuildEquivalence's guarantee).
+//   - locksafe: shard/bus mutexes follow strict acquire/release discipline
+//     on every return path, and lock acquisition order is consistent.
+//   - atomicguard: values holding sync/atomic state are never copied, and
+//     no field mixes atomic and plain access.
+//   - durable: WAL/snapshot write paths never discard a Sync, Close or
+//     os.Rename error (the crash-safety story of internal/traveltime).
+//   - units: RSS (dBm) and distance (metres) quantities never meet in
+//     arithmetic or comparisons without an explicit conversion.
+//
+// # Suppression
+//
+// A finding that is intentional is silenced with a justified directive on
+// the offending line (or the line directly above it):
+//
+//	//wilint:ignore <analyzer> <justification>
+//
+// The justification is mandatory and directives that suppress nothing are
+// themselves reported, so stale suppressions cannot accumulate.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in //wilint:ignore
+	// directives. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description of the invariant the analyzer
+	// guards (shown by `wilint -list`).
+	Doc string
+	// Run performs the check on one package and reports findings through
+	// pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Target is one typechecked package ready for analysis.
+type Target struct {
+	// PkgPath is the import path (test variants keep the `[... .test]`
+	// suffix go list gives them).
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+}
+
+// A Pass carries one analyzer's view of one target package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// MetaAnalyzer is the pseudo-analyzer name under which the driver reports
+// problems with the suppression directives themselves (unused or
+// unjustified //wilint:ignore lines).
+const MetaAnalyzer = "wilint"
+
+// ignoreDirective is one parsed //wilint:ignore comment.
+type ignoreDirective struct {
+	analyzer string
+	reason   string
+	pos      token.Position // of the directive comment
+	used     bool
+}
+
+// Run executes the analyzers over the targets, applies the suppression
+// directives found in the targets' comments, and returns the surviving
+// diagnostics (including directive-hygiene findings) sorted by position.
+func Run(targets []*Target, analyzers []*Analyzer) ([]Diagnostic, error) {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var all []Diagnostic
+	for _, t := range targets {
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     t.Fset,
+				Files:    t.Files,
+				Pkg:      t.Pkg,
+				Info:     t.Info,
+				diags:    &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: analyzer %s: %w", t.PkgPath, a.Name, err)
+			}
+		}
+		all = append(all, applyDirectives(t, diags, known)...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all, nil
+}
+
+// applyDirectives filters diags through the //wilint:ignore directives of
+// one target and appends directive-hygiene diagnostics. A directive
+// suppresses matching findings on its own line and on the following line
+// (covering both trailing-comment and line-above placement).
+func applyDirectives(t *Target, diags []Diagnostic, known map[string]bool) []Diagnostic {
+	dirs := collectIgnores(t)
+	var out []Diagnostic
+	for _, d := range diags {
+		suppressed := false
+		for _, dir := range dirs {
+			if dir.analyzer != d.Analyzer {
+				continue
+			}
+			if dir.pos.Filename != d.Pos.Filename {
+				continue
+			}
+			if dir.pos.Line == d.Pos.Line || dir.pos.Line == d.Pos.Line-1 {
+				dir.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	for _, dir := range dirs {
+		switch {
+		case !known[dir.analyzer]:
+			// A directive for an analyzer outside this run is not judged:
+			// linttest runs analyzers one at a time over fixtures that may
+			// carry directives for the others.
+			continue
+		case dir.reason == "":
+			out = append(out, Diagnostic{
+				Analyzer: MetaAnalyzer,
+				Pos:      dir.pos,
+				Message:  fmt.Sprintf("wilint:ignore %s needs a justification (//wilint:ignore %s <why>)", dir.analyzer, dir.analyzer),
+			})
+		case !dir.used:
+			out = append(out, Diagnostic{
+				Analyzer: MetaAnalyzer,
+				Pos:      dir.pos,
+				Message:  fmt.Sprintf("unused wilint:ignore directive for %s (nothing to suppress here)", dir.analyzer),
+			})
+		}
+	}
+	return out
+}
+
+// collectIgnores parses every //wilint:ignore directive in the target.
+func collectIgnores(t *Target) []*ignoreDirective {
+	var dirs []*ignoreDirective
+	for _, f := range t.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//wilint:ignore")
+				if !ok {
+					continue
+				}
+				// A nested "//" ends the directive: trailing commentary (and
+				// linttest `// want` markers) is not part of the justification.
+				if i := strings.Index(text, "//"); i >= 0 {
+					text = text[:i]
+				}
+				fields := strings.Fields(text)
+				dir := &ignoreDirective{pos: t.Fset.Position(c.Pos())}
+				if len(fields) > 0 {
+					dir.analyzer = fields[0]
+				}
+				if len(fields) > 1 {
+					dir.reason = strings.Join(fields[1:], " ")
+				}
+				dirs = append(dirs, dir)
+			}
+		}
+	}
+	return dirs
+}
+
+// Directives returns the comment lines in the target's files that start
+// with //wilint:<name>, with the prefix stripped — the per-analyzer
+// configuration hook (e.g. //wilint:deterministic Build).
+func Directives(fset *token.FileSet, files []*ast.File, name string) map[token.Pos]string {
+	out := map[token.Pos]string{}
+	prefix := "//wilint:" + name
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if text, ok := strings.CutPrefix(c.Text, prefix); ok {
+					out[c.Pos()] = strings.TrimSpace(text)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ExprString renders a (simple) expression as the lock/field key analyzers
+// use in messages and state maps: selectors, indexes, derefs and calls over
+// identifiers. Unrenderable shapes collapse to "?", keeping keys stable.
+func ExprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return ExprString(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return ExprString(e.X)
+	case *ast.StarExpr:
+		return "*" + ExprString(e.X)
+	case *ast.IndexExpr:
+		return ExprString(e.X) + "[" + ExprString(e.Index) + "]"
+	case *ast.CallExpr:
+		return ExprString(e.Fun) + "()"
+	case *ast.UnaryExpr:
+		return e.Op.String() + ExprString(e.X)
+	case *ast.BasicLit:
+		return e.Value
+	default:
+		return "?"
+	}
+}
+
+// Callee resolves the *types.Func a call invokes (plain functions, methods
+// and qualified package functions). It returns nil for calls through
+// function values, type conversions and builtins.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsNamed reports whether t (after pointer indirection) is the named type
+// pkgPath.name.
+func IsNamed(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}

@@ -1,0 +1,205 @@
+// Package linttest runs wilint analyzers over fixture packages, in the
+// style of golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture is a directory of Go files (conventionally
+// testdata/src/<name>/) forming one package that imports only the standard
+// library. Expected findings are declared with trailing comments:
+//
+//	f.Close() // want `discards the error`
+//
+// Each `want` regex must match a diagnostic reported on its line, and
+// every diagnostic must be matched by a want — including the driver's
+// directive-hygiene findings, so fixtures can assert that //wilint:ignore
+// both works and is reported when unused.
+package linttest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"wilocator/internal/lint"
+)
+
+// Run analyzes the fixture package at dir (relative to the test's working
+// directory) with the given analyzers and asserts the findings against the
+// fixture's `// want` comments.
+func Run(t *testing.T, dir string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	target, err := loadFixture(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run([]*lint.Target{target}, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(t, target, diags)
+}
+
+// loadFixture parses and typechecks one fixture directory as a package.
+func loadFixture(dir string) (*lint.Target, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("linttest: %w", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	imports := map[string]bool{}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("linttest: %w", err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			imports[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("linttest: no Go files in %s", dir)
+	}
+	exports, err := exportData(imports)
+	if err != nil {
+		return nil, err
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (fixtures may import the standard library only)", path)
+		}
+		return os.Open(exp)
+	})
+	conf := types.Config{Importer: imp}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg, err := conf.Check("fixture/"+filepath.Base(dir), fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("linttest: typecheck %s: %w", dir, err)
+	}
+	return &lint.Target{PkgPath: pkg.Path(), Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+var (
+	exportMu    sync.Mutex
+	exportCache = map[string]string{}
+)
+
+// exportData returns export-data files for the given stdlib import paths,
+// invoking `go list -export` once per not-yet-seen path set. Results are
+// cached process-wide: fixture packages share a small stdlib footprint.
+func exportData(imports map[string]bool) (map[string]string, error) {
+	exportMu.Lock()
+	defer exportMu.Unlock()
+	var missing []string
+	for path := range imports {
+		if _, ok := exportCache[path]; !ok {
+			missing = append(missing, path)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Export"}, missing...)
+		cmd := exec.Command("go", args...)
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("linttest: go list -export %s: %w", strings.Join(missing, " "), err)
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p struct{ ImportPath, Export string }
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, fmt.Errorf("linttest: decode go list output: %w", err)
+			}
+			if p.Export != "" {
+				exportCache[p.ImportPath] = p.Export
+			}
+		}
+	}
+	return exportCache, nil
+}
+
+var wantRE = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// check matches diagnostics against `// want` comments.
+func check(t *testing.T, target *lint.Target, diags []lint.Diagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+		pos     string
+	}
+	wants := map[key][]*want{}
+	for _, f := range target.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := target.Fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text[idx+len("// want "):], -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants[k] = append(wants[k], &want{re: re, pos: pos.String()})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for _, w := range wants[k] {
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matched want %q", w.pos, w.re)
+			}
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package load typechecks Go packages for wilint without golang.org/x/tools.
+//
+// It shells out to `go list -test -deps -export -json`, which compiles every
+// dependency into the build cache and reports the export-data file of each —
+// entirely offline and incremental (repeat runs hit the cache). The packages
+// under analysis are then parsed from source and typechecked with go/types,
+// importing dependencies through go/importer's gc export-data reader. Test
+// files are included: the `p [p.test]` and `p_test [p.test]` variants go
+// list synthesises are preferred over the plain package so _test.go code is
+// analyzed too.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"wilocator/internal/lint"
+)
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	ForTest    string
+	Standard   bool
+	GoFiles    []string
+	CgoFiles   []string
+	ImportMap  map[string]string
+	Module     *struct{ Path, Dir string }
+}
+
+// Options tunes a Load.
+type Options struct {
+	// Dir is the working directory for `go list` (module root or below).
+	// Empty means the current directory.
+	Dir string
+	// Tests includes _test.go files and external test packages. Default
+	// true via LoadTargets; the zero Options value excludes them.
+	Tests bool
+}
+
+// Targets loads the packages matching patterns (e.g. "./...") and returns
+// them typechecked, ready for lint.Run. Only packages of the surrounding
+// module are returned as targets; dependencies are consumed as export data.
+func Targets(patterns []string, opts Options) ([]*lint.Target, error) {
+	pkgs, exports, err := goList(patterns, opts)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var targets []*lint.Target
+	for _, p := range pkgs {
+		t, err := typecheck(fset, p, exports)
+		if err != nil {
+			return nil, err
+		}
+		targets = append(targets, t)
+	}
+	return targets, nil
+}
+
+// goList runs `go list` and splits the result into the module packages to
+// analyze and the export-data table for every dependency.
+func goList(patterns []string, opts Options) ([]*listPackage, map[string]string, error) {
+	args := []string{"list", "-deps", "-export",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,CgoFiles,ImportMap,Module,ForTest,Standard"}
+	if opts.Tests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = opts.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("lint/load: go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	byPath := map[string]*listPackage{}
+	var order []string
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("lint/load: decode go list output: %w", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.Module == nil || p.Standard {
+			continue // dependency: export data only
+		}
+		if p.Name == "main" && strings.HasSuffix(p.ImportPath, ".test") {
+			continue // synthesised test main
+		}
+		pp := p
+		byPath[p.ImportPath] = &pp
+		order = append(order, p.ImportPath)
+	}
+
+	// Prefer the `p [p.test]` variant (source + test files in one package)
+	// over the plain package when both were listed.
+	var pkgs []*listPackage
+	for _, path := range order {
+		p := byPath[path]
+		if p.ForTest == "" {
+			if variant := byPath[p.ImportPath+" ["+p.ImportPath+".test]"]; variant != nil {
+				continue // superseded by its test variant
+			}
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, exports, nil
+}
+
+// typecheck parses and typechecks one package, resolving imports through
+// export data.
+func typecheck(fset *token.FileSet, p *listPackage, exports map[string]string) (*lint.Target, error) {
+	if len(p.CgoFiles) > 0 {
+		return nil, fmt.Errorf("lint/load: %s: cgo packages are not supported", p.ImportPath)
+	}
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint/load: %w", err)
+		}
+		files = append(files, f)
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := p.ImportMap[path]; ok {
+			path = mapped
+		}
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	})
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg, err := conf.Check(p.ImportPath, fset, files, info)
+	if err != nil && len(typeErrs) > 0 {
+		err = typeErrs[0]
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint/load: typecheck %s: %w", p.ImportPath, err)
+	}
+	return &lint.Target{
+		PkgPath: p.ImportPath,
+		Fset:    fset,
+		Files:   files,
+		Pkg:     pkg,
+		Info:    info,
+	}, nil
+}

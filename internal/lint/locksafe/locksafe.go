@@ -1,0 +1,485 @@
+// Package locksafe checks mutex acquire/release discipline and lock
+// acquisition order.
+//
+// The sharded ingestion path (internal/server/shard.go) relies on every
+// shard and per-bus mutex being released on every return path; a single
+// early return while holding sh.mu deadlocks the whole shard under load.
+// The analyzer walks each function (and each function literal) with an
+// abstract lock-set, reporting:
+//
+//   - a return (explicit or falling off the end) while a sync.Mutex /
+//     sync.RWMutex is held and no discharging defer exists,
+//   - acquiring a lock already held (self-deadlock; RWMutex read locks are
+//     tracked separately from write locks),
+//   - branches that leave a lock held on some paths but not others,
+//   - loop bodies whose entry and exit lock-sets differ,
+//   - lock-order inversions: two lock classes (type.field) acquired in
+//     both orders anywhere in the package, including a pair of locks of
+//     the *same* class taken together (Diff(a, b) vs Diff(b, a) style
+//     deadlocks).
+//
+// The analysis is intra-function: a callback invoked under a lock is
+// analyzed as its own unit, so cross-function lock chains (documented in
+// the server package comment) remain the code review's job. TryLock is
+// modelled for the canonical `if !mu.TryLock() { return }` single-flight
+// shape.
+package locksafe
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"wilocator/internal/lint"
+)
+
+// Analyzer is the lock-discipline checker.
+var Analyzer = &lint.Analyzer{
+	Name: "locksafe",
+	Doc:  "flags mutex acquire without unlock on every return path and lock-order inversions",
+	Run:  run,
+}
+
+// lockMode distinguishes write locks from RWMutex read locks.
+type lockMode int
+
+const (
+	writeLock lockMode = iota
+	readLock
+)
+
+// lockKey identifies one lock within a function: the rendered receiver
+// expression plus the mode.
+type lockKey struct {
+	expr string
+	mode lockMode
+}
+
+func (k lockKey) String() string {
+	if k.mode == readLock {
+		return k.expr + " (read)"
+	}
+	return k.expr
+}
+
+// lockOp is one recognised mutex call site.
+type lockOp struct {
+	key     lockKey
+	class   string // package-wide lock class, e.g. "server.busShard.mu"
+	acquire bool
+	try     bool
+	pos     token.Pos
+}
+
+// edge records "a held while acquiring b".
+type edge struct{ from, to string }
+
+type checker struct {
+	pass  *lint.Pass
+	edges map[edge][]token.Pos
+}
+
+func run(pass *lint.Pass) error {
+	c := &checker{pass: pass, edges: map[edge][]token.Pos{}}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.checkUnit(fd.Body)
+		}
+	}
+	c.reportInversions()
+	return nil
+}
+
+// heldLock is what the abstract state remembers about one acquisition.
+type heldLock struct {
+	pos   token.Pos
+	class string
+}
+
+// state is the abstract lock-set at one program point.
+type state struct {
+	held     map[lockKey]heldLock // acquisition position and class
+	deferred map[lockKey]bool     // keys discharged by a defer
+}
+
+func newState() *state {
+	return &state{held: map[lockKey]heldLock{}, deferred: map[lockKey]bool{}}
+}
+
+func (s *state) clone() *state {
+	c := newState()
+	for k, v := range s.held {
+		c.held[k] = v
+	}
+	for k := range s.deferred {
+		c.deferred[k] = true
+	}
+	return c
+}
+
+// heldKeys returns the undischarged held keys, sorted for stable output.
+func (s *state) heldKeys() []lockKey {
+	var keys []lockKey
+	for k := range s.held {
+		if !s.deferred[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	return keys
+}
+
+func sameHeld(a, b *state) bool {
+	ka, kb := a.heldKeys(), b.heldKeys()
+	if len(ka) != len(kb) {
+		return false
+	}
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkUnit analyzes one function body (or function literal body) with a
+// fresh lock-set, queueing nested literals as their own units.
+func (c *checker) checkUnit(body *ast.BlockStmt) {
+	st := newState()
+	terminated := c.walk(body.List, st)
+	if !terminated {
+		c.reportHeld(st, body.Rbrace, "function exits")
+	}
+	// Nested function literals run with their own stack frames: analyze
+	// each as an independent unit (walk skips their bodies).
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			c.checkUnit(lit.Body)
+			return false
+		}
+		return true
+	})
+}
+
+func (c *checker) reportHeld(st *state, pos token.Pos, what string) {
+	for _, k := range st.heldKeys() {
+		c.pass.Reportf(pos, "%s while still holding %s (acquired at %s)",
+			what, k, c.pass.Fset.Position(st.held[k].pos))
+	}
+}
+
+// walk interprets a statement list, mutating st. It returns true when the
+// list always terminates (returns or branches away) before falling through.
+func (c *checker) walk(stmts []ast.Stmt, st *state) bool {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if op := c.lockOpOf(call); op != nil && !op.try {
+					c.apply(op, st)
+				}
+			}
+		case *ast.DeferStmt:
+			c.applyDefer(s, st)
+		case *ast.ReturnStmt:
+			c.reportHeld(st, s.Pos(), "returns")
+			return true
+		case *ast.BranchStmt:
+			// break/continue/goto leave the straight-line path; treat as
+			// terminating this list without further claims.
+			return true
+		case *ast.IfStmt:
+			if c.walkIf(s, st) {
+				return true
+			}
+		case *ast.BlockStmt:
+			if c.walk(s.List, st) {
+				return true
+			}
+		case *ast.LabeledStmt:
+			if c.walk([]ast.Stmt{s.Stmt}, st) {
+				return true
+			}
+		case *ast.ForStmt:
+			c.walkLoop(s.Body, s.Pos(), st)
+		case *ast.RangeStmt:
+			c.walkLoop(s.Body, s.Pos(), st)
+		case *ast.SwitchStmt:
+			c.walkCases(s.Body, st)
+		case *ast.TypeSwitchStmt:
+			c.walkCases(s.Body, st)
+		case *ast.SelectStmt:
+			c.walkCases(s.Body, st)
+		case *ast.GoStmt:
+			// Runs on another goroutine with its own lock-set; the literal
+			// body is checked as a separate unit by checkUnit.
+		}
+	}
+	return false
+}
+
+// apply performs one acquire/release on st, recording order edges and
+// double-lock findings on acquisition.
+func (c *checker) apply(op *lockOp, st *state) {
+	if op.acquire {
+		if prev, dup := st.held[op.key]; dup {
+			c.pass.Reportf(op.pos, "acquiring %s already held (locked at %s); this deadlocks",
+				op.key, c.pass.Fset.Position(prev.pos))
+			return
+		}
+		for heldKey, held := range st.held {
+			if held.class != "" && op.class != "" && held.class != op.class {
+				c.edges[edge{held.class, op.class}] = append(c.edges[edge{held.class, op.class}], op.pos)
+			}
+			// Same class, different lock instances acquired together: a
+			// reverse-order call elsewhere (or concurrently) deadlocks.
+			if held.class != "" && held.class == op.class && heldKey.expr != op.key.expr {
+				c.pass.Reportf(op.pos, "%s acquired while holding %s of the same lock class %s; reverse-order callers can deadlock — impose a global order",
+					op.key, heldKey, op.class)
+			}
+		}
+		st.held[op.key] = heldLock{pos: op.pos, class: op.class}
+	} else {
+		delete(st.held, op.key)
+		delete(st.deferred, op.key)
+	}
+}
+
+// applyDefer handles `defer x.Unlock()` and `defer func() { ... }()`
+// discharge patterns.
+func (c *checker) applyDefer(d *ast.DeferStmt, st *state) {
+	if op := c.lockOpOf(d.Call); op != nil && !op.acquire {
+		st.deferred[op.key] = true
+		return
+	}
+	if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if op := c.lockOpOf(call); op != nil && !op.acquire {
+					st.deferred[op.key] = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// walkIf interprets an if/else, including the single-flight TryLock shape.
+// It returns true when every branch terminates.
+func (c *checker) walkIf(s *ast.IfStmt, st *state) bool {
+	// `if !mu.TryLock() { return }` — after the if, mu is held.
+	if un, ok := s.Cond.(*ast.UnaryExpr); ok && un.Op == token.NOT {
+		if call, ok := ast.Unparen(un.X).(*ast.CallExpr); ok {
+			if op := c.lockOpOf(call); op != nil && op.try {
+				failSt := st.clone()
+				if c.walk(s.Body.List, failSt) {
+					c.apply(&lockOp{key: op.key, class: op.class, acquire: true, pos: op.pos}, st)
+					return false
+				}
+			}
+		}
+	}
+	// `if mu.TryLock() { ... }` — held only inside the body.
+	if call, ok := ast.Unparen(s.Cond).(*ast.CallExpr); ok {
+		if op := c.lockOpOf(call); op != nil && op.try {
+			bodySt := st.clone()
+			c.apply(&lockOp{key: op.key, class: op.class, acquire: true, pos: op.pos}, bodySt)
+			c.walk(s.Body.List, bodySt)
+			return false
+		}
+	}
+
+	bodySt := st.clone()
+	bodyTerm := c.walk(s.Body.List, bodySt)
+	elseSt := st.clone()
+	elseTerm := true
+	hasElse := s.Else != nil
+	if hasElse {
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			elseTerm = c.walk(e.List, elseSt)
+		case *ast.IfStmt:
+			elseTerm = c.walkIf(e, elseSt)
+		}
+	} else {
+		elseTerm = false
+	}
+
+	switch {
+	case bodyTerm && elseTerm:
+		return true
+	case bodyTerm:
+		*st = *elseSt
+	case elseTerm:
+		*st = *bodySt
+	default:
+		if !sameHeld(bodySt, elseSt) {
+			c.pass.Reportf(s.Pos(), "lock state diverges across this branch: %v vs %v held afterwards; release on both paths or restructure",
+				describe(bodySt), describe(elseSt))
+		}
+		*st = *bodySt
+	}
+	return false
+}
+
+// walkLoop interprets a loop body: the lock-set must be identical at entry
+// and exit, or one iteration leaks a lock.
+func (c *checker) walkLoop(body *ast.BlockStmt, pos token.Pos, st *state) {
+	bodySt := st.clone()
+	if c.walk(body.List, bodySt) {
+		return // body always returns/branches; nothing flows around the loop
+	}
+	if !sameHeld(st, bodySt) {
+		c.pass.Reportf(pos, "loop body changes the held-lock set from %v to %v; each iteration must release what it acquires",
+			describe(st), describe(bodySt))
+		return
+	}
+	*st = *bodySt
+}
+
+// walkCases interprets switch/select clause bodies as parallel branches.
+func (c *checker) walkCases(body *ast.BlockStmt, st *state) {
+	var fallthroughs []*state
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch cl := clause.(type) {
+		case *ast.CaseClause:
+			stmts = cl.Body
+		case *ast.CommClause:
+			stmts = cl.Body
+		}
+		caseSt := st.clone()
+		if !c.walk(stmts, caseSt) {
+			fallthroughs = append(fallthroughs, caseSt)
+		}
+	}
+	if len(fallthroughs) == 0 {
+		return
+	}
+	first := fallthroughs[0]
+	for _, other := range fallthroughs[1:] {
+		if !sameHeld(first, other) {
+			c.pass.Reportf(body.Pos(), "lock state diverges across these cases: %v vs %v held afterwards",
+				describe(first), describe(other))
+			break
+		}
+	}
+	*st = *first
+}
+
+func describe(st *state) []string {
+	keys := st.heldKeys()
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = k.String()
+	}
+	if len(out) == 0 {
+		return []string{"none"}
+	}
+	return out
+}
+
+// lockOpOf recognises calls to sync.Mutex / sync.RWMutex methods and
+// returns the abstract operation, or nil.
+func (c *checker) lockOpOf(call *ast.CallExpr) *lockOp {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := c.pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return nil
+	}
+	recvType := recv.Type()
+	if ptr, isPtr := recvType.(*types.Pointer); isPtr {
+		recvType = ptr.Elem()
+	}
+	named, ok := recvType.(*types.Named)
+	if !ok || (named.Obj().Name() != "Mutex" && named.Obj().Name() != "RWMutex") {
+		return nil
+	}
+
+	op := &lockOp{pos: call.Pos()}
+	switch sel.Sel.Name {
+	case "Lock":
+		op.acquire = true
+	case "TryLock":
+		op.acquire, op.try = true, true
+	case "RLock":
+		op.acquire = true
+		op.key.mode = readLock
+	case "TryRLock":
+		op.acquire, op.try = true, true
+		op.key.mode = readLock
+	case "Unlock":
+	case "RUnlock":
+		op.key.mode = readLock
+	default:
+		return nil
+	}
+	op.key.expr = lint.ExprString(sel.X)
+	op.class = c.classOf(sel.X)
+	return op
+}
+
+// classOf derives the package-wide lock class of a mutex expression: for a
+// field selector it is "pkg.Type.field"; otherwise the expression text.
+func (c *checker) classOf(x ast.Expr) string {
+	if sel, ok := ast.Unparen(x).(*ast.SelectorExpr); ok {
+		if selection, ok := c.pass.Info.Selections[sel]; ok {
+			recv := selection.Recv()
+			if ptr, isPtr := recv.(*types.Pointer); isPtr {
+				recv = ptr.Elem()
+			}
+			if named, ok := recv.(*types.Named); ok {
+				return fmt.Sprintf("%s.%s.%s", named.Obj().Pkg().Name(), named.Obj().Name(), sel.Sel.Name)
+			}
+		}
+	}
+	return lint.ExprString(x)
+}
+
+// reportInversions reports lock-class pairs acquired in both orders.
+func (c *checker) reportInversions() {
+	reported := map[edge]bool{}
+	var edges []edge
+	for e := range c.edges {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		return edges[i].to < edges[j].to
+	})
+	for _, e := range edges {
+		if e.from == e.to {
+			continue // same-class pairs are reported at acquisition time
+		}
+		rev := edge{e.to, e.from}
+		if reported[e] || reported[rev] {
+			continue
+		}
+		if revPos, ok := c.edges[rev]; ok {
+			reported[e], reported[rev] = true, true
+			var revWhere []string
+			for _, p := range revPos {
+				revWhere = append(revWhere, c.pass.Fset.Position(p).String())
+			}
+			c.pass.Reportf(c.edges[e][0],
+				"lock-order inversion: %s acquired while holding %s here, but the reverse order is used at %s; deadlock under contention",
+				e.to, e.from, strings.Join(revWhere, ", "))
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package locksafe_test
+
+import (
+	"testing"
+
+	"wilocator/internal/lint/linttest"
+	"wilocator/internal/lint/locksafe"
+)
+
+func TestLocksafe(t *testing.T) {
+	linttest.Run(t, "testdata/src/locksafe", locksafe.Analyzer)
+}

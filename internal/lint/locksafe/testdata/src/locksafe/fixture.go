@@ -1,0 +1,94 @@
+// Package fixture exercises the locksafe analyzer.
+package fixture
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+func missingUnlock(m *sync.Mutex, cond bool) {
+	m.Lock()
+	if cond {
+		return // want `returns while still holding m`
+	}
+	m.Unlock()
+}
+
+func fallsOffEnd(m *sync.Mutex) {
+	m.Lock()
+} // want `function exits while still holding m`
+
+func deferredOK(m *sync.Mutex) int {
+	m.Lock()
+	defer m.Unlock()
+	return 1
+}
+
+func doubleLock(m *sync.Mutex) {
+	m.Lock()
+	m.Lock() // want `acquiring m already held`
+	m.Unlock()
+}
+
+func readThenWrite(m *sync.RWMutex) {
+	m.RLock()
+	defer m.RUnlock()
+	m.RLock() // want `acquiring m \(read\) already held`
+	m.RUnlock()
+}
+
+func diverges(m *sync.Mutex, cond bool) {
+	if cond { // want `lock state diverges across this branch`
+		m.Lock()
+	}
+	m.Unlock()
+}
+
+func singleFlightOK(m *sync.Mutex) {
+	if !m.TryLock() {
+		return
+	}
+	defer m.Unlock()
+}
+
+func tryBodyOK(m *sync.Mutex) {
+	if m.TryLock() {
+		defer m.Unlock()
+	}
+}
+
+func loopLeak(m *sync.Mutex, n int) {
+	for i := 0; i < n; i++ { // want `loop body changes the held-lock set`
+		m.Lock()
+	}
+}
+
+func samePairHazard(a, b *A) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `b.mu acquired while holding a.mu of the same lock class fixture.A.mu`
+	defer b.mu.Unlock()
+}
+
+func samePairJustified(a, b *A) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	//wilint:ignore locksafe every caller passes a and b in one global order
+	b.mu.Lock()
+	defer b.mu.Unlock()
+}
+
+func lockAB(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `lock-order inversion: fixture.B.mu acquired while holding fixture.A.mu here, but the reverse order is used at`
+	defer b.mu.Unlock()
+}
+
+func lockBA(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+}

@@ -1,0 +1,51 @@
+// Package rules registers every wilint analyzer in one place, so the
+// command, the self-tests and any future CI tooling agree on the set.
+package rules
+
+import (
+	"strings"
+
+	"wilocator/internal/lint"
+	"wilocator/internal/lint/atomicguard"
+	"wilocator/internal/lint/determinism"
+	"wilocator/internal/lint/durable"
+	"wilocator/internal/lint/locksafe"
+	"wilocator/internal/lint/units"
+)
+
+// All returns every registered analyzer, in stable order.
+func All() []*lint.Analyzer {
+	return []*lint.Analyzer{
+		atomicguard.Analyzer,
+		determinism.Analyzer,
+		durable.Analyzer,
+		locksafe.Analyzer,
+		units.Analyzer,
+	}
+}
+
+// ByName returns the analyzers whose names appear in the comma-separated
+// list, or All() when the list is empty. An unknown name returns nil and
+// the offending name.
+func ByName(list string) ([]*lint.Analyzer, string) {
+	if list == "" {
+		return All(), ""
+	}
+	byName := map[string]*lint.Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, name
+		}
+		out = append(out, a)
+	}
+	return out, ""
+}

@@ -1,0 +1,38 @@
+// Package fixture exercises the units analyzer.
+package fixture
+
+func mixed(rss float64, distMeters float64) float64 {
+	bad := rss + distMeters // want `mixes dBm and meters`
+	if rss < distMeters { // want `mixes dBm and meters`
+		bad++
+	}
+	var distTotal float64
+	distTotal = rss // want `crosses units`
+	distTotal += rss // want `crosses units`
+	return bad + distTotal
+}
+
+func sameUnitOK(rssA, rssB, distA, distB float64) float64 {
+	d := distA - distB
+	if rssA > rssB {
+		d++
+	}
+	// Multiplication legitimately changes dimension (path-loss slope).
+	return d * rssA
+}
+
+func distanceTo(x float64) float64 { return x * 2 }
+
+func unitFromCall(rss float64) float64 {
+	return rss - distanceTo(rss) // want `mixes dBm and meters`
+}
+
+func constOK(rssFloor float64) bool {
+	// Untyped constants bind to context; no unit of their own.
+	return rssFloor < -90
+}
+
+func suppressed(rss float64, distMeters float64) float64 {
+	//wilint:ignore units synthetic score: rss is rescaled into meter space two lines up
+	return rss + distMeters
+}

@@ -1,0 +1,222 @@
+// Package units flags arithmetic that mixes RSS power values (dBm) with
+// distances (meters).
+//
+// The RF pipeline converts between the two constantly — path-loss models
+// map dBm to meters, the locator ranks candidates by either signal space or
+// metric space — and both live in plain float64s. Adding an RSS to a
+// distance typechecks, compiles, and produces a subtly wrong diagram; no
+// test distinguishes "slightly wrong geometry" from "mixed units" after the
+// fact.
+//
+// Lacking a real dimensional type system, the analyzer infers a unit for
+// each expression from identifier names:
+//
+//   - dBm:    names whose camelCase/snake_case tokens start with rss, rssi,
+//     dbm, txpower, pathloss, attenuation
+//   - meters: tokens starting with dist, meter, metre, radius, arc, chord,
+//     km (kilometers are still length)
+//
+// and reports binary +, -, comparisons, and assignments whose two sides
+// carry *different known* units. Same-unit subtraction/comparison is fine;
+// so is anything involving an unknown unit — the analyzer is deliberately
+// quiet rather than clever. Multiplication and division are exempt (they
+// legitimately change dimension: a path-loss slope times a log-distance is
+// how dBm becomes meters in the first place).
+//
+// Where a value genuinely changes meaning (a scratch buffer reused across
+// spaces), rename it to something neutral rather than suppressing.
+package units
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"unicode"
+
+	"wilocator/internal/lint"
+)
+
+// Analyzer is the dimensional-mixing checker.
+var Analyzer = &lint.Analyzer{
+	Name: "units",
+	Doc:  "flags +, -, comparisons and assignments mixing dBm (RSS) with meters (distance)",
+	Run:  run,
+}
+
+// unit is an inferred physical dimension.
+type unit int
+
+const (
+	unknown unit = iota
+	dBm
+	meters
+)
+
+func (u unit) String() string {
+	switch u {
+	case dBm:
+		return "dBm"
+	case meters:
+		return "meters"
+	}
+	return "unknown"
+}
+
+// token prefixes that bind a name to a unit. Matched against each
+// lower-cased word of the split identifier.
+var dbmPrefixes = []string{"rss", "rssi", "dbm", "txpower", "pathloss", "attenuation", "signal"}
+var meterPrefixes = []string{"dist", "meter", "metre", "radius", "arc", "chord", "km"}
+
+// splitName breaks an identifier into lower-case tokens at camelCase
+// boundaries, underscores and digits: "rssThresholdDBm" -> [rss threshold
+// dbm], "min_dist_m" -> [min dist m].
+func splitName(name string) []string {
+	var toks []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+	}
+	runes := []rune(name)
+	for i, r := range runes {
+		switch {
+		case r == '_' || unicode.IsDigit(r):
+			flush()
+		case unicode.IsUpper(r):
+			// Boundary unless we're inside an acronym run (RSS, DBM).
+			if i > 0 && !unicode.IsUpper(runes[i-1]) {
+				flush()
+			} else if i > 0 && i+1 < len(runes) && unicode.IsUpper(runes[i-1]) && unicode.IsLower(runes[i+1]) {
+				flush() // end of acronym: "RSSIValue" -> rssi|value
+			}
+			cur.WriteRune(r)
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return toks
+}
+
+// unitOfName infers a unit from an identifier. The LAST unit-bearing token
+// wins: "distToRSS" is a conversion result in dBm space... in practice
+// names put the dimension closest to the end ("minDistMeters", "rssDelta" —
+// delta is unitless-agnostic so earlier tokens decide).
+func unitOfName(name string) unit {
+	u := unknown
+	for _, tok := range splitName(name) {
+		for _, p := range dbmPrefixes {
+			if strings.HasPrefix(tok, p) {
+				u = dBm
+			}
+		}
+		for _, p := range meterPrefixes {
+			if strings.HasPrefix(tok, p) {
+				u = meters
+			}
+		}
+	}
+	return u
+}
+
+// numeric reports whether t is an integer or float (unit mixing on strings
+// or bools is nonsense the type checker already rejects).
+func numeric(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsInteger|types.IsFloat) != 0
+}
+
+// unitOf infers the unit an expression carries.
+func unitOf(info *types.Info, e ast.Expr) unit {
+	e = ast.Unparen(e)
+	tv, ok := info.Types[e]
+	if !ok || !numeric(tv.Type) || tv.Value != nil {
+		return unknown // non-numeric, or a literal/constant: constants bind to context
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		return unitOfName(e.Name)
+	case *ast.SelectorExpr:
+		return unitOfName(e.Sel.Name)
+	case *ast.IndexExpr:
+		return unitOf(info, e.X)
+	case *ast.CallExpr:
+		// math.Abs(d) keeps d's unit; other calls are conversions we can't
+		// see through — except a function whose *name* declares a unit.
+		if fn := lint.Callee(info, e); fn != nil {
+			if fn.Pkg() != nil && fn.Pkg().Path() == "math" && len(e.Args) == 1 {
+				switch fn.Name() {
+				case "Abs", "Min", "Max", "Floor", "Ceil", "Round":
+					return unitOf(info, e.Args[0])
+				}
+			}
+			return unitOfName(fn.Name())
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB || e.Op == token.ADD {
+			return unitOf(info, e.X)
+		}
+	case *ast.BinaryExpr:
+		lu, ru := unitOf(info, e.X), unitOf(info, e.Y)
+		switch e.Op {
+		case token.ADD, token.SUB:
+			if lu == ru {
+				return lu
+			}
+			if lu == unknown {
+				return ru
+			}
+			if ru == unknown {
+				return lu
+			}
+		case token.MUL, token.QUO, token.REM:
+			return unknown // dimension legitimately changes
+		}
+	}
+	return unknown
+}
+
+func run(pass *lint.Pass) error {
+	info := pass.Info
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				switch n.Op {
+				case token.ADD, token.SUB, token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+				default:
+					return true
+				}
+				lu, ru := unitOf(info, n.X), unitOf(info, n.Y)
+				if lu != unknown && ru != unknown && lu != ru {
+					pass.Reportf(n.OpPos,
+						"%s %s %s mixes %s and %s; convert explicitly (path-loss model) before combining signal space with metric space",
+						lint.ExprString(n.X), n.Op, lint.ExprString(n.Y), lu, ru)
+				}
+			case *ast.AssignStmt:
+				if n.Tok != token.ASSIGN && n.Tok != token.ADD_ASSIGN && n.Tok != token.SUB_ASSIGN {
+					return true
+				}
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i := range n.Lhs {
+					lu, ru := unitOf(info, n.Lhs[i]), unitOf(info, n.Rhs[i])
+					if lu != unknown && ru != unknown && lu != ru {
+						pass.Reportf(n.Rhs[i].Pos(),
+							"assigning %s (%s) to %s (%s) crosses units; convert explicitly or rename the destination to a unit-neutral name",
+							lint.ExprString(n.Rhs[i]), ru, lint.ExprString(n.Lhs[i]), lu)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package units_test
+
+import (
+	"testing"
+
+	"wilocator/internal/lint/linttest"
+	"wilocator/internal/lint/units"
+)
+
+func TestUnits(t *testing.T) {
+	linttest.Run(t, "testdata/src/units", units.Analyzer)
+}

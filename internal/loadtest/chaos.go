@@ -190,7 +190,7 @@ func NewPersistentService(w *World, dir string, cfg server.Config, pcfg travelti
 	cfg.PersistStats = p.Stats
 	svc, err := server.NewService(w.Dia, store, cfg)
 	if err != nil {
-		p.Close()
+		_ = p.Close()
 		return nil, err
 	}
 	return &PersistentService{Svc: svc, Store: store, Persist: p, Dir: dir}, nil
@@ -244,7 +244,7 @@ func copyPrefix(src, dst string, n int64) error {
 		r = io.LimitReader(in, n)
 	}
 	if _, err := io.Copy(out, r); err != nil {
-		out.Close()
+		_ = out.Close()
 		return fmt.Errorf("loadtest: crash copy: %w", err)
 	}
 	return out.Close()

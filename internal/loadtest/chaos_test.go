@@ -261,7 +261,11 @@ func TestChaosCrashLosesAtMostOneFsyncBatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer recPersist.Close()
+	defer func() {
+		if err := recPersist.Close(); err != nil {
+			t.Errorf("close recovered persister: %v", err)
+		}
+	}()
 
 	lost := refStore.NumRecords() - recStore.NumRecords()
 	t.Logf("crash with SyncEvery=%d lost %d of %d records", batch, lost, refStore.NumRecords())

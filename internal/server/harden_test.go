@@ -249,7 +249,11 @@ func TestHealthzShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer p.Close()
+	defer func() {
+		if err := p.Close(); err != nil {
+			t.Errorf("close persister: %v", err)
+		}
+	}()
 	svc, err := NewService(w.dia, store, Config{
 		Now:          w.now,
 		Sink:         p.Record,

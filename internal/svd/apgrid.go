@@ -78,7 +78,10 @@ func (g *apGrid) bucket(p geo.Point) [2]int {
 // grown to the local AP density.
 type rankScratch struct {
 	ids []wifi.BSSID
-	rss []float64
+	// score is the ranking key, NOT an RSS: under MetricSignal it is a dBm
+	// value, under MetricEuclidean a negated distance in meters. The neutral
+	// name keeps the units analyzer honest — don't rename it back to rss.
+	score []float64
 }
 
 // orderInto returns the BSSIDs of up to kmax APs detectable at p, ordered by
@@ -94,7 +97,7 @@ func (g *apGrid) orderInto(p geo.Point, kmax int, sc *rankScratch) []wifi.BSSID 
 	if bound <= 0 {
 		bound = int(^uint(0) >> 1)
 	}
-	n := 0 // ranked candidates currently held in sc.ids[:n] / sc.rss[:n]
+	n := 0 // ranked candidates currently held in sc.ids[:n] / sc.score[:n]
 	for dx := -1; dx <= 1; dx++ {
 		for dy := -1; dy <= 1; dy++ {
 			for _, ap := range g.buckets[[2]int{b[0] + dx, b[1] + dy}] {
@@ -109,7 +112,7 @@ func (g *apGrid) orderInto(p geo.Point, kmax int, sc *rankScratch) []wifi.BSSID 
 				}
 				// Walk left past every kept candidate this one outranks.
 				i := n
-				for i > 0 && (v > sc.rss[i-1] || (v == sc.rss[i-1] && ap.BSSID < sc.ids[i-1])) {
+				for i > 0 && (v > sc.score[i-1] || (v == sc.score[i-1] && ap.BSSID < sc.ids[i-1])) {
 					i--
 				}
 				if i >= bound {
@@ -118,18 +121,18 @@ func (g *apGrid) orderInto(p geo.Point, kmax int, sc *rankScratch) []wifi.BSSID 
 				if n < bound {
 					if n == len(sc.ids) {
 						sc.ids = append(sc.ids, "")
-						sc.rss = append(sc.rss, 0)
+						sc.score = append(sc.score, 0)
 					}
 					copy(sc.ids[i+1:n+1], sc.ids[i:n])
-					copy(sc.rss[i+1:n+1], sc.rss[i:n])
+					copy(sc.score[i+1:n+1], sc.score[i:n])
 					n++
 				} else {
 					// Full: the current worst falls off the end.
 					copy(sc.ids[i+1:n], sc.ids[i:n-1])
-					copy(sc.rss[i+1:n], sc.rss[i:n-1])
+					copy(sc.score[i+1:n], sc.score[i:n-1])
 				}
 				sc.ids[i] = ap.BSSID
-				sc.rss[i] = v
+				sc.score[i] = v
 			}
 		}
 	}

@@ -21,7 +21,10 @@ import (
 // Construction fans out across Config.Workers goroutines, but the result is
 // byte-identical for every worker count: the expensive per-point signal-space
 // queries are pure functions of the diagram inputs and are merged in a fixed
-// order by a single goroutine.
+// order by a single goroutine. The wilint determinism analyzer guards every
+// function reachable from Build (TestParallelBuildEquivalence depends on it).
+//
+//wilint:deterministic Build
 func Build(net *roadnet.Network, dep *wifi.Deployment, cfg Config) (*Diagram, error) {
 	if net == nil || dep == nil {
 		return nil, fmt.Errorf("svd: nil network or deployment")
@@ -343,6 +346,7 @@ func (b *builder) buildBand() {
 		ca.n++
 	}
 
+	//wilint:ignore determinism fills d.tiles keyed by the same key; per-entry writes are order-insensitive
 	for key, a := range tileAcc {
 		d.tiles[key] = &Tile{
 			Key:      key,
@@ -351,6 +355,7 @@ func (b *builder) buildBand() {
 			Boundary: make(map[TileKey]float64),
 		}
 	}
+	//wilint:ignore determinism fills d.cells keyed by the same site; per-entry writes are order-insensitive
 	for site, a := range cellAcc {
 		d.cells[site] = &Cell{
 			Site:      site,

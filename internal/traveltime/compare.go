@@ -29,6 +29,7 @@ func Diff(a, b *Store, tol float64) error {
 	}
 	a.mu.RLock()
 	defer a.mu.RUnlock()
+	//wilint:ignore locksafe Diff is a test/debug harness called with two quiescent stores; no concurrent Diff(b, a) exists to invert the order
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 

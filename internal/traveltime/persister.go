@@ -203,7 +203,7 @@ func (p *Persister) recover() error {
 	if tailErr != nil {
 		size, serr := wal.Seek(0, 2)
 		if serr != nil {
-			wal.Close()
+			_ = wal.Close()
 			return fmt.Errorf("traveltime: size WAL: %w", serr)
 		}
 		p.stats.WALSkippedBytes = size - goodOffset
@@ -211,16 +211,16 @@ func (p *Persister) recover() error {
 		// Discard the torn tail so subsequent appends extend the valid
 		// prefix instead of burying frames behind garbage.
 		if err := wal.Truncate(goodOffset); err != nil {
-			wal.Close()
+			_ = wal.Close()
 			return fmt.Errorf("traveltime: truncate WAL tail: %w", err)
 		}
 		if err := wal.Sync(); err != nil {
-			wal.Close()
+			_ = wal.Close()
 			return fmt.Errorf("traveltime: sync truncated WAL: %w", err)
 		}
 	}
 	if _, err := wal.Seek(goodOffset, 0); err != nil {
-		wal.Close()
+		_ = wal.Close()
 		return fmt.Errorf("traveltime: seek WAL: %w", err)
 	}
 	p.wal = wal
@@ -324,7 +324,7 @@ func (p *Persister) snapshotLocked() error {
 		return fmt.Errorf("traveltime: create WAL: %w", err)
 	}
 	if err := syncDir(p.dir); err != nil {
-		wal.Close()
+		_ = wal.Close()
 		return err
 	}
 	old := p.gen
@@ -397,7 +397,7 @@ func writeSnapshotFile(store *Store, path string) error {
 		return fmt.Errorf("traveltime: create snapshot temp: %w", err)
 	}
 	tmp := f.Name()
-	cleanup := func() { f.Close(); os.Remove(tmp) }
+	cleanup := func() { _ = f.Close(); _ = os.Remove(tmp) }
 	if _, err := store.WriteTo(f); err != nil {
 		cleanup()
 		return err
@@ -424,7 +424,9 @@ func syncDir(dir string) error {
 	if err != nil {
 		return fmt.Errorf("traveltime: open dir for sync: %w", err)
 	}
-	defer d.Close()
+	// Directory handles carry no buffered data; once the checked Sync below
+	// succeeds, Close is pure handle release.
+	defer func() { _ = d.Close() }()
 	if err := d.Sync(); err != nil {
 		return fmt.Errorf("traveltime: sync dir: %w", err)
 	}

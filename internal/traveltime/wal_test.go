@@ -11,6 +11,15 @@ import (
 	"wilocator/internal/roadnet"
 )
 
+// mustClose closes a recovered persister at test end and surfaces the
+// error: a failed final Close can hide a lost WAL flush.
+func mustClose(t testing.TB, c interface{ Close() error }) {
+	t.Helper()
+	if err := c.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+}
+
 var walT0 = time.Date(2016, 3, 7, 9, 0, 0, 0, time.UTC)
 
 // walRecord builds the i-th of a deterministic record sequence spread over
@@ -71,7 +80,7 @@ func TestPersisterRoundTrip(t *testing.T) {
 	}
 
 	recovered, p2 := openTestPersister(t, dir, PersistConfig{})
-	defer p2.Close()
+	defer mustClose(t, p2)
 	st := p2.Stats()
 	if !st.SnapshotLoaded {
 		t.Error("recovery did not load the snapshot")
@@ -125,7 +134,7 @@ func TestRecoveryTruncatedTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	again, p3 := openTestPersister(t, dir, PersistConfig{})
-	defer p3.Close()
+	defer mustClose(t, p3)
 	if st := p3.Stats(); st.WALReplayed != 12 || st.WALSkippedBytes != 0 {
 		t.Errorf("after truncate+append: %+v, want 12 replayed and a clean tail", st)
 	}
@@ -156,7 +165,7 @@ func TestRecoveryCorruptMidFrame(t *testing.T) {
 	}
 
 	recovered, p2 := openTestPersister(t, dir, PersistConfig{})
-	defer p2.Close()
+	defer mustClose(t, p2)
 	st := p2.Stats()
 	if st.WALReplayed >= 10 || st.WALSkippedBytes <= 0 {
 		t.Errorf("corruption not detected: %+v", st)
@@ -197,7 +206,7 @@ func TestDoubleRecoveryIdempotent(t *testing.T) {
 		t.Fatal(err)
 	}
 	second, p2 := openTestPersister(t, dir, PersistConfig{})
-	defer p2.Close()
+	defer mustClose(t, p2)
 	if err := Diff(first, second, 0); err != nil {
 		t.Fatalf("double recovery diverged: %v", err)
 	}
@@ -232,7 +241,7 @@ func TestSnapshotRotationCleansOld(t *testing.T) {
 		t.Fatalf("dir holds %v, want exactly one snapshot + one wal", names)
 	}
 	recovered, p2 := openTestPersister(t, dir, PersistConfig{})
-	defer p2.Close()
+	defer mustClose(t, p2)
 	if got := recovered.NumRecords(); got != 6 {
 		t.Errorf("recovered %d records, want 6", got)
 	}
@@ -251,7 +260,7 @@ func TestAutoSnapshot(t *testing.T) {
 		t.Fatal(err)
 	}
 	recovered, p2 := openTestPersister(t, dir, PersistConfig{})
-	defer p2.Close()
+	defer mustClose(t, p2)
 	if got := recovered.NumRecords(); got != 17 {
 		t.Errorf("recovered %d records, want 17", got)
 	}
@@ -337,7 +346,7 @@ func TestRecoveryFallsBackOverCorruptSnapshot(t *testing.T) {
 	}
 
 	recovered, p2 := openTestPersister(t, dir, PersistConfig{})
-	defer p2.Close()
+	defer mustClose(t, p2)
 	st := p2.Stats()
 	if st.SnapshotsSkipped != 1 || !st.SnapshotLoaded {
 		t.Errorf("recovery stats %+v, want 1 skipped snapshot and an older one loaded", st)
