@@ -1,15 +1,15 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: ci lint wilint lint-selftest vet build test race chaos fuzz-smoke bench bench-smoke
+.PHONY: ci lint wilint lint-selftest vet build test race chaos fuzz-smoke bench bench-smoke bench-check
 
 # ci is the full local gate: static checks (vet + the wilint invariant
 # suite and its self-tests), the race-instrumented test suite (including
 # the internal/loadtest fleet replay), the chaos / crash-recovery harness,
-# a short fuzz smoke on every fuzz target and a one-iteration benchmark
+# a short fuzz smoke on every fuzz target, a one-iteration benchmark
 # smoke (catches benchmarks that stop compiling or crash, without timing
-# anything).
-ci: lint lint-selftest build race chaos fuzz-smoke bench-smoke
+# anything) and the SVD-lookup benchmark regression gate.
+ci: lint lint-selftest build race chaos fuzz-smoke bench-smoke bench-check
 
 # lint runs every static check: go vet, the project's own wilint
 # multichecker (exits non-zero on any unsuppressed finding), and
@@ -70,6 +70,15 @@ bench:
 # check for ci, not a measurement.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=SVDBuild -benchtime=1x .
+
+# bench-check gates the hot-path lookup against the committed baseline:
+# fresh BenchmarkSVDLookup numbers (min over 3 runs) must stay within 25%
+# of BENCH_svd.json's ns/op and must not allocate more per op. Refresh the
+# baseline deliberately with `make bench` when a regression is intended.
+bench-check:
+	$(GO) test -run='^$$' -bench='SVDLookup$$' -benchmem -count=3 . \
+		| $(GO) run ./cmd/benchjson \
+		| $(GO) run ./cmd/benchcheck -baseline BENCH_svd.json
 
 bench-all:
 	$(GO) test -bench=. -benchmem

@@ -1,0 +1,152 @@
+// Command benchcheck gates benchmark regressions: it reads a fresh
+// cmd/benchjson document from stdin, compares it against a checked-in
+// baseline document, and exits non-zero when a benchmark got slower than
+// the allowed ratio or allocates more per op than the baseline.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=SVDLookup -benchmem -count=3 . \
+//	    | go run ./cmd/benchjson | go run ./cmd/benchcheck -baseline BENCH_svd.json
+//
+// Fresh results may carry the `-N` GOMAXPROCS suffix Go appends to
+// benchmark names (`BenchmarkSVDLookup-8`); baseline names may not. Names
+// are compared with that suffix stripped. When -count ran a benchmark
+// several times, the *minimum* ns/op is compared — the minimum is the run
+// least perturbed by scheduler noise, which is the standard way to gate
+// timing in a shared environment.
+//
+// Timing gates compare against numbers measured on a possibly different
+// machine, so only ns/op *regressions* beyond -max-ratio fail; being faster
+// than the baseline never does. Alloc counts are machine-independent and
+// are gated strictly: more allocs/op than baseline is a failure regardless
+// of timing.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+)
+
+// Result and Doc mirror cmd/benchjson's output schema.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  *int64  `json:"bytesPerOp,omitempty"`
+	AllocsPerOp *int64  `json:"allocsPerOp,omitempty"`
+}
+
+type Doc struct {
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// procSuffix is the `-N` GOMAXPROCS suffix of a fresh benchmark name.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+func normalize(name string) string { return procSuffix.ReplaceAllString(name, "") }
+
+// best is the most favourable observation of one benchmark across -count
+// repetitions: minimum ns/op and minimum allocs/op.
+type best struct {
+	ns     float64
+	allocs *int64
+	runs   int
+}
+
+func collect(doc Doc) map[string]best {
+	out := make(map[string]best)
+	for _, r := range doc.Benchmarks {
+		key := normalize(r.Name)
+		b, ok := out[key]
+		if !ok || r.NsPerOp < b.ns {
+			b.ns = r.NsPerOp
+		}
+		if r.AllocsPerOp != nil && (b.allocs == nil || *r.AllocsPerOp < *b.allocs) {
+			v := *r.AllocsPerOp
+			b.allocs = &v
+		}
+		b.runs++
+		out[key] = b
+	}
+	return out
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "", "baseline benchjson document to compare against (required)")
+		maxRatio     = flag.Float64("max-ratio", 1.25, "fail when fresh ns/op exceeds baseline * ratio")
+		require      = flag.String("require", "BenchmarkSVDLookup", "comma-separated benchmarks that must appear in the fresh input")
+	)
+	flag.Parse()
+	if err := run(*baselinePath, *maxRatio, *require); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(baselinePath string, maxRatio float64, require string) error {
+	if baselinePath == "" {
+		return fmt.Errorf("-baseline is required")
+	}
+	baseRaw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var baseDoc, freshDoc Doc
+	if err := json.Unmarshal(baseRaw, &baseDoc); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", baselinePath, err)
+	}
+	if err := json.NewDecoder(os.Stdin).Decode(&freshDoc); err != nil {
+		return fmt.Errorf("parse fresh results from stdin: %w", err)
+	}
+	base := collect(baseDoc)
+	fresh := collect(freshDoc)
+
+	for _, name := range strings.Split(require, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, ok := fresh[name]; !ok {
+			return fmt.Errorf("required benchmark %s missing from fresh input", name)
+		}
+		if _, ok := base[name]; !ok {
+			return fmt.Errorf("required benchmark %s missing from baseline %s", name, baselinePath)
+		}
+	}
+
+	failures := 0
+	compared := 0
+	for name, f := range fresh {
+		b, ok := base[name]
+		if !ok {
+			fmt.Printf("%-28s fresh-only (%.1f ns/op); no baseline to gate against\n", name, f.ns)
+			continue
+		}
+		compared++
+		ratio := f.ns / b.ns
+		status := "ok"
+		if ratio > maxRatio {
+			status = fmt.Sprintf("FAIL ns/op regressed beyond %.0f%%", (maxRatio-1)*100)
+			failures++
+		}
+		fmt.Printf("%-28s %10.1f ns/op vs %10.1f baseline (x%.2f, min of %d) %s\n",
+			name, f.ns, b.ns, ratio, f.runs, status)
+		if f.allocs != nil && b.allocs != nil && *f.allocs > *b.allocs {
+			fmt.Printf("%-28s %d allocs/op vs %d baseline: FAIL new allocations on a gated path\n",
+				name, *f.allocs, *b.allocs)
+			failures++
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("no fresh benchmark intersects the baseline")
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d regression(s); if intentional, refresh the baseline with `make bench`", failures)
+	}
+	return nil
+}

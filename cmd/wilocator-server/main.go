@@ -13,6 +13,7 @@
 //	                 [-rebuild-on-ap-change 30s] [-pprof-addr localhost:6060]
 //	                 [-max-body 1048576] [-max-inflight 256]
 //	                 [-read-timeout 10s] [-write-timeout 30s] [-idle-timeout 2m]
+//	                 [-no-observability]
 //
 // The Signal Voronoi Diagram can be rebuilt at runtime without a restart:
 // POST /v1/admin/rebuild swaps in a diagram built from the deployment's
@@ -84,6 +85,7 @@ func run() error {
 		readTimeout  = flag.Duration("read-timeout", 10*time.Second, "HTTP server read timeout")
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "HTTP server write timeout")
 		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "HTTP server idle connection timeout")
+		noObs        = flag.Bool("no-observability", false, "disable the metrics registry and request tracer (GET /metrics, GET /v1/trace/recent answer 404)")
 	)
 	flag.Parse()
 
@@ -124,10 +126,11 @@ func run() error {
 
 	start := time.Now()
 	sys, err := wilocator.New(net, dep, wilocator.Config{
-		Diagram:    svd.Config{Workers: *buildWorkers},
-		Server:     server.Config{Shards: *shards},
-		PersistDir: *walDir,
-		Persist:    traveltime.PersistConfig{SyncEvery: *walSyncEvery},
+		Diagram:              svd.Config{Workers: *buildWorkers},
+		Server:               server.Config{Shards: *shards},
+		PersistDir:           *walDir,
+		Persist:              traveltime.PersistConfig{SyncEvery: *walSyncEvery},
+		DisableObservability: *noObs,
 	})
 	if err != nil {
 		return err
@@ -240,6 +243,9 @@ func run() error {
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	log.Printf("serving WiLocator API on %s", *addr)
+	if !*noObs {
+		log.Printf("observability: Prometheus metrics on GET /metrics, recent traces on GET /v1/trace/recent")
+	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)

@@ -29,6 +29,12 @@ const (
 	// PathAdminRebuild triggers a Signal Voronoi Diagram rebuild from the
 	// current AP deployment state (operator endpoint, POST).
 	PathAdminRebuild = "/v1/admin/rebuild"
+	// PathMetrics serves the metrics registry in the Prometheus text
+	// exposition format (GET; outside /v1 by scrape convention).
+	PathMetrics = "/metrics"
+	// PathTraceRecent serves the most recent trace events as JSON (GET,
+	// debug endpoint; ?n= bounds the count).
+	PathTraceRecent = "/v1/trace/recent"
 )
 
 // Report is one phone's upload: the WiFi information scanned on a bus.
@@ -132,6 +138,13 @@ type IngestStats struct {
 // requests the hardened HTTP layer refused or survived rather than letting
 // them reach (or crash) the service.
 type HTTPStats struct {
+	// Offered counts every report POST that reached the handler; each one
+	// is either admitted (and eventually counted in Served) or Shed, so at
+	// quiescence Shed + Served == Offered.
+	Offered uint64 `json:"offered"`
+	// Served counts report POSTs that were admitted and ran to a response
+	// (any status — a 400 for a bad payload still counts as served).
+	Served uint64 `json:"served"`
 	// Shed counts report POSTs refused with 429 + Retry-After because the
 	// ingestion admission bound was saturated.
 	Shed uint64 `json:"shed"`

@@ -1,0 +1,185 @@
+package eval
+
+// The end-to-end golden pipeline test: one deterministic fleet scenario is
+// pushed through the full WiLocator pipeline — world build (parallel SVD
+// construction), report ingestion, scan fusion, SVD positioning, travel-time
+// accumulation, arrival prediction, traffic-map classification and anomaly
+// detection — and every user-visible output is serialised to JSON and
+// compared byte-for-byte against a checked-in golden file.
+//
+// The point is regression *breadth*: any change that shifts a fix by a
+// centimetre, reorders vehicles, or perturbs an ETA shows up as a golden
+// diff, reviewable in the PR. Refresh intentionally with:
+//
+//	go test ./internal/eval -run TestEndToEndGolden -update
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"wilocator/internal/api"
+	"wilocator/internal/loadtest"
+	"wilocator/internal/server"
+	"wilocator/internal/trafficmap"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with the current pipeline output")
+
+// goldenSpec is the pinned scenario. Small enough to run in a couple of
+// seconds, large enough that every pipeline stage produces output.
+var goldenSpec = loadtest.StreamSpec{
+	Buses:    4,
+	Phones:   2,
+	Seed:     1848,
+	Horizon:  8 * time.Minute,
+	DupProb:  0.02,
+	SwapProb: 0.02,
+}
+
+// goldenOutput is everything the pipeline tells a user, JSON-stable.
+type goldenOutput struct {
+	Tally        loadtest.Tally                    `json:"tally"`
+	Ingest       api.IngestStats                   `json:"ingest"`
+	Vehicles     []api.VehicleStatus               `json:"vehicles"`
+	Arrivals     map[string][]api.ArrivalEstimate  `json:"arrivals"`
+	TrafficStrip string                            `json:"trafficStrip"`
+	Coverage     float64                           `json:"coverage"`
+	Trajectories map[string]api.TrajectoryResponse `json:"trajectories"`
+	Anomalies    []api.AnomalyReport               `json:"anomalies"`
+}
+
+// runGoldenPipeline builds the world and replays the pinned fleet, returning
+// the canonical JSON rendering of every output.
+func runGoldenPipeline(t *testing.T) []byte {
+	t.Helper()
+	w, err := loadtest.BuildWorld(goldenSpec.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams, err := loadtest.GenStreams(w, goldenSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, _, err := loadtest.NewService(w, server.Config{
+		Now: loadtest.FixedClock(loadtest.T0.Add(goldenSpec.Horizon)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out := goldenOutput{
+		Tally:        loadtest.ReplaySequential(svc, streams),
+		Arrivals:     map[string][]api.ArrivalEstimate{},
+		Trajectories: map[string]api.TrajectoryResponse{},
+	}
+	if out.Tally.Errors != 0 {
+		t.Fatalf("golden replay hit ingest errors: %s", out.Tally)
+	}
+	out.Ingest = svc.Stats()
+	out.Vehicles = svc.Vehicles("")
+
+	for _, route := range w.Net.Routes() {
+		ests, err := svc.Arrivals(route.ID(), route.NumStops()-1)
+		if err != nil {
+			t.Fatalf("arrivals %s: %v", route.ID(), err)
+		}
+		out.Arrivals[route.ID()] = ests
+	}
+
+	tm, err := svc.TrafficMap("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.TrafficStrip = tm.Strip
+	out.Coverage = trafficmap.Coverage(tm.Segments)
+
+	for _, st := range streams {
+		traj, err := svc.Trajectory(st.BusID)
+		if err != nil {
+			t.Fatalf("trajectory %s: %v", st.BusID, err)
+		}
+		out.Trajectories[st.BusID] = traj
+	}
+	out.Anomalies, err = svc.Anomalies("")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestEndToEndGolden(t *testing.T) {
+	got := runGoldenPipeline(t)
+	path := filepath.Join("testdata", "golden_pipeline.json")
+
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("pipeline output deviates from %s (%d vs %d bytes).\n"+
+			"Inspect with `go test ./internal/eval -run TestEndToEndGolden -update` + git diff;\n"+
+			"first divergence near byte %d:\n got: %s\nwant: %s",
+			path, len(got), len(want), firstDiff(got, want),
+			window(got, firstDiff(got, want)), window(want, firstDiff(got, want)))
+	}
+}
+
+// TestGoldenParallelismInvariant pins that the pipeline output does not
+// depend on scheduler parallelism: the diagram build fans out across
+// GOMAXPROCS workers, so a run serialised to one proc must still produce
+// byte-identical output.
+func TestGoldenParallelismInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("double pipeline run in -short mode")
+	}
+	base := runGoldenPipeline(t)
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	serial := runGoldenPipeline(t)
+	if !bytes.Equal(base, serial) {
+		t.Fatalf("pipeline output depends on GOMAXPROCS (%d vs 1): first divergence near byte %d",
+			prev, firstDiff(base, serial))
+	}
+}
+
+func firstDiff(a, b []byte) int {
+	n := min(len(a), len(b))
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// window renders ~120 bytes around position i for failure messages.
+func window(b []byte, i int) string {
+	lo := max(0, i-40)
+	hi := min(len(b), i+80)
+	return fmt.Sprintf("…%s…", b[lo:hi])
+}

@@ -1,0 +1,123 @@
+// Package metricname enforces the Prometheus metric naming conventions on
+// every instrument registered through an obs.Registry.
+//
+// Exposition-format consumers key alerting and dashboards off naming
+// conventions the registry cannot check for free at compile time:
+//
+//   - every name is snake_case: ^[a-z][a-z0-9_]*[a-z0-9]$ (single lower-case
+//     letters allowed), never a double underscore — the `__` prefix space is
+//     reserved by Prometheus itself;
+//   - counters count events and must end in `_total`;
+//   - histograms observe quantities and must carry a base-unit suffix,
+//     `_seconds` or `_bytes` — not milliseconds, not kilobytes, so recording
+//     rules and dashboards never have to guess the unit;
+//   - gauges are point-in-time values and must NOT end in `_total`, which
+//     would advertise a monotone counter to rate().
+//
+// A name that only exists at runtime cannot be checked, so the analyzer also
+// insists metric names are compile-time string constants — which the
+// registry's registration-time-panic design wants anyway.
+//
+// The analyzer matches calls of Counter, CounterFunc, Gauge, GaugeFunc and
+// Histogram methods on any named type called Registry, so fixtures (which
+// may import only the standard library) can declare their own.
+package metricname
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"wilocator/internal/lint"
+)
+
+// Analyzer is the metric-naming checker.
+var Analyzer = &lint.Analyzer{
+	Name: "metricname",
+	Doc:  "enforces Prometheus naming: snake_case names, counters end _total, histograms end _seconds/_bytes, gauges never end _total, names are constants",
+	Run:  run,
+}
+
+// kindOf maps registering method names to the instrument family they create.
+var kindOf = map[string]string{
+	"Counter":     "counter",
+	"CounterFunc": "counter",
+	"Gauge":       "gauge",
+	"GaugeFunc":   "gauge",
+	"Histogram":   "histogram",
+}
+
+var snakeRE = regexp.MustCompile(`^[a-z]([a-z0-9_]*[a-z0-9])?$`)
+
+// receiverName returns the named-type name of a method's receiver (after
+// pointer indirection), or "".
+func receiverName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return named.Obj().Name()
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := lint.Callee(pass.Info, call)
+			if fn == nil {
+				return true
+			}
+			kind, ok := kindOf[fn.Name()]
+			if !ok || receiverName(fn) != "Registry" {
+				return true
+			}
+			arg := call.Args[0]
+			tv, ok := pass.Info.Types[arg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(arg.Pos(),
+					"metric name passed to Registry.%s must be a compile-time string constant so the name can be checked and grepped",
+					fn.Name())
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			if !snakeRE.MatchString(name) || strings.Contains(name, "__") {
+				pass.Reportf(arg.Pos(),
+					"metric name %q is not snake_case (want lower-case letters, digits and single underscores; `__` is reserved by Prometheus)",
+					name)
+				return true
+			}
+			switch kind {
+			case "counter":
+				if !strings.HasSuffix(name, "_total") {
+					pass.Reportf(arg.Pos(),
+						"counter %q must end in _total (Prometheus convention: counters count events)", name)
+				}
+			case "histogram":
+				if !strings.HasSuffix(name, "_seconds") && !strings.HasSuffix(name, "_bytes") {
+					pass.Reportf(arg.Pos(),
+						"histogram %q must carry a base-unit suffix, _seconds or _bytes (never milliseconds or kilobytes)", name)
+				}
+			case "gauge":
+				if strings.HasSuffix(name, "_total") {
+					pass.Reportf(arg.Pos(),
+						"gauge %q must not end in _total, which advertises a monotone counter to rate()", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

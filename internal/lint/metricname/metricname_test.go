@@ -1,0 +1,12 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"wilocator/internal/lint/linttest"
+	"wilocator/internal/lint/metricname"
+)
+
+func TestMetricName(t *testing.T) {
+	linttest.Run(t, "testdata/src/metricname", metricname.Analyzer)
+}

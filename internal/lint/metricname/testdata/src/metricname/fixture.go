@@ -1,0 +1,72 @@
+// Package fixture exercises the metricname analyzer against a stand-in
+// Registry with the same registering method names as internal/obs.
+package fixture
+
+// Label mirrors obs.Label.
+type Label struct{ Key, Value string }
+
+// Counter, Gauge and Histogram stand-ins. The analyzer matches by receiver
+// type name and method name, not by package path.
+type Counter struct{}
+type Gauge struct{}
+type Histogram struct{}
+
+// Registry mirrors the registering surface of obs.Registry.
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter              { return nil }
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {}
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge                  { return nil }
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label)  {}
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	return nil
+}
+
+// NotARegistry has the same method names; the analyzer must ignore it.
+type NotARegistry struct{}
+
+func (n *NotARegistry) Counter(name, help string) {}
+
+const constName = "requests_total"
+
+func register(reg *Registry, runtimeName string) {
+	// Well-named instruments pass.
+	reg.Counter("ingest_reports_total", "reports")
+	reg.Counter(constName, "requests")
+	reg.CounterFunc("wal_appends_total", "appends", func() uint64 { return 0 })
+	reg.Gauge("active_buses", "live buses")
+	reg.Gauge("queue_depth_bytes", "bytes queued")
+	reg.GaugeFunc("engine_generation", "generation", func() float64 { return 0 })
+	reg.Histogram("ingest_seconds", "latency", nil)
+	reg.Histogram("request_body_bytes", "body size", nil)
+
+	// Counters must end _total.
+	reg.Counter("ingest_reports", "reports")                              // want `must end in _total`
+	reg.CounterFunc("wal_appends", "appends", func() uint64 { return 0 }) // want `must end in _total`
+
+	// Histograms need a base-unit suffix.
+	reg.Histogram("ingest_latency", "latency", nil) // want `base-unit suffix`
+	reg.Histogram("ingest_millis", "latency", nil)  // want `base-unit suffix`
+
+	// Gauges must not masquerade as counters.
+	reg.Gauge("active_buses_total", "live buses")                         // want `must not end in _total`
+	reg.GaugeFunc("generation_total", "gen", func() float64 { return 0 }) // want `must not end in _total`
+
+	// Shape violations.
+	reg.Counter("Ingest_total", "upper")       // want `not snake_case`
+	reg.Counter("ingest__reports_total", "dd") // want `not snake_case`
+	reg.Counter("_ingest_total", "leading")    // want `not snake_case`
+	reg.Counter("ingest_total_", "trailing")   // want `not snake_case`
+	reg.Gauge("9lives", "digit start")         // want `not snake_case`
+
+	// Non-constant names cannot be checked.
+	reg.Counter(runtimeName, "dynamic") // want `compile-time string constant`
+
+	// Same method names elsewhere are out of scope.
+	n := &NotARegistry{}
+	n.Counter("whatever", "not a registry")
+
+	// Suppression works and must be justified.
+	//wilint:ignore metricname legacy dashboard keys on this one series
+	reg.Counter("legacy_reports", "grandfathered")
+}

@@ -10,6 +10,7 @@ import (
 	"wilocator/internal/lint/determinism"
 	"wilocator/internal/lint/durable"
 	"wilocator/internal/lint/locksafe"
+	"wilocator/internal/lint/metricname"
 	"wilocator/internal/lint/units"
 )
 
@@ -20,6 +21,7 @@ func All() []*lint.Analyzer {
 		determinism.Analyzer,
 		durable.Analyzer,
 		locksafe.Analyzer,
+		metricname.Analyzer,
 		units.Analyzer,
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"wilocator/internal/geo"
@@ -110,6 +111,67 @@ type Positioner struct {
 	// pool recycles per-scan lookup buffers. One positioner serves every
 	// bus concurrently, so scratch cannot live on the struct itself.
 	pool sync.Pool
+
+	// stats counts lookup outcomes. A small heap-allocated set of atomics:
+	// the hot path pays one uncontended atomic add per Locate — no labels,
+	// no map lookup, no allocation — and the set outlives the positioner,
+	// so a diagram rebuild retires the positioner without resetting (or
+	// losing in-flight increments to) the exported counters.
+	stats *LookupStats
+}
+
+// LookupStats is a concurrently-updated set of lookup-outcome counters,
+// shared between a Positioner and whoever exports its numbers. It keeps
+// counting in-flight lookups even after the positioner is retired by a
+// diagram rebuild, so cumulative accounting across generations never loses
+// or double-counts an increment.
+type LookupStats struct {
+	exact    atomic.Uint64
+	tie      atomic.Uint64
+	reduced  atomic.Uint64
+	neighbor atomic.Uint64
+	noFix    atomic.Uint64
+}
+
+// LookupCounts is a point-in-time snapshot of a LookupStats.
+type LookupCounts struct {
+	Exact    uint64
+	Tie      uint64
+	Reduced  uint64
+	Neighbor uint64
+	NoFix    uint64
+}
+
+// Counts snapshots the counter set.
+func (ls *LookupStats) Counts() LookupCounts {
+	return LookupCounts{
+		Exact:    ls.exact.Load(),
+		Tie:      ls.tie.Load(),
+		Reduced:  ls.reduced.Load(),
+		Neighbor: ls.neighbor.Load(),
+		NoFix:    ls.noFix.Load(),
+	}
+}
+
+// Stats returns the positioner's live counter set. The reference stays valid
+// (and keeps counting) after the positioner is replaced by a rebuild.
+func (p *Positioner) Stats() *LookupStats { return p.stats }
+
+// LookupCounts returns the positioner's cumulative lookup-outcome counts.
+func (p *Positioner) LookupCounts() LookupCounts { return p.stats.Counts() }
+
+// countMethod records which rule produced a fix.
+func (ls *LookupStats) countMethod(m Method) {
+	switch m {
+	case MethodExact:
+		ls.exact.Add(1)
+	case MethodTie:
+		ls.tie.Add(1)
+	case MethodReduced:
+		ls.reduced.Add(1)
+	case MethodNeighbor:
+		ls.neighbor.Add(1)
+	}
 }
 
 // lookupScratch is the buffer set one Locate reuses: the filtered readings,
@@ -149,7 +211,7 @@ func NewPositioner(d *svd.Diagram, order int) (*Positioner, error) {
 	if order < 1 || order > d.Order() {
 		return nil, fmt.Errorf("locate: order %d outside [1, %d]", order, d.Order())
 	}
-	return &Positioner{d: d, order: order, TieMargin: DefaultTieMargin}, nil
+	return &Positioner{d: d, order: order, TieMargin: DefaultTieMargin, stats: &LookupStats{}}, nil
 }
 
 // Order returns the tile order the positioner queries at.
@@ -178,14 +240,17 @@ func (p *Positioner) Locate(routeID string, scan wifi.Scan, prior *Prior) (Estim
 	defer p.putScratch(sc)
 	filtered := p.filterScanInto(scan, sc)
 	if len(filtered.Readings) == 0 {
+		p.stats.noFix.Add(1)
 		return Estimate{}, fmt.Errorf("%w: no known active APs in scan", ErrNoFix)
 	}
 
 	cands := p.candidates(routeID, filtered, sc)
 	if len(cands) == 0 {
+		p.stats.noFix.Add(1)
 		return Estimate{}, fmt.Errorf("%w: rank vector matches no tile on route %q", ErrNoFix, routeID)
 	}
 	best := pickCandidate(cands, prior)
+	p.stats.countMethod(best.method)
 	return Estimate{
 		RouteID: routeID,
 		Arc:     best.arc,

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Content-Type of the text exposition format rendered by
+// WritePrometheus.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): one `# HELP` and `# TYPE` line per
+// family, followed by the family's series sorted by label signature.
+// Families are sorted by name, so the output is deterministic. The render
+// buffer is pooled — a scrape allocates O(1), not O(metrics).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	buf, _ := r.bufPool.Get().(*bytes.Buffer)
+	if buf == nil {
+		buf = &bytes.Buffer{}
+	}
+	buf.Reset()
+	defer r.bufPool.Put(buf)
+
+	r.mu.RLock()
+	ms := make([]*metric, len(r.metrics))
+	copy(ms, r.metrics)
+	r.mu.RUnlock()
+
+	sort.SliceStable(ms, func(i, j int) bool {
+		if ms[i].name != ms[j].name {
+			return ms[i].name < ms[j].name
+		}
+		return seriesKey(ms[i].name, ms[i].labels) < seriesKey(ms[j].name, ms[j].labels)
+	})
+
+	lastFamily := ""
+	for _, m := range ms {
+		if m.name != lastFamily {
+			buf.WriteString("# HELP ")
+			buf.WriteString(m.name)
+			buf.WriteByte(' ')
+			writeEscapedHelp(buf, m.help)
+			buf.WriteByte('\n')
+			buf.WriteString("# TYPE ")
+			buf.WriteString(m.name)
+			buf.WriteByte(' ')
+			buf.WriteString(m.kind.String())
+			buf.WriteByte('\n')
+			lastFamily = m.name
+		}
+		switch m.kind {
+		case kindCounter:
+			v := uint64(0)
+			if m.cf != nil {
+				v = m.cf()
+			} else {
+				v = m.c.Value()
+			}
+			writeSeries(buf, m.name, "", m.labels, "", strconv.FormatUint(v, 10))
+		case kindGauge:
+			var val string
+			if m.gf != nil {
+				val = formatFloat(m.gf())
+			} else {
+				val = strconv.FormatInt(m.g.Value(), 10)
+			}
+			writeSeries(buf, m.name, "", m.labels, "", val)
+		case kindHistogram:
+			h := m.h
+			// Snapshot bucket counts first, then count/sum: cumulative bucket
+			// sums must never exceed the _count rendered beside them.
+			counts := make([]uint64, len(h.counts))
+			for i := range h.counts {
+				counts[i] = h.counts[i].Load()
+			}
+			var cum uint64
+			for i, b := range h.bounds {
+				cum += counts[i]
+				writeSeries(buf, m.name, "_bucket", m.labels, formatFloat(b), strconv.FormatUint(cum, 10))
+			}
+			cum += counts[len(counts)-1]
+			writeSeries(buf, m.name, "_bucket", m.labels, "+Inf", strconv.FormatUint(cum, 10))
+			writeSeries(buf, m.name, "_sum", m.labels, "", formatFloat(h.Sum()))
+			writeSeries(buf, m.name, "_count", m.labels, "", strconv.FormatUint(cum, 10))
+		}
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// writeSeries renders one sample line: name+suffix{labels,le="bound"} value.
+func writeSeries(buf *bytes.Buffer, name, suffix string, labels []Label, le, value string) {
+	buf.WriteString(name)
+	buf.WriteString(suffix)
+	if len(labels) > 0 || le != "" {
+		buf.WriteByte('{')
+		first := true
+		for _, l := range labels {
+			if !first {
+				buf.WriteByte(',')
+			}
+			first = false
+			buf.WriteString(l.Key)
+			buf.WriteString(`="`)
+			writeEscapedLabel(buf, l.Value)
+			buf.WriteByte('"')
+		}
+		if le != "" {
+			if !first {
+				buf.WriteByte(',')
+			}
+			buf.WriteString(`le="`)
+			buf.WriteString(le)
+			buf.WriteByte('"')
+		}
+		buf.WriteByte('}')
+	}
+	buf.WriteByte(' ')
+	buf.WriteString(value)
+	buf.WriteByte('\n')
+}
+
+// writeEscapedHelp escapes a HELP string: backslash and newline.
+func writeEscapedHelp(buf *bytes.Buffer, s string) {
+	for _, r := range s {
+		switch r {
+		case '\\':
+			buf.WriteString(`\\`)
+		case '\n':
+			buf.WriteString(`\n`)
+		default:
+			buf.WriteRune(r)
+		}
+	}
+}
+
+// writeEscapedLabel escapes a label value: backslash, double quote, newline.
+func writeEscapedLabel(buf *bytes.Buffer, s string) {
+	for _, r := range s {
+		switch r {
+		case '\\':
+			buf.WriteString(`\\`)
+		case '"':
+			buf.WriteString(`\"`)
+		case '\n':
+			buf.WriteString(`\n`)
+		default:
+			buf.WriteRune(r)
+		}
+	}
+}
+
+// formatFloat renders a float64 the shortest way that round-trips; integral
+// values render without an exponent or trailing zeros.
+func formatFloat(v float64) string {
+	s := strconv.FormatFloat(v, 'g', -1, 64)
+	// "+Inf"/"NaN" never reach here via bucket bounds (it is stripped at
+	// registration) but a GaugeFunc may legitimately produce them.
+	if strings.EqualFold(s, "+inf") || strings.EqualFold(s, "inf") {
+		return "+Inf"
+	}
+	return s
+}

@@ -1,0 +1,307 @@
+// Package obs is the WiLocator observability core: a standard-library-only
+// metrics registry (atomic counters, gauges and fixed-bucket histograms
+// rendered in the Prometheus text exposition format) and a lightweight
+// per-request tracer (a ring-buffered structured event log with span IDs
+// threaded through the pipeline via context).
+//
+// # Why not a metrics dependency
+//
+// The build environment has no module proxy access, and the instruments sit
+// on paths measured in hundreds of nanoseconds (one SVD lookup is ~820 ns).
+// The registry therefore trades generality for a hot path that is nothing
+// but a handful of atomic operations:
+//
+//   - Counter and Gauge are single atomics; Add/Set never allocate and never
+//     take a lock.
+//   - Histogram keeps one atomic per fixed bucket plus an atomic count and a
+//     compare-and-swap float sum. Observe is a short linear scan over the
+//     bucket bounds (they fit in a cache line) and three atomic writes —
+//     no lock, no allocation, no time.Time boxing.
+//   - Dynamic label sets are deliberately unsupported: every (name, labels)
+//     series is registered once, up front, so the lookup a labelled metrics
+//     library does per observation simply does not exist here. What would be
+//     a label lookup is a struct field access.
+//
+// Rendering is the slow path and the only place the registry locks; the
+// exposition buffer is pooled so a scrape does not allocate proportionally
+// to the metric count.
+//
+// Registration panics on invalid or duplicate names: metrics are wired at
+// construction time, so a bad name is a programming error, not a runtime
+// condition. The wilint `metricname` analyzer enforces the naming rules
+// statically as well.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// A Label is one constant name=value pair attached to a metric series at
+// registration time.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an integer gauge (set-and-read, may go down).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket cumulative histogram. Buckets are chosen at
+// registration and never change, so Observe is lock-free: one bounded scan
+// over the bounds, three atomic updates, zero allocations.
+type Histogram struct {
+	bounds  []float64 // strictly increasing upper bounds; +Inf is implicit
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits of the running sum, CAS-updated
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since t0 — the idiom for timing a
+// code region: defer h.ObserveSince(time.Now()).
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	h.Observe(time.Since(t0).Seconds())
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// DefBuckets are the default latency buckets in seconds. They reach down to
+// a microsecond because the instrumented fast paths (SVD lookups) complete
+// in well under one.
+var DefBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// ExpBuckets returns n exponentially spaced bucket bounds starting at start
+// and growing by factor.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// kind is a metric family's Prometheus type.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// metric is one registered series.
+type metric struct {
+	name   string
+	help   string
+	kind   kind
+	labels []Label
+
+	c  *Counter
+	g  *Gauge
+	h  *Histogram
+	cf func() uint64  // CounterFunc source
+	gf func() float64 // GaugeFunc source
+}
+
+// Registry holds registered metrics and renders them in the Prometheus text
+// exposition format. Registration happens at construction time; Observe/Add
+// on the returned instruments never touch the registry again.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics []*metric
+	byKey   map[string]*metric // name + sorted label signature
+	byName  map[string]kind    // family name -> type (and help consistency)
+	help    map[string]string
+
+	bufPool sync.Pool
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		byKey:  make(map[string]*metric),
+		byName: make(map[string]kind),
+		help:   make(map[string]string),
+	}
+}
+
+var nameRE = regexp.MustCompile(`^[a-z]([a-z0-9_]*[a-z0-9])?$`)
+
+// ValidName reports whether name is an acceptable metric name under the
+// project's conventions: snake_case ASCII, no leading/trailing/double
+// underscores. The wilint metricname analyzer applies the same rule
+// statically.
+func ValidName(name string) bool {
+	return nameRE.MatchString(name) && !strings.Contains(name, "__")
+}
+
+func (r *Registry) register(m *metric) {
+	if !ValidName(m.name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q (want snake_case, no double underscores)", m.name))
+	}
+	for _, l := range m.labels {
+		if !ValidName(l.Key) {
+			panic(fmt.Sprintf("obs: invalid label name %q on metric %q", l.Key, m.name))
+		}
+	}
+	sort.SliceStable(m.labels, func(i, j int) bool { return m.labels[i].Key < m.labels[j].Key })
+	key := seriesKey(m.name, m.labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byKey[key]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric series %s", key))
+	}
+	if k, ok := r.byName[m.name]; ok {
+		if k != m.kind {
+			panic(fmt.Sprintf("obs: metric family %q registered as both %s and %s", m.name, k, m.kind))
+		}
+		if r.help[m.name] != m.help {
+			panic(fmt.Sprintf("obs: metric family %q registered with two help strings", m.name))
+		}
+	}
+	r.byKey[key] = m
+	r.byName[m.name] = m.kind
+	r.help[m.name] = m.help
+	r.metrics = append(r.metrics, m)
+}
+
+func seriesKey(name string, labels []Label) string {
+	var sb strings.Builder
+	sb.WriteString(name)
+	for _, l := range labels {
+		sb.WriteByte('{')
+		sb.WriteString(l.Key)
+		sb.WriteByte('=')
+		sb.WriteString(l.Value)
+		sb.WriteByte('}')
+	}
+	return sb.String()
+}
+
+// Counter registers and returns a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := &Counter{}
+	r.register(&metric{name: name, help: help, kind: kindCounter, labels: labels, c: c})
+	return c
+}
+
+// CounterFunc registers a counter series whose value is read from fn at
+// render time — the bridge for counters that already live as atomics in
+// domain packages (ingest stats, lookup stats) and must not be counted
+// twice.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
+	if fn == nil {
+		panic("obs: nil CounterFunc for " + name)
+	}
+	r.register(&metric{name: name, help: help, kind: kindCounter, labels: labels, cf: fn})
+}
+
+// Gauge registers and returns an integer gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{}
+	r.register(&metric{name: name, help: help, kind: kindGauge, labels: labels, g: g})
+	return g
+}
+
+// GaugeFunc registers a gauge series whose value is read from fn at render
+// time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if fn == nil {
+		panic("obs: nil GaugeFunc for " + name)
+	}
+	r.register(&metric{name: name, help: help, kind: kindGauge, labels: labels, gf: fn})
+}
+
+// Histogram registers and returns a histogram series with the given bucket
+// upper bounds (strictly increasing; +Inf is implicit). A nil or empty
+// bounds slice selects DefBuckets.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i] > bounds[i-1]) {
+			panic(fmt.Sprintf("obs: histogram %q bucket bounds not strictly increasing at %d", name, i))
+		}
+	}
+	if math.IsInf(bounds[len(bounds)-1], 1) {
+		bounds = bounds[:len(bounds)-1] // +Inf is always implicit
+	}
+	h := &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	r.register(&metric{name: name, help: help, kind: kindHistogram, labels: labels, h: h})
+	return h
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// An Event is one structured entry in the trace ring: which span it belongs
+// to, which pipeline stage emitted it, and an optional duration for timed
+// stages.
+type Event struct {
+	Span  uint64        `json:"span"`
+	Time  time.Time     `json:"time"`
+	Stage string        `json:"stage"`
+	Note  string        `json:"note,omitempty"`
+	Dur   time.Duration `json:"dur_ns,omitempty"`
+}
+
+// Tracer is a fixed-capacity ring buffer of Events. It is a debugging aid,
+// not a metrics primitive: writes take a mutex (the ring is shared state),
+// but the ring is small and the endpoint serving it is not on any hot path.
+// All methods are safe on a nil *Tracer, so call sites never need to guard
+// against tracing being disabled.
+type Tracer struct {
+	mu   sync.Mutex
+	ring []Event
+	next int
+	full bool
+
+	nextSpan atomic.Uint64
+	now      func() time.Time // injectable for deterministic tests
+}
+
+// NewTracer creates a tracer holding the most recent capacity events.
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{ring: make([]Event, capacity), now: time.Now}
+}
+
+// spanKey is the private context key type for span IDs.
+type spanKey struct{}
+
+// StartSpan allocates a fresh span ID and returns a context carrying it.
+// A nil tracer returns the context unchanged and span 0.
+func (t *Tracer) StartSpan(ctx context.Context) (context.Context, uint64) {
+	if t == nil {
+		return ctx, 0
+	}
+	id := t.nextSpan.Add(1)
+	return context.WithValue(ctx, spanKey{}, id), id
+}
+
+// SpanID extracts the span ID threaded through ctx, or 0 if none.
+func SpanID(ctx context.Context) uint64 {
+	if ctx == nil {
+		return 0
+	}
+	id, _ := ctx.Value(spanKey{}).(uint64)
+	return id
+}
+
+// Event records an untimed event on ctx's span.
+func (t *Tracer) Event(ctx context.Context, stage, note string) {
+	if t == nil {
+		return
+	}
+	t.record(Event{Span: SpanID(ctx), Time: t.now(), Stage: stage, Note: note})
+}
+
+// EventDur records a timed event on ctx's span.
+func (t *Tracer) EventDur(ctx context.Context, stage, note string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.record(Event{Span: SpanID(ctx), Time: t.now(), Stage: stage, Note: note, Dur: d})
+}
+
+func (t *Tracer) record(e Event) {
+	t.mu.Lock()
+	t.ring[t.next] = e
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// Recent returns up to max events, most recent first. max <= 0 means all
+// buffered events. A nil tracer returns nil.
+func (t *Tracer) Recent(max int) []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.next
+	if t.full {
+		n = len(t.ring)
+	}
+	if max <= 0 || max > n {
+		max = n
+	}
+	out := make([]Event, 0, max)
+	// Walk backwards from the most recently written slot.
+	for i := 1; i <= max; i++ {
+		idx := t.next - i
+		if idx < 0 {
+			idx += len(t.ring)
+		}
+		out = append(out, t.ring[idx])
+	}
+	return out
+}
+
+// Len returns the number of buffered events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.full {
+		return len(t.ring)
+	}
+	return t.next
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fixedNow() func() time.Time {
+	base := time.Date(2016, 3, 7, 9, 0, 0, 0, time.UTC)
+	n := 0
+	var mu sync.Mutex
+	return func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		n++
+		return base.Add(time.Duration(n) * time.Millisecond)
+	}
+}
+
+func TestTracerSpanThreading(t *testing.T) {
+	tr := NewTracer(16)
+	tr.now = fixedNow()
+	ctx, span := tr.StartSpan(context.Background())
+	if span == 0 {
+		t.Fatal("span id must be nonzero")
+	}
+	if got := SpanID(ctx); got != span {
+		t.Fatalf("SpanID(ctx) = %d, want %d", got, span)
+	}
+	tr.Event(ctx, "ingest", "accepted")
+	tr.EventDur(ctx, "locate", "exact", 820*time.Nanosecond)
+
+	evs := tr.Recent(0)
+	if len(evs) != 2 {
+		t.Fatalf("Recent = %d events, want 2", len(evs))
+	}
+	// Most recent first.
+	if evs[0].Stage != "locate" || evs[1].Stage != "ingest" {
+		t.Errorf("order wrong: %+v", evs)
+	}
+	for _, e := range evs {
+		if e.Span != span {
+			t.Errorf("event %q has span %d, want %d", e.Stage, e.Span, span)
+		}
+	}
+	if evs[0].Dur != 820*time.Nanosecond {
+		t.Errorf("dur = %v", evs[0].Dur)
+	}
+}
+
+func TestTracerDistinctSpans(t *testing.T) {
+	tr := NewTracer(4)
+	_, a := tr.StartSpan(context.Background())
+	_, b := tr.StartSpan(context.Background())
+	if a == b {
+		t.Fatalf("spans not distinct: %d", a)
+	}
+}
+
+func TestTracerRingWraps(t *testing.T) {
+	tr := NewTracer(3)
+	tr.now = fixedNow()
+	ctx, _ := tr.StartSpan(context.Background())
+	for i, stage := range []string{"a", "b", "c", "d", "e"} {
+		tr.Event(ctx, stage, "")
+		_ = i
+	}
+	if got := tr.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	evs := tr.Recent(0)
+	if len(evs) != 3 {
+		t.Fatalf("Recent = %d, want 3", len(evs))
+	}
+	want := []string{"e", "d", "c"}
+	for i, e := range evs {
+		if e.Stage != want[i] {
+			t.Errorf("evs[%d].Stage = %q, want %q", i, e.Stage, want[i])
+		}
+	}
+	if evs := tr.Recent(2); len(evs) != 2 || evs[0].Stage != "e" {
+		t.Errorf("Recent(2) = %+v", evs)
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	ctx, span := tr.StartSpan(context.Background())
+	if span != 0 {
+		t.Errorf("nil tracer span = %d, want 0", span)
+	}
+	tr.Event(ctx, "x", "")
+	tr.EventDur(ctx, "x", "", time.Second)
+	if got := tr.Recent(10); got != nil {
+		t.Errorf("nil Recent = %v", got)
+	}
+	if got := tr.Len(); got != 0 {
+		t.Errorf("nil Len = %d", got)
+	}
+	if got := SpanID(nil); got != 0 {
+		t.Errorf("SpanID(nil) = %d", got)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				ctx, _ := tr.StartSpan(context.Background())
+				tr.Event(ctx, "ingest", "n")
+				tr.EventDur(ctx, "locate", "", time.Microsecond)
+				_ = tr.Recent(8)
+				_ = tr.Len()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Len(); got != 64 {
+		t.Errorf("ring should be full: Len = %d", got)
+	}
+}

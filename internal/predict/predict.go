@@ -22,6 +22,7 @@ package predict
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"wilocator/internal/roadnet"
@@ -71,6 +72,25 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Metrics counts SegmentTime's rule outcomes: which baseline each
+// per-segment prediction started from, and whether the Eq. 8 recency
+// correction was actually applied. All fields are atomics; one Metrics may
+// be shared by concurrent predictions. Attach with Engine.SetMetrics.
+type Metrics struct {
+	// HistoricalMean counts predictions whose baseline was the route's own
+	// historical mean in the current time slot (the Eq. 5 term).
+	HistoricalMean atomic.Uint64
+	// SegmentMeanFallback counts predictions that fell back to the
+	// segment's all-route mean (no route history in the slot yet).
+	SegmentMeanFallback atomic.Uint64
+	// FreeFlowFallback counts predictions estimated from the speed limit
+	// (segment never traversed).
+	FreeFlowFallback atomic.Uint64
+	// CorrectionApplied counts predictions whose baseline was corrected by
+	// at least one recent traversal (the cross-route Eq. 8 term, K > 0).
+	CorrectionApplied atomic.Uint64
+}
+
 // Engine predicts bus arrival times from the travel-time store.
 type Engine struct {
 	net       *roadnet.Network
@@ -78,7 +98,12 @@ type Engine struct {
 	cfg       Config
 	useRecent bool
 	name      string
+	metrics   *Metrics // nil: unobserved
 }
+
+// SetMetrics attaches outcome counters to the engine. Pass nil to detach.
+// Not safe to race with in-flight predictions; attach at wiring time.
+func (e *Engine) SetMetrics(m *Metrics) { e.metrics = m }
 
 // NewWiLocator creates the full WiLocator predictor.
 func NewWiLocator(net *roadnet.Network, store *traveltime.Store, cfg Config) (*Engine, error) {
@@ -119,9 +144,17 @@ func (e *Engine) SegmentTime(segID roadnet.SegmentID, routeID string, at time.Ti
 		// Fall back to the segment's all-route mean, then to free flow.
 		if m, sn := e.store.SegmentMean(segID); sn > 0 {
 			th = m
+			if e.metrics != nil {
+				e.metrics.SegmentMeanFallback.Add(1)
+			}
 		} else {
 			th = seg.Length() / (seg.SpeedLimit * e.cfg.FallbackSpeedFrac)
+			if e.metrics != nil {
+				e.metrics.FreeFlowFallback.Add(1)
+			}
 		}
+	} else if e.metrics != nil {
+		e.metrics.HistoricalMean.Add(1)
 	}
 	if !e.useRecent {
 		return th, nil
@@ -148,6 +181,9 @@ func (e *Engine) SegmentTime(segID roadnet.SegmentID, routeID string, at time.Ti
 	}
 	if k > 0 {
 		th += sum / float64(k)
+		if e.metrics != nil {
+			e.metrics.CorrectionApplied.Add(1)
+		}
 	}
 	// Never predict faster than free flow at the speed limit.
 	if min := seg.Length() / seg.SpeedLimit; th < min {

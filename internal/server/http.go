@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"wilocator/internal/api"
+	"wilocator/internal/obs"
 )
 
 // HandlerConfig tunes the transport hardening of the HTTP layer. The zero
@@ -59,6 +60,11 @@ func NewHandler(s *Service, hc HandlerConfig) http.Handler {
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST "+api.PathReports, func(w http.ResponseWriter, r *http.Request) {
+		// offered is incremented before the admission decision and
+		// shed/served exactly once after it, so shed + served <= offered at
+		// every instant (and == at quiescence). HTTPStats loads in the
+		// reverse order.
+		s.http.offered.Add(1)
 		select {
 		case sem <- struct{}{}:
 			defer func() { <-sem }()
@@ -68,6 +74,8 @@ func NewHandler(s *Service, hc HandlerConfig) http.Handler {
 			writeErr(w, http.StatusTooManyRequests, "ingestion saturated; retry later")
 			return
 		}
+		// Admitted: every exit below is a response, even an error one.
+		defer s.http.served.Add(1)
 		r.Body = http.MaxBytesReader(w, r.Body, hc.MaxBodyBytes)
 		var rep api.Report
 		if err := json.NewDecoder(r.Body).Decode(&rep); err != nil {
@@ -80,7 +88,7 @@ func NewHandler(s *Service, hc HandlerConfig) http.Handler {
 			writeErr(w, http.StatusBadRequest, "invalid report body: "+err.Error())
 			return
 		}
-		resp, err := s.Ingest(rep)
+		resp, err := s.IngestCtx(r.Context(), rep)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, err.Error())
 			return
@@ -104,7 +112,7 @@ func NewHandler(s *Service, hc HandlerConfig) http.Handler {
 			writeErr(w, http.StatusBadRequest, "invalid stop parameter")
 			return
 		}
-		out, err := s.Arrivals(routeID, stopIdx)
+		out, err := s.ArrivalsCtx(r.Context(), routeID, stopIdx)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, err.Error())
 			return
@@ -178,7 +186,66 @@ func NewHandler(s *Service, hc HandlerConfig) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, out)
 	})
-	return recoverPanics(s, mux)
+
+	mux.HandleFunc("GET "+api.PathMetrics, func(w http.ResponseWriter, r *http.Request) {
+		if s.mx == nil {
+			writeErr(w, http.StatusNotFound, "metrics disabled")
+			return
+		}
+		w.Header().Set("Content-Type", obs.ContentType)
+		_ = s.mx.reg.WritePrometheus(w)
+	})
+
+	mux.HandleFunc("GET "+api.PathTraceRecent, func(w http.ResponseWriter, r *http.Request) {
+		if s.tracer == nil {
+			writeErr(w, http.StatusNotFound, "tracing disabled")
+			return
+		}
+		n := defaultTraceRecent
+		if v := r.URL.Query().Get("n"); v != "" {
+			parsed, err := strconv.Atoi(v)
+			if err != nil || parsed <= 0 {
+				writeErr(w, http.StatusBadRequest, "invalid n parameter")
+				return
+			}
+			n = parsed
+		}
+		events := s.TraceRecent(n)
+		if events == nil {
+			events = []obs.Event{}
+		}
+		writeJSON(w, http.StatusOK, events)
+	})
+
+	return recoverPanics(s, instrument(s, mux))
+}
+
+// defaultTraceRecent bounds a /v1/trace/recent response when the client does
+// not pass ?n=.
+const defaultTraceRecent = 128
+
+// instrument wraps the mux with the observability concerns that apply to
+// every route: a fresh trace span per request (so service-layer events of one
+// request share an ID) and per-path request-latency histograms. When both
+// metrics and tracing are disabled the handler chain is returned untouched —
+// zero overhead.
+func instrument(s *Service, next http.Handler) http.Handler {
+	if s.mx == nil && s.tracer == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.tracer != nil {
+			ctx, _ := s.tracer.StartSpan(r.Context())
+			r = r.WithContext(ctx)
+		}
+		if s.mx != nil {
+			if h, ok := s.mx.httpSeconds[r.URL.Path]; ok {
+				t0 := time.Now()
+				defer func() { h.Observe(time.Since(t0).Seconds()) }()
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // recoverPanics converts a handler panic into a counted 500 so one bad

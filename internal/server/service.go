@@ -39,6 +39,7 @@ import (
 
 	"wilocator/internal/api"
 	"wilocator/internal/locate"
+	"wilocator/internal/obs"
 	"wilocator/internal/predict"
 	"wilocator/internal/roadnet"
 	"wilocator/internal/sensing"
@@ -80,6 +81,16 @@ type Config struct {
 	// PersistStats, when set, surfaces WAL/snapshot/recovery counters in
 	// /v1/healthz (typically a traveltime.Persister's Stats).
 	PersistStats func() traveltime.PersistStats
+	// Metrics, when set, receives the full instrument inventory (ingest,
+	// locate, WAL, rebuild, predict, traffic map, HTTP) at NewService; the
+	// handler then serves it on GET /metrics. Each registry can hold one
+	// service's instruments — reuse across services panics on duplicate
+	// registration.
+	Metrics *obs.Registry
+	// Tracer, when set, receives per-request pipeline events (span IDs are
+	// threaded ingest → locate → predict via context); the handler serves
+	// the ring on GET /v1/trace/recent. Nil disables tracing at zero cost.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -109,6 +120,12 @@ type engine struct {
 	dia *svd.Diagram
 	pos *locate.Positioner
 	gen uint64
+	// retired holds the live lookup-counter sets of every previous
+	// generation's positioner (the sets are tiny; the positioners and
+	// diagrams themselves are released). Exported lookup counters sum
+	// retired + pos, so they stay monotone across hot-swaps and in-flight
+	// lookups finishing on a retired generation are still counted.
+	retired []*locate.LookupStats
 }
 
 // busState is the per-bus ingestion and tracking state. mu guards every
@@ -144,7 +161,12 @@ type ingestStats struct {
 // httpStats holds the transport-hardening counters (load shedding, body
 // limits, recovered panics). They live on the Service so Stats-style
 // observability has one home, but only the HTTP handler increments them.
+// The admission counters obey shed + served <= offered at every instant:
+// the handler increments offered before deciding, and shed/served exactly
+// once afterwards. At quiescence shed + served == offered.
 type httpStats struct {
+	offered  atomic.Uint64
+	served   atomic.Uint64
 	shed     atomic.Uint64
 	tooLarge atomic.Uint64
 	panics   atomic.Uint64
@@ -177,6 +199,9 @@ type Service struct {
 	stats   ingestStats
 	http    httpStats
 	rebuild rebuildState
+
+	mx     *serviceMetrics // nil: metrics disabled
+	tracer *obs.Tracer     // nil: tracing disabled (obs.Tracer is nil-safe)
 }
 
 // NewService wires the back-end together over a prebuilt diagram and
@@ -213,7 +238,11 @@ func NewService(dia *svd.Diagram, store *traveltime.Store, cfg Config) (*Service
 		sink:  sink,
 		buses: newBusTable(cfg.Shards),
 	}
+	s.tracer = cfg.Tracer
 	s.eng.Store(&engine{dia: dia, pos: pos, gen: 1})
+	if cfg.Metrics != nil {
+		s.mx = newServiceMetrics(s, cfg.Metrics)
+	}
 	return s, nil
 }
 
@@ -273,10 +302,17 @@ func (s *Service) Rebuild(ctx context.Context) (api.RebuildResponse, error) {
 		return api.RebuildResponse{}, err
 	}
 	dur := time.Since(start)
-	next := &engine{dia: dia, pos: pos, gen: cur.gen + 1}
+	next := &engine{
+		dia: dia, pos: pos, gen: cur.gen + 1,
+		retired: append(append([]*locate.LookupStats{}, cur.retired...), cur.pos.Stats()),
+	}
 	s.eng.Store(next)
 	s.rebuild.rebuilds.Add(1)
 	s.rebuild.lastNano.Store(int64(dur))
+	if s.mx != nil {
+		s.mx.rebuildSeconds.Observe(dur.Seconds())
+	}
+	s.tracer.EventDur(ctx, "rebuild", fmt.Sprintf("generation %d", next.gen), dur)
 	return api.RebuildResponse{
 		Generation: next.gen,
 		DurationMS: float64(dur) / float64(time.Millisecond),
@@ -296,28 +332,42 @@ func (s *Service) RebuildStats() api.RebuildStats {
 	}
 }
 
-// Stats returns the cumulative ingest counters.
+// Stats returns the cumulative ingest counters as a consistent snapshot:
+// every cross-counter invariant that holds in the steady state (located <=
+// flushes, invalid <= rejected) also holds in the returned value, even while
+// ingestion is running.
+//
+// The guarantee costs no locks. Each invariant lhs <= rhs pairs a writer
+// that increments rhs before lhs with a reader that loads lhs before rhs:
+// whatever the interleaving, the loaded lhs is a value from before the
+// loaded rhs, and since rhs had already been incremented when lhs was, the
+// inequality carries over to the snapshot.
 func (s *Service) Stats() api.IngestStats {
-	return api.IngestStats{
-		Accepted:    s.stats.accepted.Load(),
-		Rejected:    s.stats.rejected.Load(),
-		LateDropped: s.stats.lateDropped.Load(),
-		Flushes:     s.stats.flushes.Load(),
-		Located:     s.stats.located.Load(),
-		Registered:  s.stats.registered.Load(),
-		Evicted:     s.stats.evicted.Load(),
-		Invalid:     s.stats.invalid.Load(),
-	}
+	var out api.IngestStats
+	// lhs-before-rhs load order for each invariant pair.
+	out.Located = s.stats.located.Load()
+	out.Flushes = s.stats.flushes.Load()
+	out.Invalid = s.stats.invalid.Load()
+	out.Rejected = s.stats.rejected.Load()
+	out.LateDropped = s.stats.lateDropped.Load()
+	out.Accepted = s.stats.accepted.Load()
+	out.Registered = s.stats.registered.Load()
+	out.Evicted = s.stats.evicted.Load()
+	return out
 }
 
-// HTTPStats returns the transport-hardening counters (load shedding, body
-// limits, recovered panics).
+// HTTPStats returns the transport-hardening counters. Like Stats, the
+// snapshot is invariant-consistent: shed + served <= offered holds in the
+// returned value (shed and served are loaded before offered, and the
+// handler increments offered first).
 func (s *Service) HTTPStats() api.HTTPStats {
-	return api.HTTPStats{
-		Shed:     s.http.shed.Load(),
-		TooLarge: s.http.tooLarge.Load(),
-		Panics:   s.http.panics.Load(),
-	}
+	var out api.HTTPStats
+	out.Shed = s.http.shed.Load()
+	out.Served = s.http.served.Load()
+	out.Offered = s.http.offered.Load()
+	out.TooLarge = s.http.tooLarge.Load()
+	out.Panics = s.http.panics.Load()
+	return out
 }
 
 // Health assembles the /v1/healthz body.
@@ -354,6 +404,40 @@ func (s *Service) staleAt(lastUpdate, at time.Time) bool {
 // report time) re-registers on its next report — on the same or a different
 // route — with a fresh tracker. A live bus switching routes is rejected.
 func (s *Service) Ingest(rep api.Report) (api.IngestResponse, error) {
+	return s.IngestCtx(context.Background(), rep)
+}
+
+// IngestCtx is Ingest with a caller context. The HTTP handler starts a trace
+// span per request and passes it here, so the ingest, locate and (later)
+// predict events of one report share a span ID. When metrics or tracing are
+// disabled the timing overhead is skipped entirely.
+func (s *Service) IngestCtx(ctx context.Context, rep api.Report) (api.IngestResponse, error) {
+	timed := s.mx != nil || s.tracer != nil
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
+	resp, err := s.ingest(ctx, rep)
+	if !timed {
+		return resp, err
+	}
+	dur := time.Since(t0)
+	if s.mx != nil {
+		s.mx.ingestSeconds.Observe(dur.Seconds())
+	}
+	switch {
+	case err != nil:
+		s.tracer.EventDur(ctx, "ingest", "rejected: "+err.Error(), dur)
+	case resp.Reason != "":
+		s.tracer.EventDur(ctx, "ingest", "dropped: "+resp.Reason, dur)
+	default:
+		s.tracer.EventDur(ctx, "ingest", "accepted", dur)
+	}
+	return resp, err
+}
+
+// ingest is the uninstrumented report-processing core.
+func (s *Service) ingest(ctx context.Context, rep api.Report) (api.IngestResponse, error) {
 	if rep.BusID == "" || rep.RouteID == "" {
 		s.stats.rejected.Add(1)
 		return api.IngestResponse{}, errors.New("server: report missing bus or route id")
@@ -362,8 +446,10 @@ func (s *Service) Ingest(rep api.Report) (api.IngestResponse, error) {
 		// Absurd payloads (AP counts, RSS values, identifier lengths) are
 		// refused before touching any per-bus state, so a poisoned report
 		// can never perturb the tracking of an otherwise healthy bus.
-		s.stats.invalid.Add(1)
+		// rejected is incremented before invalid so invalid <= rejected
+		// holds at every instant (Stats loads invalid first).
 		s.stats.rejected.Add(1)
+		s.stats.invalid.Add(1)
 		return api.IngestResponse{}, err
 	}
 	if _, ok := s.net.Route(rep.RouteID); !ok {
@@ -418,7 +504,7 @@ func (s *Service) Ingest(rep api.Report) (api.IngestResponse, error) {
 	}
 	resp := api.IngestResponse{Accepted: true}
 	if bucket.After(bs.bucketTime) && len(bs.bucket) > 0 {
-		if est, ok := s.flushLocked(bs); ok {
+		if est, ok := s.flushLocked(ctx, bs); ok {
 			resp.Located = true
 			resp.Arc = est.Arc
 		}
@@ -434,13 +520,15 @@ func (s *Service) Ingest(rep api.Report) (api.IngestResponse, error) {
 }
 
 // flushLocked fuses the pending bucket into a fix. Caller holds bs.mu.
-func (s *Service) flushLocked(bs *busState) (locate.Estimate, bool) {
+func (s *Service) flushLocked(ctx context.Context, bs *busState) (locate.Estimate, bool) {
 	s.stats.flushes.Add(1)
 	fused := sensing.Fuse(bs.bucket)
 	est, crossings, err := bs.tracker.Observe(fused)
 	if err != nil {
+		s.tracer.Event(ctx, "locate", "no fix: "+err.Error())
 		return locate.Estimate{}, false
 	}
+	s.tracer.Event(ctx, "locate", fmt.Sprintf("%s fix at arc %.1f", est.Method, est.Arc))
 	route := bs.tracker.Route()
 	for i := range crossings {
 		c := crossings[i]
@@ -533,6 +621,34 @@ func (s *Service) Vehicles(routeID string) []api.VehicleStatus {
 // Arrivals predicts when each live bus of routeID reaches stop stopIdx.
 // Buses already past the stop are omitted.
 func (s *Service) Arrivals(routeID string, stopIdx int) ([]api.ArrivalEstimate, error) {
+	return s.ArrivalsCtx(context.Background(), routeID, stopIdx)
+}
+
+// ArrivalsCtx is Arrivals with a caller context for prediction latency
+// metrics and trace events (stage "predict").
+func (s *Service) ArrivalsCtx(ctx context.Context, routeID string, stopIdx int) ([]api.ArrivalEstimate, error) {
+	timed := s.mx != nil || s.tracer != nil
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
+	out, err := s.arrivals(routeID, stopIdx)
+	if !timed {
+		return out, err
+	}
+	dur := time.Since(t0)
+	if s.mx != nil {
+		s.mx.predictSeconds.Observe(dur.Seconds())
+	}
+	if err != nil {
+		s.tracer.EventDur(ctx, "predict", "error: "+err.Error(), dur)
+	} else {
+		s.tracer.EventDur(ctx, "predict", fmt.Sprintf("%d estimates, route %s stop %d", len(out), routeID, stopIdx), dur)
+	}
+	return out, err
+}
+
+func (s *Service) arrivals(routeID string, stopIdx int) ([]api.ArrivalEstimate, error) {
 	route, ok := s.net.Route(routeID)
 	if !ok {
 		return nil, fmt.Errorf("server: unknown route %q", routeID)

@@ -130,6 +130,22 @@ type Diagram struct {
 // Order returns the maximum indexed tile order.
 func (d *Diagram) Order() int { return d.cfg.Order }
 
+// NumRuns returns the total number of route runs indexed across all orders —
+// a size gauge for observability (alongside NumTiles and NumCells).
+func (d *Diagram) NumRuns() int {
+	n := 0
+	for _, byRoute := range d.runs {
+		for _, rs := range byRoute {
+			n += len(rs)
+		}
+	}
+	return n
+}
+
+// NumJoints returns the number of signal joints (run boundary points) the
+// diagram indexed.
+func (d *Diagram) NumJoints() int { return len(d.joints) }
+
 // Config returns the (defaulted) configuration the diagram was built with.
 // Rebuilds after AP dynamics pass it back to Build unchanged.
 func (d *Diagram) Config() Config { return d.cfg }

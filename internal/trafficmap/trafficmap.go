@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"wilocator/internal/locate"
@@ -123,6 +124,41 @@ type Generator struct {
 	net   *roadnet.Network
 	store *traveltime.Store
 	cfg   Config
+
+	// Classification counters (atomics — generators serve concurrent map
+	// requests). Indexed by Condition for the by-condition counts.
+	classified [4]atomic.Uint64 // Unknown, Normal, Slow, VerySlow
+	inferred   atomic.Uint64
+}
+
+// ClassifyCounts is a snapshot of a generator's cumulative classification
+// counters: how many segment classifications it produced per condition, and
+// how many of those were inferred from history rather than fresh evidence.
+type ClassifyCounts struct {
+	Unknown, Normal, Slow, VerySlow uint64
+	Inferred                        uint64
+}
+
+// Counts returns the generator's cumulative classification counters.
+func (g *Generator) Counts() ClassifyCounts {
+	return ClassifyCounts{
+		Unknown:  g.classified[Unknown].Load(),
+		Normal:   g.classified[Normal].Load(),
+		Slow:     g.classified[Slow].Load(),
+		VerySlow: g.classified[VerySlow].Load(),
+		Inferred: g.inferred.Load(),
+	}
+}
+
+// count records one classification outcome.
+func (g *Generator) count(st SegmentStatus) SegmentStatus {
+	if int(st.Condition) >= 0 && int(st.Condition) < len(&g.classified) {
+		g.classified[st.Condition].Add(1)
+	}
+	if st.Inferred {
+		g.inferred.Add(1)
+	}
+	return st
 }
 
 // NewGenerator creates a WiLocator-style generator (full coverage via
@@ -161,7 +197,7 @@ func (g *Generator) Classify(seg roadnet.SegmentID, at time.Time) SegmentStatus 
 		} else {
 			status.Condition = Unknown
 		}
-		return status
+		return g.count(status)
 	}
 
 	// Current residual: epsilon-hat = mean over recent buses of
@@ -183,7 +219,7 @@ func (g *Generator) Classify(seg roadnet.SegmentID, at time.Time) SegmentStatus 
 		} else {
 			status.Condition = Unknown
 		}
-		return status
+		return g.count(status)
 	}
 	// Historical residual mean is ~0 by construction.
 	status.Z = (sum / float64(k)) / sigma
@@ -195,7 +231,7 @@ func (g *Generator) Classify(seg roadnet.SegmentID, at time.Time) SegmentStatus 
 	default:
 		status.Condition = Normal
 	}
-	return status
+	return g.count(status)
 }
 
 // Map classifies every segment used by at least one route, in segment-ID

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Persister makes a Store crash-safe. It owns a directory holding, per
@@ -63,7 +64,21 @@ type PersistConfig struct {
 	// this many WAL appends. 0 disables auto-snapshots; callers snapshot
 	// explicitly (e.g. on a timer) instead.
 	SnapshotEvery int
+	// OnOp, when set, receives the wall-clock duration of each durable-path
+	// operation: WALOpAppend (one WAL frame write), WALOpFsync (one WAL
+	// sync) and WALOpSnapshot (one full generation roll). It is called with
+	// the persister's lock held, so it must be cheap and must not call back
+	// into the persister — a histogram Observe is the intended use. Nil
+	// disables timing entirely (no clock reads on the record path).
+	OnOp func(op string, d time.Duration)
 }
+
+// Operation names passed to PersistConfig.OnOp.
+const (
+	WALOpAppend   = "append"
+	WALOpFsync    = "fsync"
+	WALOpSnapshot = "snapshot"
+)
 
 func (c PersistConfig) withDefaults() PersistConfig {
 	if c.SyncEvery <= 0 {
@@ -259,10 +274,17 @@ func (p *Persister) Record(rec Record) error {
 		return err
 	}
 	p.buf = buf
+	var t0 time.Time
+	if p.cfg.OnOp != nil {
+		t0 = time.Now()
+	}
 	n, err := p.wal.Write(buf)
 	p.walSize += int64(n)
 	if err != nil {
 		return fmt.Errorf("traveltime: append WAL: %w", err)
+	}
+	if p.cfg.OnOp != nil {
+		p.cfg.OnOp(WALOpAppend, time.Since(t0))
 	}
 	p.stats.WALAppends++
 	p.pending++
@@ -282,8 +304,15 @@ func (p *Persister) syncLocked() error {
 	if p.pending == 0 && p.synced == p.walSize {
 		return nil
 	}
+	var t0 time.Time
+	if p.cfg.OnOp != nil {
+		t0 = time.Now()
+	}
 	if err := p.wal.Sync(); err != nil {
 		return fmt.Errorf("traveltime: sync WAL: %w", err)
+	}
+	if p.cfg.OnOp != nil {
+		p.cfg.OnOp(WALOpFsync, time.Since(t0))
 	}
 	p.synced = p.walSize
 	p.pending = 0
@@ -315,6 +344,11 @@ func (p *Persister) Snapshot() error {
 }
 
 func (p *Persister) snapshotLocked() error {
+	var t0 time.Time
+	if p.cfg.OnOp != nil {
+		t0 = time.Now()
+		defer func() { p.cfg.OnOp(WALOpSnapshot, time.Since(t0)) }()
+	}
 	next := p.gen + 1
 	if err := writeSnapshotFile(p.store, p.snapshotPath(next)); err != nil {
 		return err

@@ -41,6 +41,7 @@ import (
 	"wilocator/internal/client"
 	"wilocator/internal/geo"
 	"wilocator/internal/locate"
+	"wilocator/internal/obs"
 	"wilocator/internal/roadnet"
 	"wilocator/internal/server"
 	"wilocator/internal/svd"
@@ -125,6 +126,15 @@ type (
 
 	// Client is the typed HTTP client for a WiLocator server.
 	Client = client.Client
+
+	// MetricsRegistry holds the system's instruments and renders them in
+	// the Prometheus text exposition format (GET /metrics).
+	MetricsRegistry = obs.Registry
+	// Tracer records per-request pipeline events in a bounded ring
+	// (GET /v1/trace/recent).
+	Tracer = obs.Tracer
+	// TraceEvent is one recorded pipeline event.
+	TraceEvent = obs.Event
 )
 
 // BuildVancouverNetwork constructs the synthetic Metro-Vancouver network of
@@ -191,7 +201,15 @@ type Config struct {
 	PersistDir string
 	// Persist tunes the persister; ignored without PersistDir.
 	Persist PersistConfig
+	// DisableObservability opts out of the metrics registry and request
+	// tracer New wires in by default (GET /metrics, GET /v1/trace/recent).
+	// Explicit Server.Metrics / Server.Tracer values win either way.
+	DisableObservability bool
 }
+
+// DefaultTraceCapacity is the trace-ring size New configures when tracing is
+// not set up explicitly.
+const DefaultTraceCapacity = 512
 
 // System is the assembled WiLocator back-end: SVD positioning, per-bus
 // tracking, travel-time learning, arrival prediction and traffic maps, with
@@ -209,8 +227,21 @@ func New(net *Network, dep *Deployment, cfg Config) (*System, error) {
 		return nil, err
 	}
 	store := traveltime.NewStore(traveltime.PaperPlan())
+	if !cfg.DisableObservability {
+		if cfg.Server.Metrics == nil {
+			cfg.Server.Metrics = obs.NewRegistry()
+		}
+		if cfg.Server.Tracer == nil {
+			cfg.Server.Tracer = obs.NewTracer(DefaultTraceCapacity)
+		}
+	}
 	var persist *traveltime.Persister
 	if cfg.PersistDir != "" {
+		if cfg.Server.Metrics != nil && cfg.Persist.OnOp == nil {
+			// Feed WAL append/fsync/snapshot latencies into the registry. Must
+			// be wired before OpenPersister so recovery-time snapshots count.
+			cfg.Persist.OnOp = server.WALObserver(cfg.Server.Metrics)
+		}
 		persist, err = traveltime.OpenPersister(cfg.PersistDir, store, cfg.Persist)
 		if err != nil {
 			return nil, err
@@ -278,6 +309,25 @@ func (s *System) Stops(routeID string) ([]StopInfo, error) {
 // Stats returns the cumulative ingestion counters (accepted, rejected,
 // late-dropped, flushes, fixes, registrations, evictions).
 func (s *System) Stats() IngestStats { return s.svc.Stats() }
+
+// Metrics returns the system's metrics registry, or nil when observability
+// was disabled.
+func (s *System) Metrics() *MetricsRegistry { return s.svc.Registry() }
+
+// WriteMetrics renders every registered metric in the Prometheus text
+// exposition format — the same bytes GET /metrics serves. It errors when
+// observability was disabled.
+func (s *System) WriteMetrics(w io.Writer) error {
+	reg := s.svc.Registry()
+	if reg == nil {
+		return errors.New("wilocator: observability disabled (Config.DisableObservability)")
+	}
+	return reg.WritePrometheus(w)
+}
+
+// TraceRecent returns up to max recent pipeline trace events, newest first;
+// nil when observability was disabled.
+func (s *System) TraceRecent(max int) []TraceEvent { return s.svc.TraceRecent(max) }
 
 // EvictStale removes finished and stale buses from the tracking state,
 // returning how many were evicted. Call it periodically on long-running
