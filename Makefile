@@ -1,15 +1,16 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: ci lint wilint lint-selftest vet build test race chaos fuzz-smoke bench bench-smoke bench-check
+.PHONY: ci lint wilint lint-selftest vet build test race chaos corpus corpus-short fuzz-smoke bench bench-smoke bench-check
 
 # ci is the full local gate: static checks (vet + the wilint invariant
 # suite and its self-tests), the race-instrumented test suite (including
 # the internal/loadtest fleet replay), the chaos / crash-recovery harness,
-# a short fuzz smoke on every fuzz target, a one-iteration benchmark
-# smoke (catches benchmarks that stop compiling or crash, without timing
-# anything) and the SVD-lookup benchmark regression gate.
-ci: lint lint-selftest build race chaos fuzz-smoke bench-smoke bench-check
+# the core tier of the scenario golden corpus, a short fuzz smoke on every
+# fuzz target, a one-iteration benchmark smoke (catches benchmarks that
+# stop compiling or crash, without timing anything) and the SVD-lookup
+# benchmark regression gate.
+ci: lint lint-selftest build race chaos corpus-short fuzz-smoke bench-smoke bench-check
 
 # lint runs every static check: go vet, the project's own wilint
 # multichecker (exits non-zero on any unsuppressed finding), and
@@ -49,7 +50,20 @@ race:
 # poisoned-report equivalence, AP outages mid-trip, and kill -9
 # crash/recovery diffs against uninterrupted runs.
 chaos:
-	$(GO) test -race -v -run 'TestChaos' ./internal/loadtest
+	$(GO) test -race -v -run 'TestChaos' ./internal/loadtest ./internal/scenario
+
+# corpus replays the FULL scenario golden corpus (all six seeded
+# scenarios: three generated city forms, day-scale demand, AP churn and
+# the adversarial flood) under the race detector, with per-scenario
+# timing in the -v log. Regenerate goldens after an intended pipeline
+# change with:
+#   $(GO) test ./internal/eval -run TestScenarioCorpusGolden -update
+corpus:
+	$(GO) test -race -v -run 'TestScenario' ./internal/eval
+
+# corpus-short is the ci tier: the three core scenarios only.
+corpus-short:
+	$(GO) test -short -v -run 'TestScenarioCorpusGolden' ./internal/eval
 
 # Each -fuzz invocation takes one package and one target.
 fuzz-smoke:
@@ -59,6 +73,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzRouteArcQueries -fuzztime=$(FUZZTIME) ./internal/roadnet
 	$(GO) test -run='^$$' -fuzz=FuzzReadFrom -fuzztime=$(FUZZTIME) ./internal/traveltime
 	$(GO) test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=$(FUZZTIME) ./internal/traveltime
+	$(GO) test -run='^$$' -fuzz=FuzzImportTimetable -fuzztime=$(FUZZTIME) ./internal/scenario
 
 # bench times the SVD construction/lookup benchmarks and writes the parsed
 # numbers (ns/op, B/op, allocs/op) to BENCH_svd.json via cmd/benchjson.

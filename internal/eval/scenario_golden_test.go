@@ -1,0 +1,131 @@
+// scenario_golden_test.go replays the scenario corpus — generated cities,
+// a day-scale service, AP churn and an adversarial flood — through the real
+// ingest → locate → predict → trafficmap pipeline and pins every Result to
+// a checked-in golden. It lives in package eval_test because the scenario
+// engine itself imports eval for its summary statistics; the external test
+// package breaks the cycle. Regenerate with:
+//
+//	go test ./internal/eval -run TestScenarioCorpusGolden -update
+package eval_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"wilocator/internal/scenario"
+)
+
+// updateGoldens reports whether the -update flag (registered by package
+// eval's own golden test in this same binary) was passed.
+func updateGoldens() bool {
+	f := flag.Lookup("update")
+	return f != nil && f.Value.String() == "true"
+}
+
+func encodeScenarioResult(t *testing.T, res *scenario.Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// diffAt returns a short context window around the first differing byte.
+func diffAt(a, b []byte) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	lo := i - 80
+	if lo < 0 {
+		lo = 0
+	}
+	window := func(s []byte) string {
+		hi := i + 80
+		if hi > len(s) {
+			hi = len(s)
+		}
+		if lo >= len(s) {
+			return "<ended>"
+		}
+		return string(s[lo:hi])
+	}
+	return fmt.Sprintf("first difference at byte %d:\n got ...%s...\nwant ...%s...", i, window(a), window(b))
+}
+
+// TestScenarioCorpusGolden replays every corpus scenario and requires its
+// Result to match the checked-in golden byte for byte. Under -short only
+// the core tier (three scenarios) runs; `make corpus` runs the full set.
+func TestScenarioCorpusGolden(t *testing.T) {
+	for _, spec := range scenario.Corpus() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			if testing.Short() && !spec.Core() {
+				t.Skipf("%s is outside the -short core tier", spec.Name)
+			}
+			start := time.Now()
+			res, err := scenario.Run(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := encodeScenarioResult(t, res)
+			t.Logf("%s: %d events, %d bytes, replayed in %v", spec.Name, res.Events, len(got), time.Since(start).Round(time.Millisecond))
+
+			path := filepath.Join("testdata", "scenario_"+spec.Name+".json")
+			if updateGoldens() {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("rewrote %s", path)
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("scenario %s diverged from golden %s\n%s", spec.Name, path, diffAt(got, want))
+			}
+		})
+	}
+}
+
+// TestScenarioGoldenParallelismInvariant re-replays a corpus scenario with
+// GOMAXPROCS pinned to 1 and requires the same bytes as the golden: replay
+// determinism must not depend on scheduler parallelism. Paired with the
+// -race run in `make ci`, this covers both ends of the concurrency dial.
+func TestScenarioGoldenParallelismInvariant(t *testing.T) {
+	if updateGoldens() {
+		t.Skip("goldens being rewritten")
+	}
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+
+	spec := scenario.MustByName("grid-churn")
+	res, err := scenario.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := encodeScenarioResult(t, res)
+	want, err := os.ReadFile(filepath.Join("testdata", "scenario_grid-churn.json"))
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("GOMAXPROCS=1 replay diverged from golden\n%s", diffAt(got, want))
+	}
+}

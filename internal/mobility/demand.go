@@ -1,0 +1,93 @@
+package mobility
+
+import (
+	"fmt"
+	"time"
+)
+
+// DemandProfile is a 24-entry multiplier over the hours of a service day:
+// dispatching density relative to the base headway. 1 means the base headway,
+// 3 means three times as many departures (headway / 3), and a non-positive
+// hour suspends service for that hour. Day-scale scenarios drive the
+// rush-hour cycles the paper's seasonal index SI(i,l) (Eq. 6) is designed to
+// discover.
+type DemandProfile [24]float64
+
+// IsZero reports whether the profile is entirely unset.
+func (p DemandProfile) IsZero() bool {
+	for _, v := range p {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// RushDemand returns a weekday commuter profile: morning and afternoon
+// dispatch peaks aligned with the paper's rush-hour slots (8-10 h, 18-19 h),
+// a midday plateau, and no overnight service.
+func RushDemand() DemandProfile {
+	var p DemandProfile
+	for h := 6; h < 23; h++ {
+		p[h] = 1.0
+	}
+	for h := 10; h < 18; h++ {
+		p[h] = 1.2
+	}
+	p[MorningRushStart] = 3.0
+	p[MorningRushStart+1] = 3.0
+	p[AfternoonRushStart] = 2.5
+	return p
+}
+
+// FlatDemand returns a uniform daytime profile (6-23 h), the control case in
+// which the seasonal index must stay flat.
+func FlatDemand() DemandProfile {
+	var p DemandProfile
+	for h := 6; h < 23; h++ {
+		p[h] = 1.0
+	}
+	return p
+}
+
+// Bounds on a demand-scaled headway, so a spiky profile cannot dispatch a
+// bus every second or once a week.
+const (
+	minDemandHeadway = 2 * time.Minute
+	maxDemandHeadway = 2 * time.Hour
+)
+
+// DemandDepartures expands a base headway and a demand profile into the
+// departure offsets (from midnight) of one service day, within the
+// [startHour, endHour) window. The effective headway during hour h is
+// base / profile[h], clamped to [2 min, 2 h]; hours with non-positive demand
+// are skipped entirely.
+func DemandDepartures(base time.Duration, startHour, endHour int, profile DemandProfile) ([]time.Duration, error) {
+	if base <= 0 {
+		return nil, fmt.Errorf("mobility: non-positive base headway %v", base)
+	}
+	if startHour < 0 || endHour > 24 || endHour <= startHour {
+		return nil, fmt.Errorf("mobility: service window [%d, %d) invalid", startHour, endHour)
+	}
+	var out []time.Duration
+	t := time.Duration(startHour) * time.Hour
+	end := time.Duration(endHour) * time.Hour
+	for t < end {
+		hour := int(t / time.Hour)
+		d := profile[hour]
+		if d <= 0 {
+			t = time.Duration(hour+1) * time.Hour
+			continue
+		}
+		out = append(out, t)
+		headway := time.Duration(float64(base) / d)
+		if headway < minDemandHeadway {
+			headway = minDemandHeadway
+		}
+		if headway > maxDemandHeadway {
+			headway = maxDemandHeadway
+		}
+		t += headway
+	}
+	return out, nil
+}

@@ -1,0 +1,85 @@
+package mobility
+
+import (
+	"testing"
+	"time"
+)
+
+func countInHour(deps []time.Duration, hour int) int {
+	n := 0
+	for _, d := range deps {
+		if int(d/time.Hour) == hour {
+			n++
+		}
+	}
+	return n
+}
+
+func TestDemandDeparturesRushPeaks(t *testing.T) {
+	deps, err := DemandDepartures(30*time.Minute, 6, 23, RushDemand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deps) == 0 {
+		t.Fatal("no departures")
+	}
+	for i := 1; i < len(deps); i++ {
+		if deps[i] <= deps[i-1] {
+			t.Fatalf("departures not strictly increasing at %d: %v then %v", i, deps[i-1], deps[i])
+		}
+	}
+	rush := countInHour(deps, MorningRushStart)
+	midday := countInHour(deps, 13)
+	if rush <= midday {
+		t.Fatalf("rush hour got %d departures, midday %d; want a morning peak", rush, midday)
+	}
+	if night := countInHour(deps, 2); night != 0 {
+		t.Fatalf("overnight hour has %d departures, want 0", night)
+	}
+}
+
+func TestDemandDeparturesFlatIsUniform(t *testing.T) {
+	deps, err := DemandDepartures(20*time.Minute, 6, 23, FlatDemand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := 7; h < 22; h++ {
+		if got := countInHour(deps, h); got != 3 {
+			t.Fatalf("hour %d has %d departures, want exactly 3 at a flat 20 min headway", h, got)
+		}
+	}
+}
+
+func TestDemandDeparturesClampsHeadway(t *testing.T) {
+	var spike DemandProfile
+	spike[9] = 1000 // would be a 36 ms headway unclamped
+	deps, err := DemandDepartures(10*time.Hour, 9, 10, spike)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(deps), 30; got != want {
+		t.Fatalf("got %d departures in the spiked hour, want %d (2 min clamp)", got, want)
+	}
+}
+
+func TestDemandDeparturesWindowErrors(t *testing.T) {
+	if _, err := DemandDepartures(0, 6, 23, FlatDemand()); err == nil {
+		t.Error("zero base headway did not error")
+	}
+	if _, err := DemandDepartures(time.Minute, 10, 10, FlatDemand()); err == nil {
+		t.Error("empty window did not error")
+	}
+	if _, err := DemandDepartures(time.Minute, -1, 5, FlatDemand()); err == nil {
+		t.Error("negative start hour did not error")
+	}
+}
+
+func TestDemandProfileIsZero(t *testing.T) {
+	var zero DemandProfile
+	if !zero.IsZero() {
+		t.Error("zero profile not detected")
+	}
+	if FlatDemand().IsZero() {
+		t.Error("flat profile reported zero")
+	}
+}

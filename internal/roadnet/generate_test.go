@@ -1,0 +1,126 @@
+package roadnet
+
+import (
+	"fmt"
+	"testing"
+)
+
+var generatedForms = []CityForm{CityGrid, CityRadial, CityRiverine}
+
+// TestGeneratedCitiesWellFormed asserts every generated city satisfies the
+// structural contract the pipeline depends on: at least three routes, every
+// route chained and stop-carrying, and at least one overlapping segment pair
+// (the predictor's cross-route correction needs shared corridors).
+func TestGeneratedCitiesWellFormed(t *testing.T) {
+	for _, form := range generatedForms {
+		for _, seed := range []uint64{1, 2, 3} {
+			t.Run(fmt.Sprintf("%s-seed%d", form, seed), func(t *testing.T) {
+				net, err := BuildCity(CitySpec{Form: form, Seed: seed})
+				if err != nil {
+					t.Fatal(err)
+				}
+				routes := net.Routes()
+				if len(routes) < 3 {
+					t.Fatalf("got %d routes, want >= 3", len(routes))
+				}
+				overlap := 0.0
+				for _, r := range routes {
+					if r.NumStops() < 2 {
+						t.Errorf("route %s has %d stops, want >= 2", r.ID(), r.NumStops())
+					}
+					if r.Length() < 500 {
+						t.Errorf("route %s is %.0f m long, implausibly short", r.ID(), r.Length())
+					}
+					if r.Stops()[0].Arc != 0 || r.Stops()[r.NumStops()-1].Arc != r.Length() {
+						t.Errorf("route %s stops do not span the route", r.ID())
+					}
+					overlap += net.OverlappedLength(r)
+				}
+				if overlap == 0 {
+					t.Error("no route overlap; the corpus needs shared corridors")
+				}
+				hasRapid := false
+				for _, r := range routes {
+					if r.Class() == ClassRapid {
+						hasRapid = true
+					}
+				}
+				if !hasRapid {
+					t.Error("no rapid route in generated city")
+				}
+				signals := 0
+				for _, seg := range net.Graph.Segments() {
+					if seg.Signal {
+						signals++
+					}
+				}
+				if signals == 0 {
+					t.Error("no signalled intersections")
+				}
+			})
+		}
+	}
+}
+
+// TestGeneratedCitiesDeterministic pins that one (form, seed) pair always
+// yields the same geometry — the foundation of the golden corpus.
+func TestGeneratedCitiesDeterministic(t *testing.T) {
+	for _, form := range generatedForms {
+		t.Run(string(form), func(t *testing.T) {
+			a, err := BuildCity(CitySpec{Form: form, Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := BuildCity(CitySpec{Form: form, Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Graph.NumNodes() != b.Graph.NumNodes() || a.Graph.NumSegments() != b.Graph.NumSegments() {
+				t.Fatalf("graph sizes differ across identical builds")
+			}
+			for i, seg := range a.Graph.Segments() {
+				other := b.Graph.Segments()[i]
+				if seg.Length() != other.Length() || seg.SpeedLimit != other.SpeedLimit {
+					t.Fatalf("segment %d differs across identical builds", i)
+				}
+			}
+			for i, ra := range a.Routes() {
+				rb := b.Routes()[i]
+				if ra.ID() != rb.ID() || ra.Length() != rb.Length() || ra.NumStops() != rb.NumStops() {
+					t.Fatalf("route %s differs across identical builds", ra.ID())
+				}
+			}
+			c, err := BuildCity(CitySpec{Form: form, Seed: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.Routes()[0].Length() == a.Routes()[0].Length() {
+				t.Errorf("seeds 7 and 8 produced identical first-route length; jitter not applied")
+			}
+		})
+	}
+}
+
+// TestBuildCityVancouverAndErrors covers the passthrough form and the
+// error paths of the dispatcher.
+func TestBuildCityVancouverAndErrors(t *testing.T) {
+	net, err := BuildCity(CitySpec{Form: CityVancouver})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Routes()) == 0 {
+		t.Fatal("vancouver passthrough returned no routes")
+	}
+	if _, err := BuildCity(CitySpec{Form: "hexagonal"}); err == nil {
+		t.Fatal("unknown form did not error")
+	}
+	if _, err := BuildGridCity(GridSpec{Rows: 2, Cols: 2}, 1); err == nil {
+		t.Fatal("degenerate grid did not error")
+	}
+	if _, err := BuildRadialCity(RadialSpec{Spokes: 2}, 1); err == nil {
+		t.Fatal("degenerate radial city did not error")
+	}
+	if _, err := BuildRiverineCity(RiverineSpec{Nodes: 3, Bridges: 3}, 1); err == nil {
+		t.Fatal("overbridged riverine city did not error")
+	}
+}

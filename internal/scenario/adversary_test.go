@@ -1,0 +1,103 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestAdversarialScenarioShedsWithoutDegrading is the adversarial
+// regression test: the validation layer must shed every hostile reporter —
+// visibly, through the /metrics registry — while the clean fleet's
+// tracking output stays byte-identical to a run with no adversary at all.
+func TestAdversarialScenarioShedsWithoutDegrading(t *testing.T) {
+	spec := MustByName("grid-adversarial")
+	hostile, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clean := spec
+	clean.Adversary = AdversarySpec{}
+	baseline, err := Run(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every hostile kind is fully shed on its intended path.
+	sybil := hostile.ByKind[string(KindSybil)]
+	wantSybil := spec.Adversary.SybilReporters * spec.Adversary.SybilReports
+	if sybil.Delivered != wantSybil || sybil.Rejected != wantSybil {
+		t.Errorf("sybil tally = %+v, want %d delivered and all rejected", sybil, wantSybil)
+	}
+	poison := hostile.ByKind[string(KindPoison)]
+	if poison.Delivered != spec.Adversary.PoisonedReports || poison.Rejected != poison.Delivered {
+		t.Errorf("poison tally = %+v, want %d delivered and all rejected", poison, spec.Adversary.PoisonedReports)
+	}
+	replay := hostile.ByKind[string(KindReplay)]
+	if replay.Delivered != spec.Adversary.ReplayedReports || replay.LateDropped != replay.Delivered {
+		t.Errorf("replay tally = %+v, want %d delivered and all late-dropped", replay, spec.Adversary.ReplayedReports)
+	}
+	for _, kind := range []EventKind{KindSybil, KindPoison, KindReplay} {
+		if res := hostile.ByKind[string(kind)]; res.Accepted != 0 || res.Located != 0 {
+			t.Errorf("%s events leaked into the pipeline: %+v", kind, res)
+		}
+	}
+
+	// The shed counters are observable where an operator would look: the
+	// service's /metrics registry.
+	rejected := hostile.Metrics[`wilocator_ingest_reports_total{outcome="rejected"}`]
+	if want := uint64(wantSybil + spec.Adversary.PoisonedReports); rejected != want {
+		t.Errorf("rejected metric = %d, want %d", rejected, want)
+	}
+	if got := hostile.Metrics[`wilocator_ingest_reports_total{outcome="late_dropped"}`]; got != uint64(spec.Adversary.ReplayedReports) {
+		t.Errorf("late_dropped metric = %d, want %d", got, spec.Adversary.ReplayedReports)
+	}
+	if got := hostile.Metrics["wilocator_ingest_invalid_reports_total"]; got != uint64(spec.Adversary.PoisonedReports) {
+		t.Errorf("invalid metric = %d, want %d (the poisoned payloads)", got, spec.Adversary.PoisonedReports)
+	}
+	if hostile.Metrics["wilocator_bus_registrations_total"] != baseline.Metrics["wilocator_bus_registrations_total"] {
+		t.Errorf("adversary changed bus registrations: %d vs %d",
+			hostile.Metrics["wilocator_bus_registrations_total"], baseline.Metrics["wilocator_bus_registrations_total"])
+	}
+
+	// Clean-envelope equality: the hostile run's clean stream ends in
+	// exactly the baseline's state.
+	if hostile.ByKind[string(KindClean)] != baseline.ByKind[string(KindClean)] {
+		t.Errorf("clean tallies diverged: %+v vs %+v",
+			hostile.ByKind[string(KindClean)], baseline.ByKind[string(KindClean)])
+	}
+	if hostile.CleanFixRate != baseline.CleanFixRate {
+		t.Errorf("clean fix rate degraded: %.4f vs %.4f", hostile.CleanFixRate, baseline.CleanFixRate)
+	}
+	if hostile.PositionError != baseline.PositionError {
+		t.Errorf("position error envelope moved: %+v vs %+v", hostile.PositionError, baseline.PositionError)
+	}
+	if len(hostile.Trajectories) != len(baseline.Trajectories) {
+		t.Fatalf("trajectory count diverged: %d vs %d", len(hostile.Trajectories), len(baseline.Trajectories))
+	}
+	for busID, a := range hostile.Trajectories {
+		b, ok := baseline.Trajectories[busID]
+		if !ok {
+			t.Fatalf("bus %s tracked only under adversary", busID)
+		}
+		if len(a.Fixes) != len(b.Fixes) {
+			t.Fatalf("bus %s fix count diverged: %d vs %d", busID, len(a.Fixes), len(b.Fixes))
+		}
+		for i := range a.Fixes {
+			if a.Fixes[i] != b.Fixes[i] {
+				t.Fatalf("bus %s fix %d diverged: %+v vs %+v", busID, i, a.Fixes[i], b.Fixes[i])
+			}
+		}
+	}
+	ja, jb := encodeResult(t, hostile), encodeResult(t, baseline)
+	if bytes.Equal(ja, jb) {
+		t.Error("hostile and baseline results are byte-identical; the adversary was not injected")
+	}
+
+	// The sybil reporters never became visible vehicles.
+	for _, v := range hostile.Vehicles {
+		if len(v.BusID) >= 5 && v.BusID[:5] == "sybil" {
+			t.Errorf("sybil reporter %s is being tracked", v.BusID)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+// chaos.go bridges the scenario engine to the loadtest chaos harness: any
+// declarative Spec — generated city, device models, churn, adversaries —
+// compiles down to the harness's World plus per-bus clean streams, so
+// fault injection and crash/recovery equivalence run over scenario-built
+// cities exactly as they do over the fixed Vancouver network. The bridge
+// lives here (scenario → loadtest) rather than in loadtest because eval's
+// in-package golden tests import loadtest, and scenario already imports
+// eval: the reverse direction would cycle.
+package scenario
+
+import (
+	"wilocator/internal/loadtest"
+)
+
+// ChaosWorld compiles a scenario spec into the chaos harness's immutable
+// World and one clean report stream per bus. Only the scenario's clean
+// events are exported — the harness layers its own faults on top, and the
+// scenario's adversarial events have their own replay path in Run.
+func ChaosWorld(spec Spec) (*loadtest.World, []loadtest.BusStream, error) {
+	c, err := Compile(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := &loadtest.World{Net: c.Net, Dep: c.Dep, Dia: c.Dia}
+	streams := make([]loadtest.BusStream, len(c.Buses))
+	for i, b := range c.Buses {
+		streams[i] = loadtest.BusStream{BusID: b.ID, RouteID: b.RouteID, Reports: c.CleanReports(i)}
+	}
+	return w, streams, nil
+}

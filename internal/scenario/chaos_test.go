@@ -1,0 +1,96 @@
+package scenario
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"wilocator/internal/loadtest"
+	"wilocator/internal/server"
+	"wilocator/internal/traveltime"
+)
+
+// TestChaosScenarioCrashRecoveryOnGeneratedCity re-runs the chaos
+// harness's crash-safety acceptance over a scenario-compiled world: a
+// generated grid city whose fleet, phones and delivery order come from the
+// declarative engine. Crash mid-fleet, recover from durable bytes only,
+// require the recovered store to equal an uninterrupted run over the same
+// prefix, then resume the rest of the fleet through a restarted service.
+func TestChaosScenarioCrashRecoveryOnGeneratedCity(t *testing.T) {
+	w, streams, err := ChaosWorld(MustByName("grid-burst"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streams) < 2 {
+		t.Fatalf("scenario compiled only %d bus streams", len(streams))
+	}
+	end := Day
+	for _, st := range streams {
+		for _, rep := range st.Reports {
+			if rep.Scan.Time.After(end) {
+				end = rep.Scan.Time
+			}
+		}
+	}
+	now := loadtest.FixedClock(end.Add(time.Minute))
+	total := loadtest.TotalReports(streams)
+	crashAt := total / 2
+
+	refSvc, refStore, err := loadtest.NewService(w, server.Config{Now: now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refTally := loadtest.ReplayRange(refSvc, streams, 0, crashAt)
+	if refTally.Errors != 0 {
+		t.Fatalf("reference replay errored: %v", refTally)
+	}
+	if refStore.NumRecords() == 0 {
+		t.Fatal("no records before the crash point; crash test is vacuous")
+	}
+
+	// WAL-backed run: fsync every record, snapshot mid-way so recovery
+	// exercises snapshot + WAL combined.
+	base := t.TempDir()
+	ps, err := loadtest.NewPersistentService(w, filepath.Join(base, "live"), server.Config{Now: now},
+		traveltime.PersistConfig{SyncEvery: 1, SnapshotEvery: refStore.NumRecords() / 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveTally := loadtest.ReplayRange(ps.Svc, streams, 0, crashAt)
+	if liveTally != refTally {
+		t.Fatalf("persistent run tallies diverged before the crash: %v vs %v", liveTally, refTally)
+	}
+
+	recoveredDir := filepath.Join(base, "recovered")
+	if err := loadtest.SimulateCrash(ps, recoveredDir); err != nil {
+		t.Fatal(err)
+	}
+	recStore, recPersist, err := loadtest.Recover(recoveredDir, traveltime.PersistConfig{SyncEvery: 1})
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	rst := recPersist.Stats()
+	t.Logf("recovery on generated city: snapshot=%v walReplayed=%d", rst.SnapshotLoaded, rst.WALReplayed)
+	if err := traveltime.Diff(refStore, recStore, 1e-9); err != nil {
+		t.Fatalf("recovered store does not match the uninterrupted run: %v", err)
+	}
+
+	// The recovered store must carry a restarted server through the rest
+	// of the fleet.
+	recSvc, err := server.NewService(w.Dia, recStore, server.Config{Now: now, Sink: recPersist.Record})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := recStore.NumRecords()
+	resumeTally := loadtest.ReplayRange(recSvc, streams, crashAt, -1)
+	if resumeTally.Errors != 0 {
+		t.Fatalf("resumed replay errored: %v", resumeTally)
+	}
+	if recStore.NumRecords() <= before {
+		t.Errorf("resumed service added no travel-time records (%d before, %d after)", before, recStore.NumRecords())
+	}
+	if err := recPersist.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_ = ps.Persist.Close()
+}

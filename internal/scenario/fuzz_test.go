@@ -1,0 +1,57 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzImportTimetable asserts the GTFS-like importer never panics, and that
+// every document it does accept satisfies the parser's promises: trips with
+// at least two strictly increasing stop times, every stop time referencing
+// a declared stop of the trip's own route.
+func FuzzImportTimetable(f *testing.F) {
+	f.Add(validDoc)
+	f.Add("")
+	f.Add("# only a comment\n")
+	f.Add("stop,s1,r1,100.5,Main St\ntrip,t1,r1\nstoptime,t1,s1,09:00:00\nstoptime,t1,s1,09:01:00\n")
+	f.Add("stop,s1,r1,0,A\nstop,s2,r1,100,B\ntrip,t1,r1\nstoptime,t1,s1,25:59:59\nstoptime,t1,s2,26:00:00\n")
+	f.Add("trip,t1,r1\ntrip,t1,r1\n")
+	f.Add("stoptime,ghost,ghost,99:99:99\n")
+	f.Add("stop,s1,r1,1e9,A\n")
+	f.Add("stop,s1,r1,-5,A\n")
+	f.Add("stop,a,b\x00c,0,D\n")
+	f.Fuzz(func(t *testing.T, doc string) {
+		tt, err := ImportTimetable(strings.NewReader(doc))
+		if err != nil {
+			if tt != nil {
+				t.Fatal("error with non-nil timetable")
+			}
+			return
+		}
+		for _, trip := range tt.Trips {
+			if len(trip.Times) < 2 {
+				t.Fatalf("accepted trip %q with %d stop times", trip.ID, len(trip.Times))
+			}
+			for i, st := range trip.Times {
+				stop, ok := tt.Stops[st.StopID]
+				if !ok {
+					t.Fatalf("accepted dangling stop ref %q", st.StopID)
+				}
+				if stop.RouteID != trip.RouteID {
+					t.Fatalf("accepted cross-route stop time %q on trip %q", st.StopID, trip.ID)
+				}
+				if st.At < 0 {
+					t.Fatalf("accepted negative stop time %v", st.At)
+				}
+				if i > 0 && st.At <= trip.Times[i-1].At {
+					t.Fatalf("accepted non-increasing stop times on trip %q", trip.ID)
+				}
+			}
+		}
+		for id, stop := range tt.Stops {
+			if stop.Arc < 0 {
+				t.Fatalf("accepted negative arc on stop %q", id)
+			}
+		}
+	})
+}

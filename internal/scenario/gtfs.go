@@ -1,0 +1,303 @@
+// gtfs.go is the scenario engine's route/timetable interchange: a line-based
+// GTFS-like document (stops, trips, stop times) rendered from a generated
+// city and re-imported into the dispatch plan. Every scenario round-trips
+// its timetable through this importer, so the parser is load-bearing in
+// every golden replay — and it is also the fuzz target: malformed documents
+// must error, never panic.
+package scenario
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"wilocator/internal/roadnet"
+)
+
+// Document size caps, so a hostile feed cannot balloon server-side maps.
+const (
+	maxTimetableLines = 10000
+	maxTimetableIDLen = 128
+)
+
+// TimetableStop is one named stop of a route, positioned by arc length.
+type TimetableStop struct {
+	ID      string
+	RouteID string
+	Arc     float64
+	Name    string
+}
+
+// StopTime is one scheduled call of a trip at a stop, as an offset from the
+// service day's midnight. GTFS convention allows hours past 24 for
+// trips crossing midnight.
+type StopTime struct {
+	StopID string
+	At     time.Duration
+}
+
+// TimetableTrip is one scheduled run of a route.
+type TimetableTrip struct {
+	ID      string
+	RouteID string
+	Times   []StopTime
+}
+
+// Timetable is the parsed document: the stop inventory and the scheduled
+// trips, in document order.
+type Timetable struct {
+	Stops map[string]TimetableStop
+	Trips []TimetableTrip
+}
+
+// Departures returns the first-stop departure offsets of the route's trips,
+// sorted ascending.
+func (tt *Timetable) Departures(routeID string) []time.Duration {
+	var out []time.Duration
+	for _, trip := range tt.Trips {
+		if trip.RouteID == routeID && len(trip.Times) > 0 {
+			out = append(out, trip.Times[0].At)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ImportTimetable parses a GTFS-like timetable document:
+//
+//	# comment
+//	stop,<stopID>,<routeID>,<arcMetres>,<name>
+//	trip,<tripID>,<routeID>
+//	stoptime,<tripID>,<stopID>,<HH:MM:SS>
+//
+// Any malformed input — unknown directives, bad field counts, duplicate or
+// oversized IDs, dangling references, route mismatches, non-increasing stop
+// times, decreasing stop arcs, unparsable times — yields an error; the
+// importer never panics. Declarations may arrive in any order between
+// record kinds, but a stoptime must follow its trip and stop declarations.
+func ImportTimetable(r io.Reader) (*Timetable, error) {
+	tt := &Timetable{Stops: map[string]TimetableStop{}}
+	tripIdx := map[string]int{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		if lineNo > maxTimetableLines {
+			return nil, fmt.Errorf("scenario: timetable exceeds %d lines", maxTimetableLines)
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		switch fields[0] {
+		case "stop":
+			if len(fields) < 5 {
+				return nil, fmt.Errorf("scenario: line %d: stop needs 5 fields, got %d", lineNo, len(fields))
+			}
+			id, routeID := fields[1], fields[2]
+			if err := checkID(lineNo, "stop", id); err != nil {
+				return nil, err
+			}
+			if err := checkID(lineNo, "route", routeID); err != nil {
+				return nil, err
+			}
+			if _, dup := tt.Stops[id]; dup {
+				return nil, fmt.Errorf("scenario: line %d: duplicate stop %q", lineNo, id)
+			}
+			arc, err := parseArc(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("scenario: line %d: stop %q: %v", lineNo, id, err)
+			}
+			// The name is free text and may itself contain commas.
+			name := strings.Join(fields[4:], ",")
+			tt.Stops[id] = TimetableStop{ID: id, RouteID: routeID, Arc: arc, Name: name}
+		case "trip":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("scenario: line %d: trip needs 3 fields, got %d", lineNo, len(fields))
+			}
+			id, routeID := fields[1], fields[2]
+			if err := checkID(lineNo, "trip", id); err != nil {
+				return nil, err
+			}
+			if err := checkID(lineNo, "route", routeID); err != nil {
+				return nil, err
+			}
+			if _, dup := tripIdx[id]; dup {
+				return nil, fmt.Errorf("scenario: line %d: duplicate trip %q", lineNo, id)
+			}
+			tripIdx[id] = len(tt.Trips)
+			tt.Trips = append(tt.Trips, TimetableTrip{ID: id, RouteID: routeID})
+		case "stoptime":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("scenario: line %d: stoptime needs 4 fields, got %d", lineNo, len(fields))
+			}
+			tripID, stopID := fields[1], fields[2]
+			ti, ok := tripIdx[tripID]
+			if !ok {
+				return nil, fmt.Errorf("scenario: line %d: stoptime for undeclared trip %q", lineNo, tripID)
+			}
+			stop, ok := tt.Stops[stopID]
+			if !ok {
+				return nil, fmt.Errorf("scenario: line %d: stoptime at undeclared stop %q", lineNo, stopID)
+			}
+			trip := &tt.Trips[ti]
+			if stop.RouteID != trip.RouteID {
+				return nil, fmt.Errorf("scenario: line %d: stop %q belongs to route %q, trip %q runs route %q",
+					lineNo, stopID, stop.RouteID, tripID, trip.RouteID)
+			}
+			at, err := parseClock(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("scenario: line %d: %v", lineNo, err)
+			}
+			if n := len(trip.Times); n > 0 {
+				last := trip.Times[n-1]
+				if at <= last.At {
+					return nil, fmt.Errorf("scenario: line %d: trip %q stop times not strictly increasing", lineNo, tripID)
+				}
+				if stop.Arc <= tt.Stops[last.StopID].Arc {
+					return nil, fmt.Errorf("scenario: line %d: trip %q stop arcs not strictly increasing", lineNo, tripID)
+				}
+			}
+			trip.Times = append(trip.Times, StopTime{StopID: stopID, At: at})
+		default:
+			return nil, fmt.Errorf("scenario: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("scenario: reading timetable: %w", err)
+	}
+	for _, trip := range tt.Trips {
+		if len(trip.Times) < 2 {
+			return nil, fmt.Errorf("scenario: trip %q has %d stop times, want >= 2", trip.ID, len(trip.Times))
+		}
+	}
+	return tt, nil
+}
+
+func checkID(lineNo int, kind, id string) error {
+	if id == "" {
+		return fmt.Errorf("scenario: line %d: empty %s id", lineNo, kind)
+	}
+	if len(id) > maxTimetableIDLen {
+		return fmt.Errorf("scenario: line %d: %s id longer than %d bytes", lineNo, kind, maxTimetableIDLen)
+	}
+	return nil
+}
+
+// parseArc parses a non-negative decimal metre count without pulling in
+// strconv's permissive float syntax (no exponents, signs, inf or NaN).
+func parseArc(s string) (float64, error) {
+	whole, frac, hasFrac := strings.Cut(s, ".")
+	v, err := parseDigits(whole, 9)
+	if err != nil {
+		return 0, fmt.Errorf("bad arc %q", s)
+	}
+	out := float64(v)
+	if hasFrac {
+		fv, err := parseDigits(frac, 6)
+		if err != nil {
+			return 0, fmt.Errorf("bad arc %q", s)
+		}
+		scale := 1.0
+		for range frac {
+			scale *= 10
+		}
+		out += float64(fv) / scale
+	}
+	return out, nil
+}
+
+// parseClock parses HH:MM:SS with the GTFS convention of HH up to 47 for
+// post-midnight trips.
+func parseClock(s string) (time.Duration, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return 0, fmt.Errorf("bad time %q", s)
+	}
+	hh, err1 := parseDigits(parts[0], 2)
+	mm, err2 := parseDigits(parts[1], 2)
+	ss, err3 := parseDigits(parts[2], 2)
+	if err1 != nil || err2 != nil || err3 != nil {
+		return 0, fmt.Errorf("bad time %q", s)
+	}
+	if hh >= 48 || mm >= 60 || ss >= 60 {
+		return 0, fmt.Errorf("time %q out of range", s)
+	}
+	return time.Duration(hh)*time.Hour + time.Duration(mm)*time.Minute + time.Duration(ss)*time.Second, nil
+}
+
+func parseDigits(s string, maxLen int) (int64, error) {
+	if s == "" || len(s) > maxLen {
+		return 0, fmt.Errorf("bad digits %q", s)
+	}
+	var v int64
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("bad digits %q", s)
+		}
+		v = v*10 + int64(c-'0')
+	}
+	return v, nil
+}
+
+// nominalScheduleSpeed is the free-flow planning speed (m/s) used to pencil
+// downstream stop times into a rendered timetable. Schedules are plans, not
+// physics: the simulator drives the real mobility model regardless.
+const nominalScheduleSpeed = 8.0
+
+// RenderTimetable renders the GTFS-like document for a network and a
+// per-route departure list, deterministically: routes sorted by ID, trips
+// numbered in departure order, stop times penciled at the nominal planning
+// speed. Compile round-trips every scenario's dispatch plan through
+// RenderTimetable + ImportTimetable, so the importer is exercised by every
+// golden replay.
+func RenderTimetable(net *roadnet.Network, deps map[string][]time.Duration) (string, error) {
+	routeIDs := make([]string, 0, len(deps))
+	for id := range deps {
+		routeIDs = append(routeIDs, id)
+	}
+	sort.Strings(routeIDs)
+	var b strings.Builder
+	b.WriteString("# wilocator scenario timetable\n")
+	for _, routeID := range routeIDs {
+		route, ok := net.Route(routeID)
+		if !ok {
+			return "", fmt.Errorf("scenario: timetable references unknown route %q", routeID)
+		}
+		stops := route.Stops()
+		if len(stops) < 2 {
+			return "", fmt.Errorf("scenario: route %q has %d stops, want >= 2", routeID, len(stops))
+		}
+		for i, st := range stops {
+			fmt.Fprintf(&b, "stop,%s:%d,%s,%.1f,%s\n", routeID, i, routeID, st.Arc, st.Name)
+		}
+		for ti, dep := range deps[routeID] {
+			tripID := fmt.Sprintf("%s:trip-%03d", routeID, ti)
+			fmt.Fprintf(&b, "trip,%s,%s\n", tripID, routeID)
+			for i, st := range stops {
+				at := dep + time.Duration(st.Arc/nominalScheduleSpeed*float64(time.Second))
+				// The planning speed can place two close stops in the same
+				// second; nudge forward to keep times strictly increasing.
+				if minAt := dep + time.Duration(i)*time.Second; at < minAt {
+					at = minAt
+				}
+				fmt.Fprintf(&b, "stoptime,%s,%s:%d,%s\n", tripID, routeID, i, clockString(at))
+			}
+		}
+	}
+	return b.String(), nil
+}
+
+// clockString renders a midnight offset as HH:MM:SS (GTFS-style, hours may
+// exceed 23 on post-midnight trips).
+func clockString(d time.Duration) string {
+	d = d.Truncate(time.Second)
+	h := int(d / time.Hour)
+	m := int(d/time.Minute) % 60
+	s := int(d/time.Second) % 60
+	return fmt.Sprintf("%02d:%02d:%02d", h, m, s)
+}

@@ -1,0 +1,125 @@
+package scenario
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"wilocator/internal/roadnet"
+)
+
+const validDoc = `# comment line
+stop,r1:0,r1,0.0,First & Main
+stop,r1:1,r1,450.5,Second, the one with a comma
+trip,r1:trip-000,r1
+stoptime,r1:trip-000,r1:0,09:00:00
+stoptime,r1:trip-000,r1:1,09:01:30
+`
+
+func TestImportTimetableValid(t *testing.T) {
+	tt, err := ImportTimetable(strings.NewReader(validDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tt.Stops) != 2 || len(tt.Trips) != 1 {
+		t.Fatalf("got %d stops, %d trips", len(tt.Stops), len(tt.Trips))
+	}
+	if got := tt.Stops["r1:1"].Name; got != "Second, the one with a comma" {
+		t.Errorf("comma-bearing stop name mangled: %q", got)
+	}
+	if got := tt.Stops["r1:1"].Arc; got != 450.5 {
+		t.Errorf("arc = %v, want 450.5", got)
+	}
+	deps := tt.Departures("r1")
+	if len(deps) != 1 || deps[0] != 9*time.Hour {
+		t.Errorf("departures = %v, want [9h]", deps)
+	}
+	if len(tt.Departures("no-such-route")) != 0 {
+		t.Error("unknown route yielded departures")
+	}
+}
+
+func TestImportTimetableErrors(t *testing.T) {
+	long := strings.Repeat("x", 200)
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"unknown directive", "frequency,r1,600\n"},
+		{"stop field count", "stop,s1,r1,100\n"},
+		{"trip field count", "trip,t1\n"},
+		{"stoptime field count", "stoptime,t1,s1\n"},
+		{"empty stop id", "stop,,r1,0,A\n"},
+		{"empty route id", "trip,t1,\n"},
+		{"oversized id", "trip," + long + ",r1\n"},
+		{"duplicate stop", "stop,s1,r1,0,A\nstop,s1,r1,10,B\n"},
+		{"duplicate trip", "trip,t1,r1\ntrip,t1,r1\n"},
+		{"bad arc", "stop,s1,r1,12m,A\n"},
+		{"negative arc", "stop,s1,r1,-4,A\n"},
+		{"exponent arc", "stop,s1,r1,1e3,A\n"},
+		{"undeclared trip", "stop,s1,r1,0,A\nstoptime,t1,s1,09:00:00\n"},
+		{"undeclared stop", "trip,t1,r1\nstoptime,t1,s1,09:00:00\n"},
+		{"route mismatch", "stop,s1,r2,0,A\ntrip,t1,r1\nstoptime,t1,s1,09:00:00\n"},
+		{"bad time format", "stop,s1,r1,0,A\ntrip,t1,r1\nstoptime,t1,s1,9am\n"},
+		{"minutes out of range", "stop,s1,r1,0,A\ntrip,t1,r1\nstoptime,t1,s1,09:61:00\n"},
+		{"hours out of range", "stop,s1,r1,0,A\ntrip,t1,r1\nstoptime,t1,s1,48:00:00\n"},
+		{"out-of-order times", "stop,s1,r1,0,A\nstop,s2,r1,100,B\ntrip,t1,r1\n" +
+			"stoptime,t1,s1,09:05:00\nstoptime,t1,s2,09:04:00\n"},
+		{"equal times", "stop,s1,r1,0,A\nstop,s2,r1,100,B\ntrip,t1,r1\n" +
+			"stoptime,t1,s1,09:05:00\nstoptime,t1,s2,09:05:00\n"},
+		{"decreasing arcs", "stop,s1,r1,100,A\nstop,s2,r1,50,B\ntrip,t1,r1\n" +
+			"stoptime,t1,s1,09:00:00\nstoptime,t1,s2,09:01:00\n"},
+		{"one-stop trip", "stop,s1,r1,0,A\ntrip,t1,r1\nstoptime,t1,s1,09:00:00\n"},
+		{"no-stoptime trip", "trip,t1,r1\n"},
+		{"oversized document", strings.Repeat("# filler\n", maxTimetableLines+1)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ImportTimetable(strings.NewReader(tc.doc)); err == nil {
+				t.Fatalf("document accepted:\n%s", tc.doc)
+			}
+		})
+	}
+}
+
+// TestRenderImportRoundTrip pins that every rendered timetable re-imports
+// losslessly: same trip count per route, departures in order, stop
+// inventory matching the city's routes.
+func TestRenderImportRoundTrip(t *testing.T) {
+	net, err := roadnet.BuildCity(roadnet.CitySpec{Form: roadnet.CityRiverine, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deps := map[string][]time.Duration{}
+	for _, r := range net.Routes() {
+		deps[r.ID()] = []time.Duration{9 * time.Hour, 9*time.Hour + 20*time.Minute}
+	}
+	doc, err := RenderTimetable(net, deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt, err := ImportTimetable(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("rendered document does not re-import: %v\n%s", err, doc)
+	}
+	for _, r := range net.Routes() {
+		got := tt.Departures(r.ID())
+		if len(got) != 2 || got[0] != 9*time.Hour || got[1] != 9*time.Hour+20*time.Minute {
+			t.Errorf("route %s departures = %v", r.ID(), got)
+		}
+		for i := 0; i < r.NumStops(); i++ {
+			id := r.ID() + ":" + strconv.Itoa(i)
+			stop, ok := tt.Stops[id]
+			if !ok {
+				t.Fatalf("stop %s missing from imported timetable", id)
+			}
+			if stop.Name != r.Stops()[i].Name {
+				t.Errorf("stop %s name = %q, want %q", id, stop.Name, r.Stops()[i].Name)
+			}
+		}
+	}
+	if _, err := RenderTimetable(net, map[string][]time.Duration{"ghost": nil}); err == nil {
+		t.Error("unknown route rendered without error")
+	}
+}

@@ -1,0 +1,266 @@
+// Package scenario is WiLocator's declarative scenario engine: a seeded
+// Spec composes a generated city (grid, radial, riverine or the paper's
+// Vancouver corridor), a GTFS-like timetable expanded from a day-scale
+// demand profile, per-phone device heterogeneity, AP churn waves, incident
+// storms and adversarial reporters, and compiles to one deterministic
+// delivery-ordered event stream. Run replays that stream through the REAL
+// pipeline — ingest → fusion → SVD locate → travel-time → predict →
+// traffic map — and returns a JSON-stable Result, which internal/eval pins
+// against checked-in goldens per corpus scenario.
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"wilocator/internal/mobility"
+	"wilocator/internal/roadnet"
+)
+
+// DeviceSpec models per-phone hardware heterogeneity (the paper notes COTS
+// phones differ by up to ±10 dB in reported RSS). The zero value is an
+// ideal fleet: no bias, no dropout, no skew, no report loss.
+type DeviceSpec struct {
+	// BiasSigma is the std dev (dB) of each phone's constant RSS offset.
+	BiasSigma float64
+	// DropoutProb drops individual AP readings from reported scans.
+	DropoutProb float64
+	// ClockSkewMax bounds each phone's constant clock offset (uniform ±).
+	ClockSkewMax time.Duration
+	// ReportLoss is the probability a scan never reaches the server;
+	// 0 means lossless (scenarios opt in to loss explicitly).
+	ReportLoss float64
+}
+
+// CongestionSpec passes through to the mobility congestion field. Zero
+// values select the field's defaults; set a factor to exactly 1 for a
+// literally flat profile and a sigma negative to disable that noise term.
+type CongestionSpec struct {
+	RushFactor   float64
+	MiddayFactor float64
+	Sigma        float64
+	DaySigma     float64
+}
+
+// ChurnWave kills a fraction of the surviving APs at a point in the service
+// window; the server must Rebuild its diagram and keep locating.
+type ChurnWave struct {
+	// After offsets the wave from the service window's start.
+	After time.Duration
+	// Frac of the still-alive APs die (at least one).
+	Frac float64
+}
+
+// IncidentSpec seeds an incident storm: localised slow zones (construction,
+// accidents) scattered over the city's route segments.
+type IncidentSpec struct {
+	Count int
+	// SlowFactor divides bus speed inside each zone; must be > 1 when
+	// Count > 0.
+	SlowFactor float64
+	// Duration each incident stays active. Default 30 min.
+	Duration time.Duration
+}
+
+// AdversarySpec injects hostile reporters the validation layer must shed
+// without perturbing clean tracking: sybil swarms on ghost routes, replayed
+// stale scans on real buses, and RSS-poisoned payloads.
+type AdversarySpec struct {
+	// SybilReporters fake buses each send SybilReports reports for routes
+	// that do not exist.
+	SybilReporters int
+	SybilReports   int
+	// PoisonedReports clones clean reports with an absurd RSS value.
+	PoisonedReports int
+	// ReplayedReports re-deliver old scans of real buses mid-stream.
+	ReplayedReports int
+}
+
+func (a AdversarySpec) isZero() bool {
+	return a.SybilReporters == 0 && a.PoisonedReports == 0 && a.ReplayedReports == 0
+}
+
+// Spec is one declarative scenario. Every stochastic choice derives from
+// Seed, so a Spec compiles to the same event stream on every machine.
+type Spec struct {
+	Name string
+	Seed uint64
+
+	// City picks the street graph and routes.
+	City roadnet.CitySpec
+	// APSpacing is the deployment's AP spacing in metres. Default 150.
+	APSpacing float64
+
+	// StartHour and EndHour bound the service window (dispatches) on the
+	// simulated day. Defaults 9 and 10.
+	StartHour, EndHour int
+	// BaseHeadway is the per-route headway at demand 1. Default 10 min.
+	BaseHeadway time.Duration
+	// Demand scales dispatch density by hour; zero means flat service
+	// across the window.
+	Demand mobility.DemandProfile
+	// MaxTrips caps the dispatch count by stride-thinning (keeping the
+	// window's full span, not its prefix). 0 = unlimited.
+	MaxTrips int
+
+	// TripHorizon caps how long each bus is replayed. Default 8 min.
+	TripHorizon time.Duration
+	// ScanPeriod is both the phones' scan period and the server's fusion
+	// window. Default 10 s.
+	ScanPeriod time.Duration
+	// Phones is the rider-phone count per bus. Default 2.
+	Phones int
+	// Device models phone heterogeneity.
+	Device DeviceSpec
+	// Drive tunes the mobility model.
+	Drive mobility.DriveConfig
+	// Congestion tunes the shared congestion field.
+	Congestion CongestionSpec
+	// Incidents seeds an incident storm.
+	Incidents IncidentSpec
+
+	// DupProb and SwapProb perturb delivery (at-least-once, out-of-order).
+	DupProb, SwapProb float64
+
+	// Churn schedules AP death waves.
+	Churn []ChurnWave
+	// Adversary injects hostile reporters.
+	Adversary AdversarySpec
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.APSpacing <= 0 {
+		s.APSpacing = 150
+	}
+	if s.StartHour == 0 && s.EndHour == 0 {
+		s.StartHour, s.EndHour = 9, 10
+	}
+	if s.BaseHeadway <= 0 {
+		s.BaseHeadway = 10 * time.Minute
+	}
+	if s.TripHorizon <= 0 {
+		s.TripHorizon = 8 * time.Minute
+	}
+	if s.ScanPeriod <= 0 {
+		s.ScanPeriod = 10 * time.Second
+	}
+	if s.Phones <= 0 {
+		s.Phones = 2
+	}
+	if s.Demand.IsZero() {
+		for h := s.StartHour; h < s.EndHour && h < 24; h++ {
+			s.Demand[h] = 1
+		}
+	}
+	return s
+}
+
+// Corpus returns the checked-in golden scenario set: three generated city
+// forms, a day-scale rush cycle, an AP-churn wave and an adversarial storm.
+// Core() marks the subset `make ci` replays in -short mode.
+func Corpus() []Spec {
+	return []Spec{
+		{
+			// The smoke scenario: a generated grid city under a morning
+			// burst of dispatches with delivery perturbation.
+			Name:     "grid-burst",
+			Seed:     11,
+			City:     roadnet.CitySpec{Form: roadnet.CityGrid, Seed: 11},
+			MaxTrips: 8,
+			DupProb:  0.03,
+			SwapProb: 0.03,
+		},
+		{
+			// Device heterogeneity: biased, droppy, skewed phones on a
+			// radial city. Positioning must survive ±10 dB offsets.
+			Name:     "radial-device",
+			Seed:     22,
+			City:     roadnet.CitySpec{Form: roadnet.CityRadial, Seed: 22},
+			MaxTrips: 6,
+			Device: DeviceSpec{
+				BiasSigma:    10,
+				DropoutProb:  0.08,
+				ClockSkewMax: 2 * time.Second,
+				ReportLoss:   0.03,
+			},
+		},
+		{
+			// Incident storm on a riverine city: slow zones the anomaly
+			// detector and traffic map must surface.
+			Name:      "riverine-incident",
+			Seed:      33,
+			City:      roadnet.CitySpec{Form: roadnet.CityRiverine, Seed: 33},
+			MaxTrips:  6,
+			Incidents: IncidentSpec{Count: 3, SlowFactor: 4, Duration: 30 * time.Minute},
+		},
+		{
+			// Day-scale: a 6-23 h service day under a commuter demand
+			// profile, the input the seasonal index SI(i,l) digests.
+			Name:        "grid-day-rush",
+			Seed:        44,
+			City:        roadnet.CitySpec{Form: roadnet.CityGrid, Seed: 44},
+			StartHour:   6,
+			EndHour:     23,
+			BaseHeadway: 45 * time.Minute,
+			Demand:      mobility.RushDemand(),
+			MaxTrips:    24,
+			ScanPeriod:  30 * time.Second,
+			TripHorizon: 10 * time.Minute,
+		},
+		{
+			// AP churn: two death waves mid-window force live diagram
+			// rebuilds between fixes.
+			Name:     "grid-churn",
+			Seed:     55,
+			City:     roadnet.CitySpec{Form: roadnet.CityGrid, Seed: 55},
+			MaxTrips: 6,
+			Churn: []ChurnWave{
+				{After: 3 * time.Minute, Frac: 0.3},
+				{After: 6 * time.Minute, Frac: 0.3},
+			},
+		},
+		{
+			// Adversarial storm: sybil floods, poisoned RSS and replayed
+			// scans the validation layer must shed without degrading the
+			// clean fleet.
+			Name:     "grid-adversarial",
+			Seed:     66,
+			City:     roadnet.CitySpec{Form: roadnet.CityGrid, Seed: 66},
+			MaxTrips: 6,
+			Adversary: AdversarySpec{
+				SybilReporters:  3,
+				SybilReports:    5,
+				PoisonedReports: 12,
+				ReplayedReports: 6,
+			},
+		},
+	}
+}
+
+// Core reports whether the scenario belongs to the -short CI tier.
+func (s Spec) Core() bool {
+	switch s.Name {
+	case "grid-burst", "grid-churn", "grid-adversarial":
+		return true
+	}
+	return false
+}
+
+// ByName finds a corpus scenario.
+func ByName(name string) (Spec, bool) {
+	for _, s := range Corpus() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// MustByName is ByName for tests that own the name.
+func MustByName(name string) Spec {
+	s, ok := ByName(name)
+	if !ok {
+		panic(fmt.Sprintf("scenario: no corpus scenario %q", name))
+	}
+	return s
+}

@@ -1,0 +1,120 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"wilocator/internal/mobility"
+	"wilocator/internal/roadnet"
+	"wilocator/internal/traveltime"
+)
+
+// siSpec builds the seasonal-index probe scenario: a full 6-23 h service
+// day on a generated grid city. The rush variant carries the default
+// congestion profile (3x rush, 1.25x midday) sampled under commuter demand;
+// the uniform variant pins every factor to exactly 1 with all noise off.
+func siSpec(seed uint64, rush bool) Spec {
+	s := Spec{
+		Name:        "si-probe",
+		Seed:        seed,
+		City:        roadnet.CitySpec{Form: roadnet.CityGrid, Seed: seed},
+		StartHour:   6,
+		EndHour:     23,
+		BaseHeadway: 30 * time.Minute,
+	}
+	if rush {
+		s.Demand = mobility.RushDemand()
+		s.Congestion = CongestionSpec{Sigma: 0.1, DaySigma: -1}
+	} else {
+		s.Demand = mobility.FlatDemand()
+		s.Congestion = CongestionSpec{RushFactor: 1, MiddayFactor: 1, Sigma: -1, DaySigma: -1}
+	}
+	return s
+}
+
+// TestSeasonalIndexDiscoversRushHours is the paper's Eq. 6 acceptance
+// test over the scenario engine: across three independently seeded cities,
+// SI(i,l) on ground-truth traversals must flag exactly the injected
+// rush-hour slots (8-10 h, 18-19 h) and stay flat under uniform demand
+// with a flat congestion profile.
+func TestSeasonalIndexDiscoversRushHours(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		store, net, err := TruthStore(siSpec(seed, true))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		seg := probeSegment(net)
+		si := store.SeasonalIndex(seg)
+		if len(si) != 24 {
+			t.Fatalf("seed %d: SI has %d entries", seed, len(si))
+		}
+		rush := map[int]bool{}
+		for _, h := range traveltime.RushHours(si, 0) {
+			rush[h] = true
+		}
+		for _, h := range []int{8, 9, 18} {
+			if !rush[h] {
+				t.Errorf("seed %d: SI missed injected rush hour %d (si=%.3f)", seed, h, si[h])
+			}
+		}
+		for _, h := range []int{7, 12, 13, 21} {
+			if rush[h] {
+				t.Errorf("seed %d: SI flagged off-peak hour %d as rush (si=%.3f)", seed, h, si[h])
+			}
+		}
+
+		flatStore, flatNet, err := TruthStore(siSpec(seed, false))
+		if err != nil {
+			t.Fatalf("seed %d flat: %v", seed, err)
+		}
+		flatSI := flatStore.SeasonalIndex(probeSegment(flatNet))
+		if flagged := traveltime.RushHours(flatSI, 0); len(flagged) != 0 {
+			t.Errorf("seed %d: uniform demand flagged rush hours %v", seed, flagged)
+		}
+		for h, v := range flatSI {
+			if v == 0 {
+				continue // hour outside the service window
+			}
+			if v < 0.65 || v > 1.35 {
+				t.Errorf("seed %d: uniform SI[%d] = %.3f drifted from flat", seed, h, v)
+			}
+		}
+	}
+}
+
+// TestSeasonalIndexSurvivesEstimation runs the day-scale corpus scenario
+// through the FULL pipeline (tracker-interpolated traversals, not ground
+// truth) and asserts the estimated seasonal profile still separates the
+// morning rush from midday on the probe segment.
+func TestSeasonalIndexSurvivesEstimation(t *testing.T) {
+	res, err := Run(MustByName("grid-day-rush"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seasonal == nil {
+		t.Fatal("day-scale scenario produced no seasonal block")
+	}
+	si := res.Seasonal.Index
+	morning := si[8]
+	if si[9] > morning {
+		morning = si[9]
+	}
+	midday := 0.0
+	n := 0
+	for h := 11; h <= 16; h++ {
+		if si[h] > 0 {
+			midday += si[h]
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no midday observations on probe segment")
+	}
+	midday /= float64(n)
+	if morning <= midday {
+		t.Errorf("estimated SI does not separate rush (%.3f) from midday (%.3f): %v", morning, midday, si)
+	}
+	if len(res.Seasonal.RushHours) == 0 {
+		t.Error("estimated SI flagged no rush hours at all")
+	}
+}

@@ -1,0 +1,207 @@
+package sensing
+
+import (
+	"testing"
+	"time"
+
+	"wilocator/internal/geo"
+	"wilocator/internal/roadnet"
+	"wilocator/internal/wifi"
+	"wilocator/internal/xrand"
+)
+
+func deviceTestDeployment(t *testing.T) (*wifi.Deployment, geo.Point) {
+	t.Helper()
+	net, err := roadnet.BuildCity(roadnet.CitySpec{Form: roadnet.CityGrid, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := wifi.DefaultDeploySpec()
+	spec.Spacing = 150
+	dep, err := wifi.Deploy(net, spec, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dep, net.Routes()[0].PointAt(200)
+}
+
+var deviceT0 = time.Date(2016, 3, 7, 9, 0, 0, 0, time.UTC)
+
+func mustScan(t *testing.T, p *Phone, pos geo.Point, at time.Time) wifi.Scan {
+	t.Helper()
+	for i := 0; i < 50; i++ {
+		if s, ok := p.ScanAt(pos, at.Add(time.Duration(i)*DefaultScanPeriod)); ok {
+			return s
+		}
+	}
+	t.Fatal("no scan survived report loss")
+	return wifi.Scan{}
+}
+
+// TestDeviceModelDisabledMatchesBaseline pins that the zero-value device
+// model is a no-op: a phone with explicit zero device fields produces exactly
+// the scans of a plain config, so pre-existing golden streams stay valid.
+func TestDeviceModelDisabledMatchesBaseline(t *testing.T) {
+	dep, pos := deviceTestDeployment(t)
+	plain, err := NewPhone("p", dep, PhoneConfig{ReportLoss: -1}, xrand.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroed, err := NewPhone("p", dep, PhoneConfig{ReportLoss: -1, BiasSigma: 0, DropoutProb: 0, ClockSkewMax: 0}, xrand.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zeroed.Bias() != 0 || zeroed.Skew() != 0 {
+		t.Fatalf("zero config drew bias %d / skew %v", zeroed.Bias(), zeroed.Skew())
+	}
+	for i := 0; i < 5; i++ {
+		at := deviceT0.Add(time.Duration(i) * DefaultScanPeriod)
+		a, _ := plain.ScanAt(pos, at)
+		b, _ := zeroed.ScanAt(pos, at)
+		if !a.Time.Equal(b.Time) || len(a.Readings) != len(b.Readings) {
+			t.Fatalf("scan %d differs between plain and zeroed device config", i)
+		}
+		for j := range a.Readings {
+			if a.Readings[j] != b.Readings[j] {
+				t.Fatalf("scan %d reading %d differs: %+v vs %+v", i, j, a.Readings[j], b.Readings[j])
+			}
+		}
+	}
+}
+
+// TestDeviceBiasShiftsEveryReading asserts the per-phone bias is one constant
+// applied to all readings, not fresh noise.
+func TestDeviceBiasShiftsEveryReading(t *testing.T) {
+	dep, pos := deviceTestDeployment(t)
+	base, err := NewPhone("p", dep, PhoneConfig{ReportLoss: -1}, xrand.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	biased, err := NewPhone("p", dep, PhoneConfig{ReportLoss: -1, BiasSigma: 10}, xrand.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if biased.Bias() == 0 {
+		t.Skip("seed 42 drew a zero-rounded bias; pick another seed")
+	}
+	a := mustScan(t, base, pos, deviceT0)
+	b := mustScan(t, biased, pos, deviceT0)
+	if len(a.Readings) != len(b.Readings) {
+		t.Fatalf("bias changed reading count: %d vs %d", len(a.Readings), len(b.Readings))
+	}
+	for i := range a.Readings {
+		got := b.Readings[i].RSSI - a.Readings[i].RSSI
+		if got != biased.Bias() && b.Readings[i].RSSI != maxReportedRSSI && b.Readings[i].RSSI != minReportedRSSI {
+			t.Fatalf("reading %d shifted by %d, want constant bias %d", i, got, biased.Bias())
+		}
+	}
+}
+
+// TestDeviceDropoutThinsScans asserts dropout removes readings (and with
+// probability 1, all of them) without touching the timestamp.
+func TestDeviceDropoutThinsScans(t *testing.T) {
+	dep, pos := deviceTestDeployment(t)
+	base, err := NewPhone("p", dep, PhoneConfig{ReportLoss: -1}, xrand.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := NewPhone("p", dep, PhoneConfig{ReportLoss: -1, DropoutProb: 1}, xrand.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	some, err := NewPhone("p", dep, PhoneConfig{ReportLoss: -1, DropoutProb: 0.5}, xrand.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := mustScan(t, base, pos, deviceT0)
+	if len(full.Readings) == 0 {
+		t.Fatal("baseline scan saw no APs; deployment too sparse for the test")
+	}
+	gone := mustScan(t, all, pos, deviceT0)
+	if len(gone.Readings) != 0 {
+		t.Fatalf("dropout=1 kept %d readings", len(gone.Readings))
+	}
+	if !gone.Time.Equal(full.Time) {
+		t.Fatal("dropout changed the scan timestamp")
+	}
+	total, kept := 0, 0
+	for i := 0; i < 20; i++ {
+		at := deviceT0.Add(time.Duration(i) * DefaultScanPeriod)
+		f, _ := base.ScanAt(pos, at)
+		s, _ := some.ScanAt(pos, at)
+		total += len(f.Readings)
+		kept += len(s.Readings)
+	}
+	if kept == 0 || kept >= total {
+		t.Fatalf("dropout=0.5 kept %d of %d readings, want a strict thinning", kept, total)
+	}
+}
+
+// TestDeviceClockSkewShiftsTimestampsOnly asserts the skew moves the reported
+// time by one per-phone constant while the RF content stays that of the true
+// instant.
+func TestDeviceClockSkewShiftsTimestampsOnly(t *testing.T) {
+	dep, pos := deviceTestDeployment(t)
+	base, err := NewPhone("p", dep, PhoneConfig{ReportLoss: -1}, xrand.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed, err := NewPhone("p", dep, PhoneConfig{ReportLoss: -1, ClockSkewMax: 2 * time.Second}, xrand.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skewed.Skew() == 0 {
+		t.Skip("seed 42 drew zero skew; pick another seed")
+	}
+	if d := skewed.Skew(); d < -2*time.Second || d > 2*time.Second {
+		t.Fatalf("skew %v outside ±2s", d)
+	}
+	for i := 0; i < 5; i++ {
+		at := deviceT0.Add(time.Duration(i) * DefaultScanPeriod)
+		a, _ := base.ScanAt(pos, at)
+		b, _ := skewed.ScanAt(pos, at)
+		if got, want := b.Time.Sub(a.Time), skewed.Skew(); got != want {
+			t.Fatalf("scan %d timestamp shifted by %v, want %v", i, got, want)
+		}
+		if len(a.Readings) != len(b.Readings) {
+			t.Fatalf("skew changed RF content at scan %d", i)
+		}
+		for j := range a.Readings {
+			if a.Readings[j] != b.Readings[j] {
+				t.Fatalf("skew changed reading %d of scan %d", j, i)
+			}
+		}
+	}
+}
+
+// TestDeviceModelDeterministic pins that identical seeds yield identical
+// device draws and scan streams.
+func TestDeviceModelDeterministic(t *testing.T) {
+	dep, pos := deviceTestDeployment(t)
+	cfg := PhoneConfig{ReportLoss: -1, BiasSigma: 10, DropoutProb: 0.1, ClockSkewMax: 2 * time.Second}
+	a, err := NewPhone("p", dep, cfg, xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPhone("p", dep, cfg, xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Bias() != b.Bias() || a.Skew() != b.Skew() {
+		t.Fatalf("device draws differ across identical seeds: bias %d/%d skew %v/%v",
+			a.Bias(), b.Bias(), a.Skew(), b.Skew())
+	}
+	for i := 0; i < 10; i++ {
+		at := deviceT0.Add(time.Duration(i) * DefaultScanPeriod)
+		sa, _ := a.ScanAt(pos, at)
+		sb, _ := b.ScanAt(pos, at)
+		if len(sa.Readings) != len(sb.Readings) || !sa.Time.Equal(sb.Time) {
+			t.Fatalf("scan %d differs across identical seeds", i)
+		}
+		for j := range sa.Readings {
+			if sa.Readings[j] != sb.Readings[j] {
+				t.Fatalf("scan %d reading %d differs across identical seeds", i, j)
+			}
+		}
+	}
+}

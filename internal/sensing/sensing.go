@@ -43,6 +43,24 @@ type PhoneConfig struct {
 	Noise rf.Noise
 	// Model is the propagation model of the simulated world.
 	Model rf.LogDistance
+
+	// The remaining fields model device heterogeneity (the paper notes
+	// per-device RSS offsets of up to ±10 dB across COTS phones). All
+	// default to 0 = disabled, and a disabled field consumes no randomness,
+	// so existing seeded streams are bit-identical with the zero value.
+
+	// BiasSigma is the standard deviation, in dB, of a per-phone constant
+	// RSS offset (antenna gain, chipset calibration) drawn once at
+	// construction and applied to every reading.
+	BiasSigma float64
+	// DropoutProb is the per-reading probability that a detected AP is
+	// missing from the reported scan (driver-level scan truncation).
+	DropoutProb float64
+	// ClockSkewMax bounds a per-phone constant clock offset, drawn
+	// uniformly in [-ClockSkewMax, ClockSkewMax] and applied to reported
+	// scan timestamps only — the radio still samples the world at the true
+	// instant, but the report claims the phone's (skewed) time.
+	ClockSkewMax time.Duration
 }
 
 func (c PhoneConfig) reportLoss() float64 {
@@ -56,12 +74,25 @@ func (c PhoneConfig) reportLoss() float64 {
 	}
 }
 
+// Reported RSS values are clamped to the API's plausibility bounds so a
+// biased device still produces valid reports (matching api.MinValidRSSI and
+// api.MaxValidRSSI without importing the wire package).
+const (
+	minReportedRSSI = -120
+	maxReportedRSSI = 30
+)
+
 // Phone is one rider's (or the driver's) smartphone.
 type Phone struct {
 	id     string
 	sensor *wifi.Sensor
 	cfg    PhoneConfig
 	rng    *xrand.Rand
+	drop   *xrand.Rand
+	// bias is the device's constant RSS offset in dB, rounded to the
+	// integer RSSI grid; skew is its constant clock offset.
+	bias int
+	skew time.Duration
 }
 
 // NewPhone creates a phone observing the given deployment.
@@ -80,16 +111,59 @@ func NewPhone(id string, dep *wifi.Deployment, cfg PhoneConfig, rng *xrand.Rand)
 	if err != nil {
 		return nil, err
 	}
-	return &Phone{id: id, sensor: sensor, cfg: cfg, rng: rng.Split("loss")}, nil
+	p := &Phone{id: id, sensor: sensor, cfg: cfg, rng: rng.Split("loss"), drop: rng.Split("dropout")}
+	// Split is non-consuming, so disabled device-model fields leave the
+	// rx/loss streams (and therefore all pre-existing goldens) untouched.
+	if cfg.BiasSigma > 0 {
+		p.bias = int(math.Round(rng.Split("bias").Norm(0, cfg.BiasSigma)))
+	}
+	if cfg.ClockSkewMax > 0 {
+		max := float64(cfg.ClockSkewMax)
+		p.skew = time.Duration(rng.Split("skew").Range(-max, max))
+	}
+	return p, nil
 }
 
 // ID returns the phone identifier.
 func (p *Phone) ID() string { return p.id }
 
+// Bias returns the device's constant RSS offset in dB.
+func (p *Phone) Bias() int { return p.bias }
+
+// Skew returns the device's constant clock offset.
+func (p *Phone) Skew() time.Duration { return p.skew }
+
 // ScanAt performs one scan at position pos and time at. ok is false when the
-// report is lost before reaching the server.
+// report is lost before reaching the server. The device model is applied on
+// the way out: readings may drop out, RSS carries the per-phone bias, and
+// the reported timestamp carries the per-phone clock skew.
 func (p *Phone) ScanAt(pos geo.Point, at time.Time) (scan wifi.Scan, ok bool) {
 	s := p.sensor.ScanAt(pos, at)
+	if p.cfg.DropoutProb > 0 {
+		kept := make([]wifi.Reading, 0, len(s.Readings))
+		for _, r := range s.Readings {
+			if p.drop.Bool(p.cfg.DropoutProb) {
+				continue
+			}
+			kept = append(kept, r)
+		}
+		s.Readings = kept
+	}
+	if p.bias != 0 {
+		for i := range s.Readings {
+			v := s.Readings[i].RSSI + p.bias
+			if v < minReportedRSSI {
+				v = minReportedRSSI
+			}
+			if v > maxReportedRSSI {
+				v = maxReportedRSSI
+			}
+			s.Readings[i].RSSI = v
+		}
+	}
+	if p.skew != 0 {
+		s.Time = s.Time.Add(p.skew)
+	}
 	if p.rng.Bool(p.cfg.reportLoss()) {
 		return wifi.Scan{}, false
 	}

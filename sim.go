@@ -5,6 +5,8 @@ import (
 
 	"wilocator/internal/locate"
 	"wilocator/internal/mobility"
+	"wilocator/internal/roadnet"
+	"wilocator/internal/scenario"
 	"wilocator/internal/sensing"
 	"wilocator/internal/trafficmap"
 	"wilocator/internal/xrand"
@@ -89,6 +91,56 @@ func DetectAnomalies(traj []TrajectoryPoint, delta float64, minPoints int,
 	excludeArcs []float64, excludeRadius float64) []Anomaly {
 	return trafficmap.DetectAnomalies(traj, delta, minPoints, excludeArcs, excludeRadius)
 }
+
+type (
+	// CityForm selects a synthetic city topology family.
+	CityForm = roadnet.CityForm
+	// CitySpec parameterises a generated city (grid, radial or riverine).
+	CitySpec = roadnet.CitySpec
+
+	// DemandProfile is a 24-slot hourly demand multiplier over a service day.
+	DemandProfile = mobility.DemandProfile
+
+	// ScenarioSpec is a declarative, seeded end-to-end scenario: a city,
+	// a timetable, a fleet with device models, and optional churn waves,
+	// incidents and adversarial reporters.
+	ScenarioSpec = scenario.Spec
+	// ScenarioResult is the deterministic outcome of replaying one
+	// scenario through the full pipeline.
+	ScenarioResult = scenario.Result
+)
+
+// The generated city families.
+const (
+	CityGrid     = roadnet.CityGrid
+	CityRadial   = roadnet.CityRadial
+	CityRiverine = roadnet.CityRiverine
+)
+
+// BuildCity generates a synthetic road network with routes, stops and
+// signals from a city spec, deterministically from its seed.
+func BuildCity(spec CitySpec) (*Network, error) { return roadnet.BuildCity(spec) }
+
+// RushDemand is the commuter demand profile: morning and afternoon peaks
+// over a midday shoulder.
+func RushDemand() DemandProfile { return mobility.RushDemand() }
+
+// FlatDemand is the uniform all-day profile.
+func FlatDemand() DemandProfile { return mobility.FlatDemand() }
+
+// DemandDepartures expands an hourly demand profile into departure times
+// across [startHour, endHour) at baseHeadway/demand spacing.
+func DemandDepartures(base time.Duration, startHour, endHour int, profile DemandProfile) ([]time.Duration, error) {
+	return mobility.DemandDepartures(base, startHour, endHour, profile)
+}
+
+// ScenarioCorpus returns the checked-in golden scenario corpus.
+func ScenarioCorpus() []ScenarioSpec { return scenario.Corpus() }
+
+// RunScenario compiles and replays one scenario through the real ingest →
+// locate → predict → trafficmap pipeline, returning its deterministic
+// result.
+func RunScenario(spec ScenarioSpec) (*ScenarioResult, error) { return scenario.Run(spec) }
 
 // TripTraversal is one ground-truth segment traversal of a simulated trip.
 type TripTraversal = mobility.Traversal
