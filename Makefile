@@ -1,16 +1,16 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: ci lint wilint lint-selftest vet build test race chaos corpus corpus-short fuzz-smoke bench bench-smoke bench-check
+.PHONY: ci lint wilint lint-selftest vet build test race chaos failover corpus corpus-short fuzz-smoke bench bench-smoke bench-check
 
 # ci is the full local gate: static checks (vet + the wilint invariant
 # suite and its self-tests), the race-instrumented test suite (including
 # the internal/loadtest fleet replay), the chaos / crash-recovery harness,
-# the core tier of the scenario golden corpus, a short fuzz smoke on every
-# fuzz target, a one-iteration benchmark smoke (catches benchmarks that
-# stop compiling or crash, without timing anything) and the SVD-lookup
-# benchmark regression gate.
-ci: lint lint-selftest build race chaos corpus-short fuzz-smoke bench-smoke bench-check
+# the cluster failover/partition gauntlet, the core tier of the scenario
+# golden corpus, a short fuzz smoke on every fuzz target, a one-iteration
+# benchmark smoke (catches benchmarks that stop compiling or crash,
+# without timing anything) and the SVD-lookup benchmark regression gate.
+ci: lint lint-selftest build race chaos failover corpus-short fuzz-smoke bench-smoke bench-check
 
 # lint runs every static check: go vet, the project's own wilint
 # multichecker (exits non-zero on any unsuppressed finding), and
@@ -52,6 +52,14 @@ race:
 chaos:
 	$(GO) test -race -v -run 'TestChaos' ./internal/loadtest ./internal/scenario
 
+# failover runs the cluster kill/partition gauntlet under the race
+# detector: WAL-shipping frame codec properties, leader kill mid-fleet
+# with promoted-replica equivalence, network partition (lag grows, heals),
+# slow-follower convergence and snapshot-rotation resync.
+failover:
+	$(GO) test -race -v -run 'TestFailover|TestCluster|TestShip|TestParseShipFrame|TestRing|TestTopology|TestParsePeers' ./internal/cluster
+	$(GO) test -race -v -run 'TestChaosClusterStandbyPromotion' ./internal/scenario
+
 # corpus replays the FULL scenario golden corpus (all six seeded
 # scenarios: three generated city forms, day-scale demand, AP churn and
 # the adversarial flood) under the race detector, with per-scenario
@@ -73,6 +81,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzRouteArcQueries -fuzztime=$(FUZZTIME) ./internal/roadnet
 	$(GO) test -run='^$$' -fuzz=FuzzReadFrom -fuzztime=$(FUZZTIME) ./internal/traveltime
 	$(GO) test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=$(FUZZTIME) ./internal/traveltime
+	$(GO) test -run='^$$' -fuzz=FuzzWALShip -fuzztime=$(FUZZTIME) ./internal/cluster
 	$(GO) test -run='^$$' -fuzz=FuzzImportTimetable -fuzztime=$(FUZZTIME) ./internal/scenario
 
 # bench times the SVD construction/lookup benchmarks and writes the parsed

@@ -14,6 +14,8 @@
 //	                 [-max-body 1048576] [-max-inflight 256]
 //	                 [-read-timeout 10s] [-write-timeout 30s] [-idle-timeout 2m]
 //	                 [-no-observability]
+//	                 [-node-id n1 -peers 'n1=http://h1:8421|h1:9090,n2=http://h2:8421|h2:9090[|role]'
+//	                  -role leader|follower] [-replica-root dir]
 //
 // The Signal Voronoi Diagram can be rebuilt at runtime without a restart:
 // POST /v1/admin/rebuild swaps in a diagram built from the deployment's
@@ -33,6 +35,18 @@
 //   - -store is the lighter legacy mode: the snapshot is loaded at startup
 //     and saved atomically (temp file + rename) on exit — including error
 //     exits — but records between saves are not durable.
+//
+// Clustering: -node-id plus -peers (the same string on every node, each
+// entry id=apiURL|replAddr[|role]) runs the server as one node of a
+// geo-sharded cluster. Routes are partitioned over the leader-role nodes
+// by consistent hashing; mis-routed reports are forwarded to their owner,
+// every node replicates the other leaders' travel-time WALs over replAddr
+// (fsync before ack), and when a leader goes silent the lowest surviving
+// node promotes its replica through the standard crash-recovery path and
+// serves the dead node's routes. Cluster mode requires -wal-dir; replicas
+// live under -replica-root (default <wal-dir>/replicas). /v1/healthz
+// reports per-shard replication lag, /metrics exposes it as
+// wilocator_cluster_replication_lag_bytes.
 package main
 
 import (
@@ -46,11 +60,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"syscall"
 	"time"
 
 	"wilocator"
+	"wilocator/internal/cluster"
 	"wilocator/internal/server"
 	"wilocator/internal/svd"
 	"wilocator/internal/traveltime"
@@ -86,8 +102,21 @@ func run() error {
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "HTTP server write timeout")
 		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "HTTP server idle connection timeout")
 		noObs        = flag.Bool("no-observability", false, "disable the metrics registry and request tracer (GET /metrics, GET /v1/trace/recent answer 404)")
+		nodeID       = flag.String("node-id", "", "this node's ID in a geo-sharded cluster (empty = single-node mode)")
+		peersSpec    = flag.String("peers", "", "full cluster topology, identical on every node: id=apiURL|replAddr[|role],... (role: leader (default) or follower)")
+		roleFlag     = flag.String("role", "", "cross-check of this node's role in -peers: leader or follower (empty skips the check)")
+		replicaRoot  = flag.String("replica-root", "", "directory for replicas of peer WALs (default: <wal-dir>/replicas)")
 	)
 	flag.Parse()
+
+	clusterMode := *nodeID != ""
+	if clusterMode && *walDir == "" {
+		return errors.New("cluster mode (-node-id) requires -wal-dir: the WAL is what gets replicated")
+	}
+	var wake *cluster.Wakeup
+	if clusterMode {
+		wake = cluster.NewWakeup()
+	}
 
 	var (
 		net *wilocator.Network
@@ -125,11 +154,15 @@ func run() error {
 		*networkKind, len(net.Routes()), net.Graph.NumSegments(), dep.NumAPs())
 
 	start := time.Now()
+	persistCfg := traveltime.PersistConfig{SyncEvery: *walSyncEvery}
+	if wake != nil {
+		persistCfg.OnDurable = wake.Poke // fsyncs wake the WAL shippers
+	}
 	sys, err := wilocator.New(net, dep, wilocator.Config{
 		Diagram:              svd.Config{Workers: *buildWorkers},
 		Server:               server.Config{Shards: *shards},
 		PersistDir:           *walDir,
-		Persist:              traveltime.PersistConfig{SyncEvery: *walSyncEvery},
+		Persist:              persistCfg,
 		DisableObservability: *noObs,
 	})
 	if err != nil {
@@ -154,12 +187,59 @@ func run() error {
 		}
 	}
 
+	// Cluster mode: join the static topology — serve our ring range, ship
+	// our WAL to peers, replicate theirs, and promote on leader loss.
+	var node *cluster.Node
+	handlerCfg := wilocator.HandlerConfig{
+		MaxBodyBytes:       *maxBody,
+		MaxInFlightReports: *maxInflight,
+	}
+	if clusterMode {
+		peers, perr := cluster.ParsePeers(*peersSpec)
+		if perr != nil {
+			return perr
+		}
+		topo := cluster.Topology{Nodes: peers}
+		self, ok := topo.Node(*nodeID)
+		if !ok {
+			return fmt.Errorf("cluster: -node-id %s not present in -peers", *nodeID)
+		}
+		if *roleFlag != "" && *roleFlag != string(self.Role) && !(*roleFlag == "leader" && self.Role == "") {
+			return fmt.Errorf("cluster: -role %s contradicts -peers role %q for %s", *roleFlag, self.Role, *nodeID)
+		}
+		root := *replicaRoot
+		if root == "" {
+			root = filepath.Join(*walDir, "replicas")
+		}
+		node, err = cluster.NewNode(cluster.Config{
+			Self:        *nodeID,
+			Topology:    topo,
+			ReplicaRoot: root,
+			Service:     sys.Service(),
+			Persister:   sys.Persister(),
+			Wake:        wake,
+			NewStore:    sys.NewTravelTimeStore,
+			NewService:  sys.NewShardService,
+			Persist:     traveltime.PersistConfig{SyncEvery: *walSyncEvery},
+			Metrics:     sys.Metrics(),
+			Logf:        log.Printf,
+		})
+		if err != nil {
+			return err
+		}
+		if err := node.Start(context.Background()); err != nil {
+			return err
+		}
+		defer node.Close()
+		sys.Service().SetClusterStatus(node.Status)
+		handlerCfg.Router = node
+		log.Printf("cluster node %s (%s): replication on %s, %d peers",
+			*nodeID, self.Role, node.ReplListenAddr(), len(peers)-1)
+	}
+
 	srv := &http.Server{
-		Addr: *addr,
-		Handler: sys.HandlerWith(wilocator.HandlerConfig{
-			MaxBodyBytes:       *maxBody,
-			MaxInFlightReports: *maxInflight,
-		}),
+		Addr:    *addr,
+		Handler: sys.HandlerWith(handlerCfg),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       *readTimeout,
 		WriteTimeout:      *writeTimeout,

@@ -5,6 +5,7 @@
 package api
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -191,6 +192,42 @@ type HealthResponse struct {
 	Rebuild     RebuildStats `json:"rebuild"`
 	// Persist is present when the server runs with a write-ahead log.
 	Persist *traveltime.PersistStats `json:"persist,omitempty"`
+	// Cluster is present when the server runs as a geo-sharded cluster
+	// node: its role, and per-shard replication state.
+	Cluster *ClusterStatus `json:"cluster,omitempty"`
+}
+
+// ClusterStatus reports one node's view of the cluster in /v1/healthz.
+type ClusterStatus struct {
+	// NodeID is this node's name in the static topology.
+	NodeID string `json:"nodeId"`
+	// Role is "leader" or "follower" (the node's configured role).
+	Role string `json:"role"`
+	// Shards lists every WAL lineage this node knows about: its own (as
+	// leader) and each one it replicates or has promoted.
+	Shards []ShardStatus `json:"shards,omitempty"`
+}
+
+// ShardStatus is the replication state of one geo-shard (one leader's WAL
+// lineage) as seen from the reporting node.
+type ShardStatus struct {
+	// Owner is the node currently owning the shard's ring range; after a
+	// failover it is the promoted survivor, not the original leader.
+	Owner string `json:"owner"`
+	// Origin is the node the lineage originally belonged to.
+	Origin string `json:"origin"`
+	// Local reports whether this node serves the shard (it is the owner).
+	Local bool `json:"local"`
+	// Promoted reports whether the shard moved here through a failover.
+	Promoted bool `json:"promoted"`
+	// ReplicationLagBytes is the leader's durable WAL frontier minus the
+	// acknowledged follower offset (leader view) or minus the local replica
+	// length (follower view). Zero means the replica is caught up.
+	ReplicationLagBytes int64 `json:"replicationLagBytes"`
+	// WALDurableBytes is the durable frontier of the shard's WAL.
+	WALDurableBytes int64 `json:"walDurableBytes"`
+	// Generation is the shard's persistence lineage generation.
+	Generation uint64 `json:"generation"`
 }
 
 // VehicleStatus is the live state of one tracked bus.
@@ -271,6 +308,13 @@ type AnomalyReport struct {
 	// Pos is the site's centre on the road.
 	Pos geo.Point `json:"pos"`
 }
+
+// ErrShardUnavailable signals that the cluster node owning a report's
+// route is temporarily unreachable (mid-failover, partitioned, or down and
+// not yet promoted). The HTTP layer maps it to 503 with a Retry-After
+// hint, which the client's retry loop honors. Defined here rather than in
+// the cluster package so the server can match it without importing cluster.
+var ErrShardUnavailable = errors.New("shard owner unavailable")
 
 // Error is the JSON error envelope.
 type Error struct {

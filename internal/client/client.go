@@ -1,32 +1,122 @@
 // Package client is the typed HTTP client for the WiLocator server API,
 // used by the simulated phones (report upload) and rider-facing tools
 // (vehicle, arrival and traffic-map queries).
+//
+// Calls retry transient failures — 429/503 responses (the server's load
+// shedding and cluster forwarding both use them, with a Retry-After hint
+// the client honors) and transport errors — with capped exponential
+// backoff and jitter. Every request of this API is safe to retry: reads
+// are idempotent and report upload is at-least-once by design (the
+// server's fusion window deduplicates by scan time, and the loadtest
+// harness already delivers duplicates on purpose).
 package client
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync"
 	"time"
 
 	"wilocator/internal/api"
+	"wilocator/internal/xrand"
 )
 
-// Client talks to one WiLocator server.
+// RetryConfig tunes the client's retry loop. The zero value selects the
+// defaults; NoRetry disables retrying entirely.
+type RetryConfig struct {
+	// MaxAttempts is the total number of tries for one call (1 = no
+	// retry). Default 3.
+	MaxAttempts int
+	// BaseDelay is the wait before the first retry; each further retry
+	// doubles it, capped at MaxDelay. The actual wait is jittered
+	// uniformly over [wait/2, wait] so a shedding server is not hit by a
+	// synchronized thundering herd of retriers. Defaults 100 ms and 2 s.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Sleep waits out one backoff period; nil selects a context-aware
+	// timer. Tests inject it to run the retry loop without real delays.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// Rand returns a uniform sample in [0,1) for jitter; nil selects a
+	// seeded PRNG. Tests inject it for deterministic waits.
+	Rand func() float64
+}
+
+// NoRetry disables retrying: every call makes exactly one attempt.
+var NoRetry = RetryConfig{MaxAttempts: 1}
+
+// A StatusError is a non-200 response from the server. Callers that relay
+// errors (the cluster's report forwarding) use the code to tell a
+// permanent rejection (4xx stays a 4xx at the edge) from an availability
+// failure worth retrying elsewhere.
+type StatusError struct {
+	Method     string
+	Path       string
+	StatusCode int
+	Message    string // the server's error envelope, if it sent one
+}
+
+func (e *StatusError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("client: %s %s: %s (status %d)", e.Method, e.Path, e.Message, e.StatusCode)
+	}
+	return fmt.Sprintf("client: %s %s: status %d", e.Method, e.Path, e.StatusCode)
+}
+
+func (c RetryConfig) withDefaults() RetryConfig {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.BaseDelay <= 0 {
+		c.BaseDelay = 100 * time.Millisecond
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 2 * time.Second
+	}
+	if c.Sleep == nil {
+		c.Sleep = sleepCtx
+	}
+	return c
+}
+
+// sleepCtx waits d or until the context ends, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Client talks to one WiLocator server. It is safe for concurrent use.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry RetryConfig
+
+	rngMu sync.Mutex // guards rng (xrand.Rand is not concurrency-safe)
+	rng   *xrand.Rand
 }
 
 // New creates a client for the server at baseURL (e.g.
 // "http://127.0.0.1:8080"). httpClient may be nil for a default with a 10 s
-// timeout.
+// timeout. The client retries transient failures with the default
+// RetryConfig; use NewWithRetry to tune or disable that.
 func New(baseURL string, httpClient *http.Client) (*Client, error) {
+	return NewWithRetry(baseURL, httpClient, RetryConfig{})
+}
+
+// NewWithRetry is New with an explicit retry policy.
+func NewWithRetry(baseURL string, httpClient *http.Client, retry RetryConfig) (*Client, error) {
 	u, err := url.Parse(baseURL)
 	if err != nil || u.Scheme == "" || u.Host == "" {
 		return nil, fmt.Errorf("client: invalid base URL %q", baseURL)
@@ -34,7 +124,18 @@ func New(baseURL string, httpClient *http.Client) (*Client, error) {
 	if httpClient == nil {
 		httpClient = &http.Client{Timeout: 10 * time.Second}
 	}
-	return &Client{base: u.String(), hc: httpClient}, nil
+	c := &Client{base: u.String(), hc: httpClient, retry: retry.withDefaults()}
+	if c.retry.Rand == nil {
+		// Jitter quality only needs to decorrelate clients; seeding from
+		// the wall clock is fine and keeps the package dependency-free.
+		c.rng = xrand.New(uint64(time.Now().UnixNano()))
+		c.retry.Rand = func() float64 {
+			c.rngMu.Lock()
+			defer c.rngMu.Unlock()
+			return c.rng.Float64()
+		}
+	}
+	return c, nil
 }
 
 // PostReport uploads one phone scan report.
@@ -132,38 +233,82 @@ func (c *Client) do(ctx context.Context, method, path string, q url.Values, in, 
 	if len(q) > 0 {
 		u += "?" + q.Encode()
 	}
-	var body io.Reader
+	var body []byte
 	if in != nil {
 		b, err := json.Marshal(in)
 		if err != nil {
 			return fmt.Errorf("client: marshal request: %w", err)
 		}
-		body = bytes.NewReader(b)
+		body = b
 	}
-	req, err := http.NewRequestWithContext(ctx, method, u, body)
+	wait := c.retry.BaseDelay
+	for attempt := 1; ; attempt++ {
+		err, retryable, retryAfter := c.attempt(ctx, method, path, u, in != nil, body, out)
+		if err == nil {
+			return nil
+		}
+		if !retryable || attempt >= c.retry.MaxAttempts || ctx.Err() != nil {
+			return err
+		}
+		d := wait
+		if retryAfter > 0 {
+			// The server knows how loaded it is; trust its hint, but never
+			// beyond the configured cap.
+			d = retryAfter
+		}
+		if d > c.retry.MaxDelay {
+			d = c.retry.MaxDelay
+		}
+		d = d/2 + time.Duration(c.retry.Rand()*float64(d/2))
+		if serr := c.retry.Sleep(ctx, d); serr != nil {
+			return err
+		}
+		wait *= 2
+		if wait > c.retry.MaxDelay {
+			wait = c.retry.MaxDelay
+		}
+	}
+}
+
+// attempt makes one HTTP round trip. retryable reports whether the failure
+// is transient (429/503 or a transport error on a live context); retryAfter
+// carries the server's Retry-After hint when it sent one.
+func (c *Client) attempt(ctx context.Context, method, path, u string, hasBody bool, body []byte, out any) (err error, retryable bool, retryAfter time.Duration) {
+	var rd io.Reader
+	if hasBody {
+		rd = bytes.NewReader(body) // fresh reader per attempt
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, rd)
 	if err != nil {
-		return fmt.Errorf("client: new request: %w", err)
+		return fmt.Errorf("client: new request: %w", err), false, 0
 	}
-	if in != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return fmt.Errorf("client: %s %s: %w", method, path, err)
+		// Transport errors (refused, reset, timeout) are worth retrying
+		// unless the caller's context itself ended.
+		retryable := !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+		return fmt.Errorf("client: %s %s: %w", method, path, err), retryable, 0
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		var apiErr api.Error
-		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Message != "" {
-			return fmt.Errorf("client: %s %s: %s (status %d)", method, path, apiErr.Message, resp.StatusCode)
+		retryable := resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable
+		if retryable {
+			if secs, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil && secs > 0 {
+				retryAfter = time.Duration(secs) * time.Second
+			}
 		}
-		return fmt.Errorf("client: %s %s: status %d", method, path, resp.StatusCode)
+		var apiErr api.Error
+		_ = json.NewDecoder(resp.Body).Decode(&apiErr)
+		return &StatusError{Method: method, Path: path, StatusCode: resp.StatusCode, Message: apiErr.Message}, retryable, retryAfter
 	}
 	if out == nil {
-		return nil
+		return nil, false, 0
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("client: decode response: %w", err)
+		return fmt.Errorf("client: decode response: %w", err), false, 0
 	}
-	return nil
+	return nil, false, 0
 }

@@ -1,0 +1,181 @@
+// Package cluster turns single-process WiLocator into a statically
+// configured, geo-sharded multi-node deployment (the ROADMAP's staged
+// multi-node item: static split → WAL follower → failover, landed as one
+// stage-1).
+//
+// # Model
+//
+// Buses are partitioned by route: a consistent-hash ring over the
+// topology's leader nodes maps every route ID to the node that ingests it,
+// so one city region (its routes, buses, travel-time history) lives on one
+// node and a node loss dims one region instead of the whole metro area.
+// Reports that arrive at the wrong node are forwarded to the owner over
+// the ordinary HTTP API with bounded retry/backoff; queries stay local to
+// each node's shard.
+//
+// Durability crosses nodes by WAL shipping: every node streams its
+// travel-time persistence lineage (snapshot + CRC-framed WAL, exactly the
+// on-disk format of traveltime.Persister) to every peer over a
+// length-prefixed, CRC-checked TCP stream. Followers fsync before acking,
+// so an acked offset is durable on both sides; the leader's durable
+// frontier minus the follower's acked offset is the replication lag,
+// exposed per shard on /metrics and in /v1/healthz.
+//
+// Failover is promotion of a shipped replica: when a node stops hearing
+// its leader for FailoverAfter, the designated survivor (lowest node ID
+// excluding the dead leader) opens the replica directory through
+// traveltime.OpenPersister — a connection torn mid-frame leaves exactly
+// the torn tail the PR-2 recovery path truncates — builds a fresh service
+// over the recovered store, and takes over the dead node's ring range.
+// Every surviving node re-routes the range to the survivor, so forwarding
+// converges without coordination. The design invariants (single-writer
+// WAL, ack-before-trim, idempotent replay) are recorded in DESIGN.md.
+//
+// Every RPC path in this package takes a caller context and bounds its
+// network operations with deadlines; the clusterctx wilint analyzer
+// enforces that no call site manufactures an unbounded
+// context.Background().
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Role is a node's static role in the topology.
+type Role string
+
+const (
+	// RoleLeader nodes own a range of the route ring and ingest for it.
+	RoleLeader Role = "leader"
+	// RoleFollower nodes own no ring range: they replicate every leader's
+	// WAL and exist to be promoted (a warm standby).
+	RoleFollower Role = "follower"
+)
+
+// NodeSpec describes one node of the static topology.
+type NodeSpec struct {
+	// ID is the node's unique name (also its shard label in metrics).
+	ID string
+	// Addr is the node's HTTP API base URL (e.g. "http://10.0.0.1:8421"),
+	// the target for forwarded reports.
+	Addr string
+	// ReplAddr is the host:port of the node's WAL-shipping listener.
+	ReplAddr string
+	// Role defaults to RoleLeader when empty.
+	Role Role
+}
+
+// Topology is the full static node set, identical on every node.
+type Topology struct {
+	Nodes []NodeSpec
+	// VNodes is the number of ring points per leader (default 64).
+	VNodes int
+}
+
+// Leaders returns the leader-role nodes sorted by ID (the ring members).
+func (t Topology) Leaders() []NodeSpec {
+	var out []NodeSpec
+	for _, n := range t.Nodes {
+		if n.Role == RoleLeader || n.Role == "" {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Node returns the spec of id.
+func (t Topology) Node(id string) (NodeSpec, bool) {
+	for _, n := range t.Nodes {
+		if n.ID == id {
+			return n, true
+		}
+	}
+	return NodeSpec{}, false
+}
+
+// Validate checks the topology is usable: unique non-empty IDs, at least
+// one leader, and addresses present on every node.
+func (t Topology) Validate() error {
+	if len(t.Nodes) < 2 {
+		return fmt.Errorf("cluster: topology needs at least 2 nodes, got %d", len(t.Nodes))
+	}
+	seen := map[string]bool{}
+	for _, n := range t.Nodes {
+		if n.ID == "" {
+			return fmt.Errorf("cluster: node with empty ID")
+		}
+		if seen[n.ID] {
+			return fmt.Errorf("cluster: duplicate node ID %q", n.ID)
+		}
+		seen[n.ID] = true
+		if n.ReplAddr == "" {
+			return fmt.Errorf("cluster: node %s has no replication address", n.ID)
+		}
+	}
+	if len(t.Leaders()) == 0 {
+		return fmt.Errorf("cluster: topology has no leader-role node")
+	}
+	return nil
+}
+
+// Survivor returns the designated promotion target for a dead node: the
+// lowest node ID in the topology excluding dead. Every node computes the
+// same answer from the same static topology, so re-routing converges
+// without coordination. ok is false when the topology holds no other node.
+func (t Topology) Survivor(dead string) (string, bool) {
+	best := ""
+	for _, n := range t.Nodes {
+		if n.ID == dead {
+			continue
+		}
+		if best == "" || n.ID < best {
+			best = n.ID
+		}
+	}
+	return best, best != ""
+}
+
+// ParsePeers parses the -peers flag form:
+//
+//	id=apiURL|replAddr[|role][,id=apiURL|replAddr[|role]...]
+//
+// e.g. "n1=http://10.0.0.1:8421|10.0.0.1:9421,n3=http://10.0.0.3:8421|10.0.0.3:9421|follower".
+// Role defaults to leader. The string must be identical on every node —
+// roles shape the ring, and rings must agree cluster-wide.
+func ParsePeers(s string) ([]NodeSpec, error) {
+	var out []NodeSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, rest, ok := strings.Cut(part, "=")
+		if !ok || id == "" {
+			return nil, fmt.Errorf("cluster: peer %q: want id=apiURL|replAddr[|role]", part)
+		}
+		apiURL, rest, ok := strings.Cut(rest, "|")
+		if !ok || apiURL == "" {
+			return nil, fmt.Errorf("cluster: peer %q: want id=apiURL|replAddr[|role]", part)
+		}
+		replAddr, roleStr, _ := strings.Cut(rest, "|")
+		if replAddr == "" {
+			return nil, fmt.Errorf("cluster: peer %q: want id=apiURL|replAddr[|role]", part)
+		}
+		role := RoleLeader
+		switch roleStr {
+		case "", string(RoleLeader):
+		case string(RoleFollower):
+			role = RoleFollower
+		default:
+			return nil, fmt.Errorf("cluster: peer %q: unknown role %q", part, roleStr)
+		}
+		out = append(out, NodeSpec{ID: id, Addr: apiURL, ReplAddr: replAddr, Role: role})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cluster: empty peer list")
+	}
+	return out, nil
+}

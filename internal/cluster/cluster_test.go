@@ -1,0 +1,568 @@
+// Integration tests of the geo-sharded cluster: WAL shipping, lag
+// observability, partition behaviour, and the failover-equivalence
+// acceptance — kill a leader mid-fleet-replay and require the promoted
+// survivor to converge on exactly the state an unkilled run produces.
+package cluster_test
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wilocator/internal/api"
+	"wilocator/internal/cluster"
+	"wilocator/internal/loadtest"
+	"wilocator/internal/obs"
+	"wilocator/internal/server"
+	"wilocator/internal/traveltime"
+)
+
+// clusterSpec mirrors the chaos harness's fleet sizing.
+func clusterSpec() loadtest.StreamSpec {
+	spec := loadtest.StreamSpec{
+		Buses:   8,
+		Phones:  3,
+		Seed:    7,
+		Horizon: 10 * time.Minute,
+	}
+	if testing.Short() {
+		spec.Buses = 4
+		spec.Horizon = 5 * time.Minute
+	}
+	return spec
+}
+
+var worldOnce struct {
+	sync.Once
+	w   *loadtest.World
+	err error
+}
+
+func testWorld(t *testing.T) *loadtest.World {
+	t.Helper()
+	worldOnce.Do(func() { worldOnce.w, worldOnce.err = loadtest.BuildWorld(7) })
+	if worldOnce.err != nil {
+		t.Fatal(worldOnce.err)
+	}
+	return worldOnce.w
+}
+
+// switchable lets an httptest server exist before the node it routes to.
+type switchable struct{ h atomic.Pointer[http.Handler] }
+
+func (s *switchable) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h := s.h.Load(); h != nil {
+		(*h).ServeHTTP(w, r)
+		return
+	}
+	http.Error(w, "starting", http.StatusServiceUnavailable)
+}
+
+type testNode struct {
+	id   string
+	ps   *loadtest.PersistentService // nil for a pure follower
+	node *cluster.Node
+	reg  *obs.Registry
+	api  *httptest.Server
+
+	mu       sync.Mutex
+	promoted []*traveltime.Store // stores built by the promotion callback
+}
+
+func (tn *testNode) promotedStores() []*traveltime.Store {
+	tn.mu.Lock()
+	defer tn.mu.Unlock()
+	return append([]*traveltime.Store(nil), tn.promoted...)
+}
+
+type clusterOpts struct {
+	roles            map[string]cluster.Role
+	preListeners     map[string]net.Listener // pre-bound repl listeners (chaos proxies dial these)
+	replAddrOverride map[string]string       // topology ReplAddr (e.g. a ChaosLink front)
+	heartbeat        time.Duration
+	failoverAfter    time.Duration
+}
+
+// startCluster brings up one node per id over a shared world, each with
+// its own WAL-backed service (SyncEvery 1), metrics registry, replication
+// listener and HTTP API, fully cross-connected.
+func startCluster(t *testing.T, w *loadtest.World, now func() time.Time, ids []string, opts clusterOpts) map[string]*testNode {
+	t.Helper()
+	if opts.heartbeat == 0 {
+		opts.heartbeat = 50 * time.Millisecond
+	}
+	if opts.failoverAfter == 0 {
+		opts.failoverAfter = 30 * time.Second
+	}
+	nodes := map[string]*testNode{}
+	listeners := map[string]net.Listener{}
+	switchables := map[string]*switchable{}
+	var topo cluster.Topology
+	for _, id := range ids {
+		lst := opts.preListeners[id]
+		if lst == nil {
+			var err error
+			lst, err = net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		listeners[id] = lst
+		sw := &switchable{}
+		ts := httptest.NewServer(sw)
+		switchables[id] = sw
+		replAddr := lst.Addr().String()
+		if ov := opts.replAddrOverride[id]; ov != "" {
+			replAddr = ov
+		}
+		topo.Nodes = append(topo.Nodes, cluster.NodeSpec{ID: id, Addr: ts.URL, ReplAddr: replAddr, Role: opts.roles[id]})
+		nodes[id] = &testNode{id: id, api: ts}
+	}
+	for _, id := range ids {
+		tn := nodes[id]
+		tn.reg = obs.NewRegistry()
+		wake := cluster.NewWakeup()
+		if opts.roles[id] != cluster.RoleFollower {
+			ps, err := loadtest.NewPersistentService(w, filepath.Join(t.TempDir(), id),
+				server.Config{Now: now, Metrics: tn.reg},
+				traveltime.PersistConfig{SyncEvery: 1, OnDurable: wake.Poke})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tn.ps = ps
+		}
+		cfg := cluster.Config{
+			Self:        id,
+			Topology:    topo,
+			ReplicaRoot: filepath.Join(t.TempDir(), id+"-replicas"),
+			Wake:        wake,
+			NewStore:    func() *traveltime.Store { return traveltime.NewStore(traveltime.PaperPlan()) },
+			NewService: func(store *traveltime.Store, sink func(traveltime.Record) error, stats func() traveltime.PersistStats) (*server.Service, error) {
+				tn.mu.Lock()
+				tn.promoted = append(tn.promoted, store)
+				tn.mu.Unlock()
+				return server.NewService(w.Dia, store, server.Config{Now: now, Sink: sink, PersistStats: stats})
+			},
+			Persist:        traveltime.PersistConfig{SyncEvery: 1},
+			HeartbeatEvery: opts.heartbeat,
+			FailoverAfter:  opts.failoverAfter,
+			Metrics:        tn.reg,
+			Logf:           t.Logf,
+			Listener:       listeners[id],
+		}
+		if tn.ps != nil {
+			cfg.Service = tn.ps.Svc
+			cfg.Persister = tn.ps.Persist
+		}
+		node, err := cluster.NewNode(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := node.Start(t.Context()); err != nil {
+			t.Fatal(err)
+		}
+		tn.node = node
+		var h http.Handler
+		if tn.ps != nil {
+			tn.ps.Svc.SetClusterStatus(node.Status)
+			h = server.NewHandler(tn.ps.Svc, server.HandlerConfig{Router: node})
+		} else {
+			h = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				http.Error(w, "standby", http.StatusServiceUnavailable)
+			})
+		}
+		switchables[id].h.Store(&h)
+	}
+	t.Cleanup(func() {
+		for _, tn := range nodes {
+			tn.api.Close()
+			tn.node.Close()
+			if tn.ps != nil {
+				_ = tn.ps.Persist.Close() // killed-leader persisters may be abandoned
+			}
+		}
+	})
+	return nodes
+}
+
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// shardLag reads origin's replication lag from n's health status.
+func shardLag(n *cluster.Node, origin string) (int64, bool) {
+	for _, sh := range n.Status().Shards {
+		if sh.Origin == origin {
+			return sh.ReplicationLagBytes, true
+		}
+	}
+	return 0, false
+}
+
+// scrapeMetric fetches /metrics over HTTP and returns the value of the
+// series whose exposition line starts with prefix (name + label set).
+func scrapeMetric(t *testing.T, ts *httptest.Server, prefix string) (float64, bool) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + api.PathMetrics)
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			t.Fatalf("unparseable metric line %q", line)
+		}
+		return v, true
+	}
+	return 0, false
+}
+
+// replayVia aliases the loadtest delivery-function replay so cluster
+// dispatch and per-shard reference services see identical subsequences.
+var replayVia = loadtest.ReplayVia
+
+// TestFailoverEquivalence is the cluster's acceptance test: run half the
+// fleet through a 2-leader cluster (mis-routed reports forwarded over
+// HTTP), kill one leader, and require (a) the survivor promotes the
+// shipped replica into exactly the state an unkilled per-shard reference
+// run holds at the kill point, (b) the resumed cluster run and the
+// reference's own crash-resume converge to identical final stores and
+// tallies, and (c) replication lag is observable in /metrics before the
+// kill and leadership/lag after the promotion.
+func TestFailoverEquivalence(t *testing.T) {
+	w := testWorld(t)
+	spec := clusterSpec()
+	streams, err := loadtest.GenStreams(w, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := loadtest.FixedClock(loadtest.T0.Add(spec.Horizon))
+	nodes := startCluster(t, w, now, []string{"n1", "n2"}, clusterOpts{failoverAfter: 2 * time.Second})
+	n1, n2 := nodes["n1"], nodes["n2"]
+
+	// The route partition must actually split across both leaders, or the
+	// test is vacuous. Deterministic: same seed, same ring, same split.
+	origins := map[string]int{}
+	for _, st := range streams {
+		_, origin := n1.node.OwnerOf(st.RouteID)
+		origins[origin]++
+	}
+	if len(origins) < 2 {
+		t.Fatalf("all routes hashed to one node (%v); pick another seed", origins)
+	}
+	t.Logf("route split across leaders: %v", origins)
+
+	total := loadtest.TotalReports(streams)
+	crashAt := total / 2
+
+	// Reference: one uninterrupted service per shard, fed exactly the
+	// per-shard subsequences of the same global round-robin order.
+	refSvc := map[string]*server.Service{}
+	refStore := map[string]*traveltime.Store{}
+	for _, id := range []string{"n1", "n2"} {
+		svc, store, err := loadtest.NewService(w, server.Config{Now: now})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refSvc[id], refStore[id] = svc, store
+	}
+	refDeliver := func(rep api.Report) (api.IngestResponse, error) {
+		_, origin := n1.node.OwnerOf(rep.RouteID)
+		return refSvc[origin].Ingest(rep)
+	}
+	refTally1 := replayVia(streams, 0, crashAt, refDeliver)
+	if refTally1.Errors != 0 {
+		t.Fatalf("reference replay errored: %v", refTally1)
+	}
+
+	// Clustered phase 1: every report enters at n1; n2-owned ones are
+	// forwarded over the real HTTP API.
+	ctx := t.Context()
+	liveDeliver := func(rep api.Report) (api.IngestResponse, error) {
+		resp, _, err := n1.node.Dispatch(ctx, rep)
+		return resp, err
+	}
+	liveTally1 := replayVia(streams, 0, crashAt, liveDeliver)
+	if liveTally1 != refTally1 {
+		t.Fatalf("clustered tallies diverged before the kill:\n  cluster   %v\n  reference %v", liveTally1, refTally1)
+	}
+	if fwd, ok := scrapeMetric(t, n1.api, `wilocator_cluster_forwarded_reports_total{result="ok"}`); !ok || fwd == 0 {
+		t.Fatalf("no reports were forwarded (metric present=%v value=%v); routing is not exercising the cluster", ok, fwd)
+	}
+
+	// Drain replication: with fsync-per-record and acked-before-trim, lag 0
+	// means every durable byte of each leader is fsynced on its follower.
+	waitFor(t, 30*time.Second, "replication drained", func() bool {
+		l1, ok1 := shardLag(n1.node, "n1")
+		l2, ok2 := shardLag(n2.node, "n2")
+		return ok1 && ok2 && l1 == 0 && l2 == 0
+	})
+
+	// Lag must be OBSERVABLE in /metrics before the kill — both from the
+	// leader (its shard, acked view) and the follower (replica view).
+	if v, ok := scrapeMetric(t, n2.api, `wilocator_cluster_replication_lag_bytes{shard="n2"}`); !ok || v != 0 {
+		t.Fatalf("leader-side lag gauge for n2: present=%v value=%v, want 0", ok, v)
+	}
+	if v, ok := scrapeMetric(t, n1.api, `wilocator_cluster_replication_lag_bytes{shard="n2"}`); !ok || v != 0 {
+		t.Fatalf("follower-side lag gauge for n2 on n1: present=%v value=%v, want 0", ok, v)
+	}
+	if v, ok := scrapeMetric(t, n1.api, `wilocator_cluster_is_leader{shard="n2"}`); !ok || v != 0 {
+		t.Fatalf("n1 claims leadership of n2's shard before the kill (present=%v value=%v)", ok, v)
+	}
+
+	// Kill -9 the n2 leader mid-fleet: listener, streams and context die;
+	// its persister is abandoned un-flushed, exactly like a dead process.
+	n2.api.Close()
+	n2.node.Kill()
+
+	waitFor(t, 30*time.Second, "n1 to promote n2's replica", func() bool {
+		_, _, ok := n1.node.Shard("n2")
+		return ok
+	})
+	if p, ok := scrapeMetric(t, n1.api, `wilocator_cluster_promotions_total`); !ok || p != 1 {
+		t.Fatalf("promotions counter = %v (present=%v), want 1", p, ok)
+	}
+	if v, ok := scrapeMetric(t, n1.api, `wilocator_cluster_is_leader{shard="n2"}`); !ok || v != 1 {
+		t.Fatalf("post-promotion leadership gauge = %v (present=%v), want 1", v, ok)
+	}
+	if v, ok := scrapeMetric(t, n1.api, `wilocator_cluster_replication_lag_bytes{shard="n2"}`); !ok || v != 0 {
+		t.Fatalf("post-promotion lag gauge = %v (present=%v), want 0", v, ok)
+	}
+
+	// (a) The promoted store must equal the unkilled reference at the kill
+	// point: every record the dead leader made durable was shipped, fsynced
+	// and replayed through the standard recovery path.
+	promoted := n1.promotedStores()
+	if len(promoted) != 1 {
+		t.Fatalf("promotion built %d stores, want 1", len(promoted))
+	}
+	if err := traveltime.Diff(refStore["n2"], promoted[0], 1e-9); err != nil {
+		t.Fatalf("promoted store diverges from the unkilled run at the kill point: %v", err)
+	}
+
+	// (b) Resume the fleet. Cluster side: same entry point — n2's routes
+	// now land on n1's promoted service. Reference side: the crash loses
+	// tracker state, so the reference resumes n2's shard through a fresh
+	// service over the same store (the repo's standard crash-resume
+	// equivalence; see loadtest's chaos tests).
+	resumed, err := server.NewService(w.Dia, refStore["n2"], server.Config{Now: now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSvc["n2"] = resumed
+	refTally2 := replayVia(streams, crashAt, -1, refDeliver)
+	liveTally2 := replayVia(streams, crashAt, -1, liveDeliver)
+	if liveTally2 != refTally2 {
+		t.Fatalf("post-promotion tallies diverged:\n  cluster   %v\n  reference %v", liveTally2, refTally2)
+	}
+
+	if err := traveltime.Diff(refStore["n1"], n1.ps.Store, 1e-9); err != nil {
+		t.Fatalf("surviving shard diverged from reference: %v", err)
+	}
+	if err := traveltime.Diff(refStore["n2"], promoted[0], 1e-9); err != nil {
+		t.Fatalf("promoted shard diverged from reference after resume: %v", err)
+	}
+	t.Logf("converged: phase1 %v + phase2 %v across a leader kill", liveTally1, liveTally2)
+}
+
+// TestClusterPartitionLagAndResync drives the partition and slow-follower
+// fault injectors: a partitioned follower freezes its ack while the leader
+// keeps ingesting (lag grows and is visible), healing drains the lag, a
+// slow link still converges, and a snapshot rotation mid-stream forces a
+// full resync the follower installs.
+func TestClusterPartitionLagAndResync(t *testing.T) {
+	w := testWorld(t)
+	spec := clusterSpec()
+	streams, err := loadtest.GenStreams(w, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := loadtest.FixedClock(loadtest.T0.Add(spec.Horizon))
+
+	// n2's replication traffic runs through a chaos proxy: n1 dials the
+	// link, the link dials n2's real listener.
+	lst2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	link, err := loadtest.NewChaosLink(lst2.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link.Close()
+	nodes := startCluster(t, w, now, []string{"n1", "n2"}, clusterOpts{
+		preListeners:     map[string]net.Listener{"n2": lst2},
+		replAddrOverride: map[string]string{"n2": link.Addr()},
+		// Partitions in this test must never trip a failover.
+		failoverAfter: 5 * time.Minute,
+	})
+	n1, n2 := nodes["n1"], nodes["n2"]
+
+	ctx := t.Context()
+	deliver := func(rep api.Report) (api.IngestResponse, error) {
+		resp, _, err := n2.node.Dispatch(ctx, rep)
+		return resp, err
+	}
+
+	total := loadtest.TotalReports(streams)
+	step := total / 4
+	if tl := replayVia(streams, 0, step, deliver); tl.Errors != 0 {
+		t.Fatalf("ingest errored: %v", tl)
+	}
+	waitFor(t, 30*time.Second, "initial replication drain", func() bool {
+		lag, ok := shardLag(n2.node, "n2")
+		return ok && lag == 0
+	})
+
+	// Partition: the follower's ack freezes, the leader keeps committing —
+	// lag must grow and stay visible from the leader.
+	link.Partition(true)
+	if tl := replayVia(streams, step, step, deliver); tl.Errors != 0 {
+		t.Fatalf("ingest during partition errored: %v", tl)
+	}
+	if err := n2.ps.Persist.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	lag, ok := shardLag(n2.node, "n2")
+	if !ok || lag <= 0 {
+		t.Fatalf("leader-side lag during partition = %d (ok=%v), want > 0", lag, ok)
+	}
+	t.Logf("partition lag: %d bytes", lag)
+
+	// Heal: the follower reconnects from its last offset and catches up.
+	link.Partition(false)
+	waitFor(t, 30*time.Second, "post-heal replication drain", func() bool {
+		lag, ok := shardLag(n2.node, "n2")
+		return ok && lag == 0
+	})
+
+	// Slow link: throughput drops but replication still converges.
+	link.SetDelay(2 * time.Millisecond)
+	if tl := replayVia(streams, 2*step, step, deliver); tl.Errors != 0 {
+		t.Fatalf("ingest over slow link errored: %v", tl)
+	}
+	waitFor(t, 60*time.Second, "slow-link replication drain", func() bool {
+		lag, ok := shardLag(n2.node, "n2")
+		return ok && lag == 0
+	})
+	link.SetDelay(0)
+
+	// Snapshot rotation mid-stream: the shipped generation disappears, the
+	// shipper must resync with a full snapshot and the follower must land
+	// on the new generation with zero lag.
+	if err := n2.ps.Persist.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	gen, _ := n2.ps.Persist.ShipState()
+	if tl := replayVia(streams, 3*step, -1, deliver); tl.Errors != 0 {
+		t.Fatalf("ingest after rotation errored: %v", tl)
+	}
+	waitFor(t, 30*time.Second, "post-rotation resync", func() bool {
+		for _, sh := range n1.node.Status().Shards {
+			if sh.Origin == "n2" {
+				return sh.Generation == gen && sh.ReplicationLagBytes == 0
+			}
+		}
+		return false
+	})
+	t.Logf("follower resynced to generation %d", gen)
+}
+
+// TestClusterForwardingUnavailable: with the owner down and nobody
+// promoted, dispatch must degrade into the retryable unavailability error
+// (HTTP 503 + Retry-After through the handler) rather than hang or panic.
+func TestClusterForwardingUnavailable(t *testing.T) {
+	w := testWorld(t)
+	spec := clusterSpec()
+	spec.Buses = 2
+	spec.Horizon = 2 * time.Minute
+	streams, err := loadtest.GenStreams(w, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := loadtest.FixedClock(loadtest.T0.Add(spec.Horizon))
+	nodes := startCluster(t, w, now, []string{"n1", "n2"}, clusterOpts{failoverAfter: 5 * time.Minute})
+	n1, n2 := nodes["n1"], nodes["n2"]
+
+	// Find a report owned by n2.
+	var foreign *api.Report
+	for _, st := range streams {
+		if owner, _ := n1.node.OwnerOf(st.RouteID); owner == "n2" {
+			foreign = &st.Reports[0]
+			break
+		}
+	}
+	if foreign == nil {
+		t.Skip("no route owned by n2 under this seed")
+	}
+
+	// While the owner is alive, its REJECTION of a forwarded report must
+	// pass through as the owner's verdict (400), never be dressed up as a
+	// retryable 503 — the forward itself worked.
+	var bogusRoute string
+	for i := 0; ; i++ {
+		cand := fmt.Sprintf("no-such-route-%d", i)
+		if owner, _ := n1.node.OwnerOf(cand); owner == "n2" {
+			bogusRoute = cand
+			break
+		}
+	}
+	resp0, err := n1.api.Client().Post(n1.api.URL+api.PathReports, "application/json",
+		strings.NewReader(fmt.Sprintf(`{"busId":"b","routeId":%q,"phoneId":"p","scan":{"time":"2016-03-07T09:00:00Z"}}`, bogusRoute)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp0.Body.Close()
+	if resp0.StatusCode != http.StatusBadRequest {
+		t.Fatalf("forwarded unknown-route report: status %d, want 400 (the owner's verdict)", resp0.StatusCode)
+	}
+
+	// Now take n2 down without failover.
+	n2.api.Close()
+	n2.node.Kill()
+
+	ctx := t.Context()
+	resp, err := n1.api.Client().Post(n1.api.URL+api.PathReports, "application/json",
+		strings.NewReader(fmt.Sprintf(`{"busId":%q,"routeId":%q,"phoneId":"p","scan":{"time":"2016-03-07T09:00:00Z"}}`,
+			foreign.BusID, foreign.RouteID)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("dispatch to a dead owner: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("503 without a Retry-After hint")
+	}
+	_, forwarded, derr := n1.node.Dispatch(ctx, *foreign)
+	if derr == nil || !forwarded {
+		t.Fatalf("Dispatch = forwarded=%v err=%v, want forwarded unavailability error", forwarded, derr)
+	}
+}

@@ -1,0 +1,646 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wilocator/internal/api"
+	"wilocator/internal/client"
+	"wilocator/internal/obs"
+	"wilocator/internal/server"
+	"wilocator/internal/traveltime"
+)
+
+// Wakeup broadcasts "the durable frontier advanced" from a persister to
+// every shipping connection. The caller creates it first, wires Poke into
+// traveltime.PersistConfig.OnDurable, and hands it to Config.Wake; without
+// one the shippers fall back to heartbeat-paced polling.
+type Wakeup struct {
+	mu sync.Mutex
+	ch chan struct{}
+}
+
+// NewWakeup returns a ready Wakeup.
+func NewWakeup() *Wakeup { return &Wakeup{ch: make(chan struct{})} }
+
+// Poke signals every waiter. It matches PersistConfig.OnDurable and is
+// called with the persister's lock held, so it only swaps a channel.
+func (w *Wakeup) Poke(gen uint64, durable int64) {
+	w.mu.Lock()
+	close(w.ch)
+	w.ch = make(chan struct{})
+	w.mu.Unlock()
+}
+
+// wait returns a channel closed at the next Poke. Grab it BEFORE reading
+// the frontier you plan to act on, so an advance between the read and the
+// select is never missed.
+func (w *Wakeup) wait() <-chan struct{} {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.ch
+}
+
+// Config assembles one cluster node.
+type Config struct {
+	// Self is this node's ID in Topology.
+	Self string
+	// Topology is the full static node set, identical on every node.
+	Topology Topology
+	// ReplicaRoot is the directory under which replicas of peer WALs live
+	// (one subdirectory per peer, see traveltime.ReplicaDirFor).
+	ReplicaRoot string
+
+	// Service ingests this node's own shard; Persister is its WAL (the
+	// lineage shipped to peers). Both nil on a pure follower node.
+	Service   *server.Service
+	Persister *traveltime.Persister
+	// Wake, when set, wakes shippers on fsync instead of polling; wire its
+	// Poke into the Persister's PersistConfig.OnDurable.
+	Wake *Wakeup
+
+	// NewStore and NewService build the replacement shard at promotion:
+	// NewStore a fresh travel-time store for recovery to fill, NewService
+	// the serving stack over it. The sink and stats arguments come from the
+	// promoted persister. NewService implementations must not reuse an
+	// obs.Registry already holding a service's instruments (pass nil).
+	NewStore   func() *traveltime.Store
+	NewService func(store *traveltime.Store, sink func(traveltime.Record) error, stats func() traveltime.PersistStats) (*server.Service, error)
+	// Persist configures the promoted persister (SyncEvery etc.).
+	Persist traveltime.PersistConfig
+
+	// HeartbeatEvery paces leader heartbeats on idle streams (default
+	// 500 ms). FailoverAfter is how long a follower tolerates silence from
+	// a leader before declaring it dead (default 3 s; must comfortably
+	// exceed HeartbeatEvery). DialTimeout bounds one connect attempt
+	// (default 1 s) and WriteTimeout one stream write (default 5 s).
+	HeartbeatEvery time.Duration
+	FailoverAfter  time.Duration
+	DialTimeout    time.Duration
+	WriteTimeout   time.Duration
+
+	// ForwardTimeout bounds one forwarded report end to end, retries
+	// included (default 5 s); Retry tunes the forwarding client's backoff.
+	ForwardTimeout time.Duration
+	Retry          client.RetryConfig
+
+	// Metrics, when set, receives the cluster instruments (replication lag,
+	// leadership, promotions, forwards).
+	Metrics *obs.Registry
+	// Logf, when set, receives cluster lifecycle events (connects,
+	// resyncs, failovers). Nil silences them.
+	Logf func(format string, args ...any)
+	// DisablePromotion keeps this node a permanent follower: it tracks
+	// leader loss and re-routes, but never promotes a replica itself.
+	DisablePromotion bool
+	// Listener, when set, is the pre-bound replication listener (tests use
+	// one to grab a free port); otherwise the node listens on Self's
+	// ReplAddr.
+	Listener net.Listener
+}
+
+func (c Config) withDefaults() Config {
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 500 * time.Millisecond
+	}
+	if c.FailoverAfter <= 0 {
+		c.FailoverAfter = 3 * time.Second
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 5 * time.Second
+	}
+	if c.ForwardTimeout <= 0 {
+		c.ForwardTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// activeShard is one geo-shard this node serves: its own, or a replica it
+// promoted after the origin leader died.
+type activeShard struct {
+	origin   string // lineage origin node ID
+	svc      *server.Service
+	persist  *traveltime.Persister
+	promoted bool
+}
+
+// followerTrack is the leader-side replication state of one follower. The
+// acked offset survives disconnects deliberately: during a partition the
+// durable frontier keeps advancing over a frozen ack, so the lag gauge
+// grows — exactly the signal an operator needs.
+type followerTrack struct {
+	gen       uint64
+	acked     int64
+	connected bool
+}
+
+// Node is one member of the cluster: it serves its ring range locally,
+// forwards mis-routed reports to their owners, ships its WAL to every
+// peer, replicates every peer's WAL, and promotes a replica when its
+// leader dies. Start it once; Dispatch is safe for concurrent use.
+type Node struct {
+	cfg  Config
+	self NodeSpec
+	ring *Ring
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	lst    net.Listener
+	wg     sync.WaitGroup
+
+	mu        sync.Mutex
+	active    map[string]*activeShard   // origin node ID → shard served here
+	runners   map[string]*replicaRunner // leader node ID → replication runner
+	overrides map[string]string         // dead node ID → survivor (ring patch)
+	followers map[string]*followerTrack // follower node ID → ack track
+	conns     map[net.Conn]struct{}     // live stream conns, closed on Kill
+	clients   map[string]*client.Client // node ID → forwarding client
+	killed    bool
+
+	promotions atomic.Uint64
+	forwardOK  atomic.Uint64
+	forwardErr atomic.Uint64
+}
+
+// NewNode validates cfg and assembles a node. Call Start to go live.
+func NewNode(cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Topology.Validate(); err != nil {
+		return nil, err
+	}
+	self, ok := cfg.Topology.Node(cfg.Self)
+	if !ok {
+		return nil, fmt.Errorf("cluster: self %q not in topology", cfg.Self)
+	}
+	isLeader := self.Role == RoleLeader || self.Role == ""
+	if isLeader && (cfg.Service == nil || cfg.Persister == nil) {
+		return nil, fmt.Errorf("cluster: leader node %s needs Service and Persister", cfg.Self)
+	}
+	if cfg.NewStore == nil || cfg.NewService == nil {
+		return nil, fmt.Errorf("cluster: NewStore and NewService are required (promotion path)")
+	}
+	if cfg.ReplicaRoot == "" {
+		return nil, fmt.Errorf("cluster: ReplicaRoot is required")
+	}
+	leaders := cfg.Topology.Leaders()
+	ids := make([]string, len(leaders))
+	for i, l := range leaders {
+		ids[i] = l.ID
+	}
+	n := &Node{
+		cfg:       cfg,
+		self:      self,
+		ring:      newRing(ids, cfg.Topology.VNodes),
+		active:    map[string]*activeShard{},
+		runners:   map[string]*replicaRunner{},
+		overrides: map[string]string{},
+		followers: map[string]*followerTrack{},
+		conns:     map[net.Conn]struct{}{},
+		clients:   map[string]*client.Client{},
+	}
+	if isLeader {
+		n.active[self.ID] = &activeShard{origin: self.ID, svc: cfg.Service, persist: cfg.Persister}
+	}
+	return n, nil
+}
+
+// Start opens the replication listener, connects to every peer leader, and
+// begins shipping and replicating. ctx bounds the node's lifetime.
+func (n *Node) Start(ctx context.Context) error {
+	n.ctx, n.cancel = context.WithCancel(ctx)
+	lst := n.cfg.Listener
+	if lst == nil {
+		var err error
+		lst, err = (&net.ListenConfig{}).Listen(n.ctx, "tcp", n.self.ReplAddr)
+		if err != nil {
+			return fmt.Errorf("cluster: listen %s: %w", n.self.ReplAddr, err)
+		}
+	}
+	n.lst = lst
+	// One replica runner per peer leader; the replica directory recovers
+	// any state left by a previous process incarnation.
+	for _, l := range n.cfg.Topology.Leaders() {
+		if l.ID == n.self.ID {
+			continue
+		}
+		rep, err := traveltime.OpenReplica(traveltime.ReplicaDirFor(n.cfg.ReplicaRoot, l.ID))
+		if err != nil {
+			lst.Close()
+			return fmt.Errorf("cluster: open replica of %s: %w", l.ID, err)
+		}
+		r := newReplicaRunner(n, l, rep)
+		n.runners[l.ID] = r
+		n.wg.Add(1)
+		go func() { defer n.wg.Done(); r.run(n.ctx) }()
+	}
+	n.registerMetrics()
+	n.wg.Add(1)
+	go func() { defer n.wg.Done(); n.acceptLoop() }()
+	return nil
+}
+
+// ReplListenAddr is the bound address of the replication listener.
+func (n *Node) ReplListenAddr() string { return n.lst.Addr().String() }
+
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logf != nil {
+		n.cfg.Logf(format, args...)
+	}
+}
+
+func (n *Node) acceptLoop() {
+	for {
+		conn, err := n.lst.Accept()
+		if err != nil {
+			return // listener closed (Kill/Close)
+		}
+		if !n.trackConn(conn) {
+			conn.Close()
+			return
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			defer n.untrackConn(conn)
+			n.serveShip(conn)
+		}()
+	}
+}
+
+// trackConn registers a live stream connection so Kill can sever it; it
+// refuses (returns false) once the node is killed or closed.
+func (n *Node) trackConn(c net.Conn) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.killed {
+		return false
+	}
+	n.conns[c] = struct{}{}
+	return true
+}
+
+func (n *Node) untrackConn(c net.Conn) {
+	c.Close()
+	n.mu.Lock()
+	delete(n.conns, c)
+	n.mu.Unlock()
+}
+
+// ownerOf resolves a route's current owner: ring owner, patched by any
+// failover override. origin is the lineage the route's history lives in.
+func (n *Node) ownerOf(routeID string) (owner, origin string) {
+	origin = n.ring.Owner(routeID)
+	owner = origin
+	n.mu.Lock()
+	if ov := n.overrides[origin]; ov != "" {
+		owner = ov
+	}
+	n.mu.Unlock()
+	return owner, origin
+}
+
+// OwnerOf reports who currently owns routeID's reports (after any
+// failover overrides) and the lineage origin it hashes to on the static
+// ring. Tests and operators use it to see the partition.
+func (n *Node) OwnerOf(routeID string) (owner, origin string) {
+	return n.ownerOf(routeID)
+}
+
+// Dispatch ingests a report on the shard owning its route, forwarding to
+// the owner node when that is not this one. forwarded reports whether the
+// report left this node. It implements server.Router.
+func (n *Node) Dispatch(ctx context.Context, rep api.Report) (api.IngestResponse, bool, error) {
+	owner, origin := n.ownerOf(rep.RouteID)
+	if owner == n.self.ID {
+		n.mu.Lock()
+		sh := n.active[origin]
+		n.mu.Unlock()
+		if sh == nil {
+			// We are the designated survivor but the promotion has not
+			// completed yet (replica still replaying).
+			return api.IngestResponse{}, false, fmt.Errorf("%w: shard %s promoting on %s", api.ErrShardUnavailable, origin, n.self.ID)
+		}
+		resp, err := sh.svc.IngestCtx(ctx, rep)
+		return resp, false, err
+	}
+	// Validate before forwarding: a malformed report must answer 400 here,
+	// not burn a retry loop against the owner.
+	if err := rep.Validate(); err != nil {
+		return api.IngestResponse{}, false, err
+	}
+	cl, err := n.forwardClient(owner)
+	if err != nil {
+		n.forwardErr.Add(1)
+		return api.IngestResponse{}, true, fmt.Errorf("%w: %v", api.ErrShardUnavailable, err)
+	}
+	fctx, cancel := context.WithTimeout(ctx, n.cfg.ForwardTimeout)
+	defer cancel()
+	resp, err := cl.PostReport(fctx, rep)
+	if err != nil {
+		// A 4xx (other than 429, which the client already retried) is the
+		// owner REJECTING the report, not failing to serve it: the forward
+		// itself worked, and the verdict must surface unchanged — wrapping
+		// it in ErrShardUnavailable would turn a permanent 400 into a
+		// retryable 503 at the edge.
+		var se *client.StatusError
+		if errors.As(err, &se) && se.StatusCode >= 400 && se.StatusCode < 500 &&
+			se.StatusCode != http.StatusTooManyRequests {
+			n.forwardOK.Add(1)
+			msg := se.Message
+			if msg == "" {
+				msg = fmt.Sprintf("status %d", se.StatusCode)
+			}
+			return api.IngestResponse{}, true, fmt.Errorf("owner %s: %s", owner, msg)
+		}
+		n.forwardErr.Add(1)
+		return api.IngestResponse{}, true, fmt.Errorf("%w: forward to %s: %v", api.ErrShardUnavailable, owner, err)
+	}
+	n.forwardOK.Add(1)
+	return resp, true, nil
+}
+
+// forwardClient returns (building on first use) the API client for a node.
+func (n *Node) forwardClient(id string) (*client.Client, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if cl := n.clients[id]; cl != nil {
+		return cl, nil
+	}
+	spec, ok := n.cfg.Topology.Node(id)
+	if !ok || spec.Addr == "" {
+		return nil, fmt.Errorf("cluster: no API address for node %q", id)
+	}
+	cl, err := client.NewWithRetry(spec.Addr, nil, n.cfg.Retry)
+	if err != nil {
+		return nil, err
+	}
+	n.clients[id] = cl
+	return cl, nil
+}
+
+// noteLeaderLoss records a dead leader and re-routes its range to the
+// designated survivor. Every node calls this independently from its own
+// silence detector and computes the same survivor, so routing converges
+// without coordination. Returns true when this node is the survivor.
+func (n *Node) noteLeaderLoss(dead string) bool {
+	surv, ok := n.cfg.Topology.Survivor(dead)
+	if !ok {
+		return false
+	}
+	n.mu.Lock()
+	already := n.overrides[dead] != ""
+	n.overrides[dead] = surv
+	n.mu.Unlock()
+	if !already {
+		n.logf("cluster %s: leader %s lost, range re-routed to %s", n.self.ID, dead, surv)
+	}
+	return surv == n.self.ID
+}
+
+// promote turns the local replica of dead's lineage into a served shard:
+// recover the replica directory through the standard persister recovery
+// (torn shipped tails are truncated there), build a fresh service over the
+// recovered store, and take ownership of the range.
+func (n *Node) promote(dead string, rep *traveltime.Replica) error {
+	dir := rep.Dir()
+	if err := rep.Close(); err != nil {
+		return fmt.Errorf("cluster: close replica of %s: %w", dead, err)
+	}
+	store := n.cfg.NewStore()
+	persist, err := traveltime.OpenPersister(dir, store, n.cfg.Persist)
+	if err != nil {
+		return fmt.Errorf("cluster: recover replica of %s: %w", dead, err)
+	}
+	svc, err := n.cfg.NewService(store, persist.Record, persist.Stats)
+	if err != nil {
+		_ = persist.Close() // nothing was recorded through it yet
+		return fmt.Errorf("cluster: build promoted service for %s: %w", dead, err)
+	}
+	n.mu.Lock()
+	n.active[dead] = &activeShard{origin: dead, svc: svc, persist: persist, promoted: true}
+	n.mu.Unlock()
+	n.promotions.Add(1)
+	st := persist.Stats()
+	n.logf("cluster %s: promoted shard %s (replayed %d records, truncated %d torn bytes)",
+		n.self.ID, dead, st.WALReplayed, st.WALSkippedBytes)
+	return nil
+}
+
+// Shard returns the service and persister serving origin's lineage on this
+// node, if any. Tests use it to inspect promoted state.
+func (n *Node) Shard(origin string) (*server.Service, *traveltime.Persister, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	sh := n.active[origin]
+	if sh == nil {
+		return nil, nil, false
+	}
+	return sh.svc, sh.persist, true
+}
+
+// lagFor is the replication lag of origin's lineage in bytes, from this
+// node's point of view (leader: durable − slowest ack; follower: leader's
+// durable − local replica length; promoted/unknown: 0).
+func (n *Node) lagFor(origin string) int64 {
+	n.mu.Lock()
+	sh := n.active[origin]
+	var tracks []*followerTrack
+	if sh != nil && !sh.promoted {
+		for _, tr := range n.followers {
+			tracks = append(tracks, tr)
+		}
+	}
+	runner := n.runners[origin]
+	n.mu.Unlock()
+	switch {
+	case sh != nil && !sh.promoted:
+		_, durable := sh.persist.ShipState()
+		var minAcked int64 // no follower yet → nothing replicated → full lag
+		for i, tr := range tracks {
+			if i == 0 || tr.acked < minAcked {
+				minAcked = tr.acked
+			}
+		}
+		if lag := durable - minAcked; lag > 0 {
+			return lag
+		}
+		return 0
+	case runner != nil:
+		if lag := runner.leaderDurable.Load() - runner.localLen.Load(); lag > 0 {
+			return lag
+		}
+		return 0
+	default:
+		return 0
+	}
+}
+
+// Status reports this node's cluster view for /v1/healthz.
+func (n *Node) Status() *api.ClusterStatus {
+	role := string(n.self.Role)
+	if role == "" {
+		role = string(RoleLeader)
+	}
+	st := &api.ClusterStatus{NodeID: n.self.ID, Role: role}
+	n.mu.Lock()
+	actives := make([]*activeShard, 0, len(n.active))
+	for _, sh := range n.active {
+		actives = append(actives, sh)
+	}
+	runners := make(map[string]*replicaRunner, len(n.runners))
+	for id, r := range n.runners {
+		runners[id] = r
+	}
+	overrides := make(map[string]string, len(n.overrides))
+	for k, v := range n.overrides {
+		overrides[k] = v
+	}
+	n.mu.Unlock()
+	for _, sh := range actives {
+		gen, durable := sh.persist.ShipState()
+		st.Shards = append(st.Shards, api.ShardStatus{
+			Owner:               n.self.ID,
+			Origin:              sh.origin,
+			Local:               true,
+			Promoted:            sh.promoted,
+			ReplicationLagBytes: n.lagFor(sh.origin),
+			WALDurableBytes:     durable,
+			Generation:          gen,
+		})
+	}
+	for id, r := range runners {
+		if _, _, served := n.Shard(id); served {
+			continue // promoted: already reported as local
+		}
+		owner := id
+		if ov := overrides[id]; ov != "" {
+			owner = ov
+		}
+		st.Shards = append(st.Shards, api.ShardStatus{
+			Owner:               owner,
+			Origin:              id,
+			ReplicationLagBytes: n.lagFor(id),
+			WALDurableBytes:     r.localLen.Load(),
+			Generation:          r.gen.Load(),
+		})
+	}
+	sortShardStatuses(st.Shards)
+	return st
+}
+
+func sortShardStatuses(s []api.ShardStatus) {
+	for i := 1; i < len(s); i++ { // insertion sort; shard counts are tiny
+		for j := i; j > 0 && s[j].Origin < s[j-1].Origin; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// registerMetrics publishes the cluster instruments: per-lineage lag and
+// leadership gauges (one series per topology leader, registered up front
+// so promotion never races a registry write), promotion and forward
+// counters.
+func (n *Node) registerMetrics() {
+	reg := n.cfg.Metrics
+	if reg == nil {
+		return
+	}
+	for _, l := range n.cfg.Topology.Leaders() {
+		origin := l.ID
+		reg.GaugeFunc("wilocator_cluster_replication_lag_bytes",
+			"Replication lag of one geo-shard's WAL in bytes, as seen from this node (leader: durable minus slowest follower ack; follower: leader durable minus local replica).",
+			func() float64 { return float64(n.lagFor(origin)) },
+			obs.L("shard", origin))
+		reg.GaugeFunc("wilocator_cluster_is_leader",
+			"1 when this node serves the shard (originally or by promotion), 0 when it only replicates it.",
+			func() float64 {
+				if _, _, ok := n.Shard(origin); ok {
+					return 1
+				}
+				return 0
+			},
+			obs.L("shard", origin))
+	}
+	reg.CounterFunc("wilocator_cluster_promotions_total",
+		"Replica promotions this node performed after a leader loss.",
+		n.promotions.Load)
+	reg.CounterFunc("wilocator_cluster_forwarded_reports_total",
+		"Reports forwarded to their owning node.",
+		n.forwardOK.Load, obs.L("result", "ok"))
+	reg.CounterFunc("wilocator_cluster_forwarded_reports_total",
+		"Reports forwarded to their owning node.",
+		n.forwardErr.Load, obs.L("result", "error"))
+}
+
+// Kill severs the node abruptly — cancel everything, close the listener
+// and every live stream — without flushing or closing its persisters,
+// modelling a process death as the peers observe it. Test hook.
+func (n *Node) Kill() {
+	n.mu.Lock()
+	n.killed = true
+	conns := make([]net.Conn, 0, len(n.conns))
+	for c := range n.conns {
+		conns = append(conns, c)
+	}
+	n.mu.Unlock()
+	n.cancel()
+	n.lst.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	n.wg.Wait()
+}
+
+// Close shuts the node down gracefully: stop shipping and replicating,
+// then close every replica and promoted persister. The node's own
+// Persister is caller-owned and left open.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.killed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.killed = true
+	conns := make([]net.Conn, 0, len(n.conns))
+	for c := range n.conns {
+		conns = append(conns, c)
+	}
+	n.mu.Unlock()
+	n.cancel()
+	err := n.lst.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	n.wg.Wait()
+	var errs []error
+	if err != nil {
+		errs = append(errs, err)
+	}
+	for id, r := range n.runners {
+		if _, _, served := n.Shard(id); served {
+			continue // promoted: replica file handle moved to the persister
+		}
+		if cerr := r.rep.Close(); cerr != nil {
+			errs = append(errs, cerr)
+		}
+	}
+	n.mu.Lock()
+	for _, sh := range n.active {
+		if sh.promoted {
+			if cerr := sh.persist.Close(); cerr != nil {
+				errs = append(errs, cerr)
+			}
+		}
+	}
+	n.mu.Unlock()
+	return errors.Join(errs...)
+}

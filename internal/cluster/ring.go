@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"sort"
+	"strconv"
+)
+
+// Ring is a consistent-hash ring over the topology's leader nodes: every
+// route ID hashes to a point on a 64-bit circle and is owned by the next
+// node point clockwise. Virtual nodes (VNodes points per leader) smooth
+// the split, and consistency gives the property failover relies on:
+// removing one node reassigns only that node's ranges — every other
+// route's owner is unchanged, so a promotion never shuffles healthy
+// shards.
+//
+// The ring is immutable after newRing; the Node layers its failover
+// overrides (dead owner → survivor) on top rather than mutating it.
+type Ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// defaultVNodes is the per-leader virtual-node count. 64 points per node
+// keeps the expected imbalance between two nodes under a few percent of
+// the keyspace without making lookup tables noticeable.
+const defaultVNodes = 64
+
+// newRing builds the ring over the given node IDs (the topology's
+// leaders). IDs must be unique; vnodes <= 0 selects the default.
+func newRing(nodes []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = defaultVNodes
+	}
+	r := &Ring{points: make([]ringPoint, 0, len(nodes)*vnodes)}
+	for _, id := range nodes {
+		for v := 0; v < vnodes; v++ {
+			// The point key embeds a separator no ID contains ambiguously:
+			// "id#v" vs "i#dv" still differ because v is decimal-only.
+			h := fnv1a(id + "#" + strconv.Itoa(v))
+			r.points = append(r.points, ringPoint{hash: h, node: id})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.node < b.node // deterministic under (vanishingly rare) collisions
+	})
+	return r
+}
+
+// Owner returns the node owning key: the first ring point at or after the
+// key's hash, wrapping at the top of the circle.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := fnv1a(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// fnv1a is the 64-bit FNV-1a hash — the same function the server's bus
+// table shards with (internal/server/shard.go), duplicated here because it
+// is unexported there and two lines long.
+func fnv1a(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}

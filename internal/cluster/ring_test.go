@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingBalance(t *testing.T) {
+	r := newRing([]string{"n1", "n2"}, 0)
+	counts := map[string]int{}
+	const keys = 10000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("route-%d", i))]++
+	}
+	for node, c := range counts {
+		frac := float64(c) / keys
+		if frac < 0.25 || frac > 0.75 {
+			t.Errorf("node %s owns %.0f%% of keys; consistent hashing is badly unbalanced", node, frac*100)
+		}
+	}
+	if len(counts) != 2 {
+		t.Fatalf("only %d nodes own keys, want 2", len(counts))
+	}
+}
+
+// TestRingConsistency: removing one node must reassign ONLY that node's
+// keys — the property promotion relies on (healthy shards never shuffle).
+func TestRingConsistency(t *testing.T) {
+	full := newRing([]string{"n1", "n2", "n3"}, 0)
+	without := newRing([]string{"n1", "n3"}, 0)
+	moved, kept := 0, 0
+	for i := 0; i < 10000; i++ {
+		key := fmt.Sprintf("route-%d", i)
+		was, is := full.Owner(key), without.Owner(key)
+		if was == "n2" {
+			if is == "n2" {
+				t.Fatalf("key %s still owned by removed node", key)
+			}
+			moved++
+			continue
+		}
+		if was != is {
+			t.Fatalf("key %s moved %s → %s although its owner survived", key, was, is)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate split: moved=%d kept=%d", moved, kept)
+	}
+}
+
+func TestRingDeterminism(t *testing.T) {
+	a := newRing([]string{"n1", "n2"}, 64)
+	b := newRing([]string{"n2", "n1"}, 64) // order of construction must not matter
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("owner of %s differs across construction orders", key)
+		}
+	}
+}
+
+func TestTopologySurvivor(t *testing.T) {
+	topo := Topology{Nodes: []NodeSpec{
+		{ID: "n2", Addr: "http://b", ReplAddr: "b:1"},
+		{ID: "n1", Addr: "http://a", ReplAddr: "a:1"},
+		{ID: "n3", Addr: "http://c", ReplAddr: "c:1", Role: RoleFollower},
+	}}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for dead, want := range map[string]string{"n1": "n2", "n2": "n1", "n3": "n1"} {
+		got, ok := topo.Survivor(dead)
+		if !ok || got != want {
+			t.Errorf("Survivor(%s) = %q, %v; want %q", dead, got, ok, want)
+		}
+	}
+	if leaders := topo.Leaders(); len(leaders) != 2 || leaders[0].ID != "n1" || leaders[1].ID != "n2" {
+		t.Errorf("Leaders() = %v, want [n1 n2] (followers excluded, sorted)", leaders)
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	nodes, err := ParsePeers("n1=http://a:1|a:2, n2=http://b:1|b:2|follower")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []NodeSpec{
+		{ID: "n1", Addr: "http://a:1", ReplAddr: "a:2", Role: RoleLeader},
+		{ID: "n2", Addr: "http://b:1", ReplAddr: "b:2", Role: RoleFollower},
+	}
+	if len(nodes) != len(want) {
+		t.Fatalf("parsed %d nodes, want %d", len(nodes), len(want))
+	}
+	for i := range want {
+		if nodes[i] != want[i] {
+			t.Errorf("node %d = %+v, want %+v", i, nodes[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", "n1", "n1=http://a", "n1=http://a|", "n1=|b", "n1=http://a|b|weird"} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Errorf("ParsePeers(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// The shipping stream reuses the WAL's own framing discipline on the wire:
+//
+//	[4-byte little-endian payload length][4-byte CRC32 (IEEE) of payload][payload]
+//
+// where payload is one type byte followed by the JSON encoding of the
+// message body. Length prefix + CRC make the stream self-describing and
+// tamper-evident, and — exactly like the on-disk WAL — a connection torn
+// mid-frame is detected by the reader rather than misparsed.
+//
+// Conversation: the follower connects and sends hello{gen, walLen} — its
+// recovered replica state. The leader answers with either a full resync
+// (snapBegin / snapChunk* / snapEnd, shipped when the follower's
+// generation is stale) or nothing, then streams walChunk frames from the
+// follower's offset up to its own durable frontier, interleaved with
+// heartbeats when idle. The follower fsyncs every chunk before answering
+// ack{gen, durable}; the leader's durable frontier minus the latest ack is
+// the replication lag. Chunk boundaries are byte-oriented and may split a
+// WAL frame — a leader death mid-chunk leaves the replica with a torn
+// tail that promotion repairs through the standard recovery path.
+
+// shipHeaderSize is the fixed per-frame header: length + CRC32.
+const shipHeaderSize = 8
+
+// maxShipFrame bounds one shipping frame's payload. WAL chunks are capped
+// at shipChunkSize and snapshot chunks at shipSnapChunkSize; anything
+// larger means a corrupt length field, not a big message.
+const maxShipFrame = 4 << 20
+
+// shipChunkSize is the WAL bytes carried per walChunk frame.
+const shipChunkSize = 256 << 10
+
+// shipSnapChunkSize is the snapshot bytes carried per snapChunk frame.
+const shipSnapChunkSize = 256 << 10
+
+// msgType discriminates shipping messages (the payload's leading byte).
+type msgType byte
+
+const (
+	msgHello     msgType = 1 // follower → leader: resume point
+	msgSnapBegin msgType = 2 // leader → follower: full resync starts
+	msgSnapChunk msgType = 3 // leader → follower: snapshot bytes
+	msgSnapEnd   msgType = 4 // leader → follower: snapshot complete, commit
+	msgWALChunk  msgType = 5 // leader → follower: WAL bytes at an offset
+	msgHeartbeat msgType = 6 // leader → follower: liveness + durable frontier
+	msgAck       msgType = 7 // follower → leader: durable (fsynced) length
+)
+
+// shipHello is the follower's handshake: who it is and where its replica
+// of the leader's lineage ends. Bare means no lineage exists at all — a
+// fresh replica reports (0, 0) just like one mirroring bare generation 0,
+// and only this flag tells the leader it must open with a resync.
+type shipHello struct {
+	Follower string `json:"follower"`
+	Gen      uint64 `json:"gen"`
+	WALLen   int64  `json:"walLen"`
+	Bare     bool   `json:"bare,omitempty"`
+}
+
+// shipSnapBegin opens a full resync of generation Gen. Bare is true for
+// the pre-first-rotation generation, which has no snapshot file: the
+// follower just starts an empty WAL.
+type shipSnapBegin struct {
+	Gen  uint64 `json:"gen"`
+	Size int64  `json:"size"`
+	Bare bool   `json:"bare,omitempty"`
+}
+
+// shipSnapChunk carries consecutive snapshot bytes (JSON base64).
+type shipSnapChunk struct {
+	Data []byte `json:"data"`
+}
+
+// shipSnapEnd closes the resync; Size echoes the total for verification.
+type shipSnapEnd struct {
+	Gen  uint64 `json:"gen"`
+	Size int64  `json:"size"`
+}
+
+// shipWALChunk carries WAL bytes [Off, Off+len(Data)) of generation Gen.
+type shipWALChunk struct {
+	Gen  uint64 `json:"gen"`
+	Off  int64  `json:"off"`
+	Data []byte `json:"data"`
+}
+
+// shipHeartbeat reports the leader's durable frontier while the stream is
+// otherwise idle, keeping failover detection honest on quiet shards.
+type shipHeartbeat struct {
+	Gen     uint64 `json:"gen"`
+	Durable int64  `json:"durable"`
+}
+
+// shipAck acknowledges that the follower has fsynced Durable bytes of
+// generation Gen. Acks are the leader's license to trim (ack-before-trim).
+type shipAck struct {
+	Gen     uint64 `json:"gen"`
+	Durable int64  `json:"durable"`
+}
+
+// appendShipFrame encodes one message as a frame and appends it to dst.
+func appendShipFrame(dst []byte, t msgType, body any) ([]byte, error) {
+	js, err := json.Marshal(body)
+	if err != nil {
+		return dst, fmt.Errorf("cluster: encode ship %d: %w", t, err)
+	}
+	payload := make([]byte, 0, 1+len(js))
+	payload = append(payload, byte(t))
+	payload = append(payload, js...)
+	if len(payload) > maxShipFrame {
+		return dst, fmt.Errorf("cluster: ship frame of %d bytes exceeds cap %d", len(payload), maxShipFrame)
+	}
+	var hdr [shipHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...), nil
+}
+
+// parseShipFrame decodes the first frame of b, returning the message type,
+// its JSON body, and the remaining bytes. io.ErrUnexpectedEOF when b holds
+// only a frame prefix (more bytes may arrive); other errors mean the
+// stream is corrupt and the connection must be dropped.
+func parseShipFrame(b []byte) (t msgType, body []byte, rest []byte, err error) {
+	if len(b) < shipHeaderSize {
+		return 0, nil, b, io.ErrUnexpectedEOF
+	}
+	n := binary.LittleEndian.Uint32(b[0:4])
+	if n == 0 || n > maxShipFrame {
+		return 0, nil, b, fmt.Errorf("cluster: implausible ship frame length %d", n)
+	}
+	if len(b) < shipHeaderSize+int(n) {
+		return 0, nil, b, io.ErrUnexpectedEOF
+	}
+	payload := b[shipHeaderSize : shipHeaderSize+int(n)]
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(b[4:8]); got != want {
+		return 0, nil, b, fmt.Errorf("cluster: ship frame CRC mismatch (got %08x, want %08x)", got, want)
+	}
+	return msgType(payload[0]), payload[1:], b[shipHeaderSize+int(n):], nil
+}
+
+// readShipFrame reads one frame from the stream, verifying length and CRC.
+// The returned body aliases an internal buffer valid until the next call.
+func readShipFrame(br *bufio.Reader, scratch []byte) (msgType, []byte, []byte, error) {
+	var hdr [shipHeaderSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, nil, scratch, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if n == 0 || n > maxShipFrame {
+		return 0, nil, scratch, fmt.Errorf("cluster: implausible ship frame length %d", n)
+	}
+	if cap(scratch) < int(n) {
+		scratch = make([]byte, n)
+	}
+	payload := scratch[:n]
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return 0, nil, scratch, fmt.Errorf("cluster: truncated ship frame: %w", err)
+	}
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(hdr[4:8]); got != want {
+		return 0, nil, scratch, fmt.Errorf("cluster: ship frame CRC mismatch (got %08x, want %08x)", got, want)
+	}
+	return msgType(payload[0]), payload[1:], scratch, nil
+}
+
+// decodeShipBody unmarshals a frame body into out.
+func decodeShipBody(t msgType, body []byte, out any) error {
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("cluster: undecodable ship message %d: %w", t, err)
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"wilocator/internal/traveltime"
+)
+
+// serveShip handles one inbound replication stream: handshake, optional
+// snapshot resync, then WAL chunks from the follower's offset to the
+// durable frontier, with heartbeats while idle. Acks are drained by a
+// side goroutine into the follower's track (they are flow-control and
+// observability, not a send barrier — the WAL is already durable locally
+// before it is shipped).
+func (n *Node) serveShip(conn net.Conn) {
+	p := n.cfg.Persister
+	if p == nil {
+		return // pure follower: nothing to ship
+	}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	conn.SetReadDeadline(time.Now().Add(n.cfg.FailoverAfter))
+	t, body, scratch, err := readShipFrame(br, nil)
+	if err != nil || t != msgHello {
+		return
+	}
+	var hello shipHello
+	if err := decodeShipBody(t, body, &hello); err != nil {
+		return
+	}
+	n.mu.Lock()
+	tr := n.followers[hello.Follower]
+	if tr == nil {
+		tr = &followerTrack{}
+		n.followers[hello.Follower] = tr
+	}
+	tr.connected = true
+	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		tr.connected = false
+		n.mu.Unlock()
+	}()
+	n.logf("cluster %s: follower %s connected at gen %d, %d bytes", n.self.ID, hello.Follower, hello.Gen, hello.WALLen)
+
+	// Ack reader: every follower frame is an ack carrying its fsynced
+	// length. The channel close doubles as the disconnect signal.
+	gone := make(chan struct{})
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		defer close(gone)
+		for {
+			conn.SetReadDeadline(time.Time{}) // sender paces liveness, not us
+			t, body, s, err := readShipFrame(br, scratch)
+			scratch = s
+			if err != nil {
+				return
+			}
+			if t != msgAck {
+				return
+			}
+			var ack shipAck
+			if err := decodeShipBody(t, body, &ack); err != nil {
+				return
+			}
+			n.mu.Lock()
+			if ack.Gen >= tr.gen {
+				tr.gen, tr.acked = ack.Gen, ack.Durable
+			}
+			n.mu.Unlock()
+		}
+	}()
+
+	if err := n.shipLoop(conn, hello, gone); err != nil && n.ctx.Err() == nil {
+		n.logf("cluster %s: shipping to %s: %v", n.self.ID, hello.Follower, err)
+	}
+}
+
+// shipLoop streams the local lineage over conn until error or shutdown.
+func (n *Node) shipLoop(conn net.Conn, hello shipHello, gone <-chan struct{}) error {
+	p := n.cfg.Persister
+	w := &shipWriter{conn: conn, timeout: n.cfg.WriteTimeout}
+	folGen, folOff := hello.Gen, hello.WALLen
+	needResync := hello.Bare // a lineage-less replica can't accept appends yet
+	tick := time.NewTicker(n.cfg.HeartbeatEvery)
+	defer tick.Stop()
+	buf := make([]byte, shipChunkSize)
+	for {
+		var wake <-chan struct{}
+		if n.cfg.Wake != nil {
+			wake = n.cfg.Wake.wait() // grab BEFORE reading the frontier
+		}
+		gen, durable := p.ShipState()
+		if needResync || folGen != gen || folOff > durable {
+			// Stale generation (snapshot rotated) or a replica ahead of our
+			// durable frontier (a lineage that is not ours): full resync.
+			if err := n.resync(w, gen); err != nil {
+				return err
+			}
+			folGen, folOff = gen, 0
+			needResync = false
+			continue
+		}
+		for folOff < durable {
+			b := buf
+			if rem := durable - folOff; rem < int64(len(b)) {
+				b = b[:rem]
+			}
+			m, err := p.ReadDurable(gen, folOff, b)
+			if err != nil {
+				if errors.Is(err, traveltime.ErrShipGenRotated) {
+					break // outer loop resyncs
+				}
+				return err
+			}
+			if err := w.send(msgWALChunk, shipWALChunk{Gen: gen, Off: folOff, Data: b[:m]}); err != nil {
+				return err
+			}
+			folOff += int64(m)
+		}
+		select {
+		case <-n.ctx.Done():
+			return nil
+		case <-gone:
+			return fmt.Errorf("follower disconnected")
+		case <-wake:
+		case <-tick.C:
+			if err := w.send(msgHeartbeat, shipHeartbeat{Gen: folGen, Durable: folOff}); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// resync ships a full snapshot of gen (or a bare-generation marker when
+// the lineage has not rotated yet), after which the follower's WAL is
+// empty and chunks restart from offset 0.
+func (n *Node) resync(w *shipWriter, gen uint64) error {
+	data, present, err := n.cfg.Persister.SnapshotBytes(gen)
+	if err != nil {
+		return err
+	}
+	if !present {
+		if err := w.send(msgSnapBegin, shipSnapBegin{Gen: gen, Bare: true}); err != nil {
+			return err
+		}
+		return w.send(msgSnapEnd, shipSnapEnd{Gen: gen, Size: 0})
+	}
+	if err := w.send(msgSnapBegin, shipSnapBegin{Gen: gen, Size: int64(len(data))}); err != nil {
+		return err
+	}
+	for off := 0; off < len(data); off += shipSnapChunkSize {
+		end := off + shipSnapChunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		if err := w.send(msgSnapChunk, shipSnapChunk{Data: data[off:end]}); err != nil {
+			return err
+		}
+	}
+	return w.send(msgSnapEnd, shipSnapEnd{Gen: gen, Size: int64(len(data))})
+}
+
+// shipWriter frames and writes messages with a per-write deadline,
+// reusing one buffer.
+type shipWriter struct {
+	conn    net.Conn
+	timeout time.Duration
+	buf     []byte
+}
+
+func (w *shipWriter) send(t msgType, body any) error {
+	b, err := appendShipFrame(w.buf[:0], t, body)
+	if err != nil {
+		return err
+	}
+	w.buf = b
+	w.conn.SetWriteDeadline(time.Now().Add(w.timeout))
+	if _, err := w.conn.Write(b); err != nil {
+		return fmt.Errorf("write %d: %w", t, err)
+	}
+	return nil
+}

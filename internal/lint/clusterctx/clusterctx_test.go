@@ -1,0 +1,12 @@
+package clusterctx_test
+
+import (
+	"testing"
+
+	"wilocator/internal/lint/clusterctx"
+	"wilocator/internal/lint/linttest"
+)
+
+func TestClusterCtx(t *testing.T) {
+	linttest.Run(t, "testdata/src/cluster", clusterctx.Analyzer)
+}

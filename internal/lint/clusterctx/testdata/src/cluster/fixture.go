@@ -1,0 +1,42 @@
+// Fixture for the clusterctx analyzer: this package's path ends in
+// "cluster", so every context.Background/TODO in a non-test file is a
+// finding, while threading a caller's context is clean.
+package cluster
+
+import (
+	"context"
+	"time"
+)
+
+func dialPeer(ctx context.Context) error {
+	dctx, cancel := context.WithTimeout(ctx, time.Second) // deriving from the caller is the idiom
+	defer cancel()
+	<-dctx.Done()
+	return dctx.Err()
+}
+
+func forwardDetached() {
+	ctx := context.Background() // want `context.Background\(\) in a cluster package severs cancellation`
+	_ = dialPeer(ctx)
+}
+
+func replicateTODO() {
+	_ = dialPeer(context.TODO()) // want `context.TODO\(\) in a cluster package severs cancellation`
+}
+
+func backgroundInTimeout() {
+	// Deriving a deadline does not excuse rooting it in Background.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second) // want `context.Background\(\) in a cluster package severs cancellation`
+	defer cancel()
+	_ = dialPeer(ctx)
+}
+
+// A local function named Background must not trip the checker.
+type fakeCtx struct{}
+
+func (fakeCtx) Background() int { return 0 }
+
+func notContext() int {
+	var f fakeCtx
+	return f.Background()
+}

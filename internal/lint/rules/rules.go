@@ -7,6 +7,7 @@ import (
 
 	"wilocator/internal/lint"
 	"wilocator/internal/lint/atomicguard"
+	"wilocator/internal/lint/clusterctx"
 	"wilocator/internal/lint/determinism"
 	"wilocator/internal/lint/durable"
 	"wilocator/internal/lint/locksafe"
@@ -18,6 +19,7 @@ import (
 func All() []*lint.Analyzer {
 	return []*lint.Analyzer{
 		atomicguard.Analyzer,
+		clusterctx.Analyzer,
 		determinism.Analyzer,
 		durable.Analyzer,
 		locksafe.Analyzer,

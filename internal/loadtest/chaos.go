@@ -12,8 +12,10 @@ package loadtest
 import (
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"wilocator/internal/api"
@@ -257,4 +259,147 @@ func TotalReports(streams []BusStream) int {
 		n += len(st.Reports)
 	}
 	return n
+}
+
+// ChaosLink is a TCP proxy standing between two cluster endpoints so tests
+// can inject network faults a real deployment sees: a partition (existing
+// connections die, new ones are refused), a slow link (per-write delay,
+// the slow-follower scenario), and a hard kill. The proxied protocol is
+// opaque to it — it moves bytes.
+type ChaosLink struct {
+	target string
+	lst    net.Listener
+
+	mu          sync.Mutex
+	partitioned bool
+	delay       time.Duration
+	conns       map[net.Conn]struct{}
+	closed      bool
+}
+
+// NewChaosLink starts a proxy on a fresh loopback port forwarding to
+// target (host:port). Close it when done.
+func NewChaosLink(target string) (*ChaosLink, error) {
+	lst, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	l := &ChaosLink{target: target, lst: lst, conns: map[net.Conn]struct{}{}}
+	go l.accept()
+	return l, nil
+}
+
+// Addr is the proxy's listen address — hand it out in place of the target.
+func (l *ChaosLink) Addr() string { return l.lst.Addr().String() }
+
+func (l *ChaosLink) accept() {
+	for {
+		conn, err := l.lst.Accept()
+		if err != nil {
+			return
+		}
+		l.mu.Lock()
+		refuse := l.partitioned || l.closed
+		if !refuse {
+			l.conns[conn] = struct{}{}
+		}
+		l.mu.Unlock()
+		if refuse {
+			conn.Close()
+			continue
+		}
+		go l.pipe(conn)
+	}
+}
+
+func (l *ChaosLink) pipe(client net.Conn) {
+	defer l.drop(client)
+	upstream, err := net.DialTimeout("tcp", l.target, 2*time.Second)
+	if err != nil {
+		return
+	}
+	l.mu.Lock()
+	if l.partitioned || l.closed {
+		l.mu.Unlock()
+		upstream.Close()
+		return
+	}
+	l.conns[upstream] = struct{}{}
+	l.mu.Unlock()
+	defer l.drop(upstream)
+	done := make(chan struct{}, 2)
+	go func() { l.copyDelayed(upstream, client); done <- struct{}{} }()
+	go func() { l.copyDelayed(client, upstream); done <- struct{}{} }()
+	<-done // one direction closing tears the whole link down
+}
+
+// copyDelayed is io.Copy with the link's current per-write delay applied —
+// a crude but effective slow-network model.
+func (l *ChaosLink) copyDelayed(dst io.Writer, src io.Reader) {
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			l.mu.Lock()
+			d := l.delay
+			l.mu.Unlock()
+			if d > 0 {
+				time.Sleep(d)
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func (l *ChaosLink) drop(c net.Conn) {
+	c.Close()
+	l.mu.Lock()
+	delete(l.conns, c)
+	l.mu.Unlock()
+}
+
+// Partition opens (true) or heals (false) the link: while partitioned,
+// every live proxied connection is severed and new ones are refused.
+func (l *ChaosLink) Partition(on bool) {
+	l.mu.Lock()
+	l.partitioned = on
+	var conns []net.Conn
+	if on {
+		for c := range l.conns {
+			conns = append(conns, c)
+		}
+		l.conns = map[net.Conn]struct{}{}
+	}
+	l.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// SetDelay sets the per-write forwarding delay (0 restores full speed).
+func (l *ChaosLink) SetDelay(d time.Duration) {
+	l.mu.Lock()
+	l.delay = d
+	l.mu.Unlock()
+}
+
+// Close kills the proxy and every proxied connection.
+func (l *ChaosLink) Close() {
+	l.mu.Lock()
+	l.closed = true
+	var conns []net.Conn
+	for c := range l.conns {
+		conns = append(conns, c)
+	}
+	l.conns = map[net.Conn]struct{}{}
+	l.mu.Unlock()
+	l.lst.Close()
+	for _, c := range conns {
+		c.Close()
+	}
 }

@@ -67,6 +67,15 @@ func ReplaySequential(svc *server.Service, streams []BusStream) Tally {
 // a replay at an exact report count ("crash here"), recover, and resume
 // where the dead server left off.
 func ReplayRange(svc *server.Service, streams []BusStream, skip, limit int) Tally {
+	return ReplayVia(streams, skip, limit, svc.Ingest)
+}
+
+// ReplayVia is ReplayRange with a pluggable delivery function: the same
+// global round-robin order, but each report handed to deliver instead of a
+// single service — so a clustered dispatch (which shards and forwards) and
+// per-shard reference services can be fed byte-identical subsequences and
+// their tallies compared.
+func ReplayVia(streams []BusStream, skip, limit int, deliver func(api.Report) (api.IngestResponse, error)) Tally {
 	var tally Tally
 	pos := 0
 	for k := 0; ; k++ {
@@ -77,7 +86,7 @@ func ReplayRange(svc *server.Service, streams []BusStream, skip, limit int) Tall
 			}
 			delivered = true
 			if pos >= skip && (limit < 0 || pos < skip+limit) {
-				resp, err := svc.Ingest(st.Reports[k])
+				resp, err := deliver(st.Reports[k])
 				tally.add(resp, err)
 			}
 			pos++

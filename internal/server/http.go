@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -28,6 +29,21 @@ type HandlerConfig struct {
 	// RetryAfter is the Retry-After hint attached to shed responses,
 	// rounded up to whole seconds. Default 1s.
 	RetryAfter time.Duration
+	// Router, when set, replaces direct ingestion on POST /v1/reports: the
+	// report goes to the router, which serves it on the local geo-shard or
+	// forwards it to the owning cluster node. A router failure wrapping
+	// api.ErrShardUnavailable answers 503 + Retry-After (the owner is
+	// mid-failover or partitioned); other errors stay 400.
+	Router Router
+}
+
+// Router dispatches a report to the shard owning its route — locally or on
+// another cluster node. forwarded reports whether the report left this
+// node (for metrics/logging; the response is the owner's either way).
+// cluster.Node implements it; the interface lives here so the server does
+// not import the cluster package.
+type Router interface {
+	Dispatch(ctx context.Context, rep api.Report) (resp api.IngestResponse, forwarded bool, err error)
 }
 
 func (c HandlerConfig) withDefaults() HandlerConfig {
@@ -88,8 +104,19 @@ func NewHandler(s *Service, hc HandlerConfig) http.Handler {
 			writeErr(w, http.StatusBadRequest, "invalid report body: "+err.Error())
 			return
 		}
-		resp, err := s.IngestCtx(r.Context(), rep)
+		var resp api.IngestResponse
+		var err error
+		if hc.Router != nil {
+			resp, _, err = hc.Router.Dispatch(r.Context(), rep)
+		} else {
+			resp, err = s.IngestCtx(r.Context(), rep)
+		}
 		if err != nil {
+			if errors.Is(err, api.ErrShardUnavailable) {
+				w.Header().Set("Retry-After", retryAfter)
+				writeErr(w, http.StatusServiceUnavailable, err.Error())
+				return
+			}
 			writeErr(w, http.StatusBadRequest, err.Error())
 			return
 		}

@@ -177,6 +177,9 @@ func newServiceMetrics(s *Service, reg *obs.Registry) *serviceMetrics {
 			func() uint64 { return ps().WALAppends })
 		reg.CounterFunc("wilocator_wal_syncs_total",
 			"WAL fsyncs.", func() uint64 { return ps().WALSyncs })
+		reg.CounterFunc("wilocator_wal_sync_failures_total",
+			"WAL fsyncs that returned an error. Non-zero means records believed persisted may not be durable; alert on any increase.",
+			func() uint64 { return ps().WALSyncFailures })
 		reg.CounterFunc("wilocator_wal_snapshots_total",
 			"Snapshot generations rolled.", func() uint64 { return ps().Snapshots })
 		reg.GaugeFunc("wilocator_wal_recovery_skipped_bytes",

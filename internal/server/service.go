@@ -202,6 +202,10 @@ type Service struct {
 
 	mx     *serviceMetrics // nil: metrics disabled
 	tracer *obs.Tracer     // nil: tracing disabled (obs.Tracer is nil-safe)
+
+	// clusterStatus, when set (SetClusterStatus), contributes the node's
+	// cluster view to /v1/healthz.
+	clusterStatus atomic.Pointer[func() *api.ClusterStatus]
 }
 
 // NewService wires the back-end together over a prebuilt diagram and
@@ -383,7 +387,18 @@ func (s *Service) Health() api.HealthResponse {
 		ps := s.cfg.PersistStats()
 		h.Persist = &ps
 	}
+	if fn := s.clusterStatus.Load(); fn != nil {
+		h.Cluster = (*fn)()
+	}
 	return h
+}
+
+// SetClusterStatus wires a cluster node's status into /v1/healthz. It is
+// called after NewService because the cluster node is built around the
+// service (it needs the service for its own shard's ingest); an atomic
+// pointer keeps Health lock-free.
+func (s *Service) SetClusterStatus(fn func() *api.ClusterStatus) {
+	s.clusterStatus.Store(&fn)
 }
 
 // staleAt reports whether a bus last heard from at lastUpdate is stale at

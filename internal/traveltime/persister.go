@@ -52,6 +52,11 @@ type Persister struct {
 	closed    bool
 	buf       []byte
 	stats     PersistStats
+	// syncHook, when non-nil, replaces the WAL fsync call. Test seam only:
+	// forcing an fsync error from a real file is platform-dependent, and
+	// the error-surfacing contract (WALSyncFailures, the final Sync error
+	// reaching Close's caller) deserves a deterministic test.
+	syncHook func() error
 }
 
 // PersistConfig tunes the persister. The zero value selects defaults.
@@ -71,6 +76,13 @@ type PersistConfig struct {
 	// into the persister — a histogram Observe is the intended use. Nil
 	// disables timing entirely (no clock reads on the record path).
 	OnOp func(op string, d time.Duration)
+	// OnDurable, when set, is notified whenever the durable frontier
+	// advances: after every successful fsync (with the current generation
+	// and its fsynced WAL length) and after every snapshot rotation (with
+	// the new generation and length 0). It is called with the persister's
+	// lock held, so it must be cheap and non-blocking — a WAL shipper's
+	// wake-up poke (a non-blocking channel send) is the intended use.
+	OnDurable func(gen uint64, durable int64)
 }
 
 // Operation names passed to PersistConfig.OnOp.
@@ -96,6 +108,11 @@ type PersistStats struct {
 	// fsyncs that made them durable.
 	WALAppends uint64 `json:"walAppends"`
 	WALSyncs   uint64 `json:"walSyncs"`
+	// WALSyncFailures counts fsyncs that returned an error. Any non-zero
+	// value means records believed persisted may not be durable; the error
+	// itself is also surfaced to the Record/Sync/Close caller rather than
+	// swallowed, so the server's exit path can fail loudly on it.
+	WALSyncFailures uint64 `json:"walSyncFailures"`
 	// Snapshots counts snapshot generations rolled since open.
 	Snapshots uint64 `json:"snapshots"`
 	// SnapshotLoaded reports whether recovery loaded a snapshot;
@@ -308,7 +325,15 @@ func (p *Persister) syncLocked() error {
 	if p.cfg.OnOp != nil {
 		t0 = time.Now()
 	}
-	if err := p.wal.Sync(); err != nil {
+	sync := p.wal.Sync
+	if p.syncHook != nil {
+		sync = p.syncHook
+	}
+	if err := sync(); err != nil {
+		// The batch stays pending: the next Record/Sync/Close retries, and
+		// the final attempt's error surfaces through Close to the server's
+		// exit path instead of being absorbed into a "clean" shutdown.
+		p.stats.WALSyncFailures++
 		return fmt.Errorf("traveltime: sync WAL: %w", err)
 	}
 	if p.cfg.OnOp != nil {
@@ -317,6 +342,9 @@ func (p *Persister) syncLocked() error {
 	p.synced = p.walSize
 	p.pending = 0
 	p.stats.WALSyncs++
+	if p.cfg.OnDurable != nil {
+		p.cfg.OnDurable(p.gen, p.synced)
+	}
 	return nil
 }
 
@@ -368,6 +396,9 @@ func (p *Persister) snapshotLocked() error {
 	p.gen = next
 	p.sinceSnap = 0
 	p.stats.Snapshots++
+	if p.cfg.OnDurable != nil {
+		p.cfg.OnDurable(p.gen, 0)
+	}
 	// Only now is the old lineage redundant. Removal is best-effort; a
 	// crash here leaves extra files that the next open cleans up.
 	_ = os.Remove(p.snapshotPath(old))

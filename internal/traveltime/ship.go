@@ -1,0 +1,325 @@
+// ship.go is the persister's replication surface: the read-side hooks a
+// WAL shipper (internal/cluster) uses to stream the durable lineage of one
+// node to its followers, and the Replica type a follower uses to mirror
+// that lineage on its own disk.
+//
+// The shipping unit is exactly the on-disk format: the current generation's
+// snapshot (complete by rename) plus the fsynced prefix of its WAL. Nothing
+// is ever shipped before it is durable on the leader — a follower can never
+// hold bytes the leader would lose in a crash — and the follower fsyncs
+// before acknowledging, so an acked offset is durable on both sides
+// (ack-before-trim: the leader may only forget history its followers have
+// acked). A promoted replica opens its mirrored directory through
+// OpenPersister, so a tail torn by a mid-frame connection loss goes through
+// the same truncate-to-last-intact-frame recovery a local crash does.
+package traveltime
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// ErrShipGenRotated is returned by ReadDurable when the requested
+// generation is no longer current: a snapshot rolled the lineage, and the
+// shipper must restart from the new generation's snapshot.
+var ErrShipGenRotated = errors.New("traveltime: WAL generation rotated; resync from snapshot")
+
+// ShipState reports the current generation and its durable (fsynced) WAL
+// prefix length — the exact range ReadDurable may serve.
+func (p *Persister) ShipState() (gen uint64, durable int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.gen, p.synced
+}
+
+// ReadDurable reads up to len(buf) bytes of the generation gen's WAL
+// starting at off, never beyond the fsynced prefix. It returns the number
+// of bytes read (0 when off is at the durable frontier), ErrShipGenRotated
+// when gen is no longer the current generation, and an error when off lies
+// beyond the durable prefix (a protocol bug, not a transient state).
+func (p *Persister) ReadDurable(gen uint64, off int64, buf []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return 0, errors.New("traveltime: ReadDurable on closed persister")
+	}
+	if gen != p.gen {
+		return 0, ErrShipGenRotated
+	}
+	if off > p.synced {
+		return 0, fmt.Errorf("traveltime: ReadDurable offset %d beyond durable prefix %d", off, p.synced)
+	}
+	if off == p.synced || len(buf) == 0 {
+		return 0, nil
+	}
+	if max := p.synced - off; int64(len(buf)) > max {
+		buf = buf[:max]
+	}
+	// ReadAt is positional (pread): it does not disturb the file offset the
+	// append path writes through.
+	n, err := p.wal.ReadAt(buf, off)
+	if err != nil {
+		return n, fmt.Errorf("traveltime: read durable WAL: %w", err)
+	}
+	return n, nil
+}
+
+// SnapshotBytes returns the complete snapshot file of generation gen, or
+// present=false when that generation has no snapshot (generation 0, before
+// the first rotation). ErrShipGenRotated when gen is no longer current.
+// Snapshots are published by rename, so an existing file is complete.
+func (p *Persister) SnapshotBytes(gen uint64) (data []byte, present bool, err error) {
+	p.mu.Lock()
+	path := p.snapshotPath(gen)
+	current := gen == p.gen
+	p.mu.Unlock()
+	if !current {
+		return nil, false, ErrShipGenRotated
+	}
+	data, err = os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("traveltime: read snapshot for shipping: %w", err)
+	}
+	return data, true, nil
+}
+
+// A Replica mirrors one leader's persistence lineage into a local
+// directory, using the leader's own file naming so a promotion is nothing
+// but OpenPersister over the same directory. It is the follower half of
+// WAL shipping: InstallSnapshot begins a fresh generation atomically,
+// AppendWAL extends its log contiguously (fsync before every ack), and
+// OpenReplica recovers after a follower restart by truncating a torn tail
+// back to the last intact frame — the PR-2 recovery path, applied to
+// shipped bytes.
+//
+// A Replica is not safe for concurrent use; the follower connection
+// goroutine owns it exclusively.
+type Replica struct {
+	dir    string
+	gen    uint64
+	wal    *os.File // nil until the lineage exists
+	walLen int64
+	closed bool
+}
+
+// OpenReplica opens (creating if needed) a replica directory and recovers
+// its state: the newest generation's WAL is scanned frame-by-frame and
+// truncated back to its last intact frame, so a tail torn by a connection
+// loss mid-frame disappears before the next append. The returned State is
+// what the follower reports in its handshake; the leader resumes shipping
+// from exactly there.
+func OpenReplica(dir string) (*Replica, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("traveltime: replica dir: %w", err)
+	}
+	r := &Replica{dir: dir}
+	scan := &Persister{dir: dir}
+	snaps, wals, err := scan.scanGenerations()
+	if err != nil {
+		return nil, err
+	}
+	gen, ok := newestLineage(snaps, wals)
+	if !ok {
+		return r, nil // empty replica: the handshake asks for everything
+	}
+	wal, err := os.OpenFile(scan.walPath(gen), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("traveltime: open replica WAL: %w", err)
+	}
+	// Validate the shipped tail without applying: only frame integrity
+	// matters here; the records are replayed into a store at promotion.
+	_, _, goodOffset, tailErr := ReplayWAL(wal, func(Record) error { return nil })
+	if tailErr != nil {
+		if err := wal.Truncate(goodOffset); err != nil {
+			_ = wal.Close()
+			return nil, fmt.Errorf("traveltime: truncate replica tail: %w", err)
+		}
+		if err := wal.Sync(); err != nil {
+			_ = wal.Close()
+			return nil, fmt.Errorf("traveltime: sync truncated replica: %w", err)
+		}
+	}
+	if _, err := wal.Seek(goodOffset, 0); err != nil {
+		_ = wal.Close()
+		return nil, fmt.Errorf("traveltime: seek replica WAL: %w", err)
+	}
+	r.gen = gen
+	r.wal = wal
+	r.walLen = goodOffset
+	return r, nil
+}
+
+// newestLineage picks the highest generation that can recover: one with a
+// snapshot, or the bare generation-0 log from before the first rotation.
+// Both slices are sorted newest-first (scanGenerations).
+func newestLineage(snaps, wals []uint64) (uint64, bool) {
+	if len(snaps) > 0 {
+		return snaps[0], true
+	}
+	if len(wals) > 0 {
+		return wals[len(wals)-1], true
+	}
+	return 0, false
+}
+
+// State reports the replica's recovered generation and contiguous WAL
+// length — the resume point for the shipping handshake.
+func (r *Replica) State() (gen uint64, walLen int64) { return r.gen, r.walLen }
+
+// HasLineage reports whether any lineage exists yet. A fresh replica and
+// one mirroring bare generation 0 both report State() = (0, 0); only this
+// distinguishes them, and a lineage-less replica cannot accept AppendWAL
+// until the handshake installs one.
+func (r *Replica) HasLineage() bool { return r.wal != nil }
+
+// Dir returns the replica directory (the promotion target).
+func (r *Replica) Dir() string { return r.dir }
+
+// InstallSnapshot atomically begins generation gen with the given complete
+// snapshot bytes: temp file + fsync + rename (so a crash mid-install leaves
+// the previous lineage intact), then a fresh empty WAL for the generation,
+// then removal of superseded generations. The replica's WAL length resets
+// to zero.
+func (r *Replica) InstallSnapshot(gen uint64, data []byte) error {
+	if r.closed {
+		return errors.New("traveltime: InstallSnapshot on closed replica")
+	}
+	scan := &Persister{dir: r.dir}
+	f, err := os.CreateTemp(r.dir, "tmp-ship-*")
+	if err != nil {
+		return fmt.Errorf("traveltime: replica snapshot temp: %w", err)
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return fmt.Errorf("traveltime: write replica snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return fmt.Errorf("traveltime: sync replica snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("traveltime: close replica snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, scan.snapshotPath(gen)); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("traveltime: publish replica snapshot: %w", err)
+	}
+	wal, err := os.OpenFile(scan.walPath(gen), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("traveltime: create replica WAL: %w", err)
+	}
+	if err := syncDir(r.dir); err != nil {
+		_ = wal.Close()
+		return err
+	}
+	if r.wal != nil {
+		_ = r.wal.Close()
+	}
+	old := r.gen
+	r.wal = wal
+	r.gen = gen
+	r.walLen = 0
+	if old != gen {
+		_ = os.Remove(scan.snapshotPath(old))
+		_ = os.Remove(scan.walPath(old))
+	}
+	return nil
+}
+
+// BeginBare starts the bare generation-0 lineage (a leader that has never
+// snapshotted ships no snapshot, only its WAL). No-op when the replica
+// already has a lineage of that generation.
+func (r *Replica) BeginBare(gen uint64) error {
+	if r.closed {
+		return errors.New("traveltime: BeginBare on closed replica")
+	}
+	if r.wal != nil && r.gen == gen {
+		return nil
+	}
+	scan := &Persister{dir: r.dir}
+	wal, err := os.OpenFile(scan.walPath(gen), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("traveltime: create replica WAL: %w", err)
+	}
+	if err := syncDir(r.dir); err != nil {
+		_ = wal.Close()
+		return err
+	}
+	if r.wal != nil {
+		_ = r.wal.Close()
+		_ = os.Remove(scan.snapshotPath(r.gen))
+		_ = os.Remove(scan.walPath(r.gen))
+	}
+	r.wal = wal
+	r.gen = gen
+	r.walLen = 0
+	return nil
+}
+
+// AppendWAL appends a shipped chunk at offset off of generation gen and
+// fsyncs it — the returned nil is the follower's license to ack, so acked
+// bytes are durable here. The chunk must extend the log contiguously; any
+// gap or generation mismatch is a protocol error, and the caller recovers
+// by reconnecting (the handshake re-resolves the resume point).
+func (r *Replica) AppendWAL(gen uint64, off int64, data []byte) error {
+	if r.closed {
+		return errors.New("traveltime: AppendWAL on closed replica")
+	}
+	if r.wal == nil {
+		return errors.New("traveltime: AppendWAL before a lineage exists")
+	}
+	if gen != r.gen {
+		return fmt.Errorf("traveltime: AppendWAL generation %d, replica at %d", gen, r.gen)
+	}
+	if off != r.walLen {
+		return fmt.Errorf("traveltime: AppendWAL offset %d, replica contiguous to %d", off, r.walLen)
+	}
+	n, err := r.wal.Write(data)
+	r.walLen += int64(n)
+	if err != nil {
+		return fmt.Errorf("traveltime: append replica WAL: %w", err)
+	}
+	if err := r.wal.Sync(); err != nil {
+		return fmt.Errorf("traveltime: sync replica WAL: %w", err)
+	}
+	return nil
+}
+
+// Close releases the replica's WAL handle. Shipped bytes are already
+// durable (AppendWAL syncs before acking), so Close is pure handle
+// release.
+func (r *Replica) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	if r.wal == nil {
+		return nil
+	}
+	err := r.wal.Close()
+	r.wal = nil
+	return err
+}
+
+// ReplicaDirFor is the conventional replica location: root/<ownerID>. The
+// owner ID is path-sanitised defensively; topology IDs are operator-chosen
+// but a stray separator must not escape the root.
+func ReplicaDirFor(root, owner string) string {
+	safe := strings.Map(func(c rune) rune {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_', c == '.':
+			return c
+		}
+		return '_'
+	}, owner)
+	return root + string(os.PathSeparator) + safe
+}

@@ -2,6 +2,7 @@ package traveltime
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -401,4 +402,173 @@ func FuzzWALReplay(f *testing.F) {
 				applied, applied2, goodOffset, off2, tailErr)
 		}
 	})
+}
+
+// walFrameBoundaries parses the byte offsets at which each WAL frame ends.
+func walFrameBoundaries(t *testing.T, wal []byte) []int {
+	t.Helper()
+	var bounds []int
+	off := 0
+	for off < len(wal) {
+		if off+8 > len(wal) {
+			t.Fatalf("trailing %d bytes are not a frame header", len(wal)-off)
+		}
+		n := int(uint32(wal[off]) | uint32(wal[off+1])<<8 | uint32(wal[off+2])<<16 | uint32(wal[off+3])<<24)
+		off += 8 + n
+		if off > len(wal) {
+			t.Fatalf("frame overruns the log")
+		}
+		bounds = append(bounds, off)
+	}
+	return bounds
+}
+
+// TestReplicaTornTailEveryByteOffset cuts a shipped WAL inside its final
+// frame at EVERY byte offset — header bytes, CRC bytes, every payload
+// byte — and requires OpenReplica to truncate each torn tail back to the
+// last intact frame, promotion (OpenPersister over the replica dir) to
+// replay exactly the intact records, and subsequent appends to extend the
+// repaired log cleanly.
+func TestReplicaTornTailEveryByteOffset(t *testing.T) {
+	// Source lineage: a real persister's WAL, fsynced per record.
+	srcDir := t.TempDir()
+	_, src := openTestPersister(t, srcDir, PersistConfig{SyncEvery: 1})
+	const n = 6
+	recordN(t, src, 0, n)
+	_, walPath, _ := src.CrashState()
+	mustClose(t, src)
+	wal, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := NewStore(PaperPlan())
+	for i := 0; i < n-1; i++ {
+		if err := ref.Add(walRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	bounds := walFrameBoundaries(t, wal)
+	if len(bounds) != n {
+		t.Fatalf("%d frames in source WAL, want %d", len(bounds), n)
+	}
+	lastIntact := bounds[len(bounds)-2]
+	for cut := lastIntact; cut < len(wal); cut++ {
+		dir := t.TempDir()
+		rep, err := OpenReplica(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.BeginBare(0); err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.AppendWAL(0, 0, wal[:cut]); err != nil {
+			t.Fatalf("cut %d: append: %v", cut, err)
+		}
+		if err := rep.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Follower restart: recovery must find the torn tail and truncate.
+		re, err := OpenReplica(dir)
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		if gen, wl := re.State(); gen != 0 || wl != int64(lastIntact) {
+			t.Fatalf("cut %d: recovered state (%d, %d), want (0, %d)", cut, gen, wl, lastIntact)
+		}
+		if err := re.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Promotion: the standard recovery path over the repaired replica.
+		store, p := openTestPersister(t, dir, PersistConfig{SyncEvery: 1})
+		if st := p.Stats(); st.WALReplayed != n-1 {
+			t.Fatalf("cut %d: replayed %d records, want %d", cut, st.WALReplayed, n-1)
+		}
+		if err := Diff(ref, store, 1e-9); err != nil {
+			t.Fatalf("cut %d: promoted store diverged: %v", cut, err)
+		}
+		// Ingest must resume on the truncated log.
+		if err := p.Record(walRecord(n - 1)); err != nil {
+			t.Fatalf("cut %d: resume append: %v", cut, err)
+		}
+		mustClose(t, p)
+		full := NewStore(PaperPlan())
+		p2, err := OpenPersister(dir, full, PersistConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := p2.Stats(); st.WALReplayed != n || st.WALTailError != "" {
+			t.Fatalf("cut %d: after resume replayed %d (tail %q), want %d clean", cut, st.WALReplayed, st.WALTailError, n)
+		}
+		mustClose(t, p2)
+	}
+}
+
+// TestSyncFailureSurfaced: a failing fsync must be counted, keep the batch
+// pending (so the next attempt retries it), and — when the failure is
+// final — surface through Close instead of dissolving into a "clean"
+// shutdown.
+func TestSyncFailureSurfaced(t *testing.T) {
+	dir := t.TempDir()
+	_, p := openTestPersister(t, dir, PersistConfig{SyncEvery: 100})
+	boom := errors.New("disk on fire")
+	failing := true
+	p.syncHook = func() error {
+		if failing {
+			return boom
+		}
+		return p.wal.Sync()
+	}
+	recordN(t, p, 0, 5)
+
+	if err := p.Sync(); !errors.Is(err, boom) {
+		t.Fatalf("Sync with failing fsync = %v, want %v", err, boom)
+	}
+	if got := p.Stats().WALSyncFailures; got != 1 {
+		t.Fatalf("WALSyncFailures = %d, want 1", got)
+	}
+	if got := p.Stats().WALSyncs; got != 0 {
+		t.Fatalf("failed fsync counted as a success (WALSyncs = %d)", got)
+	}
+
+	// The batch stayed pending: once the disk recovers, a retry drains it
+	// and the records are durable.
+	failing = false
+	if err := p.Sync(); err != nil {
+		t.Fatalf("retry after recovery: %v", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	store, p2 := openTestPersister(t, dir, PersistConfig{})
+	defer mustClose(t, p2)
+	if st := p2.Stats(); st.WALReplayed != 5 {
+		t.Fatalf("replayed %d records after recovered sync, want 5", st.WALReplayed)
+	}
+	ref := NewStore(PaperPlan())
+	for i := 0; i < 5; i++ {
+		if err := ref.Add(walRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := Diff(ref, store, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSyncFailureSurfacedThroughClose: when the final flush-on-shutdown
+// fsync fails, Close must return that error — it is the server exit path's
+// only signal that acknowledged records may not be durable.
+func TestSyncFailureSurfacedThroughClose(t *testing.T) {
+	dir := t.TempDir()
+	_, p := openTestPersister(t, dir, PersistConfig{SyncEvery: 100})
+	boom := errors.New("disk gone")
+	p.syncHook = func() error { return boom }
+	recordN(t, p, 0, 3)
+	if err := p.Close(); !errors.Is(err, boom) {
+		t.Fatalf("Close with pending batch and dead disk = %v, want %v", err, boom)
+	}
+	if got := p.Stats().WALSyncFailures; got == 0 {
+		t.Fatal("final failed flush not counted in WALSyncFailures")
+	}
 }
