@@ -77,6 +77,7 @@ corpus-short:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzHandlerReports -fuzztime=$(FUZZTIME) ./internal/server
 	$(GO) test -run='^$$' -fuzz=FuzzHandlerQueries -fuzztime=$(FUZZTIME) ./internal/server
+	$(GO) test -run='^$$' -fuzz=FuzzBatchDecode -fuzztime=$(FUZZTIME) ./internal/api
 	$(GO) test -run='^$$' -fuzz=FuzzReadNetwork -fuzztime=$(FUZZTIME) ./internal/roadnet
 	$(GO) test -run='^$$' -fuzz=FuzzRouteArcQueries -fuzztime=$(FUZZTIME) ./internal/roadnet
 	$(GO) test -run='^$$' -fuzz=FuzzReadFrom -fuzztime=$(FUZZTIME) ./internal/traveltime
@@ -85,24 +86,39 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzImportTimetable -fuzztime=$(FUZZTIME) ./internal/scenario
 
 # bench times the SVD construction/lookup benchmarks and writes the parsed
-# numbers (ns/op, B/op, allocs/op) to BENCH_svd.json via cmd/benchjson.
+# numbers (ns/op, B/op, allocs/op) to BENCH_svd.json via cmd/benchjson,
+# then the ingest-throughput benchmarks (single-POST HTTP, NDJSON batch,
+# handler-only, decode-only) to BENCH_ingest.json.
 bench:
 	$(GO) test -run='^$$' -bench='SVD' -benchmem -count=1 . | $(GO) run ./cmd/benchjson -out BENCH_svd.json
 	@cat BENCH_svd.json
+	$(GO) test -run='^$$' -bench='BenchmarkIngest|BenchmarkBatch' -benchmem -benchtime=20000x -count=1 ./internal/server \
+		| $(GO) run ./cmd/benchjson -out BENCH_ingest.json
+	@cat BENCH_ingest.json
 
 # bench-smoke runs each SVD build benchmark exactly once — a compile-and-run
 # check for ci, not a measurement.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=SVDBuild -benchtime=1x .
 
-# bench-check gates the hot-path lookup against the committed baseline:
+# bench-check gates the hot paths against the committed baselines:
 # fresh BenchmarkSVDLookup numbers (min over 3 runs) must stay within 25%
-# of BENCH_svd.json's ns/op and must not allocate more per op. Refresh the
-# baseline deliberately with `make bench` when a regression is intended.
+# of BENCH_svd.json's ns/op and must not allocate more per op, and the
+# ingest benchmarks must hold both their alloc budgets (handler-only
+# allocs/op vs BENCH_ingest.json) and the batch-speedup claim: batched
+# NDJSON ingest at least 10x the per-report cost of single-POST HTTP.
+# Refresh a baseline deliberately with `make bench` when a regression is
+# intended.
 bench-check:
 	$(GO) test -run='^$$' -bench='SVDLookup$$' -benchmem -count=3 . \
 		| $(GO) run ./cmd/benchjson \
 		| $(GO) run ./cmd/benchcheck -baseline BENCH_svd.json
+	$(GO) test -run='^$$' -bench='BenchmarkIngestHTTP$$|BenchmarkBatchIngest$$|BenchmarkIngestHandler$$|BenchmarkBatchDecode$$' \
+		-benchmem -benchtime=20000x -count=3 ./internal/server \
+		| $(GO) run ./cmd/benchjson \
+		| $(GO) run ./cmd/benchcheck -baseline BENCH_ingest.json \
+			-require 'BenchmarkIngestHandler,BenchmarkBatchDecode' \
+			-speedup 'BenchmarkBatchIngest:BenchmarkIngestHTTP:10'
 
 bench-all:
 	$(GO) test -bench=. -benchmem

@@ -20,6 +20,12 @@
 // than the baseline never does. Alloc counts are machine-independent and
 // are gated strictly: more allocs/op than baseline is a failure regardless
 // of timing.
+//
+// -speedup gates relative performance WITHIN the fresh results:
+// `-speedup BenchmarkBatchIngest:BenchmarkIngestHTTP:10` fails unless the
+// first benchmark's ns/op is at least 10x lower than the second's. Both
+// ran on the same machine in the same invocation, so the ratio gate is
+// strict and portable where absolute timings are not.
 package main
 
 import (
@@ -80,15 +86,54 @@ func main() {
 		baselinePath = flag.String("baseline", "", "baseline benchjson document to compare against (required)")
 		maxRatio     = flag.Float64("max-ratio", 1.25, "fail when fresh ns/op exceeds baseline * ratio")
 		require      = flag.String("require", "BenchmarkSVDLookup", "comma-separated benchmarks that must appear in the fresh input")
+		speedup      = flag.String("speedup", "", "comma-separated fast:slow:minRatio triples; fail unless fresh slow ns/op / fast ns/op >= minRatio")
 	)
 	flag.Parse()
-	if err := run(*baselinePath, *maxRatio, *require); err != nil {
+	if err := run(*baselinePath, *maxRatio, *require, *speedup); err != nil {
 		fmt.Fprintln(os.Stderr, "benchcheck:", err)
 		os.Exit(1)
 	}
 }
 
-func run(baselinePath string, maxRatio float64, require string) error {
+// checkSpeedups enforces `fast:slow:minRatio` triples against the fresh
+// results alone: both benchmarks ran on this machine in this invocation,
+// so — unlike the cross-machine baseline timings — the ratio between them
+// is a portable claim ("batched ingest is at least 10x single-POST") that
+// can be gated strictly.
+func checkSpeedups(spec string, fresh map[string]best) error {
+	for _, trip := range strings.Split(spec, ",") {
+		trip = strings.TrimSpace(trip)
+		if trip == "" {
+			continue
+		}
+		parts := strings.Split(trip, ":")
+		if len(parts) != 3 {
+			return fmt.Errorf("malformed -speedup %q (want fast:slow:minRatio)", trip)
+		}
+		var min float64
+		if _, err := fmt.Sscanf(parts[2], "%g", &min); err != nil || min <= 0 {
+			return fmt.Errorf("malformed -speedup ratio %q", parts[2])
+		}
+		fast, okF := fresh[parts[0]]
+		slow, okS := fresh[parts[1]]
+		if !okF || !okS {
+			return fmt.Errorf("-speedup %s: benchmark missing from fresh input", trip)
+		}
+		got := slow.ns / fast.ns
+		status := "ok"
+		if got < min {
+			status = "FAIL below required speedup"
+		}
+		fmt.Printf("%-28s %.2fx faster than %s (need >= %.1fx) %s\n",
+			parts[0], got, parts[1], min, status)
+		if got < min {
+			return fmt.Errorf("%s is only %.2fx faster than %s, need %.1fx", parts[0], got, parts[1], min)
+		}
+	}
+	return nil
+}
+
+func run(baselinePath string, maxRatio float64, require, speedup string) error {
 	if baselinePath == "" {
 		return fmt.Errorf("-baseline is required")
 	}
@@ -148,5 +193,5 @@ func run(baselinePath string, maxRatio float64, require string) error {
 	if failures > 0 {
 		return fmt.Errorf("%d regression(s); if intentional, refresh the baseline with `make bench`", failures)
 	}
-	return nil
+	return checkSpeedups(speedup, fresh)
 }

@@ -18,7 +18,12 @@ import (
 
 // Paths of the HTTP API.
 const (
-	PathReports      = "/v1/reports"
+	PathReports = "/v1/reports"
+	// PathReportsBatch ingests many reports in one POST: an NDJSON body,
+	// one Report object per line, answered with a BatchResponse carrying
+	// per-item verdicts. The batch path exists so a metro-scale fleet does
+	// not pay one HTTP round trip and one JSON decoder per scan report.
+	PathReportsBatch = "/v1/reports/batch"
 	PathVehicles     = "/v1/vehicles"
 	PathArrivals     = "/v1/arrivals"
 	PathTrafficMap   = "/v1/trafficmap"
@@ -103,6 +108,46 @@ type IngestResponse struct {
 	Arc float64 `json:"arc,omitempty"`
 }
 
+// BatchResponse acknowledges a POST /v1/reports/batch. The batch endpoint
+// is partial-accept: a 200 means every attempted line got an individual
+// verdict, not that every line was accepted. Items carries the verdicts of
+// the lines that were NOT plainly accepted (accepted-and-unremarkable lines
+// are elided, so a clean batch's response stays O(1) regardless of size).
+//
+// On a 429 the server stopped mid-batch because its ingest rings were
+// saturated: lines before Received got verdicts as usual, lines from
+// Received on were never attempted, and the client should resend the tail
+// after RetryAfterSec (Received is a resume cursor, mirrored by the
+// Retry-After header).
+type BatchResponse struct {
+	// Received counts the leading NDJSON lines the server attempted
+	// (blank lines included). Equal to the line count on a 200.
+	Received int `json:"received"`
+	// Accepted / Located / LateDropped / Rejected total the per-line
+	// outcomes, matching the IngestStats meanings.
+	Accepted    int `json:"accepted"`
+	Located     int `json:"located"`
+	LateDropped int `json:"lateDropped"`
+	Rejected    int `json:"rejected"`
+	// Items are the verdicts of the attempted lines that were not plainly
+	// accepted, in line order.
+	Items []BatchItem `json:"items,omitempty"`
+	// RetryAfterSec mirrors the Retry-After header on a 429 (whole
+	// seconds, derived from ring depth over measured drain rate).
+	RetryAfterSec int `json:"retryAfterSec,omitempty"`
+}
+
+// BatchItem is the verdict of one not-plainly-accepted batch line.
+type BatchItem struct {
+	// Index is the zero-based line number within the batch body.
+	Index int `json:"index"`
+	// Reason is set for non-error drops (e.g. ReasonLateScan).
+	Reason string `json:"reason,omitempty"`
+	// Error is set when the line was refused: malformed JSON, failed
+	// validation, or an ingest error. The line is counted in Rejected.
+	Error string `json:"error,omitempty"`
+}
+
 // ReasonLateScan marks a report whose scan time falls in an older fusion
 // window than the bus's current bucket. Appending it would corrupt the
 // bucket (the window has already been fused), so the server drops it and
@@ -153,6 +198,18 @@ type HTTPStats struct {
 	TooLarge uint64 `json:"tooLarge"`
 	// Panics counts handler panics recovered into a 500.
 	Panics uint64 `json:"panics"`
+	// BatchOffered counts every batch POST that reached the handler; like
+	// single reports, each is eventually counted in exactly one of
+	// BatchServed (ran to any response, including a mid-batch 429) or
+	// BatchShed (refused outright with 429 before any line was attempted),
+	// so BatchShed + BatchServed <= BatchOffered at every instant.
+	BatchOffered uint64 `json:"batchOffered"`
+	BatchServed  uint64 `json:"batchServed"`
+	BatchShed    uint64 `json:"batchShed"`
+	// BatchReports counts individual report lines attempted via the batch
+	// endpoint (each got a verdict; a superset of the batch share of the
+	// ingest counters).
+	BatchReports uint64 `json:"batchReports"`
 }
 
 // RebuildStats reports diagram-rebuild state: the serving generation and the

@@ -1,0 +1,482 @@
+package api
+
+import (
+	"encoding/json"
+	"time"
+	"unicode/utf8"
+
+	"wilocator/internal/wifi"
+)
+
+// ReportDecoder decodes JSON report objects — one NDJSON line each — into a
+// caller-provided Report with zero heap allocations on the steady-state
+// path. It exists for the batched ingest loop, where a fresh json.Decoder
+// and Report per line would dominate the profile.
+//
+// The fast path hand-parses exactly the shape phones send: an object of
+// known camelCase keys, escape-free valid-UTF-8 strings, integer RSSI, and
+// an RFC 3339 scan time. Identifier strings (bus/route/phone/BSSID) are
+// interned in a bounded table so repeat reporters cost no allocation at
+// all. On ANY deviation — escape sequences, unknown or duplicate keys,
+// floats, nulls, invalid UTF-8, unusual time shapes — the fast path
+// discards its partial work and the whole line is re-decoded by
+// encoding/json, so Decode's accept/reject behavior and decoded values are
+// exactly those of json.Unmarshal. FuzzBatchDecode checks that equivalence
+// differentially.
+//
+// A ReportDecoder is not safe for concurrent use; pool one per worker.
+type ReportDecoder struct {
+	strs  map[string]string
+	zones map[int]*time.Location
+}
+
+// decoderInternCap bounds the decoder's string intern table. IDs are at
+// most MaxIDLength bytes, so a full table is ~2 MiB; past the cap new
+// strings are still decoded correctly, just not remembered.
+const decoderInternCap = 1 << 14
+
+// NewReportDecoder returns a ready decoder.
+func NewReportDecoder() *ReportDecoder {
+	return &ReportDecoder{
+		strs:  make(map[string]string),
+		zones: make(map[int]*time.Location),
+	}
+}
+
+// Decode parses one JSON report object into dst, reusing dst's readings
+// storage across calls. dst is fully overwritten: fields absent from the
+// input are zeroed, as json.Unmarshal into a fresh Report would leave
+// them, except that a reused destination may keep a non-nil empty
+// Readings slice where a fresh decode would leave nil — the two are
+// indistinguishable to every consumer (only the length is read). The
+// returned error, and the decoded value, are otherwise exactly what
+// json.Unmarshal produces for the same input.
+func (d *ReportDecoder) Decode(dst *Report, line []byte) error {
+	resetReport(dst)
+	if d.fast(dst, line) {
+		return nil
+	}
+	// The fallback must not see stale state: zero the report again —
+	// including the reused readings storage up to capacity, because
+	// encoding/json reslices into it and only overwrites keys the input
+	// names, which would otherwise leak old field values into elements.
+	if r := dst.Scan.Readings; r != nil {
+		clear(r[:cap(r)])
+	}
+	resetReport(dst)
+	return json.Unmarshal(line, dst)
+}
+
+func resetReport(dst *Report) {
+	readings := dst.Scan.Readings
+	*dst = Report{}
+	if readings != nil {
+		dst.Scan.Readings = readings[:0]
+	}
+}
+
+// fast hand-parses line into dst. A false return means "let encoding/json
+// decide": the line may be malformed, or merely use a JSON feature the
+// fast path declines to replicate.
+func (d *ReportDecoder) fast(dst *Report, line []byte) bool {
+	s := jscan{b: line}
+	var seen uint8
+	const (
+		kBus = 1 << iota
+		kRoute
+		kPhone
+		kScan
+	)
+	ok := s.object(func(key []byte) bool {
+		var bit uint8
+		switch string(key) { // compiled to comparisons; no allocation
+		case "busId":
+			bit = kBus
+		case "routeId":
+			bit = kRoute
+		case "phoneId":
+			bit = kPhone
+		case "scan":
+			bit = kScan
+		default:
+			// Unknown key (or a case-insensitive match encoding/json
+			// would accept): fall back rather than replicate its value
+			// skipping.
+			return false
+		}
+		if seen&bit != 0 {
+			// Duplicate keys re-merge under encoding/json; decline.
+			return false
+		}
+		seen |= bit
+		if bit == kScan {
+			return d.scanObj(&s, &dst.Scan)
+		}
+		v, ok := s.str()
+		if !ok {
+			return false
+		}
+		switch bit {
+		case kBus:
+			dst.BusID = d.intern(v)
+		case kRoute:
+			dst.RouteID = d.intern(v)
+		case kPhone:
+			dst.PhoneID = d.intern(v)
+		}
+		return true
+	})
+	if !ok {
+		return false
+	}
+	s.ws()
+	return s.i == len(s.b) // trailing garbage is json.Unmarshal's error to report
+}
+
+func (d *ReportDecoder) scanObj(s *jscan, sc *wifi.Scan) bool {
+	var seen uint8
+	const (
+		kTime uint8 = 1 << iota
+		kReadings
+	)
+	return s.object(func(key []byte) bool {
+		var bit uint8
+		switch string(key) {
+		case "time":
+			bit = kTime
+		case "readings":
+			bit = kReadings
+		default:
+			return false
+		}
+		if seen&bit != 0 {
+			return false
+		}
+		seen |= bit
+		if bit == kTime {
+			v, ok := s.str()
+			if !ok {
+				return false
+			}
+			t, ok := d.rfc3339(v)
+			if !ok {
+				return false
+			}
+			sc.Time = t
+			return true
+		}
+		return d.readings(s, sc)
+	})
+}
+
+func (d *ReportDecoder) readings(s *jscan, sc *wifi.Scan) bool {
+	s.ws()
+	if !s.eat('[') {
+		return false
+	}
+	if sc.Readings == nil {
+		// encoding/json leaves a non-nil empty slice for "[]"; match it.
+		// One allocation on a buffer's first use, then reused forever.
+		sc.Readings = make([]wifi.Reading, 0, 16)
+	}
+	s.ws()
+	if s.eat(']') {
+		return true
+	}
+	for {
+		var rd wifi.Reading
+		var seen uint8
+		const (
+			kBSSID uint8 = 1 << iota
+			kRSSI
+		)
+		ok := s.object(func(key []byte) bool {
+			var bit uint8
+			switch string(key) {
+			case "bssid":
+				bit = kBSSID
+			case "rssi":
+				bit = kRSSI
+			default:
+				return false
+			}
+			if seen&bit != 0 {
+				return false
+			}
+			seen |= bit
+			if bit == kBSSID {
+				v, ok := s.str()
+				if !ok {
+					return false
+				}
+				rd.BSSID = wifi.BSSID(d.intern(v))
+				return true
+			}
+			v, ok := s.num()
+			if !ok {
+				return false
+			}
+			rd.RSSI = v
+			return true
+		})
+		if !ok {
+			return false
+		}
+		sc.Readings = append(sc.Readings, rd)
+		s.ws()
+		if s.eat(',') {
+			s.ws()
+			continue
+		}
+		return s.eat(']')
+	}
+}
+
+// intern returns b as a string, remembering it (bounded) so the next
+// occurrence costs a map probe instead of an allocation. The map index by
+// string(b) compiles to a lookup without materializing the string.
+func (d *ReportDecoder) intern(b []byte) string {
+	if s, ok := d.strs[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	if len(d.strs) < decoderInternCap {
+		d.strs[s] = s
+	}
+	return s
+}
+
+// rfc3339 parses the canonical RFC 3339 shape
+// YYYY-MM-DDThh:mm:ss[.fffffffff](Z|±hh:mm) that time.Time.MarshalJSON
+// emits, declining anything else (lowercase designators, leap seconds,
+// out-of-range components, over-long fractions) to the encoding/json
+// fallback so unusual inputs keep time.Time.UnmarshalJSON's exact verdict.
+func (d *ReportDecoder) rfc3339(b []byte) (time.Time, bool) {
+	if len(b) < 20 {
+		return time.Time{}, false
+	}
+	year, ok1 := dig4(b[0:4])
+	month, ok2 := dig2(b[5:7])
+	day, ok3 := dig2(b[8:10])
+	hour, ok4 := dig2(b[11:13])
+	min, ok5 := dig2(b[14:16])
+	sec, ok6 := dig2(b[17:19])
+	if !(ok1 && ok2 && ok3 && ok4 && ok5 && ok6) ||
+		b[4] != '-' || b[7] != '-' || b[10] != 'T' || b[13] != ':' || b[16] != ':' {
+		return time.Time{}, false
+	}
+	if month < 1 || month > 12 || day < 1 || day > daysIn(year, month) ||
+		hour > 23 || min > 59 || sec > 59 {
+		return time.Time{}, false
+	}
+	i := 19
+	nsec := 0
+	if b[i] == '.' {
+		i++
+		start := i
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			nsec = nsec*10 + int(b[i]-'0')
+			i++
+		}
+		n := i - start
+		if n == 0 || n > 9 {
+			return time.Time{}, false
+		}
+		for ; n < 9; n++ {
+			nsec *= 10
+		}
+	}
+	if i >= len(b) {
+		return time.Time{}, false
+	}
+	var loc *time.Location
+	switch b[i] {
+	case 'Z':
+		if i+1 != len(b) {
+			return time.Time{}, false
+		}
+		loc = time.UTC
+	case '+', '-':
+		if i+6 != len(b) || b[i+3] != ':' {
+			return time.Time{}, false
+		}
+		oh, ok1 := dig2(b[i+1 : i+3])
+		om, ok2 := dig2(b[i+4 : i+6])
+		if !ok1 || !ok2 || oh > 23 || om > 59 {
+			return time.Time{}, false
+		}
+		off := (oh*60 + om) * 60
+		if b[i] == '-' {
+			off = -off
+		}
+		loc = d.zone(off)
+	default:
+		return time.Time{}, false
+	}
+	return time.Date(year, time.Month(month), day, hour, min, sec, nsec, loc), true
+}
+
+// zone caches one *time.Location per offset; phones in one metro share a
+// single offset, so this is a lookup after the first report.
+func (d *ReportDecoder) zone(offsetSec int) *time.Location {
+	if offsetSec == 0 {
+		return time.UTC
+	}
+	if l, ok := d.zones[offsetSec]; ok {
+		return l
+	}
+	l := time.FixedZone("", offsetSec)
+	d.zones[offsetSec] = l
+	return l
+}
+
+func daysIn(year, month int) int {
+	switch month {
+	case 2:
+		if year%4 == 0 && (year%100 != 0 || year%400 == 0) {
+			return 29
+		}
+		return 28
+	case 4, 6, 9, 11:
+		return 30
+	default:
+		return 31
+	}
+}
+
+func dig2(b []byte) (int, bool) {
+	if b[0] < '0' || b[0] > '9' || b[1] < '0' || b[1] > '9' {
+		return 0, false
+	}
+	return int(b[0]-'0')*10 + int(b[1]-'0'), true
+}
+
+func dig4(b []byte) (int, bool) {
+	hi, ok1 := dig2(b[0:2])
+	lo, ok2 := dig2(b[2:4])
+	if !ok1 || !ok2 {
+		return 0, false
+	}
+	return hi*100 + lo, true
+}
+
+// jscan is a minimal strict-subset JSON scanner. It never allocates;
+// anything it cannot represent losslessly it refuses, and the caller
+// re-parses with encoding/json.
+type jscan struct {
+	b []byte
+	i int
+}
+
+func (s *jscan) ws() {
+	for s.i < len(s.b) {
+		switch s.b[s.i] {
+		case ' ', '\t', '\r', '\n':
+			s.i++
+		default:
+			return
+		}
+	}
+}
+
+func (s *jscan) eat(c byte) bool {
+	if s.i < len(s.b) && s.b[s.i] == c {
+		s.i++
+		return true
+	}
+	return false
+}
+
+// object walks {"key": value, ...}, calling field at each value position;
+// field must consume the value. Leading whitespace is accepted.
+func (s *jscan) object(field func(key []byte) bool) bool {
+	s.ws()
+	if !s.eat('{') {
+		return false
+	}
+	s.ws()
+	if s.eat('}') {
+		return true
+	}
+	for {
+		key, ok := s.str()
+		if !ok {
+			return false
+		}
+		s.ws()
+		if !s.eat(':') {
+			return false
+		}
+		s.ws()
+		if !field(key) {
+			return false
+		}
+		s.ws()
+		if s.eat(',') {
+			s.ws()
+			continue
+		}
+		return s.eat('}')
+	}
+}
+
+// str scans a string literal, returning the raw bytes between the quotes.
+// Escapes, control bytes and invalid UTF-8 (which encoding/json would
+// decode or coerce) decline to the fallback.
+func (s *jscan) str() ([]byte, bool) {
+	if !s.eat('"') {
+		return nil, false
+	}
+	start := s.i
+	ascii := true
+	for s.i < len(s.b) {
+		c := s.b[s.i]
+		switch {
+		case c == '"':
+			v := s.b[start:s.i]
+			s.i++
+			if !ascii && !utf8.Valid(v) {
+				return nil, false
+			}
+			return v, true
+		case c == '\\' || c < 0x20:
+			return nil, false
+		case c >= utf8.RuneSelf:
+			ascii = false
+		}
+		s.i++
+	}
+	return nil, false
+}
+
+// num scans a JSON integer that fits an int. Floats, exponents, leading
+// zeros and over-long digit runs decline to the fallback.
+func (s *jscan) num() (int, bool) {
+	neg := false
+	if s.i < len(s.b) && s.b[s.i] == '-' {
+		neg = true
+		s.i++
+	}
+	start := s.i
+	for s.i < len(s.b) && s.b[s.i] >= '0' && s.b[s.i] <= '9' {
+		s.i++
+	}
+	n := s.i - start
+	if n == 0 || n > 18 || (n > 1 && s.b[start] == '0') {
+		return 0, false
+	}
+	if s.i < len(s.b) {
+		switch s.b[s.i] {
+		case '.', 'e', 'E':
+			return 0, false
+		}
+	}
+	x := 0
+	for _, c := range s.b[start:s.i] {
+		x = x*10 + int(c-'0')
+	}
+	if neg {
+		x = -x
+	}
+	return x, true
+}

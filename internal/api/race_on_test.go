@@ -1,0 +1,5 @@
+//go:build race
+
+package api
+
+const raceEnabled = true

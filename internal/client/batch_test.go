@@ -1,0 +1,229 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"wilocator/internal/api"
+	"wilocator/internal/wifi"
+)
+
+func batchReports(n int) []api.Report {
+	reps := make([]api.Report, n)
+	for i := range reps {
+		reps[i] = api.Report{
+			BusID: "bus-1", RouteID: "campus", PhoneID: fmt.Sprintf("p%d", i),
+			Scan: wifi.Scan{Time: time.Date(2016, 3, 7, 13, 0, i, 0, time.UTC)},
+		}
+	}
+	return reps
+}
+
+// instantRetry makes retry waits run without real sleeping.
+var instantRetry = RetryConfig{
+	MaxAttempts: 3,
+	Sleep:       func(context.Context, time.Duration) error { return nil },
+	Rand:        func() float64 { return 0 },
+}
+
+// countLines reads an NDJSON request body and returns its decoded reports.
+func readNDJSON(t *testing.T, r io.Reader) []api.Report {
+	t.Helper()
+	var out []api.Report
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var rep api.Report
+		if err := json.Unmarshal(sc.Bytes(), &rep); err != nil {
+			t.Fatalf("server saw a non-JSON line: %v", err)
+		}
+		out = append(out, rep)
+	}
+	return out
+}
+
+// TestPostReportBatchSingleFrame: the happy path is one NDJSON POST whose
+// per-line verdicts come back re-indexed as-is.
+func TestPostReportBatchSingleFrame(t *testing.T) {
+	var got []api.Report
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != api.PathReportsBatch {
+			t.Errorf("path = %s", r.URL.Path)
+		}
+		got = readNDJSON(t, r.Body)
+		resp := api.BatchResponse{Received: len(got), Accepted: len(got) - 1, Rejected: 1,
+			Items: []api.BatchItem{{Index: 2, Error: "bad line"}}}
+		w.WriteHeader(http.StatusOK)
+		_ = json.NewEncoder(w).Encode(resp)
+	}))
+	defer ts.Close()
+	c, err := NewWithRetry(ts.URL, ts.Client(), instantRetry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := batchReports(5)
+	out, err := c.PostReportBatch(context.Background(), reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 || got[3].PhoneID != "p3" {
+		t.Errorf("server-side frame = %d reports, want the 5 posted in order", len(got))
+	}
+	if out.Received != 5 || out.Accepted != 4 || out.Rejected != 1 {
+		t.Errorf("aggregate = %+v", out)
+	}
+	if len(out.Items) != 1 || out.Items[0].Index != 2 {
+		t.Errorf("items = %+v, want one verdict at index 2", out.Items)
+	}
+}
+
+// TestPostReportBatchResumes: a mid-batch 429 with a resume cursor makes
+// the client resend only the unattempted tail, honoring Retry-After, and
+// re-index the second frame's verdicts into original positions.
+func TestPostReportBatchResumes(t *testing.T) {
+	var frames [][]api.Report
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reps := readNDJSON(t, r.Body)
+		frames = append(frames, reps)
+		w.Header().Set("Content-Type", "application/json")
+		if len(frames) == 1 {
+			// Attempt 3 of 8 lines, shed the rest.
+			w.Header().Set("Retry-After", "7")
+			w.WriteHeader(http.StatusTooManyRequests)
+			_ = json.NewEncoder(w).Encode(api.BatchResponse{
+				Received: 3, Accepted: 2, Rejected: 1,
+				Items:         []api.BatchItem{{Index: 1, Error: "bad"}},
+				RetryAfterSec: 7,
+			})
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		_ = json.NewEncoder(w).Encode(api.BatchResponse{
+			Received: len(reps), Accepted: len(reps) - 1, Rejected: 1,
+			Items: []api.BatchItem{{Index: 0, Error: "bad too"}},
+		})
+	}))
+	defer ts.Close()
+
+	var slept []time.Duration
+	retry := instantRetry
+	retry.Sleep = func(_ context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return nil
+	}
+	c, err := NewWithRetry(ts.URL, ts.Client(), retry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.PostReportBatch(context.Background(), batchReports(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 2 {
+		t.Fatalf("client made %d frames, want 2", len(frames))
+	}
+	if len(frames[1]) != 5 || frames[1][0].PhoneID != "p3" {
+		t.Errorf("resume frame = %d reports starting at %q, want 5 starting at p3",
+			len(frames[1]), frames[1][0].PhoneID)
+	}
+	if out.Received != 8 || out.Accepted != 6 || out.Rejected != 2 {
+		t.Errorf("aggregate = %+v", out)
+	}
+	// Frame 2's index-0 verdict maps back to original index 3.
+	if len(out.Items) != 2 || out.Items[0].Index != 1 || out.Items[1].Index != 3 {
+		t.Errorf("re-indexed items = %+v, want indices 1 and 3", out.Items)
+	}
+	// The jittered wait derives from the server's 7 s hint, capped at
+	// MaxDelay (2 s default): with Rand()=0 the wait is exactly cap/2.
+	if len(slept) != 1 || slept[0] != time.Second {
+		t.Errorf("slept %v, want one capped, hint-derived wait of 1s", slept)
+	}
+}
+
+// TestPostReportBatchGivesUp: repeated 429s without progress exhaust the
+// attempt budget and surface the status error.
+func TestPostReportBatchGivesUp(t *testing.T) {
+	calls := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		io.Copy(io.Discard, r.Body)
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+		_, _ = w.Write([]byte(`{"error":"batch ingestion saturated; retry later"}`))
+	}))
+	defer ts.Close()
+	c, err := NewWithRetry(ts.URL, ts.Client(), instantRetry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.PostReportBatch(context.Background(), batchReports(4))
+	if err == nil || !strings.Contains(err.Error(), "saturated") {
+		t.Fatalf("err = %v, want the server's shed message", err)
+	}
+	if calls != 3 {
+		t.Errorf("made %d attempts, want MaxAttempts = 3", calls)
+	}
+}
+
+// TestBatchSenderFlushCadence: the sender ships full frames inline and the
+// partial tail on Flush, with item indices counted over all Added reports.
+func TestBatchSenderFlushCadence(t *testing.T) {
+	var frames [][]api.Report
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reps := readNDJSON(t, r.Body)
+		frames = append(frames, reps)
+		resp := api.BatchResponse{Received: len(reps), Accepted: len(reps)}
+		if len(frames) == 2 { // second frame: last line rejected
+			resp.Accepted--
+			resp.Rejected = 1
+			resp.Items = []api.BatchItem{{Index: len(reps) - 1, Error: "bad"}}
+		}
+		w.WriteHeader(http.StatusOK)
+		_ = json.NewEncoder(w).Encode(resp)
+	}))
+	defer ts.Close()
+	c, err := NewWithRetry(ts.URL, ts.Client(), instantRetry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.NewBatchSender(3)
+	for _, rep := range batchReports(7) {
+		if err := s.Add(context.Background(), rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(frames) != 2 {
+		t.Fatalf("after 7 adds at cadence 3: %d frames, want 2", len(frames))
+	}
+	if err := s.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 3 || len(frames[2]) != 1 {
+		t.Fatalf("tail flush: %d frames, last %d reports, want 3 frames ending in 1", len(frames), len(frames[2]))
+	}
+	if err := s.Flush(context.Background()); err != nil { // empty flush is a no-op
+		t.Fatal(err)
+	}
+	if len(frames) != 3 {
+		t.Errorf("empty Flush still posted a frame")
+	}
+	tot := s.Totals()
+	if tot.Received != 7 || tot.Accepted != 6 || tot.Rejected != 1 {
+		t.Errorf("totals = %+v", tot)
+	}
+	// Frame 2's last line (its index 2) is global report index 5.
+	if len(tot.Items) != 1 || tot.Items[0].Index != 5 {
+		t.Errorf("totals items = %+v, want one verdict at global index 5", tot.Items)
+	}
+}

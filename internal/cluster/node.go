@@ -451,23 +451,27 @@ func (n *Node) Shard(origin string) (*server.Service, *traveltime.Persister, boo
 // node's point of view (leader: durable − slowest ack; follower: leader's
 // durable − local replica length; promoted/unknown: 0).
 func (n *Node) lagFor(origin string) int64 {
+	// Snapshot the acked offsets while holding the lock: the ack-reader
+	// goroutines mutate followerTrack under n.mu, so the track pointers
+	// must not be dereferenced after the unlock.
 	n.mu.Lock()
 	sh := n.active[origin]
-	var tracks []*followerTrack
-	if sh != nil && !sh.promoted {
+	leading := sh != nil && !sh.promoted
+	var acks []int64
+	if leading {
 		for _, tr := range n.followers {
-			tracks = append(tracks, tr)
+			acks = append(acks, tr.acked)
 		}
 	}
 	runner := n.runners[origin]
 	n.mu.Unlock()
 	switch {
-	case sh != nil && !sh.promoted:
+	case leading:
 		_, durable := sh.persist.ShipState()
 		var minAcked int64 // no follower yet → nothing replicated → full lag
-		for i, tr := range tracks {
-			if i == 0 || tr.acked < minAcked {
-				minAcked = tr.acked
+		for i, a := range acks {
+			if i == 0 || a < minAcked {
+				minAcked = a
 			}
 		}
 		if lag := durable - minAcked; lag > 0 {

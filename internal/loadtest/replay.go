@@ -1,12 +1,14 @@
 package loadtest
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"wilocator/internal/api"
+	"wilocator/internal/client"
 	"wilocator/internal/server"
 	"wilocator/internal/traveltime"
 )
@@ -179,6 +181,70 @@ func ReplayConcurrent(svc *server.Service, streams []BusStream, queryWorkers int
 		return tally, e
 	}
 	return tally, nil
+}
+
+// ReplayBatched delivers each bus's stream over POST /v1/reports/batch,
+// one uploader goroutine per bus shipping NDJSON frames of batchSize
+// through the shared typed client. Per-bus report order is preserved end
+// to end: an uploader sends its next frame only after the previous one is
+// acknowledged, and server-side, one bus's reports always land in the same
+// ingest ring (a FIFO). Cross-bus interleaving is arbitrary — exactly the
+// nondeterminism the state-equivalence tests quantify over.
+func ReplayBatched(c *client.Client, streams []BusStream, batchSize int) (Tally, error) {
+	if batchSize <= 0 {
+		batchSize = 256
+	}
+	var (
+		delivered, accepted, late, located, errs atomic.Int64
+		sendErr                                  atomic.Value
+		wg                                       sync.WaitGroup
+	)
+	for _, st := range streams {
+		wg.Add(1)
+		go func(st BusStream) {
+			defer wg.Done()
+			for from := 0; from < len(st.Reports); from += batchSize {
+				to := from + batchSize
+				if to > len(st.Reports) {
+					to = len(st.Reports)
+				}
+				resp, err := c.PostReportBatch(context.Background(), st.Reports[from:to])
+				if err != nil {
+					sendErr.Store(fmt.Errorf("batch upload bus %s [%d:%d]: %w", st.BusID, from, to, err))
+					return
+				}
+				delivered.Add(int64(resp.Received))
+				accepted.Add(int64(resp.Accepted))
+				located.Add(int64(resp.Located))
+				late.Add(int64(resp.LateDropped))
+				errs.Add(int64(resp.Rejected))
+			}
+		}(st)
+	}
+	wg.Wait()
+	tally := Tally{
+		Delivered:   int(delivered.Load()),
+		Accepted:    int(accepted.Load()),
+		LateDropped: int(late.Load()),
+		Located:     int(located.Load()),
+		Errors:      int(errs.Load()),
+	}
+	if e, ok := sendErr.Load().(error); ok {
+		return tally, e
+	}
+	return tally, nil
+}
+
+// FlattenReports returns the streams' reports in the exact global
+// round-robin order ReplaySequential delivers them, so a caller can chunk
+// one deterministic delivery order into batches (and crash between them).
+func FlattenReports(streams []BusStream) []api.Report {
+	var out []api.Report
+	ReplayVia(streams, 0, -1, func(rep api.Report) (api.IngestResponse, error) {
+		out = append(out, rep)
+		return api.IngestResponse{Accepted: true}, nil
+	})
+	return out
 }
 
 // Trajectories fetches the final trajectory of every bus in the fleet.

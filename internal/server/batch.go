@@ -1,0 +1,448 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"wilocator/internal/api"
+)
+
+// GroupCommit amortises WAL fsyncs across one ingest batch: the batch
+// handler opens a window before processing its lines and closes it before
+// acknowledging them, so a whole batch is made durable by one fsync
+// instead of one per SyncEvery records. traveltime.Persister implements
+// it; EndBatch's error means the fsync failed and the batch must NOT be
+// acknowledged as durable.
+type GroupCommit interface {
+	BeginBatch()
+	EndBatch() error
+}
+
+// drainMeter turns queue depth into a Retry-After hint that scales with
+// the measured drain rate instead of a fixed constant: a client shed at
+// depth D while the server drains R reports/sec should come back in ~D/R
+// seconds, not in a magic 1 s. The rate is an EWMA over a monotone
+// "work completed" counter; now is injected for deterministic tests.
+type drainMeter struct {
+	now     func() time.Time
+	drained func() uint64
+
+	mu   sync.Mutex
+	t0   time.Time
+	c0   uint64
+	rate float64 // reports/sec
+}
+
+// meterMinWindow is the shortest sampling window the meter updates its
+// rate estimate from; calls inside the window reuse the previous estimate
+// so one burst of 429s cannot thrash it.
+const meterMinWindow = 100 * time.Millisecond
+
+// maxRetryAfterSec caps the hint: past a minute the client should be
+// spreading load, not sitting on a timer the server invented.
+const maxRetryAfterSec = 60
+
+func newDrainMeter(now func() time.Time, drained func() uint64) *drainMeter {
+	return &drainMeter{now: now, drained: drained}
+}
+
+// retryAfterSec returns the whole-second Retry-After hint for a queue of
+// depth reports, at least ceil(floor) and at most maxRetryAfterSec.
+func (m *drainMeter) retryAfterSec(depth int, floor time.Duration) int {
+	floorSec := int((floor + time.Second - 1) / time.Second)
+	if floorSec < 1 {
+		floorSec = 1
+	}
+	m.mu.Lock()
+	t, c := m.now(), m.drained()
+	if m.t0.IsZero() {
+		m.t0, m.c0 = t, c
+	} else if dt := t.Sub(m.t0); dt >= meterMinWindow {
+		inst := float64(c-m.c0) / dt.Seconds()
+		if m.rate == 0 {
+			m.rate = inst
+		} else {
+			m.rate = 0.5*m.rate + 0.5*inst
+		}
+		m.t0, m.c0 = t, c
+	}
+	rate := m.rate
+	m.mu.Unlock()
+	if rate <= 0 || depth <= 0 {
+		// No drain observed yet (startup, or a frozen test clock): the
+		// configured floor is the only honest hint.
+		return floorSec
+	}
+	sec := int(float64(depth)/rate + 1)
+	if sec < floorSec {
+		sec = floorSec
+	}
+	if sec > maxRetryAfterSec {
+		sec = maxRetryAfterSec
+	}
+	return sec
+}
+
+// ringItem is one decoded report travelling through an ingest ring,
+// carrying the slot its verdict lands in. Items belong to one batchCall
+// and are reused across that call object's lifetimes in the pool.
+type ringItem struct {
+	rep  api.Report
+	line int             // zero-based NDJSON line index within the batch
+	ctx  context.Context // the submitting request's context (tracing)
+	wg   *sync.WaitGroup // the owning call's completion group
+	resp api.IngestResponse
+	err  error
+}
+
+// batchRing is one bounded FIFO of decoded, not-yet-ingested reports.
+// Reports are keyed to rings by hash(busID) with the same FNV the bus
+// table uses, so one bus's reports always share a ring and keep their
+// order; the ring is drained by flat combining — whichever submitter wins
+// the drain token processes the queue, and no background goroutine exists
+// to leak (handlers are created per test, per node, per scenario).
+type batchRing struct {
+	mu   sync.Mutex
+	buf  []*ringItem
+	head uint64
+	tail uint64
+	tok  chan struct{} // cap 1: drain-right token
+}
+
+func (r *batchRing) tryPush(it *ringItem) bool {
+	r.mu.Lock()
+	if r.tail-r.head == uint64(len(r.buf)) {
+		r.mu.Unlock()
+		return false
+	}
+	r.buf[r.tail&uint64(len(r.buf)-1)] = it
+	r.tail++
+	r.mu.Unlock()
+	return true
+}
+
+func (r *batchRing) pop() *ringItem {
+	r.mu.Lock()
+	if r.head == r.tail {
+		r.mu.Unlock()
+		return nil
+	}
+	i := r.head & uint64(len(r.buf)-1)
+	it := r.buf[i]
+	r.buf[i] = nil
+	r.head++
+	r.mu.Unlock()
+	return it
+}
+
+func (r *batchRing) isEmpty() bool {
+	r.mu.Lock()
+	e := r.head == r.tail
+	r.mu.Unlock()
+	return e
+}
+
+// batchCall is the pooled per-request state of one batch POST: the body
+// buffer, the line decoder with its intern tables, the item slab and the
+// response scratch. Steady state, a batch request allocates nothing.
+type batchCall struct {
+	body  bytes.Buffer
+	dec   *api.ReportDecoder
+	items []*ringItem
+	used  int
+	wg    sync.WaitGroup
+	resp  api.BatchResponse
+	// inflight is true from the first enqueue until wg.Wait returns; a
+	// call released while inflight (a handler panic unwound it) is NOT
+	// returned to the pool, because ring drainers may still hold its
+	// items.
+	inflight bool
+}
+
+func (c *batchCall) reset() {
+	c.body.Reset()
+	c.used = 0
+	c.inflight = false
+	c.resp = api.BatchResponse{Items: c.resp.Items[:0]}
+}
+
+// item hands out the next pooled item slot.
+func (c *batchCall) item() *ringItem {
+	if c.used == len(c.items) {
+		c.items = append(c.items, &ringItem{})
+	}
+	it := c.items[c.used]
+	c.used++
+	it.line, it.ctx, it.wg = 0, nil, nil
+	it.resp, it.err = api.IngestResponse{}, nil
+	return it
+}
+
+// batchIngester is the POST /v1/reports/batch engine: NDJSON lines decoded
+// into pooled buffers, fanned into per-shard rings, drained by combining
+// submitters, group-committed, and answered with per-line verdicts.
+type batchIngester struct {
+	svc   *Service
+	hc    HandlerConfig
+	rings []batchRing
+	mask  uint64
+	meter *drainMeter
+	calls sync.Pool
+}
+
+// newBatchIngester sizes one ring per bus-table shard (capped — rings are
+// admission control, not the bus table) and reuses the table's hash so
+// same-bus reports keep their arrival order through a single FIFO.
+func newBatchIngester(s *Service, hc HandlerConfig) *batchIngester {
+	n := len(s.buses.shards) // always a power of two
+	if n > 32 {
+		n = 32
+	}
+	b := &batchIngester{
+		svc:   s,
+		hc:    hc,
+		rings: make([]batchRing, n),
+		mask:  uint64(n - 1),
+		meter: newDrainMeter(s.cfg.Now, s.http.ringDrained.Load),
+	}
+	for i := range b.rings {
+		b.rings[i].buf = make([]*ringItem, hc.RingDepth)
+		b.rings[i].tok = make(chan struct{}, 1)
+	}
+	b.calls.New = func() any { return &batchCall{dec: api.NewReportDecoder()} }
+	return b
+}
+
+func (b *batchIngester) depth() int {
+	d := b.svc.http.ringDrained.Load()
+	e := b.svc.http.ringEnqueued.Load()
+	if e < d {
+		return 0
+	}
+	return int(e - d)
+}
+
+// process ingests one ring item, routing when the handler is clustered. A
+// panic becomes a per-line "internal error" verdict (counted with the
+// handler panics) instead of unwinding an unrelated submitter's request
+// mid-drain — which would strand the ring's token and wedge the queue.
+func (b *batchIngester) process(it *ringItem) {
+	defer func() {
+		if v := recover(); v != nil {
+			b.svc.http.panics.Add(1)
+			it.err = errors.New("server: internal error ingesting report")
+		}
+		b.svc.http.ringDrained.Add(1)
+		it.wg.Done()
+	}()
+	ctx := it.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if b.hc.Router != nil {
+		it.resp, _, it.err = b.hc.Router.Dispatch(ctx, it.rep)
+	} else {
+		it.resp, it.err = b.svc.IngestCtx(ctx, it.rep)
+	}
+}
+
+// drain makes this goroutine the ring's combiner if nobody else is: it
+// processes queued items until the ring is empty. If another submitter
+// holds the token, drain returns immediately — that drainer re-checks
+// emptiness after releasing the token, so an item enqueued at any point
+// around the handoff is processed by someone (no strand window: pushes
+// and the emptiness check serialize on the ring mutex).
+func (b *batchIngester) drain(r *batchRing) {
+	for {
+		select {
+		case r.tok <- struct{}{}:
+		default:
+			return
+		}
+		b.drainHeld(r)
+		if r.isEmpty() {
+			return
+		}
+	}
+}
+
+func (b *batchIngester) drainHeld(r *batchRing) {
+	defer func() { <-r.tok }()
+	for {
+		it := r.pop()
+		if it == nil {
+			return
+		}
+		b.process(it)
+	}
+}
+
+// serve handles POST /v1/reports/batch.
+func (b *batchIngester) serve(w http.ResponseWriter, r *http.Request) {
+	s := b.svc
+	// Same discipline as the single path: batchOffered first, then
+	// exactly one of batchShed / batchServed.
+	s.http.batchOffered.Add(1)
+	if depth := b.depth(); depth >= len(b.rings)*b.hc.RingDepth {
+		// Every ring is saturated: shed before even reading the body.
+		s.http.batchShed.Add(1)
+		sec := b.meter.retryAfterSec(depth, b.hc.RetryAfter)
+		w.Header().Set("Retry-After", strconv.Itoa(sec))
+		writeErr(w, http.StatusTooManyRequests, "batch ingestion saturated; retry later")
+		return
+	}
+	defer s.http.batchServed.Add(1)
+
+	call := b.calls.Get().(*batchCall)
+	defer func() {
+		if !call.inflight {
+			b.calls.Put(call)
+		}
+	}()
+	call.reset()
+
+	r.Body = http.MaxBytesReader(w, r.Body, b.hc.BatchMaxBodyBytes)
+	if _, err := call.body.ReadFrom(r.Body); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.http.tooLarge.Add(1)
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				"batch body exceeds "+strconv.FormatInt(b.hc.BatchMaxBodyBytes, 10)+" bytes")
+			return
+		}
+		writeErr(w, http.StatusBadRequest, "read batch body: "+err.Error())
+		return
+	}
+	data := call.body.Bytes()
+	if n := countNDJSONLines(data); n > b.hc.BatchMaxReports {
+		s.http.tooLarge.Add(1)
+		writeErr(w, http.StatusRequestEntityTooLarge,
+			"batch has "+strconv.Itoa(n)+" lines, cap is "+strconv.Itoa(b.hc.BatchMaxReports)+
+				"; split it and resend")
+		return
+	}
+
+	// Group-commit window: every record the batch's lines produce is
+	// covered by one fsync at EndBatch, before the acknowledgement below.
+	gc := b.hc.GroupCommit
+	ended := false
+	if gc != nil {
+		gc.BeginBatch()
+		defer func() {
+			if !ended {
+				// Unwinding without the explicit EndBatch below (panic,
+				// early return): close the window so count-triggered
+				// fsyncs resume. The error only matters on the ack path.
+				_ = gc.EndBatch()
+			}
+		}()
+	}
+
+	var touched uint64 // bitmask of rings this batch enqueued into
+	attempted, shed := 0, false
+	for lineno := 0; len(data) > 0; lineno++ {
+		var line []byte
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			line, data = data[:i], data[i+1:]
+		} else {
+			line, data = data, nil // torn tail: still one line's verdict
+		}
+		if len(bytes.TrimSpace(line)) == 0 {
+			attempted = lineno + 1 // blank lines are attempted, silently
+			continue
+		}
+		s.http.batchReports.Add(1)
+		it := call.item()
+		it.line, it.ctx, it.wg = lineno, r.Context(), &call.wg
+		if err := call.dec.Decode(&it.rep, line); err != nil {
+			it.err = err // per-line verdict; never enqueued
+			attempted = lineno + 1
+			continue
+		}
+		ring := &b.rings[fnv1a(it.rep.BusID)&b.mask]
+		call.inflight = true
+		call.wg.Add(1)
+		if !ring.tryPush(it) {
+			// Ring full: help drain (a no-op if a combiner is active),
+			// then retry once. Still full means drainers are genuinely
+			// behind — shed the rest of the batch with a resume cursor.
+			b.drain(ring)
+			if !ring.tryPush(it) {
+				call.wg.Done()
+				call.used-- // the line was never attempted
+				shed = true
+				break
+			}
+		}
+		s.http.ringEnqueued.Add(1)
+		touched |= 1 << (fnv1a(it.rep.BusID) & b.mask)
+		attempted = lineno + 1
+	}
+
+	// Drain every ring we fed (each push is followed by a drain attempt,
+	// so no item of ours can strand), then wait for items other combiners
+	// picked up.
+	for i := range b.rings {
+		if touched&(1<<uint(i)) != 0 {
+			b.drain(&b.rings[i])
+		}
+	}
+	call.wg.Wait()
+	call.inflight = false
+
+	if gc != nil {
+		ended = true
+		if err := gc.EndBatch(); err != nil {
+			// The group fsync failed: records may not be durable, so the
+			// batch must not be acknowledged. Upload is at-least-once by
+			// design — the client retries and the fusion window dedups.
+			w.Header().Set("Retry-After", strconv.Itoa(int((b.hc.RetryAfter+time.Second-1)/time.Second)))
+			writeErr(w, http.StatusServiceUnavailable, "batch not durable: "+err.Error())
+			return
+		}
+	}
+
+	resp := &call.resp
+	resp.Received = attempted
+	for _, it := range call.items[:call.used] {
+		switch {
+		case it.err != nil:
+			resp.Rejected++
+			resp.Items = append(resp.Items, api.BatchItem{Index: it.line, Error: it.err.Error()})
+		case it.resp.Accepted:
+			resp.Accepted++
+			if it.resp.Located {
+				resp.Located++
+			}
+		case it.resp.Reason == api.ReasonLateScan:
+			resp.LateDropped++
+			resp.Items = append(resp.Items, api.BatchItem{Index: it.line, Reason: it.resp.Reason})
+		default:
+			resp.Rejected++
+			resp.Items = append(resp.Items, api.BatchItem{Index: it.line, Reason: it.resp.Reason, Error: "report not accepted"})
+		}
+	}
+	if shed {
+		sec := b.meter.retryAfterSec(b.depth(), b.hc.RetryAfter)
+		resp.RetryAfterSec = sec
+		w.Header().Set("Retry-After", strconv.Itoa(sec))
+		writeJSON(w, http.StatusTooManyRequests, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// countNDJSONLines counts the newline-separated lines of data, a torn
+// (newline-less) tail included.
+func countNDJSONLines(data []byte) int {
+	n := bytes.Count(data, []byte{"\n"[0]})
+	if len(data) > 0 && data[len(data)-1] != '\n' {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,389 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"wilocator/internal/api"
+	"wilocator/internal/wifi"
+)
+
+// batchLine marshals one report as an NDJSON line.
+func batchLine(t *testing.T, rep api.Report) []byte {
+	t.Helper()
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(b, '\n')
+}
+
+func postBatch(t *testing.T, url string, body []byte) (*http.Response, api.BatchResponse) {
+	t.Helper()
+	resp, err := http.Post(url+api.PathReportsBatch, "application/x-ndjson", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out api.BatchResponse
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusTooManyRequests {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("decode batch response: %v", err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return resp, out
+}
+
+// TestBatchMixedVerdicts drives one NDJSON batch containing every kind of
+// line — valid, blank, malformed JSON, a validation reject, an unknown
+// route, and a torn (newline-less) tail — and asserts 200 partial-accept
+// semantics: Received covers every line, accepted lines are elided from
+// Items, and each bad line carries its own verdict at its own index.
+func TestBatchMixedVerdicts(t *testing.T) {
+	w := newWorld(t, 60)
+	ts := httptest.NewServer(Handler(w.svc))
+	defer ts.Close()
+
+	var body []byte
+	body = append(body, batchLine(t, api.Report{BusID: "b1", RouteID: w.route.ID(), PhoneID: "p1",
+		Scan: wifi.Scan{Time: t0}})...) // 0: valid
+	body = append(body, '\n')                            // 1: blank, skipped silently
+	body = append(body, []byte("{torn json\n")...)       // 2: malformed
+	body = append(body, batchLine(t, api.Report{BusID: "b1", RouteID: w.route.ID(), PhoneID: "p2",
+		Scan: wifi.Scan{Time: t0, Readings: []wifi.Reading{{BSSID: "ap", RSSI: 9999}}}})...) // 3: invalid RSSI
+	body = append(body, batchLine(t, api.Report{BusID: "b2", RouteID: "no-such-route", PhoneID: "p3",
+		Scan: wifi.Scan{Time: t0}})...) // 4: unknown route
+	tail := batchLine(t, api.Report{BusID: "b3", RouteID: w.route.ID(), PhoneID: "p4",
+		Scan: wifi.Scan{Time: t0}})
+	body = append(body, tail[:len(tail)-1]...) // 5: valid, torn tail without trailing newline
+
+	resp, out := postBatch(t, ts.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mixed batch: got %d, want 200", resp.StatusCode)
+	}
+	if out.Received != 6 {
+		t.Errorf("Received = %d, want 6", out.Received)
+	}
+	if out.Accepted != 2 {
+		t.Errorf("Accepted = %d, want 2 (the two valid reports)", out.Accepted)
+	}
+	if out.Rejected != 3 {
+		t.Errorf("Rejected = %d, want 3", out.Rejected)
+	}
+	if len(out.Items) != 3 {
+		t.Fatalf("Items = %+v, want exactly the 3 bad lines", out.Items)
+	}
+	wantIdx := []int{2, 3, 4}
+	for i, it := range out.Items {
+		if it.Index != wantIdx[i] {
+			t.Errorf("Items[%d].Index = %d, want %d", i, it.Index, wantIdx[i])
+		}
+		if it.Error == "" {
+			t.Errorf("Items[%d] carries no error: %+v", i, it)
+		}
+	}
+
+	// The ledger: one offered, one served, five non-blank report lines.
+	hs := w.svc.HTTPStats()
+	if hs.BatchOffered != 1 || hs.BatchServed != 1 || hs.BatchShed != 0 {
+		t.Errorf("batch ledger = offered %d served %d shed %d, want 1/1/0",
+			hs.BatchOffered, hs.BatchServed, hs.BatchShed)
+	}
+	if hs.BatchReports != 5 {
+		t.Errorf("BatchReports = %d, want 5", hs.BatchReports)
+	}
+	// Both valid reports really reached per-bus state, and the ingest
+	// ledger matches the per-line verdicts.
+	st := w.svc.Stats()
+	if st.Accepted != 2 || st.Rejected != 2 || st.Registered != 2 {
+		t.Errorf("ingest ledger = accepted %d rejected %d registered %d, want 2/2/2",
+			st.Accepted, st.Rejected, st.Registered)
+	}
+}
+
+// TestBatchOversize413 covers both batch size gates: too many NDJSON
+// lines, and a body over the batch byte cap. Each is a counted 413, and
+// neither reaches ingestion.
+func TestBatchOversize413(t *testing.T) {
+	w := newWorld(t, 61)
+	ts := httptest.NewServer(NewHandler(w.svc, HandlerConfig{
+		BatchMaxReports:   4,
+		BatchMaxBodyBytes: 512,
+	}))
+	defer ts.Close()
+
+	line := batchLine(t, api.Report{BusID: "b", RouteID: w.route.ID(), PhoneID: "p",
+		Scan: wifi.Scan{Time: t0}})
+
+	resp, _ := postBatch(t, ts.URL, bytes.Repeat(line, 5))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("5 lines over a 4-line cap: got %d, want 413", resp.StatusCode)
+	}
+	if got := w.svc.HTTPStats().TooLarge; got != 1 {
+		t.Errorf("TooLarge counter = %d, want 1", got)
+	}
+
+	huge := append([]byte(nil), line...)
+	huge = append(huge, bytes.Repeat([]byte(" "), 1024)...) // pad past the byte cap
+	resp, _ = postBatch(t, ts.URL, huge)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized batch body: got %d, want 413", resp.StatusCode)
+	}
+	if got := w.svc.HTTPStats().TooLarge; got != 2 {
+		t.Errorf("TooLarge counter = %d, want 2", got)
+	}
+	if n := len(w.svc.Vehicles("")); n != 0 {
+		t.Errorf("oversized batches registered %d buses", n)
+	}
+}
+
+// TestBatchBackpressure429 wedges the single ring's drain token (as a
+// stuck combiner would) and asserts the batch is cut short with 429, a
+// resume cursor pointing at the first unattempted line, and a Retry-After
+// hint — while the lines enqueued before saturation still complete.
+func TestBatchBackpressure429(t *testing.T) {
+	w := newWorld(t, 62)
+	svc, err := NewService(w.dia, w.store, Config{Now: w.now, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi := newBatchIngester(svc, HandlerConfig{RingDepth: 1}.withDefaults())
+	if len(bi.rings) != 1 {
+		t.Fatalf("1-shard service built %d rings, want 1", len(bi.rings))
+	}
+	// Occupy the drain token: submitters now cannot become the combiner,
+	// exactly as when another request's drain is in progress.
+	bi.rings[0].tok <- struct{}{}
+
+	var body []byte
+	for i := 0; i < 3; i++ {
+		body = append(body, batchLine(t, api.Report{BusID: "bus-bp", RouteID: w.route.ID(),
+			PhoneID: fmt.Sprintf("p%d", i), Scan: wifi.Scan{Time: t0.Add(time.Duration(i) * time.Second)}})...)
+	}
+
+	rec := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		bi.serve(rec, httptest.NewRequest("POST", api.PathReportsBatch, bytes.NewReader(body)))
+	}()
+
+	// Line 0 fills the depth-1 ring; line 1 cannot push and cannot drain,
+	// so the batch sheds deterministically. The handler is now parked in
+	// wg.Wait on line 0 — release the token and drain it on its behalf.
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.http.ringEnqueued.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("line 0 never reached the ring")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	<-bi.rings[0].tok
+	bi.drain(&bi.rings[0])
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("batch handler never completed after the ring drained")
+	}
+
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated batch: got %d, want 429", rec.Code)
+	}
+	var out api.BatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Received != 1 {
+		t.Errorf("resume cursor Received = %d, want 1 (line 0 attempted, 1 and 2 not)", out.Received)
+	}
+	if out.Accepted != 1 {
+		t.Errorf("Accepted = %d, want 1 (the enqueued line completed)", out.Accepted)
+	}
+	if out.RetryAfterSec < 1 {
+		t.Errorf("RetryAfterSec = %d, want >= 1", out.RetryAfterSec)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("429 without a Retry-After header")
+	}
+	hs := svc.HTTPStats()
+	if hs.BatchServed != 1 || hs.BatchShed != 0 {
+		t.Errorf("a partially-attempted batch is served, not shed: %+v", hs)
+	}
+}
+
+// TestBatchOutrightShed429: when every ring is already saturated the batch
+// is refused before its body is even read, counted as shed.
+func TestBatchOutrightShed429(t *testing.T) {
+	w := newWorld(t, 63)
+	svc, err := NewService(w.dia, w.store, Config{Now: w.now, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi := newBatchIngester(svc, HandlerConfig{RingDepth: 2}.withDefaults())
+	svc.http.ringEnqueued.Add(2) // simulate 2 undrained reports = total capacity
+
+	rec := httptest.NewRecorder()
+	bi.serve(rec, httptest.NewRequest("POST", api.PathReportsBatch, strings.NewReader("{}\n")))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated rings: got %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("shed response without Retry-After")
+	}
+	hs := svc.HTTPStats()
+	if hs.BatchOffered != 1 || hs.BatchShed != 1 || hs.BatchServed != 0 {
+		t.Errorf("shed ledger = %+v, want offered 1, shed 1, served 0", hs)
+	}
+}
+
+// fakeGC counts group-commit windows and can fail the closing fsync.
+type fakeGC struct {
+	mu     sync.Mutex
+	begins int
+	ends   int
+	err    error
+}
+
+func (g *fakeGC) BeginBatch() {
+	g.mu.Lock()
+	g.begins++
+	g.mu.Unlock()
+}
+
+func (g *fakeGC) EndBatch() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.ends++
+	return g.err
+}
+
+// TestBatchGroupCommitWiring: every batch POST opens exactly one fsync
+// window and closes it before the acknowledgement; a failed EndBatch turns
+// the would-be 200 into 503 + Retry-After, because the records may not be
+// durable and the client must resend.
+func TestBatchGroupCommitWiring(t *testing.T) {
+	w := newWorld(t, 64)
+	gc := &fakeGC{}
+	ts := httptest.NewServer(NewHandler(w.svc, HandlerConfig{GroupCommit: gc}))
+	defer ts.Close()
+
+	line := batchLine(t, api.Report{BusID: "b", RouteID: w.route.ID(), PhoneID: "p",
+		Scan: wifi.Scan{Time: t0}})
+	resp, out := postBatch(t, ts.URL, bytes.Repeat(line, 3))
+	if resp.StatusCode != http.StatusOK || out.Accepted != 3 {
+		t.Fatalf("batch with group commit: %d, %+v", resp.StatusCode, out)
+	}
+	if gc.begins != 1 || gc.ends != 1 {
+		t.Errorf("group-commit windows = %d begins / %d ends, want 1/1", gc.begins, gc.ends)
+	}
+
+	gc.err = fmt.Errorf("fsync: device gone")
+	resp, _ = postBatch(t, ts.URL, line)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("failed group fsync: got %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 after failed fsync without Retry-After")
+	}
+	if gc.begins != 2 || gc.ends != 2 {
+		t.Errorf("windows after failure = %d/%d, want 2/2 (no double close)", gc.begins, gc.ends)
+	}
+}
+
+// TestBatchDuringRebuild hammers the batch endpoint while Rebuild hot-swaps
+// the engine generation, asserting zero drops: every posted line is
+// acknowledged Accepted even when its ingest straddles the swap. Run under
+// -race this also proves the pooled decode buffers and the readings arena
+// never share state across the swap.
+func TestBatchDuringRebuild(t *testing.T) {
+	w := newWorld(t, 65)
+	ts := httptest.NewServer(Handler(w.svc))
+	defer ts.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := w.svc.Rebuild(context.Background()); err != nil && err != ErrRebuildInProgress {
+				t.Errorf("Rebuild: %v", err)
+				return
+			}
+		}
+	}()
+
+	const batches, lines = 8, 32
+	posted, accepted := 0, 0
+	for bn := 0; bn < batches; bn++ {
+		var body []byte
+		for ln := 0; ln < lines; ln++ {
+			body = append(body, batchLine(t, api.Report{
+				BusID:   fmt.Sprintf("bus-%d", ln%4),
+				RouteID: w.route.ID(),
+				PhoneID: fmt.Sprintf("p-%d-%d", bn, ln),
+				Scan: wifi.Scan{
+					Time:     t0.Add(time.Duration(bn*lines+ln) * time.Second),
+					Readings: []wifi.Reading{{BSSID: "ap-1", RSSI: -60}},
+				},
+			})...)
+			posted++
+		}
+		resp, out := postBatch(t, ts.URL, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("batch %d during rebuild churn: got %d, want 200", bn, resp.StatusCode)
+		}
+		if len(out.Items) != 0 {
+			t.Fatalf("batch %d dropped lines during rebuild: %+v", bn, out.Items)
+		}
+		accepted += out.Accepted
+	}
+	close(stop)
+	wg.Wait()
+	if accepted != posted {
+		t.Errorf("accepted %d of %d lines across rebuilds, want all", accepted, posted)
+	}
+}
+
+// TestDrainMeterScales pins the Retry-After model: no observations → the
+// configured floor; then the hint tracks depth / measured drain rate,
+// clamped to [floor, 60s].
+func TestDrainMeterScales(t *testing.T) {
+	now := t0
+	var drained uint64
+	m := newDrainMeter(func() time.Time { return now }, func() uint64 { return drained })
+
+	if got := m.retryAfterSec(500, time.Second); got != 1 {
+		t.Errorf("hint before any drain observation = %d, want floor 1", got)
+	}
+	// One second passes, 100 reports drain: rate = 100/s.
+	now = now.Add(time.Second)
+	drained = 100
+	if got := m.retryAfterSec(500, time.Second); got < 5 || got > 7 {
+		t.Errorf("hint at depth 500, rate 100/s = %ds, want ~5-7", got)
+	}
+	// Shallow queues never dip under the floor.
+	if got := m.retryAfterSec(1, 2*time.Second); got != 2 {
+		t.Errorf("shallow-queue hint = %d, want floor 2", got)
+	}
+	// Absurd depth clamps at the cap.
+	if got := m.retryAfterSec(1_000_000, time.Second); got != maxRetryAfterSec {
+		t.Errorf("deep-queue hint = %d, want cap %d", got, maxRetryAfterSec)
+	}
+}

@@ -1,11 +1,13 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"wilocator/internal/api"
@@ -35,6 +37,26 @@ type HandlerConfig struct {
 	// api.ErrShardUnavailable answers 503 + Retry-After (the owner is
 	// mid-failover or partitioned); other errors stay 400.
 	Router Router
+	// BatchMaxReports caps the NDJSON line count of one POST
+	// /v1/reports/batch; larger batches are answered 413 and must be
+	// split. Default 4096.
+	BatchMaxReports int
+	// BatchMaxBodyBytes caps a batch POST body (413 beyond). Batches carry
+	// thousands of reports, so the single-report MaxBodyBytes does not
+	// apply to them. Default 16 MiB.
+	BatchMaxBodyBytes int64
+	// RingDepth is the per-ring capacity, in reports, of the batch ingest
+	// rings (one ring per bus-table shard, at most 32). When a ring stays
+	// full after the submitter lends a hand draining, the batch is cut
+	// short with 429 + a resume cursor. Default 1024.
+	RingDepth int
+	// GroupCommit, when set, brackets every batch with a
+	// BeginBatch/EndBatch fsync window so the WAL is synced once per
+	// batch instead of once per SyncEvery records, without weakening the
+	// fsync-before-ack durability contract. Wire the service's
+	// *traveltime.Persister here; leave nil when running without
+	// persistence.
+	GroupCommit GroupCommit
 }
 
 // Router dispatches a report to the shard owning its route — locally or on
@@ -56,7 +78,26 @@ func (c HandlerConfig) withDefaults() HandlerConfig {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.BatchMaxReports <= 0 {
+		c.BatchMaxReports = 4096
+	}
+	if c.BatchMaxBodyBytes <= 0 {
+		c.BatchMaxBodyBytes = 16 << 20
+	}
+	if c.RingDepth <= 0 {
+		c.RingDepth = 1024
+	}
 	return c
+}
+
+// reportScratch is the pooled per-request state of one single-report POST:
+// the body buffer, the fast-path decoder with its intern tables, and the
+// report itself. The service copies what it keeps at ingest, so the
+// scratch is safe to reuse the moment the handler returns.
+type reportScratch struct {
+	buf bytes.Buffer
+	dec *api.ReportDecoder
+	rep api.Report
 }
 
 // Handler returns the HTTP handler exposing the service as the JSON API of
@@ -73,6 +114,13 @@ func NewHandler(s *Service, hc HandlerConfig) http.Handler {
 	// shed immediately rather than queued.
 	sem := make(chan struct{}, hc.MaxInFlightReports)
 	retryAfter := strconv.Itoa(int((hc.RetryAfter + time.Second - 1) / time.Second))
+	// Retry-After on shed responses scales with the measured drain rate
+	// (depth of the admission queue over served reports/sec), clamped to
+	// [hc.RetryAfter, 60s]; under a frozen test clock the meter degrades
+	// to the configured floor.
+	postMeter := newDrainMeter(s.cfg.Now, s.http.served.Load)
+	scratch := sync.Pool{New: func() any { return &reportScratch{dec: api.NewReportDecoder()} }}
+	batch := newBatchIngester(s, hc)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST "+api.PathReports, func(w http.ResponseWriter, r *http.Request) {
@@ -86,15 +134,18 @@ func NewHandler(s *Service, hc HandlerConfig) http.Handler {
 			defer func() { <-sem }()
 		default:
 			s.http.shed.Add(1)
-			w.Header().Set("Retry-After", retryAfter)
+			sec := postMeter.retryAfterSec(len(sem), hc.RetryAfter)
+			w.Header().Set("Retry-After", strconv.Itoa(sec))
 			writeErr(w, http.StatusTooManyRequests, "ingestion saturated; retry later")
 			return
 		}
 		// Admitted: every exit below is a response, even an error one.
 		defer s.http.served.Add(1)
 		r.Body = http.MaxBytesReader(w, r.Body, hc.MaxBodyBytes)
-		var rep api.Report
-		if err := json.NewDecoder(r.Body).Decode(&rep); err != nil {
+		sc := scratch.Get().(*reportScratch)
+		defer scratch.Put(sc)
+		sc.buf.Reset()
+		if _, err := sc.buf.ReadFrom(r.Body); err != nil {
 			var mbe *http.MaxBytesError
 			if errors.As(err, &mbe) {
 				s.http.tooLarge.Add(1)
@@ -104,6 +155,11 @@ func NewHandler(s *Service, hc HandlerConfig) http.Handler {
 			writeErr(w, http.StatusBadRequest, "invalid report body: "+err.Error())
 			return
 		}
+		if err := sc.dec.Decode(&sc.rep, sc.buf.Bytes()); err != nil {
+			writeErr(w, http.StatusBadRequest, "invalid report body: "+err.Error())
+			return
+		}
+		rep := sc.rep
 		var resp api.IngestResponse
 		var err error
 		if hc.Router != nil {
@@ -122,6 +178,8 @@ func NewHandler(s *Service, hc HandlerConfig) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})
+
+	mux.HandleFunc("POST "+api.PathReportsBatch, batch.serve)
 
 	mux.HandleFunc("GET "+api.PathVehicles, func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Vehicles(r.URL.Query().Get("route")))

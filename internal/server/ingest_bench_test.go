@@ -1,0 +1,251 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"wilocator/internal/api"
+)
+
+// The ingest benchmarks measure reports/sec through three cross-sections
+// of the stack — full HTTP one-POST-per-report, full HTTP NDJSON batches,
+// and the handler alone — over identical synthetic report lines. ns/op is
+// always per REPORT (BenchmarkBatchIngest counts b.N reports, not b.N
+// requests), so BenchmarkBatchIngest / BenchmarkIngestHTTP is directly the
+// batch speedup ratio `make bench-check` gates.
+//
+// Report lines are pre-rendered with a fixed-width RFC3339 timestamp that
+// is patched in place per report, so the generator itself allocates
+// nothing and every report lands in a moving fusion window (steady-state
+// ingest, not one ever-growing bucket).
+
+// benchStampLayout is the fixed-width time the templates embed; stampLine
+// rewrites HH:MM:SS.mmm in place.
+const benchStampLayout = "13:00:00.000000000Z"
+
+type benchLines struct {
+	lines [][]byte // one template per bus
+	offs  []int    // offset of the embedded timestamp in each template
+}
+
+func newBenchLines(tb testing.TB, w *world, buses int) *benchLines {
+	tb.Helper()
+	aps := w.dep.APs()
+	if len(aps) < 8 {
+		tb.Fatalf("deployment too small: %d APs", len(aps))
+	}
+	var readings bytes.Buffer
+	for i := 0; i < 8; i++ {
+		if i > 0 {
+			readings.WriteByte(',')
+		}
+		fmt.Fprintf(&readings, `{"bssid":%q,"rssi":%d}`, string(aps[i].BSSID), -50-i)
+	}
+	bl := &benchLines{}
+	for bus := 0; bus < buses; bus++ {
+		line := fmt.Sprintf(`{"busId":"bench-%d","routeId":%q,"phoneId":"p%d","scan":{"time":"2016-03-07T%s","readings":[%s]}}`,
+			bus, w.route.ID(), bus, benchStampLayout, readings.String())
+		off := bytes.Index([]byte(line), []byte(benchStampLayout))
+		bl.lines = append(bl.lines, []byte(line))
+		bl.offs = append(bl.offs, off)
+	}
+	return bl
+}
+
+// line returns the i-th report of the run: the (i mod buses) template
+// stamped with a timestamp advancing 1 ms per report.
+func (bl *benchLines) line(i int) []byte {
+	bus := i % len(bl.lines)
+	l, off := bl.lines[bus], bl.offs[bus]
+	ms := i % 1000
+	sec := i / 1000
+	h, m, s := (13+sec/3600)%24, (sec/60)%60, sec%60
+	l[off], l[off+1] = '0'+byte(h/10), '0'+byte(h%10)
+	l[off+3], l[off+4] = '0'+byte(m/10), '0'+byte(m%10)
+	l[off+6], l[off+7] = '0'+byte(s/10), '0'+byte(s%10)
+	l[off+9], l[off+10], l[off+11] = '0'+byte(ms/100), '0'+byte((ms/10)%10), '0'+byte(ms%10)
+	return l
+}
+
+// BenchmarkIngestHTTP is the baseline transport: one HTTP POST per report
+// over a live loopback server. ns/op is the full per-report cost a
+// non-batching phone pays.
+func BenchmarkIngestHTTP(b *testing.B) {
+	w := newWorld(b, 70)
+	ts := httptest.NewServer(Handler(w.svc))
+	defer ts.Close()
+	bl := newBenchLines(b, w, 8)
+	url := ts.URL + api.PathReports
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(bl.line(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("report %d: status %d", i, resp.StatusCode)
+		}
+	}
+	b.StopTimer()
+	reportPerSec(b)
+}
+
+// BenchmarkBatchIngest ships the same reports as NDJSON frames of 512 per
+// POST. b.N counts REPORTS — the ratio to BenchmarkIngestHTTP is the batch
+// speedup the PR claims, gated in `make bench-check`.
+func BenchmarkBatchIngest(b *testing.B) {
+	const frame = 512
+	w := newWorld(b, 71)
+	ts := httptest.NewServer(Handler(w.svc))
+	defer ts.Close()
+	bl := newBenchLines(b, w, 8)
+	url := ts.URL + api.PathReportsBatch
+	var buf bytes.Buffer
+	post := func(from, to int) {
+		buf.Reset()
+		for i := from; i < to; i++ {
+			buf.Write(bl.line(i))
+			buf.WriteByte('\n')
+		}
+		resp, err := http.Post(url, "application/x-ndjson", bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("frame [%d:%d): status %d", from, to, resp.StatusCode)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += frame {
+		to := i + frame
+		if to > b.N {
+			to = b.N
+		}
+		post(i, to)
+	}
+	b.StopTimer()
+	reportPerSec(b)
+}
+
+// BenchmarkBatchIngestParallel is BenchmarkBatchIngest with GOMAXPROCS
+// concurrent uploaders — the aggregate reports/sec figure for the
+// EXPERIMENTS table. Each uploader stamps its own template copies; report
+// indices come from a shared counter so every timestamp stays unique.
+func BenchmarkBatchIngestParallel(b *testing.B) {
+	const frame = 512
+	w := newWorld(b, 74)
+	ts := httptest.NewServer(Handler(w.svc))
+	defer ts.Close()
+	url := ts.URL + api.PathReportsBatch
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		bl := newBenchLines(b, w, 8)
+		var buf bytes.Buffer
+		flush := func() {
+			if buf.Len() == 0 {
+				return
+			}
+			resp, err := http.Post(url, "application/x-ndjson", bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests {
+				b.Errorf("batch status %d", resp.StatusCode)
+			}
+			buf.Reset()
+		}
+		n := 0
+		for pb.Next() {
+			buf.Write(bl.line(int(next.Add(1))))
+			buf.WriteByte('\n')
+			if n++; n%frame == 0 {
+				flush()
+			}
+		}
+		flush()
+	})
+	b.StopTimer()
+	reportPerSec(b)
+}
+
+// BenchmarkIngestHandler measures the single-report handler alone — no
+// sockets — so its allocs/op gates the pooled decode path: the baseline in
+// BENCH_ingest.json pins the per-request allocation budget and
+// `make bench-check` fails on any new allocation.
+func BenchmarkIngestHandler(b *testing.B) {
+	w := newWorld(b, 72)
+	h := Handler(w.svc)
+	bl := newBenchLines(b, w, 8)
+	body := bytes.NewReader(nil)
+	req := httptest.NewRequest("POST", api.PathReports, nil)
+	rw := &discardRW{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body.Reset(bl.line(i))
+		req.Body = io.NopCloser(body)
+		rw.code = 0
+		h.ServeHTTP(rw, req)
+		if rw.code != http.StatusOK {
+			b.Fatalf("report %d: status %d", i, rw.code)
+		}
+	}
+}
+
+// BenchmarkBatchDecode isolates the NDJSON fast path: pooled decoder, one
+// reused report, zero steady-state allocations (also asserted hard in
+// api.TestDecodeSteadyStateAllocs).
+func BenchmarkBatchDecode(b *testing.B) {
+	w := newWorld(b, 73)
+	bl := newBenchLines(b, w, 8)
+	dec := api.NewReportDecoder()
+	var rep api.Report
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dec.Decode(&rep, bl.line(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// discardRW is a ResponseWriter that keeps only the status code, so the
+// handler benchmark does not time or allocate response buffering.
+type discardRW struct {
+	h    http.Header
+	code int
+}
+
+func (w *discardRW) Header() http.Header {
+	if w.h == nil {
+		w.h = make(http.Header, 4)
+	}
+	return w.h
+}
+func (w *discardRW) Write(p []byte) (int, error) { return len(p), nil }
+func (w *discardRW) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+}
+
+// reportPerSec publishes the human-facing throughput number next to ns/op.
+func reportPerSec(b *testing.B) {
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "reports/sec")
+}

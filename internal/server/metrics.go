@@ -31,6 +31,7 @@ type serviceMetrics struct {
 // label sets.
 var httpTimedPaths = []string{
 	api.PathReports,
+	api.PathReportsBatch,
 	api.PathVehicles,
 	api.PathArrivals,
 	api.PathTrafficMap,
@@ -82,6 +83,32 @@ func newServiceMetrics(s *Service, reg *obs.Registry) *serviceMetrics {
 		"Request bodies cut off by the size limit (413).", s.http.tooLarge.Load)
 	reg.CounterFunc("wilocator_http_panics_total",
 		"Handler panics recovered into a 500.", s.http.panics.Load)
+
+	// Batch-endpoint admission counters and ring occupancy.
+	reg.CounterFunc("wilocator_http_batches_offered_total",
+		"Batch POSTs that reached the handler (served + shed at quiescence).",
+		s.http.batchOffered.Load)
+	reg.CounterFunc("wilocator_http_batches_served_total",
+		"Batch POSTs run to a response, including partial 429s.",
+		s.http.batchServed.Load)
+	reg.CounterFunc("wilocator_http_batches_shed_total",
+		"Batch POSTs refused outright with 429 before any line was attempted.",
+		s.http.batchShed.Load)
+	reg.CounterFunc("wilocator_http_batch_reports_total",
+		"Individual report lines attempted via the batch endpoint.",
+		s.http.batchReports.Load)
+	reg.GaugeFunc("wilocator_batch_ring_depth",
+		"Reports currently queued in the batch ingest rings (enqueued - drained).",
+		func() float64 {
+			// drained first: a concurrent enqueue+drain can only make the
+			// difference read high, never negative.
+			d := s.http.ringDrained.Load()
+			e := s.http.ringEnqueued.Load()
+			if e < d {
+				return 0
+			}
+			return float64(e - d)
+		})
 
 	// Locate lookups by method. The counter set of each retired positioner
 	// generation is kept alive by the engine (see engine.retired), so the

@@ -318,11 +318,35 @@ func TestHealthSnapshotConsistency(t *testing.T) {
 			}
 		}(g)
 	}
+	// Batch writers: the same poisoned payloads as NDJSON frames, moving
+	// the batchOffered/batchServed/batchShed ledger concurrently.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			bad, _ := json.Marshal(api.Report{BusID: strings.Repeat("x", api.MaxIDLength+1),
+				RouteID: "campus", Scan: wifi.Scan{Time: t0}})
+			frame := append(append(append([]byte(nil), bad...), '\n', '{', '\n'), bad...)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest("POST", api.PathReportsBatch, bytes.NewReader(frame)))
+			}
+		}()
+	}
 
 	deadline := time.Now().Add(300 * time.Millisecond)
 	checks := 0
 	for time.Now().Before(deadline) {
 		hs := w.svc.HTTPStats()
+		if hs.BatchShed+hs.BatchServed > hs.BatchOffered {
+			t.Fatalf("inconsistent batch snapshot: shed %d + served %d > offered %d",
+				hs.BatchShed, hs.BatchServed, hs.BatchOffered)
+		}
 		if hs.Shed+hs.Served > hs.Offered {
 			t.Fatalf("inconsistent HTTP snapshot: shed %d + served %d > offered %d",
 				hs.Shed, hs.Served, hs.Offered)
@@ -342,13 +366,20 @@ func TestHealthSnapshotConsistency(t *testing.T) {
 		t.Fatal("checker never ran")
 	}
 
-	// Quiescent: the admission ledger must balance exactly.
+	// Quiescent: the admission ledgers must balance exactly.
 	hs := w.svc.HTTPStats()
 	if hs.Shed+hs.Served != hs.Offered {
 		t.Errorf("at quiescence shed %d + served %d != offered %d", hs.Shed, hs.Served, hs.Offered)
 	}
 	if hs.Offered == 0 {
 		t.Error("hammer offered no requests")
+	}
+	if hs.BatchShed+hs.BatchServed != hs.BatchOffered {
+		t.Errorf("at quiescence batch shed %d + served %d != offered %d",
+			hs.BatchShed, hs.BatchServed, hs.BatchOffered)
+	}
+	if hs.BatchOffered == 0 || hs.BatchReports == 0 {
+		t.Errorf("batch hammer moved nothing: offered %d, reports %d", hs.BatchOffered, hs.BatchReports)
 	}
 	// And the healthz body carries the same ledger.
 	health := w.svc.Health()

@@ -32,7 +32,7 @@ type world struct {
 func (w *world) now() time.Time        { return time.Unix(0, w.clock.Load()) }
 func (w *world) setClock(at time.Time) { w.clock.Store(at.UnixNano()) }
 
-func newWorld(t *testing.T, seed uint64) *world {
+func newWorld(t testing.TB, seed uint64) *world {
 	t.Helper()
 	net, err := roadnet.BuildCampus(1200)
 	if err != nil {

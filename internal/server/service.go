@@ -139,6 +139,12 @@ type busState struct {
 
 	bucketTime time.Time
 	bucket     []wifi.Scan
+	// arena is the private backing store for the bucketed scans' readings.
+	// Ingest copies each accepted report's readings here because the
+	// report's own Readings slice may be a pooled decode buffer that the
+	// HTTP handler reuses the moment ingest returns. The arena is reset
+	// (not freed) at every flush, so the steady state allocates nothing.
+	arena []wifi.Reading
 
 	lastCross  *locate.Crossing
 	lastUpdate time.Time
@@ -170,6 +176,18 @@ type httpStats struct {
 	shed     atomic.Uint64
 	tooLarge atomic.Uint64
 	panics   atomic.Uint64
+	// Batch-endpoint admission counters, same discipline as the single
+	// ones: batchShed + batchServed <= batchOffered at every instant.
+	batchOffered atomic.Uint64
+	batchServed  atomic.Uint64
+	batchShed    atomic.Uint64
+	batchReports atomic.Uint64
+	// Ring occupancy: reports enqueued into / drained from the batch
+	// ingest rings. enqueued is incremented before the ring insert and
+	// drained after processing, so enqueued - drained bounds the true
+	// queued depth from above; at quiescence they are equal.
+	ringEnqueued atomic.Uint64
+	ringDrained  atomic.Uint64
 }
 
 // rebuildState tracks diagram rebuilds: the single-flight lock and the
@@ -369,6 +387,10 @@ func (s *Service) HTTPStats() api.HTTPStats {
 	out.Shed = s.http.shed.Load()
 	out.Served = s.http.served.Load()
 	out.Offered = s.http.offered.Load()
+	out.BatchShed = s.http.batchShed.Load()
+	out.BatchServed = s.http.batchServed.Load()
+	out.BatchOffered = s.http.batchOffered.Load()
+	out.BatchReports = s.http.batchReports.Load()
 	out.TooLarge = s.http.tooLarge.Load()
 	out.Panics = s.http.panics.Load()
 	return out
@@ -418,6 +440,10 @@ func (s *Service) staleAt(lastUpdate, at time.Time) bool {
 // A bus that finished its trip or went stale (no report for StaleAfter of
 // report time) re-registers on its next report — on the same or a different
 // route — with a fresh tracker. A live bus switching routes is rejected.
+//
+// The report is not retained: the service copies what it buffers, so the
+// caller may reuse rep.Scan.Readings (e.g. a pooled decode buffer) as soon
+// as Ingest returns.
 func (s *Service) Ingest(rep api.Report) (api.IngestResponse, error) {
 	return s.IngestCtx(context.Background(), rep)
 }
@@ -488,6 +514,7 @@ func (s *Service) ingest(ctx context.Context, rep api.Report) (api.IngestRespons
 		bs.gen = eng.gen
 		bs.bucketTime = time.Time{}
 		bs.bucket = nil
+		bs.arena = nil
 		bs.lastCross = nil
 		bs.lastUpdate = time.Time{}
 		bs.done = false
@@ -524,9 +551,20 @@ func (s *Service) ingest(ctx context.Context, rep api.Report) (api.IngestRespons
 			resp.Arc = est.Arc
 		}
 		bs.bucket = bs.bucket[:0]
+		bs.arena = bs.arena[:0]
 	}
 	bs.bucketTime = bucket
-	bs.bucket = append(bs.bucket, rep.Scan)
+	// Copy the readings into the bus's arena rather than retaining
+	// rep.Scan.Readings: the caller may reuse that slice (the HTTP layer's
+	// pooled decode buffers) as soon as ingest returns. The three-index
+	// slice pins this scan's view, so growing the arena for a later scan
+	// can never alias it through append.
+	start := len(bs.arena)
+	bs.arena = append(bs.arena, rep.Scan.Readings...)
+	bs.bucket = append(bs.bucket, wifi.Scan{
+		Time:     rep.Scan.Time,
+		Readings: bs.arena[start:len(bs.arena):len(bs.arena)],
+	})
 	if rep.Scan.Time.After(bs.lastUpdate) {
 		bs.lastUpdate = rep.Scan.Time
 	}

@@ -1,0 +1,172 @@
+package traveltime
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGroupCommitAmortizesFsyncs: inside a BeginBatch/EndBatch window the
+// per-record SyncEvery trigger is suspended — one fsync at EndBatch makes
+// the whole batch durable and advances the durable frontier exactly once.
+func TestGroupCommitAmortizesFsyncs(t *testing.T) {
+	dir := t.TempDir()
+	var durable []int64
+	cfg := PersistConfig{
+		SyncEvery: 1, // every record would fsync without grouping
+		OnDurable: func(gen uint64, d int64) { durable = append(durable, d) },
+	}
+	store := NewStore(PaperPlan())
+	p, err := OpenPersister(dir, store, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, p)
+
+	p.BeginBatch()
+	recordN(t, p, 0, 50)
+	if s := p.Stats(); s.WALSyncs != 0 {
+		t.Fatalf("WALSyncs = %d during batch, want 0", s.WALSyncs)
+	}
+	if _, _, synced := p.CrashState(); synced != 0 {
+		t.Fatalf("durable frontier advanced to %d during batch", synced)
+	}
+	if len(durable) != 0 {
+		t.Fatalf("OnDurable fired %d times during batch", len(durable))
+	}
+	if err := p.EndBatch(); err != nil {
+		t.Fatalf("EndBatch: %v", err)
+	}
+	if s := p.Stats(); s.WALSyncs != 1 {
+		t.Fatalf("WALSyncs = %d after EndBatch, want 1", s.WALSyncs)
+	}
+	_, _, synced := p.CrashState()
+	if synced == 0 {
+		t.Fatal("durable frontier did not advance at EndBatch")
+	}
+	if len(durable) != 1 || durable[0] != synced {
+		t.Fatalf("OnDurable = %v, want one call at %d", durable, synced)
+	}
+}
+
+// TestGroupCommitCrashSurvival: a kill -9 right after a nil EndBatch (the
+// moment the server acks the batch) must lose nothing — the fsynced WAL
+// prefix alone reconstructs every batched record.
+func TestGroupCommitCrashSurvival(t *testing.T) {
+	dir := t.TempDir()
+	ref := NewStore(PaperPlan())
+	_, p := openTestPersister(t, dir, PersistConfig{SyncEvery: 64})
+	p.BeginBatch()
+	for i := 0; i < 30; i++ {
+		if err := p.Record(walRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Add(walRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.EndBatch(); err != nil {
+		t.Fatal(err)
+	}
+	// Model the crash: only the fsynced prefix survives. No Close — a
+	// closed persister would fsync again and mask a missing group commit.
+	_, walPath, synced := p.CrashState()
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(data)) != synced {
+		t.Fatalf("fsynced prefix %d != WAL size %d after EndBatch", synced, len(data))
+	}
+	crashDir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(crashDir, filepath.Base(walPath)), data[:synced], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recovered, p2 := openTestPersister(t, crashDir, PersistConfig{})
+	defer mustClose(t, p2)
+	if st := p2.Stats(); st.WALReplayed != 30 {
+		t.Fatalf("WALReplayed = %d, want all 30 batched records", st.WALReplayed)
+	}
+	if err := Diff(ref, recovered, 1e-9); err != nil {
+		t.Fatalf("recovered store diverged: %v", err)
+	}
+	_ = p // leaked on purpose: the "crashed" process never closes
+}
+
+// TestGroupCommitOverlap: overlapping windows (concurrent batches) each
+// get their own covering fsync at EndBatch — a batch acked after its own
+// EndBatch is durable even though another window is still open — while
+// count-triggered syncs stay suspended throughout; an unmatched EndBatch
+// is an error; explicit Sync still works mid-window.
+func TestGroupCommitOverlap(t *testing.T) {
+	dir := t.TempDir()
+	_, p := openTestPersister(t, dir, PersistConfig{SyncEvery: 1})
+	defer mustClose(t, p)
+
+	p.BeginBatch() // batch A
+	p.BeginBatch() // batch B, overlapping
+	recordN(t, p, 0, 5)
+	if s := p.Stats(); s.WALSyncs != 0 {
+		t.Fatalf("count trigger ran during open windows (WALSyncs = %d)", s.WALSyncs)
+	}
+	if err := p.EndBatch(); err != nil { // A acks: must be covered now
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.WALSyncs != 1 {
+		t.Fatalf("first EndBatch did not fsync (WALSyncs = %d)", st.WALSyncs)
+	}
+	if _, _, synced := p.CrashState(); synced == 0 {
+		t.Fatal("batch A acked without a durable frontier")
+	}
+	// An explicit Sync is still honored mid-window (operator flush); with
+	// nothing pending it is a no-op.
+	if err := p.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	recordN(t, p, 5, 10)
+	if s := p.Stats(); s.WALSyncs != 1 {
+		t.Fatalf("count trigger ran while window B still open (WALSyncs = %d)", s.WALSyncs)
+	}
+	if err := p.EndBatch(); err != nil { // B acks
+		t.Fatal(err)
+	}
+	if s := p.Stats(); s.WALSyncs != 2 {
+		t.Fatalf("second EndBatch did not fsync (WALSyncs = %d)", s.WALSyncs)
+	}
+	if err := p.EndBatch(); err == nil {
+		t.Fatal("unmatched EndBatch did not error")
+	}
+}
+
+// TestGroupCommitSyncErrorSurfaces: an fsync failure at EndBatch reaches
+// the caller (which must then NOT ack its batch), is counted, and leaves
+// the appends pending so a later sync retries them.
+func TestGroupCommitSyncErrorSurfaces(t *testing.T) {
+	dir := t.TempDir()
+	_, p := openTestPersister(t, dir, PersistConfig{SyncEvery: 1})
+	defer mustClose(t, p)
+
+	boom := errors.New("disk gone")
+	p.syncHook = func() error { return boom }
+	p.BeginBatch()
+	recordN(t, p, 0, 8)
+	if err := p.EndBatch(); !errors.Is(err, boom) {
+		t.Fatalf("EndBatch = %v, want wrapped %v", err, boom)
+	}
+	if s := p.Stats(); s.WALSyncFailures != 1 || s.WALSyncs != 0 {
+		t.Fatalf("stats after failed group commit: %+v", s)
+	}
+	if _, _, synced := p.CrashState(); synced != 0 {
+		t.Fatalf("frontier advanced past a failed fsync: %d", synced)
+	}
+	// Disk recovers: the still-pending batch syncs on the next attempt.
+	p.syncHook = nil
+	if err := p.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, synced := p.CrashState(); synced == 0 {
+		t.Fatal("retry after recovered disk did not advance the frontier")
+	}
+}

@@ -50,6 +50,7 @@ type Persister struct {
 	pending   int   // appends since last fsync
 	sinceSnap int   // appends since last snapshot
 	closed    bool
+	grouped   int // open BeginBatch groups; >0 suspends count-triggered fsyncs
 	buf       []byte
 	stats     PersistStats
 	// syncHook, when non-nil, replaces the WAL fsync call. Test seam only:
@@ -305,7 +306,7 @@ func (p *Persister) Record(rec Record) error {
 	}
 	p.stats.WALAppends++
 	p.pending++
-	if p.pending >= p.cfg.SyncEvery {
+	if p.grouped == 0 && p.pending >= p.cfg.SyncEvery {
 		if err := p.syncLocked(); err != nil {
 			return err
 		}
@@ -346,6 +347,40 @@ func (p *Persister) syncLocked() error {
 		p.cfg.OnDurable(p.gen, p.synced)
 	}
 	return nil
+}
+
+// BeginBatch opens a group-commit window: count-triggered WAL fsyncs
+// (SyncEvery) are suspended while any window is open, so one batch of
+// records costs one fsync instead of len(batch)/SyncEvery. Windows from
+// concurrent batches overlap freely (the suspension nests). Records from
+// outside any window are grouped too while one is open — they lose no
+// durability, because their acks never claimed fsync in the first place
+// (SyncEvery batching already made per-record durability best-effort);
+// explicit Sync still works mid-window.
+func (p *Persister) BeginBatch() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.grouped++
+}
+
+// EndBatch closes one group-commit window and fsyncs everything appended
+// so far, reporting the fsync's error — so a caller that acknowledges its
+// batch only after a nil EndBatch keeps the fsync-before-ack durability
+// contract (the WAL shipper's OnDurable hook fires from the same fsync).
+// Every EndBatch syncs, not just the outermost: with overlapping windows
+// each batch's ack must itself be covered, and the later windows' syncs
+// are cheap deltas. The amortization holds per batch — one fsync each.
+func (p *Persister) EndBatch() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.grouped == 0 {
+		return errors.New("traveltime: EndBatch without BeginBatch")
+	}
+	p.grouped--
+	if p.closed {
+		return nil
+	}
+	return p.syncLocked()
 }
 
 // Sync forces any batched WAL appends to durable storage.
