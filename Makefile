@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: ci lint wilint lint-selftest vet build test race chaos failover corpus corpus-short fuzz-smoke bench bench-smoke bench-check
+.PHONY: ci lint wilint wilint-ledger lint-selftest vet build test race chaos failover corpus corpus-short fuzz-smoke bench bench-smoke bench-check
 
 # ci is the full local gate: static checks (vet + the wilint invariant
 # suite and its self-tests), the race-instrumented test suite (including
@@ -25,9 +25,18 @@ lint: vet wilint
 		echo "lint: govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
 
-# wilint analyzes the whole module, test files included.
+# wilint analyzes the whole module, test files included, with all eleven
+# analyzers. CI consumes the machine-readable JSON stream (the shape
+# .github/wilint-matcher.json annotates); the exit status is non-zero on
+# any unsuppressed finding either way. For human-shaped output run
+# `go run ./cmd/wilint ./...` directly.
 wilint:
-	$(GO) run ./cmd/wilint ./...
+	$(GO) run ./cmd/wilint -format=json ./...
+
+# wilint-ledger enumerates every //wilint:ignore waiver with its
+# justification — the suppression budget reviewers audit.
+wilint-ledger:
+	$(GO) run ./cmd/wilint -ledger ./...
 
 # lint-selftest proves the analyzers themselves still pass their fixture
 # suites (each fixture asserts both real findings and directive hygiene).

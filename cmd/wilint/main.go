@@ -3,10 +3,21 @@
 //
 // Usage:
 //
-//	go run ./cmd/wilint [-run names] [-list] [packages]
+//	go run ./cmd/wilint [-run names] [-list] [-format text|json] [-ledger] [packages]
 //
 // Patterns default to ./... . Exit status is 0 when clean, 1 when any
 // diagnostic is reported, 2 on a driver error (load or typecheck failure).
+//
+// -format=json emits one machine-readable JSON document on stdout (the
+// shape CI problem-matchers consume, see .github/wilint-matcher.json);
+// the default text format prints one `file:line:col: [analyzer] message`
+// line per finding.
+//
+// -ledger switches from finding mode to audit mode: instead of running the
+// analyzers it enumerates every //wilint:ignore directive in the tree with
+// its justification, so reviewers can see exactly what is being waived.
+// The exit status is 0 even when directives exist — hygiene (unused or
+// unjustified directives) is enforced by the normal finding run.
 //
 // Findings are suppressed — one at a time, with a mandatory justification —
 // by a directive on the offending line or the line above:
@@ -18,17 +29,51 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"wilocator/internal/lint"
 	"wilocator/internal/lint/load"
 	"wilocator/internal/lint/rules"
 )
 
+// relPath shortens an absolute diagnostic path to be relative to the
+// working directory when that makes it shorter — the form editors,
+// humans and the CI problem matcher all prefer. Paths outside the tree
+// (or any relativization error) are passed through untouched.
+func relPath(cwd, file string) string {
+	if cwd == "" || !filepath.IsAbs(file) {
+		return file
+	}
+	rel, err := filepath.Rel(cwd, file)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return file
+	}
+	return rel
+}
+
 func main() {
 	os.Exit(run())
+}
+
+// jsonFinding is the machine-readable shape of one diagnostic.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// jsonReport is the -format=json document.
+type jsonReport struct {
+	Findings []jsonFinding      `json:"findings"`
+	Count    int                `json:"count"`
+	Ledger   []lint.LedgerEntry `json:"ledger,omitempty"`
 }
 
 func run() int {
@@ -36,8 +81,15 @@ func run() int {
 		runList = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
 		list    = flag.Bool("list", false, "list registered analyzers and exit")
 		noTests = flag.Bool("notests", false, "analyze only non-test files")
+		format  = flag.String("format", "text", "output format: text or json")
+		ledger  = flag.Bool("ledger", false, "enumerate //wilint:ignore directives instead of running analyzers")
 	)
 	flag.Parse()
+
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "wilint: unknown format %q (want text or json)\n", *format)
+		return 2
+	}
 
 	if *list {
 		for _, a := range rules.All() {
@@ -63,17 +115,76 @@ func run() int {
 		return 2
 	}
 
+	cwd, _ := os.Getwd()
+
+	if *ledger {
+		entries := lint.Ledger(targets)
+		for i := range entries {
+			entries[i].File = relPath(cwd, entries[i].File)
+		}
+		return printLedger(entries, *format)
+	}
+
 	diags, err := lint.Run(targets, analyzers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wilint: %v\n", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+
+	switch *format {
+	case "json":
+		rep := jsonReport{Findings: []jsonFinding{}, Count: len(diags)}
+		for _, d := range diags {
+			rep.Findings = append(rep.Findings, jsonFinding{
+				Analyzer: d.Analyzer,
+				File:     relPath(cwd, d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "wilint: encode: %v\n", err)
+			return 2
+		}
+	default:
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: [%s] %s\n",
+				relPath(cwd, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "wilint: %d finding(s)\n", len(diags))
 		return 1
 	}
+	return 0
+}
+
+// printLedger renders the suppression ledger. Always exit 0: the ledger is
+// an audit surface, not a gate (hygiene findings come from the normal run).
+func printLedger(entries []lint.LedgerEntry, format string) int {
+	if format == "json" {
+		rep := jsonReport{Findings: []jsonFinding{}, Ledger: entries, Count: len(entries)}
+		if rep.Ledger == nil {
+			rep.Ledger = []lint.LedgerEntry{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "wilint: encode: %v\n", err)
+			return 2
+		}
+		return 0
+	}
+	for _, e := range entries {
+		just := e.Justification
+		if just == "" {
+			just = "(no justification)"
+		}
+		fmt.Printf("%s:%d: [%s] %s\n", e.File, e.Line, e.Analyzer, just)
+	}
+	fmt.Fprintf(os.Stderr, "wilint: %d ignore directive(s)\n", len(entries))
 	return 0
 }

@@ -51,6 +51,7 @@ func NewReportDecoder() *ReportDecoder {
 // indistinguishable to every consumer (only the length is read). The
 // returned error, and the decoded value, are otherwise exactly what
 // json.Unmarshal produces for the same input.
+//wilint:hotpath
 func (d *ReportDecoder) Decode(dst *Report, line []byte) error {
 	resetReport(dst)
 	if d.fast(dst, line) {
@@ -67,6 +68,7 @@ func (d *ReportDecoder) Decode(dst *Report, line []byte) error {
 	return json.Unmarshal(line, dst)
 }
 
+//wilint:hotpath
 func resetReport(dst *Report) {
 	readings := dst.Scan.Readings
 	*dst = Report{}
@@ -78,6 +80,7 @@ func resetReport(dst *Report) {
 // fast hand-parses line into dst. A false return means "let encoding/json
 // decide": the line may be malformed, or merely use a JSON feature the
 // fast path declines to replicate.
+//wilint:hotpath
 func (d *ReportDecoder) fast(dst *Report, line []byte) bool {
 	s := jscan{b: line}
 	var seen uint8
@@ -118,10 +121,13 @@ func (d *ReportDecoder) fast(dst *Report, line []byte) bool {
 		}
 		switch bit {
 		case kBus:
+			//wilint:ignore hotpath intern's miss-path string(b) inlines here; steady state is a map hit
 			dst.BusID = d.intern(v)
 		case kRoute:
+			//wilint:ignore hotpath intern's miss-path string(b) inlines here; steady state is a map hit
 			dst.RouteID = d.intern(v)
 		case kPhone:
+			//wilint:ignore hotpath intern's miss-path string(b) inlines here; steady state is a map hit
 			dst.PhoneID = d.intern(v)
 		}
 		return true
@@ -133,6 +139,7 @@ func (d *ReportDecoder) fast(dst *Report, line []byte) bool {
 	return s.i == len(s.b) // trailing garbage is json.Unmarshal's error to report
 }
 
+//wilint:hotpath
 func (d *ReportDecoder) scanObj(s *jscan, sc *wifi.Scan) bool {
 	var seen uint8
 	const (
@@ -169,6 +176,7 @@ func (d *ReportDecoder) scanObj(s *jscan, sc *wifi.Scan) bool {
 	})
 }
 
+//wilint:hotpath
 func (d *ReportDecoder) readings(s *jscan, sc *wifi.Scan) bool {
 	s.ws()
 	if !s.eat('[') {
@@ -177,7 +185,7 @@ func (d *ReportDecoder) readings(s *jscan, sc *wifi.Scan) bool {
 	if sc.Readings == nil {
 		// encoding/json leaves a non-nil empty slice for "[]"; match it.
 		// One allocation on a buffer's first use, then reused forever.
-		sc.Readings = make([]wifi.Reading, 0, 16)
+		sc.Readings = make([]wifi.Reading, 0, 16) //wilint:ignore hotpath one-time warm-up, the buffer is reused forever after
 	}
 	s.ws()
 	if s.eat(']') {
@@ -209,7 +217,8 @@ func (d *ReportDecoder) readings(s *jscan, sc *wifi.Scan) bool {
 				if !ok {
 					return false
 				}
-				rd.BSSID = wifi.BSSID(d.intern(v))
+				//wilint:ignore hotpath intern's miss-path string(b) inlines here; steady state is a map hit
+			rd.BSSID = wifi.BSSID(d.intern(v))
 				return true
 			}
 			v, ok := s.num()
@@ -235,11 +244,12 @@ func (d *ReportDecoder) readings(s *jscan, sc *wifi.Scan) bool {
 // intern returns b as a string, remembering it (bounded) so the next
 // occurrence costs a map probe instead of an allocation. The map index by
 // string(b) compiles to a lookup without materializing the string.
+//wilint:hotpath
 func (d *ReportDecoder) intern(b []byte) string {
 	if s, ok := d.strs[string(b)]; ok {
 		return s
 	}
-	s := string(b)
+	s := string(b) //wilint:ignore hotpath the one materialization per distinct ID; repeats hit the table above
 	if len(d.strs) < decoderInternCap {
 		d.strs[s] = s
 	}
@@ -251,6 +261,7 @@ func (d *ReportDecoder) intern(b []byte) string {
 // emits, declining anything else (lowercase designators, leap seconds,
 // out-of-range components, over-long fractions) to the encoding/json
 // fallback so unusual inputs keep time.Time.UnmarshalJSON's exact verdict.
+//wilint:hotpath
 func (d *ReportDecoder) rfc3339(b []byte) (time.Time, bool) {
 	if len(b) < 20 {
 		return time.Time{}, false
@@ -318,6 +329,7 @@ func (d *ReportDecoder) rfc3339(b []byte) (time.Time, bool) {
 
 // zone caches one *time.Location per offset; phones in one metro share a
 // single offset, so this is a lookup after the first report.
+//wilint:hotpath
 func (d *ReportDecoder) zone(offsetSec int) *time.Location {
 	if offsetSec == 0 {
 		return time.UTC
@@ -330,6 +342,7 @@ func (d *ReportDecoder) zone(offsetSec int) *time.Location {
 	return l
 }
 
+//wilint:hotpath
 func daysIn(year, month int) int {
 	switch month {
 	case 2:
@@ -344,6 +357,7 @@ func daysIn(year, month int) int {
 	}
 }
 
+//wilint:hotpath
 func dig2(b []byte) (int, bool) {
 	if b[0] < '0' || b[0] > '9' || b[1] < '0' || b[1] > '9' {
 		return 0, false
@@ -351,6 +365,7 @@ func dig2(b []byte) (int, bool) {
 	return int(b[0]-'0')*10 + int(b[1]-'0'), true
 }
 
+//wilint:hotpath
 func dig4(b []byte) (int, bool) {
 	hi, ok1 := dig2(b[0:2])
 	lo, ok2 := dig2(b[2:4])
@@ -368,6 +383,7 @@ type jscan struct {
 	i int
 }
 
+//wilint:hotpath
 func (s *jscan) ws() {
 	for s.i < len(s.b) {
 		switch s.b[s.i] {
@@ -379,6 +395,7 @@ func (s *jscan) ws() {
 	}
 }
 
+//wilint:hotpath
 func (s *jscan) eat(c byte) bool {
 	if s.i < len(s.b) && s.b[s.i] == c {
 		s.i++
@@ -389,6 +406,7 @@ func (s *jscan) eat(c byte) bool {
 
 // object walks {"key": value, ...}, calling field at each value position;
 // field must consume the value. Leading whitespace is accepted.
+//wilint:hotpath
 func (s *jscan) object(field func(key []byte) bool) bool {
 	s.ws()
 	if !s.eat('{') {
@@ -423,6 +441,7 @@ func (s *jscan) object(field func(key []byte) bool) bool {
 // str scans a string literal, returning the raw bytes between the quotes.
 // Escapes, control bytes and invalid UTF-8 (which encoding/json would
 // decode or coerce) decline to the fallback.
+//wilint:hotpath
 func (s *jscan) str() ([]byte, bool) {
 	if !s.eat('"') {
 		return nil, false
@@ -451,6 +470,7 @@ func (s *jscan) str() ([]byte, bool) {
 
 // num scans a JSON integer that fits an int. Floats, exponents, leading
 // zeros and over-long digit runs decline to the fallback.
+//wilint:hotpath
 func (s *jscan) num() (int, bool) {
 	neg := false
 	if s.i < len(s.b) && s.b[s.i] == '-' {

@@ -1,0 +1,144 @@
+// Package goroleak implements the wilint analyzer for goroutine lifecycle
+// discipline in the long-running subsystems.
+//
+// Failover correctness (PR 7) depends on Node.Close actually waiting for
+// its goroutines: a fire-and-forget `go` statement in server, cluster or
+// traveltime is a goroutine that Kill() cannot join, a connection that
+// outlives its listener, or a shipper that keeps writing into a closed
+// WAL. The analyzer requires every `go` statement in a package whose
+// import path ends in /server, /cluster or /traveltime (non-test files)
+// to be visibly tied to a lifecycle mechanism:
+//
+//   - it calls (sync.WaitGroup).Done / Add somewhere in its body (the
+//     owner joins it), or
+//   - it signals completion over a channel (a send or close), or
+//   - it blocks on a channel receive or ranges over one (its lifetime is
+//     bounded by the sender closing the channel or a ctx.Done firing).
+//
+// The check is shallow by design: for `go f(...)` with f defined in the
+// same package, f's body is inspected one level deep; a goroutine whose
+// coordination is genuinely elsewhere carries a justified
+// //wilint:ignore goroleak directive, keeping the exception auditable in
+// the ledger.
+package goroleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"wilocator/internal/lint"
+)
+
+// Analyzer ties every go statement in server/cluster/traveltime to a
+// WaitGroup or lifecycle channel.
+var Analyzer = &lint.Analyzer{
+	Name: "goroleak",
+	Doc:  "go statements in server/cluster/traveltime must be joined via WaitGroup or bounded by a lifecycle channel",
+	Run:  run,
+}
+
+// gatedSuffixes are the subsystems whose goroutines must be joinable.
+var gatedSuffixes = []string{"server", "cluster", "traveltime"}
+
+func gated(path string) bool {
+	for _, s := range gatedSuffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *lint.Pass) error {
+	if pass.Pkg == nil || !gated(pass.Pkg.Path()) {
+		return nil
+	}
+	// Same-package function declarations, for the one-level-deep look
+	// through `go f(...)`.
+	decls := map[string]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				decls[fd.Name.Name] = fd
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue // tests own their goroutines; the race detector covers them
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if tied(pass, gs.Call, decls) {
+				return true
+			}
+			pass.Reportf(gs.Pos(), "goroutine is not tied to a WaitGroup or lifecycle channel (add wg.Add/Done or a done channel so Close can join it)")
+			return true
+		})
+	}
+	return nil
+}
+
+// tied reports whether the spawned call is visibly lifecycle-bound.
+func tied(pass *lint.Pass, call *ast.CallExpr, decls map[string]*ast.FuncDecl) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return bodyTied(pass, fun.Body)
+	case *ast.Ident:
+		if fd := decls[fun.Name]; fd != nil {
+			return bodyTied(pass, fd.Body)
+		}
+	case *ast.SelectorExpr:
+		// A same-package method: inspect its declaration if we have it.
+		if fn := lint.Callee(pass.Info, call); fn != nil && fn.Pkg() == pass.Pkg {
+			if fd := decls[fn.Name()]; fd != nil {
+				return bodyTied(pass, fd.Body)
+			}
+		}
+	}
+	return false
+}
+
+// bodyTied scans one function body for a lifecycle tie.
+func bodyTied(pass *lint.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true // signals a consumer
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true // blocks on a sender: lifetime bounded by close/ctx
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.Info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			switch fun := ast.Unparen(n.Fun).(type) {
+			case *ast.Ident:
+				if fun.Name == "close" {
+					found = true
+				}
+			case *ast.SelectorExpr:
+				if fun.Sel.Name == "Done" || fun.Sel.Name == "Add" {
+					if tv, ok := pass.Info.Types[fun.X]; ok && lint.IsNamed(tv.Type, "sync", "WaitGroup") {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"wilocator/internal/lint/goroleak"
+	"wilocator/internal/lint/linttest"
+)
+
+func TestGoroLeak(t *testing.T) {
+	linttest.Run(t, "testdata/src/server", goroleak.Analyzer)
+}

@@ -1,0 +1,79 @@
+// Fixture for the goroleak analyzer: this package's path ends in
+// "server", so every go statement must be visibly lifecycle-bound.
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+type node struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+// joined is the canonical owner-joins pattern.
+func (n *node) joined(ctx context.Context) {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		<-ctx.Done()
+	}()
+}
+
+// signalled closes a channel so the owner can select on completion.
+func (n *node) signalled() {
+	go func() {
+		defer close(n.done)
+	}()
+}
+
+// sender reports completion over a channel.
+func sender(results chan<- int) {
+	go func() {
+		results <- 42
+	}()
+}
+
+// consumer ranges over a channel: its lifetime is the producer's.
+func consumer(jobs <-chan int) {
+	go func() {
+		for j := range jobs {
+			_ = j
+		}
+	}()
+}
+
+// fireAndForget has no tie at all.
+func fireAndForget() {
+	go func() { // want `goroutine is not tied to a WaitGroup or lifecycle channel`
+		for {
+		}
+	}()
+}
+
+// namedLoop spawns a same-package function; the one-level-deep look sees
+// the ctx.Done receive inside it.
+func (n *node) namedLoop(ctx context.Context) {
+	go loop(ctx)
+}
+
+func loop(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// namedLeak spawns a same-package function with no tie.
+func namedLeak() {
+	go spin() // want `goroutine is not tied to a WaitGroup or lifecycle channel`
+}
+
+func spin() {
+	for {
+	}
+}
+
+// waived records why the exception is safe.
+func waived() {
+	//wilint:ignore goroleak process-lifetime metrics pump, exits with the binary
+	go spin()
+}

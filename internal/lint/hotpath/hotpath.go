@@ -1,0 +1,245 @@
+// Package hotpath implements the wilint analyzer that turns WiLocator's
+// zero-allocation invariants into a compile-time gate.
+//
+// The decode path (0 allocs/report), the locate scratch path (bounded
+// allocs/lookup), the batch ring drain and the Prometheus render are only
+// fast because they do not touch the heap. Those properties are guarded by
+// alloc-counting benchmarks (make bench-check), but benchmarks run late and
+// report totals, not causes. This analyzer moves the gate to lint time: a
+// function annotated
+//
+//	//wilint:hotpath
+//
+// is compiled with the gc escape analyzer's diagnostics enabled
+// (go build -gcflags=-m) and every "escapes to heap" / "moved to heap"
+// the compiler attributes to a line inside the annotated function becomes
+// a finding — interface boxing, closure captures, append growth, fmt
+// argument boxing, all of it, each pinned to the exact line and compiler
+// message.
+//
+// Deliberate, amortized allocations (a sync.Pool warm-up path, an error
+// path off the fast path) are waived line by line with a justified
+// //wilint:ignore hotpath directive, so every exception is visible in the
+// suppression ledger (`wilint -ledger`).
+//
+// Mechanics: the analyzer shells out to `go build -gcflags=-m` over the
+// package's non-test files (file-list mode, so fixture packages under
+// testdata build the same way real packages do). The go build cache
+// replays compiler diagnostics on cache hits, so warm runs cost
+// milliseconds. Inlining makes the compiler repeat one escape at every
+// inline site; findings are deduplicated by (file, line, message).
+// Annotations in _test.go files are reported as ineffective — the gate
+// compiles only the non-test half of a package.
+package hotpath
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+
+	"wilocator/internal/lint"
+)
+
+// Analyzer gates //wilint:hotpath functions on compiler escape analysis.
+var Analyzer = &lint.Analyzer{
+	Name: "hotpath",
+	Doc:  "functions annotated //wilint:hotpath must be free of heap escapes under -gcflags=-m",
+	Run:  run,
+}
+
+// span is the line range of one annotated function in one file.
+type span struct {
+	base  string // file base name, the key escape output is matched on
+	start int
+	end   int
+	name  string // function name, for messages
+}
+
+// escLine is one parsed compiler diagnostic.
+type escLine struct {
+	base string
+	line int
+	msg  string
+}
+
+// buildCache memoizes one `go build -gcflags=-m` per package directory per
+// process: the fixture suite and the real-tree smoke test revisit the same
+// directories, and the build cache already makes the underlying compile a
+// replay.
+var (
+	buildMu    sync.Mutex
+	buildCache = map[string][]escLine{}
+)
+
+func run(pass *lint.Pass) error {
+	dirs := lint.Directives(pass.Fset, pass.Files, "hotpath")
+	if len(dirs) == 0 {
+		return nil
+	}
+
+	// Associate each directive with the function whose doc block (or body)
+	// contains it; report strays so a drifted annotation cannot silently
+	// gate nothing.
+	used := map[token.Pos]bool{}
+	var spans []span
+	var buildFiles []string // absolute paths of the package's non-test files
+	for _, f := range pass.Files {
+		fname := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(fname, "_test.go") {
+			for p := range dirs {
+				if pass.Fset.Position(p).Filename == fname {
+					used[p] = true
+					pass.Reportf(p, "//wilint:hotpath in a _test.go file has no effect (the escape gate compiles only non-test files)")
+				}
+			}
+			continue
+		}
+		abs, err := filepath.Abs(fname)
+		if err != nil {
+			return fmt.Errorf("hotpath: %w", err)
+		}
+		buildFiles = append(buildFiles, abs)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			lo := fd.Pos()
+			if fd.Doc != nil {
+				lo = fd.Doc.Pos()
+			}
+			annotated := false
+			for p := range dirs {
+				if p >= lo && p <= fd.End() && pass.Fset.Position(p).Filename == fname {
+					used[p] = true
+					annotated = true
+				}
+			}
+			if annotated {
+				spans = append(spans, span{
+					base:  filepath.Base(fname),
+					start: pass.Fset.Position(fd.Pos()).Line,
+					end:   pass.Fset.Position(fd.End()).Line,
+					name:  fd.Name.Name,
+				})
+			}
+		}
+	}
+	for p := range dirs {
+		if !used[p] {
+			pass.Reportf(p, "misplaced //wilint:hotpath (attach it to a function declaration's doc comment)")
+		}
+	}
+	if len(spans) == 0 {
+		return nil
+	}
+
+	escapes, err := escapeDiagnostics(pass.Pkg.Name(), buildFiles)
+	if err != nil {
+		return err
+	}
+
+	// Inline expansion repeats one escape at every inline site; collapse to
+	// one finding per (file, line, message).
+	seen := map[escLine]bool{}
+	for _, e := range escapes {
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		for _, s := range spans {
+			if e.base != s.base || e.line < s.start || e.line > s.end {
+				continue
+			}
+			pos := lineStart(pass, s.base, e.line)
+			if pos == token.NoPos {
+				continue
+			}
+			pass.Reportf(pos, "heap escape in hotpath function %s: %s", s.name, e.msg)
+			break
+		}
+	}
+	return nil
+}
+
+// escDiag matches one compiler diagnostic line: file:line:col: message.
+var escDiag = regexp.MustCompile(`^(.+\.go):(\d+):\d+: (.*)$`)
+
+// escapeDiagnostics compiles files (one package directory, non-test files
+// only) with -gcflags=-m and returns the heap-escape diagnostics. Lines
+// like "leaking param", "can inline" and "does not escape" are compiler
+// bookkeeping, not allocations, and are dropped here.
+func escapeDiagnostics(pkgName string, files []string) ([]escLine, error) {
+	if len(files) == 0 {
+		return nil, nil
+	}
+	dir := filepath.Dir(files[0])
+	args := []string{"build", "-gcflags=-m"}
+	if pkgName == "main" {
+		// File-list builds of package main link a binary into the working
+		// directory; discard it.
+		args = append(args, "-o", "/dev/null")
+	}
+	var bases []string
+	for _, f := range files {
+		if filepath.Dir(f) != dir {
+			return nil, fmt.Errorf("hotpath: package files span directories %s and %s", dir, filepath.Dir(f))
+		}
+		bases = append(bases, filepath.Base(f))
+	}
+
+	key := dir + "\x00" + strings.Join(bases, "\x00")
+	buildMu.Lock()
+	cached, ok := buildCache[key]
+	buildMu.Unlock()
+	if ok {
+		return cached, nil
+	}
+
+	cmd := exec.Command("go", append(args, bases...)...)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("hotpath: go build -gcflags=-m in %s: %w\n%s", dir, err, out)
+	}
+	var escapes []escLine
+	for _, line := range strings.Split(string(out), "\n") {
+		m := escDiag.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		msg := m[3]
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		var n int
+		fmt.Sscanf(m[2], "%d", &n)
+		escapes = append(escapes, escLine{base: filepath.Base(m[1]), line: n, msg: msg})
+	}
+	buildMu.Lock()
+	buildCache[key] = escapes
+	buildMu.Unlock()
+	return escapes, nil
+}
+
+// lineStart resolves (file base name, line) back to a token.Pos in the
+// pass's file set so findings carry real positions.
+func lineStart(pass *lint.Pass, base string, line int) token.Pos {
+	for _, f := range pass.Files {
+		fname := pass.Fset.Position(f.Pos()).Filename
+		if filepath.Base(fname) != base {
+			continue
+		}
+		tf := pass.Fset.File(f.Pos())
+		if tf == nil || line < 1 || line > tf.LineCount() {
+			return token.NoPos
+		}
+		return tf.LineStart(line)
+	}
+	return token.NoPos
+}

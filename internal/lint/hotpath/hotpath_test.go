@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"wilocator/internal/lint/hotpath"
+	"wilocator/internal/lint/linttest"
+)
+
+func TestHotpath(t *testing.T) {
+	linttest.Run(t, "testdata/src/hotpath", hotpath.Analyzer)
+}

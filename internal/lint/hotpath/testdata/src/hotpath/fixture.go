@@ -1,0 +1,65 @@
+// Fixture for the hotpath analyzer: annotated functions are compiled with
+// -gcflags=-m and heap escapes inside them become findings; unannotated
+// functions may allocate freely.
+package hotpath
+
+import "fmt"
+
+// leaks returns the address of a local, the classic forced heap move.
+//
+//wilint:hotpath
+func leaks() *int {
+	x := 42 // want `heap escape in hotpath function leaks: moved to heap: x`
+	return &x
+}
+
+// boxes converts to an interface, which allocates to box the int.
+//
+//wilint:hotpath
+func boxes(v int) any {
+	return v // want `heap escape in hotpath function boxes: v escapes to heap`
+}
+
+// format leans on fmt, which boxes its arguments.
+//
+//wilint:hotpath
+func format(n int) string {
+	return fmt.Sprintf("%d", n) // want `heap escape in hotpath function format: n escapes to heap`
+}
+
+// clean is annotated and genuinely allocation-free: no findings.
+//
+//wilint:hotpath
+func clean(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// amortized waives one deliberate allocation with a justified ignore.
+//
+//wilint:hotpath
+func amortized() []int {
+	return make([]int, 0, 16) //wilint:ignore hotpath pool warm-up path, amortized across reuse
+}
+
+// unannotated allocates but is not gated.
+func unannotated() *int {
+	y := 7
+	return &y
+}
+
+//wilint:hotpath // want `misplaced //wilint:hotpath`
+var notAFunction = 3
+
+func use() {
+	_ = leaks()
+	_ = boxes(1)
+	_ = format(2)
+	_ = clean(nil)
+	_ = amortized()
+	_ = unannotated()
+	_ = notAFunction
+}

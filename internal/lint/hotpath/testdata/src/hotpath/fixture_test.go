@@ -1,0 +1,9 @@
+// Test-file half of the hotpath fixture: annotations here cannot gate
+// anything, because the escape build compiles only non-test files.
+package hotpath
+
+//wilint:hotpath // want `//wilint:hotpath in a _test.go file has no effect`
+func helperInTest() *int {
+	z := 1
+	return &z
+}

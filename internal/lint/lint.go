@@ -38,8 +38,10 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // An Analyzer describes one invariant checker.
@@ -113,26 +115,57 @@ type ignoreDirective struct {
 // Run executes the analyzers over the targets, applies the suppression
 // directives found in the targets' comments, and returns the surviving
 // diagnostics (including directive-hygiene findings) sorted by position.
+//
+// Every (target, analyzer) pair runs as its own goroutine, bounded by
+// GOMAXPROCS: the shared load (go list + typecheck) happens once before
+// Run, targets are immutable during analysis, and each pair appends into
+// its own diagnostic slot, so the merge is deterministic regardless of
+// scheduling. Analyzer errors win over findings; the first (in target,
+// analyzer order) is returned.
 func Run(targets []*Target, analyzers []*Analyzer) ([]Diagnostic, error) {
 	known := map[string]bool{}
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
+	// results[ti][ai] holds the raw findings of analyzer ai on target ti.
+	results := make([][][]Diagnostic, len(targets))
+	errs := make([][]error, len(targets))
+	for ti := range targets {
+		results[ti] = make([][]Diagnostic, len(analyzers))
+		errs[ti] = make([]error, len(analyzers))
+	}
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for ti, t := range targets {
+		for ai, a := range analyzers {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(ti, ai int, t *Target, a *Analyzer) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				var diags []Diagnostic
+				pass := &Pass{
+					Analyzer: a,
+					Fset:     t.Fset,
+					Files:    t.Files,
+					Pkg:      t.Pkg,
+					Info:     t.Info,
+					diags:    &diags,
+				}
+				errs[ti][ai] = a.Run(pass)
+				results[ti][ai] = diags
+			}(ti, ai, t, a)
+		}
+	}
+	wg.Wait()
 	var all []Diagnostic
-	for _, t := range targets {
+	for ti, t := range targets {
 		var diags []Diagnostic
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer: a,
-				Fset:     t.Fset,
-				Files:    t.Files,
-				Pkg:      t.Pkg,
-				Info:     t.Info,
-				diags:    &diags,
-			}
-			if err := a.Run(pass); err != nil {
+		for ai, a := range analyzers {
+			if err := errs[ti][ai]; err != nil {
 				return nil, fmt.Errorf("%s: analyzer %s: %w", t.PkgPath, a.Name, err)
 			}
+			diags = append(diags, results[ti][ai]...)
 		}
 		all = append(all, applyDirectives(t, diags, known)...)
 	}
@@ -229,6 +262,46 @@ func collectIgnores(t *Target) []*ignoreDirective {
 		}
 	}
 	return dirs
+}
+
+// A LedgerEntry is one //wilint:ignore directive, surfaced for audit by
+// `wilint -ledger`: the suppression budget of the tree, enumerable in CI.
+type LedgerEntry struct {
+	Analyzer      string         `json:"analyzer"`
+	Pos           token.Position `json:"-"`
+	File          string         `json:"file"`
+	Line          int            `json:"line"`
+	Justification string         `json:"justification"`
+}
+
+// Ledger collects every //wilint:ignore directive across the targets,
+// sorted by position. It does not judge the directives (Run does that);
+// it only enumerates them so reviewers can audit what is being waived
+// and why.
+func Ledger(targets []*Target) []LedgerEntry {
+	var out []LedgerEntry
+	for _, t := range targets {
+		for _, dir := range collectIgnores(t) {
+			out = append(out, LedgerEntry{
+				Analyzer:      dir.analyzer,
+				Pos:           dir.pos,
+				File:          dir.pos.Filename,
+				Line:          dir.pos.Line,
+				Justification: dir.reason,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
 }
 
 // Directives returns the comment lines in the target's files that start

@@ -23,7 +23,9 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
 
 	"wilocator/internal/lint"
 )
@@ -55,19 +57,37 @@ type Options struct {
 // Targets loads the packages matching patterns (e.g. "./...") and returns
 // them typechecked, ready for lint.Run. Only packages of the surrounding
 // module are returned as targets; dependencies are consumed as export data.
+//
+// The expensive `go list -export` walk happens exactly once per call; the
+// per-package typechecks then run in parallel (bounded by GOMAXPROCS).
+// That is safe because token.FileSet is internally synchronized and each
+// package gets its own importer closure — dependencies are read from
+// export-data files, never from another in-flight typecheck. Results keep
+// go list order, so downstream output is deterministic.
 func Targets(patterns []string, opts Options) ([]*lint.Target, error) {
 	pkgs, exports, err := goList(patterns, opts)
 	if err != nil {
 		return nil, err
 	}
 	fset := token.NewFileSet()
-	var targets []*lint.Target
-	for _, p := range pkgs {
-		t, err := typecheck(fset, p, exports)
+	targets := make([]*lint.Target, len(pkgs))
+	errs := make([]error, len(pkgs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, p := range pkgs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, p *listPackage) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			targets[i], errs[i] = typecheck(fset, p, exports)
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		targets = append(targets, t)
 	}
 	return targets, nil
 }
@@ -171,7 +191,16 @@ func typecheck(fset *token.FileSet, p *listPackage, exports map[string]string) (
 		Implicits:  map[ast.Node]types.Object{},
 		Scopes:     map[ast.Node]*types.Scope{},
 	}
-	pkg, err := conf.Check(p.ImportPath, fset, files, info)
+	// Typecheck under the plain import path: go list's variant suffix
+	// ("pkg [pkg.test]") is loader bookkeeping, and analyzers that gate on
+	// package-path suffixes (clusterctx, goroleak, retrysafe, ...) must see
+	// the real path or they silently skip the test variant — which, since
+	// the loader prefers that variant, would skip the whole package.
+	checkPath := p.ImportPath
+	if i := strings.Index(checkPath, " ["); i >= 0 {
+		checkPath = checkPath[:i]
+	}
+	pkg, err := conf.Check(checkPath, fset, files, info)
 	if err != nil && len(typeErrs) > 0 {
 		err = typeErrs[0]
 	}

@@ -1,0 +1,348 @@
+// Package poolsafe implements the wilint analyzer for sync.Pool
+// discipline.
+//
+// WiLocator leans on pools in every hot path: the server's batch-call and
+// scratch pools, the locate lookup scratch, the obs render buffer. The two
+// bug classes that make pools dangerous are aliasing (an object is Put
+// back while a reference to it is still live — the next Get hands the same
+// memory to a concurrent user) and stale state (an object is Get and used
+// without resetting what the previous user left in it). PR 8's inflight
+// guard papers over one instance of the first class dynamically; this
+// analyzer gates both classes statically:
+//
+//   - use-after-Put: after a non-deferred pool.Put(x), the variable x must
+//     not appear again in the function. (A deferred Put is exempt — it runs
+//     at return, after every textual use.)
+//   - double-Put: two Put calls repooling the same variable in one function
+//     are reported, even on exclusive branches; the conservative cases are
+//     waived with a justified ignore.
+//   - Get-without-reset: after binding x := pool.Get().(T), the first
+//     meaningful operation on x must re-establish its invariants — a
+//     Reset/reset/Clear method call, a field write, clear(x), or a call to
+//     a reset-named helper. Nil checks, rebinding, returning x (the
+//     getter-helper idiom, where the caller owns the reset), and handing x
+//     straight back to the pool are all fine.
+//
+// The analysis is intraprocedural and position-based: "after" means later
+// in source order within the same function, which is exactly how the
+// repo's pool code is written. Cross-function aliasing is out of scope.
+package poolsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"wilocator/internal/lint"
+)
+
+// Analyzer enforces sync.Pool Get/Put discipline.
+var Analyzer = &lint.Analyzer{
+	Name: "poolsafe",
+	Doc:  "sync.Pool objects are not used after Put, not Put twice, and are reset after Get",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// useKind classifies one occurrence of a pool-tracked variable.
+type useKind int
+
+const (
+	kindNeutral useKind = iota // nil check, comparison, deferred cleanup
+	kindReset                  // reset method, field write, clear, reset-named helper
+	kindStop                   // rebound or returned: tracking ends
+	kindPut                    // handed back to the pool
+	kindViolate                // any other read/escape of the value
+)
+
+// use is one classified occurrence of a tracked variable.
+type use struct {
+	pos  token.Pos
+	end  token.Pos
+	kind useKind
+	put  *ast.CallExpr // for kindPut, the Put call
+}
+
+// putEvent is one pool.Put(x) call.
+type putEvent struct {
+	call     *ast.CallExpr
+	obj      types.Object
+	deferred bool
+}
+
+// getEvent is one x := pool.Get().(T) binding.
+type getEvent struct {
+	obj types.Object
+	end token.Pos // end of the binding statement
+}
+
+func checkFunc(pass *lint.Pass, body *ast.BlockStmt) {
+	var puts []putEvent
+	var gets []getEvent
+
+	// First walk: find the pool traffic.
+	withParents(body, func(n ast.Node, stack []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if poolRecv(pass.Info, call, "Put") != nil {
+			if obj := argObject(pass.Info, call); obj != nil {
+				puts = append(puts, putEvent{call: call, obj: obj, deferred: underDefer(stack)})
+			}
+			return
+		}
+		if poolRecv(pass.Info, call, "Get") == nil {
+			return
+		}
+		// Climb out of the x := pool.Get().(T) wrapping to the binding.
+		var cur ast.Node = call
+		for i := len(stack) - 2; i >= 0; i-- {
+			switch p := stack[i].(type) {
+			case *ast.ParenExpr, *ast.TypeAssertExpr:
+				cur = p
+				continue
+			case *ast.AssignStmt:
+				if len(p.Lhs) >= 1 {
+					if id, ok := p.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+						obj := pass.Info.Defs[id]
+						if obj == nil {
+							obj = pass.Info.Uses[id]
+						}
+						if obj != nil {
+							gets = append(gets, getEvent{obj: obj, end: p.End()})
+						}
+					}
+				}
+			}
+			break
+		}
+		_ = cur
+	})
+
+	if len(puts) == 0 && len(gets) == 0 {
+		return
+	}
+
+	// Second walk: classify every occurrence of each tracked variable.
+	tracked := map[types.Object][]use{}
+	for _, p := range puts {
+		tracked[p.obj] = nil
+	}
+	for _, g := range gets {
+		tracked[g.obj] = nil
+	}
+	withParents(body, func(n ast.Node, stack []ast.Node) {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil {
+			return
+		}
+		if _, yes := tracked[obj]; !yes {
+			return
+		}
+		kind, putCall := classify(pass.Info, id, stack)
+		tracked[obj] = append(tracked[obj], use{pos: id.Pos(), end: id.End(), kind: kind, put: putCall})
+	})
+
+	// Get-without-reset: the first meaningful operation after the binding
+	// must re-establish the object's invariants.
+	for _, g := range gets {
+		for _, u := range tracked[g.obj] {
+			if u.pos < g.end {
+				continue
+			}
+			if u.kind == kindNeutral {
+				continue
+			}
+			if u.kind == kindViolate {
+				pass.Reportf(u.pos, "%s is taken from the pool but used before any reset (reset fields or call a Reset method first)", g.obj.Name())
+			}
+			break // reset, stop, put, or the reported violation: decided
+		}
+	}
+
+	// Use-after-Put and double-Put.
+	putsByObj := map[types.Object][]putEvent{}
+	for _, p := range puts {
+		putsByObj[p.obj] = append(putsByObj[p.obj], p)
+	}
+	for obj, ps := range putsByObj {
+		for i, p := range ps {
+			if i > 0 {
+				pass.Reportf(p.call.Pos(), "%s is returned to the pool by more than one Put on this function's paths (double Put corrupts the pool)", obj.Name())
+			}
+			if p.deferred {
+				continue // runs at return, after every textual use
+			}
+			for _, u := range tracked[obj] {
+				if u.pos <= p.call.End() {
+					continue
+				}
+				if u.kind == kindPut {
+					continue // repooling again is the double-Put check's finding
+				}
+				pass.Reportf(u.pos, "%s is used after being returned to the pool (Put publishes it to other goroutines)", obj.Name())
+				break
+			}
+		}
+	}
+}
+
+// withParents walks n, invoking fn with each node and its ancestor stack
+// (stack[len-1] is the node itself).
+func withParents(root ast.Node, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		fn(n, stack)
+		return true
+	})
+}
+
+// underDefer reports whether the stack passes through a defer statement.
+func underDefer(stack []ast.Node) bool {
+	for _, n := range stack {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// poolRecv returns the receiver expression when call is (sync.Pool).name,
+// nil otherwise.
+func poolRecv(info *types.Info, call *ast.CallExpr, name string) ast.Expr {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return nil
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || !lint.IsNamed(tv.Type, "sync", "Pool") {
+		return nil
+	}
+	return sel.X
+}
+
+// argObject resolves the (possibly &-wrapped) first argument of a Put call
+// to its variable, nil when the argument is not a simple variable.
+func argObject(info *types.Info, call *ast.CallExpr) types.Object {
+	if len(call.Args) != 1 {
+		return nil
+	}
+	arg := ast.Unparen(call.Args[0])
+	if u, ok := arg.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		arg = ast.Unparen(u.X)
+	}
+	id, ok := arg.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return info.Uses[id]
+}
+
+// resetName reports whether a method or helper name is reset-flavoured.
+func resetName(name string) bool {
+	l := strings.ToLower(name)
+	return strings.Contains(l, "reset") || strings.Contains(l, "clear") || l == "init"
+}
+
+// classify decides what one occurrence of a tracked variable does to it.
+// stack[len-1] is the *ast.Ident itself.
+func classify(info *types.Info, id *ast.Ident, stack []ast.Node) (useKind, *ast.CallExpr) {
+	if underDefer(stack) {
+		return kindNeutral, nil
+	}
+	// Climb the expression chain the identifier roots: selectors, indexes,
+	// derefs, parens, address-of, type asserts.
+	var cur ast.Expr = id
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			cur = p
+			continue
+		case *ast.SelectorExpr:
+			if p.X == cur {
+				cur = p
+				continue
+			}
+			return kindNeutral, nil // x is the Sel of someone else's chain
+		case *ast.IndexExpr:
+			if p.X == cur {
+				cur = p
+				continue
+			}
+			return kindViolate, nil // used as an index value
+		case *ast.StarExpr:
+			cur = p
+			continue
+		case *ast.TypeAssertExpr:
+			cur = p
+			continue
+		case *ast.UnaryExpr:
+			if p.Op == token.AND {
+				cur = p
+				continue
+			}
+			return kindViolate, nil
+		case *ast.CallExpr:
+			if p.Fun == cur {
+				// The chain is being called: x.Reset(), x.buf.Reset(), x.process().
+				if sel, ok := ast.Unparen(cur).(*ast.SelectorExpr); ok && resetName(sel.Sel.Name) {
+					return kindReset, nil
+				}
+				return kindViolate, nil
+			}
+			// The chain is an argument.
+			if poolRecv(info, p, "Put") != nil {
+				return kindPut, p
+			}
+			if fid, ok := ast.Unparen(p.Fun).(*ast.Ident); ok {
+				if fid.Name == "clear" || resetName(fid.Name) {
+					return kindReset, nil
+				}
+			}
+			if sel, ok := ast.Unparen(p.Fun).(*ast.SelectorExpr); ok && resetName(sel.Sel.Name) {
+				return kindReset, nil
+			}
+			return kindViolate, nil
+		case *ast.AssignStmt:
+			for _, lhs := range p.Lhs {
+				if lhs == cur {
+					if cur == ast.Expr(id) {
+						return kindStop, nil // rebound: the pooled value is gone
+					}
+					return kindReset, nil // field/element write re-establishes state
+				}
+			}
+			return kindViolate, nil // aliased or read on the RHS
+		case *ast.BinaryExpr:
+			return kindNeutral, nil // comparisons don't touch pooled state
+		case *ast.ReturnStmt:
+			return kindStop, nil // ownership transferred to the caller
+		case *ast.IncDecStmt:
+			return kindReset, nil
+		default:
+			return kindViolate, nil
+		}
+	}
+	return kindNeutral, nil
+}

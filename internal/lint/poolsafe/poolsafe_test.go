@@ -1,0 +1,12 @@
+package poolsafe_test
+
+import (
+	"testing"
+
+	"wilocator/internal/lint/linttest"
+	"wilocator/internal/lint/poolsafe"
+)
+
+func TestPoolSafe(t *testing.T) {
+	linttest.Run(t, "testdata/src/poolsafe", poolsafe.Analyzer)
+}

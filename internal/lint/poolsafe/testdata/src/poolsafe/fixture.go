@@ -1,0 +1,116 @@
+// Fixture for the poolsafe analyzer: sync.Pool Get/Put discipline.
+package poolsafe
+
+import (
+	"bytes"
+	"sync"
+)
+
+type scratch struct {
+	buf  bytes.Buffer
+	rows []int
+}
+
+func (s *scratch) Reset() {
+	s.buf.Reset()
+	s.rows = s.rows[:0]
+}
+
+var pool = sync.Pool{New: func() any { return new(scratch) }}
+
+// useAfterPut reads the object after handing it back: the next Get may be
+// mutating it concurrently.
+func useAfterPut() int {
+	sc := pool.Get().(*scratch)
+	sc.Reset()
+	pool.Put(sc)
+	return len(sc.rows) // want `sc is used after being returned to the pool`
+}
+
+// deferredPutIsFine: the Put runs at return, after every textual use.
+func deferredPutIsFine() int {
+	sc := pool.Get().(*scratch)
+	defer pool.Put(sc)
+	sc.Reset()
+	return len(sc.rows)
+}
+
+// doublePut repools the same object on two paths.
+func doublePut(fail bool) {
+	sc := pool.Get().(*scratch)
+	sc.Reset()
+	if fail {
+		pool.Put(sc)
+	}
+	pool.Put(sc) // want `sc is returned to the pool by more than one Put`
+}
+
+// getWithoutReset consumes stale state left by the previous user.
+func getWithoutReset() int {
+	sc := pool.Get().(*scratch)
+	return sc.buf.Len() // want `sc is taken from the pool but used before any reset`
+}
+
+// resetMethodFirst is the canonical consumer.
+func resetMethodFirst() int {
+	sc := pool.Get().(*scratch)
+	sc.Reset()
+	return sc.buf.Len()
+}
+
+// fieldResetFirst re-establishes state with a field method and a write.
+func fieldResetFirst() int {
+	sc := pool.Get().(*scratch)
+	sc.buf.Reset()
+	sc.rows = sc.rows[:0]
+	return sc.buf.Len()
+}
+
+// fieldWriteFirst overwrites state directly.
+func fieldWriteFirst(n int) int {
+	sc := pool.Get().(*scratch)
+	sc.rows = append(sc.rows[:0], n)
+	return len(sc.rows)
+}
+
+// nilCheckThenReset: comparisons are neutral, the rebind ends tracking.
+func nilCheckThenReset() *scratch {
+	sc, _ := pool.Get().(*scratch)
+	if sc == nil {
+		sc = new(scratch)
+	}
+	return sc
+}
+
+// getterHelper returns the pooled object: the caller owns the reset.
+func getterHelper() *scratch {
+	if sc, ok := pool.Get().(*scratch); ok {
+		return sc
+	}
+	return new(scratch)
+}
+
+// waivedDoublePut shows the escape hatch for exclusive-branch Puts.
+func waivedDoublePut(fail bool) {
+	sc := pool.Get().(*scratch)
+	sc.Reset()
+	if fail {
+		pool.Put(sc)
+		return
+	}
+	//wilint:ignore poolsafe branches are exclusive, the early return guards the first Put
+	pool.Put(sc)
+}
+
+// notAPool: Get/Put on some other type must not trip the checker.
+type fakePool struct{}
+
+func (fakePool) Get() any  { return nil }
+func (fakePool) Put(x any) {}
+
+func notAPool() {
+	var p fakePool
+	x := p.Get()
+	p.Put(x)
+	_ = x
+}

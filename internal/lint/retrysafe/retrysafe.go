@@ -1,0 +1,206 @@
+// Package retrysafe implements the wilint analyzer for retry-loop
+// discipline in the networked packages.
+//
+// A retry loop in client or cluster is where an outage turns into either
+// graceful degradation or a self-inflicted DDoS. The repo's policy (DESIGN
+// "Retry policy") is that every such loop must (a) honor the caller's
+// context, so shutdown and deadlines cancel in-flight retries, (b) bound
+// its attempts — a max-attempt counter, a loop condition, or a failover
+// deadline, and (c) back off between attempts rather than hammering a
+// struggling peer at a fixed cadence.
+//
+// The analyzer treats any `for` loop (in a package whose import path ends
+// in /client or /cluster, non-test files) that waits between iterations —
+// a time.Sleep/After/NewTimer/NewTicker call or any *Sleep*-named helper —
+// as a retry loop and reports, independently:
+//
+//   - a bare time.Sleep (uncancellable; use a ctx-aware sleep helper),
+//   - no visible ctx check (ctx.Err(), ctx.Done(), or a wait helper that
+//     takes the context),
+//   - no visible attempt bound (no loop condition and no comparison
+//     mentioning an attempt/max/deadline-flavoured quantity),
+//   - no visible backoff (no *=, <<=, += growth and nothing
+//     backoff-named in the loop).
+//
+// The checks are syntactic and local by design: the loop must make its
+// policy visible where it is written, which is also what reviewers need.
+package retrysafe
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"wilocator/internal/lint"
+)
+
+// Analyzer enforces bounded, backing-off, ctx-aware retry loops.
+var Analyzer = &lint.Analyzer{
+	Name: "retrysafe",
+	Doc:  "retry loops in client/cluster must check ctx, bound attempts, and back off between attempts",
+	Run:  run,
+}
+
+func gated(path string) bool {
+	for _, s := range []string{"client", "cluster"} {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *lint.Pass) error {
+	if pass.Pkg == nil || !gated(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok {
+				return true
+			}
+			checkLoop(pass, loop)
+			return true
+		})
+	}
+	return nil
+}
+
+// loopFacts is what one scan of a for-loop's condition and body collects.
+type loopFacts struct {
+	waits        bool // sleeps/timers between iterations: it is a retry loop
+	sleepPos     token.Pos
+	ctxAware     bool // ctx.Err / ctx.Done / ctx passed to a wait helper
+	boundCompare bool // a comparison over an attempt/max/deadline quantity
+	backsOff     bool // *=, <<=, += growth or something backoff-named
+}
+
+func checkLoop(pass *lint.Pass, loop *ast.ForStmt) {
+	var facts loopFacts
+	if loop.Cond != nil {
+		scan(pass, loop.Cond, &facts)
+	}
+	scan(pass, loop.Body, &facts)
+	if !facts.waits {
+		return // no inter-attempt wait: not a retry loop
+	}
+	if facts.sleepPos != token.NoPos {
+		pass.Reportf(facts.sleepPos, "time.Sleep in a retry loop cannot be cancelled (use a ctx-aware sleep: select on ctx.Done() and a timer)")
+	}
+	if !facts.ctxAware {
+		pass.Reportf(loop.Pos(), "retry loop never checks the caller's context (check ctx.Err() or select on ctx.Done() so shutdown cancels retries)")
+	}
+	if loop.Cond == nil && !facts.boundCompare {
+		pass.Reportf(loop.Pos(), "retry loop has no visible attempt bound (compare against a MaxAttempts-style budget or a deadline)")
+	}
+	if !facts.backsOff {
+		pass.Reportf(loop.Pos(), "retry loop waits a constant interval (grow the delay between attempts: wait *= 2 or equivalent)")
+	}
+}
+
+// boundWords are the quantities a bounding comparison mentions.
+var boundWords = []string{"attempt", "max", "deadline", "tries", "budget", "after"}
+
+func scan(pass *lint.Pass, root ast.Node, facts *loopFacts) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			if n != ast.Node(root) {
+				// Nested loops are judged on their own; their waits must
+				// not vouch for the outer loop.
+				_, isFor := n.(*ast.ForStmt)
+				if isFor {
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			scanCall(pass, n, facts)
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+				// Nil checks (err == nil, ctx.Err() != nil) test outcomes,
+				// not budgets, even when an identifier sounds attempt-ish.
+				if isNil(n.X) || isNil(n.Y) {
+					break
+				}
+				text := strings.ToLower(lint.ExprString(n.X) + " " + lint.ExprString(n.Y))
+				for _, w := range boundWords {
+					if strings.Contains(text, w) {
+						facts.boundCompare = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			switch n.Tok {
+			case token.MUL_ASSIGN, token.SHL_ASSIGN, token.ADD_ASSIGN:
+				facts.backsOff = true
+			}
+		case *ast.Ident:
+			if strings.Contains(strings.ToLower(n.Name), "backoff") {
+				facts.backsOff = true
+			}
+		}
+		return true
+	})
+}
+
+// scanCall classifies one call inside the loop.
+func scanCall(pass *lint.Pass, call *ast.CallExpr, facts *loopFacts) {
+	// ctx.Err() / ctx.Done() on a context.Context receiver.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if sel.Sel.Name == "Err" || sel.Sel.Name == "Done" {
+			if tv, ok := pass.Info.Types[sel.X]; ok && lint.IsNamed(tv.Type, "context", "Context") {
+				facts.ctxAware = true
+				return
+			}
+		}
+	}
+
+	name := callName(call)
+	lower := strings.ToLower(name)
+	isWait := false
+	if fn := lint.Callee(pass.Info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" {
+		switch fn.Name() {
+		case "Sleep":
+			isWait = true
+			facts.sleepPos = call.Pos()
+		case "After", "NewTimer", "NewTicker", "Tick":
+			isWait = true
+		}
+	} else if strings.Contains(lower, "sleep") {
+		// Sleep-named helpers (c.retry.Sleep, sleepCtx, ...) count as waits
+		// whether they resolve to a *types.Func or a function-typed field.
+		isWait = true
+	}
+	if !isWait {
+		return
+	}
+	facts.waits = true
+	// A wait helper that receives the context is ctx-aware by contract.
+	for _, arg := range call.Args {
+		if tv, ok := pass.Info.Types[arg]; ok && lint.IsNamed(tv.Type, "context", "Context") {
+			facts.ctxAware = true
+		}
+	}
+}
+
+// isNil reports whether e is the predeclared nil.
+func isNil(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// callName is the final identifier of the call's function expression.
+func callName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package retrysafe_test
+
+import (
+	"testing"
+
+	"wilocator/internal/lint/linttest"
+	"wilocator/internal/lint/retrysafe"
+)
+
+func TestRetrySafe(t *testing.T) {
+	linttest.Run(t, "testdata/src/client", retrysafe.Analyzer)
+}

@@ -1,0 +1,142 @@
+// Fixture for the retrysafe analyzer: this package's path ends in
+// "client", so every waiting for-loop is held to the retry policy.
+package client
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+var errUnavailable = errors.New("unavailable")
+
+func attemptOnce() error { return errUnavailable }
+
+// sleepCtx is a ctx-aware wait helper.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// disciplined has all three legs: ctx check, attempt bound, backoff.
+func disciplined(ctx context.Context, maxAttempts int) error {
+	wait := 10 * time.Millisecond
+	for attempt := 1; ; attempt++ {
+		err := attemptOnce()
+		if err == nil {
+			return nil
+		}
+		if attempt >= maxAttempts || ctx.Err() != nil {
+			return err
+		}
+		if serr := sleepCtx(ctx, wait); serr != nil {
+			return err
+		}
+		wait *= 2
+	}
+}
+
+// conditionBounded is bounded by the loop condition and waits on a timer.
+func conditionBounded(ctx context.Context, deadline time.Time) error {
+	backoff := 5 * time.Millisecond
+	for time.Now().Before(deadline) {
+		if attemptOnce() == nil {
+			return nil
+		}
+		t := time.NewTimer(backoff)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+		backoff *= 2
+	}
+	return errUnavailable
+}
+
+// hammer is everything the policy forbids at once.
+func hammer() error { // spins forever at a fixed cadence, deaf to shutdown
+	for { // want `retry loop never checks the caller's context` `retry loop has no visible attempt bound` `retry loop waits a constant interval`
+		if attemptOnce() == nil {
+			return nil
+		}
+		time.Sleep(50 * time.Millisecond) // want `time.Sleep in a retry loop cannot be cancelled`
+	}
+}
+
+// uncancellableSleep is otherwise disciplined but sleeps raw.
+func uncancellableSleep(ctx context.Context, maxAttempts int) error {
+	wait := time.Millisecond
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if attemptOnce() == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		time.Sleep(wait) // want `time.Sleep in a retry loop cannot be cancelled`
+		wait *= 2
+	}
+	return errUnavailable
+}
+
+// noBackoff retries at a fixed interval.
+func noBackoff(ctx context.Context, maxAttempts int) error {
+	for attempt := 0; attempt < maxAttempts; attempt++ { // want `retry loop waits a constant interval`
+		if attemptOnce() == nil {
+			return nil
+		}
+		if serr := sleepCtx(ctx, time.Millisecond); serr != nil {
+			return serr
+		}
+	}
+	return errUnavailable
+}
+
+// unbounded backs off and honors ctx but never gives up.
+func unbounded(ctx context.Context) error {
+	wait := time.Millisecond
+	for { // want `retry loop has no visible attempt bound`
+		if attemptOnce() == nil {
+			return nil
+		}
+		if serr := sleepCtx(ctx, wait); serr != nil {
+			return serr
+		}
+		wait *= 2
+	}
+}
+
+// waived: a justified exception stays visible in the ledger.
+func waived(ctx context.Context) error {
+	wait := time.Millisecond
+	//wilint:ignore retrysafe lease renewal loop, bounded by the process lifetime on purpose
+	for {
+		if attemptOnce() == nil {
+			return nil
+		}
+		if serr := sleepCtx(ctx, wait); serr != nil {
+			return serr
+		}
+		wait *= 2
+	}
+}
+
+// notARetryLoop does not wait, so it is not judged.
+func notARetryLoop(items []int) int {
+	total := 0
+	for _, it := range items {
+		total += it
+	}
+	for i := 0; i < 3; i++ {
+		total++
+	}
+	return total
+}

@@ -10,8 +10,12 @@ import (
 	"wilocator/internal/lint/clusterctx"
 	"wilocator/internal/lint/determinism"
 	"wilocator/internal/lint/durable"
+	"wilocator/internal/lint/goroleak"
+	"wilocator/internal/lint/hotpath"
 	"wilocator/internal/lint/locksafe"
 	"wilocator/internal/lint/metricname"
+	"wilocator/internal/lint/poolsafe"
+	"wilocator/internal/lint/retrysafe"
 	"wilocator/internal/lint/units"
 )
 
@@ -22,8 +26,12 @@ func All() []*lint.Analyzer {
 		clusterctx.Analyzer,
 		determinism.Analyzer,
 		durable.Analyzer,
+		goroleak.Analyzer,
+		hotpath.Analyzer,
 		locksafe.Analyzer,
 		metricname.Analyzer,
+		poolsafe.Analyzer,
+		retrysafe.Analyzer,
 		units.Analyzer,
 	}
 }

@@ -1,0 +1,58 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"wilocator/internal/lint"
+	"wilocator/internal/lint/load"
+	"wilocator/internal/lint/rules"
+)
+
+// TestRealTreeClean runs the full multichecker — every registered
+// analyzer, test files included — over the entire module, exactly as
+// `make lint` does, and requires a clean bill: zero unsuppressed findings
+// and (because directive hygiene surfaces as wilint meta-diagnostics)
+// zero unused or unjustified //wilint:ignore lines. This is the lint
+// framework's own integration test: loader, parallel runner, directive
+// matching and all eleven analyzers against the code they were built to
+// gate.
+func TestRealTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module load and escape-analysis builds; skipped in -short")
+	}
+	targets, err := load.Targets([]string{"./..."}, load.Options{Dir: "../..", Tests: true})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(targets) == 0 {
+		t.Fatal("load returned no targets")
+	}
+	diags, err := lint.Run(targets, rules.All())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d)
+	}
+
+	// The suppression ledger must enumerate the tree's waivers, each with a
+	// justification (Run would have flagged bare ones; this guards the
+	// Ledger view CI consumes via wilint -ledger).
+	entries := lint.Ledger(targets)
+	if len(entries) == 0 {
+		t.Error("ledger is empty; the tree is known to carry justified ignores")
+	}
+	known := map[string]bool{}
+	for _, a := range rules.All() {
+		known[a.Name] = true
+	}
+	for _, e := range entries {
+		if strings.TrimSpace(e.Justification) == "" {
+			t.Errorf("%s:%d: ledger entry for %s has no justification", e.File, e.Line, e.Analyzer)
+		}
+		if !known[e.Analyzer] {
+			t.Errorf("%s:%d: ledger entry for unknown analyzer %q", e.File, e.Line, e.Analyzer)
+		}
+	}
+}

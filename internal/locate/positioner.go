@@ -191,13 +191,15 @@ type lookupScratch struct {
 	permFlat         []wifi.BSSID
 }
 
+//wilint:hotpath
 func (p *Positioner) getScratch() *lookupScratch {
 	if sc, ok := p.pool.Get().(*lookupScratch); ok {
 		return sc
 	}
-	return &lookupScratch{}
+	return &lookupScratch{} //wilint:ignore hotpath pool warm-up: one allocation per scratch, then recycled
 }
 
+//wilint:hotpath
 func (p *Positioner) putScratch(sc *lookupScratch) {
 	p.pool.Put(sc)
 }
@@ -231,11 +233,14 @@ type candidate struct {
 
 // Locate estimates the bus position on routeID from one scan. prior may be
 // nil for the first fix of a trip.
+//wilint:hotpath
 func (p *Positioner) Locate(routeID string, scan wifi.Scan, prior *Prior) (Estimate, error) {
 	route, ok := p.d.Network().Route(routeID)
 	if !ok {
+		//wilint:ignore hotpath error path: fmt boxes routeID only when the route does not exist
 		return Estimate{}, fmt.Errorf("locate: unknown route %q", routeID)
 	}
+	//wilint:ignore hotpath getScratch's pool-miss warm-up inlines here; steady state reuses the scratch
 	sc := p.getScratch()
 	defer p.putScratch(sc)
 	filtered := p.filterScanInto(scan, sc)
@@ -247,6 +252,7 @@ func (p *Positioner) Locate(routeID string, scan wifi.Scan, prior *Prior) (Estim
 	cands := p.candidates(routeID, filtered, sc)
 	if len(cands) == 0 {
 		p.stats.noFix.Add(1)
+		//wilint:ignore hotpath error path: fmt boxes routeID only when no tile matches
 		return Estimate{}, fmt.Errorf("%w: rank vector matches no tile on route %q", ErrNoFix, routeID)
 	}
 	best := pickCandidate(cands, prior)
@@ -265,6 +271,7 @@ func (p *Positioner) Locate(routeID string, scan wifi.Scan, prior *Prior) (Estim
 // filterScanInto keeps only readings from APs that are geo-tagged and active
 // — the paper ignores readings from unknown APs during SVD positioning. The
 // filtered readings live in sc and are overwritten by the next lookup.
+//wilint:hotpath
 func (p *Positioner) filterScanInto(scan wifi.Scan, sc *lookupScratch) wifi.Scan {
 	sc.readings = sc.readings[:0]
 	dep := p.d.Deployment()
@@ -278,6 +285,7 @@ func (p *Positioner) filterScanInto(scan wifi.Scan, sc *lookupScratch) wifi.Scan
 
 // candidates runs the paper's rule cascade and returns every plausible fix.
 // The returned slice aliases sc and is consumed before the scratch recycles.
+//wilint:hotpath
 func (p *Positioner) candidates(routeID string, scan wifi.Scan, sc *lookupScratch) []candidate {
 	keys := p.scanKeys(scan, sc)
 	if len(keys) == 0 {
@@ -350,6 +358,7 @@ func (p *Positioner) candidates(routeID string, scan wifi.Scan, sc *lookupScratc
 // arcInRun maps a run to a point estimate: the projection of the 2-D tile
 // centroid onto the route, clamped into the run (Definition 5's Tile
 // Mapping), or the run midpoint when no band geometry is available.
+//wilint:hotpath
 func (p *Positioner) arcInRun(key svd.TileKey, run svd.Run, routeID string) float64 {
 	route, ok := p.d.Network().Route(routeID)
 	if !ok {
@@ -373,6 +382,7 @@ func (p *Positioner) arcInRun(key svd.TileKey, run svd.Run, routeID string) floa
 // key first. The common case — no (near-)ties among the top ranks — takes a
 // fast path that builds exactly one key out of the scratch buffers; scans
 // with tie groups fall back to the full permutation enumeration in tieKeys.
+//wilint:hotpath
 func (p *Positioner) scanKeys(scan wifi.Scan, sc *lookupScratch) []svd.TileKey {
 	rs := scan.Readings // aliases sc.readings: ours to reorder in place
 	sortReadings(rs)
@@ -402,6 +412,7 @@ func (p *Positioner) scanKeys(scan wifi.Scan, sc *lookupScratch) []svd.TileKey {
 // sortReadings orders readings by descending RSSI, ties by ascending BSSID.
 // Scans are small, so an insertion sort wins — and unlike sort.Slice it costs
 // no per-call closure or reflection swapper.
+//wilint:hotpath
 func sortReadings(rs []wifi.Reading) {
 	for i := 1; i < len(rs); i++ {
 		r := rs[i]
@@ -418,6 +429,7 @@ func sortReadings(rs []wifi.Reading) {
 // readings into sc.keys. It reproduces tieKeys' output exactly — identity
 // permutation first, then lexicographic, breadth-wise over the tie groups,
 // capped at the same bound — but keeps every intermediate on the scratch.
+//wilint:hotpath
 func (p *Positioner) appendTieKeys(rs []wifi.Reading, sc *lookupScratch) []svd.TileKey {
 	const maxKeys = 8
 	cur, next := sc.ordersA[:0], sc.ordersB[:0]
@@ -504,6 +516,7 @@ outer:
 
 // nextPermutation advances a to its lexicographic successor, reporting false
 // from the final permutation.
+//wilint:hotpath
 func nextPermutation(a []int) bool {
 	i := len(a) - 2
 	for i >= 0 && a[i] >= a[i+1] {
@@ -631,6 +644,7 @@ func tieGroups(scan wifi.Scan, margin int) [][]wifi.BSSID {
 // tie-variant candidate's run is adjacent to the deterministic candidate's
 // run, the (near-)equal ranks mean the bus is at their common boundary —
 // both candidates are snapped onto it.
+//wilint:hotpath
 func refineTieBoundaries(cands []candidate) {
 	for i := range cands {
 		if cands[i].method != MethodTie {
@@ -656,6 +670,7 @@ func refineTieBoundaries(cands []candidate) {
 // pickCandidate applies the mobility constraint: prefer candidates inside
 // the feasible window closest to the expected position; without a prior,
 // prefer the longest (a-priori most likely) run at the highest order.
+//wilint:hotpath
 func pickCandidate(cands []candidate, prior *Prior) candidate {
 	best := cands[0]
 	bestScore := score(cands[0], prior)
@@ -668,6 +683,7 @@ func pickCandidate(cands []candidate, prior *Prior) candidate {
 }
 
 // score is lower for better candidates.
+//wilint:hotpath
 func score(c candidate, prior *Prior) float64 {
 	// Confidence ordering between methods: exact < tie < reduced < neighbor.
 	base := float64(c.method-1) * 1e4
@@ -686,6 +702,7 @@ func score(c candidate, prior *Prior) float64 {
 	return base + d
 }
 
+//wilint:hotpath
 func distToWindow(arc float64, prior *Prior) float64 {
 	if arc < prior.MinArc {
 		return prior.MinArc - arc
@@ -696,6 +713,7 @@ func distToWindow(arc float64, prior *Prior) float64 {
 	return 0
 }
 
+//wilint:hotpath
 func abs(v float64) float64 {
 	if v < 0 {
 		return -v

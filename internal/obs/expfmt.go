@@ -3,7 +3,6 @@ package obs
 import (
 	"bytes"
 	"io"
-	"sort"
 	"strconv"
 	"strings"
 )
@@ -12,33 +11,41 @@ import (
 // WritePrometheus.
 const ContentType = "text/plain; version=0.0.4; charset=utf-8"
 
+// renderScratch is the pooled per-scrape working set: the exposition
+// buffer, the histogram snapshot and the number-formatting scratch. One
+// scrape reuses all three; the pool amortizes them across scrapes.
+type renderScratch struct {
+	buf    bytes.Buffer
+	counts []uint64
+	num    []byte
+}
+
 // WritePrometheus renders every registered metric in the Prometheus text
 // exposition format (version 0.0.4): one `# HELP` and `# TYPE` line per
 // family, followed by the family's series sorted by label signature.
-// Families are sorted by name, so the output is deterministic. The render
-// buffer is pooled — a scrape allocates O(1), not O(metrics).
+// Families are sorted by name — the registry keeps its metrics slice in
+// exactly that order at registration — so the output is deterministic and
+// the render is a straight walk under the read lock: no copy, no sort, and
+// (with the scratch pooled and numbers formatted by append) no per-scrape
+// allocation at all in steady state.
+//
+//wilint:hotpath
 func (r *Registry) WritePrometheus(w io.Writer) error {
-	buf, _ := r.bufPool.Get().(*bytes.Buffer)
-	if buf == nil {
-		buf = &bytes.Buffer{}
+	sc, _ := r.renderPool.Get().(*renderScratch)
+	if sc == nil {
+		sc = &renderScratch{} //wilint:ignore hotpath pool warm-up: one scratch per scraper, then recycled
 	}
-	buf.Reset()
-	defer r.bufPool.Put(buf)
+	sc.buf.Reset()
+	defer r.renderPool.Put(sc)
+	buf := &sc.buf
 
+	// Registration is construction-time, so holding the read lock across
+	// the walk costs scrapes nothing and keeps the slice stable.
 	r.mu.RLock()
-	ms := make([]*metric, len(r.metrics))
-	copy(ms, r.metrics)
-	r.mu.RUnlock()
-
-	sort.SliceStable(ms, func(i, j int) bool {
-		if ms[i].name != ms[j].name {
-			return ms[i].name < ms[j].name
-		}
-		return seriesKey(ms[i].name, ms[i].labels) < seriesKey(ms[j].name, ms[j].labels)
-	})
+	defer r.mu.RUnlock()
 
 	lastFamily := ""
-	for _, m := range ms {
+	for _, m := range r.metrics {
 		if m.name != lastFamily {
 			buf.WriteString("# HELP ")
 			buf.WriteString(m.name)
@@ -60,32 +67,36 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			} else {
 				v = m.c.Value()
 			}
-			writeSeries(buf, m.name, "", m.labels, "", strconv.FormatUint(v, 10))
+			sc.num = strconv.AppendUint(sc.num[:0], v, 10)
+			writeSeries(buf, m.name, "", m.labels, "", sc.num)
 		case kindGauge:
-			var val string
 			if m.gf != nil {
-				val = formatFloat(m.gf())
+				sc.num = appendFloat(sc.num[:0], m.gf())
 			} else {
-				val = strconv.FormatInt(m.g.Value(), 10)
+				sc.num = strconv.AppendInt(sc.num[:0], m.g.Value(), 10)
 			}
-			writeSeries(buf, m.name, "", m.labels, "", val)
+			writeSeries(buf, m.name, "", m.labels, "", sc.num)
 		case kindHistogram:
 			h := m.h
 			// Snapshot bucket counts first, then count/sum: cumulative bucket
 			// sums must never exceed the _count rendered beside them.
-			counts := make([]uint64, len(h.counts))
+			sc.counts = sc.counts[:0]
 			for i := range h.counts {
-				counts[i] = h.counts[i].Load()
+				sc.counts = append(sc.counts, h.counts[i].Load())
 			}
 			var cum uint64
-			for i, b := range h.bounds {
-				cum += counts[i]
-				writeSeries(buf, m.name, "_bucket", m.labels, formatFloat(b), strconv.FormatUint(cum, 10))
+			for i, b := range m.boundStrs {
+				cum += sc.counts[i]
+				sc.num = strconv.AppendUint(sc.num[:0], cum, 10)
+				writeSeries(buf, m.name, "_bucket", m.labels, b, sc.num)
 			}
-			cum += counts[len(counts)-1]
-			writeSeries(buf, m.name, "_bucket", m.labels, "+Inf", strconv.FormatUint(cum, 10))
-			writeSeries(buf, m.name, "_sum", m.labels, "", formatFloat(h.Sum()))
-			writeSeries(buf, m.name, "_count", m.labels, "", strconv.FormatUint(cum, 10))
+			cum += sc.counts[len(sc.counts)-1]
+			sc.num = strconv.AppendUint(sc.num[:0], cum, 10)
+			writeSeries(buf, m.name, "_bucket", m.labels, "+Inf", sc.num)
+			sc.num = appendFloat(sc.num[:0], h.Sum())
+			writeSeries(buf, m.name, "_sum", m.labels, "", sc.num)
+			sc.num = strconv.AppendUint(sc.num[:0], cum, 10)
+			writeSeries(buf, m.name, "_count", m.labels, "", sc.num)
 		}
 	}
 	_, err := w.Write(buf.Bytes())
@@ -93,7 +104,9 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 }
 
 // writeSeries renders one sample line: name+suffix{labels,le="bound"} value.
-func writeSeries(buf *bytes.Buffer, name, suffix string, labels []Label, le, value string) {
+//
+//wilint:hotpath
+func writeSeries(buf *bytes.Buffer, name, suffix string, labels []Label, le string, value []byte) {
 	buf.WriteString(name)
 	buf.WriteString(suffix)
 	if len(labels) > 0 || le != "" {
@@ -120,11 +133,13 @@ func writeSeries(buf *bytes.Buffer, name, suffix string, labels []Label, le, val
 		buf.WriteByte('}')
 	}
 	buf.WriteByte(' ')
-	buf.WriteString(value)
+	buf.Write(value)
 	buf.WriteByte('\n')
 }
 
 // writeEscapedHelp escapes a HELP string: backslash and newline.
+//
+//wilint:hotpath
 func writeEscapedHelp(buf *bytes.Buffer, s string) {
 	for _, r := range s {
 		switch r {
@@ -139,6 +154,8 @@ func writeEscapedHelp(buf *bytes.Buffer, s string) {
 }
 
 // writeEscapedLabel escapes a label value: backslash, double quote, newline.
+//
+//wilint:hotpath
 func writeEscapedLabel(buf *bytes.Buffer, s string) {
 	for _, r := range s {
 		switch r {
@@ -155,7 +172,8 @@ func writeEscapedLabel(buf *bytes.Buffer, s string) {
 }
 
 // formatFloat renders a float64 the shortest way that round-trips; integral
-// values render without an exponent or trailing zeros.
+// values render without an exponent or trailing zeros. Used at registration
+// (bucket bounds); the render path uses appendFloat.
 func formatFloat(v float64) string {
 	s := strconv.FormatFloat(v, 'g', -1, 64)
 	// "+Inf"/"NaN" never reach here via bucket bounds (it is stripped at
@@ -164,4 +182,13 @@ func formatFloat(v float64) string {
 		return "+Inf"
 	}
 	return s
+}
+
+// appendFloat is formatFloat into a caller-provided buffer. AppendFloat
+// already renders infinities as "+Inf"/"-Inf", matching formatFloat's
+// fixup byte for byte.
+//
+//wilint:hotpath
+func appendFloat(dst []byte, v float64) []byte {
+	return strconv.AppendFloat(dst, v, 'g', -1, 64)
 }

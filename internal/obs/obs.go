@@ -169,17 +169,25 @@ type metric struct {
 	help   string
 	kind   kind
 	labels []Label
+	key    string // name + sorted label signature (render sort order)
 
 	c  *Counter
 	g  *Gauge
 	h  *Histogram
 	cf func() uint64  // CounterFunc source
 	gf func() float64 // GaugeFunc source
+
+	// boundStrs are the histogram's bucket bounds pre-rendered at
+	// registration, so a scrape formats only values, never bounds.
+	boundStrs []string
 }
 
 // Registry holds registered metrics and renders them in the Prometheus text
 // exposition format. Registration happens at construction time; Observe/Add
 // on the returned instruments never touch the registry again.
+//
+// metrics is kept sorted by (family name, series key) at registration, so
+// rendering never copies or sorts: it walks the slice under the read lock.
 type Registry struct {
 	mu      sync.RWMutex
 	metrics []*metric
@@ -187,7 +195,7 @@ type Registry struct {
 	byName  map[string]kind    // family name -> type (and help consistency)
 	help    map[string]string
 
-	bufPool sync.Pool
+	renderPool sync.Pool // *renderScratch, see expfmt.go
 }
 
 // NewRegistry creates an empty registry.
@@ -236,7 +244,19 @@ func (r *Registry) register(m *metric) {
 	r.byKey[key] = m
 	r.byName[m.name] = m.kind
 	r.help[m.name] = m.help
-	r.metrics = append(r.metrics, m)
+	m.key = key
+	// Sorted insert by (family name, series key): render order is fixed
+	// here, once per registration, instead of per scrape. Keys are unique
+	// (the dup check above), so the order is total.
+	i := sort.Search(len(r.metrics), func(i int) bool {
+		if r.metrics[i].name != m.name {
+			return r.metrics[i].name > m.name
+		}
+		return r.metrics[i].key > key
+	})
+	r.metrics = append(r.metrics, nil)
+	copy(r.metrics[i+1:], r.metrics[i:])
+	r.metrics[i] = m
 }
 
 func seriesKey(name string, labels []Label) string {
@@ -302,6 +322,10 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Labe
 		bounds = bounds[:len(bounds)-1] // +Inf is always implicit
 	}
 	h := &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
-	r.register(&metric{name: name, help: help, kind: kindHistogram, labels: labels, h: h})
+	boundStrs := make([]string, len(bounds))
+	for i, b := range bounds {
+		boundStrs[i] = formatFloat(b)
+	}
+	r.register(&metric{name: name, help: help, kind: kindHistogram, labels: labels, h: h, boundStrs: boundStrs})
 	return h
 }
