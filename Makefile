@@ -93,17 +93,23 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=$(FUZZTIME) ./internal/traveltime
 	$(GO) test -run='^$$' -fuzz=FuzzWALShip -fuzztime=$(FUZZTIME) ./internal/cluster
 	$(GO) test -run='^$$' -fuzz=FuzzImportTimetable -fuzztime=$(FUZZTIME) ./internal/scenario
+	$(GO) test -run='^$$' -fuzz=FuzzStreamResume -fuzztime=$(FUZZTIME) ./internal/server
 
 # bench times the SVD construction/lookup benchmarks and writes the parsed
 # numbers (ns/op, B/op, allocs/op) to BENCH_svd.json via cmd/benchjson,
 # then the ingest-throughput benchmarks (single-POST HTTP, NDJSON batch,
-# handler-only, decode-only) to BENCH_ingest.json.
+# handler-only, decode-only) to BENCH_ingest.json, then the read-path
+# benchmarks (snapshot-served GET vs cold recompute for vehicles and
+# arrivals) to BENCH_read.json.
 bench:
 	$(GO) test -run='^$$' -bench='SVD' -benchmem -count=1 . | $(GO) run ./cmd/benchjson -out BENCH_svd.json
 	@cat BENCH_svd.json
 	$(GO) test -run='^$$' -bench='BenchmarkIngest|BenchmarkBatch' -benchmem -benchtime=20000x -count=1 ./internal/server \
 		| $(GO) run ./cmd/benchjson -out BENCH_ingest.json
 	@cat BENCH_ingest.json
+	$(GO) test -run='^$$' -bench='BenchmarkVehicles|BenchmarkArrivals' -benchmem -count=1 ./internal/server \
+		| $(GO) run ./cmd/benchjson -out BENCH_read.json
+	@cat BENCH_read.json
 
 # bench-smoke runs each SVD build benchmark exactly once — a compile-and-run
 # check for ci, not a measurement.
@@ -116,6 +122,9 @@ bench-smoke:
 # ingest benchmarks must hold both their alloc budgets (handler-only
 # allocs/op vs BENCH_ingest.json) and the batch-speedup claim: batched
 # NDJSON ingest at least 10x the per-report cost of single-POST HTTP.
+# The read benchmarks must hold the snapshot claim: a cached GET at least
+# 10x cheaper than the cold recompute of the same response, for both
+# vehicles and arrivals (vs BENCH_read.json).
 # Refresh a baseline deliberately with `make bench` when a regression is
 # intended.
 bench-check:
@@ -128,6 +137,11 @@ bench-check:
 		| $(GO) run ./cmd/benchcheck -baseline BENCH_ingest.json \
 			-require 'BenchmarkIngestHandler,BenchmarkBatchDecode' \
 			-speedup 'BenchmarkBatchIngest:BenchmarkIngestHTTP:10'
+	$(GO) test -run='^$$' -bench='BenchmarkVehicles|BenchmarkArrivals' -benchmem -count=3 ./internal/server \
+		| $(GO) run ./cmd/benchjson \
+		| $(GO) run ./cmd/benchcheck -baseline BENCH_read.json \
+			-require 'BenchmarkVehiclesGET,BenchmarkVehiclesRecompute,BenchmarkArrivalsGET,BenchmarkArrivalsRecompute' \
+			-speedup 'BenchmarkVehiclesGET:BenchmarkVehiclesRecompute:10,BenchmarkArrivalsGET:BenchmarkArrivalsRecompute:10'
 
 bench-all:
 	$(GO) test -bench=. -benchmem

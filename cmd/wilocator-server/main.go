@@ -14,7 +14,7 @@
 //	                 [-max-body 1048576] [-max-inflight 256]
 //	                 [-batch-max 4096] [-ring-depth 1024] [-sync-batch]
 //	                 [-read-timeout 10s] [-write-timeout 30s] [-idle-timeout 2m]
-//	                 [-no-observability]
+//	                 [-no-observability] [-stream-buffer 16] [-stream-max-subs 4096]
 //	                 [-node-id n1 -peers 'n1=http://h1:8421|h1:9090,n2=http://h2:8421|h2:9090[|role]'
 //	                  -role leader|follower] [-replica-root dir]
 //
@@ -44,6 +44,15 @@
 // the client resumes from. With -wal-dir and -sync-batch (the default) the
 // WAL is fsynced once per frame — before the frame's 200, so every
 // acknowledged report is durable — instead of every -wal-sync-every records.
+//
+// Delta push: GET /v1/stream?route= serves Server-Sent Events — a snapshot
+// of the route on connect, then one delta per published epoch. Each
+// subscriber gets a -stream-buffer frame buffer; a subscriber too slow to
+// drain it is shed (stream closed) and resumes with ?from=<last epoch>.
+// -stream-max-subs bounds total concurrent subscribers (beyond it: 503 +
+// Retry-After). Note -write-timeout also cuts long-lived streams; clients
+// using the resume protocol reconnect transparently, but raise it (or set 0)
+// if you want individual connections to live longer.
 //
 // Clustering: -node-id plus -peers (the same string on every node, each
 // entry id=apiURL|replAddr[|role]) runs the server as one node of a
@@ -114,6 +123,8 @@ func run() error {
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "HTTP server write timeout")
 		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "HTTP server idle connection timeout")
 		noObs        = flag.Bool("no-observability", false, "disable the metrics registry and request tracer (GET /metrics, GET /v1/trace/recent answer 404)")
+		streamBuffer = flag.Int("stream-buffer", 0, "per-subscriber SSE frame buffer on GET /v1/stream (0 = default 16; a full buffer sheds the subscriber, who resumes with ?from=)")
+		streamMaxSub = flag.Int("stream-max-subs", 0, "admission bound on concurrent SSE subscribers across all routes (0 = default 4096; beyond it: 503 + Retry-After)")
 		nodeID       = flag.String("node-id", "", "this node's ID in a geo-sharded cluster (empty = single-node mode)")
 		peersSpec    = flag.String("peers", "", "full cluster topology, identical on every node: id=apiURL|replAddr[|role],... (role: leader (default) or follower)")
 		roleFlag     = flag.String("role", "", "cross-check of this node's role in -peers: leader or follower (empty skips the check)")
@@ -172,7 +183,11 @@ func run() error {
 	}
 	sys, err := wilocator.New(net, dep, wilocator.Config{
 		Diagram:              svd.Config{Workers: *buildWorkers},
-		Server:               server.Config{Shards: *shards},
+		Server: server.Config{
+			Shards:               *shards,
+			StreamBuffer:         *streamBuffer,
+			StreamMaxSubscribers: *streamMaxSub,
+		},
 		PersistDir:           *walDir,
 		Persist:              persistCfg,
 		DisableObservability: *noObs,
@@ -362,6 +377,12 @@ func run() error {
 			log.Printf("shutdown: %v", err)
 		}
 		cancel()
+	}
+
+	// Stop the snapshot pump and close every SSE subscriber before flushing:
+	// clients see EOF and reconnect elsewhere with ?from=<last epoch>.
+	if err := sys.Service().Close(); err != nil {
+		log.Printf("close read path: %v", err)
 	}
 
 	if err := flushStore(sys, *walDir, *storePath); err != nil {

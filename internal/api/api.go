@@ -41,6 +41,21 @@ const (
 	// PathTraceRecent serves the most recent trace events as JSON (GET,
 	// debug endpoint; ?n= bounds the count).
 	PathTraceRecent = "/v1/trace/recent"
+	// PathStream is the rider-facing delta push channel: a Server-Sent
+	// Events stream of per-route vehicle updates (GET, ?route= required,
+	// ?from=<epoch> resumes after a disconnect). One snapshot diff on the
+	// server fans out to every subscriber of the route, so N watchers cost
+	// one diff computation, not N recomputes.
+	PathStream = "/v1/stream"
+)
+
+// SSE event names used on PathStream. A stream opens with zero or more
+// catch-up events (one EventSnapshot, or the missed EventDelta frames when
+// the ?from= epoch is recent enough to replay), then carries one EventDelta
+// per published snapshot epoch. Each frame's SSE id field is its epoch.
+const (
+	EventSnapshot = "snapshot"
+	EventDelta    = "delta"
 )
 
 // Report is one phone's upload: the WiFi information scanned on a bus.
@@ -212,6 +227,71 @@ type HTTPStats struct {
 	BatchReports uint64 `json:"batchReports"`
 }
 
+// ReadStats counts read-path outcomes since server start: epoch-snapshot
+// publishes, GETs served from snapshots, conditional-request hits, and the
+// SSE broadcast counters. Serves counts 200s and 304s alike; NotModified is
+// the 304 subset, so NotModified <= Serves at every instant (the handler
+// increments Serves first and the snapshot loads NotModified first).
+type ReadStats struct {
+	// Epoch is the currently served snapshot epoch (equals Publishes: every
+	// publish advances the epoch by one).
+	Epoch uint64 `json:"epoch"`
+	// Publishes counts snapshot publications (epoch advances).
+	Publishes uint64 `json:"publishes"`
+	// Serves counts GETs answered from an epoch snapshot (200 or 304).
+	Serves uint64 `json:"serves"`
+	// NotModified counts the If-None-Match hits answered 304. A subset of
+	// Serves.
+	NotModified uint64 `json:"notModified"`
+	// StreamDeltas counts per-(epoch, route) diff computations — one per
+	// broadcast route per epoch regardless of the subscriber count.
+	StreamDeltas uint64 `json:"streamDeltas"`
+	// StreamFrames counts SSE frames enqueued to subscriber buffers
+	// (catch-up and delta frames alike).
+	StreamFrames uint64 `json:"streamFrames"`
+	// StreamDropped counts subscribers shed for falling behind their
+	// bounded buffer.
+	StreamDropped uint64 `json:"streamDropped"`
+	// StreamResumes counts stream subscriptions that carried a ?from=
+	// epoch (reconnects after a drop or disconnect).
+	StreamResumes uint64 `json:"streamResumes"`
+	// Subscribers is the current SSE subscriber count (a gauge, not a
+	// cumulative counter).
+	Subscribers int64 `json:"subscribers"`
+}
+
+// StreamSnapshot is the full-state catch-up event of one /v1/stream route:
+// the subscriber replaces whatever it has with this and applies subsequent
+// deltas on top.
+type StreamSnapshot struct {
+	Epoch       uint64          `json:"epoch"`
+	RouteID     string          `json:"routeId"`
+	GeneratedAt time.Time       `json:"generatedAt"`
+	Vehicles    []VehicleStatus `json:"vehicles"`
+	// Strip is the route's traffic-map rendering at this epoch.
+	Strip string `json:"strip,omitempty"`
+}
+
+// StreamDelta is one epoch's change set for one route. Deltas are
+// idempotent upserts: applying a delta whose epoch is <= the state the
+// client already holds is harmless, so catch-up replays never need
+// client-side dedup beyond the epoch comparison.
+type StreamDelta struct {
+	Epoch   uint64 `json:"epoch"`
+	RouteID string `json:"routeId"`
+	// Updated carries the vehicles whose status changed this epoch (full
+	// replacement values, keyed by BusID).
+	Updated []VehicleStatus `json:"updated,omitempty"`
+	// Removed lists the bus IDs that left the route's live set (finished,
+	// went stale, or were evicted).
+	Removed []string `json:"removed,omitempty"`
+	// Strip is the route's traffic-map rendering, present when it changed.
+	Strip string `json:"strip,omitempty"`
+	// StripChanged marks whether Strip is meaningful (an all-unknown strip
+	// is a valid non-empty value, so presence alone cannot signal change).
+	StripChanged bool `json:"stripChanged,omitempty"`
+}
+
 // RebuildStats reports diagram-rebuild state: the serving generation and the
 // cumulative rebuild outcomes. Exposed through /v1/healthz so operators can
 // see whether the diagram has caught up with known AP dynamics.
@@ -246,6 +326,7 @@ type HealthResponse struct {
 	ActiveBuses int          `json:"activeBuses"`
 	Ingest      IngestStats  `json:"ingest"`
 	HTTP        HTTPStats    `json:"http"`
+	Read        ReadStats    `json:"read"`
 	Rebuild     RebuildStats `json:"rebuild"`
 	// Persist is present when the server runs with a write-ahead log.
 	Persist *traveltime.PersistStats `json:"persist,omitempty"`

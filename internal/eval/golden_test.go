@@ -15,9 +15,13 @@ package eval
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -25,6 +29,7 @@ import (
 	"time"
 
 	"wilocator/internal/api"
+	"wilocator/internal/client"
 	"wilocator/internal/loadtest"
 	"wilocator/internal/server"
 	"wilocator/internal/trafficmap"
@@ -53,6 +58,27 @@ type goldenOutput struct {
 	Coverage     float64                           `json:"coverage"`
 	Trajectories map[string]api.TrajectoryResponse `json:"trajectories"`
 	Anomalies    []api.AnomalyReport               `json:"anomalies"`
+	ReadCaching  readCachingGolden                 `json:"readCaching"`
+	Stream       streamGolden                      `json:"stream"`
+}
+
+// readCachingGolden pins the HTTP caching surface: the strong ETag the final
+// snapshot serves, its Cache-Control policy, and the status codes conditional
+// revalidation produces against fresh and stale validators.
+type readCachingGolden struct {
+	ETag          string `json:"etag"`
+	CacheControl  string `json:"cacheControl"`
+	Revalidated   int    `json:"revalidatedStatus"`
+	StaleValidate int    `json:"staleValidatorStatus"`
+}
+
+// streamGolden pins one SSE exchange on /v1/stream: the catch-up snapshot a
+// fresh subscriber receives, followed by the delta for the next published
+// epoch (here: the post-replay stale sweep).
+type streamGolden struct {
+	Route    string             `json:"route"`
+	Snapshot api.StreamSnapshot `json:"snapshot"`
+	Delta    api.StreamDelta    `json:"delta"`
 }
 
 // runGoldenPipeline builds the world and replays the pinned fleet, returning
@@ -73,6 +99,11 @@ func runGoldenPipeline(t *testing.T) []byte {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() {
+		if err := svc.Close(); err != nil {
+			t.Errorf("close service: %v", err)
+		}
+	})
 
 	out := goldenOutput{
 		Tally:        loadtest.ReplaySequential(svc, streams),
@@ -112,6 +143,8 @@ func runGoldenPipeline(t *testing.T) []byte {
 		t.Fatal(err)
 	}
 
+	out.ReadCaching, out.Stream = captureReadSurface(t, svc, w.Net.Routes()[0].ID())
+
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
@@ -119,6 +152,90 @@ func runGoldenPipeline(t *testing.T) []byte {
 		t.Fatal(err)
 	}
 	return buf.Bytes()
+}
+
+// captureReadSurface exercises the HTTP read layer of the finished pipeline:
+// one conditional-GET round trip (ETag → 304, stale validator → 200) and one
+// SSE subscribe that observes the catch-up snapshot plus the delta produced
+// by the post-replay stale sweep. Everything it returns is deterministic
+// under the frozen clock, so it lives in the golden file.
+func captureReadSurface(t *testing.T, svc *server.Service, routeID string) (readCachingGolden, streamGolden) {
+	t.Helper()
+	ts := httptest.NewServer(server.Handler(svc))
+	defer ts.Close()
+
+	get := func(inm string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, ts.URL+api.PathVehicles+"?route="+routeID, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inm != "" {
+			req.Header.Set("If-None-Match", inm)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	first := get("")
+	rc := readCachingGolden{
+		ETag:          first.Header.Get("ETag"),
+		CacheControl:  first.Header.Get("Cache-Control"),
+		Revalidated:   get(first.Header.Get("ETag")).StatusCode,
+		StaleValidate: get(`"wl-0"`).StatusCode,
+	}
+
+	// Subscribe before mutating so the stale sweep arrives as a delta, not
+	// folded into the catch-up snapshot.
+	c, err := client.New(ts.URL, &http.Client{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	events := make(chan client.StreamEvent, 4)
+	streamErr := make(chan error, 1)
+	go func() {
+		streamErr <- c.StreamRoute(ctx, routeID, 0, func(ev client.StreamEvent) error {
+			events <- ev
+			return nil
+		})
+	}()
+	next := func(what string) client.StreamEvent {
+		t.Helper()
+		select {
+		case ev := <-events:
+			return ev
+		case <-time.After(10 * time.Second):
+			t.Fatalf("timed out waiting for stream %s", what)
+			return client.StreamEvent{}
+		}
+	}
+
+	snap := next("snapshot")
+	if snap.Snapshot == nil {
+		t.Fatalf("first stream event is not a snapshot: %+v", snap)
+	}
+	svc.EvictStale()
+	svc.InvalidateReadSnapshot()
+	svc.PublishSnapshot()
+	delta := next("delta")
+	if delta.Delta == nil {
+		t.Fatalf("second stream event is not a delta: %+v", delta)
+	}
+	cancel()
+	if err := <-streamErr; err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+
+	return rc, streamGolden{Route: routeID, Snapshot: *snap.Snapshot, Delta: *delta.Delta}
 }
 
 func TestEndToEndGolden(t *testing.T) {

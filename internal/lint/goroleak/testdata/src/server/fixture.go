@@ -77,3 +77,34 @@ func waived() {
 	//wilint:ignore goroleak process-lifetime metrics pump, exits with the binary
 	go spin()
 }
+
+// broadcaster mirrors the delta-push pump: started lazily by the first
+// subscriber, woken over a capacity-1 channel, and joined through the
+// WaitGroup when close() fires done. Both the method-value spawn and the
+// select-driven body must pass.
+type broadcaster struct {
+	wg   sync.WaitGroup
+	wake chan struct{}
+	done chan struct{}
+}
+
+func (b *broadcaster) firstSubscribe() {
+	b.wg.Add(1)
+	go b.pump()
+}
+
+func (b *broadcaster) pump() {
+	defer b.wg.Done()
+	for {
+		select {
+		case <-b.done:
+			return
+		case <-b.wake:
+		}
+	}
+}
+
+func (b *broadcaster) shutdown() {
+	close(b.done)
+	b.wg.Wait()
+}

@@ -5,8 +5,10 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -181,8 +183,17 @@ func NewHandler(s *Service, hc HandlerConfig) http.Handler {
 
 	mux.HandleFunc("POST "+api.PathReportsBatch, batch.serve)
 
+	// The rider-facing read endpoints serve pre-rendered bytes from the
+	// current epoch snapshot: a pointer load, an ETag check, a byte write.
 	mux.HandleFunc("GET "+api.PathVehicles, func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.Vehicles(r.URL.Query().Get("route")))
+		snap := s.currentSnapshot()
+		// An unknown route has no entry, which on the old path meant a nil
+		// vehicle list, not an error.
+		body := snap.vehiclesBody[r.URL.Query().Get("route")]
+		if body == nil {
+			body = nullBody
+		}
+		s.serveSnapshot(w, r, snap, body)
 	})
 
 	mux.HandleFunc("GET "+api.PathArrivals, func(w http.ResponseWriter, r *http.Request) {
@@ -197,7 +208,39 @@ func NewHandler(s *Service, hc HandlerConfig) http.Handler {
 			writeErr(w, http.StatusBadRequest, "invalid stop parameter")
 			return
 		}
-		out, err := s.ArrivalsCtx(r.Context(), routeID, stopIdx)
+		if _, err := s.checkStop(routeID, stopIdx); err != nil {
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		snap := s.currentSnapshot()
+		cells := snap.arrivals[routeID]
+		if stopIdx >= len(cells) {
+			s.serveSnapshot(w, r, snap, nullBody)
+			return
+		}
+		cell := cells[stopIdx]
+		if cell.err != nil {
+			writeErr(w, http.StatusBadRequest, cell.err.Error())
+			return
+		}
+		s.serveSnapshot(w, r, snap, cell.body)
+	})
+
+	mux.HandleFunc("GET "+api.PathTrafficMap, func(w http.ResponseWriter, r *http.Request) {
+		routeID := r.URL.Query().Get("route")
+		if routeID != "" {
+			if _, ok := s.net.Route(routeID); !ok {
+				writeErr(w, http.StatusBadRequest, fmt.Sprintf("trafficmap: unknown route %q", routeID))
+				return
+			}
+		}
+		snap := s.currentSnapshot()
+		if body := snap.tmaps[routeID].body; body != nil {
+			s.serveSnapshot(w, r, snap, body)
+			return
+		}
+		// Unreachable guard: every route of the network has a snapshot cell.
+		out, err := s.TrafficMap(routeID)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, err.Error())
 			return
@@ -205,13 +248,69 @@ func NewHandler(s *Service, hc HandlerConfig) http.Handler {
 		writeJSON(w, http.StatusOK, out)
 	})
 
-	mux.HandleFunc("GET "+api.PathTrafficMap, func(w http.ResponseWriter, r *http.Request) {
-		out, err := s.TrafficMap(r.URL.Query().Get("route"))
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, err.Error())
+	mux.HandleFunc("GET "+api.PathStream, func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		routeID := q.Get("route")
+		if routeID == "" {
+			writeErr(w, http.StatusBadRequest, "missing route parameter")
 			return
 		}
-		writeJSON(w, http.StatusOK, out)
+		if _, ok := s.net.Route(routeID); !ok {
+			writeErr(w, http.StatusBadRequest, fmt.Sprintf("server: unknown route %q", routeID))
+			return
+		}
+		var from uint64
+		if v := q.Get("from"); v != "" {
+			parsed, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, "invalid from parameter")
+				return
+			}
+			from = parsed
+		}
+		flusher, ok := w.(http.Flusher)
+		if !ok {
+			writeErr(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+			return
+		}
+		sub, initial, err := s.bcast.subscribe(routeID, from)
+		if err != nil {
+			if errors.Is(err, errStreamFull) {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			writeErr(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
+		defer s.bcast.unsubscribe(sub)
+		h := w.Header()
+		h.Set("Content-Type", "text/event-stream")
+		h.Set("Cache-Control", "no-store")
+		h.Set("X-Accel-Buffering", "no") // reverse proxies must not buffer SSE
+		w.WriteHeader(http.StatusOK)
+		for _, frame := range initial {
+			if _, err := w.Write(frame); err != nil {
+				return
+			}
+		}
+		flusher.Flush()
+		ctx := r.Context()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case frame, ok := <-sub.ch:
+				if !ok {
+					// Shed for falling behind, or the broadcaster closed.
+					// Ending the response tells the client to reconnect with
+					// ?from= and resume from its last applied epoch.
+					return
+				}
+				if _, err := w.Write(frame); err != nil {
+					return
+				}
+				flusher.Flush()
+			}
+		}
 	})
 
 	mux.HandleFunc("GET "+api.PathRoutes, func(w http.ResponseWriter, r *http.Request) {
@@ -356,6 +455,43 @@ func recoverPanics(s *Service, next http.Handler) http.Handler {
 		}()
 		next.ServeHTTP(w, r)
 	})
+}
+
+// serveSnapshot writes one pre-rendered snapshot body with the HTTP caching
+// layer of the read path: a strong ETag derived from the snapshot epoch, a
+// Cache-Control max-age equal to the snapshot's remaining fusion-window
+// validity, and a 304 short-circuit on If-None-Match. serves is incremented
+// before the notModified check so NotModified <= Serves at every instant
+// (ReadStats loads in the reverse order).
+func (s *Service) serveSnapshot(w http.ResponseWriter, r *http.Request, snap *readSnapshot, body []byte) {
+	s.read.serves.Add(1)
+	h := w.Header()
+	h.Set("ETag", snap.etag)
+	h.Set("Cache-Control", "public, max-age="+strconv.Itoa(snap.maxAgeSec(s.cfg.Now(), s.cfg.FusionWindow)))
+	if im := r.Header.Get("If-None-Match"); im != "" && etagMatch(im, snap.etag) {
+		s.read.notModified.Add(1)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	h.Set("Content-Type", "application/json")
+	h.Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+// etagMatch implements the If-None-Match comparison for strong ETags: a
+// wildcard, or the ETag appearing in the (possibly comma-separated) list. A
+// W/ prefix marks a weak validator, which a strong comparison never matches.
+func etagMatch(header, etag string) bool {
+	if header == "*" {
+		return true
+	}
+	for _, part := range strings.Split(header, ",") {
+		if strings.TrimSpace(part) == etag {
+			return true
+		}
+	}
+	return false
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

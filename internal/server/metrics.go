@@ -176,6 +176,45 @@ func newServiceMetrics(s *Service, reg *obs.Registry) *serviceMetrics {
 		"Classifications inferred from history rather than fresh traversals.",
 		func() uint64 { return s.tmap.Counts().Inferred })
 
+	// Read path: snapshot publishes, cached serves, and the SSE broadcast
+	// counters (bridges over readStats).
+	reg.CounterFunc("wilocator_read_publishes_total",
+		"Epoch-snapshot publications (each advances the served epoch by one).",
+		s.read.publishes.Load)
+	reg.CounterFunc("wilocator_read_serves_total",
+		"GETs answered from an epoch snapshot (200 and 304 alike).",
+		s.read.serves.Load)
+	reg.CounterFunc("wilocator_read_not_modified_total",
+		"If-None-Match hits answered 304 (a subset of read serves).",
+		s.read.notModified.Load)
+	reg.CounterFunc("wilocator_stream_deltas_total",
+		"Per-(epoch, route) stream diff computations — one per broadcast route per epoch, independent of the subscriber count.",
+		s.read.streamDeltas.Load)
+	reg.CounterFunc("wilocator_stream_frames_total",
+		"SSE frames enqueued to subscriber buffers (catch-up and delta frames alike).",
+		s.read.streamFrames.Load)
+	reg.CounterFunc("wilocator_stream_dropped_total",
+		"Stream subscribers shed for falling behind their bounded buffer.",
+		s.read.streamDropped.Load)
+	reg.CounterFunc("wilocator_stream_resumes_total",
+		"Stream subscriptions carrying a ?from= resume epoch.",
+		s.read.streamResumes.Load)
+	reg.GaugeFunc("wilocator_stream_subscribers",
+		"Currently connected SSE stream subscribers.",
+		func() float64 { return float64(s.read.subscribers.Load()) })
+	reg.GaugeFunc("wilocator_snapshot_epoch",
+		"Currently served read-snapshot epoch.",
+		func() float64 { return float64(s.Epoch()) })
+	reg.GaugeFunc("wilocator_snapshot_age_seconds",
+		"Age of the currently served read snapshot.",
+		func() float64 {
+			age := s.cfg.Now().Sub(s.snap.cur.Load().generatedAt).Seconds()
+			if age < 0 {
+				return 0
+			}
+			return age
+		})
+
 	// Engine/diagram gauges.
 	reg.GaugeFunc("wilocator_active_buses",
 		"Currently tracked, non-stale buses.",

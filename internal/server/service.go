@@ -91,6 +91,14 @@ type Config struct {
 	// threaded ingest → locate → predict via context); the handler serves
 	// the ring on GET /v1/trace/recent. Nil disables tracing at zero cost.
 	Tracer *obs.Tracer
+	// StreamBuffer is the per-subscriber SSE frame buffer: how many
+	// broadcast frames a slow client may fall behind before it is shed
+	// (dropped with its channel closed; it resumes with ?from=). Default 16.
+	StreamBuffer int
+	// StreamMaxSubscribers caps concurrent SSE subscribers across all
+	// routes; beyond it new subscriptions are refused with 503 so broadcast
+	// memory stays bounded. Default 4096.
+	StreamMaxSubscribers int
 }
 
 func (c Config) withDefaults() Config {
@@ -108,6 +116,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Origin == (geo.LatLng{}) {
 		c.Origin = geo.DefaultOrigin
+	}
+	if c.StreamBuffer <= 0 {
+		c.StreamBuffer = 16
+	}
+	if c.StreamMaxSubscribers <= 0 {
+		c.StreamMaxSubscribers = 4096
 	}
 	return c
 }
@@ -218,6 +232,12 @@ type Service struct {
 	http    httpStats
 	rebuild rebuildState
 
+	// Read side: the epoch-snapshot publisher (snapshot.go) and the SSE
+	// delta broadcaster (broadcast.go).
+	snap  snapState
+	read  readStats
+	bcast *broadcaster
+
 	mx     *serviceMetrics // nil: metrics disabled
 	tracer *obs.Tracer     // nil: tracing disabled (obs.Tracer is nil-safe)
 
@@ -262,11 +282,32 @@ func NewService(dia *svd.Diagram, store *traveltime.Store, cfg Config) (*Service
 	}
 	s.tracer = cfg.Tracer
 	s.eng.Store(&engine{dia: dia, pos: pos, gen: 1})
+	s.bcast = newBroadcaster(s, cfg.StreamBuffer, cfg.StreamMaxSubscribers)
+	// Publish the initial (empty) read snapshot synchronously so the read
+	// path never observes a nil pointer.
+	s.snap.cur.Store(s.computeSnapshot(s.snap.dirty.Load(), 1, cfg.Now()))
+	s.read.publishes.Add(1)
 	if cfg.Metrics != nil {
 		s.mx = newServiceMetrics(s, cfg.Metrics)
 	}
 	return s, nil
 }
+
+// Close stops the service's background work (the SSE broadcast pump) and
+// disconnects every stream subscriber. It is idempotent and safe to call on
+// a service that never streamed. Ingest and reads keep working after Close;
+// only the delta-push subsystem shuts down.
+func (s *Service) Close() error {
+	s.bcast.close()
+	return nil
+}
+
+// InvalidateReadSnapshot marks the read snapshot stale after an
+// out-of-band mutation of the travel-time store (offline training import,
+// direct store writes) so the next read republishes. Ingest, eviction and
+// rebuild invalidate automatically; only callers that mutate the store
+// behind the service's back need this.
+func (s *Service) InvalidateReadSnapshot() { s.markDirty() }
 
 // Store exposes the travel-time store (e.g. for offline training).
 func (s *Service) Store() *traveltime.Store { return s.store }
@@ -403,6 +444,7 @@ func (s *Service) Health() api.HealthResponse {
 		ActiveBuses: s.ActiveBuses(),
 		Ingest:      s.Stats(),
 		HTTP:        s.HTTPStats(),
+		Read:        s.ReadStats(),
 		Rebuild:     s.RebuildStats(),
 	}
 	if s.cfg.PersistStats != nil {
@@ -519,6 +561,9 @@ func (s *Service) ingest(ctx context.Context, rep api.Report) (api.IngestRespons
 		bs.lastUpdate = time.Time{}
 		bs.done = false
 		s.stats.registered.Add(1)
+		// Registration alone changes read-visible state (the bus's
+		// trajectory resets) even if the report is later rejected.
+		s.markDirty()
 	} else if bs.gen != eng.gen {
 		// The diagram was rebuilt since this tracker's last report. Re-bind
 		// the tracker to the new generation: its trip state (last fix,
@@ -569,6 +614,11 @@ func (s *Service) ingest(ctx context.Context, rep api.Report) (api.IngestRespons
 		bs.lastUpdate = rep.Scan.Time
 	}
 	s.stats.accepted.Add(1)
+	// Bump the read-snapshot dirty counter while bs.mu is still held (the
+	// deferred unlock runs after): a concurrent snapshot capture either
+	// read the counter before this bump (its snapshot is then recorded as
+	// stale) or blocks on bs.mu until this mutation is fully visible.
+	s.markDirty()
 	return resp, nil
 }
 
@@ -633,12 +683,33 @@ func (s *Service) EvictStale() int {
 		sh.mu.Unlock()
 	}
 	s.stats.evicted.Add(uint64(evicted))
+	if evicted > 0 {
+		s.markDirty()
+	}
 	return evicted
 }
 
 // Vehicles returns the live buses, optionally filtered to one route, in
-// bus-ID order.
+// bus-ID order. Served from the current epoch snapshot: a pointer load, no
+// read-side locks. An unknown route is not an error — it simply has no live
+// buses.
 func (s *Service) Vehicles(routeID string) []api.VehicleStatus {
+	vs := s.currentSnapshot().vehicles[routeID]
+	if vs == nil {
+		return nil
+	}
+	// Copy so a caller mutating the result cannot corrupt the shared
+	// snapshot for every other reader.
+	out := make([]api.VehicleStatus, len(vs))
+	copy(out, vs)
+	return out
+}
+
+// RecomputeVehicles is the pre-snapshot lock path: it walks the live bus
+// table under per-bus locks and derives the vehicle list at call time. The
+// snapshot-equivalence tests and the cold-compute benchmarks keep it as the
+// reference implementation; request serving goes through Vehicles.
+func (s *Service) RecomputeVehicles(routeID string) []api.VehicleStatus {
 	now := s.cfg.Now()
 	var out []api.VehicleStatus
 	s.buses.forEach(func(id string, bs *busState) {
@@ -701,7 +772,9 @@ func (s *Service) ArrivalsCtx(ctx context.Context, routeID string, stopIdx int) 
 	return out, err
 }
 
-func (s *Service) arrivals(routeID string, stopIdx int) ([]api.ArrivalEstimate, error) {
+// checkStop validates an arrivals query target, with the same messages the
+// per-request path produced. Shared by the service and the cached handler.
+func (s *Service) checkStop(routeID string, stopIdx int) (*roadnet.Route, error) {
 	route, ok := s.net.Route(routeID)
 	if !ok {
 		return nil, fmt.Errorf("server: unknown route %q", routeID)
@@ -709,29 +782,64 @@ func (s *Service) arrivals(routeID string, stopIdx int) ([]api.ArrivalEstimate, 
 	if stopIdx < 0 || stopIdx >= route.NumStops() {
 		return nil, fmt.Errorf("server: stop index %d outside [0, %d)", stopIdx, route.NumStops())
 	}
-	vehicles := s.Vehicles(routeID)
-	var out []api.ArrivalEstimate
-	for _, v := range vehicles {
-		eta, err := s.pred.PredictArrival(routeID, v.Arc, v.Updated, stopIdx)
-		if err != nil {
-			if errors.Is(err, predict.ErrStopBehind) {
-				continue
-			}
-			return nil, err
-		}
-		out = append(out, api.ArrivalEstimate{
-			BusID:     v.BusID,
-			RouteID:   routeID,
-			StopIndex: stopIdx,
-			StopName:  route.Stops()[stopIdx].Name,
-			ETA:       eta,
-		})
+	return route, nil
+}
+
+func (s *Service) arrivals(routeID string, stopIdx int) ([]api.ArrivalEstimate, error) {
+	if _, err := s.checkStop(routeID, stopIdx); err != nil {
+		return nil, err
 	}
+	cells := s.currentSnapshot().arrivals[routeID]
+	if stopIdx >= len(cells) {
+		// Unreachable with one network per service (the snapshot covers
+		// every stop of every route); kept as a guard.
+		return nil, nil
+	}
+	cell := cells[stopIdx]
+	if cell.err != nil {
+		return nil, cell.err
+	}
+	if cell.ests == nil {
+		return nil, nil
+	}
+	out := make([]api.ArrivalEstimate, len(cell.ests))
+	copy(out, cell.ests)
 	return out, nil
 }
 
-// TrafficMap classifies the network (or one route) at the current time.
+// RecomputeArrivals is the pre-snapshot lock path for one (route, stop)
+// arrival table, predicting over RecomputeVehicles at call time. Reference
+// implementation for the snapshot-equivalence tests and benchmarks.
+func (s *Service) RecomputeArrivals(routeID string, stopIdx int) ([]api.ArrivalEstimate, error) {
+	route, err := s.checkStop(routeID, stopIdx)
+	if err != nil {
+		return nil, err
+	}
+	return s.predictStop(route, routeID, s.RecomputeVehicles(routeID), stopIdx)
+}
+
+// TrafficMap returns the classified network (or one route) from the current
+// epoch snapshot. The classification time is the snapshot's GeneratedAt —
+// at most FusionWindow behind the clock.
 func (s *Service) TrafficMap(routeID string) (api.TrafficMapResponse, error) {
+	if routeID != "" {
+		if _, ok := s.net.Route(routeID); !ok {
+			// Same message MapForRoute produced on the old path.
+			return api.TrafficMapResponse{}, fmt.Errorf("trafficmap: unknown route %q", routeID)
+		}
+	}
+	cell := s.currentSnapshot().tmaps[routeID]
+	resp := cell.resp
+	if resp.Segments != nil {
+		resp.Segments = append([]trafficmap.SegmentStatus(nil), resp.Segments...)
+	}
+	return resp, nil
+}
+
+// RecomputeTrafficMap is the pre-snapshot path: it classifies the network
+// (or one route) at call time under the store lock. Reference implementation
+// for the snapshot-equivalence tests.
+func (s *Service) RecomputeTrafficMap(routeID string) (api.TrafficMapResponse, error) {
 	now := s.cfg.Now()
 	var statuses []trafficmap.SegmentStatus
 	if routeID == "" {
@@ -775,12 +883,29 @@ func (s *Service) Stops(routeID string) (api.StopsResponse, error) {
 
 // ActiveBuses returns the number of currently tracked (non-stale) buses.
 func (s *Service) ActiveBuses() int {
-	return len(s.Vehicles(""))
+	return len(s.currentSnapshot().vehicles[""])
 }
 
 // Trajectory returns a tracked bus's trajectory as Definition 6 tuples
-// <lat, long, t>. Finished buses remain queryable until evicted.
+// <lat, long, t>. Finished buses remain queryable until evicted. Served
+// from the current epoch snapshot, so pairing it with Anomalies (or any
+// other read) of the same epoch observes one consistent instant — the old
+// path could see mid-update state across its two lock acquisitions.
 func (s *Service) Trajectory(busID string) (api.TrajectoryResponse, error) {
+	out, ok := s.currentSnapshot().trajectories[busID]
+	if !ok {
+		return api.TrajectoryResponse{}, fmt.Errorf("server: unknown bus %q", busID)
+	}
+	if out.Fixes != nil {
+		out.Fixes = append([]api.TrajectoryFix(nil), out.Fixes...)
+	}
+	return out, nil
+}
+
+// RecomputeTrajectory is the pre-snapshot lock path: it reads the bus's
+// tracker under its lock at call time. Reference implementation for the
+// snapshot-equivalence tests.
+func (s *Service) RecomputeTrajectory(busID string) (api.TrajectoryResponse, error) {
 	bs := s.buses.get(busID)
 	if bs == nil {
 		return api.TrajectoryResponse{}, fmt.Errorf("server: unknown bus %q", busID)
@@ -813,19 +938,42 @@ const anomalyMinPoints = 4
 // explain — the server-side anomaly detection block of Fig. 4. The δ
 // threshold is derived per route from the historical mean speed, as
 // Section V-A.4 prescribes.
+//
+// Served from the current epoch snapshot: the trajectories the detection
+// ran over are exactly the ones Trajectory serves at the same epoch. The
+// old path captured each bus under its own lock across two acquisitions,
+// so a concurrent flush could be visible in one product but not the other.
 func (s *Service) Anomalies(routeID string) ([]api.AnomalyReport, error) {
 	if routeID != "" {
 		if _, ok := s.net.Route(routeID); !ok {
 			return nil, fmt.Errorf("server: unknown route %q", routeID)
 		}
 	}
-	type liveBus struct {
-		id      string
-		routeID string
-		traj    []locate.TrajectoryPoint
+	all := s.currentSnapshot().anomalies
+	// Detection is independent per bus, so filtering the precomputed
+	// all-routes list is equivalent to detecting over the filtered bus set;
+	// the (route, startArc) sort order survives filtering.
+	var out []api.AnomalyReport
+	for _, a := range all {
+		if routeID != "" && a.RouteID != routeID {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// RecomputeAnomalies is the pre-snapshot path: it captures each live bus
+// under its own lock at call time and runs the detection over the result.
+// Reference implementation for the snapshot-equivalence tests.
+func (s *Service) RecomputeAnomalies(routeID string) ([]api.AnomalyReport, error) {
+	if routeID != "" {
+		if _, ok := s.net.Route(routeID); !ok {
+			return nil, fmt.Errorf("server: unknown route %q", routeID)
+		}
 	}
 	now := s.cfg.Now()
-	var buses []liveBus
+	var caps []busCapture
 	s.buses.forEach(func(id string, bs *busState) {
 		bs.mu.Lock()
 		defer bs.mu.Unlock()
@@ -835,48 +983,15 @@ func (s *Service) Anomalies(routeID string) ([]api.AnomalyReport, error) {
 		if routeID != "" && bs.routeID != routeID {
 			return
 		}
-		if now.Sub(bs.lastUpdate) > s.cfg.StaleAfter {
-			return
-		}
-		buses = append(buses, liveBus{id: id, routeID: bs.routeID, traj: bs.tracker.Trajectory()})
+		caps = append(caps, busCapture{
+			id:         id,
+			routeID:    bs.routeID,
+			lastUpdate: bs.lastUpdate,
+			traj:       bs.tracker.Trajectory(),
+		})
 	})
-
-	var out []api.AnomalyReport
-	for _, b := range buses {
-		route, ok := s.net.Route(b.routeID)
-		if !ok {
-			continue
-		}
-		delta := trafficmap.DeltaFromHistory(s.routeMeanSpeed(route), s.cfg.FusionWindow, 0)
-		var exclude []float64
-		for _, stop := range route.Stops() {
-			exclude = append(exclude, stop.Arc)
-		}
-		for i := 0; i < route.NumSegments(); i++ {
-			if seg, _ := s.net.Graph.Segment(route.Segments()[i]); seg != nil && seg.Signal {
-				exclude = append(exclude, route.SegmentEndArc(i))
-			}
-		}
-		for _, a := range trafficmap.DetectAnomalies(b.traj, delta, anomalyMinPoints, exclude, 30) {
-			center := (a.StartArc + a.EndArc) / 2
-			out = append(out, api.AnomalyReport{
-				BusID:    b.id,
-				RouteID:  b.routeID,
-				StartArc: a.StartArc,
-				EndArc:   a.EndArc,
-				Start:    a.Start,
-				End:      a.End,
-				Pos:      route.PointAt(center),
-			})
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].RouteID != out[j].RouteID {
-			return out[i].RouteID < out[j].RouteID
-		}
-		return out[i].StartArc < out[j].StartArc
-	})
-	return out, nil
+	sort.Slice(caps, func(i, j int) bool { return caps[i].id < caps[j].id })
+	return s.anomaliesFromCaptures(caps, now), nil
 }
 
 // routeMeanSpeed estimates the route's historical mean ground speed from the

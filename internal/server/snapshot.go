@@ -1,0 +1,467 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wilocator/internal/api"
+	"wilocator/internal/locate"
+	"wilocator/internal/predict"
+	"wilocator/internal/roadnet"
+	"wilocator/internal/trafficmap"
+)
+
+// This file is the epoch-snapshot publisher: the read side of the service.
+//
+// Every rider-facing read product — per-route vehicle lists, per-stop
+// arrival tables, the traffic map, anomaly reports and trajectories — is
+// precomputed into one immutable readSnapshot behind an atomic pointer,
+// together with the pre-rendered JSON response bytes. A GET is then a
+// pointer load plus a byte write: zero read-side lock acquisitions, and 100k
+// subscribers watching one route cost one computation, not 100k.
+//
+// # Epochs and dirtiness
+//
+// Mutations (accepted reports, registrations, evictions, travel-time
+// records) bump a dirty counter; a snapshot records the counter value it was
+// computed at (asOf). A read whose loaded snapshot satisfies asOf == dirty
+// serves it straight from the atomic pointer. Otherwise the reader tries to
+// become the publisher with a TryLock: the winner recomputes and stores a
+// fresh snapshot with the next epoch, concurrent losers serve the previous
+// snapshot (still a real published epoch — bounded staleness, never a torn
+// view). At quiescence every read is therefore exactly as fresh as the old
+// lock-path recompute, which is what the byte-equivalence tests pin.
+//
+// Because two products of one snapshot were captured in a single pass, a
+// request pairing Anomalies with Trajectory (or Vehicles with Arrivals) can
+// no longer observe mid-update state across two lock acquisitions: all
+// products of one epoch are mutually consistent.
+//
+// # Time-driven refresh
+//
+// Staleness filtering and traffic-map classification depend on the clock,
+// not only on data mutations, so a snapshot also expires by age: once it is
+// FusionWindow old (or the injected clock moved backwards), the next read
+// republishes. Under a frozen test clock the age stays zero and reads are
+// pure atomic loads.
+//
+// Lock ordering: snap.mu → (shard.mu → busState.mu → store.mu) during a
+// publish; snap.mu → broadcaster.mu during a broadcast. No path acquires
+// them in any other order.
+
+// readStats holds the read-path counters (atomics; the GET path never locks
+// for accounting). Invariant: notModified <= serves — the handler increments
+// serves before notModified, and ReadStats loads notModified first.
+type readStats struct {
+	publishes     atomic.Uint64
+	serves        atomic.Uint64
+	notModified   atomic.Uint64
+	streamDeltas  atomic.Uint64
+	streamFrames  atomic.Uint64
+	streamDropped atomic.Uint64
+	streamResumes atomic.Uint64
+	subscribers   atomic.Int64
+}
+
+// snapState is the publisher state: the dirty counter bumped by every
+// mutation, the current snapshot, and the single-flight publish lock.
+type snapState struct {
+	dirty atomic.Uint64
+	cur   atomic.Pointer[readSnapshot]
+	mu    sync.Mutex // single-flight publisher; TryLock on the read path
+}
+
+// arrivalCell is one (route, stop) entry of the precomputed arrival table.
+type arrivalCell struct {
+	ests []api.ArrivalEstimate
+	body []byte
+	err  error // a prediction error surfaced by the old per-request path
+}
+
+// tmapCell is one precomputed traffic-map response (route key "" = whole
+// network).
+type tmapCell struct {
+	resp api.TrafficMapResponse
+	body []byte
+}
+
+// readSnapshot is one immutable epoch of the read-serving state. Nothing in
+// it is ever mutated after publish; readers share it freely.
+type readSnapshot struct {
+	epoch       uint64
+	asOf        uint64 // dirty counter value the capture covers
+	generatedAt time.Time
+	etag        string // strong ETag, derived from the epoch
+
+	vehicles     map[string][]api.VehicleStatus // "" = all routes
+	vehiclesBody map[string][]byte
+	arrivals     map[string][]arrivalCell // routeID -> stop index
+	tmaps        map[string]tmapCell      // "" = all routes
+	anomalies    []api.AnomalyReport      // all routes, sorted
+	trajectories map[string]api.TrajectoryResponse
+}
+
+// nullBody is the rendered JSON of a nil slice, matching writeJSON's
+// json.Encoder output (trailing newline included).
+var nullBody = []byte("null\n")
+
+// marshalBody renders v exactly as writeJSON does (json.Encoder semantics:
+// HTML escaping on, trailing newline), so pre-rendered snapshot bytes are
+// byte-identical to what the old per-request encode produced.
+func marshalBody(v any) []byte {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		// The read products are plain data structs; an encode failure is a
+		// programming error, not a runtime condition.
+		panic(fmt.Sprintf("server: snapshot encode: %v", err))
+	}
+	return buf.Bytes()
+}
+
+// markDirty records a mutation of read-visible state and pokes the broadcast
+// pump when one is running. Called with the mutated state's lock still held,
+// so a concurrent capture either reads the dirty counter before this bump
+// (and will be recomputed by the next read) or blocks on the per-bus lock
+// until the mutation is fully visible.
+func (s *Service) markDirty() {
+	s.snap.dirty.Add(1)
+	if b := s.bcast; b != nil {
+		b.poke()
+	}
+}
+
+// snapshotFresh reports whether snap can be served for a read at time now.
+func (s *Service) snapshotFresh(snap *readSnapshot, now time.Time) bool {
+	if snap == nil || snap.asOf != s.snap.dirty.Load() {
+		return false
+	}
+	age := now.Sub(snap.generatedAt)
+	return age >= 0 && age < s.cfg.FusionWindow
+}
+
+// currentSnapshot returns the snapshot to serve: the published one when it
+// is fresh, otherwise the result of a single-flight republish. Concurrent
+// readers that lose the TryLock serve the previous snapshot — a real
+// published epoch, at most one publish interval stale.
+func (s *Service) currentSnapshot() *readSnapshot {
+	cur := s.snap.cur.Load()
+	if s.snapshotFresh(cur, s.cfg.Now()) {
+		return cur
+	}
+	if !s.snap.mu.TryLock() {
+		// Another reader is publishing right now. NewService publishes the
+		// initial snapshot synchronously, so cur is never nil here.
+		return cur
+	}
+	defer s.snap.mu.Unlock()
+	now := s.cfg.Now()
+	cur = s.snap.cur.Load()
+	if s.snapshotFresh(cur, now) {
+		return cur // the winner we raced against already republished
+	}
+	// Load dirty before capturing: a mutation landing mid-capture leaves
+	// asOf behind the counter, so the next read recomputes.
+	asOf := s.snap.dirty.Load()
+	var epoch uint64 = 1
+	if cur != nil {
+		epoch = cur.epoch + 1
+	}
+	next := s.computeSnapshot(asOf, epoch, now)
+	s.snap.cur.Store(next)
+	s.read.publishes.Add(1)
+	return next
+}
+
+// PublishSnapshot republishes the read snapshot if the state is dirty and
+// broadcasts the resulting epoch to the SSE subscribers (each epoch is
+// broadcast exactly once, whether the pump or a caller got to it first). It
+// returns the served epoch. Tests drive deterministic delta sequences
+// through it; production traffic normally relies on the read path and the
+// broadcast pump instead.
+func (s *Service) PublishSnapshot() uint64 {
+	cur := s.currentSnapshot()
+	if s.bcast != nil {
+		s.bcast.broadcast(cur)
+	}
+	return cur.epoch
+}
+
+// Epoch returns the currently served snapshot epoch.
+func (s *Service) Epoch() uint64 { return s.snap.cur.Load().epoch }
+
+// ReadStats returns the read-path counters as an invariant-consistent
+// snapshot (notModified <= serves holds in the returned value).
+func (s *Service) ReadStats() api.ReadStats {
+	var out api.ReadStats
+	out.NotModified = s.read.notModified.Load()
+	out.Serves = s.read.serves.Load()
+	out.StreamDeltas = s.read.streamDeltas.Load()
+	out.StreamFrames = s.read.streamFrames.Load()
+	out.StreamDropped = s.read.streamDropped.Load()
+	out.StreamResumes = s.read.streamResumes.Load()
+	out.Subscribers = s.read.subscribers.Load()
+	out.Publishes = s.read.publishes.Load()
+	out.Epoch = s.Epoch()
+	return out
+}
+
+// busCapture is one bus's state, captured under its lock in a single pass so
+// every product derived from it observes the same instant.
+type busCapture struct {
+	id         string
+	routeID    string
+	route      *roadnet.Route
+	lastUpdate time.Time
+	done       bool
+	arc        float64
+	arcOK      bool
+	speed      float64
+	traj       []locate.TrajectoryPoint
+}
+
+// captureBuses snapshots every registered bus (per-bus lock held only for
+// the copy). The result is sorted by bus ID.
+func (s *Service) captureBuses() []busCapture {
+	var caps []busCapture
+	s.buses.forEach(func(id string, bs *busState) {
+		bs.mu.Lock()
+		defer bs.mu.Unlock()
+		if bs.tracker == nil {
+			return
+		}
+		c := busCapture{
+			id:         id,
+			routeID:    bs.routeID,
+			route:      bs.tracker.Route(),
+			lastUpdate: bs.lastUpdate,
+			done:       bs.done,
+			traj:       bs.tracker.Trajectory(), // already a copy
+		}
+		c.arc, c.arcOK = bs.tracker.Arc()
+		c.speed, _ = bs.tracker.Speed()
+		caps = append(caps, c)
+	})
+	sort.Slice(caps, func(i, j int) bool { return caps[i].id < caps[j].id })
+	return caps
+}
+
+// vehiclesFromCaptures derives the live-vehicle list (the Vehicles filter:
+// not finished, not stale, has a fix) from captured bus states. caps must be
+// sorted by bus ID; the result preserves that order. Returns nil, not an
+// empty slice, when nothing matches — the old lock path's (and the wire
+// format's) convention.
+func (s *Service) vehiclesFromCaptures(caps []busCapture, now time.Time, routeID string) []api.VehicleStatus {
+	var out []api.VehicleStatus
+	for _, c := range caps {
+		if routeID != "" && c.routeID != routeID {
+			continue
+		}
+		if c.done || now.Sub(c.lastUpdate) > s.cfg.StaleAfter {
+			continue
+		}
+		if !c.arcOK {
+			continue
+		}
+		out = append(out, api.VehicleStatus{
+			BusID:   c.id,
+			RouteID: c.routeID,
+			Arc:     c.arc,
+			Pos:     c.route.PointAt(c.arc),
+			Speed:   c.speed,
+			Updated: c.lastUpdate,
+		})
+	}
+	return out
+}
+
+// filterVehicles narrows an already-derived (sorted) vehicle list to one
+// route, preserving nil-for-empty.
+func filterVehicles(all []api.VehicleStatus, routeID string) []api.VehicleStatus {
+	var out []api.VehicleStatus
+	for _, v := range all {
+		if v.RouteID == routeID {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// arrivalsForRoute computes the arrival table of one route from its live
+// vehicles — the same per-stop prediction loop the old per-request path ran.
+func (s *Service) arrivalsForRoute(route *roadnet.Route, vehicles []api.VehicleStatus) []arrivalCell {
+	routeID := route.ID()
+	cells := make([]arrivalCell, route.NumStops())
+	for stopIdx := range cells {
+		cell := &cells[stopIdx]
+		ests, err := s.predictStop(route, routeID, vehicles, stopIdx)
+		if err != nil {
+			cell.err = err
+			continue
+		}
+		cell.ests = ests
+		if ests == nil {
+			cell.body = nullBody
+		} else {
+			cell.body = marshalBody(ests)
+		}
+	}
+	return cells
+}
+
+// predictStop runs the arrival prediction of one (route, stop) over the
+// given vehicles. Shared by the snapshot publisher and the recompute
+// reference path so the two can never diverge.
+func (s *Service) predictStop(route *roadnet.Route, routeID string, vehicles []api.VehicleStatus, stopIdx int) ([]api.ArrivalEstimate, error) {
+	var out []api.ArrivalEstimate
+	for _, v := range vehicles {
+		eta, err := s.pred.PredictArrival(routeID, v.Arc, v.Updated, stopIdx)
+		if err != nil {
+			if errors.Is(err, predict.ErrStopBehind) {
+				continue
+			}
+			return nil, err
+		}
+		out = append(out, api.ArrivalEstimate{
+			BusID:     v.BusID,
+			RouteID:   routeID,
+			StopIndex: stopIdx,
+			StopName:  route.Stops()[stopIdx].Name,
+			ETA:       eta,
+		})
+	}
+	return out, nil
+}
+
+// anomaliesFromCaptures runs the Fig. 4 anomaly detection over the captured
+// trajectories — the same per-bus pipeline as the old path, but every bus is
+// observed at the same epoch instead of under one lock acquisition each.
+func (s *Service) anomaliesFromCaptures(caps []busCapture, now time.Time) []api.AnomalyReport {
+	var out []api.AnomalyReport
+	for _, b := range caps {
+		if now.Sub(b.lastUpdate) > s.cfg.StaleAfter {
+			continue
+		}
+		route, ok := s.net.Route(b.routeID)
+		if !ok {
+			continue
+		}
+		delta := trafficmap.DeltaFromHistory(s.routeMeanSpeed(route), s.cfg.FusionWindow, 0)
+		var exclude []float64
+		for _, stop := range route.Stops() {
+			exclude = append(exclude, stop.Arc)
+		}
+		for i := 0; i < route.NumSegments(); i++ {
+			if seg, _ := s.net.Graph.Segment(route.Segments()[i]); seg != nil && seg.Signal {
+				exclude = append(exclude, route.SegmentEndArc(i))
+			}
+		}
+		for _, a := range trafficmap.DetectAnomalies(b.traj, delta, anomalyMinPoints, exclude, 30) {
+			center := (a.StartArc + a.EndArc) / 2
+			out = append(out, api.AnomalyReport{
+				BusID:    b.id,
+				RouteID:  b.routeID,
+				StartArc: a.StartArc,
+				EndArc:   a.EndArc,
+				Start:    a.Start,
+				End:      a.End,
+				Pos:      route.PointAt(center),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].RouteID != out[j].RouteID {
+			return out[i].RouteID < out[j].RouteID
+		}
+		return out[i].StartArc < out[j].StartArc
+	})
+	return out
+}
+
+// computeSnapshot builds one immutable epoch: a single capture pass over the
+// bus table, then every read product derived from that one capture, then the
+// JSON renders. Publish-side cost is O(buses + routes×stops); read-side cost
+// becomes a pointer load.
+func (s *Service) computeSnapshot(asOf, epoch uint64, now time.Time) *readSnapshot {
+	caps := s.captureBuses()
+	routes := s.net.Routes()
+
+	snap := &readSnapshot{
+		epoch:       epoch,
+		asOf:        asOf,
+		generatedAt: now,
+		etag:        fmt.Sprintf("%q", fmt.Sprintf("wl-%d", epoch)),
+
+		vehicles:     make(map[string][]api.VehicleStatus, len(routes)+1),
+		vehiclesBody: make(map[string][]byte, len(routes)+1),
+		arrivals:     make(map[string][]arrivalCell, len(routes)),
+		tmaps:        make(map[string]tmapCell, len(routes)+1),
+		trajectories: make(map[string]api.TrajectoryResponse, len(caps)),
+	}
+
+	all := s.vehiclesFromCaptures(caps, now, "")
+	snap.vehicles[""] = all
+	snap.vehiclesBody[""] = renderVehicles(all)
+	for _, rt := range routes {
+		vs := filterVehicles(all, rt.ID())
+		snap.vehicles[rt.ID()] = vs
+		snap.vehiclesBody[rt.ID()] = renderVehicles(vs)
+		snap.arrivals[rt.ID()] = s.arrivalsForRoute(rt, vs)
+	}
+
+	// Traffic map: whole network plus every route, classified at the same
+	// now. MapForRoute cannot fail here — the routes come from the network.
+	allStatuses := s.tmap.Map(now)
+	snap.tmaps[""] = newTmapCell(now, allStatuses)
+	for _, rt := range routes {
+		statuses, err := s.tmap.MapForRoute(rt.ID(), now)
+		if err != nil {
+			continue
+		}
+		snap.tmaps[rt.ID()] = newTmapCell(now, statuses)
+	}
+
+	snap.anomalies = s.anomaliesFromCaptures(caps, now)
+
+	for _, c := range caps {
+		out := api.TrajectoryResponse{BusID: c.id, RouteID: c.routeID}
+		for _, p := range c.traj {
+			ll := s.proj.ToLatLng(p.Pos)
+			out.Fixes = append(out.Fixes, api.TrajectoryFix{Lat: ll.Lat, Lng: ll.Lng, Time: p.Time, Arc: p.Arc})
+		}
+		snap.trajectories[c.id] = out
+	}
+	return snap
+}
+
+func renderVehicles(vs []api.VehicleStatus) []byte {
+	if vs == nil {
+		return nullBody
+	}
+	return marshalBody(vs)
+}
+
+func newTmapCell(now time.Time, statuses []trafficmap.SegmentStatus) tmapCell {
+	resp := api.TrafficMapResponse{
+		GeneratedAt: now,
+		Segments:    statuses,
+		Strip:       trafficmap.Render(statuses),
+	}
+	return tmapCell{resp: resp, body: marshalBody(resp)}
+}
+
+// maxAgeSec derives the Cache-Control max-age of a response served from
+// snap at time now: the remaining validity of the snapshot's fusion window,
+// in whole seconds, floored at zero.
+func (snap *readSnapshot) maxAgeSec(now time.Time, window time.Duration) int {
+	remain := window - now.Sub(snap.generatedAt)
+	if remain <= 0 {
+		return 0
+	}
+	return int(remain / time.Second)
+}

@@ -1,0 +1,292 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"wilocator/internal/api"
+	"wilocator/internal/mobility"
+	"wilocator/internal/sensing"
+	"wilocator/internal/xrand"
+)
+
+// runBusHalf replays the first half of a simulated trip so the bus is live
+// (not done) when the test queries the read products.
+func (w *world) runBusHalf(t testing.TB, busID string, start time.Time, phones int, seed uint64) {
+	t.Helper()
+	field := mobility.DefaultCongestion(1)
+	trip, err := mobility.Drive(w.net, w.route.ID(), start, mobility.DriveConfig{}, field, nil, xrand.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	group, err := sensing.NewRiderPhones(busID, phones, w.dep, sensing.PhoneConfig{ReportLoss: -1}, xrand.New(seed+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := trip.Start().Add(trip.Duration() / 2)
+	for at := trip.Start(); at.Before(half); at = at.Add(sensing.DefaultScanPeriod) {
+		pos := w.route.PointAt(trip.ArcAt(at))
+		for _, p := range group {
+			if scan, ok := p.ScanAt(pos, at); ok {
+				if _, err := w.svc.Ingest(api.Report{BusID: busID, RouteID: w.route.ID(), PhoneID: p.ID(), Scan: scan}); err != nil {
+					t.Fatalf("Ingest: %v", err)
+				}
+			}
+		}
+		w.setClock(at)
+	}
+}
+
+// TestSnapshotEquivalence pins the tentpole contract: at quiescence, every
+// read product served from the epoch snapshot is byte-identical (as JSON) to
+// what the pre-snapshot lock path computes at call time. One finished and
+// one live bus cover the done/stale filters on both paths.
+func TestSnapshotEquivalence(t *testing.T) {
+	w := newWorld(t, 50)
+	w.runBus(t, "bus-done", t0, 3, 500)
+	w.runBusHalf(t, "bus-live", w.now().Add(time.Minute), 3, 510)
+
+	eq := func(name string, snap, ref any) {
+		t.Helper()
+		a, b := marshalBody(snap), marshalBody(ref)
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s diverged:\nsnapshot:  %s\nrecompute: %s", name, a, b)
+		}
+	}
+
+	for _, routeID := range []string{"", w.route.ID(), "nope"} {
+		eq("Vehicles("+routeID+")", w.svc.Vehicles(routeID), w.svc.RecomputeVehicles(routeID))
+	}
+	for stop := 0; stop < w.route.NumStops(); stop++ {
+		got, gotErr := w.svc.Arrivals(w.route.ID(), stop)
+		ref, refErr := w.svc.RecomputeArrivals(w.route.ID(), stop)
+		if (gotErr == nil) != (refErr == nil) {
+			t.Fatalf("Arrivals(stop %d) err = %v, recompute err = %v", stop, gotErr, refErr)
+		}
+		eq("Arrivals", got, ref)
+	}
+	for _, routeID := range []string{"", w.route.ID()} {
+		got, err := w.svc.TrafficMap(routeID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := w.svc.RecomputeTrafficMap(routeID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eq("TrafficMap("+routeID+")", got, ref)
+	}
+	for _, busID := range []string{"bus-done", "bus-live"} {
+		got, err := w.svc.Trajectory(busID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := w.svc.RecomputeTrajectory(busID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eq("Trajectory("+busID+")", got, ref)
+	}
+	for _, routeID := range []string{"", w.route.ID()} {
+		got, err := w.svc.Anomalies(routeID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := w.svc.RecomputeAnomalies(routeID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eq("Anomalies("+routeID+")", got, ref)
+	}
+
+	// Error cases stay errors on both paths.
+	if _, err := w.svc.Arrivals("nope", 0); err == nil {
+		t.Error("unknown route accepted")
+	}
+	if _, err := w.svc.Trajectory("ghost"); err == nil {
+		t.Error("unknown bus accepted")
+	}
+	if _, err := w.svc.Anomalies("nope"); err == nil {
+		t.Error("unknown route accepted by Anomalies")
+	}
+}
+
+// TestReadsShareSnapshotEpoch is the regression test for the per-request
+// recompute fix: once the snapshot is published, any number of reads — and
+// in particular an Anomalies + Trajectory pair — are served from the same
+// epoch without triggering further publishes; a mutation triggers exactly
+// one republish for the next read.
+func TestReadsShareSnapshotEpoch(t *testing.T) {
+	w := newWorld(t, 51)
+	w.runBusHalf(t, "bus-1", t0, 3, 520)
+
+	w.svc.Vehicles("") // settle: publish the post-ingest snapshot
+	st0 := w.svc.ReadStats()
+	for i := 0; i < 10; i++ {
+		w.svc.Vehicles("")
+		if _, err := w.svc.Arrivals(w.route.ID(), 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.svc.TrafficMap(""); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.svc.Anomalies(""); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.svc.Trajectory("bus-1"); err != nil {
+			t.Fatal(err)
+		}
+		w.svc.ActiveBuses()
+	}
+	st1 := w.svc.ReadStats()
+	if st1.Publishes != st0.Publishes || st1.Epoch != st0.Epoch {
+		t.Errorf("60 quiescent reads republished: publishes %d -> %d, epoch %d -> %d",
+			st0.Publishes, st1.Publishes, st0.Epoch, st1.Epoch)
+	}
+
+	// One mutation → exactly one republish, shared by the next reads.
+	w.svc.InvalidateReadSnapshot()
+	if _, err := w.svc.Anomalies(""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.svc.Trajectory("bus-1"); err != nil {
+		t.Fatal(err)
+	}
+	st2 := w.svc.ReadStats()
+	if st2.Publishes != st1.Publishes+1 {
+		t.Errorf("publishes %d -> %d after one invalidation, want exactly one more", st1.Publishes, st2.Publishes)
+	}
+	if st2.Epoch != st1.Epoch+1 {
+		t.Errorf("epoch %d -> %d after one invalidation", st1.Epoch, st2.Epoch)
+	}
+}
+
+// TestHTTPReadCaching drives the caching layer over the wire: strong ETags
+// derived from the epoch, If-None-Match → 304 with no body, Cache-Control
+// max-age from the snapshot's remaining window, and a fresh ETag after a
+// mutation.
+func TestHTTPReadCaching(t *testing.T) {
+	w := newWorld(t, 52)
+	w.runBusHalf(t, "bus-1", t0, 3, 530)
+	ts := httptest.NewServer(Handler(w.svc))
+	defer ts.Close()
+
+	get := func(path, inm string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inm != "" {
+			req.Header.Set("If-None-Match", inm)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	body := func(resp *http.Response) []byte {
+		t.Helper()
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	paths := []string{
+		api.PathVehicles + "?route=" + w.route.ID(),
+		api.PathArrivals + "?route=" + w.route.ID() + "&stop=1",
+		api.PathTrafficMap,
+	}
+	for _, path := range paths {
+		resp := get(path, "")
+		b1 := body(resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		etag := resp.Header.Get("ETag")
+		if len(etag) < 2 || etag[0] != '"' || etag[:3] == `W/"` {
+			t.Fatalf("GET %s: ETag %q is not a strong validator", path, etag)
+		}
+		cc := resp.Header.Get("Cache-Control")
+		if !bytes.Contains([]byte(cc), []byte("max-age=")) {
+			t.Errorf("GET %s: Cache-Control = %q, want a max-age", path, cc)
+		}
+
+		// Conditional revalidation: same ETag → 304, empty body.
+		resp304 := get(path, etag)
+		if b := body(resp304); resp304.StatusCode != http.StatusNotModified || len(b) != 0 {
+			t.Errorf("GET %s If-None-Match: status %d, body %q", path, resp304.StatusCode, b)
+		}
+		if got := resp304.Header.Get("ETag"); got != etag {
+			t.Errorf("304 ETag = %q, want %q", got, etag)
+		}
+		// Wildcard and multi-value lists match; a stale ETag does not.
+		if resp := get(path, "*"); resp.StatusCode != http.StatusNotModified {
+			t.Errorf("If-None-Match: * -> %d", resp.StatusCode)
+		} else {
+			body(resp)
+		}
+		if resp := get(path, `"stale", `+etag); resp.StatusCode != http.StatusNotModified {
+			t.Errorf("If-None-Match list -> %d", resp.StatusCode)
+		} else {
+			body(resp)
+		}
+		respStale := get(path, `"wl-0"`)
+		if b := body(respStale); respStale.StatusCode != http.StatusOK || !bytes.Equal(b, b1) {
+			t.Errorf("stale ETag revalidation: status %d", respStale.StatusCode)
+		}
+	}
+
+	// A mutation rotates the ETag and the old one stops validating.
+	before := get(paths[0], "")
+	_ = body(before)
+	w.svc.InvalidateReadSnapshot()
+	after := get(paths[0], before.Header.Get("ETag"))
+	_ = body(after)
+	if after.StatusCode != http.StatusOK {
+		t.Fatalf("post-mutation revalidation: status %d, want 200", after.StatusCode)
+	}
+	if after.Header.Get("ETag") == before.Header.Get("ETag") {
+		t.Error("ETag did not rotate across a mutation")
+	}
+
+	st := w.svc.ReadStats()
+	if st.NotModified == 0 || st.NotModified > st.Serves {
+		t.Errorf("read stats = %+v, want 0 < NotModified <= Serves", st)
+	}
+}
+
+// TestVehiclesGETServesPrerenderedBytes pins that the handler byte-for-byte
+// serves the snapshot's pre-rendered body (the same bytes writeJSON would
+// produce for the equivalent recompute), including the nil-slice "null"
+// convention for unknown routes.
+func TestVehiclesGETServesPrerenderedBytes(t *testing.T) {
+	w := newWorld(t, 53)
+	w.runBusHalf(t, "bus-1", t0, 3, 540)
+	h := Handler(w.svc)
+
+	get := func(target string) (*httptest.ResponseRecorder, []byte) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, target, nil))
+		return rec, rec.Body.Bytes()
+	}
+
+	_, got := get(api.PathVehicles + "?route=" + w.route.ID())
+	want := marshalBody(w.svc.RecomputeVehicles(w.route.ID()))
+	if !bytes.Equal(got, want) {
+		t.Errorf("GET vehicles body:\n%s\nrecompute render:\n%s", got, want)
+	}
+
+	rec, got := get(api.PathVehicles + "?route=ghost")
+	if rec.Code != http.StatusOK || !bytes.Equal(got, nullBody) {
+		t.Errorf("unknown route: status %d body %q, want 200 %q", rec.Code, got, nullBody)
+	}
+}

@@ -1,0 +1,561 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"wilocator/internal/api"
+	"wilocator/internal/client"
+	"wilocator/internal/traveltime"
+	"wilocator/internal/wifi"
+)
+
+// parseSSE decodes one rendered frame back into (event, id, payload).
+func parseSSE(t testing.TB, frame []byte) (event string, id uint64, data []byte) {
+	t.Helper()
+	for _, line := range bytes.Split(bytes.TrimRight(frame, "\n"), []byte("\n")) {
+		switch {
+		case bytes.HasPrefix(line, []byte("event: ")):
+			event = string(line[len("event: "):])
+		case bytes.HasPrefix(line, []byte("id: ")):
+			n, err := strconv.ParseUint(string(line[len("id: "):]), 10, 64)
+			if err != nil {
+				t.Fatalf("bad SSE id line %q: %v", line, err)
+			}
+			id = n
+		case bytes.HasPrefix(line, []byte("data: ")):
+			data = line[len("data: "):]
+		}
+	}
+	if event == "" || data == nil {
+		t.Fatalf("malformed SSE frame: %q", frame)
+	}
+	return event, id, data
+}
+
+// advanceEpoch dirties the read state and publishes, returning the new
+// epoch. The broadcast pump may race the explicit publish; either way the
+// epoch advances at most once per call and is broadcast exactly once.
+func advanceEpoch(t testing.TB, w *world) uint64 {
+	t.Helper()
+	w.svc.InvalidateReadSnapshot()
+	return w.svc.PublishSnapshot()
+}
+
+// reportAt ingests one minimal single-AP report so the dirty counter moves
+// through the real ingest path (not just InvalidateReadSnapshot).
+func (w *world) reportAt(t testing.TB, busID string, at time.Time) {
+	t.Helper()
+	aps := w.dep.APs()
+	_, err := w.svc.Ingest(api.Report{BusID: busID, RouteID: w.route.ID(), PhoneID: "p",
+		Scan: wifi.Scan{Time: at, Readings: []wifi.Reading{{BSSID: aps[0].BSSID, RSSI: -50}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamSnapshotThenDelta: a fresh subscriber gets one full snapshot of
+// the head epoch, then one delta per published epoch, chained by epoch.
+func TestStreamSnapshotThenDelta(t *testing.T) {
+	w := newWorld(t, 60)
+	w.runBusHalf(t, "bus-1", t0, 3, 600)
+	defer w.svc.Close()
+
+	sub, initial, err := w.svc.bcast.subscribe(w.route.ID(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.svc.bcast.unsubscribe(sub)
+	if len(initial) != 1 {
+		t.Fatalf("initial frames = %d, want 1 snapshot", len(initial))
+	}
+	event, id, data := parseSSE(t, initial[0])
+	if event != api.EventSnapshot {
+		t.Fatalf("initial event = %q", event)
+	}
+	var snap api.StreamSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Epoch != id || snap.RouteID != w.route.ID() {
+		t.Fatalf("snapshot payload %+v, id %d", snap, id)
+	}
+	if len(snap.Vehicles) == 0 {
+		t.Fatal("snapshot has no vehicles for a live bus")
+	}
+
+	last := snap.Epoch
+	for i := 0; i < 3; i++ {
+		w.reportAt(t, "bus-1", w.now().Add(time.Duration(i+1)*time.Second))
+		epoch := w.svc.PublishSnapshot()
+		if epoch <= last {
+			t.Fatalf("epoch did not advance: %d -> %d", last, epoch)
+		}
+		select {
+		case frame := <-sub.ch:
+			event, id, data := parseSSE(t, frame)
+			if event != api.EventDelta {
+				t.Fatalf("frame %d event = %q", i, event)
+			}
+			var delta api.StreamDelta
+			if err := json.Unmarshal(data, &delta); err != nil {
+				t.Fatal(err)
+			}
+			if delta.Epoch != id || delta.Epoch != epoch || delta.RouteID != w.route.ID() {
+				t.Fatalf("delta %+v, id %d, published epoch %d", delta, id, epoch)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("no delta for epoch %d", epoch)
+		}
+		last = epoch
+	}
+}
+
+// TestStreamSlowSubscriberShed: a subscriber that stops draining is shed
+// without blocking the publisher or its peers; it then resumes from its last
+// applied epoch and is replayed exactly the missed suffix from the ring.
+func TestStreamSlowSubscriberShed(t *testing.T) {
+	w := newWorld(t, 61)
+	svc, err := NewService(w.dia, traveltime.NewStore(traveltime.PaperPlan()), Config{Now: w.now, StreamBuffer: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	route := w.route.ID()
+
+	head := svc.Epoch()
+	slow, initial, err := svc.bcast.subscribe(route, head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(initial) != 0 {
+		t.Fatalf("subscriber at the head got %d catch-up frames", len(initial))
+	}
+	fast, _, err := svc.bcast.subscribe(route, head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.bcast.unsubscribe(fast)
+
+	// Epoch head+1 fits both 1-frame buffers; head+2 overflows slow (never
+	// drained) and sheds it, while fast keeps draining.
+	svc.InvalidateReadSnapshot()
+	e1 := svc.PublishSnapshot()
+	<-fast.ch
+	svc.InvalidateReadSnapshot()
+	e2 := svc.PublishSnapshot()
+	if e2 != e1+1 {
+		t.Fatalf("epochs %d, %d", e1, e2)
+	}
+	<-fast.ch
+
+	// slow still holds e1's frame, then sees the shed as a channel close.
+	frame, ok := <-slow.ch
+	if !ok {
+		t.Fatal("slow subscriber lost its buffered frame")
+	}
+	if _, id, _ := parseSSE(t, frame); id != e1 {
+		t.Fatalf("buffered frame id = %d, want %d", id, e1)
+	}
+	if _, ok := <-slow.ch; ok {
+		t.Fatal("slow subscriber was not shed")
+	}
+	st := svc.ReadStats()
+	if st.StreamDropped != 1 {
+		t.Errorf("StreamDropped = %d, want 1", st.StreamDropped)
+	}
+	if st.Subscribers != 1 {
+		t.Errorf("Subscribers = %d, want 1 (fast only)", st.Subscribers)
+	}
+	// unsubscribe after the shed stays idempotent.
+	svc.bcast.unsubscribe(slow)
+	if got := svc.ReadStats().Subscribers; got != 1 {
+		t.Errorf("Subscribers after double-remove = %d, want 1", got)
+	}
+
+	// Resume from the last applied epoch (e1): the ring covers the gap, so
+	// the replay is exactly the missed delta e2 — no snapshot.
+	resumesBefore := svc.ReadStats().StreamResumes
+	resumed, catchup, err := svc.bcast.subscribe(route, e1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.bcast.unsubscribe(resumed)
+	if len(catchup) != 1 {
+		t.Fatalf("resume replayed %d frames, want 1", len(catchup))
+	}
+	if event, id, _ := parseSSE(t, catchup[0]); event != api.EventDelta || id != e2 {
+		t.Fatalf("resume frame = %s@%d, want delta@%d", event, id, e2)
+	}
+	if got := svc.ReadStats().StreamResumes; got != resumesBefore+1 {
+		t.Errorf("StreamResumes = %d, want %d", got, resumesBefore+1)
+	}
+
+	// A resume from an epoch the ring no longer covers degrades to one full
+	// snapshot of the head.
+	_, fallback, err := svc.bcast.subscribe(route, e2+100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fallback) != 1 {
+		t.Fatalf("fallback = %d frames", len(fallback))
+	}
+	if event, id, _ := parseSSE(t, fallback[0]); event != api.EventSnapshot || id != e2 {
+		t.Fatalf("fallback frame = %s@%d, want snapshot@%d", event, id, e2)
+	}
+}
+
+// TestStreamBoundedMemory: hundreds of epochs against an absent consumer
+// leave the ring at its cap and the subscriber buffer at its configured
+// bound — publisher memory never grows with a stalled client.
+func TestStreamBoundedMemory(t *testing.T) {
+	w := newWorld(t, 62)
+	svc, err := NewService(w.dia, traveltime.NewStore(traveltime.PaperPlan()), Config{Now: w.now, StreamBuffer: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	route := w.route.ID()
+
+	stalled, _, err := svc.bcast.subscribe(route, svc.Epoch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3*ringSize; i++ {
+		svc.InvalidateReadSnapshot()
+		svc.PublishSnapshot()
+	}
+	if n := len(stalled.ch); n > 4 {
+		t.Errorf("stalled subscriber buffered %d frames, cap 4", n)
+	}
+	svc.bcast.mu.Lock()
+	ringLen := len(svc.bcast.routes[route].ring)
+	svc.bcast.mu.Unlock()
+	if ringLen != ringSize {
+		t.Errorf("ring length = %d, want capped at %d", ringLen, ringSize)
+	}
+	if st := svc.ReadStats(); st.StreamDropped != 1 || st.Subscribers != 0 {
+		t.Errorf("read stats = %+v, want the stalled subscriber shed", st)
+	}
+}
+
+// TestStreamFanOutOneDeltaPerEpoch is the acceptance gate: 1000 concurrent
+// subscribers on one route cost exactly one diff computation (and one
+// render) per published epoch — the deltas counter moves per epoch, the
+// frames counter per delivery.
+func TestStreamFanOutOneDeltaPerEpoch(t *testing.T) {
+	const subs, epochs = 1000, 5
+	w := newWorld(t, 63)
+	w.runBusHalf(t, "bus-1", t0, 3, 630)
+	defer w.svc.Close()
+	route := w.route.ID()
+
+	head := w.svc.currentSnapshot().epoch
+	all := make([]*subscriber, subs)
+	for i := range all {
+		sub, initial, err := w.svc.bcast.subscribe(route, head)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(initial) != 0 {
+			t.Fatalf("subscriber %d at head got %d catch-up frames", i, len(initial))
+		}
+		all[i] = sub
+	}
+	if got := w.svc.ReadStats().Subscribers; got != subs {
+		t.Fatalf("Subscribers = %d, want %d", got, subs)
+	}
+
+	st0 := w.svc.ReadStats()
+	first := advanceEpoch(t, w)
+	for i := 1; i < epochs; i++ {
+		advanceEpoch(t, w)
+	}
+	last := w.svc.Epoch()
+	if got := last - first + 1; got != epochs {
+		t.Fatalf("advanced %d epochs, want %d", got, epochs)
+	}
+	st1 := w.svc.ReadStats()
+	if got := st1.StreamDeltas - st0.StreamDeltas; got != epochs {
+		t.Errorf("StreamDeltas advanced %d over %d epochs with %d subscribers, want exactly %d",
+			got, epochs, subs, epochs)
+	}
+	if got := st1.StreamFrames - st0.StreamFrames; got != subs*epochs {
+		t.Errorf("StreamFrames advanced %d, want %d deliveries", got, subs*epochs)
+	}
+	if st1.StreamDropped != st0.StreamDropped {
+		t.Errorf("dropped %d subscribers with empty buffers", st1.StreamDropped-st0.StreamDropped)
+	}
+
+	// Every subscriber saw the identical frame sequence.
+	var want [][]byte
+	for i := 0; i < epochs; i++ {
+		want = append(want, <-all[0].ch)
+	}
+	for i, sub := range all[1:] {
+		for j := range want {
+			if got := <-sub.ch; !bytes.Equal(got, want[j]) {
+				t.Fatalf("subscriber %d frame %d diverged", i+1, j)
+			}
+		}
+	}
+	for _, sub := range all {
+		w.svc.bcast.unsubscribe(sub)
+	}
+	if got := w.svc.ReadStats().Subscribers; got != 0 {
+		t.Errorf("Subscribers after teardown = %d", got)
+	}
+}
+
+// TestStreamSubscriberLimit: beyond StreamMaxSubscribers the subscription is
+// rejected (503 + Retry-After over HTTP) without disturbing existing
+// subscribers.
+func TestStreamSubscriberLimit(t *testing.T) {
+	w := newWorld(t, 64)
+	svc, err := NewService(w.dia, traveltime.NewStore(traveltime.PaperPlan()), Config{Now: w.now, StreamMaxSubscribers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	route := w.route.ID()
+
+	a, _, err := svc.bcast.subscribe(route, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := svc.bcast.subscribe(route, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := svc.bcast.subscribe(route, 0); !errors.Is(err, errStreamFull) {
+		t.Fatalf("third subscribe err = %v, want errStreamFull", err)
+	}
+	// Releasing one slot readmits.
+	svc.bcast.unsubscribe(a)
+	if _, _, err := svc.bcast.subscribe(route, 0); err != nil {
+		t.Fatalf("subscribe after release: %v", err)
+	}
+
+	ts := httptest.NewServer(Handler(svc))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + api.PathStream + "?route=" + route)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-limit stream: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("over-limit stream response lacks Retry-After")
+	}
+}
+
+// TestStreamHTTPEndToEnd subscribes through the full stack — HTTP handler,
+// SSE wire format, the typed client's reconnect/resume consumer — and
+// checks the snapshot-then-deltas contract plus parameter validation.
+func TestStreamHTTPEndToEnd(t *testing.T) {
+	w := newWorld(t, 65)
+	w.runBusHalf(t, "bus-1", t0, 3, 650)
+	defer w.svc.Close()
+	ts := httptest.NewServer(Handler(w.svc))
+	defer ts.Close()
+
+	for _, target := range []string{
+		api.PathStream,                 // missing route
+		api.PathStream + "?route=gho", // unknown route
+		api.PathStream + "?route=" + w.route.ID() + "&from=x", // bad cursor
+	} {
+		resp, err := http.Get(ts.URL + target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d, want 400", target, resp.StatusCode)
+		}
+	}
+
+	c, err := client.New(ts.URL, &http.Client{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	events := make(chan client.StreamEvent, 16)
+	streamErr := make(chan error, 1)
+	go func() {
+		streamErr <- c.StreamRoute(ctx, w.route.ID(), 0, func(ev client.StreamEvent) error {
+			events <- ev
+			return nil
+		})
+	}()
+
+	recv := func() client.StreamEvent {
+		t.Helper()
+		select {
+		case ev := <-events:
+			return ev
+		case <-time.After(10 * time.Second):
+			t.Fatal("no stream event")
+			panic("unreachable")
+		}
+	}
+
+	first := recv()
+	if first.Type != api.EventSnapshot || first.Snapshot == nil {
+		t.Fatalf("first event = %+v, want a snapshot", first)
+	}
+	if len(first.Snapshot.Vehicles) == 0 {
+		t.Fatal("snapshot carries no vehicles for a live bus")
+	}
+	last := first.Epoch
+	for i := 0; i < 2; i++ {
+		w.reportAt(t, "bus-1", w.now().Add(time.Duration(i+1)*time.Second))
+		w.svc.PublishSnapshot()
+		ev := recv()
+		if ev.Type != api.EventDelta || ev.Delta == nil {
+			t.Fatalf("event %d = %+v, want a delta", i, ev)
+		}
+		if ev.Epoch <= last {
+			t.Fatalf("epoch went %d -> %d", last, ev.Epoch)
+		}
+		last = ev.Epoch
+	}
+
+	cancel()
+	select {
+	case err := <-streamErr:
+		if err != nil {
+			t.Fatalf("StreamRoute returned %v after cancel", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("StreamRoute did not return after cancel")
+	}
+
+	// A consumer error terminates the stream without retries.
+	stop := errors.New("stop")
+	err = c.StreamRoute(context.Background(), w.route.ID(), 0, func(client.StreamEvent) error { return stop })
+	if !errors.Is(err, stop) {
+		t.Fatalf("consumer-stop error = %v, want %v", err, stop)
+	}
+	// A permanent rejection (unknown route) is not retried either.
+	var serr *client.StatusError
+	if err := c.StreamRoute(context.Background(), "ghost", 0, func(client.StreamEvent) error { return nil }); !errors.As(err, &serr) || serr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown-route stream err = %v, want a 400 StatusError", err)
+	}
+}
+
+// TestServiceCloseEndsStreams: Close sheds every subscriber (handlers end
+// their responses), stops the pump, and refuses new subscriptions — and is
+// idempotent.
+func TestServiceCloseEndsStreams(t *testing.T) {
+	w := newWorld(t, 66)
+	sub, _, err := w.svc.bcast.subscribe(w.route.ID(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := <-sub.ch; ok {
+		t.Fatal("subscriber channel still open after Close")
+	}
+	if got := w.svc.ReadStats().Subscribers; got != 0 {
+		t.Errorf("Subscribers = %d after Close", got)
+	}
+	if _, _, err := w.svc.bcast.subscribe(w.route.ID(), 0); err == nil {
+		t.Error("subscribe succeeded after Close")
+	}
+	if err := w.svc.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+// FuzzStreamResume throws arbitrary ?from= cursors at subscribe and checks
+// the catch-up contract: the initial frames always land the client exactly
+// on the head epoch, via an increasing delta chain or one full snapshot —
+// never a gap, never a frame beyond the head.
+func FuzzStreamResume(f *testing.F) {
+	w := newWorld(f, 67)
+	defer w.svc.Close()
+	route := w.route.ID()
+	// Pin the stream head, then retire more epochs than the ring holds so
+	// both covered and evicted cursors exist.
+	pin, _, err := w.svc.bcast.subscribe(route, 0)
+	if err != nil {
+		f.Fatal(err)
+	}
+	defer w.svc.bcast.unsubscribe(pin)
+	for i := 0; i < ringSize+16; i++ {
+		w.svc.InvalidateReadSnapshot()
+		w.svc.PublishSnapshot()
+		for len(pin.ch) > 0 { // keep the pin subscriber from being shed
+			<-pin.ch
+		}
+	}
+	head := w.svc.Epoch()
+
+	f.Add(uint64(0))
+	f.Add(head)
+	f.Add(head - 1)
+	f.Add(head - ringSize)
+	f.Add(head + 1)
+	f.Add(^uint64(0))
+
+	f.Fuzz(func(t *testing.T, from uint64) {
+		sub, initial, err := w.svc.bcast.subscribe(route, from)
+		if err != nil {
+			t.Fatalf("subscribe(from=%d): %v", from, err)
+		}
+		defer w.svc.bcast.unsubscribe(sub)
+		if len(initial) == 0 {
+			if from != head {
+				t.Fatalf("from=%d got no catch-up, head=%d", from, head)
+			}
+			return
+		}
+		state := from
+		for i, frame := range initial {
+			event, id, data := parseSSE(t, frame)
+			switch event {
+			case api.EventSnapshot:
+				if i != 0 || len(initial) != 1 {
+					t.Fatalf("snapshot frame at position %d of %d", i, len(initial))
+				}
+				var snap api.StreamSnapshot
+				if err := json.Unmarshal(data, &snap); err != nil {
+					t.Fatal(err)
+				}
+				if snap.Epoch != id {
+					t.Fatalf("snapshot id %d != epoch %d", id, snap.Epoch)
+				}
+				state = id
+			case api.EventDelta:
+				var delta api.StreamDelta
+				if err := json.Unmarshal(data, &delta); err != nil {
+					t.Fatal(err)
+				}
+				if delta.Epoch != id {
+					t.Fatalf("delta id %d != epoch %d", id, delta.Epoch)
+				}
+				if id <= state {
+					t.Fatalf("delta chain not increasing: %d after state %d", id, state)
+				}
+				state = id
+			default:
+				t.Fatalf("unknown event %q", event)
+			}
+		}
+		if state != head {
+			t.Fatalf("catch-up from %d landed on %d, head is %d", from, state, head)
+		}
+	})
+}

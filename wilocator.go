@@ -416,7 +416,13 @@ func (s *System) SaveTravelTimesFile(path string) error {
 // AddTravelTime injects an observed segment traversal into the historical
 // store (offline training / imported AVL history).
 func (s *System) AddTravelTime(seg SegmentID, routeID string, enter, exit time.Time) error {
-	return s.store.Add(traveltime.Record{Seg: seg, RouteID: routeID, Enter: enter, Exit: exit})
+	if err := s.store.Add(traveltime.Record{Seg: seg, RouteID: routeID, Enter: enter, Exit: exit}); err != nil {
+		return err
+	}
+	// The store was mutated behind the service: traffic maps and arrival
+	// tables derived from it must republish.
+	s.svc.InvalidateReadSnapshot()
+	return nil
 }
 
 // NewClient creates a typed HTTP client for a WiLocator server at baseURL.
@@ -432,6 +438,11 @@ func (s *System) SaveTravelTimes(w io.Writer) error {
 // LoadTravelTimes replaces the historical store with a snapshot previously
 // written by SaveTravelTimes, so offline training survives server restarts.
 func (s *System) LoadTravelTimes(r io.Reader) error {
-	_, err := s.store.ReadFrom(r)
-	return err
+	if _, err := s.store.ReadFrom(r); err != nil {
+		return err
+	}
+	// Same as AddTravelTime: an out-of-band store mutation must invalidate
+	// the read snapshot.
+	s.svc.InvalidateReadSnapshot()
+	return nil
 }
